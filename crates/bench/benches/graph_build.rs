@@ -1,0 +1,44 @@
+//! Microbenchmark: CT graph construction (base graph and schedule overlay).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use snowcat_cfg::KernelCfg;
+use snowcat_corpus::StiFuzzer;
+use snowcat_graph::CtGraphBuilder;
+use snowcat_kernel::{generate, GenConfig};
+use snowcat_vm::propose_hints;
+
+fn bench_graph(c: &mut Criterion) {
+    let kernel = generate(&GenConfig::default());
+    let cfg = KernelCfg::build(&kernel);
+    let mut fz = StiFuzzer::new(&kernel, 1);
+    fz.seed_each_syscall();
+    fz.push_random(10);
+    let corpus = fz.into_corpus();
+    let a = &corpus[corpus.len() - 1];
+    let b = &corpus[corpus.len() - 2];
+    let builder = CtGraphBuilder::new(&kernel, &cfg);
+
+    c.bench_function("ct_graph_build_base", |bch| {
+        bch.iter(|| builder.build_base(&a.seq, &b.seq))
+    });
+
+    let base = builder.build_base(&a.seq, &b.seq);
+    let mut rng = ChaCha8Rng::seed_from_u64(4);
+    c.bench_function("ct_graph_schedule_overlay", |bch| {
+        bch.iter(|| {
+            let hints = propose_hints(&mut rng, a.seq.steps, b.seq.steps);
+            builder.with_schedule(&base, &a.seq, &b.seq, &hints)
+        })
+    });
+
+    c.bench_function("whole_kernel_cfg_build", |bch| bch.iter(|| KernelCfg::build(&kernel)));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_graph
+}
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Microbenchmark: PIC inference cost (§5.2.2) — graph assembly plus one
+//! forward pass, and the forward pass alone.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use snowcat_cfg::KernelCfg;
+use snowcat_corpus::StiFuzzer;
+use snowcat_graph::CtGraphBuilder;
+use snowcat_kernel::{generate, GenConfig};
+use snowcat_nn::{PicConfig, PicModel};
+use snowcat_vm::propose_hints;
+
+fn bench_inference(c: &mut Criterion) {
+    let kernel = generate(&GenConfig::default());
+    let cfg = KernelCfg::build(&kernel);
+    let mut fz = StiFuzzer::new(&kernel, 1);
+    fz.seed_each_syscall();
+    fz.push_random(10);
+    let corpus = fz.into_corpus();
+    let a = &corpus[corpus.len() - 1];
+    let b = &corpus[corpus.len() - 2];
+    let builder = CtGraphBuilder::new(&kernel, &cfg);
+    let base = builder.build_base(&a.seq, &b.seq);
+    let model = PicModel::new(PicConfig::default());
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+    let hints = propose_hints(&mut rng, a.seq.steps, b.seq.steps);
+    let graph = builder.with_schedule(&base, &a.seq, &b.seq, &hints);
+
+    c.bench_function("pic_forward_only", |bch| bch.iter(|| model.forward(&graph)));
+
+    c.bench_function("pic_inference_with_graph_assembly", |bch| {
+        bch.iter(|| {
+            let hints = propose_hints(&mut rng, a.seq.steps, b.seq.steps);
+            let g = builder.with_schedule(&base, &a.seq, &b.seq, &hints);
+            model.forward(&g)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_inference
+}
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Microbenchmark: schedule proposal and PCT scheduling decisions.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use snowcat_kernel::ThreadId;
+use snowcat_vm::{propose_hints, PctScheduler, Scheduler, ThreadView};
+
+fn bench_sched(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(6);
+    c.bench_function("propose_hints", |bch| bch.iter(|| propose_hints(&mut rng, 500, 400)));
+
+    c.bench_function("pct_thousand_decisions", |bch| {
+        bch.iter(|| {
+            let mut s = PctScheduler::new(&mut rng, 2, 1000, 3);
+            let views = vec![
+                ThreadView { id: ThreadId(0), runnable: true, done: false, executed: 0 },
+                ThreadView { id: ThreadId(1), runnable: true, done: false, executed: 0 },
+            ];
+            let mut acc = 0u32;
+            for _ in 0..1000 {
+                acc = acc.wrapping_add(s.choose(&views).0 as u32);
+            }
+            acc
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_sched
+}
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Microbenchmark: DataCollider-style race detection over a CT trace.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use snowcat_corpus::StiFuzzer;
+use snowcat_kernel::{generate, GenConfig};
+use snowcat_race::RaceDetector;
+use snowcat_vm::{propose_hints, run_ct, Cti, VmConfig};
+
+fn bench_race(c: &mut Criterion) {
+    let kernel = generate(&GenConfig::default());
+    let mut fz = StiFuzzer::new(&kernel, 1);
+    fz.seed_each_syscall();
+    let corpus = fz.into_corpus();
+    let bug = &kernel.bugs[0];
+    let a = corpus
+        .iter()
+        .find(|p| p.sti.calls[0].syscall == bug.syscalls.0)
+        .unwrap();
+    let b = corpus
+        .iter()
+        .find(|p| p.sti.calls[0].syscall == bug.syscalls.1)
+        .unwrap();
+    let cti = Cti::new(a.sti.clone(), b.sti.clone());
+    let mut rng = ChaCha8Rng::seed_from_u64(5);
+    let hints = propose_hints(&mut rng, a.seq.steps, b.seq.steps);
+    let result = run_ct(&kernel, &cti, hints, VmConfig::default());
+    let detector = RaceDetector::default();
+
+    c.bench_function("race_detection_per_execution", |bch| {
+        bch.iter(|| detector.detect(&kernel, &result))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_race
+}
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Microbenchmark: dynamic CT execution throughput on the synthetic-kernel
+//! VM (the substrate's analogue of SKI's 2.8 s/execution figure).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use snowcat_corpus::StiFuzzer;
+use snowcat_kernel::{generate, GenConfig};
+use snowcat_vm::{propose_hints, run_ct, run_sequential, Cti, VmConfig};
+
+fn bench_vm(c: &mut Criterion) {
+    let kernel = generate(&GenConfig::default());
+    let mut fz = StiFuzzer::new(&kernel, 1);
+    fz.seed_each_syscall();
+    fz.fuzz(20);
+    let corpus = fz.into_corpus();
+    let a = &corpus[0];
+    let b = &corpus[1];
+    let mut rng = ChaCha8Rng::seed_from_u64(2);
+
+    c.bench_function("sequential_sti_execution", |bch| {
+        bch.iter(|| run_sequential(&kernel, &a.sti))
+    });
+
+    let cti = Cti::new(a.sti.clone(), b.sti.clone());
+    c.bench_function("concurrent_ct_execution", |bch| {
+        bch.iter(|| {
+            let hints = propose_hints(&mut rng, a.seq.steps, b.seq.steps);
+            run_ct(&kernel, &cti, hints, VmConfig::default())
+        })
+    });
+
+    c.bench_function("concurrent_ct_execution_no_trace", |bch| {
+        bch.iter(|| {
+            let hints = propose_hints(&mut rng, a.seq.steps, b.seq.steps);
+            run_ct(
+                &kernel,
+                &cti,
+                hints,
+                VmConfig { collect_accesses: false, ..VmConfig::default() },
+            )
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_vm
+}
+criterion_main!(benches);

@@ -1,0 +1,161 @@
+//! Ablation study over the CT-graph ingredients (DESIGN.md design-choice
+//! justification; echoes the paper's §6 discussion of graph enhancements).
+//!
+//! Trains the same PIC architecture on datasets whose graphs have one
+//! ingredient removed, and reports validation URB average precision:
+//!
+//! * `full`            — all edge types + schedule marks (the default),
+//! * `no-shortcut`     — shortcut densification edges dropped,
+//! * `no-interflow`    — inter-thread potential-data-flow edges dropped,
+//! * `no-schedule`     — scheduling-hint edges dropped (and marks cleared),
+//! * `no-sched-marks`  — schedule edges kept but endpoint marks cleared,
+//! * `no-asm`          — assembly token embeddings zeroed (type-only input).
+//!
+//! Expected shape: the full graph wins; removing schedule information hurts
+//! most on schedule-*sensitive* prediction, removing inter-flow edges hurts
+//! URB reasoning, shortcuts matter for propagating positional context.
+//!
+//! Usage: `ablation_graph [--scale smoke|default|full]`
+
+use serde::Serialize;
+use snowcat_bench::{print_table, save_json, std_pipeline, Scale, FAMILY_SEED};
+use snowcat_cfg::KernelCfg;
+use snowcat_core::{as_labeled, collect_data, train_on, CollectedData};
+use snowcat_graph::{CtGraph, EdgeKind, SchedMark};
+use snowcat_kernel::KernelVersion;
+use snowcat_nn::evaluate_pooled;
+
+#[derive(Serialize)]
+struct AblationRow {
+    variant: String,
+    val_urb_ap: f64,
+    eval_urb_f1: f64,
+    eval_urb_precision: f64,
+    eval_urb_recall: f64,
+}
+
+fn strip(g: &CtGraph, kind: Option<EdgeKind>, clear_marks: bool, clear_tokens: bool) -> CtGraph {
+    let mut g = g.clone();
+    if let Some(k) = kind {
+        g.edges.retain(|e| e.kind != k);
+    }
+    if clear_marks {
+        for v in &mut g.verts {
+            v.sched_mark = SchedMark::None;
+        }
+    }
+    if clear_tokens {
+        for v in &mut g.verts {
+            v.tokens.clear();
+        }
+    }
+    g
+}
+
+fn ablate(data: &CollectedData, kind: Option<EdgeKind>, marks: bool, tokens: bool) -> CollectedData {
+    let map = |ds: &snowcat_corpus::Dataset| {
+        let mut ds = ds.clone();
+        for e in &mut ds.examples {
+            let stripped = strip(&e.graph, kind, marks, tokens);
+            // Edge-aligned labels must follow the surviving edges.
+            let keep: Vec<bool> = e
+                .graph
+                .edges
+                .iter()
+                .map(|edge| kind.map(|k| edge.kind != k).unwrap_or(true))
+                .collect();
+            e.flow_labels = e
+                .flow_labels
+                .iter()
+                .zip(&keep)
+                .filter(|(_, &k)| k)
+                .map(|(&f, _)| f)
+                .collect();
+            e.graph = stripped;
+        }
+        ds
+    };
+    CollectedData {
+        corpus: Vec::new(), // not needed for training
+        train_set: map(&data.train_set),
+        valid_set: map(&data.valid_set),
+        eval_set: map(&data.eval_set),
+    }
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let mut pcfg = std_pipeline(scale);
+    // Ablations retrain several times; trim epochs a little.
+    pcfg.train.epochs = pcfg.train.epochs.min(6);
+    let kernel = KernelVersion::V5_12.spec(FAMILY_SEED).build();
+    let cfg = KernelCfg::build(&kernel);
+    println!("collecting shared dataset ...");
+    let data = collect_data(&kernel, &cfg, &pcfg);
+
+    let variants: Vec<(&str, CollectedData)> = vec![
+        ("full", ablate(&data, None, false, false)),
+        ("no-shortcut", ablate(&data, Some(EdgeKind::Shortcut), false, false)),
+        ("no-interflow", ablate(&data, Some(EdgeKind::InterFlow), false, false)),
+        ("no-schedule", ablate(&data, Some(EdgeKind::Schedule), true, false)),
+        ("no-sched-marks", ablate(&data, None, true, false)),
+        ("no-asm", ablate(&data, None, false, true)),
+    ];
+
+    let mut rows: Vec<AblationRow> = Vec::new();
+    for (name, d) in &variants {
+        println!("training variant {name} ...");
+        let (ck, summary) = train_on(
+            &kernel,
+            d,
+            pcfg.model,
+            pcfg.train,
+            FAMILY_SEED ^ 0xAB1A,
+            &format!("ablate-{name}"),
+        );
+        let model = ck.restore();
+        let eval_refs = as_labeled(&d.eval_set);
+        let c = evaluate_pooled(&model, &eval_refs, ck.threshold, true);
+        println!(
+            "  {name}: val URB AP {:.4}, eval P/R {:.3}/{:.3}",
+            summary.val_urb_ap,
+            c.precision(),
+            c.recall()
+        );
+        rows.push(AblationRow {
+            variant: name.to_string(),
+            val_urb_ap: summary.val_urb_ap,
+            eval_urb_f1: c.f1(),
+            eval_urb_precision: c.precision(),
+            eval_urb_recall: c.recall(),
+        });
+    }
+
+    print_table(
+        "CT-graph ingredient ablation (validation URB AP / pooled eval metrics)",
+        &["Variant", "val URB AP", "eval F1", "eval P", "eval R"],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.variant.clone(),
+                    format!("{:.4}", r.val_urb_ap),
+                    format!("{:.4}", r.eval_urb_f1),
+                    format!("{:.3}", r.eval_urb_precision),
+                    format!("{:.3}", r.eval_urb_recall),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    save_json("ablation_graph", &rows);
+
+    let full_ap = rows[0].val_urb_ap;
+    let best_ablated =
+        rows[1..].iter().map(|r| r.val_urb_ap).fold(f64::NEG_INFINITY, f64::max);
+    println!(
+        "\nfull graph AP {:.4} vs best ablated {:.4} — {}",
+        full_ap,
+        best_ablated,
+        if full_ap >= best_ablated { "full graph wins ✓" } else { "an ablation won (investigate)" }
+    );
+}

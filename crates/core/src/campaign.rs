@@ -1,0 +1,412 @@
+//! Cumulative testing campaigns over a CTI stream (Figure 5).
+//!
+//! A campaign feeds a stream of CTIs to an explorer (PCT or MLPCT+strategy),
+//! gives each a fixed execution budget, and tracks cumulative unique
+//! potential data races, schedule-dependent block coverage and exposed bugs
+//! against *simulated testing time* (see [`crate::costmodel`]).
+
+use crate::costmodel::CostModel;
+use crate::mlpct::{explore_mlpct, explore_pct, ExploreConfig};
+use crate::pic::Pic;
+use crate::strategy::{S1NewBitmap, S2NewBlocks, S3LimitedTrials, SelectionStrategy};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use snowcat_cfg::KernelCfg;
+use snowcat_corpus::StiProfile;
+use snowcat_kernel::{BugId, Kernel};
+use snowcat_nn::Checkpoint;
+use snowcat_race::RaceSet;
+use snowcat_vm::BitSet;
+
+/// One point on a campaign's coverage-vs-time curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HistoryPoint {
+    /// CTIs processed so far.
+    pub ctis: usize,
+    /// Dynamic executions so far.
+    pub executions: u64,
+    /// Inferences so far.
+    pub inferences: u64,
+    /// Simulated hours elapsed (cost model).
+    pub hours: f64,
+    /// Unique potential data races so far.
+    pub races: usize,
+    /// Unique harmful (non-benign) races so far.
+    pub harmful_races: usize,
+    /// Schedule-dependent blocks covered so far.
+    pub sched_dep_blocks: usize,
+    /// Planted bugs exposed so far.
+    pub bugs: usize,
+}
+
+/// A full campaign result.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CampaignResult {
+    /// Explorer label (`"PCT"`, `"MLPCT-S1"`, …).
+    pub label: String,
+    /// History sampled after every CTI.
+    pub history: Vec<HistoryPoint>,
+    /// Bugs exposed, in discovery order.
+    pub bugs_found: Vec<BugId>,
+}
+
+impl CampaignResult {
+    /// Final history point (zeros if the stream was empty).
+    pub fn last(&self) -> HistoryPoint {
+        self.history.last().copied().unwrap_or(HistoryPoint {
+            ctis: 0,
+            executions: 0,
+            inferences: 0,
+            hours: 0.0,
+            races: 0,
+            harmful_races: 0,
+            sched_dep_blocks: 0,
+            bugs: 0,
+        })
+    }
+
+    /// Simulated hours at which `races` unique races were first reached,
+    /// if ever (used for the "SKI took 304 hours to reach 3,500 races"
+    /// style comparisons).
+    pub fn hours_to_races(&self, races: usize) -> Option<f64> {
+        self.history.iter().find(|h| h.races >= races).map(|h| h.hours)
+    }
+}
+
+/// Which explorer a campaign uses.
+pub enum Explorer<'p, 'k> {
+    /// Plain PCT (the SKI baseline).
+    Pct,
+    /// MLPCT: PIC + a selection strategy.
+    MlPct {
+        /// The deployed predictor.
+        pic: &'p mut Pic<'k>,
+        /// The candidate-selection strategy.
+        strategy: Box<dyn SelectionStrategy>,
+    },
+}
+
+impl Explorer<'_, '_> {
+    fn label(&self) -> String {
+        match self {
+            Explorer::Pct => "PCT".into(),
+            Explorer::MlPct { strategy, .. } => format!("MLPCT-{}", strategy.name()),
+        }
+    }
+}
+
+/// Run a campaign over `stream` (pairs of corpus indices).
+///
+/// Equivalent to [`run_campaign_budgeted`] with no time budget.
+pub fn run_campaign(
+    kernel: &Kernel,
+    corpus: &[StiProfile],
+    stream: &[(usize, usize)],
+    explorer: Explorer<'_, '_>,
+    explore_cfg: &ExploreConfig,
+    cost: &CostModel,
+) -> CampaignResult {
+    run_campaign_budgeted(kernel, corpus, stream, explorer, explore_cfg, cost, None)
+}
+
+/// Run a campaign over `stream`, stopping once `max_hours` of simulated
+/// testing time has been spent (if given). Time-budgeted campaigns are the
+/// faithful Figure-5 comparison: a cheap explorer processes more CTIs in
+/// the same wall-clock window.
+#[allow(clippy::too_many_arguments)]
+pub fn run_campaign_budgeted(
+    kernel: &Kernel,
+    corpus: &[StiProfile],
+    stream: &[(usize, usize)],
+    mut explorer: Explorer<'_, '_>,
+    explore_cfg: &ExploreConfig,
+    cost: &CostModel,
+    max_hours: Option<f64>,
+) -> CampaignResult {
+    let label = explorer.label();
+    let mut races = RaceSet::new();
+    let mut harmful = RaceSet::new();
+    let mut blocks = BitSet::new(kernel.num_blocks());
+    let mut bugs_found: Vec<BugId> = Vec::new();
+    let mut executions = 0u64;
+    let mut inferences = 0u64;
+    let mut history = Vec::with_capacity(stream.len());
+
+    for (ci, &(ia, ib)) in stream.iter().enumerate() {
+        if let Some(h) = max_hours {
+            if cost.hours(executions, inferences) >= h {
+                break;
+            }
+        }
+        let a = &corpus[ia];
+        let b = &corpus[ib];
+        let cfg = ExploreConfig {
+            // Decorrelate schedule proposals across CTIs deterministically.
+            seed: explore_cfg.seed ^ (ci as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            ..*explore_cfg
+        };
+        let outcome = match &mut explorer {
+            Explorer::Pct => explore_pct(kernel, a, b, &cfg),
+            Explorer::MlPct { pic, strategy } => {
+                explore_mlpct(kernel, pic, strategy.as_mut(), a, b, &cfg)
+            }
+        };
+        executions += outcome.executions;
+        inferences += outcome.inferences;
+        for r in &outcome.races {
+            races.insert(r.key);
+            if !r.benign {
+                harmful.insert(r.key);
+            }
+        }
+        blocks.union_with(&outcome.sched_dep_blocks);
+        for bug in outcome.bugs {
+            if !bugs_found.contains(&bug) {
+                bugs_found.push(bug);
+            }
+        }
+        history.push(HistoryPoint {
+            ctis: ci + 1,
+            executions,
+            inferences,
+            hours: cost.hours(executions, inferences),
+            races: races.len(),
+            harmful_races: harmful.len(),
+            sched_dep_blocks: blocks.count(),
+            bugs: bugs_found.len(),
+        });
+    }
+    CampaignResult { label, history, bugs_found }
+}
+
+/// Owned description of an explorer, usable across threads (unlike
+/// [`Explorer`], which borrows a deployed [`Pic`]).
+#[allow(clippy::large_enum_variant)] // checkpoints are megabytes; Pct is a tag
+#[derive(Clone)]
+pub enum ExplorerSpec {
+    /// Plain PCT.
+    Pct,
+    /// MLPCT with its own copy of the model and a strategy.
+    MlPct {
+        /// Model checkpoint (each campaign thread deploys its own copy).
+        checkpoint: Checkpoint,
+        /// Which selection strategy to run.
+        strategy: StrategyKind,
+    },
+}
+
+/// Strategy selector for [`ExplorerSpec`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StrategyKind {
+    /// S1 — new predicted-coverage bitmap.
+    S1,
+    /// S2 — new predicted-positive block.
+    S2,
+    /// S3 — per-block trial limit.
+    S3(usize),
+}
+
+impl StrategyKind {
+    /// Instantiate the strategy.
+    pub fn build(self) -> Box<dyn SelectionStrategy> {
+        match self {
+            StrategyKind::S1 => Box::new(S1NewBitmap::new()),
+            StrategyKind::S2 => Box::new(S2NewBlocks::new()),
+            StrategyKind::S3(limit) => Box::new(S3LimitedTrials::new(limit)),
+        }
+    }
+}
+
+/// Run several campaigns over the same stream concurrently, one OS thread
+/// per explorer (campaigns are embarrassingly parallel: each owns its model
+/// copy, strategy state and VM executions).
+///
+/// Results come back in spec order, identical to running each campaign
+/// serially with [`run_campaign`].
+pub fn run_campaigns_parallel(
+    kernel: &Kernel,
+    cfg: &KernelCfg,
+    corpus: &[StiProfile],
+    stream: &[(usize, usize)],
+    specs: &[ExplorerSpec],
+    explore_cfg: &ExploreConfig,
+    cost: &CostModel,
+) -> Vec<CampaignResult> {
+    run_campaigns_parallel_budgeted(kernel, cfg, corpus, stream, specs, explore_cfg, cost, None)
+}
+
+/// [`run_campaigns_parallel`] with a per-campaign simulated-time budget.
+#[allow(clippy::too_many_arguments)]
+pub fn run_campaigns_parallel_budgeted(
+    kernel: &Kernel,
+    cfg: &KernelCfg,
+    corpus: &[StiProfile],
+    stream: &[(usize, usize)],
+    specs: &[ExplorerSpec],
+    explore_cfg: &ExploreConfig,
+    cost: &CostModel,
+    max_hours: Option<f64>,
+) -> Vec<CampaignResult> {
+    let results: Mutex<Vec<Option<CampaignResult>>> = Mutex::new(vec![None; specs.len()]);
+    crossbeam::thread::scope(|scope| {
+        for (i, spec) in specs.iter().enumerate() {
+            let results = &results;
+            scope.spawn(move |_| {
+                let res = match spec {
+                    ExplorerSpec::Pct => run_campaign_budgeted(
+                        kernel,
+                        corpus,
+                        stream,
+                        Explorer::Pct,
+                        explore_cfg,
+                        cost,
+                        max_hours,
+                    ),
+                    ExplorerSpec::MlPct { checkpoint, strategy } => {
+                        let mut pic = Pic::new(checkpoint, kernel, cfg);
+                        run_campaign_budgeted(
+                            kernel,
+                            corpus,
+                            stream,
+                            Explorer::MlPct { pic: &mut pic, strategy: strategy.build() },
+                            explore_cfg,
+                            cost,
+                            max_hours,
+                        )
+                    }
+                };
+                results.lock()[i] = Some(res);
+            });
+        }
+    })
+    .expect("campaign thread panicked");
+    results
+        .into_inner()
+        .into_iter()
+        .map(|r| r.expect("every campaign thread stores its result"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::S1NewBitmap;
+    use snowcat_cfg::KernelCfg;
+    use snowcat_corpus::{random_cti_pairs, StiFuzzer};
+    use snowcat_kernel::{generate, GenConfig};
+    use snowcat_nn::{Checkpoint, PicConfig, PicModel};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn setup() -> (Kernel, KernelCfg, Vec<StiProfile>, Vec<(usize, usize)>) {
+        let k = generate(&GenConfig::default());
+        let cfg = KernelCfg::build(&k);
+        let mut fz = StiFuzzer::new(&k, 1);
+        fz.seed_each_syscall();
+        let corpus = fz.into_corpus();
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let stream = random_cti_pairs(&mut rng, corpus.len(), 5);
+        (k, cfg, corpus, stream)
+    }
+
+    #[test]
+    fn pct_campaign_accumulates_monotonically() {
+        let (k, _, corpus, stream) = setup();
+        let cfg = ExploreConfig { exec_budget: 6, ..Default::default() };
+        let res = run_campaign(&k, &corpus, &stream, Explorer::Pct, &cfg, &CostModel::default());
+        assert_eq!(res.label, "PCT");
+        assert_eq!(res.history.len(), stream.len());
+        for w in res.history.windows(2) {
+            assert!(w[1].races >= w[0].races);
+            assert!(w[1].sched_dep_blocks >= w[0].sched_dep_blocks);
+            assert!(w[1].hours >= w[0].hours);
+            assert!(w[1].bugs >= w[0].bugs);
+        }
+    }
+
+    #[test]
+    fn mlpct_campaign_counts_inferences() {
+        let (k, cfg_k, corpus, stream) = setup();
+        let model = PicModel::new(PicConfig { hidden: 8, layers: 1, ..Default::default() });
+        let ck = Checkpoint::new(&model, 0.5, "t");
+        let mut pic = Pic::new(&ck, &k, &cfg_k);
+        let cfg = ExploreConfig { exec_budget: 4, inference_cap: 40, ..Default::default() };
+        let res = run_campaign(
+            &k,
+            &corpus,
+            &stream,
+            Explorer::MlPct { pic: &mut pic, strategy: Box::new(S1NewBitmap::new()) },
+            &cfg,
+            &CostModel::default(),
+        );
+        assert_eq!(res.label, "MLPCT-S1");
+        let last = res.last();
+        assert!(last.inferences > 0);
+        assert!(last.inferences >= last.executions);
+    }
+
+    #[test]
+    fn time_budget_truncates_campaign() {
+        let (k, _, corpus, stream) = setup();
+        let cfg = ExploreConfig { exec_budget: 6, ..Default::default() };
+        let cost = CostModel::default();
+        let full = run_campaign(&k, &corpus, &stream, Explorer::Pct, &cfg, &cost);
+        let budget = full.last().hours / 2.0;
+        let cut = run_campaign_budgeted(
+            &k,
+            &corpus,
+            &stream,
+            Explorer::Pct,
+            &cfg,
+            &cost,
+            Some(budget),
+        );
+        assert!(cut.history.len() < full.history.len());
+        // The budget is checked before each CTI, so at most one CTI of
+        // overshoot is possible.
+        assert!(cut.last().hours <= budget + full.last().hours / stream.len() as f64 + 1e-9);
+    }
+
+    #[test]
+    fn parallel_campaigns_match_serial() {
+        let (k, cfg_k, corpus, stream) = setup();
+        let model = PicModel::new(PicConfig { hidden: 8, layers: 1, ..Default::default() });
+        let ck = Checkpoint::new(&model, 0.5, "t");
+        let ecfg = ExploreConfig { exec_budget: 4, inference_cap: 40, ..Default::default() };
+        let cost = CostModel::default();
+        let specs = vec![
+            ExplorerSpec::Pct,
+            ExplorerSpec::MlPct { checkpoint: ck.clone(), strategy: StrategyKind::S1 },
+            ExplorerSpec::MlPct { checkpoint: ck.clone(), strategy: StrategyKind::S3(2) },
+        ];
+        let par = run_campaigns_parallel(&k, &cfg_k, &corpus, &stream, &specs, &ecfg, &cost);
+        // Serial reference.
+        let serial_pct =
+            run_campaign(&k, &corpus, &stream, Explorer::Pct, &ecfg, &cost);
+        assert_eq!(par[0].history, serial_pct.history);
+        let mut pic = Pic::new(&ck, &k, &cfg_k);
+        let serial_s1 = run_campaign(
+            &k,
+            &corpus,
+            &stream,
+            Explorer::MlPct { pic: &mut pic, strategy: Box::new(S1NewBitmap::new()) },
+            &ecfg,
+            &cost,
+        );
+        assert_eq!(par[1].history, serial_s1.history);
+        assert_eq!(par[2].label, "MLPCT-S3(2)");
+    }
+
+    #[test]
+    fn hours_to_races_finds_first_crossing() {
+        let (k, _, corpus, stream) = setup();
+        let cfg = ExploreConfig { exec_budget: 6, ..Default::default() };
+        let res = run_campaign(&k, &corpus, &stream, Explorer::Pct, &cfg, &CostModel::default());
+        let total = res.last().races;
+        if total > 0 {
+            let h = res.hours_to_races(1).expect("some point reached 1 race");
+            assert!(h > 0.0);
+            assert!(res.hours_to_races(total + 1).is_none());
+        }
+    }
+}

@@ -1,0 +1,210 @@
+//! Time accounting and the analytic rejection-filter model (§A.6).
+//!
+//! Dynamic kernel executions in the paper run inside an instrumented QEMU
+//! and cost ~2.8 s each, while one PIC inference costs ~0.015 s. Our
+//! substrate executes a synthetic kernel, so raw wall-clock would not
+//! reflect the paper's economics; campaigns therefore account *simulated
+//! testing time* with the paper's per-operation costs (both constants are
+//! configurable, and the bench harness also reports locally measured
+//! values).
+
+use serde::{Deserialize, Serialize};
+
+/// Per-operation cost model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Seconds per dynamic CT execution (paper: 2.8 s under SKI).
+    pub exec_seconds: f64,
+    /// Seconds per PIC inference including graph assembly (paper: 0.015 s).
+    pub inference_seconds: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self { exec_seconds: 2.8, inference_seconds: 0.015 }
+    }
+}
+
+impl CostModel {
+    /// Simulated seconds for a mix of executions and inferences.
+    pub fn seconds(&self, executions: u64, inferences: u64) -> f64 {
+        executions as f64 * self.exec_seconds + inferences as f64 * self.inference_seconds
+    }
+
+    /// Simulated hours.
+    pub fn hours(&self, executions: u64, inferences: u64) -> f64 {
+        self.seconds(executions, inferences) / 3600.0
+    }
+}
+
+/// §A.6 — expected number of *candidate evaluations* a filtered workflow
+/// needs to reach one fruitful dynamic execution, and the expected dynamic
+/// executions it spends, given:
+///
+/// * `base_rate` — probability a random candidate is fruitful,
+/// * `precision`/`recall` — of the filter's positive predictions.
+///
+/// Without a filter, reaching one fruitful test costs `1/base_rate` dynamic
+/// executions in expectation. With the filter, only predicted-positive
+/// candidates are executed: a fraction `pp = base_rate·recall/precision` of
+/// candidates are predicted positive, and each executed candidate is
+/// fruitful with probability `precision`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FilterEconomics {
+    /// Expected dynamic executions per fruitful test, unfiltered.
+    pub unfiltered_execs: f64,
+    /// Expected dynamic executions per fruitful test, filtered.
+    pub filtered_execs: f64,
+    /// Expected model inferences per fruitful test, filtered.
+    pub filtered_inferences: f64,
+    /// Expected seconds per fruitful test, unfiltered.
+    pub unfiltered_seconds: f64,
+    /// Expected seconds per fruitful test, filtered.
+    pub filtered_seconds: f64,
+}
+
+/// Evaluate the analytic model.
+///
+/// # Panics
+/// Panics if `base_rate`, `precision` or `recall` are outside (0, 1].
+pub fn filter_economics(
+    cost: &CostModel,
+    base_rate: f64,
+    precision: f64,
+    recall: f64,
+) -> FilterEconomics {
+    assert!(base_rate > 0.0 && base_rate <= 1.0, "base_rate out of range");
+    assert!(precision > 0.0 && precision <= 1.0, "precision out of range");
+    assert!(recall > 0.0 && recall <= 1.0, "recall out of range");
+    // Fraction of candidates predicted positive.
+    let predicted_positive = base_rate * recall / precision;
+    // Executed candidates are the predicted positives; each is fruitful with
+    // probability `precision`, so 1/precision executions per fruitful test.
+    let filtered_execs = 1.0 / precision;
+    // Candidates *inspected* per fruitful test: we must see enough
+    // candidates for 1/precision of them to be predicted positive.
+    let filtered_inferences = filtered_execs / predicted_positive.max(f64::MIN_POSITIVE);
+    let unfiltered_execs = 1.0 / base_rate;
+    FilterEconomics {
+        unfiltered_execs,
+        filtered_execs,
+        filtered_inferences,
+        unfiltered_seconds: unfiltered_execs * cost.exec_seconds,
+        filtered_seconds: filtered_execs * cost.exec_seconds
+            + filtered_inferences * cost.inference_seconds,
+    }
+}
+
+/// Monte-Carlo check of [`filter_economics`]: simulate a candidate stream
+/// with the given rates and average the cost to the first fruitful executed
+/// test. Used by tests and the §A.6 bench.
+pub fn simulate_filter<R: rand::Rng>(
+    rng: &mut R,
+    cost: &CostModel,
+    base_rate: f64,
+    precision: f64,
+    recall: f64,
+    trials: usize,
+) -> FilterEconomics {
+    let mut f_execs = 0.0;
+    let mut f_infer = 0.0;
+    let mut f_secs = 0.0;
+    let mut u_execs = 0.0;
+    for _ in 0..trials {
+        // Unfiltered: geometric in base_rate.
+        let mut n = 1u64;
+        while !rng.gen_bool(base_rate) {
+            n += 1;
+        }
+        u_execs += n as f64;
+        // Filtered.
+        let mut execs = 0u64;
+        let mut infer = 0u64;
+        loop {
+            infer += 1;
+            let fruitful = rng.gen_bool(base_rate);
+            let predicted = if fruitful {
+                rng.gen_bool(recall)
+            } else {
+                // FP rate chosen to produce the target precision:
+                // P(pred|¬fruitful) = base·recall·(1−precision) /
+                //                     (precision·(1−base)).
+                let fp_rate = (base_rate * recall * (1.0 - precision)
+                    / (precision * (1.0 - base_rate)))
+                    .clamp(0.0, 1.0);
+                rng.gen_bool(fp_rate)
+            };
+            if predicted {
+                execs += 1;
+                if fruitful {
+                    break;
+                }
+            }
+        }
+        f_execs += execs as f64;
+        f_infer += infer as f64;
+        f_secs += cost.seconds(execs, infer);
+    }
+    let t = trials as f64;
+    FilterEconomics {
+        unfiltered_execs: u_execs / t,
+        filtered_execs: f_execs / t,
+        filtered_inferences: f_infer / t,
+        unfiltered_seconds: (u_execs / t) * cost.exec_seconds,
+        filtered_seconds: f_secs / t,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn cost_model_arithmetic() {
+        let c = CostModel::default();
+        assert!((c.seconds(10, 100) - (28.0 + 1.5)).abs() < 1e-9);
+        assert!((c.hours(3600, 0) - 2.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn filter_beats_unfiltered_at_paper_operating_point() {
+        // Paper-ish numbers: ~1.1% fruitful candidates, PIC precision ~0.49,
+        // recall ~0.69, 2.8 s executions, 0.015 s inferences.
+        let c = CostModel::default();
+        let e = filter_economics(&c, 0.011, 0.49, 0.69);
+        assert!(
+            e.filtered_seconds < e.unfiltered_seconds / 10.0,
+            "expected ≥10x speedup: {e:?}"
+        );
+    }
+
+    #[test]
+    fn perfect_filter_costs_one_execution() {
+        let c = CostModel::default();
+        let e = filter_economics(&c, 0.01, 1.0, 1.0);
+        assert!((e.filtered_execs - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn monte_carlo_agrees_with_analytic() {
+        let c = CostModel::default();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let ana = filter_economics(&c, 0.05, 0.5, 0.7);
+        let sim = simulate_filter(&mut rng, &c, 0.05, 0.5, 0.7, 4000);
+        let rel = |a: f64, b: f64| (a - b).abs() / b.max(1e-9);
+        assert!(rel(sim.unfiltered_execs, ana.unfiltered_execs) < 0.15, "{sim:?} vs {ana:?}");
+        assert!(rel(sim.filtered_execs, ana.filtered_execs) < 0.15, "{sim:?} vs {ana:?}");
+        assert!(
+            rel(sim.filtered_inferences, ana.filtered_inferences) < 0.2,
+            "{sim:?} vs {ana:?}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "precision out of range")]
+    fn rejects_invalid_precision() {
+        filter_economics(&CostModel::default(), 0.5, 0.0, 0.5);
+    }
+}

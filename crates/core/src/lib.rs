@@ -1,0 +1,53 @@
+//! # snowcat-core — the Snowcat concurrency-testing framework
+//!
+//! The paper's primary contribution, assembled from the substrate crates:
+//!
+//! * [`pic`] — the deployed coverage predictor (model + threshold + graphs),
+//! * [`strategy`] — CT-candidate selection strategies S1/S2/S3 (§3.3),
+//! * [`mlpct`] — per-CTI interleaving exploration: PCT baseline vs MLPCT
+//!   (§5.3.1),
+//! * [`campaign`] — cumulative campaigns over CTI streams with simulated
+//!   time accounting (Figure 5),
+//! * [`razzer`] — directed race reproduction: Razzer / Razzer-Relax /
+//!   Razzer-PIC (§5.6.1, Table 4),
+//! * [`snowboard`] — INS-PAIR clustering and exemplar sampling: SB-RND /
+//!   SB-PIC (§5.6.2, Table 5),
+//! * [`costmodel`] — the execution/inference cost model and the §A.6
+//!   analytic filter economics,
+//! * [`pipeline`] — end-to-end data collection + training + tuning.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod campaign;
+pub mod costmodel;
+pub mod mlpct;
+pub mod pic;
+pub mod pipeline;
+pub mod razzer;
+pub mod snowboard;
+pub mod strategy;
+pub mod triage;
+
+pub use campaign::{
+    run_campaign, run_campaign_budgeted, run_campaigns_parallel,
+    run_campaigns_parallel_budgeted, CampaignResult, Explorer, ExplorerSpec, HistoryPoint,
+    StrategyKind,
+};
+pub use costmodel::{filter_economics, simulate_filter, CostModel, FilterEconomics};
+pub use mlpct::{explore_mlpct, explore_pct, explore_pct_native, ExploreConfig, ExploreOutcome};
+pub use pic::{Pic, PredictedCoverage};
+pub use pipeline::{
+    as_flow_labeled, as_labeled, collect_data, fine_tune, pretrain_encoder, train_on,
+    train_on_with_flows, train_pic, CollectedData, PipelineConfig, PipelineOutput,
+    PipelineSummary,
+};
+pub use razzer::{find_candidates, racing_blocks, reproduce, RazzerMode, ReproResult};
+pub use snowboard::{
+    cluster_ctis, member_exposes_bug, predict_members, run_sampling_trials, sample_cluster,
+    ClusterMember, InsPair, Sampler, SamplingOutcome,
+};
+pub use strategy::{
+    standard_strategies, S1NewBitmap, S2NewBlocks, S3LimitedTrials, SelectionStrategy,
+};
+pub use triage::{render_findings, triage, Finding};

@@ -1,0 +1,181 @@
+//! The deployed coverage predictor: trained model + tuned threshold + graph
+//! construction, packaged behind the interface the testing workflow uses
+//! ("given a CT candidate, predict its block coverage").
+
+use snowcat_cfg::KernelCfg;
+use snowcat_corpus::StiProfile;
+use snowcat_graph::{CtGraph, CtGraphBuilder};
+use snowcat_kernel::{BlockId, Kernel, ThreadId};
+use snowcat_nn::{Checkpoint, PicModel};
+use snowcat_vm::ScheduleHints;
+
+/// Predicted coverage for one CT candidate.
+#[derive(Debug, Clone)]
+pub struct PredictedCoverage {
+    /// The CT graph the prediction was made on.
+    pub graph: CtGraph,
+    /// Per-vertex positive-class probabilities.
+    pub probs: Vec<f32>,
+    /// Thresholded predictions.
+    pub positive: Vec<bool>,
+}
+
+impl PredictedCoverage {
+    /// (thread, block) pairs predicted covered.
+    pub fn positive_blocks(&self) -> Vec<(ThreadId, BlockId)> {
+        self.graph
+            .verts
+            .iter()
+            .zip(&self.positive)
+            .filter(|(_, &p)| p)
+            .map(|(v, _)| (v.thread, v.block))
+            .collect()
+    }
+
+    /// Whether any vertex for `block` (either thread) is predicted covered.
+    pub fn covers_block(&self, block: BlockId) -> bool {
+        self.graph
+            .verts
+            .iter()
+            .zip(&self.positive)
+            .any(|(v, &p)| p && v.block == block)
+    }
+
+    /// Indices of predicted-positive vertices.
+    pub fn positive_indices(&self) -> Vec<usize> {
+        self.positive
+            .iter()
+            .enumerate()
+            .filter(|(_, &p)| p)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// The deployable PIC predictor.
+pub struct Pic<'k> {
+    /// The trained model.
+    pub model: PicModel,
+    /// Tuned classification threshold.
+    pub threshold: f32,
+    builder: CtGraphBuilder<'k>,
+    /// Inferences performed (for inference-budget accounting, §5.3.1 caps
+    /// these at 1,600 per CTI).
+    pub inferences: u64,
+}
+
+impl<'k> Pic<'k> {
+    /// Deploy a checkpoint against a kernel image.
+    pub fn new(checkpoint: &Checkpoint, kernel: &'k Kernel, cfg: &'k KernelCfg) -> Self {
+        Self {
+            model: checkpoint.restore(),
+            threshold: checkpoint.threshold,
+            builder: CtGraphBuilder::new(kernel, cfg),
+            inferences: 0,
+        }
+    }
+
+    /// Access the underlying graph builder.
+    pub fn builder(&self) -> &CtGraphBuilder<'k> {
+        &self.builder
+    }
+
+    /// Build the schedule-independent base graph of a CTI (reused across
+    /// interleaving candidates).
+    pub fn base_graph(&self, a: &StiProfile, b: &StiProfile) -> CtGraph {
+        self.builder.build_base(&a.seq, &b.seq)
+    }
+
+    /// Predict coverage of a CT candidate, given its CTI's base graph.
+    pub fn predict_with_base(
+        &mut self,
+        base: &CtGraph,
+        a: &StiProfile,
+        b: &StiProfile,
+        hints: &ScheduleHints,
+    ) -> PredictedCoverage {
+        let graph = self.builder.with_schedule(base, &a.seq, &b.seq, hints);
+        let probs = self.model.forward(&graph);
+        let positive = probs.iter().map(|&p| p >= self.threshold).collect();
+        self.inferences += 1;
+        PredictedCoverage { graph, probs, positive }
+    }
+
+    /// Predict coverage *and* inter-thread-flow probabilities of a CT
+    /// candidate (the flow head is only meaningful on models trained with
+    /// [`snowcat_nn::train_with_flows`]). The second return value is aligned
+    /// with `graph.edges` (0.0 on non-InterFlow edges).
+    pub fn predict_with_flows(
+        &mut self,
+        base: &CtGraph,
+        a: &StiProfile,
+        b: &StiProfile,
+        hints: &ScheduleHints,
+    ) -> (PredictedCoverage, Vec<f32>) {
+        let graph = self.builder.with_schedule(base, &a.seq, &b.seq, hints);
+        let (probs, cache) = self.model.forward_cached(&graph);
+        let flows = self.model.forward_flows(&graph, &cache);
+        let positive = probs.iter().map(|&p| p >= self.threshold).collect();
+        self.inferences += 1;
+        (PredictedCoverage { graph, probs, positive }, flows)
+    }
+
+    /// Predict coverage of a CT candidate from scratch.
+    pub fn predict(
+        &mut self,
+        a: &StiProfile,
+        b: &StiProfile,
+        hints: &ScheduleHints,
+    ) -> PredictedCoverage {
+        let base = self.base_graph(a, b);
+        self.predict_with_base(&base, a, b, hints)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snowcat_corpus::StiFuzzer;
+    use snowcat_kernel::{generate, GenConfig};
+    use snowcat_nn::PicConfig;
+    use snowcat_vm::propose_hints;
+
+    #[test]
+    fn predictor_produces_aligned_outputs() {
+        let k = generate(&GenConfig::default());
+        let cfg = KernelCfg::build(&k);
+        let mut fz = StiFuzzer::new(&k, 1);
+        fz.seed_each_syscall();
+        let corpus = fz.into_corpus();
+        let model = PicModel::new(PicConfig { hidden: 8, layers: 1, ..Default::default() });
+        let ck = Checkpoint::new(&model, 0.5, "t");
+        let mut pic = Pic::new(&ck, &k, &cfg);
+        let mut rng = rand::rngs::mock::StepRng::new(42, 77);
+        let hints = propose_hints(&mut rng, corpus[0].seq.steps, corpus[1].seq.steps);
+        let pred = pic.predict(&corpus[0], &corpus[1], &hints);
+        assert_eq!(pred.probs.len(), pred.graph.num_verts());
+        assert_eq!(pred.positive.len(), pred.graph.num_verts());
+        assert_eq!(pic.inferences, 1);
+        // positive_blocks consistent with positive flags.
+        assert_eq!(pred.positive_blocks().len(), pred.positive_indices().len());
+    }
+
+    #[test]
+    fn base_graph_reuse_matches_fresh_build() {
+        let k = generate(&GenConfig::default());
+        let cfg = KernelCfg::build(&k);
+        let mut fz = StiFuzzer::new(&k, 2);
+        fz.seed_each_syscall();
+        let corpus = fz.into_corpus();
+        let model = PicModel::new(PicConfig { hidden: 8, layers: 1, ..Default::default() });
+        let ck = Checkpoint::new(&model, 0.5, "t");
+        let mut pic = Pic::new(&ck, &k, &cfg);
+        let mut rng = rand::rngs::mock::StepRng::new(7, 3);
+        let hints = propose_hints(&mut rng, corpus[2].seq.steps, corpus[3].seq.steps);
+        let base = pic.base_graph(&corpus[2], &corpus[3]);
+        let via_base = pic.predict_with_base(&base, &corpus[2], &corpus[3], &hints);
+        let fresh = pic.predict(&corpus[2], &corpus[3], &hints);
+        assert_eq!(via_base.graph, fresh.graph);
+        assert_eq!(via_base.probs, fresh.probs);
+    }
+}

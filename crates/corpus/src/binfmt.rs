@@ -1,0 +1,305 @@
+//! Compact binary (de)serialization for labelled datasets.
+//!
+//! JSON datasets are convenient but ~20× larger than necessary; a default
+//! training collection is thousands of graphs. This module provides a dense
+//! little-endian binary format (`SCDS`, versioned) used by the CLI's
+//! `collect`/`train` split and anywhere datasets are stored.
+
+use crate::dataset::{Dataset, Example};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use snowcat_graph::{CtGraph, Edge, EdgeKind, SchedMark, VertKind, Vertex};
+use snowcat_kernel::{BlockId, ThreadId};
+use snowcat_vm::{ScheduleHints, SwitchPoint};
+
+/// Format magic.
+const MAGIC: &[u8; 4] = b"SCDS";
+/// Format version.
+const VERSION: u16 = 2;
+
+/// Errors produced by [`decode_dataset`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Wrong magic bytes.
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u16),
+    /// Input ended prematurely or a length field is inconsistent.
+    Truncated,
+    /// An enum discriminant is out of range.
+    BadEnum(&'static str, u8),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::BadMagic => write!(f, "not a SCDS dataset (bad magic)"),
+            DecodeError::BadVersion(v) => write!(f, "unsupported SCDS version {v}"),
+            DecodeError::Truncated => write!(f, "truncated SCDS payload"),
+            DecodeError::BadEnum(what, v) => write!(f, "invalid {what} discriminant {v}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+fn put_bits(buf: &mut BytesMut, bits: &[bool]) {
+    buf.put_u32_le(bits.len() as u32);
+    let mut byte = 0u8;
+    for (i, &b) in bits.iter().enumerate() {
+        if b {
+            byte |= 1 << (i % 8);
+        }
+        if i % 8 == 7 {
+            buf.put_u8(byte);
+            byte = 0;
+        }
+    }
+    if !bits.len().is_multiple_of(8) {
+        buf.put_u8(byte);
+    }
+}
+
+fn get_bits(buf: &mut Bytes) -> Result<Vec<bool>, DecodeError> {
+    if buf.remaining() < 4 {
+        return Err(DecodeError::Truncated);
+    }
+    let n = buf.get_u32_le() as usize;
+    let nbytes = n.div_ceil(8);
+    if buf.remaining() < nbytes {
+        return Err(DecodeError::Truncated);
+    }
+    let mut out = Vec::with_capacity(n);
+    let mut cur = 0u8;
+    for i in 0..n {
+        if i % 8 == 0 {
+            cur = buf.get_u8();
+        }
+        out.push(cur & (1 << (i % 8)) != 0);
+    }
+    Ok(out)
+}
+
+fn encode_graph(buf: &mut BytesMut, g: &CtGraph) {
+    buf.put_u32_le(g.verts.len() as u32);
+    for v in &g.verts {
+        buf.put_u32_le(v.block.0);
+        buf.put_u8(v.thread.0);
+        buf.put_u8(match v.kind {
+            VertKind::Scb => 0,
+            VertKind::Urb => 1,
+        });
+        buf.put_u8(v.sched_mark.index() as u8);
+        buf.put_u16_le(v.tokens.len() as u16);
+        for &t in &v.tokens {
+            buf.put_u16_le(t as u16); // vocabulary is < 2^16
+        }
+    }
+    buf.put_u32_le(g.edges.len() as u32);
+    for e in &g.edges {
+        buf.put_u32_le(e.from);
+        buf.put_u32_le(e.to);
+        buf.put_u8(e.kind.index() as u8);
+    }
+}
+
+fn decode_graph(buf: &mut Bytes) -> Result<CtGraph, DecodeError> {
+    if buf.remaining() < 4 {
+        return Err(DecodeError::Truncated);
+    }
+    let nv = buf.get_u32_le() as usize;
+    let mut verts = Vec::with_capacity(nv.min(1 << 20));
+    for _ in 0..nv {
+        if buf.remaining() < 4 + 1 + 1 + 1 + 2 {
+            return Err(DecodeError::Truncated);
+        }
+        let block = BlockId(buf.get_u32_le());
+        let thread = ThreadId(buf.get_u8());
+        let kind = match buf.get_u8() {
+            0 => VertKind::Scb,
+            1 => VertKind::Urb,
+            x => return Err(DecodeError::BadEnum("vertex kind", x)),
+        };
+        let sched_mark = match buf.get_u8() {
+            0 => SchedMark::None,
+            1 => SchedMark::YieldSource,
+            2 => SchedMark::ResumeTarget,
+            x => return Err(DecodeError::BadEnum("sched mark", x)),
+        };
+        let nt = buf.get_u16_le() as usize;
+        if buf.remaining() < nt * 2 {
+            return Err(DecodeError::Truncated);
+        }
+        let tokens = (0..nt).map(|_| u32::from(buf.get_u16_le())).collect();
+        verts.push(Vertex { block, thread, kind, sched_mark, tokens });
+    }
+    if buf.remaining() < 4 {
+        return Err(DecodeError::Truncated);
+    }
+    let ne = buf.get_u32_le() as usize;
+    let mut edges = Vec::with_capacity(ne.min(1 << 22));
+    for _ in 0..ne {
+        if buf.remaining() < 4 + 4 + 1 {
+            return Err(DecodeError::Truncated);
+        }
+        let from = buf.get_u32_le();
+        let to = buf.get_u32_le();
+        let kind = match buf.get_u8() {
+            0 => EdgeKind::ScbFlow,
+            1 => EdgeKind::UrbFlow,
+            2 => EdgeKind::IntraFlow,
+            3 => EdgeKind::InterFlow,
+            4 => EdgeKind::Schedule,
+            5 => EdgeKind::Shortcut,
+            x => return Err(DecodeError::BadEnum("edge kind", x)),
+        };
+        edges.push(Edge { from, to, kind });
+    }
+    Ok(CtGraph { verts, edges })
+}
+
+/// Encode a dataset into the compact binary format.
+pub fn encode_dataset(ds: &Dataset) -> Bytes {
+    let mut buf = BytesMut::with_capacity(1 << 20);
+    buf.put_slice(MAGIC);
+    buf.put_u16_le(VERSION);
+    buf.put_u32_le(ds.examples.len() as u32);
+    for e in &ds.examples {
+        buf.put_u32_le(e.cti_index as u32);
+        encode_graph(&mut buf, &e.graph);
+        put_bits(&mut buf, &e.labels);
+        put_bits(&mut buf, &e.flow_labels);
+        buf.put_u8(e.hints.first.0);
+        buf.put_u16_le(e.hints.switches.len() as u16);
+        for sw in &e.hints.switches {
+            buf.put_u8(sw.thread.0);
+            buf.put_u64_le(sw.after);
+        }
+    }
+    buf.freeze()
+}
+
+/// Decode a dataset from the compact binary format.
+pub fn decode_dataset(mut buf: Bytes) -> Result<Dataset, DecodeError> {
+    if buf.remaining() < 4 + 2 + 4 {
+        return Err(DecodeError::Truncated);
+    }
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(DecodeError::BadMagic);
+    }
+    let version = buf.get_u16_le();
+    if version != VERSION {
+        return Err(DecodeError::BadVersion(version));
+    }
+    let n = buf.get_u32_le() as usize;
+    let mut examples = Vec::with_capacity(n.min(1 << 24));
+    for _ in 0..n {
+        if buf.remaining() < 4 {
+            return Err(DecodeError::Truncated);
+        }
+        let cti_index = buf.get_u32_le() as usize;
+        let graph = decode_graph(&mut buf)?;
+        let labels = get_bits(&mut buf)?;
+        let flow_labels = get_bits(&mut buf)?;
+        if buf.remaining() < 1 + 2 {
+            return Err(DecodeError::Truncated);
+        }
+        let first = ThreadId(buf.get_u8());
+        let ns = buf.get_u16_le() as usize;
+        if buf.remaining() < ns * 9 {
+            return Err(DecodeError::Truncated);
+        }
+        let switches = (0..ns)
+            .map(|_| SwitchPoint { thread: ThreadId(buf.get_u8()), after: buf.get_u64_le() })
+            .collect();
+        examples.push(Example {
+            cti_index,
+            graph,
+            labels,
+            flow_labels,
+            hints: ScheduleHints { first, switches },
+        });
+    }
+    Ok(Dataset { examples })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{build_dataset, random_cti_pairs, DatasetConfig};
+    use crate::fuzzer::StiFuzzer;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use snowcat_cfg::KernelCfg;
+    use snowcat_kernel::{generate, GenConfig};
+
+    fn sample_dataset() -> Dataset {
+        let k = generate(&GenConfig::default());
+        let cfg = KernelCfg::build(&k);
+        let mut fz = StiFuzzer::new(&k, 1);
+        fz.seed_each_syscall();
+        let corpus = fz.into_corpus();
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let ctis = random_cti_pairs(&mut rng, corpus.len(), 3);
+        build_dataset(&k, &cfg, &corpus, &ctis, DatasetConfig {
+            interleavings_per_cti: 3,
+            seed: 5,
+        })
+    }
+
+    #[test]
+    fn roundtrip_preserves_dataset_exactly() {
+        let ds = sample_dataset();
+        let bytes = encode_dataset(&ds);
+        let back = decode_dataset(bytes).unwrap();
+        assert_eq!(ds, back);
+    }
+
+    #[test]
+    fn binary_is_much_smaller_than_json() {
+        let ds = sample_dataset();
+        let bin = encode_dataset(&ds).len();
+        let json = ds.to_json().unwrap().len();
+        assert!(
+            bin * 3 < json,
+            "binary ({bin} B) should be ≥3x smaller than JSON ({json} B)"
+        );
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let err = decode_dataset(Bytes::from_static(b"NOPE\x02\x00\x00\x00\x00\x00"));
+        assert_eq!(err.unwrap_err(), DecodeError::BadMagic);
+    }
+
+    #[test]
+    fn truncation_is_detected_everywhere() {
+        let ds = sample_dataset();
+        let bytes = encode_dataset(&ds);
+        // Chop the payload at many offsets: every prefix must fail cleanly,
+        // never panic.
+        for cut in (0..bytes.len() - 1).step_by(97) {
+            let res = decode_dataset(bytes.slice(0..cut));
+            assert!(res.is_err(), "prefix of {cut} bytes decoded successfully");
+        }
+    }
+
+    #[test]
+    fn empty_dataset_roundtrips() {
+        let ds = Dataset::default();
+        let back = decode_dataset(encode_dataset(&ds)).unwrap();
+        assert_eq!(ds, back);
+    }
+
+    #[test]
+    fn bitpacking_roundtrips_odd_lengths() {
+        for n in [0usize, 1, 7, 8, 9, 63, 64, 65] {
+            let bits: Vec<bool> = (0..n).map(|i| i % 3 == 0).collect();
+            let mut buf = BytesMut::new();
+            put_bits(&mut buf, &bits);
+            let mut b = buf.freeze();
+            assert_eq!(get_bits(&mut b).unwrap(), bits, "length {n}");
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! # snowcat-corpus — test-input generation and dataset construction
+//!
+//! Plays two roles from the paper's workflow:
+//!
+//! 1. the **STI source** (Syzkaller's role): a coverage-feedback fuzzer over
+//!    the synthetic kernel's syscall catalogue ([`StiFuzzer`]), and
+//! 2. the **graph dataset collector** (the modified-SKI role): pairing STIs
+//!    into CTIs, exploring random interleavings of each, executing them, and
+//!    labelling the resulting CT graphs with observed coverage
+//!    ([`build_dataset`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod binfmt;
+pub mod dataset;
+pub mod fuzzer;
+
+pub use binfmt::{decode_dataset, encode_dataset, DecodeError};
+pub use dataset::{
+    build_dataset, interacting_cti_pairs, make_splits, random_cti_pairs, Dataset, DatasetConfig,
+    Example, Splits,
+};
+pub use fuzzer::{FuzzConfig, FuzzStats, StiFuzzer, StiProfile};

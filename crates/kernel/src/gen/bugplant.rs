@@ -1,0 +1,449 @@
+//! Planting concurrency bugs.
+//!
+//! Each planted bug gets a *pair of carrier syscalls* whose concurrent
+//! execution can expose it, padded with ordinary filler segments so the
+//! carriers look like any other syscall. Three patterns are used, graded by
+//! how many ordering constraints the exposing interleaving must satisfy:
+//!
+//! * **Easy / data race** — a lock-protected read-modify-write in one syscall
+//!   versus an unprotected one in the other, on the same word. No oracle; the
+//!   race detector finds it (disjoint locksets).
+//! * **Easy / order violation** — a producer that publishes `ready` *before*
+//!   writing `data` (the planted mistake); a consumer that checks `ready` and
+//!   then asserts `data` is initialized. The consumer's guarded arm is a URB
+//!   in sequential runs (`ready` boots as 0).
+//! * **Medium / atomicity violation** — two syscalls perform an unprotected
+//!   check-then-claim on an owner word and re-check their claim; a remote
+//!   claim landing inside the window fires the oracle.
+//! * **Hard / multi-order** — a faithful miniature of the paper's bug #7
+//!   (vivid driver, 9 years latent): exposing it requires a chain of three
+//!   ordering constraints across a lock region, an owner hand-off and a
+//!   double-initialization check.
+
+use super::segments;
+use super::{KernelBuilder, SubsysLayout};
+use crate::bugs::{BugDifficulty, BugKind, BugSpec};
+use crate::ids::{Addr, Reg};
+use crate::instr::{AddrExpr, BinOp, CmpOp, Instr};
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+
+/// Words of bug state each planted bug reserves.
+pub const WORDS_PER_BUG: u32 = 4;
+
+struct BugWords {
+    w0: Addr,
+    w1: Addr,
+    w2: Addr,
+}
+
+fn bug_words(layout: &SubsysLayout, local_slot: usize) -> BugWords {
+    let base = layout.bug_base.offset((local_slot as u32 * WORDS_PER_BUG) % layout.bug_words);
+    BugWords { w0: base, w1: base.offset(1), w2: base.offset(2) }
+}
+
+/// Emit `n` filler segments (camouflage around the bug pattern).
+fn filler(
+    kb: &mut KernelBuilder,
+    layout: &SubsysLayout,
+    helpers: &[crate::ids::FuncId],
+    rng: &mut ChaCha8Rng,
+    n: usize,
+) {
+    for _ in 0..n {
+        segments::emit_segment(kb, layout, helpers, rng);
+    }
+}
+
+fn window(kb: &mut KernelBuilder, rng: &mut ChaCha8Rng, min: usize, max: usize) {
+    for _ in 0..rng.gen_range(min..=max) {
+        kb.emit(Instr::Nop);
+    }
+}
+
+/// Plant bug number `global_idx` (difficulty-graded) into `layout`'s
+/// subsystem. `local_slot` is the per-subsystem bug index used to carve out
+/// disjoint bug-state words.
+pub fn plant_bug(
+    kb: &mut KernelBuilder,
+    layout: &SubsysLayout,
+    global_idx: usize,
+    local_slot: usize,
+    difficulty: BugDifficulty,
+    helpers: &[crate::ids::FuncId],
+    rng: &mut ChaCha8Rng,
+) {
+    match difficulty {
+        BugDifficulty::Easy => {
+            if global_idx.is_multiple_of(2) {
+                plant_data_race(kb, layout, global_idx, local_slot, helpers, rng)
+            } else {
+                plant_order_violation(kb, layout, global_idx, local_slot, helpers, rng)
+            }
+        }
+        BugDifficulty::Medium => {
+            plant_atomicity_violation(kb, layout, global_idx, local_slot, helpers, rng)
+        }
+        BugDifficulty::Hard => plant_multi_order(kb, layout, global_idx, local_slot, helpers, rng),
+    }
+}
+
+/// Easy: protected vs unprotected RMW on the same word.
+fn plant_data_race(
+    kb: &mut KernelBuilder,
+    layout: &SubsysLayout,
+    global_idx: usize,
+    local_slot: usize,
+    helpers: &[crate::ids::FuncId],
+    rng: &mut ChaCha8Rng,
+) {
+    let id = kb.next_bug_id();
+    let w = bug_words(layout, local_slot);
+    let lock = layout.locks[0];
+    let sub = kb_subsys_name(kb, layout);
+    let mut racing = Vec::new();
+
+    // Carrier A: locked increment of the shared word.
+    let name_a = format!("{sub}_acct_commit{global_idx}");
+    let fa = kb.begin_func(&name_a, layout.id);
+    filler(kb, layout, helpers, rng, 1);
+    let rv = Reg(4);
+    let rc = Reg(5);
+    kb.emit(Instr::Lock { lock });
+    kb.emit(Instr::Load { dst: rv, addr: AddrExpr::Fixed(w.w0) });
+    racing.push(kb.last_loc());
+    kb.emit(Instr::Const { dst: rc, val: 1 });
+    kb.emit(Instr::BinOp { op: BinOp::Add, dst: rv, lhs: rv, rhs: rc });
+    kb.emit(Instr::Store { addr: AddrExpr::Fixed(w.w0), src: rv });
+    racing.push(kb.last_loc());
+    kb.emit(Instr::Unlock { lock });
+    filler(kb, layout, helpers, rng, 1);
+    kb.end_func();
+    let sa = kb.add_syscall(&name_a, fa, layout.id, vec![i64::from(layout.objects) - 1]);
+
+    // Carrier B: unprotected update of the same word (the planted mistake).
+    let name_b = format!("{sub}_acct_reset{global_idx}");
+    let fb = kb.begin_func(&name_b, layout.id);
+    filler(kb, layout, helpers, rng, 1);
+    let rz = Reg(6);
+    kb.emit(Instr::Load { dst: rz, addr: AddrExpr::Fixed(w.w0) });
+    racing.push(kb.last_loc());
+    window(kb, rng, 1, 3);
+    let r0 = Reg(7);
+    kb.emit(Instr::Const { dst: r0, val: 0 });
+    kb.emit(Instr::Store { addr: AddrExpr::Fixed(w.w0), src: r0 });
+    racing.push(kb.last_loc());
+    filler(kb, layout, helpers, rng, 1);
+    kb.end_func();
+    let sb = kb.add_syscall(&name_b, fb, layout.id, vec![i64::from(layout.objects) - 1]);
+
+    kb.add_bug(BugSpec {
+        id,
+        kind: BugKind::DataRace,
+        difficulty: BugDifficulty::Easy,
+        subsystem: layout.id,
+        summary: format!("DR: {name_a}() & {name_b}()"),
+        syscalls: (sa, sb),
+        racing_instrs: racing,
+        harmful: !global_idx.is_multiple_of(4), // a minority are judged benign, as in Table 3
+    });
+}
+
+/// Easy: producer publishes `ready` before `data`; consumer asserts on it.
+fn plant_order_violation(
+    kb: &mut KernelBuilder,
+    layout: &SubsysLayout,
+    global_idx: usize,
+    local_slot: usize,
+    helpers: &[crate::ids::FuncId],
+    rng: &mut ChaCha8Rng,
+) {
+    let id = kb.next_bug_id();
+    let w = bug_words(layout, local_slot);
+    let ready = w.w0;
+    let data = w.w1;
+    const MAGIC: i64 = 42;
+    let sub = kb_subsys_name(kb, layout);
+    let mut racing = Vec::new();
+
+    // Producer: the mistake is publishing `ready` first.
+    let name_p = format!("{sub}_attach{global_idx}");
+    let fp = kb.begin_func(&name_p, layout.id);
+    filler(kb, layout, helpers, rng, 1);
+    let r1 = Reg(4);
+    kb.emit(Instr::Const { dst: r1, val: 1 });
+    kb.emit(Instr::Store { addr: AddrExpr::Fixed(ready), src: r1 });
+    racing.push(kb.last_loc());
+    window(kb, rng, 2, 5);
+    let rm = Reg(5);
+    kb.emit(Instr::Const { dst: rm, val: MAGIC });
+    kb.emit(Instr::Store { addr: AddrExpr::Fixed(data), src: rm });
+    racing.push(kb.last_loc());
+    filler(kb, layout, helpers, rng, 1);
+    kb.end_func();
+    let sp = kb.add_syscall(&name_p, fp, layout.id, vec![i64::from(layout.objects) - 1]);
+
+    // Consumer: `if ready { assert data initialized }` — the guarded arm is a
+    // URB when run sequentially (ready boots 0).
+    let name_c = format!("{sub}_consume{global_idx}");
+    let fc = kb.begin_func(&name_c, layout.id);
+    filler(kb, layout, helpers, rng, 1);
+    let rr = Reg(6);
+    kb.emit(Instr::Load { dst: rr, addr: AddrExpr::Fixed(ready) });
+    racing.push(kb.last_loc());
+    let (then_blk, else_blk) = kb.branch(rr, CmpOp::Eq, 1);
+    let merge = kb.new_block();
+    kb.set_cur(then_blk);
+    let rd = Reg(7);
+    kb.emit(Instr::Load { dst: rd, addr: AddrExpr::Fixed(data) });
+    racing.push(kb.last_loc());
+    kb.emit(Instr::BugIf { bug: id, reg: rd, cmp: CmpOp::Ne, imm: MAGIC });
+    kb.jump_to(merge);
+    kb.set_cur(else_blk);
+    kb.jump_to(merge);
+    kb.set_cur(merge);
+    filler(kb, layout, helpers, rng, 1);
+    kb.end_func();
+    let sc = kb.add_syscall(&name_c, fc, layout.id, vec![i64::from(layout.objects) - 1]);
+
+    kb.add_bug(BugSpec {
+        id,
+        kind: BugKind::OrderViolation,
+        difficulty: BugDifficulty::Easy,
+        subsystem: layout.id,
+        summary: format!("OV: {name_p}() & {name_c}()"),
+        syscalls: (sp, sc),
+        racing_instrs: racing,
+        harmful: true,
+    });
+}
+
+/// Medium: unprotected check-then-claim with a re-check oracle on both sides.
+fn plant_atomicity_violation(
+    kb: &mut KernelBuilder,
+    layout: &SubsysLayout,
+    global_idx: usize,
+    local_slot: usize,
+    helpers: &[crate::ids::FuncId],
+    rng: &mut ChaCha8Rng,
+) {
+    let id = kb.next_bug_id();
+    let w = bug_words(layout, local_slot);
+    let owner = w.w0;
+    let sub = kb_subsys_name(kb, layout);
+    let mut racing = Vec::new();
+    let mut syscalls = Vec::new();
+
+    for (tag, verb) in [(1i64, "claim"), (2i64, "grab")] {
+        let name = format!("{sub}_{verb}{global_idx}");
+        let f = kb.begin_func(&name, layout.id);
+        filler(kb, layout, helpers, rng, 1);
+        let r = Reg(4);
+        kb.emit(Instr::Load { dst: r, addr: AddrExpr::Fixed(owner) });
+        racing.push(kb.last_loc());
+        let (then_blk, else_blk) = kb.branch(r, CmpOp::Eq, 0);
+        let merge = kb.new_block();
+
+        // Claim arm: the check-act window the other thread can split.
+        kb.set_cur(then_blk);
+        window(kb, rng, 2, 4);
+        let rt = Reg(5);
+        kb.emit(Instr::Const { dst: rt, val: tag });
+        kb.emit(Instr::Store { addr: AddrExpr::Fixed(owner), src: rt });
+        racing.push(kb.last_loc());
+        let rc = Reg(6);
+        kb.emit(Instr::Load { dst: rc, addr: AddrExpr::Fixed(owner) });
+        kb.emit(Instr::BugIf { bug: id, reg: rc, cmp: CmpOp::Ne, imm: tag });
+        // Release.
+        let rz = Reg(7);
+        kb.emit(Instr::Const { dst: rz, val: 0 });
+        kb.emit(Instr::Store { addr: AddrExpr::Fixed(owner), src: rz });
+        kb.jump_to(merge);
+
+        kb.set_cur(else_blk);
+        kb.jump_to(merge);
+        kb.set_cur(merge);
+        filler(kb, layout, helpers, rng, 1);
+        kb.end_func();
+        syscalls.push(kb.add_syscall(&name, f, layout.id, vec![i64::from(layout.objects) - 1]));
+    }
+
+    let (name_a, name_b) = {
+        let a = &kb_syscall_name(kb, syscalls[0]);
+        let b = &kb_syscall_name(kb, syscalls[1]);
+        (a.clone(), b.clone())
+    };
+    kb.add_bug(BugSpec {
+        id,
+        kind: BugKind::AtomicityViolation,
+        difficulty: BugDifficulty::Medium,
+        subsystem: layout.id,
+        summary: format!("AV: {name_a}() & {name_b}()"),
+        syscalls: (syscalls[0], syscalls[1]),
+        racing_instrs: racing,
+        harmful: true,
+    });
+}
+
+/// Hard: the bug-#7 miniature — lock hand-off, owner transfer, double init.
+fn plant_multi_order(
+    kb: &mut KernelBuilder,
+    layout: &SubsysLayout,
+    global_idx: usize,
+    local_slot: usize,
+    helpers: &[crate::ids::FuncId],
+    rng: &mut ChaCha8Rng,
+) {
+    let id = kb.next_bug_id();
+    let w = bug_words(layout, local_slot);
+    let rds_owner = w.w0;
+    let init_done = w.w1;
+    let init_cnt = w.w2;
+    const TAG_B: i64 = 2;
+    let lock = layout.locks[layout.locks.len() - 1];
+    let sub = kb_subsys_name(kb, layout);
+    let mut racing = Vec::new();
+
+    // Carrier A — `fop_release`-like: lock region, then conditionally clear
+    // the owner. The clear arm is a URB sequentially (owner boots 0).
+    let name_a = format!("{sub}_release{global_idx}");
+    let fa = kb.begin_func(&name_a, layout.id);
+    filler(kb, layout, helpers, rng, 1);
+    kb.emit(Instr::Lock { lock });
+    window(kb, rng, 1, 2);
+    kb.emit(Instr::Unlock { lock });
+    let r = Reg(4);
+    kb.emit(Instr::Load { dst: r, addr: AddrExpr::Fixed(rds_owner) });
+    racing.push(kb.last_loc());
+    let (then_blk, else_blk) = kb.branch(r, CmpOp::Eq, TAG_B);
+    let merge = kb.new_block();
+    kb.set_cur(then_blk);
+    window(kb, rng, 1, 2);
+    let rz = Reg(5);
+    kb.emit(Instr::Const { dst: rz, val: 0 });
+    kb.emit(Instr::Store { addr: AddrExpr::Fixed(rds_owner), src: rz });
+    racing.push(kb.last_loc());
+    kb.jump_to(merge);
+    kb.set_cur(else_blk);
+    kb.jump_to(merge);
+    kb.set_cur(merge);
+    kb.end_func();
+    let sa = kb.add_syscall(&name_a, fa, layout.id, vec![i64::from(layout.objects) - 1]);
+
+    // Carrier B — `radio_rx_read`-like.
+    let name_b = format!("{sub}_rx_read{global_idx}");
+    let fb = kb.begin_func(&name_b, layout.id);
+    filler(kb, layout, helpers, rng, 1);
+    // Legitimate one-time init.
+    let ri = Reg(4);
+    kb.emit(Instr::Load { dst: ri, addr: AddrExpr::Fixed(init_done) });
+    let (init_blk, no_init) = kb.branch(ri, CmpOp::Eq, 0);
+    let after_init = kb.new_block();
+    kb.set_cur(init_blk);
+    let rc = Reg(5);
+    let one = Reg(6);
+    kb.emit(Instr::Load { dst: rc, addr: AddrExpr::Fixed(init_cnt) });
+    kb.emit(Instr::Const { dst: one, val: 1 });
+    kb.emit(Instr::BinOp { op: BinOp::Add, dst: rc, lhs: rc, rhs: one });
+    kb.emit(Instr::Store { addr: AddrExpr::Fixed(init_cnt), src: rc });
+    kb.emit(Instr::Store { addr: AddrExpr::Fixed(init_done), src: one });
+    kb.jump_to(after_init);
+    kb.set_cur(no_init);
+    kb.jump_to(after_init);
+    kb.set_cur(after_init);
+    // Take the lock and claim ownership (constraint 1→2 with A's lock region).
+    kb.emit(Instr::Lock { lock });
+    let rt = Reg(7);
+    kb.emit(Instr::Const { dst: rt, val: TAG_B });
+    kb.emit(Instr::Store { addr: AddrExpr::Fixed(rds_owner), src: rt });
+    racing.push(kb.last_loc());
+    kb.emit(Instr::Unlock { lock });
+    window(kb, rng, 2, 4);
+    // Re-read the owner; if A cleared it in between (2→3, 3→4), re-init.
+    let rr = Reg(8);
+    kb.emit(Instr::Load { dst: rr, addr: AddrExpr::Fixed(rds_owner) });
+    racing.push(kb.last_loc());
+    let (reinit, no_reinit) = kb.branch(rr, CmpOp::Eq, 0);
+    let done = kb.new_block();
+    kb.set_cur(reinit);
+    let rc2 = Reg(9);
+    let one2 = Reg(10);
+    kb.emit(Instr::Load { dst: rc2, addr: AddrExpr::Fixed(init_cnt) });
+    kb.emit(Instr::Const { dst: one2, val: 1 });
+    kb.emit(Instr::BinOp { op: BinOp::Add, dst: rc2, lhs: rc2, rhs: one2 });
+    kb.emit(Instr::Store { addr: AddrExpr::Fixed(init_cnt), src: rc2 });
+    // Double initialization: the counter reaches 2 only on the buggy path.
+    kb.emit(Instr::BugIf { bug: id, reg: rc2, cmp: CmpOp::Ge, imm: 2 });
+    kb.jump_to(done);
+    kb.set_cur(no_reinit);
+    kb.jump_to(done);
+    kb.set_cur(done);
+    kb.end_func();
+    let sb = kb.add_syscall(&name_b, fb, layout.id, vec![i64::from(layout.objects) - 1]);
+
+    kb.add_bug(BugSpec {
+        id,
+        kind: BugKind::MultiOrder,
+        difficulty: BugDifficulty::Hard,
+        subsystem: layout.id,
+        summary: format!("AV: {name_a}() & {name_b}()"),
+        syscalls: (sa, sb),
+        racing_instrs: racing,
+        harmful: true,
+    });
+}
+
+fn kb_subsys_name(kb: &KernelBuilder, layout: &SubsysLayout) -> String {
+    kb.subsystem_name(layout.id)
+}
+
+fn kb_syscall_name(kb: &KernelBuilder, id: crate::ids::SyscallId) -> String {
+    kb.syscall_name(id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate, GenConfig};
+    use crate::instr::Instr;
+
+    #[test]
+    fn planted_bugs_have_oracles_or_racing_instrs() {
+        let k = generate(&GenConfig::default());
+        for bug in &k.bugs {
+            assert!(
+                !bug.racing_instrs.is_empty(),
+                "bug {} has no racing instructions recorded",
+                bug.id
+            );
+            // Oracle bugs must have a BugIf referencing them somewhere.
+            if bug.kind != BugKind::DataRace {
+                let has_oracle = k.blocks.iter().any(|b| {
+                    b.instrs
+                        .iter()
+                        .any(|i| matches!(i, Instr::BugIf { bug: bid, .. } if *bid == bug.id))
+                });
+                assert!(has_oracle, "bug {} ({:?}) lacks an oracle", bug.id, bug.kind);
+            }
+        }
+    }
+
+    #[test]
+    fn racing_instrs_are_valid_locations() {
+        let k = generate(&GenConfig::default());
+        for bug in &k.bugs {
+            for loc in &bug.racing_instrs {
+                assert!(loc.block.index() < k.blocks.len());
+                assert!((loc.idx as usize) < k.block(loc.block).instrs.len());
+            }
+        }
+    }
+
+    #[test]
+    fn bug_carrier_syscalls_are_distinct() {
+        let k = generate(&GenConfig::default());
+        for bug in &k.bugs {
+            assert_ne!(bug.syscalls.0, bug.syscalls.1, "bug {} carriers collide", bug.id);
+        }
+    }
+}

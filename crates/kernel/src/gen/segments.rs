@@ -1,0 +1,326 @@
+//! Filler code segments.
+//!
+//! Syscall bodies are assembled from the idioms that dominate real kernel
+//! code paths and that matter to concurrency testing:
+//!
+//! * **flag guards** — load a shared flag, branch; the rarely-taken arm is a
+//!   1-hop URB whenever no earlier syscall set the flag, and whether it runs
+//!   concurrently depends on the interleaving (this is the learnable signal
+//!   the PIC model must discover),
+//! * **flag setters** — the producers for those guards,
+//! * **locked / unlocked read-modify-writes** on object fields,
+//! * **statistics bumps** — unprotected counter increments (benign races),
+//! * **object state machines** — branchy field updates, and
+//! * **helper calls**.
+
+use super::{KernelBuilder, SubsysLayout};
+use crate::ids::{FuncId, Reg};
+use crate::instr::{AddrExpr, BinOp, CmpOp, Instr};
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+
+/// Verbs used to name plain syscalls (wraps around if more are needed).
+pub const SYSCALL_VERBS: &[&str] = &[
+    "open", "close", "read", "write", "ioctl", "poll", "mmap", "seek", "stat", "sync",
+];
+
+/// Verbs used to name helper functions.
+pub const HELPER_VERBS: &[&str] = &["init", "update", "check", "flush", "lookup"];
+
+/// The value a flag's setters store and its guards test. Tying the value to
+/// the flag index means any (guard, setter) pair on the same flag is a
+/// producer/consumer match, which is what makes URB coverage genuinely
+/// schedule-dependent (and thus learnable) rather than vanishingly rare.
+pub fn flag_value(flag: u32) -> i64 {
+    1 + i64::from(flag % 3)
+}
+
+/// Scratch registers (r3..r15); r0..r2 hold syscall arguments.
+fn scratch(rng: &mut ChaCha8Rng) -> Reg {
+    Reg(rng.gen_range(3..16))
+}
+
+/// An argument register (syscall args land in r0..r2).
+fn arg_reg(rng: &mut ChaCha8Rng) -> Reg {
+    Reg(rng.gen_range(0..3))
+}
+
+/// Effective address of field `field` across the subsystem object array,
+/// indexed by `idx_reg`.
+fn obj_field(layout: &SubsysLayout, field: u32, idx_reg: Reg) -> AddrExpr {
+    AddrExpr::Indexed {
+        base: layout.objects_base.offset(field),
+        reg: idx_reg,
+        stride: layout.fields,
+        len: layout.objects,
+    }
+}
+
+/// Emit one randomly chosen segment into the current function.
+pub fn emit_segment(
+    kb: &mut KernelBuilder,
+    layout: &SubsysLayout,
+    helpers: &[FuncId],
+    rng: &mut ChaCha8Rng,
+) {
+    // Weighted choice; flag guards and setters are common because they are
+    // the raw material of schedule-dependent coverage.
+    let roll = rng.gen_range(0u32..100);
+    match roll {
+        0..=24 => flag_guard(kb, layout, rng),
+        25..=39 => flag_set(kb, layout, rng),
+        40..=54 => locked_rmw(kb, layout, rng),
+        55..=64 => unlocked_rmw(kb, layout, rng),
+        65..=74 => stat_bump(kb, layout, rng),
+        75..=89 => state_machine(kb, layout, rng),
+        _ => {
+            if helpers.is_empty() {
+                stat_bump(kb, layout, rng);
+            } else {
+                helper_call(kb, helpers, rng);
+            }
+        }
+    }
+}
+
+/// `ld rT, [flag]; if rT == v { rare arm } else { common arm }`.
+///
+/// `v` is the flag's designated value ([`flag_value`]) and flags boot as 0,
+/// so the then-arm only runs if some other code set the flag first —
+/// sequentially rare, concurrently reachable.
+pub fn flag_guard(kb: &mut KernelBuilder, layout: &SubsysLayout, rng: &mut ChaCha8Rng) {
+    let (addr, v) = pick_flag(layout, rng);
+    let rt = scratch(rng);
+    kb.emit(Instr::Load { dst: rt, addr: AddrExpr::Fixed(addr) });
+    let (then_blk, else_blk) = kb.branch(rt, CmpOp::Eq, v);
+    let merge = kb.new_block();
+
+    // Rare arm: touch state so covering it is observable and consequential.
+    kb.set_cur(then_blk);
+    match rng.gen_range(0u32..3) {
+        0 => {
+            // Propagate into another flag (creates URB chains).
+            let (gaddr, gv) = pick_flag(layout, rng);
+            let rv = scratch(rng);
+            kb.emit(Instr::Const { dst: rv, val: gv });
+            kb.emit(Instr::Store { addr: AddrExpr::Fixed(gaddr), src: rv });
+        }
+        1 => {
+            // Update an object field.
+            let ra = arg_reg(rng);
+            let rv = scratch(rng);
+            let field = rng.gen_range(0..layout.fields);
+            kb.emit(Instr::Load { dst: rv, addr: obj_field(layout, field, ra) });
+            let one = scratch(rng);
+            kb.emit(Instr::Const { dst: one, val: 1 });
+            kb.emit(Instr::BinOp { op: BinOp::Add, dst: rv, lhs: rv, rhs: one });
+            kb.emit(Instr::Store { addr: obj_field(layout, field, ra), src: rv });
+        }
+        _ => {
+            kb.emit(Instr::Nop);
+            kb.emit(Instr::Nop);
+        }
+    }
+    kb.jump_to(merge);
+
+    // Common arm.
+    kb.set_cur(else_blk);
+    if rng.gen_bool(0.5) {
+        let rs = scratch(rng);
+        kb.emit(Instr::Const { dst: rs, val: 0 });
+    }
+    kb.jump_to(merge);
+
+    kb.set_cur(merge);
+}
+
+/// `st [flag], v` — the producer side of [`flag_guard`].
+pub fn flag_set(kb: &mut KernelBuilder, layout: &SubsysLayout, rng: &mut ChaCha8Rng) {
+    let (addr, v) = pick_flag(layout, rng);
+    let rv = scratch(rng);
+    kb.emit(Instr::Const { dst: rv, val: v });
+    kb.emit(Instr::Store { addr: AddrExpr::Fixed(addr), src: rv });
+}
+
+/// Choose a flag word: kernel-global with probability 1/4 (cross-subsystem
+/// interaction), subsystem-local otherwise. Returns (address, designated
+/// value).
+fn pick_flag(layout: &SubsysLayout, rng: &mut ChaCha8Rng) -> (crate::ids::Addr, i64) {
+    if layout.gflags > 0 && rng.gen_bool(0.25) {
+        let f = rng.gen_range(0..layout.gflags);
+        (layout.gflags_base.offset(f), flag_value(f))
+    } else {
+        let f = rng.gen_range(0..layout.flags);
+        (layout.flags_base.offset(f), flag_value(f))
+    }
+}
+
+/// `lock; ld; add; st; unlock` on a random object field.
+pub fn locked_rmw(kb: &mut KernelBuilder, layout: &SubsysLayout, rng: &mut ChaCha8Rng) {
+    let lock = layout.locks[rng.gen_range(0..layout.locks.len())];
+    let ra = arg_reg(rng);
+    let field = rng.gen_range(0..layout.fields);
+    let rv = scratch(rng);
+    let rc = scratch(rng);
+    kb.emit(Instr::Lock { lock });
+    kb.emit(Instr::Load { dst: rv, addr: obj_field(layout, field, ra) });
+    kb.emit(Instr::Const { dst: rc, val: rng.gen_range(1..=4) });
+    kb.emit(Instr::BinOp { op: BinOp::Add, dst: rv, lhs: rv, rhs: rc });
+    kb.emit(Instr::Store { addr: obj_field(layout, field, ra), src: rv });
+    kb.emit(Instr::Unlock { lock });
+}
+
+/// Same read-modify-write but without the lock — a race candidate.
+pub fn unlocked_rmw(kb: &mut KernelBuilder, layout: &SubsysLayout, rng: &mut ChaCha8Rng) {
+    let ra = arg_reg(rng);
+    let field = rng.gen_range(0..layout.fields);
+    let rv = scratch(rng);
+    let rc = scratch(rng);
+    kb.emit(Instr::Load { dst: rv, addr: obj_field(layout, field, ra) });
+    kb.emit(Instr::Const { dst: rc, val: rng.gen_range(1..=4) });
+    kb.emit(Instr::BinOp { op: BinOp::Xor, dst: rv, lhs: rv, rhs: rc });
+    kb.emit(Instr::Store { addr: obj_field(layout, field, ra), src: rv });
+}
+
+/// Unprotected statistics counter increment — the canonical benign race.
+pub fn stat_bump(kb: &mut KernelBuilder, layout: &SubsysLayout, rng: &mut ChaCha8Rng) {
+    let addr = if layout.gstats > 0 && rng.gen_bool(0.25) {
+        layout.gstats_base.offset(rng.gen_range(0..layout.gstats))
+    } else {
+        layout.stats_base.offset(rng.gen_range(0..layout.stats))
+    };
+    let rv = scratch(rng);
+    let one = scratch(rng);
+    kb.emit(Instr::Load { dst: rv, addr: AddrExpr::Fixed(addr) });
+    kb.emit(Instr::Const { dst: one, val: 1 });
+    kb.emit(Instr::BinOp { op: BinOp::Add, dst: rv, lhs: rv, rhs: one });
+    kb.emit(Instr::Store { addr: AddrExpr::Fixed(addr), src: rv });
+}
+
+/// Branch on an object's state word and advance/reset the state machine.
+pub fn state_machine(kb: &mut KernelBuilder, layout: &SubsysLayout, rng: &mut ChaCha8Rng) {
+    let ra = arg_reg(rng);
+    let state_field = 0; // field 0 is the conventional state word
+    let rv = scratch(rng);
+    kb.emit(Instr::Load { dst: rv, addr: obj_field(layout, state_field, ra) });
+    let limit = rng.gen_range(2..=4i64);
+    let (then_blk, else_blk) = kb.branch(rv, CmpOp::Lt, limit);
+    let merge = kb.new_block();
+
+    kb.set_cur(then_blk);
+    let one = scratch(rng);
+    kb.emit(Instr::Const { dst: one, val: 1 });
+    kb.emit(Instr::BinOp { op: BinOp::Add, dst: rv, lhs: rv, rhs: one });
+    kb.emit(Instr::Store { addr: obj_field(layout, state_field, ra), src: rv });
+    kb.jump_to(merge);
+
+    kb.set_cur(else_blk);
+    let zero = scratch(rng);
+    kb.emit(Instr::Const { dst: zero, val: 0 });
+    kb.emit(Instr::Store { addr: obj_field(layout, state_field, ra), src: zero });
+    kb.jump_to(merge);
+
+    kb.set_cur(merge);
+}
+
+/// Call a subsystem helper.
+pub fn helper_call(kb: &mut KernelBuilder, helpers: &[FuncId], rng: &mut ChaCha8Rng) {
+    let func = helpers[rng.gen_range(0..helpers.len())];
+    kb.emit(Instr::Call { func });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{GenConfig, KernelBuilder};
+    use crate::program::RegionKind;
+    use rand::SeedableRng;
+
+    fn test_layout(kb: &mut KernelBuilder) -> SubsysLayout {
+        let id = kb.add_subsystem("t");
+        let objects_base = kb.alloc_region(id, RegionKind::ObjectArray, 24, "t.objects", 0);
+        let flags_base = kb.alloc_region(id, RegionKind::Flags, 8, "t.flags", 0);
+        let stats_base = kb.alloc_region(id, RegionKind::StatsCounter, 4, "t.stats", 0);
+        let bug_base = kb.alloc_region(id, RegionKind::Flags, 8, "t.bugstate", 0);
+        let gflags_base = kb.alloc_region(id, RegionKind::Flags, 4, "t.gflags", 0);
+        let gstats_base = kb.alloc_region(id, RegionKind::StatsCounter, 2, "t.gstats", 0);
+        let locks = vec![kb.alloc_lock(id)];
+        SubsysLayout {
+            id,
+            objects_base,
+            objects: 4,
+            fields: 6,
+            flags_base,
+            flags: 8,
+            stats_base,
+            stats: 4,
+            bug_base,
+            bug_words: 8,
+            locks,
+            gflags_base,
+            gflags: 4,
+            gstats_base,
+            gstats: 2,
+        }
+    }
+
+    #[test]
+    fn every_segment_produces_valid_kernel() {
+        // Emit each segment kind many times; the finished kernel must pass
+        // structural validation (balanced branches, in-range addresses).
+        let mut kb = KernelBuilder::new();
+        let layout = test_layout(&mut kb);
+        let f = kb.begin_func("t_all", layout.id);
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+        for _ in 0..50 {
+            emit_segment(&mut kb, &layout, &[], &mut rng);
+        }
+        kb.end_func();
+        kb.add_syscall("t_all", f, layout.id, vec![3]);
+        let k = kb.finish("t");
+        assert!(k.validate().is_empty());
+    }
+
+    #[test]
+    fn flag_guard_produces_branch_with_rare_arm() {
+        let mut kb = KernelBuilder::new();
+        let layout = test_layout(&mut kb);
+        kb.begin_func("t_g", layout.id);
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+        flag_guard(&mut kb, &layout, &mut rng);
+        kb.end_func();
+        let k = kb.finish("t");
+        // Entry block must end in a Branch whose compared immediate is 1..=3.
+        let entry = k.func(crate::ids::FuncId(0)).entry;
+        match k.block(entry).term {
+            crate::instr::Terminator::Branch { imm, cmp, .. } => {
+                assert_eq!(cmp, CmpOp::Eq);
+                assert!((1..=3).contains(&imm));
+            }
+            ref t => panic!("expected branch, got {t:?}"),
+        }
+    }
+
+    #[test]
+    fn locked_rmw_is_balanced() {
+        let mut kb = KernelBuilder::new();
+        let layout = test_layout(&mut kb);
+        kb.begin_func("t_l", layout.id);
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(2);
+        locked_rmw(&mut kb, &layout, &mut rng);
+        kb.end_func();
+        let k = kb.finish("t");
+        let blk = k.block(k.func(crate::ids::FuncId(0)).entry);
+        let locks = blk.instrs.iter().filter(|i| matches!(i, Instr::Lock { .. })).count();
+        let unlocks = blk.instrs.iter().filter(|i| matches!(i, Instr::Unlock { .. })).count();
+        assert_eq!(locks, 1);
+        assert_eq!(unlocks, 1);
+    }
+
+    #[test]
+    fn default_config_has_syscall_verbs_for_all_slots() {
+        let c = GenConfig::default();
+        assert!(c.syscalls_per_subsystem <= SYSCALL_VERBS.len());
+        assert!(c.helpers_per_subsystem <= HELPER_VERBS.len());
+    }
+}

@@ -1,0 +1,188 @@
+//! Strongly-typed identifiers used across the workspace.
+//!
+//! Every entity in the synthetic kernel (function, basic block, lock, planted
+//! bug, …) is referred to by a small copyable newtype over an integer index.
+//! Using distinct types prevents the classic off-by-one-crate mistakes of
+//! passing a block index where a function index is expected.
+
+use serde::{Deserialize, Serialize};
+
+macro_rules! id_type {
+    ($(#[$meta:meta])* $name:ident, $inner:ty) => {
+        $(#[$meta])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        pub struct $name(pub $inner);
+
+        impl $name {
+            /// Returns the raw index as a `usize` for table lookups.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl From<$inner> for $name {
+            #[inline]
+            fn from(v: $inner) -> Self {
+                Self(v)
+            }
+        }
+
+        impl std::fmt::Display for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, concat!(stringify!($name), "({})"), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// A function in the synthetic kernel (syscall entry point or helper).
+    FuncId,
+    u32
+);
+id_type!(
+    /// A basic block. Block ids are *global* across the whole kernel, so a
+    /// coverage map is a single bitmap indexed by `BlockId`.
+    BlockId,
+    u32
+);
+id_type!(
+    /// A kernel mutex. Locks are global objects; subsystems own disjoint
+    /// ranges of them.
+    LockId,
+    u16
+);
+id_type!(
+    /// A planted concurrency bug registered in the [`crate::bugs`] registry.
+    BugId,
+    u16
+);
+id_type!(
+    /// A subsystem (fs, net, drivers, …) of the synthetic kernel.
+    SubsystemId,
+    u16
+);
+id_type!(
+    /// An entry in the syscall catalogue.
+    SyscallId,
+    u32
+);
+id_type!(
+    /// A virtual CPU / kernel thread index inside the VM (0 or 1 for a CT).
+    ThreadId,
+    u8
+);
+
+/// A word address in the flat kernel address space.
+///
+/// The synthetic kernel's memory is a vector of `i64` words; an `Addr` is an
+/// index into it. Regions of the space are assigned to subsystems by the
+/// generator (see [`crate::program::MemRegion`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Addr(pub u32);
+
+impl Addr {
+    /// Raw index into the kernel memory vector.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Address `offset` words after `self`.
+    #[inline]
+    pub fn offset(self, offset: u32) -> Addr {
+        Addr(self.0 + offset)
+    }
+}
+
+impl std::fmt::Display for Addr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "0x{:x}", self.0)
+    }
+}
+
+/// A general-purpose register inside an interpreter frame.
+///
+/// Frames have [`NUM_REGS`] registers; syscall arguments are passed in
+/// `r0..r3` by the VM when it enters a syscall function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Reg(pub u8);
+
+/// Number of registers in a frame.
+pub const NUM_REGS: usize = 16;
+
+impl Reg {
+    /// Raw index into the frame register file.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for Reg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// The static location of one instruction: a block plus the index within it.
+///
+/// `InstrLoc` is the identity used to deduplicate data races ("unique
+/// potential data races" in the paper are unordered pairs of static
+/// instructions) and to express scheduling hints in graphs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct InstrLoc {
+    /// Block containing the instruction.
+    pub block: BlockId,
+    /// Index of the instruction within the block body.
+    pub idx: u16,
+}
+
+impl InstrLoc {
+    /// Convenience constructor.
+    #[inline]
+    pub fn new(block: BlockId, idx: u16) -> Self {
+        Self { block, idx }
+    }
+}
+
+impl std::fmt::Display for InstrLoc {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}", self.block, self.idx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_roundtrip_and_display() {
+        let b = BlockId(42);
+        assert_eq!(b.index(), 42);
+        assert_eq!(b.to_string(), "BlockId(42)");
+        assert_eq!(BlockId::from(42u32), b);
+    }
+
+    #[test]
+    fn addr_offset() {
+        let a = Addr(0x100);
+        assert_eq!(a.offset(8), Addr(0x108));
+        assert_eq!(a.to_string(), "0x100");
+    }
+
+    #[test]
+    fn instr_loc_ordering_groups_by_block() {
+        let a = InstrLoc::new(BlockId(1), 9);
+        let b = InstrLoc::new(BlockId(2), 0);
+        assert!(a < b);
+    }
+
+    #[test]
+    fn reg_display() {
+        assert_eq!(Reg(7).to_string(), "r7");
+    }
+}

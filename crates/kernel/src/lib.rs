@@ -1,0 +1,47 @@
+//! # snowcat-kernel — the synthetic kernel substrate
+//!
+//! Snowcat (SOSP 2023) tests the Linux kernel inside a modified QEMU. This
+//! reproduction replaces that substrate with a *procedurally generated
+//! synthetic kernel*: a program over a small typed instruction set with the
+//! structural properties concurrency testing actually exercises:
+//!
+//! * **syscalls** — entry functions grouped into subsystems (`fs`, `net`, …),
+//! * **shared state** — a flat kernel address space of words partitioned into
+//!   per-subsystem regions (objects, flags, counters, statistics),
+//! * **locks** — subsystem mutexes guarding some (but deliberately not all)
+//!   accesses,
+//! * **interleaving-dependent control flow** — branches whose predicates read
+//!   flags written by sibling syscalls, so which side of the branch runs
+//!   depends on the thread schedule (these produce the paper's *uncovered
+//!   reachable blocks*), and
+//! * **planted concurrency bugs** — atomicity violations, order violations and
+//!   multi-constraint bugs (modelled on the paper's bug #7) that fire a bug
+//!   oracle only under specific interleavings.
+//!
+//! Kernel *versions* (the paper evolves from Linux 5.12 → 5.13 → 6.1) are
+//! modelled by [`version::KernelVersion`]: an evolution pass regenerates a
+//! fraction of functions, appends syscalls and plants additional bugs, so a
+//! predictor trained on one version faces a realistic generalization gap on
+//! the next.
+//!
+//! Everything is deterministic given the generator seed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod asm;
+pub mod bugs;
+pub mod gen;
+pub mod ids;
+pub mod instr;
+pub mod program;
+pub mod stats;
+pub mod version;
+
+pub use bugs::{BugKind, BugSpec};
+pub use ids::{Addr, BlockId, BugId, FuncId, InstrLoc, LockId, Reg, SubsystemId, SyscallId, ThreadId};
+pub use instr::{AddrExpr, BinOp, CmpOp, Instr, Terminator};
+pub use program::{Block, Function, Kernel, MemRegion, RegionKind, Subsystem, SyscallSpec};
+pub use gen::{generate, BugPlan, GenConfig, KernelBuilder};
+pub use stats::{InstrMix, KernelStats};
+pub use version::{Evolution, KernelVersion, VersionSpec};

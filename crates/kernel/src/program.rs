@@ -1,0 +1,344 @@
+//! Whole-kernel program representation.
+//!
+//! A [`Kernel`] owns every basic block in a single global table so that block
+//! coverage is one bitmap and the whole-kernel CFG (built by `snowcat-cfg`)
+//! can address blocks uniformly — mirroring how the paper treats the compiled
+//! Linux image as one pool of ~2.7M blocks.
+
+use crate::bugs::BugSpec;
+use crate::ids::{Addr, BlockId, FuncId, LockId, SubsystemId, SyscallId};
+use crate::instr::{Instr, Terminator};
+use serde::{Deserialize, Serialize};
+
+/// A basic block: straight-line instructions plus a terminator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Block {
+    /// Function this block belongs to.
+    pub func: FuncId,
+    /// Straight-line body.
+    pub instrs: Vec<Instr>,
+    /// Control-flow exit.
+    pub term: Terminator,
+}
+
+impl Block {
+    /// Number of dynamic instructions executed when the block runs (the body;
+    /// the terminator is free, matching how hardware branch exits are not
+    /// separately counted by SKI's instruction-granularity scheduler).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// True if the body is empty (the block is just a jump/branch).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+}
+
+/// A function: an entry block plus the set of blocks it owns.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Function {
+    /// Human-readable name (`fs_inode_write`, `net_sock_poll_helper`, …).
+    pub name: String,
+    /// Subsystem this function belongs to.
+    pub subsystem: SubsystemId,
+    /// Entry block.
+    pub entry: BlockId,
+    /// All blocks of this function, in creation order (entry first).
+    pub blocks: Vec<BlockId>,
+}
+
+/// What a memory region is used for. Drives the benign-race classifier:
+/// races on pure statistics counters are the paper's canonical benign races.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RegionKind {
+    /// Per-object state (inode tables, socket state, device registers).
+    ObjectArray,
+    /// Global flags / state-machine words; races here are suspicious.
+    Flags,
+    /// Statistics counters; races here are typically benign.
+    StatsCounter,
+    /// Scratch configuration words written at init only.
+    Config,
+}
+
+/// A named region of the kernel address space owned by one subsystem.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MemRegion {
+    /// Owning subsystem.
+    pub subsystem: SubsystemId,
+    /// Purpose of the region.
+    pub kind: RegionKind,
+    /// First word of the region.
+    pub start: Addr,
+    /// Number of words.
+    pub len: u32,
+    /// Debug name (`fs.objects`, `net.flags`, …).
+    pub name: String,
+}
+
+impl MemRegion {
+    /// Whether `addr` falls inside this region.
+    #[inline]
+    pub fn contains(&self, addr: Addr) -> bool {
+        addr.0 >= self.start.0 && addr.0 < self.start.0 + self.len
+    }
+}
+
+/// A subsystem groups syscalls, locks and memory regions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Subsystem {
+    /// Subsystem name (`fs`, `net`, `drivers`, …).
+    pub name: String,
+    /// Locks owned by this subsystem.
+    pub locks: Vec<LockId>,
+    /// Indices into [`Kernel::regions`].
+    pub regions: Vec<usize>,
+}
+
+/// An entry in the syscall catalogue.
+///
+/// The STI fuzzer draws invocations from this spec: a syscall is a function
+/// plus the domains of its (up to three) integer arguments.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SyscallSpec {
+    /// Syscall name (`fs_open`, `net_sendmsg`, …).
+    pub name: String,
+    /// Entry function.
+    pub func: FuncId,
+    /// Owning subsystem.
+    pub subsystem: SubsystemId,
+    /// Inclusive upper bound of each argument (arg i is drawn from
+    /// `0..=arg_max[i]`); empty slice means the syscall takes no arguments.
+    pub arg_max: Vec<i64>,
+}
+
+/// The synthetic kernel image.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Kernel {
+    /// Human-readable version tag (`"5.12"`, `"6.1"`, …).
+    pub version: String,
+    /// Global block table.
+    pub blocks: Vec<Block>,
+    /// Function table.
+    pub funcs: Vec<Function>,
+    /// Subsystem table.
+    pub subsystems: Vec<Subsystem>,
+    /// Memory region table.
+    pub regions: Vec<MemRegion>,
+    /// Syscall catalogue.
+    pub syscalls: Vec<SyscallSpec>,
+    /// Planted bugs.
+    pub bugs: Vec<BugSpec>,
+    /// Total words of kernel memory.
+    pub mem_words: u32,
+    /// Total number of locks.
+    pub num_locks: u16,
+    /// Initial memory image (values at boot). Same length as `mem_words`.
+    pub init_mem: Vec<i64>,
+}
+
+impl Kernel {
+    /// Look up a block.
+    #[inline]
+    pub fn block(&self, id: BlockId) -> &Block {
+        &self.blocks[id.index()]
+    }
+
+    /// Look up a function.
+    #[inline]
+    pub fn func(&self, id: FuncId) -> &Function {
+        &self.funcs[id.index()]
+    }
+
+    /// Look up a syscall spec.
+    #[inline]
+    pub fn syscall(&self, id: SyscallId) -> &SyscallSpec {
+        &self.syscalls[id.index()]
+    }
+
+    /// Number of basic blocks in the image.
+    #[inline]
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// The region containing `addr`, if any.
+    pub fn region_of(&self, addr: Addr) -> Option<&MemRegion> {
+        self.regions.iter().find(|r| r.contains(addr))
+    }
+
+    /// Structural validation: every cross-reference must be in range and
+    /// intra-function terminator targets must stay within the function.
+    ///
+    /// The generator calls this after every build; tests call it on evolved
+    /// versions. Returns a list of human-readable violations (empty = valid).
+    pub fn validate(&self) -> Vec<String> {
+        let mut errs = Vec::new();
+        for (fi, f) in self.funcs.iter().enumerate() {
+            if f.entry.index() >= self.blocks.len() {
+                errs.push(format!("func {fi} entry {} out of range", f.entry));
+                continue;
+            }
+            if self.blocks[f.entry.index()].func.index() != fi {
+                errs.push(format!("func {fi} entry block owned by other function"));
+            }
+            for &b in &f.blocks {
+                if b.index() >= self.blocks.len() {
+                    errs.push(format!("func {fi} references missing block {b}"));
+                    continue;
+                }
+                let blk = &self.blocks[b.index()];
+                if blk.func.index() != fi {
+                    errs.push(format!("block {b} listed in func {fi} but owned by {}", blk.func));
+                }
+                for succ in blk.term.successors() {
+                    if succ.index() >= self.blocks.len() {
+                        errs.push(format!("block {b} terminator targets missing block {succ}"));
+                    } else if self.blocks[succ.index()].func.index() != fi {
+                        errs.push(format!("block {b} terminator escapes function {fi}"));
+                    }
+                }
+                for (ii, ins) in blk.instrs.iter().enumerate() {
+                    match ins {
+                        Instr::Call { func } if func.index() >= self.funcs.len() => {
+                            errs.push(format!("block {b} instr {ii} calls missing func {func}"));
+                        }
+                        Instr::Lock { lock } | Instr::Unlock { lock }
+                            if lock.index() >= usize::from(self.num_locks) =>
+                        {
+                            errs.push(format!("block {b} instr {ii} uses missing lock {lock}"));
+                        }
+                        Instr::Load { addr, .. } | Instr::Store { addr, .. } => {
+                            let (_, end) = addr.static_range();
+                            if end.0 > self.mem_words {
+                                errs.push(format!(
+                                    "block {b} instr {ii} may access {end} beyond memory ({})",
+                                    self.mem_words
+                                ));
+                            }
+                        }
+                        Instr::BugIf { bug, .. } if bug.index() >= self.bugs.len() => {
+                            errs.push(format!("block {b} instr {ii} references missing bug {bug}"));
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+        for (si, s) in self.syscalls.iter().enumerate() {
+            if s.func.index() >= self.funcs.len() {
+                errs.push(format!("syscall {si} entry func out of range"));
+            }
+            if s.arg_max.len() > 3 {
+                errs.push(format!("syscall {si} has more than 3 args"));
+            }
+        }
+        if self.init_mem.len() != self.mem_words as usize {
+            errs.push(format!(
+                "init_mem length {} != mem_words {}",
+                self.init_mem.len(),
+                self.mem_words
+            ));
+        }
+        errs
+    }
+
+    /// Total static instruction count (body instructions across all blocks).
+    pub fn num_instrs(&self) -> usize {
+        self.blocks.iter().map(|b| b.instrs.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::Reg;
+    use crate::instr::{AddrExpr, CmpOp};
+
+    fn tiny_kernel() -> Kernel {
+        // One function, two blocks: entry branches to a ret block.
+        let blocks = vec![
+            Block {
+                func: FuncId(0),
+                instrs: vec![Instr::Load { dst: Reg(0), addr: AddrExpr::Fixed(Addr(0)) }],
+                term: Terminator::Branch {
+                    lhs: Reg(0),
+                    cmp: CmpOp::Eq,
+                    imm: 0,
+                    then_blk: BlockId(1),
+                    else_blk: BlockId(1),
+                },
+            },
+            Block { func: FuncId(0), instrs: vec![], term: Terminator::Ret },
+        ];
+        Kernel {
+            version: "test".into(),
+            blocks,
+            funcs: vec![Function {
+                name: "f".into(),
+                subsystem: SubsystemId(0),
+                entry: BlockId(0),
+                blocks: vec![BlockId(0), BlockId(1)],
+            }],
+            subsystems: vec![Subsystem { name: "t".into(), locks: vec![], regions: vec![] }],
+            regions: vec![MemRegion {
+                subsystem: SubsystemId(0),
+                kind: RegionKind::Flags,
+                start: Addr(0),
+                len: 4,
+                name: "t.flags".into(),
+            }],
+            syscalls: vec![SyscallSpec {
+                name: "t_call".into(),
+                func: FuncId(0),
+                subsystem: SubsystemId(0),
+                arg_max: vec![3],
+            }],
+            bugs: vec![],
+            mem_words: 4,
+            num_locks: 0,
+            init_mem: vec![0; 4],
+        }
+    }
+
+    #[test]
+    fn tiny_kernel_validates() {
+        assert!(tiny_kernel().validate().is_empty());
+    }
+
+    #[test]
+    fn validation_catches_escaping_terminator() {
+        let mut k = tiny_kernel();
+        k.blocks[0].term = Terminator::Jump(BlockId(99));
+        assert!(!k.validate().is_empty());
+    }
+
+    #[test]
+    fn validation_catches_out_of_range_memory() {
+        let mut k = tiny_kernel();
+        k.blocks[0].instrs.push(Instr::Store { addr: AddrExpr::Fixed(Addr(100)), src: Reg(0) });
+        assert!(k.validate().iter().any(|e| e.contains("beyond memory")));
+    }
+
+    #[test]
+    fn validation_catches_bad_init_mem() {
+        let mut k = tiny_kernel();
+        k.init_mem.pop();
+        assert!(k.validate().iter().any(|e| e.contains("init_mem")));
+    }
+
+    #[test]
+    fn region_lookup() {
+        let k = tiny_kernel();
+        assert_eq!(k.region_of(Addr(2)).unwrap().name, "t.flags");
+        assert!(k.region_of(Addr(9)).is_none());
+    }
+
+    #[test]
+    fn num_instrs_counts_bodies() {
+        assert_eq!(tiny_kernel().num_instrs(), 1);
+    }
+}

@@ -1,0 +1,168 @@
+//! Kernel-image statistics: instruction mix, block-size distribution,
+//! per-subsystem inventories. Used by `snowcat kernel --stats` and by the
+//! dataset-composition reporting.
+
+use crate::ids::SubsystemId;
+use crate::instr::Instr;
+use crate::program::Kernel;
+use serde::{Deserialize, Serialize};
+
+/// Counts of each instruction kind across (part of) the image.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InstrMix {
+    /// `mov` immediates.
+    pub consts: usize,
+    /// ALU operations.
+    pub binops: usize,
+    /// Shared-memory loads.
+    pub loads: usize,
+    /// Shared-memory stores.
+    pub stores: usize,
+    /// Lock acquisitions.
+    pub locks: usize,
+    /// Lock releases.
+    pub unlocks: usize,
+    /// Helper calls.
+    pub calls: usize,
+    /// Bug oracles.
+    pub bug_checks: usize,
+    /// Padding.
+    pub nops: usize,
+}
+
+impl InstrMix {
+    /// Total instructions counted.
+    pub fn total(&self) -> usize {
+        self.consts
+            + self.binops
+            + self.loads
+            + self.stores
+            + self.locks
+            + self.unlocks
+            + self.calls
+            + self.bug_checks
+            + self.nops
+    }
+
+    fn add(&mut self, ins: &Instr) {
+        match ins {
+            Instr::Const { .. } => self.consts += 1,
+            Instr::BinOp { .. } => self.binops += 1,
+            Instr::Load { .. } => self.loads += 1,
+            Instr::Store { .. } => self.stores += 1,
+            Instr::Lock { .. } => self.locks += 1,
+            Instr::Unlock { .. } => self.unlocks += 1,
+            Instr::Call { .. } => self.calls += 1,
+            Instr::BugIf { .. } => self.bug_checks += 1,
+            Instr::Nop => self.nops += 1,
+        }
+    }
+
+    /// Fraction of instructions touching shared memory.
+    pub fn memory_fraction(&self) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            0.0
+        } else {
+            (self.loads + self.stores) as f64 / t as f64
+        }
+    }
+}
+
+/// Whole-image statistics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KernelStats {
+    /// Version tag.
+    pub version: String,
+    /// Total basic blocks.
+    pub blocks: usize,
+    /// Total functions.
+    pub funcs: usize,
+    /// Instruction mix over the whole image.
+    pub mix: InstrMix,
+    /// Block-size histogram: index = body length, clamped to
+    /// [`Self::SIZE_BUCKETS`]−1.
+    pub block_sizes: Vec<usize>,
+    /// Per-subsystem (blocks, instructions).
+    pub per_subsystem: Vec<(String, usize, usize)>,
+}
+
+impl KernelStats {
+    /// Histogram buckets for block sizes (last bucket is "≥ this").
+    pub const SIZE_BUCKETS: usize = 16;
+
+    /// Compute statistics for `kernel`.
+    pub fn compute(kernel: &Kernel) -> Self {
+        let mut mix = InstrMix::default();
+        let mut block_sizes = vec![0usize; Self::SIZE_BUCKETS];
+        let mut per_sub: Vec<(String, usize, usize)> = kernel
+            .subsystems
+            .iter()
+            .map(|s| (s.name.clone(), 0, 0))
+            .collect();
+        for block in &kernel.blocks {
+            block_sizes[block.len().min(Self::SIZE_BUCKETS - 1)] += 1;
+            let sub: SubsystemId = kernel.func(block.func).subsystem;
+            per_sub[sub.index()].1 += 1;
+            per_sub[sub.index()].2 += block.len();
+            for ins in &block.instrs {
+                mix.add(ins);
+            }
+        }
+        Self {
+            version: kernel.version.clone(),
+            blocks: kernel.num_blocks(),
+            funcs: kernel.funcs.len(),
+            mix,
+            block_sizes,
+            per_subsystem: per_sub,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate, GenConfig};
+
+    #[test]
+    fn mix_total_matches_kernel_instruction_count() {
+        let k = generate(&GenConfig::default());
+        let s = KernelStats::compute(&k);
+        assert_eq!(s.mix.total(), k.num_instrs());
+        assert_eq!(s.blocks, k.num_blocks());
+        assert_eq!(s.funcs, k.funcs.len());
+    }
+
+    #[test]
+    fn histogram_counts_every_block() {
+        let k = generate(&GenConfig::default());
+        let s = KernelStats::compute(&k);
+        assert_eq!(s.block_sizes.iter().sum::<usize>(), k.num_blocks());
+    }
+
+    #[test]
+    fn per_subsystem_totals_cover_everything() {
+        let k = generate(&GenConfig::default());
+        let s = KernelStats::compute(&k);
+        let blocks: usize = s.per_subsystem.iter().map(|(_, b, _)| b).sum();
+        let instrs: usize = s.per_subsystem.iter().map(|(_, _, i)| i).sum();
+        assert_eq!(blocks, k.num_blocks());
+        assert_eq!(instrs, k.num_instrs());
+    }
+
+    #[test]
+    fn generated_kernels_are_memory_heavy() {
+        // Concurrency testing needs shared-memory traffic; the generator
+        // should produce a solid fraction of loads/stores.
+        let k = generate(&GenConfig::default());
+        let s = KernelStats::compute(&k);
+        assert!(
+            s.mix.memory_fraction() > 0.25,
+            "memory fraction too low: {:.3}",
+            s.mix.memory_fraction()
+        );
+        assert!(s.mix.locks == s.mix.unlocks, "generator emits balanced lock pairs");
+        assert!(s.mix.bug_checks > 0);
+    }
+}

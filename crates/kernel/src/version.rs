@@ -1,0 +1,241 @@
+//! Kernel version evolution.
+//!
+//! The paper's generalization study (§5.4) moves from Linux 5.12 to 5.13
+//! (released ~2 months later, lightly changed) and 6.1 (released ~18 months
+//! later, heavily changed). We model a version as a base [`GenConfig`] plus a
+//! chain of [`Evolution`] passes. Each pass:
+//!
+//! * re-salts a fraction of existing function slots (those functions
+//!   regenerate with different bodies — "changed code"),
+//! * appends new syscalls per subsystem ("new features"), and
+//! * plants additional bugs ("newly introduced concurrency bugs").
+//!
+//! Unchanged slots keep their derived seed, so their instruction sequences
+//! are bit-identical across versions — exactly the property that lets a
+//! predictor trained on one version transfer to the next.
+
+use crate::gen::{
+    generate, BugPlan, GenConfig, slot_key, ROLE_BUG, ROLE_HELPER, ROLE_SYSCALL,
+};
+use crate::program::Kernel;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// One evolution pass applied to a kernel version.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Evolution {
+    /// Seed for selecting which functions change and their new salts.
+    pub seed: u64,
+    /// Fraction of existing function slots to regenerate (0.0–1.0).
+    pub frac_changed: f64,
+    /// New syscalls added per subsystem.
+    pub extra_syscalls: usize,
+    /// New helper functions added per subsystem.
+    pub extra_helpers: usize,
+    /// Newly planted bugs.
+    pub extra_bugs: BugPlan,
+    /// Version tag after this pass (`"5.13"`, …).
+    pub version: String,
+}
+
+/// A base config plus its evolution chain.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VersionSpec {
+    /// Base generation config (its `salts` must be empty; evolution owns
+    /// salting).
+    pub base: GenConfig,
+    /// Evolution passes applied in order.
+    pub evolutions: Vec<Evolution>,
+}
+
+impl VersionSpec {
+    /// A fresh spec with no evolutions.
+    pub fn new(base: GenConfig) -> Self {
+        Self { base, evolutions: Vec::new() }
+    }
+
+    /// Append an evolution pass, returning the extended spec.
+    pub fn evolved(mut self, e: Evolution) -> Self {
+        self.evolutions.push(e);
+        self
+    }
+
+    /// Resolve the spec into the effective [`GenConfig`] (counts grown, salts
+    /// accumulated).
+    pub fn config(&self) -> GenConfig {
+        let mut cfg = self.base.clone();
+        for e in &self.evolutions {
+            let mut rng = ChaCha8Rng::seed_from_u64(e.seed);
+            // Enumerate the slots that exist *before* this pass.
+            let mut slots = Vec::new();
+            for si in 0..cfg.num_subsystems {
+                for ci in 0..cfg.syscalls_per_subsystem {
+                    slots.push(slot_key(si, ROLE_SYSCALL, ci));
+                }
+                for hi in 0..cfg.helpers_per_subsystem {
+                    slots.push(slot_key(si, ROLE_HELPER, hi));
+                }
+            }
+            let bug_roles = [
+                (cfg.bugs.easy, ROLE_BUG),
+                (cfg.bugs.medium, ROLE_BUG + 1),
+                (cfg.bugs.hard, ROLE_BUG + 2),
+            ];
+            for (count, role) in bug_roles {
+                for wi in 0..count {
+                    let si = wi % cfg.num_subsystems;
+                    slots.push(slot_key(si, role, wi));
+                }
+            }
+            for slot in slots {
+                if rng.gen_bool(e.frac_changed.clamp(0.0, 1.0)) {
+                    cfg.salts.push((slot, rng.gen()));
+                }
+            }
+            cfg.syscalls_per_subsystem += e.extra_syscalls;
+            cfg.helpers_per_subsystem += e.extra_helpers;
+            cfg.bugs.easy += e.extra_bugs.easy;
+            cfg.bugs.medium += e.extra_bugs.medium;
+            cfg.bugs.hard += e.extra_bugs.hard;
+            cfg.version = e.version.clone();
+        }
+        cfg
+    }
+
+    /// Generate the kernel for this version.
+    pub fn build(&self) -> Kernel {
+        generate(&self.config())
+    }
+}
+
+/// The standard version family used across the evaluation, mirroring the
+/// paper's Linux 5.12 / 5.13 / 6.1 setup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum KernelVersion {
+    /// The base version: proof-of-concept training and the Razzer
+    /// known-races study happen here.
+    V5_12,
+    /// Two months later: lightly evolved.
+    V5_13,
+    /// Eighteen months later: heavily evolved, with many new planted bugs
+    /// (the paper finds 17 new bugs here).
+    V6_1,
+}
+
+impl KernelVersion {
+    /// The spec for this version, derived from a family seed.
+    pub fn spec(self, family_seed: u64) -> VersionSpec {
+        let base = GenConfig {
+            seed: family_seed,
+            version: "5.12".into(),
+            bugs: BugPlan { easy: 6, medium: 4, hard: 2 },
+            ..GenConfig::default()
+        };
+        let v5_13 = Evolution {
+            seed: family_seed ^ 0x5130,
+            frac_changed: 0.08,
+            extra_syscalls: 1,
+            extra_helpers: 0,
+            extra_bugs: BugPlan { easy: 1, medium: 1, hard: 0 },
+            version: "5.13".into(),
+        };
+        let v6_1 = Evolution {
+            seed: family_seed ^ 0x6100,
+            frac_changed: 0.35,
+            extra_syscalls: 2,
+            extra_helpers: 1,
+            extra_bugs: BugPlan { easy: 6, medium: 5, hard: 4 },
+            version: "6.1".into(),
+        };
+        let spec = VersionSpec::new(base);
+        match self {
+            KernelVersion::V5_12 => spec,
+            KernelVersion::V5_13 => spec.evolved(v5_13),
+            KernelVersion::V6_1 => spec.evolved(v5_13).evolved(v6_1),
+        }
+    }
+
+    /// Version tag string.
+    pub fn tag(self) -> &'static str {
+        match self {
+            KernelVersion::V5_12 => "5.12",
+            KernelVersion::V5_13 => "5.13",
+            KernelVersion::V6_1 => "6.1",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SEED: u64 = 0xABCD;
+
+    #[test]
+    fn versions_build_and_validate() {
+        for v in [KernelVersion::V5_12, KernelVersion::V5_13, KernelVersion::V6_1] {
+            let k = v.spec(SEED).build();
+            assert!(k.validate().is_empty(), "{} invalid", v.tag());
+            assert_eq!(k.version, v.tag());
+        }
+    }
+
+    #[test]
+    fn evolution_grows_the_kernel() {
+        let k512 = KernelVersion::V5_12.spec(SEED).build();
+        let k513 = KernelVersion::V5_13.spec(SEED).build();
+        let k61 = KernelVersion::V6_1.spec(SEED).build();
+        assert!(k513.syscalls.len() > k512.syscalls.len());
+        assert!(k61.syscalls.len() > k513.syscalls.len());
+        assert!(k513.bugs.len() > k512.bugs.len());
+        assert!(k61.bugs.len() > k513.bugs.len());
+    }
+
+    #[test]
+    fn v5_13_is_a_light_change() {
+        // Most syscalls keep identical instruction sequences 5.12 → 5.13.
+        let a = KernelVersion::V5_12.spec(SEED).build();
+        let b = KernelVersion::V5_13.spec(SEED).build();
+        let by_name = |k: &crate::program::Kernel, name: &str| -> Option<Vec<crate::instr::Instr>> {
+            let sc = k.syscalls.iter().find(|s| s.name == name)?;
+            Some(
+                k.func(sc.func)
+                    .blocks
+                    .iter()
+                    .flat_map(|&blk| k.block(blk).instrs.clone())
+                    .collect(),
+            )
+        };
+        let mut same = 0;
+        let mut total = 0;
+        for sc in &a.syscalls {
+            if let (Some(ia), Some(ib)) = (by_name(&a, &sc.name), by_name(&b, &sc.name)) {
+                total += 1;
+                if ia == ib {
+                    same += 1;
+                }
+            }
+        }
+        assert!(total > 0);
+        let frac = same as f64 / total as f64;
+        assert!(frac > 0.7, "expected most syscalls unchanged, got {frac}");
+    }
+
+    #[test]
+    fn v6_1_changes_more_than_v5_13() {
+        let base = KernelVersion::V5_12.spec(SEED).config();
+        let c13 = KernelVersion::V5_13.spec(SEED).config();
+        let c61 = KernelVersion::V6_1.spec(SEED).config();
+        assert!(!c13.salts.is_empty());
+        assert!(c61.salts.len() > c13.salts.len());
+        assert!(base.salts.is_empty());
+    }
+
+    #[test]
+    fn spec_config_is_deterministic() {
+        let a = KernelVersion::V6_1.spec(SEED).config();
+        let b = KernelVersion::V6_1.spec(SEED).config();
+        assert_eq!(a, b);
+    }
+}

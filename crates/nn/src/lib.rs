@@ -1,0 +1,37 @@
+//! # snowcat-nn — the learned coverage predictor, from scratch
+//!
+//! A small, dependency-free (beyond `rand`/`serde`) neural stack implementing
+//! the paper's PIC model family:
+//!
+//! * [`tensor`] — dense `f32` matrices and stable sigmoid/BCE primitives,
+//! * [`optim`] — Adam with global-norm clipping,
+//! * [`asmenc`] — masked-token pre-training for the assembly encoder (the
+//!   RoBERTa substitute; see DESIGN.md for the substitution argument),
+//! * [`model`] — the relational message-passing GNN with per-edge-type
+//!   weights, residual layers, a per-vertex sigmoid head, and hand-derived
+//!   backward passes (validated by finite-difference tests),
+//! * [`metrics`] — precision/recall/F1/F2/accuracy/balanced-accuracy/AP,
+//! * [`train`] — training loop with best-validation-AP checkpointing,
+//!   F2-based threshold tuning, evaluation helpers and JSON checkpoints.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod asmenc;
+pub mod metrics;
+pub mod model;
+pub mod optim;
+pub mod tensor;
+pub mod train;
+
+pub use asmenc::{pretrain, PretrainConfig, PretrainReport};
+pub use metrics::{average_precision, Confusion, MeanMetrics, PerGraphAverager};
+pub use model::{BaselinePredictor, PicConfig, PicModel, PicParams};
+pub use optim::{Adam, AdamConfig};
+pub use tensor::Mat;
+pub use train::{
+    evaluate, evaluate_pooled, evaluate_predictions, evaluate_predictions_pooled,
+    flow_average_precision, train, train_with_flows, tune_threshold_f2,
+    tune_threshold_f2_pooled, urb_average_precision, Checkpoint, FlowLabeledGraph, LabeledGraph,
+    TrainConfig, TrainReport,
+};

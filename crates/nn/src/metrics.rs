@@ -1,0 +1,265 @@
+//! Binary-classification metrics used throughout the evaluation:
+//! precision, recall, F1/F2, accuracy, balanced accuracy (Table 1) and
+//! average precision (model selection, §5.1.2).
+
+use serde::{Deserialize, Serialize};
+
+/// Confusion-matrix counts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Confusion {
+    /// True positives.
+    pub tp: usize,
+    /// False positives.
+    pub fp: usize,
+    /// True negatives.
+    pub tn: usize,
+    /// False negatives.
+    pub fn_: usize,
+}
+
+impl Confusion {
+    /// Accumulate predictions against labels.
+    pub fn from_preds(preds: &[bool], labels: &[bool]) -> Self {
+        assert_eq!(preds.len(), labels.len());
+        let mut c = Confusion::default();
+        for (&p, &y) in preds.iter().zip(labels) {
+            match (p, y) {
+                (true, true) => c.tp += 1,
+                (true, false) => c.fp += 1,
+                (false, false) => c.tn += 1,
+                (false, true) => c.fn_ += 1,
+            }
+        }
+        c
+    }
+
+    /// Merge another confusion matrix.
+    pub fn add(&mut self, o: &Confusion) {
+        self.tp += o.tp;
+        self.fp += o.fp;
+        self.tn += o.tn;
+        self.fn_ += o.fn_;
+    }
+
+    /// Total samples.
+    pub fn total(&self) -> usize {
+        self.tp + self.fp + self.tn + self.fn_
+    }
+
+    /// Precision = TP / (TP + FP); 0 when no positive predictions.
+    pub fn precision(&self) -> f64 {
+        let d = self.tp + self.fp;
+        if d == 0 {
+            0.0
+        } else {
+            self.tp as f64 / d as f64
+        }
+    }
+
+    /// Recall = TP / (TP + FN); 1 when there are no positives to find.
+    pub fn recall(&self) -> f64 {
+        let d = self.tp + self.fn_;
+        if d == 0 {
+            1.0
+        } else {
+            self.tp as f64 / d as f64
+        }
+    }
+
+    /// True-negative rate; 1 when there are no negatives.
+    pub fn specificity(&self) -> f64 {
+        let d = self.tn + self.fp;
+        if d == 0 {
+            1.0
+        } else {
+            self.tn as f64 / d as f64
+        }
+    }
+
+    /// F-beta score.
+    pub fn fbeta(&self, beta: f64) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        let b2 = beta * beta;
+        if p == 0.0 && r == 0.0 {
+            0.0
+        } else {
+            (1.0 + b2) * p * r / (b2 * p + r)
+        }
+    }
+
+    /// F1 score.
+    pub fn f1(&self) -> f64 {
+        self.fbeta(1.0)
+    }
+
+    /// F2 score (recall-weighted; the paper tunes its threshold on F2).
+    pub fn f2(&self) -> f64 {
+        self.fbeta(2.0)
+    }
+
+    /// Plain accuracy.
+    pub fn accuracy(&self) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            0.0
+        } else {
+            (self.tp + self.tn) as f64 / t as f64
+        }
+    }
+
+    /// Balanced accuracy = (recall + specificity) / 2.
+    pub fn balanced_accuracy(&self) -> f64 {
+        0.5 * (self.recall() + self.specificity())
+    }
+}
+
+/// Average Precision: mean precision over recall steps, computed by sorting
+/// scores descending and averaging precision at each true-positive rank.
+pub fn average_precision(scores: &[f32], labels: &[bool]) -> f64 {
+    assert_eq!(scores.len(), labels.len());
+    let total_pos = labels.iter().filter(|&&l| l).count();
+    if total_pos == 0 {
+        return 0.0;
+    }
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal));
+    let mut tp = 0usize;
+    let mut ap = 0.0f64;
+    for (rank, &i) in order.iter().enumerate() {
+        if labels[i] {
+            tp += 1;
+            ap += tp as f64 / (rank + 1) as f64;
+        }
+    }
+    ap / total_pos as f64
+}
+
+/// Metric row averaged over graphs (the paper's Table 1 reports "average
+/// metrics across all graphs").
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct MeanMetrics {
+    /// Mean F1 across graphs.
+    pub f1: f64,
+    /// Mean precision.
+    pub precision: f64,
+    /// Mean recall.
+    pub recall: f64,
+    /// Mean accuracy.
+    pub accuracy: f64,
+    /// Mean balanced accuracy.
+    pub balanced_accuracy: f64,
+    /// Graphs averaged over.
+    pub graphs: usize,
+}
+
+/// Accumulates per-graph confusions and averages the derived metrics.
+#[derive(Debug, Default, Clone)]
+pub struct PerGraphAverager {
+    sums: MeanMetrics,
+}
+
+impl PerGraphAverager {
+    /// Fresh averager.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one graph's confusion (skips graphs with no samples).
+    pub fn push(&mut self, c: &Confusion) {
+        if c.total() == 0 {
+            return;
+        }
+        self.sums.f1 += c.f1();
+        self.sums.precision += c.precision();
+        self.sums.recall += c.recall();
+        self.sums.accuracy += c.accuracy();
+        self.sums.balanced_accuracy += c.balanced_accuracy();
+        self.sums.graphs += 1;
+    }
+
+    /// The averaged row.
+    pub fn finish(&self) -> MeanMetrics {
+        let n = self.sums.graphs.max(1) as f64;
+        MeanMetrics {
+            f1: self.sums.f1 / n,
+            precision: self.sums.precision / n,
+            recall: self.sums.recall / n,
+            accuracy: self.sums.accuracy / n,
+            balanced_accuracy: self.sums.balanced_accuracy / n,
+            graphs: self.sums.graphs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn confusion_from_preds() {
+        let c = Confusion::from_preds(
+            &[true, true, false, false],
+            &[true, false, true, false],
+        );
+        assert_eq!(c, Confusion { tp: 1, fp: 1, tn: 1, fn_: 1 });
+        assert!((c.precision() - 0.5).abs() < 1e-12);
+        assert!((c.recall() - 0.5).abs() < 1e-12);
+        assert!((c.f1() - 0.5).abs() < 1e-12);
+        assert!((c.accuracy() - 0.5).abs() < 1e-12);
+        assert!((c.balanced_accuracy() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn f2_weights_recall() {
+        // High recall, low precision → F2 > F1.
+        let c = Confusion { tp: 9, fp: 18, tn: 0, fn_: 1 };
+        assert!(c.f2() > c.f1());
+    }
+
+    #[test]
+    fn perfect_predictor_metrics() {
+        let c = Confusion::from_preds(&[true, false, true], &[true, false, true]);
+        assert_eq!(c.precision(), 1.0);
+        assert_eq!(c.recall(), 1.0);
+        assert_eq!(c.f1(), 1.0);
+        assert_eq!(c.balanced_accuracy(), 1.0);
+    }
+
+    #[test]
+    fn average_precision_perfect_ranking_is_one() {
+        let scores = [0.9f32, 0.8, 0.2, 0.1];
+        let labels = [true, true, false, false];
+        assert!((average_precision(&scores, &labels) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn average_precision_worst_ranking() {
+        let scores = [0.9f32, 0.8, 0.2, 0.1];
+        let labels = [false, false, true, true];
+        // Precision at ranks 3 and 4: 1/3 and 2/4; AP = (1/3 + 1/2)/2.
+        let expect = (1.0 / 3.0 + 0.5) / 2.0;
+        assert!((average_precision(&scores, &labels) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn averager_means_per_graph() {
+        let mut avg = PerGraphAverager::new();
+        avg.push(&Confusion { tp: 1, fp: 0, tn: 1, fn_: 0 }); // perfect
+        avg.push(&Confusion { tp: 0, fp: 1, tn: 0, fn_: 1 }); // all wrong
+        let m = avg.finish();
+        assert_eq!(m.graphs, 2);
+        assert!((m.accuracy - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn skewed_labels_make_all_pos_accuracy_tiny() {
+        // The Table 1 phenomenon: with ~1% positives, All-pos accuracy ≈ 1%.
+        let labels: Vec<bool> = (0..1000).map(|i| i % 100 == 0).collect();
+        let preds = vec![true; 1000];
+        let c = Confusion::from_preds(&preds, &labels);
+        assert!(c.accuracy() < 0.02);
+        assert_eq!(c.recall(), 1.0);
+        assert!(c.precision() < 0.02);
+    }
+}

@@ -1,0 +1,878 @@
+//! The PIC (per-interleaving coverage) model: typed-edge relational GNN over
+//! CT graphs with a token-embedding assembly encoder.
+//!
+//! Architecture (mirroring §3.2 of the paper at reproduction scale):
+//!
+//! * **assembly encoder** — mean of learned token embeddings over the
+//!   block's numeric-elided assembly tokens (the BERT-substitute; it is
+//!   pre-trained with a masked-token objective in [`crate::asmenc`] and
+//!   fine-tuned during GNN training, matching the paper's lifecycle);
+//! * **vertex/edge type embeddings** — learnable vectors per vertex type (2)
+//!   and per edge type (handled as per-type weight matrices, the R-GCN
+//!   formulation of "typed edges into a GCN");
+//! * **L message-passing layers** — `h' = relu(W_self·h + Σ_r W_r·mean_r(h) +
+//!   b) + h` with mean aggregation per edge type and residual connections
+//!   (the paper found deeper GNNs help; depth is configurable);
+//! * **head** — per-vertex logistic classifier → covered / not covered.
+//!
+//! Forward and backward passes are hand-derived (no autograd): activations
+//! are cached per layer, gradients flow through the scatter/gather
+//! aggregation exactly adjoint to the forward.
+
+use crate::tensor::{bce_grad, bce_with_logit, sigmoid, Mat};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+use snowcat_graph::{CtGraph, VertKind, NUM_SCHED_MARKS, VOCAB_SIZE};
+
+/// Number of edge types (the paper's five plus shortcut edges).
+pub const NUM_EDGE_TYPES: usize = 6;
+/// Number of vertex types (SCB / URB).
+pub const NUM_VERT_TYPES: usize = 2;
+
+/// Model hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PicConfig {
+    /// Hidden dimension.
+    pub hidden: usize,
+    /// Message-passing layers.
+    pub layers: usize,
+    /// Token vocabulary size (fixed by the graph crate's hashing).
+    pub vocab: usize,
+    /// Positive-class weight in the BCE loss (labels are skewed: most URBs
+    /// are not covered).
+    pub pos_weight: f32,
+    /// Extra loss weight on URB vertices. SCB labels are overwhelmingly
+    /// positive and easy; URBs carry the signal the tester actually uses, so
+    /// at reproduction scale (thousands of graphs instead of the paper's
+    /// millions) they get emphasized in the objective.
+    pub urb_weight: f32,
+    /// Loss weight of the optional inter-thread-flow head (§6 future work:
+    /// "training PIC to predict the inter-thread data flows"). Only used by
+    /// [`PicModel::backward_with_flows`].
+    pub flow_weight: f32,
+    /// Initialization seed.
+    pub seed: u64,
+}
+
+impl Default for PicConfig {
+    fn default() -> Self {
+        Self { hidden: 32, layers: 5, vocab: VOCAB_SIZE, pos_weight: 4.0, urb_weight: 3.0, flow_weight: 1.0, seed: 0x91C }
+    }
+}
+
+/// One message-passing layer's parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerParams {
+    /// Self-transform.
+    pub w_self: Mat,
+    /// Per-edge-type transforms.
+    pub w_rel: Vec<Mat>,
+    /// Bias.
+    pub b: Mat,
+}
+
+/// All learnable parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PicParams {
+    /// Token embedding table (vocab × hidden) — the assembly encoder.
+    pub tok_emb: Mat,
+    /// Vertex-type embeddings (2 × hidden).
+    pub type_emb: Mat,
+    /// Schedule-mark embeddings (3 × hidden): none / yield-source /
+    /// resume-target, the §6-style node-type enhancement.
+    pub sched_emb: Mat,
+    /// Input transform.
+    pub w_in: Mat,
+    /// Input bias.
+    pub b_in: Mat,
+    /// Message-passing layers.
+    pub layers: Vec<LayerParams>,
+    /// Output head weight (hidden × 1).
+    pub w_out: Mat,
+    /// Output head bias (1 × 1).
+    pub b_out: Mat,
+    /// Flow-head bilinear form (hidden × hidden): scores an inter-thread
+    /// potential-flow edge (u→v) as `σ(h_u · W_flow h_v + b_flow)`.
+    pub w_flow: Mat,
+    /// Flow-head bias (1 × 1).
+    pub b_flow: Mat,
+}
+
+impl PicParams {
+    /// Randomly initialized parameters.
+    pub fn init(cfg: &PicConfig) -> Self {
+        let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+        let d = cfg.hidden;
+        Self {
+            tok_emb: Mat::xavier(&mut rng, cfg.vocab, d),
+            type_emb: Mat::xavier(&mut rng, NUM_VERT_TYPES, d),
+            sched_emb: Mat::xavier(&mut rng, NUM_SCHED_MARKS, d),
+            w_in: Mat::xavier(&mut rng, d, d),
+            b_in: Mat::zeros(1, d),
+            layers: (0..cfg.layers)
+                .map(|_| LayerParams {
+                    w_self: Mat::xavier(&mut rng, d, d),
+                    w_rel: (0..NUM_EDGE_TYPES).map(|_| Mat::xavier(&mut rng, d, d)).collect(),
+                    b: Mat::zeros(1, d),
+                })
+                .collect(),
+            w_out: Mat::xavier(&mut rng, d, 1),
+            b_out: Mat::zeros(1, 1),
+            w_flow: Mat::xavier(&mut rng, d, d),
+            b_flow: Mat::zeros(1, 1),
+        }
+    }
+
+    /// Zeroed gradients with the same shapes.
+    pub fn zeros_like(&self) -> Self {
+        let z = |m: &Mat| Mat::zeros(m.rows, m.cols);
+        Self {
+            tok_emb: z(&self.tok_emb),
+            type_emb: z(&self.type_emb),
+            sched_emb: z(&self.sched_emb),
+            w_in: z(&self.w_in),
+            b_in: z(&self.b_in),
+            layers: self
+                .layers
+                .iter()
+                .map(|l| LayerParams {
+                    w_self: z(&l.w_self),
+                    w_rel: l.w_rel.iter().map(z).collect(),
+                    b: z(&l.b),
+                })
+                .collect(),
+            w_out: z(&self.w_out),
+            b_out: z(&self.b_out),
+            w_flow: z(&self.w_flow),
+            b_flow: z(&self.b_flow),
+        }
+    }
+
+    /// Flat view of all tensors, in a stable order (aligned with
+    /// [`Self::tensors_mut`] and the optimizer's state).
+    pub fn tensors(&self) -> Vec<&Mat> {
+        #[allow(clippy::vec_init_then_push)]
+        let mut v = vec![&self.tok_emb, &self.type_emb, &self.sched_emb, &self.w_in, &self.b_in];
+        for l in &self.layers {
+            v.push(&l.w_self);
+            for w in &l.w_rel {
+                v.push(w);
+            }
+            v.push(&l.b);
+        }
+        v.push(&self.w_out);
+        v.push(&self.b_out);
+        v.push(&self.w_flow);
+        v.push(&self.b_flow);
+        v
+    }
+
+    /// Flat mutable view, same order as [`Self::tensors`].
+    #[allow(clippy::vec_init_then_push)]
+    pub fn tensors_mut(&mut self) -> Vec<&mut Mat> {
+        let mut v: Vec<&mut Mat> = Vec::new();
+        v.push(&mut self.tok_emb);
+        v.push(&mut self.type_emb);
+        v.push(&mut self.sched_emb);
+        v.push(&mut self.w_in);
+        v.push(&mut self.b_in);
+        for l in &mut self.layers {
+            v.push(&mut l.w_self);
+            for w in &mut l.w_rel {
+                v.push(w);
+            }
+            v.push(&mut l.b);
+        }
+        v.push(&mut self.w_out);
+        v.push(&mut self.b_out);
+        v.push(&mut self.w_flow);
+        v.push(&mut self.b_flow);
+        v
+    }
+
+    /// Shapes of all tensors (for optimizer construction).
+    pub fn shapes(&self) -> Vec<(usize, usize)> {
+        self.tensors().iter().map(|m| (m.rows, m.cols)).collect()
+    }
+
+    /// Zero every tensor (gradient reset).
+    pub fn zero_all(&mut self) {
+        for t in self.tensors_mut() {
+            t.zero();
+        }
+    }
+}
+
+/// Per-graph adjacency in aggregation-friendly form.
+struct GraphAdj {
+    /// Per edge type: (from, to) pairs.
+    edges: [Vec<(usize, usize)>; NUM_EDGE_TYPES],
+    /// Per edge type: in-degree per vertex (for mean aggregation).
+    indeg: [Vec<f32>; NUM_EDGE_TYPES],
+}
+
+impl GraphAdj {
+    fn build(graph: &CtGraph) -> Self {
+        let n = graph.num_verts();
+        let mut edges: [Vec<(usize, usize)>; NUM_EDGE_TYPES] = Default::default();
+        let mut indeg: [Vec<f32>; NUM_EDGE_TYPES] = Default::default();
+        for d in &mut indeg {
+            d.resize(n, 0.0);
+        }
+        for e in &graph.edges {
+            let r = e.kind.index();
+            edges[r].push((e.from as usize, e.to as usize));
+            indeg[r][e.to as usize] += 1.0;
+        }
+        Self { edges, indeg }
+    }
+
+    /// Mean-aggregate `h` along type-`r` edges: `out[v] = mean_{u→v} h[u]`.
+    fn aggregate(&self, r: usize, h: &Mat) -> Mat {
+        let mut out = Mat::zeros(h.rows, h.cols);
+        for &(u, v) in &self.edges[r] {
+            // `h` and `out` are distinct matrices, so the borrows are
+            // disjoint — no per-edge allocation needed in this hot path.
+            let src = h.row(u);
+            for (o, s) in out.row_mut(v).iter_mut().zip(src) {
+                *o += s;
+            }
+        }
+        for v in 0..h.rows {
+            let d = self.indeg[r][v];
+            if d > 1.0 {
+                for o in out.row_mut(v) {
+                    *o /= d;
+                }
+            }
+        }
+        out
+    }
+
+    /// Adjoint of [`Self::aggregate`]: scatter `grad_out` back to sources.
+    fn aggregate_backward(&self, r: usize, grad_out: &Mat, grad_h: &mut Mat) {
+        for &(u, v) in &self.edges[r] {
+            let d = self.indeg[r][v].max(1.0);
+            let g = grad_out.row(v).to_vec();
+            for (o, gv) in grad_h.row_mut(u).iter_mut().zip(&g) {
+                *o += gv / d;
+            }
+        }
+    }
+}
+
+/// Cached activations from one forward pass (needed for backward).
+pub struct ForwardCache {
+    x: Mat,            // input features (type emb + asm emb), n×d
+    z_in: Mat,         // pre-relu input transform
+    layer_h: Vec<Mat>, // input H of each layer
+    layer_m: Vec<Vec<Mat>>,
+    layer_z: Vec<Mat>, // pre-relu per layer
+    h_final: Mat,
+    /// Per-vertex logits.
+    pub logits: Vec<f32>,
+}
+
+/// The PIC model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PicModel {
+    /// Hyperparameters.
+    pub cfg: PicConfig,
+    /// Learnable parameters.
+    pub params: PicParams,
+}
+
+impl PicModel {
+    /// Freshly initialized model.
+    pub fn new(cfg: PicConfig) -> Self {
+        let params = PicParams::init(&cfg);
+        Self { cfg, params }
+    }
+
+    fn input_features(&self, graph: &CtGraph) -> Mat {
+        let d = self.cfg.hidden;
+        let n = graph.num_verts();
+        let mut x = Mat::zeros(n, d);
+        for (i, v) in graph.verts.iter().enumerate() {
+            let trow = match v.kind {
+                VertKind::Scb => self.params.type_emb.row(0).to_vec(),
+                VertKind::Urb => self.params.type_emb.row(1).to_vec(),
+            };
+            let srow = self.params.sched_emb.row(v.sched_mark.index()).to_vec();
+            let row = x.row_mut(i);
+            for ((o, t), m) in row.iter_mut().zip(&trow).zip(&srow) {
+                *o += t + m;
+            }
+            if !v.tokens.is_empty() {
+                let inv = 1.0 / v.tokens.len() as f32;
+                for &tok in &v.tokens {
+                    let e = self.params.tok_emb.row(tok as usize);
+                    for (o, t) in x.row_mut(i).iter_mut().zip(e) {
+                        *o += t * inv;
+                    }
+                }
+            }
+        }
+        x
+    }
+
+    /// Forward pass returning probabilities and the activation cache.
+    pub fn forward_cached(&self, graph: &CtGraph) -> (Vec<f32>, ForwardCache) {
+        let adj = GraphAdj::build(graph);
+        let x = self.input_features(graph);
+        // Input transform.
+        let mut z_in = x.matmul(&self.params.w_in);
+        z_in.add_row_broadcast(&self.params.b_in);
+        let mut h = z_in.clone();
+        h.relu_inplace();
+
+        let mut layer_h = Vec::with_capacity(self.params.layers.len());
+        let mut layer_m = Vec::with_capacity(self.params.layers.len());
+        let mut layer_z = Vec::with_capacity(self.params.layers.len());
+        for layer in &self.params.layers {
+            let h_in = h.clone();
+            let mut z = h_in.matmul(&layer.w_self);
+            let mut ms = Vec::with_capacity(NUM_EDGE_TYPES);
+            for r in 0..NUM_EDGE_TYPES {
+                let m = adj.aggregate(r, &h_in);
+                z.add_assign(&m.matmul(&layer.w_rel[r]));
+                ms.push(m);
+            }
+            z.add_row_broadcast(&layer.b);
+            let mut h_out = z.clone();
+            h_out.relu_inplace();
+            h_out.add_assign(&h_in); // residual
+            layer_h.push(h_in);
+            layer_m.push(ms);
+            layer_z.push(z);
+            h = h_out;
+        }
+
+        let logits: Vec<f32> = (0..h.rows)
+            .map(|i| {
+                let mut acc = self.params.b_out.data[0];
+                for (hv, wv) in h.row(i).iter().zip(self.params.w_out.data.iter()) {
+                    acc += hv * wv;
+                }
+                acc
+            })
+            .collect();
+        let probs = logits.iter().map(|&z| sigmoid(z)).collect();
+        let cache =
+            ForwardCache { x, z_in, layer_h, layer_m, layer_z, h_final: h, logits };
+        (probs, cache)
+    }
+
+    /// Forward pass returning only probabilities (inference path).
+    pub fn forward(&self, graph: &CtGraph) -> Vec<f32> {
+        self.forward_cached(graph).0
+    }
+
+    /// Thresholded prediction.
+    pub fn predict(&self, graph: &CtGraph, threshold: f32) -> Vec<bool> {
+        self.forward(graph).into_iter().map(|p| p >= threshold).collect()
+    }
+
+    /// Backward pass: accumulates gradients into `grads` and returns the
+    /// mean per-vertex BCE loss of this graph.
+    #[allow(clippy::needless_range_loop)]
+    pub fn backward(
+        &self,
+        graph: &CtGraph,
+        cache: &ForwardCache,
+        labels: &[bool],
+        grads: &mut PicParams,
+    ) -> f32 {
+        let n = graph.num_verts();
+        assert_eq!(labels.len(), n, "label count mismatch");
+        if n == 0 {
+            return 0.0;
+        }
+        let adj = GraphAdj::build(graph);
+        let w = self.cfg.pos_weight;
+        let inv_n = 1.0 / n as f32;
+        let vw = |i: usize| {
+            if graph.verts[i].kind == VertKind::Urb {
+                self.cfg.urb_weight
+            } else {
+                1.0
+            }
+        };
+        let loss: f32 = cache
+            .logits
+            .iter()
+            .zip(labels)
+            .enumerate()
+            .map(|(i, (&z, &y))| vw(i) * bce_with_logit(z, y, w))
+            .sum::<f32>()
+            * inv_n;
+
+        // Head gradients.
+        let mut dh = Mat::zeros(n, self.cfg.hidden);
+        for i in 0..n {
+            let dz = vw(i) * bce_grad(cache.logits[i], labels[i], w) * inv_n;
+            grads.b_out.data[0] += dz;
+            for (gw, hv) in grads.w_out.data.iter_mut().zip(cache.h_final.row(i)) {
+                *gw += dz * hv;
+            }
+            for (g, wv) in dh.row_mut(i).iter_mut().zip(&self.params.w_out.data) {
+                *g += dz * wv;
+            }
+        }
+
+        self.backward_from_dh(graph, cache, &adj, dh, grads);
+        loss
+    }
+
+    /// Joint backward for the vertex-coverage head *and* the inter-thread
+    /// flow head (§6 future work). `flow_labels` is aligned with
+    /// `graph.edges`; only `InterFlow` edges contribute. Returns
+    /// `(vertex_loss, flow_loss)`.
+    #[allow(clippy::needless_range_loop)]
+    pub fn backward_with_flows(
+        &self,
+        graph: &CtGraph,
+        cache: &ForwardCache,
+        labels: &[bool],
+        flow_labels: &[bool],
+        grads: &mut PicParams,
+    ) -> (f32, f32) {
+        let n = graph.num_verts();
+        assert_eq!(labels.len(), n, "label count mismatch");
+        assert_eq!(flow_labels.len(), graph.edges.len(), "flow label count mismatch");
+        if n == 0 {
+            return (0.0, 0.0);
+        }
+        let adj = GraphAdj::build(graph);
+        let w = self.cfg.pos_weight;
+        let inv_n = 1.0 / n as f32;
+        let vw = |i: usize| {
+            if graph.verts[i].kind == VertKind::Urb {
+                self.cfg.urb_weight
+            } else {
+                1.0
+            }
+        };
+        let vertex_loss: f32 = cache
+            .logits
+            .iter()
+            .zip(labels)
+            .enumerate()
+            .map(|(i, (&z, &y))| vw(i) * bce_with_logit(z, y, w))
+            .sum::<f32>()
+            * inv_n;
+
+        let mut dh = Mat::zeros(n, self.cfg.hidden);
+        for i in 0..n {
+            let dz = vw(i) * bce_grad(cache.logits[i], labels[i], w) * inv_n;
+            grads.b_out.data[0] += dz;
+            for (gw, hv) in grads.w_out.data.iter_mut().zip(cache.h_final.row(i)) {
+                *gw += dz * hv;
+            }
+            for (g, wv) in dh.row_mut(i).iter_mut().zip(&self.params.w_out.data) {
+                *g += dz * wv;
+            }
+        }
+
+        // Flow head: z_e = h_u · (W_flow h_v) + b_flow on InterFlow edges.
+        let inter: Vec<usize> = graph
+            .edges
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.kind == snowcat_graph::EdgeKind::InterFlow)
+            .map(|(i, _)| i)
+            .collect();
+        let mut flow_loss = 0.0f32;
+        if !inter.is_empty() {
+            let inv_e = self.cfg.flow_weight / inter.len() as f32;
+            let d = self.cfg.hidden;
+            for &ei in &inter {
+                let e = graph.edges[ei];
+                let (u, v) = (e.from as usize, e.to as usize);
+                let hu = cache.h_final.row(u);
+                let hv = cache.h_final.row(v);
+                // wv_ = W_flow @ h_v ; z = h_u · wv_ + b.
+                let mut wv_ = vec![0.0f32; d];
+                for (r_i, wrow) in (0..d).zip(self.params.w_flow.data.chunks(d)) {
+                    let mut acc = 0.0;
+                    for (w_, hvv) in wrow.iter().zip(hv) {
+                        acc += w_ * hvv;
+                    }
+                    wv_[r_i] = acc;
+                }
+                let z: f32 = hu.iter().zip(&wv_).map(|(a, b)| a * b).sum::<f32>()
+                    + self.params.b_flow.data[0];
+                let y = flow_labels[ei];
+                flow_loss += bce_with_logit(z, y, 1.0) * inv_e;
+                let dz = bce_grad(z, y, 1.0) * inv_e;
+                grads.b_flow.data[0] += dz;
+                // dW[r][c] += dz * hu[r] * hv[c]; dh_u += dz * W hv; dh_v += dz * Wᵀ hu.
+                let hu_v: Vec<f32> = hu.to_vec();
+                let hv_v: Vec<f32> = hv.to_vec();
+                for r_i in 0..d {
+                    let gr = &mut grads.w_flow.data[r_i * d..(r_i + 1) * d];
+                    let hur = hu_v[r_i];
+                    for (g, hvv) in gr.iter_mut().zip(&hv_v) {
+                        *g += dz * hur * hvv;
+                    }
+                }
+                for (g, wvv) in dh.row_mut(u).iter_mut().zip(&wv_) {
+                    *g += dz * wvv;
+                }
+                // Wᵀ hu
+                let mut wtu = vec![0.0f32; d];
+                for r_i in 0..d {
+                    let wrow = &self.params.w_flow.data[r_i * d..(r_i + 1) * d];
+                    let hur = hu_v[r_i];
+                    for (o, w_) in wtu.iter_mut().zip(wrow) {
+                        *o += hur * w_;
+                    }
+                }
+                for (g, t) in dh.row_mut(v).iter_mut().zip(&wtu) {
+                    *g += dz * t;
+                }
+            }
+        }
+
+        self.backward_from_dh(graph, cache, &adj, dh, grads);
+        (vertex_loss, flow_loss)
+    }
+
+    /// Predicted inter-thread-flow probabilities, aligned with
+    /// `graph.edges` (0.0 for non-InterFlow edges).
+    pub fn forward_flows(&self, graph: &CtGraph, cache: &ForwardCache) -> Vec<f32> {
+        let d = self.cfg.hidden;
+        graph
+            .edges
+            .iter()
+            .map(|e| {
+                if e.kind != snowcat_graph::EdgeKind::InterFlow {
+                    return 0.0;
+                }
+                let hu = cache.h_final.row(e.from as usize);
+                let hv = cache.h_final.row(e.to as usize);
+                let mut z = self.params.b_flow.data[0];
+                for (r_i, wrow) in (0..d).zip(self.params.w_flow.data.chunks(d)) {
+                    let mut acc = 0.0;
+                    for (w_, hvv) in wrow.iter().zip(hv) {
+                        acc += w_ * hvv;
+                    }
+                    z += hu[r_i] * acc;
+                }
+                sigmoid(z)
+            })
+            .collect()
+    }
+
+    /// Shared trunk backward: given the gradient at the final hidden state,
+    /// propagate through layers, input transform and embeddings.
+    fn backward_from_dh(
+        &self,
+        graph: &CtGraph,
+        cache: &ForwardCache,
+        adj: &GraphAdj,
+        mut dh: Mat,
+        grads: &mut PicParams,
+    ) {
+        // Layers, in reverse.
+        for (li, layer) in self.params.layers.iter().enumerate().rev() {
+            let h_in = &cache.layer_h[li];
+            let z = &cache.layer_z[li];
+            // h_out = relu(z) + h_in  →  dz = dh ⊙ relu'(z); dh_in = dh (residual)
+            let mut dz = dh.clone();
+            dz.relu_backward_mask(z);
+            let mut dh_in = dh; // residual path
+            // Self path.
+            grads.layers[li].w_self.add_assign(&h_in.matmul_tn(&dz));
+            dh_in.add_assign(&dz.matmul_nt(&layer.w_self));
+            // Relational paths.
+            for r in 0..NUM_EDGE_TYPES {
+                let m = &cache.layer_m[li][r];
+                grads.layers[li].w_rel[r].add_assign(&m.matmul_tn(&dz));
+                let dm = dz.matmul_nt(&layer.w_rel[r]);
+                adj.aggregate_backward(r, &dm, &mut dh_in);
+            }
+            grads.layers[li].b.add_assign(&dz.col_sum());
+            dh = dh_in;
+        }
+
+        // Input transform: h0 = relu(z_in), z_in = x @ w_in + b_in.
+        let mut dz_in = dh;
+        dz_in.relu_backward_mask(&cache.z_in);
+        grads.w_in.add_assign(&cache.x.matmul_tn(&dz_in));
+        grads.b_in.add_assign(&dz_in.col_sum());
+        let dx = dz_in.matmul_nt(&self.params.w_in);
+
+        // Embedding gradients.
+        for (i, v) in graph.verts.iter().enumerate() {
+            let trow = match v.kind {
+                VertKind::Scb => 0,
+                VertKind::Urb => 1,
+            };
+            let dxr = dx.row(i).to_vec();
+            for (g, d) in grads.type_emb.row_mut(trow).iter_mut().zip(&dxr) {
+                *g += d;
+            }
+            for (g, d) in
+                grads.sched_emb.row_mut(v.sched_mark.index()).iter_mut().zip(&dxr)
+            {
+                *g += d;
+            }
+            if !v.tokens.is_empty() {
+                let inv = 1.0 / v.tokens.len() as f32;
+                for &tok in &v.tokens {
+                    for (g, d) in grads.tok_emb.row_mut(tok as usize).iter_mut().zip(&dxr) {
+                        *g += d * inv;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Count of parameters (for reporting).
+    pub fn num_params(&self) -> usize {
+        self.params.tensors().iter().map(|t| t.data.len()).sum()
+    }
+}
+
+/// The three naive baseline predictors from Table 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BaselinePredictor {
+    /// Predict every block positive ("a simple static analysis approach").
+    AllPos,
+    /// Fair coin: positive with p = 0.5.
+    FairCoin,
+    /// Biased coin: positive with the training-set URB base rate.
+    BiasedCoin(f64),
+}
+
+impl BaselinePredictor {
+    /// Produce predictions for a graph.
+    pub fn predict<R: Rng>(&self, rng: &mut R, n: usize) -> Vec<bool> {
+        match *self {
+            BaselinePredictor::AllPos => vec![true; n],
+            BaselinePredictor::FairCoin => (0..n).map(|_| rng.gen_bool(0.5)).collect(),
+            BaselinePredictor::BiasedCoin(p) => {
+                (0..n).map(|_| rng.gen_bool(p.clamp(0.0, 1.0))).collect()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snowcat_graph::{Edge, EdgeKind, Vertex};
+    use snowcat_kernel::{BlockId, ThreadId};
+
+    fn toy_graph(n: usize) -> CtGraph {
+        let verts = (0..n)
+            .map(|i| Vertex {
+                block: BlockId(i as u32),
+                thread: ThreadId((i % 2) as u8),
+                kind: if i % 3 == 0 { VertKind::Urb } else { VertKind::Scb },
+                sched_mark: if i % 5 == 0 {
+                    snowcat_graph::SchedMark::YieldSource
+                } else {
+                    snowcat_graph::SchedMark::None
+                },
+                tokens: vec![(1 + i as u32 % 50), (1 + (i as u32 * 7) % 50)],
+            })
+            .collect();
+        let edges = (0..n.saturating_sub(1))
+            .map(|i| Edge {
+                from: i as u32,
+                to: (i + 1) as u32,
+                kind: EdgeKind::ALL[i % NUM_EDGE_TYPES],
+            })
+            .collect();
+        CtGraph { verts, edges }
+    }
+
+    #[test]
+    fn forward_shapes_and_range() {
+        let m = PicModel::new(PicConfig::default());
+        let g = toy_graph(17);
+        let p = m.forward(&g);
+        assert_eq!(p.len(), 17);
+        assert!(p.iter().all(|&x| (0.0..=1.0).contains(&x)));
+    }
+
+    #[test]
+    fn forward_is_deterministic() {
+        let m = PicModel::new(PicConfig::default());
+        let g = toy_graph(9);
+        assert_eq!(m.forward(&g), m.forward(&g));
+    }
+
+    #[test]
+    fn empty_graph_forward_and_backward() {
+        let m = PicModel::new(PicConfig::default());
+        let g = CtGraph { verts: vec![], edges: vec![] };
+        let (p, cache) = m.forward_cached(&g);
+        assert!(p.is_empty());
+        let mut grads = m.params.zeros_like();
+        let loss = m.backward(&g, &cache, &[], &mut grads);
+        assert_eq!(loss, 0.0);
+    }
+
+    #[test]
+    fn gradient_check_against_finite_differences() {
+        // Numerical gradient check on a tiny model — the canonical test that
+        // the hand-derived backward is correct.
+        let cfg = PicConfig { hidden: 6, layers: 2, pos_weight: 1.7, seed: 5, ..Default::default() };
+        let mut model = PicModel::new(cfg);
+        let g = toy_graph(7);
+        let labels: Vec<bool> = (0..7).map(|i| i % 2 == 0).collect();
+
+        let loss_of = |m: &PicModel| {
+            let (_, cache) = m.forward_cached(&g);
+            let mut tmp = m.params.zeros_like();
+            m.backward(&g, &cache, &labels, &mut tmp)
+        };
+
+        let mut grads = model.params.zeros_like();
+        let (_, cache) = model.forward_cached(&g);
+        model.backward(&g, &cache, &labels, &mut grads);
+
+        // Probe a handful of coordinates in several tensors.
+        let eps = 3e-3f32;
+        let probes: Vec<(usize, usize)> = vec![(0, 0), (2, 1), (3, 0), (4, 3), (12, 2)];
+        let flat_grads: Vec<Mat> = grads.tensors().into_iter().cloned().collect();
+        for (ti, ei) in probes {
+            let shapes = model.params.shapes();
+            if ti >= shapes.len() {
+                continue;
+            }
+            let len = shapes[ti].0 * shapes[ti].1;
+            let ei = ei.min(len - 1);
+            let orig = model.params.tensors()[ti].data[ei];
+            model.params.tensors_mut()[ti].data[ei] = orig + eps;
+            let lp = loss_of(&model);
+            model.params.tensors_mut()[ti].data[ei] = orig - eps;
+            let lm = loss_of(&model);
+            model.params.tensors_mut()[ti].data[ei] = orig;
+            let num = (lp - lm) / (2.0 * eps);
+            let ana = flat_grads[ti].data[ei];
+            assert!(
+                (num - ana).abs() < 2e-2 + 0.15 * num.abs().max(ana.abs()),
+                "tensor {ti} elem {ei}: numerical {num} vs analytic {ana}"
+            );
+        }
+    }
+
+    #[test]
+    fn training_reduces_loss_on_fixed_graph() {
+        use crate::optim::{Adam, AdamConfig};
+        let cfg = PicConfig { hidden: 8, layers: 2, ..Default::default() };
+        let mut model = PicModel::new(cfg);
+        let g = toy_graph(12);
+        let labels: Vec<bool> = (0..12).map(|i| i % 4 == 0).collect();
+        let mut opt = Adam::new(AdamConfig { lr: 0.02, ..Default::default() }, &model.params.shapes());
+        let mut first = None;
+        let mut last = 0.0;
+        for _ in 0..60 {
+            let (_, cache) = model.forward_cached(&g);
+            let mut grads = model.params.zeros_like();
+            let loss = model.backward(&g, &cache, &labels, &mut grads);
+            let gl: Vec<&Mat> = grads.tensors();
+            let mut pl = model.params.tensors_mut();
+            opt.step(&mut pl, &gl);
+            if first.is_none() {
+                first = Some(loss);
+            }
+            last = loss;
+        }
+        assert!(last < first.unwrap() * 0.5, "loss {first:?} -> {last}");
+    }
+
+    #[test]
+    fn flow_head_gradient_check() {
+        // Finite-difference check of the flow-head backward (trunk included).
+        let cfg = PicConfig { hidden: 6, layers: 1, pos_weight: 1.0, urb_weight: 1.0, flow_weight: 1.3, seed: 9, ..Default::default() };
+        let mut model = PicModel::new(cfg);
+        let g = {
+            let mut g = toy_graph(8);
+            // Force a couple of InterFlow edges.
+            g.edges.push(Edge { from: 0, to: 5, kind: EdgeKind::InterFlow });
+            g.edges.push(Edge { from: 3, to: 6, kind: EdgeKind::InterFlow });
+            g
+        };
+        let labels: Vec<bool> = (0..8).map(|i| i % 2 == 0).collect();
+        let flows: Vec<bool> =
+            g.edges.iter().map(|e| e.kind == EdgeKind::InterFlow && e.from == 0).collect();
+
+        let loss_of = |m: &PicModel| {
+            let (_, cache) = m.forward_cached(&g);
+            let mut tmp = m.params.zeros_like();
+            let (lv, lf) = m.backward_with_flows(&g, &cache, &labels, &flows, &mut tmp);
+            lv + lf
+        };
+        let mut grads = model.params.zeros_like();
+        let (_, cache) = model.forward_cached(&g);
+        model.backward_with_flows(&g, &cache, &labels, &flows, &mut grads);
+        let flat: Vec<Mat> = grads.tensors().into_iter().cloned().collect();
+        let eps = 3e-3f32;
+        // Probe the flow tensors (last two) and a trunk tensor.
+        let n_tensors = model.params.shapes().len();
+        for (ti, ei) in [(n_tensors - 2, 3usize), (n_tensors - 1, 0), (2, 1), (4, 2)] {
+            let len = {
+                let sh = model.params.shapes()[ti];
+                sh.0 * sh.1
+            };
+            let ei = ei.min(len - 1);
+            let orig = model.params.tensors()[ti].data[ei];
+            model.params.tensors_mut()[ti].data[ei] = orig + eps;
+            let lp = loss_of(&model);
+            model.params.tensors_mut()[ti].data[ei] = orig - eps;
+            let lm = loss_of(&model);
+            model.params.tensors_mut()[ti].data[ei] = orig;
+            let num = (lp - lm) / (2.0 * eps);
+            let ana = flat[ti].data[ei];
+            assert!(
+                (num - ana).abs() < 2e-2 + 0.15 * num.abs().max(ana.abs()),
+                "flow grad tensor {ti} elem {ei}: numerical {num} vs analytic {ana}"
+            );
+        }
+    }
+
+    #[test]
+    fn forward_flows_scores_only_interflow_edges() {
+        let m = PicModel::new(PicConfig { hidden: 8, layers: 1, ..Default::default() });
+        let mut g = toy_graph(6);
+        g.edges.push(Edge { from: 1, to: 4, kind: EdgeKind::InterFlow });
+        let (_, cache) = m.forward_cached(&g);
+        let flows = m.forward_flows(&g, &cache);
+        assert_eq!(flows.len(), g.edges.len());
+        for (e, &f) in g.edges.iter().zip(&flows) {
+            if e.kind == EdgeKind::InterFlow {
+                assert!((0.0..=1.0).contains(&f) && f > 0.0);
+            } else {
+                assert_eq!(f, 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn baselines_predict_expected_shapes() {
+        use rand::SeedableRng;
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        assert_eq!(BaselinePredictor::AllPos.predict(&mut rng, 5), vec![true; 5]);
+        let biased: Vec<bool> = BaselinePredictor::BiasedCoin(0.0).predict(&mut rng, 100);
+        assert!(biased.iter().all(|&b| !b));
+        let fair: Vec<bool> = BaselinePredictor::FairCoin.predict(&mut rng, 1000);
+        let pos = fair.iter().filter(|&&b| b).count();
+        assert!((300..700).contains(&pos));
+    }
+
+    #[test]
+    fn tensors_and_tensors_mut_are_aligned() {
+        let m = PicModel::new(PicConfig::default());
+        let shapes_a = m.params.shapes();
+        let mut p = m.params.clone();
+        let shapes_b: Vec<(usize, usize)> =
+            p.tensors_mut().iter().map(|t| (t.rows, t.cols)).collect();
+        assert_eq!(shapes_a, shapes_b);
+    }
+}

@@ -1,0 +1,129 @@
+//! The Adam optimizer with global-norm gradient clipping.
+
+use crate::tensor::Mat;
+
+/// Adam hyperparameters.
+#[derive(Debug, Clone, Copy)]
+pub struct AdamConfig {
+    /// Learning rate.
+    pub lr: f32,
+    /// First-moment decay.
+    pub beta1: f32,
+    /// Second-moment decay.
+    pub beta2: f32,
+    /// Epsilon for numerical stability.
+    pub eps: f32,
+    /// Global gradient-norm clip (0 disables).
+    pub clip: f32,
+}
+
+impl Default for AdamConfig {
+    fn default() -> Self {
+        Self { lr: 1e-2, beta1: 0.9, beta2: 0.999, eps: 1e-8, clip: 5.0 }
+    }
+}
+
+/// Adam state for a list of parameter tensors (aligned by index).
+#[derive(Debug)]
+pub struct Adam {
+    cfg: AdamConfig,
+    m: Vec<Vec<f32>>,
+    v: Vec<Vec<f32>>,
+    t: u64,
+}
+
+impl Adam {
+    /// Initialize for parameters with the given shapes.
+    pub fn new(cfg: AdamConfig, shapes: &[(usize, usize)]) -> Self {
+        Self {
+            cfg,
+            m: shapes.iter().map(|&(r, c)| vec![0.0; r * c]).collect(),
+            v: shapes.iter().map(|&(r, c)| vec![0.0; r * c]).collect(),
+            t: 0,
+        }
+    }
+
+    /// Current learning rate.
+    pub fn lr(&self) -> f32 {
+        self.cfg.lr
+    }
+
+    /// Override the learning rate (fine-tuning uses a smaller one).
+    pub fn set_lr(&mut self, lr: f32) {
+        self.cfg.lr = lr;
+    }
+
+    /// Apply one update step. `params` and `grads` must be aligned with the
+    /// shapes passed at construction.
+    ///
+    /// # Panics
+    /// Panics on any shape mismatch — that is always a harness bug.
+    pub fn step(&mut self, params: &mut [&mut Mat], grads: &[&Mat]) {
+        assert_eq!(params.len(), self.m.len(), "param count mismatch");
+        assert_eq!(grads.len(), self.m.len(), "grad count mismatch");
+        self.t += 1;
+        // Global-norm clipping.
+        let mut scale = 1.0f32;
+        if self.cfg.clip > 0.0 {
+            let total: f32 = grads.iter().map(|g| g.data.iter().map(|x| x * x).sum::<f32>()).sum();
+            let norm = total.sqrt();
+            if norm > self.cfg.clip {
+                scale = self.cfg.clip / norm;
+            }
+        }
+        let bc1 = 1.0 - self.cfg.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.cfg.beta2.powi(self.t as i32);
+        for ((p, g), (m, v)) in
+            params.iter_mut().zip(grads).zip(self.m.iter_mut().zip(self.v.iter_mut()))
+        {
+            assert_eq!(p.data.len(), g.data.len(), "tensor shape mismatch");
+            assert_eq!(p.data.len(), m.len(), "state shape mismatch");
+            for i in 0..p.data.len() {
+                let gi = g.data[i] * scale;
+                m[i] = self.cfg.beta1 * m[i] + (1.0 - self.cfg.beta1) * gi;
+                v[i] = self.cfg.beta2 * v[i] + (1.0 - self.cfg.beta2) * gi * gi;
+                let mhat = m[i] / bc1;
+                let vhat = v[i] / bc2;
+                p.data[i] -= self.cfg.lr * mhat / (vhat.sqrt() + self.cfg.eps);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adam_minimizes_quadratic() {
+        // minimize f(x) = (x - 3)^2 over a 1x1 "matrix".
+        let mut x = Mat::zeros(1, 1);
+        let mut opt = Adam::new(AdamConfig { lr: 0.1, ..AdamConfig::default() }, &[(1, 1)]);
+        for _ in 0..500 {
+            let g = Mat { rows: 1, cols: 1, data: vec![2.0 * (x.data[0] - 3.0)] };
+            opt.step(&mut [&mut x], &[&g]);
+        }
+        assert!((x.data[0] - 3.0).abs() < 1e-2, "x = {}", x.data[0]);
+    }
+
+    #[test]
+    fn clipping_bounds_update_magnitude() {
+        let mut x = Mat::zeros(1, 2);
+        let cfg = AdamConfig { lr: 1.0, clip: 1.0, ..AdamConfig::default() };
+        let mut opt = Adam::new(cfg, &[(1, 2)]);
+        let g = Mat { rows: 1, cols: 2, data: vec![1e6, -1e6] };
+        opt.step(&mut [&mut x], &[&g]);
+        // Post-clip gradient has norm 1; Adam's first step is ~lr in each
+        // coordinate direction.
+        assert!(x.data.iter().all(|v| v.abs() <= 1.1));
+    }
+
+    #[test]
+    #[should_panic(expected = "param count mismatch")]
+    fn misaligned_params_panic() {
+        let mut x = Mat::zeros(1, 1);
+        let mut opt = Adam::new(AdamConfig::default(), &[(1, 1), (2, 2)]);
+        let g = Mat::zeros(1, 1);
+        opt.step(&mut [&mut x], &[&g]);
+    }
+}

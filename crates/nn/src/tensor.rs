@@ -1,0 +1,346 @@
+//! Minimal dense-matrix math for the neural stack.
+//!
+//! `f32`, row-major, no unsafe, no SIMD intrinsics — at Snowcat-scale graphs
+//! (10²–10³ vertices, hidden dims ≤ 128) plain loops keep training and
+//! inference comfortably fast, and the code stays auditable.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A row-major dense matrix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Mat {
+    /// Rows.
+    pub rows: usize,
+    /// Columns.
+    pub cols: usize,
+    /// Row-major storage, `rows * cols` long.
+    pub data: Vec<f32>,
+}
+
+impl Mat {
+    /// All-zeros matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Xavier/Glorot-uniform initialized matrix.
+    pub fn xavier<R: Rng>(rng: &mut R, rows: usize, cols: usize) -> Self {
+        let bound = (6.0 / (rows + cols) as f32).sqrt();
+        Self {
+            rows,
+            cols,
+            data: (0..rows * cols).map(|_| rng.gen_range(-bound..bound)).collect(),
+        }
+    }
+
+    /// Build from a function of (row, col).
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Immutable row slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable row slice.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Element access.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Element assignment.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// `self @ other` — (n×k)·(k×m) → n×m.
+    pub fn matmul(&self, other: &Mat) -> Mat {
+        assert_eq!(self.cols, other.rows, "matmul shape mismatch");
+        let mut out = Mat::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            let out_row = out.row_mut(i);
+            for (k, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = other.row(k);
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `selfᵀ @ other` — (k×n)ᵀ·(k×m) → n×m. Used for weight gradients.
+    pub fn matmul_tn(&self, other: &Mat) -> Mat {
+        assert_eq!(self.rows, other.rows, "matmul_tn shape mismatch");
+        let mut out = Mat::zeros(self.cols, other.cols);
+        for k in 0..self.rows {
+            let a_row = self.row(k);
+            let b_row = other.row(k);
+            for (i, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = out.row_mut(i);
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self @ otherᵀ` — (n×k)·(m×k)ᵀ → n×m. Used for input gradients.
+    pub fn matmul_nt(&self, other: &Mat) -> Mat {
+        assert_eq!(self.cols, other.cols, "matmul_nt shape mismatch");
+        let mut out = Mat::zeros(self.rows, other.rows);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            let out_row = out.row_mut(i);
+            for (j, o) in out_row.iter_mut().enumerate() {
+                let b_row = other.row(j);
+                let mut acc = 0.0;
+                for (&a, &b) in a_row.iter().zip(b_row) {
+                    acc += a * b;
+                }
+                *o = acc;
+            }
+        }
+        out
+    }
+
+    /// Add `other` element-wise in place.
+    pub fn add_assign(&mut self, other: &Mat) {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// Add a 1×cols row vector to every row.
+    pub fn add_row_broadcast(&mut self, row: &Mat) {
+        assert_eq!(row.rows, 1);
+        assert_eq!(row.cols, self.cols);
+        for r in 0..self.rows {
+            for (a, b) in self.row_mut(r).iter_mut().zip(&row.data) {
+                *a += b;
+            }
+        }
+    }
+
+    /// Column-wise sum as a 1×cols matrix (bias gradients).
+    pub fn col_sum(&self) -> Mat {
+        let mut out = Mat::zeros(1, self.cols);
+        for r in 0..self.rows {
+            for (o, &v) in out.data.iter_mut().zip(self.row(r)) {
+                *o += v;
+            }
+        }
+        out
+    }
+
+    /// ReLU in place; returns the pre-activation copy for backward.
+    pub fn relu_inplace(&mut self) {
+        for v in &mut self.data {
+            if *v < 0.0 {
+                *v = 0.0;
+            }
+        }
+    }
+
+    /// Element-wise multiply by the ReLU mask of `pre` (1 where `pre` > 0).
+    pub fn relu_backward_mask(&mut self, pre: &Mat) {
+        assert_eq!((self.rows, self.cols), (pre.rows, pre.cols));
+        for (g, &p) in self.data.iter_mut().zip(&pre.data) {
+            if p <= 0.0 {
+                *g = 0.0;
+            }
+        }
+    }
+
+    /// Scale all elements.
+    pub fn scale(&mut self, s: f32) {
+        for v in &mut self.data {
+            *v *= s;
+        }
+    }
+
+    /// Frobenius norm (for gradient clipping).
+    pub fn norm(&self) -> f32 {
+        self.data.iter().map(|v| v * v).sum::<f32>().sqrt()
+    }
+
+    /// Zero all elements (gradient reset between steps).
+    pub fn zero(&mut self) {
+        for v in &mut self.data {
+            *v = 0.0;
+        }
+    }
+}
+
+/// Numerically stable sigmoid.
+#[inline]
+pub fn sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Numerically stable binary cross-entropy from the *logit*, with an
+/// optional positive-class weight: `w_pos * y * softplus(-z) + (1-y) *
+/// softplus(z)`.
+#[inline]
+pub fn bce_with_logit(logit: f32, label: bool, pos_weight: f32) -> f32 {
+    let softplus = |x: f32| {
+        if x > 20.0 {
+            x
+        } else if x < -20.0 {
+            0.0
+        } else {
+            (1.0 + x.exp()).ln()
+        }
+    };
+    if label {
+        pos_weight * softplus(-logit)
+    } else {
+        softplus(logit)
+    }
+}
+
+/// Gradient of [`bce_with_logit`] with respect to the logit.
+#[inline]
+pub fn bce_grad(logit: f32, label: bool, pos_weight: f32) -> f32 {
+    let p = sigmoid(logit);
+    if label {
+        pos_weight * (p - 1.0)
+    } else {
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn m(rows: usize, cols: usize, v: &[f32]) -> Mat {
+        assert_eq!(v.len(), rows * cols);
+        Mat { rows, cols, data: v.to_vec() }
+    }
+
+    #[test]
+    fn matmul_small() {
+        let a = m(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = m(3, 2, &[7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c.data, vec![58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_tn_equals_transpose_matmul() {
+        let a = m(3, 2, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]); // 3x2
+        let b = m(3, 2, &[1.0, 0.0, 0.0, 1.0, 1.0, 1.0]); // 3x2
+        // aT (2x3) @ b (3x2) = 2x2
+        let c = a.matmul_tn(&b);
+        assert_eq!(c.rows, 2);
+        assert_eq!(c.cols, 2);
+        assert_eq!(c.data, vec![1.0 + 5.0, 3.0 + 5.0, 2.0 + 6.0, 4.0 + 6.0]);
+    }
+
+    #[test]
+    fn matmul_nt_equals_matmul_with_transpose() {
+        let a = m(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = m(2, 3, &[1.0, 1.0, 0.0, 0.0, 1.0, 1.0]); // treated as 3x2 transposed
+        let c = a.matmul_nt(&b);
+        assert_eq!(c.rows, 2);
+        assert_eq!(c.cols, 2);
+        assert_eq!(c.data, vec![3.0, 5.0, 9.0, 11.0]);
+    }
+
+    #[test]
+    fn relu_and_mask() {
+        let mut x = m(1, 4, &[-1.0, 2.0, 0.0, -3.0]);
+        let pre = x.clone();
+        x.relu_inplace();
+        assert_eq!(x.data, vec![0.0, 2.0, 0.0, 0.0]);
+        let mut g = m(1, 4, &[1.0, 1.0, 1.0, 1.0]);
+        g.relu_backward_mask(&pre);
+        assert_eq!(g.data, vec![0.0, 1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn broadcast_and_colsum_are_adjoint() {
+        let mut x = Mat::zeros(3, 2);
+        let b = m(1, 2, &[1.0, -1.0]);
+        x.add_row_broadcast(&b);
+        assert_eq!(x.data, vec![1.0, -1.0, 1.0, -1.0, 1.0, -1.0]);
+        let s = x.col_sum();
+        assert_eq!(s.data, vec![3.0, -3.0]);
+    }
+
+    #[test]
+    fn sigmoid_stable_at_extremes() {
+        assert!((sigmoid(100.0) - 1.0).abs() < 1e-6);
+        assert!(sigmoid(-100.0) < 1e-6);
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-7);
+    }
+
+    #[test]
+    fn bce_matches_definition_midrange() {
+        let z = 0.3f32;
+        let p = sigmoid(z);
+        let expect_pos = -(p.ln());
+        let expect_neg = -((1.0 - p).ln());
+        assert!((bce_with_logit(z, true, 1.0) - expect_pos).abs() < 1e-5);
+        assert!((bce_with_logit(z, false, 1.0) - expect_neg).abs() < 1e-5);
+    }
+
+    #[test]
+    fn bce_grad_is_finite_difference_of_loss() {
+        let eps = 1e-3f32;
+        for &z in &[-2.0f32, -0.5, 0.0, 0.7, 3.0] {
+            for &y in &[true, false] {
+                for &w in &[1.0f32, 3.0] {
+                    let num =
+                        (bce_with_logit(z + eps, y, w) - bce_with_logit(z - eps, y, w)) / (2.0 * eps);
+                    let ana = bce_grad(z, y, w);
+                    assert!((num - ana).abs() < 1e-2, "z={z} y={y} w={w}: {num} vs {ana}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn xavier_is_bounded_and_seeded() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let a = Mat::xavier(&mut rng, 10, 10);
+        let bound = (6.0 / 20.0f32).sqrt();
+        assert!(a.data.iter().all(|v| v.abs() <= bound));
+        let mut rng2 = ChaCha8Rng::seed_from_u64(0);
+        let b = Mat::xavier(&mut rng2, 10, 10);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,98 @@
+//! Property tests for the tensor primitives: the hand-rolled matmul
+//! variants must agree with naive definitions, and loss primitives must be
+//! consistent.
+
+use proptest::prelude::*;
+use snowcat_nn::Mat;
+
+fn arb_mat(rows: usize, cols: usize) -> impl Strategy<Value = Mat> {
+    proptest::collection::vec(-2.0f32..2.0, rows * cols)
+        .prop_map(move |data| Mat { rows, cols, data })
+}
+
+fn naive_matmul(a: &Mat, b: &Mat) -> Mat {
+    let mut out = Mat::zeros(a.rows, b.cols);
+    for i in 0..a.rows {
+        for j in 0..b.cols {
+            let mut acc = 0.0;
+            for k in 0..a.cols {
+                acc += a.get(i, k) * b.get(k, j);
+            }
+            out.set(i, j, acc);
+        }
+    }
+    out
+}
+
+fn transpose(a: &Mat) -> Mat {
+    Mat::from_fn(a.cols, a.rows, |r, c| a.get(c, r))
+}
+
+fn close(a: &Mat, b: &Mat) -> bool {
+    a.rows == b.rows
+        && a.cols == b.cols
+        && a.data.iter().zip(&b.data).all(|(x, y)| (x - y).abs() < 1e-3)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn matmul_matches_naive(a in arb_mat(3, 4), b in arb_mat(4, 5)) {
+        prop_assert!(close(&a.matmul(&b), &naive_matmul(&a, &b)));
+    }
+
+    #[test]
+    fn matmul_tn_is_transpose_then_matmul(a in arb_mat(4, 3), b in arb_mat(4, 5)) {
+        let expect = naive_matmul(&transpose(&a), &b);
+        prop_assert!(close(&a.matmul_tn(&b), &expect));
+    }
+
+    #[test]
+    fn matmul_nt_is_matmul_with_transposed_rhs(a in arb_mat(3, 4), b in arb_mat(5, 4)) {
+        let expect = naive_matmul(&a, &transpose(&b));
+        prop_assert!(close(&a.matmul_nt(&b), &expect));
+    }
+
+    #[test]
+    fn col_sum_is_ones_vector_product(a in arb_mat(4, 3)) {
+        let ones = Mat { rows: 1, cols: 4, data: vec![1.0; 4] };
+        let expect = naive_matmul(&ones, &a);
+        prop_assert!(close(&a.col_sum(), &expect));
+    }
+
+    #[test]
+    fn relu_backward_mask_zeroes_exactly_nonpositive(pre in arb_mat(2, 6), g in arb_mat(2, 6)) {
+        let mut masked = g.clone();
+        masked.relu_backward_mask(&pre);
+        for i in 0..pre.data.len() {
+            if pre.data[i] <= 0.0 {
+                prop_assert_eq!(masked.data[i], 0.0);
+            } else {
+                prop_assert_eq!(masked.data[i], g.data[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn sigmoid_is_monotone_and_bounded(x in -50.0f32..50.0, y in -50.0f32..50.0) {
+        let sx = snowcat_nn::tensor::sigmoid(x);
+        let sy = snowcat_nn::tensor::sigmoid(y);
+        prop_assert!((0.0..=1.0).contains(&sx));
+        if x < y {
+            prop_assert!(sx <= sy);
+        }
+    }
+
+    #[test]
+    fn bce_is_nonnegative_and_zero_only_at_confident_correct(
+        z in -30.0f32..30.0, y in proptest::bool::ANY, w in 0.5f32..4.0,
+    ) {
+        let loss = snowcat_nn::tensor::bce_with_logit(z, y, w);
+        prop_assert!(loss >= 0.0);
+        // Confidently correct predictions have near-zero loss.
+        if (y && z > 20.0) || (!y && z < -20.0) {
+            prop_assert!(loss < 1e-3);
+        }
+    }
+}

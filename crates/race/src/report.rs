@@ -1,0 +1,124 @@
+//! Human-readable race and bug reports, in the spirit of KCSAN's
+//! "BUG: KCSAN: data-race in A / B" output. Used by the CLI and by anyone
+//! triaging campaign findings.
+
+use crate::RaceReport;
+use snowcat_kernel::{BugSpec, InstrLoc, Kernel};
+
+/// Resolve an instruction location to `function+block:idx` with the
+/// rendered instruction text.
+pub fn describe_loc(kernel: &Kernel, loc: InstrLoc) -> String {
+    let block = kernel.block(loc.block);
+    let func = kernel.func(block.func);
+    let instr = block
+        .instrs
+        .get(loc.idx as usize)
+        .map(|i| format!("{i:?}"))
+        .unwrap_or_else(|| "<terminator>".into());
+    format!("{}+{}:{} ({})", func.name, loc.block.0, loc.idx, instr)
+}
+
+/// Render one potential data race as a multi-line report.
+pub fn render_race(kernel: &Kernel, race: &RaceReport) -> String {
+    let region = kernel
+        .region_of(race.addr)
+        .map(|r| format!("{} ({:?})", r.name, r.kind))
+        .unwrap_or_else(|| "<unmapped>".into());
+    let kind = if race.write_write { "write/write" } else { "read/write" };
+    let verdict = if race.benign { "likely benign (statistics counter)" } else { "suspicious" };
+    format!(
+        "POTENTIAL DATA RACE ({kind}) on {} in {region}\n  racing: {}\n     and: {}\n  distance: {} steps in the serialized order\n  verdict: {verdict}\n",
+        race.addr,
+        describe_loc(kernel, race.key.0),
+        describe_loc(kernel, race.key.1),
+        race.distance,
+    )
+}
+
+/// Render a planted-bug manifestation report.
+pub fn render_bug(kernel: &Kernel, bug: &BugSpec) -> String {
+    let sub = &kernel.subsystems[bug.subsystem.index()].name;
+    let (a, b) = bug.syscalls;
+    let mut s = format!(
+        "BUG: {} [{}/{:?}] in {sub}/\n  summary : {}\n  exposed by: {}() concurrent with {}()\n",
+        bug.kind.code(),
+        bug.kind.code(),
+        bug.difficulty,
+        bug.summary,
+        kernel.syscall(a).name,
+        kernel.syscall(b).name,
+    );
+    if !bug.racing_instrs.is_empty() {
+        s.push_str("  involved instructions:\n");
+        for &loc in &bug.racing_instrs {
+            s.push_str(&format!("    {}\n", describe_loc(kernel, loc)));
+        }
+    }
+    s.push_str(if bug.harmful {
+        "  assessment: harmful\n"
+    } else {
+        "  assessment: likely benign\n"
+    });
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{RaceDetector, RaceKey};
+    use snowcat_kernel::{generate, Addr, BlockId, GenConfig};
+
+    #[test]
+    fn describe_loc_names_function_and_instruction() {
+        let k = generate(&GenConfig::default());
+        let f = &k.funcs[0];
+        let block = f.blocks[0];
+        let desc = describe_loc(&k, InstrLoc::new(block, 0));
+        assert!(desc.contains(&f.name), "missing function name: {desc}");
+        assert!(desc.contains(&format!("+{}", block.0)));
+    }
+
+    #[test]
+    fn describe_loc_handles_out_of_range_index() {
+        let k = generate(&GenConfig::default());
+        let block = k.funcs[0].blocks[0];
+        let desc = describe_loc(&k, InstrLoc::new(block, 999));
+        assert!(desc.contains("<terminator>"));
+    }
+
+    #[test]
+    fn render_race_mentions_region_and_verdict() {
+        let k = generate(&GenConfig::default());
+        let stats = k
+            .regions
+            .iter()
+            .find(|r| r.kind == snowcat_kernel::RegionKind::StatsCounter)
+            .unwrap();
+        let race = RaceReport {
+            key: RaceKey::new(
+                InstrLoc::new(BlockId(0), 0),
+                InstrLoc::new(BlockId(1), 0),
+            ),
+            addr: Addr(stats.start.0),
+            write_write: true,
+            benign: true,
+            distance: 7,
+        };
+        let text = render_race(&k, &race);
+        assert!(text.contains("write/write"));
+        assert!(text.contains(&stats.name));
+        assert!(text.contains("benign"));
+        assert!(text.contains("7 steps"));
+        let _ = RaceDetector::default(); // keep the import meaningful
+    }
+
+    #[test]
+    fn render_bug_lists_carriers_and_instructions() {
+        let k = generate(&GenConfig::default());
+        let bug = &k.bugs[0];
+        let text = render_bug(&k, bug);
+        assert!(text.contains(&bug.summary));
+        assert!(text.contains(&k.syscall(bug.syscalls.0).name));
+        assert!(text.contains("involved instructions"));
+    }
+}

@@ -1,0 +1,161 @@
+//! Detector semantics pinned down on hand-built access streams.
+
+use snowcat_kernel::{generate, Addr, BlockId, GenConfig, InstrLoc, ThreadId};
+use snowcat_race::{RaceDetector, RaceKey};
+use snowcat_vm::{BitSet, ExecResult, ExitReason, MemAccess};
+
+fn result_with_accesses(kernel_blocks: usize, accesses: Vec<MemAccess>) -> ExecResult {
+    ExecResult {
+        coverage: BitSet::new(kernel_blocks),
+        per_thread_coverage: vec![BitSet::new(kernel_blocks), BitSet::new(kernel_blocks)],
+        block_trace: vec![vec![], vec![]],
+        block_entry_steps: vec![vec![], vec![]],
+        accesses,
+        bugs: vec![],
+        steps: 0,
+        thread_steps: vec![0, 0],
+        exit: ExitReason::Completed,
+    }
+}
+
+fn acc(t: u8, block: u32, idx: u16, addr: u32, write: bool, lockset: u64, step: u64) -> MemAccess {
+    MemAccess {
+        thread: ThreadId(t),
+        loc: InstrLoc::new(BlockId(block), idx),
+        addr: Addr(addr),
+        is_write: write,
+        lockset,
+        step,
+    }
+}
+
+#[test]
+fn write_read_different_threads_disjoint_locks_is_race() {
+    let k = generate(&GenConfig::default());
+    let det = RaceDetector::new(10);
+    let r = result_with_accesses(
+        k.num_blocks(),
+        vec![acc(0, 1, 0, 100, true, 0, 5), acc(1, 2, 0, 100, false, 0, 8)],
+    );
+    let races = det.detect(&k, &r);
+    assert_eq!(races.len(), 1);
+    assert_eq!(races[0].key, RaceKey::new(InstrLoc::new(BlockId(1), 0), InstrLoc::new(BlockId(2), 0)));
+    assert!(!races[0].write_write);
+    assert_eq!(races[0].distance, 3);
+}
+
+#[test]
+fn common_lock_suppresses_race() {
+    let k = generate(&GenConfig::default());
+    let det = RaceDetector::new(10);
+    let r = result_with_accesses(
+        k.num_blocks(),
+        vec![
+            acc(0, 1, 0, 100, true, 0b01, 5),
+            acc(1, 2, 0, 100, false, 0b01, 8), // same lock held
+        ],
+    );
+    assert!(det.detect(&k, &r).is_empty());
+}
+
+#[test]
+fn disjoint_nonempty_locksets_still_race() {
+    let k = generate(&GenConfig::default());
+    let det = RaceDetector::new(10);
+    let r = result_with_accesses(
+        k.num_blocks(),
+        vec![acc(0, 1, 0, 100, true, 0b01, 5), acc(1, 2, 0, 100, false, 0b10, 8)],
+    );
+    assert_eq!(det.detect(&k, &r).len(), 1);
+}
+
+#[test]
+fn read_read_is_not_a_race() {
+    let k = generate(&GenConfig::default());
+    let det = RaceDetector::new(10);
+    let r = result_with_accesses(
+        k.num_blocks(),
+        vec![acc(0, 1, 0, 100, false, 0, 5), acc(1, 2, 0, 100, false, 0, 6)],
+    );
+    assert!(det.detect(&k, &r).is_empty());
+}
+
+#[test]
+fn same_thread_is_not_a_race() {
+    let k = generate(&GenConfig::default());
+    let det = RaceDetector::new(10);
+    let r = result_with_accesses(
+        k.num_blocks(),
+        vec![acc(0, 1, 0, 100, true, 0, 5), acc(0, 2, 0, 100, true, 0, 6)],
+    );
+    assert!(det.detect(&k, &r).is_empty());
+}
+
+#[test]
+fn window_excludes_distant_conflicts() {
+    let k = generate(&GenConfig::default());
+    let det = RaceDetector::new(10);
+    let r = result_with_accesses(
+        k.num_blocks(),
+        vec![acc(0, 1, 0, 100, true, 0, 5), acc(1, 2, 0, 100, true, 0, 100)],
+    );
+    assert!(det.detect(&k, &r).is_empty());
+}
+
+#[test]
+fn different_addresses_do_not_race() {
+    let k = generate(&GenConfig::default());
+    let det = RaceDetector::new(10);
+    let r = result_with_accesses(
+        k.num_blocks(),
+        vec![acc(0, 1, 0, 100, true, 0, 5), acc(1, 2, 0, 101, true, 0, 6)],
+    );
+    assert!(det.detect(&k, &r).is_empty());
+}
+
+#[test]
+fn duplicate_instruction_pairs_dedupe_within_run() {
+    let k = generate(&GenConfig::default());
+    let det = RaceDetector::new(50);
+    let r = result_with_accesses(
+        k.num_blocks(),
+        vec![
+            acc(0, 1, 0, 100, true, 0, 1),
+            acc(1, 2, 0, 100, false, 0, 2),
+            acc(0, 1, 0, 100, true, 0, 10),
+            acc(1, 2, 0, 100, false, 0, 11),
+        ],
+    );
+    assert_eq!(det.detect(&k, &r).len(), 1, "same static pair counts once per run");
+}
+
+#[test]
+fn stats_region_race_is_benign_other_regions_not() {
+    let k = generate(&GenConfig::default());
+    let det = RaceDetector::new(10);
+    let stats_region = k
+        .regions
+        .iter()
+        .find(|r| r.kind == snowcat_kernel::RegionKind::StatsCounter)
+        .expect("generator allocates stats regions");
+    let flags_region = k
+        .regions
+        .iter()
+        .find(|r| r.kind == snowcat_kernel::RegionKind::Flags)
+        .unwrap();
+    let r = result_with_accesses(
+        k.num_blocks(),
+        vec![
+            acc(0, 1, 0, stats_region.start.0, true, 0, 1),
+            acc(1, 2, 0, stats_region.start.0, true, 0, 2),
+            acc(0, 3, 0, flags_region.start.0, true, 0, 5),
+            acc(1, 4, 0, flags_region.start.0, false, 0, 6),
+        ],
+    );
+    let races = det.detect(&k, &r);
+    assert_eq!(races.len(), 2);
+    for race in races {
+        let benign_expected = race.addr == stats_region.start;
+        assert_eq!(race.benign, benign_expected, "race at {}", race.addr);
+    }
+}

@@ -1,0 +1,181 @@
+//! A compact bitmap used for block-coverage maps.
+
+use serde::{Deserialize, Serialize};
+
+/// Fixed-capacity bitset indexed by block id.
+///
+/// Kernel coverage in Snowcat is "which basic blocks executed"; with global
+/// block ids a whole-kernel coverage map is one of these.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BitSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitSet {
+    /// An empty set with capacity for `len` bits.
+    pub fn new(len: usize) -> Self {
+        Self { words: vec![0; len.div_ceil(64)], len }
+    }
+
+    /// Capacity in bits.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.len
+    }
+
+    /// Set bit `i`. Returns `true` if it was newly set.
+    #[inline]
+    pub fn insert(&mut self, i: usize) -> bool {
+        debug_assert!(i < self.len, "bit {i} out of range {}", self.len);
+        let w = &mut self.words[i / 64];
+        let mask = 1u64 << (i % 64);
+        let fresh = *w & mask == 0;
+        *w |= mask;
+        fresh
+    }
+
+    /// Clear bit `i`.
+    #[inline]
+    pub fn remove(&mut self, i: usize) {
+        debug_assert!(i < self.len);
+        self.words[i / 64] &= !(1u64 << (i % 64));
+    }
+
+    /// Test bit `i`.
+    #[inline]
+    pub fn contains(&self, i: usize) -> bool {
+        debug_assert!(i < self.len, "bit {i} out of range {}", self.len);
+        self.words[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// Number of set bits.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True if no bit is set.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Union `other` into `self`; returns the number of newly set bits.
+    pub fn union_with(&mut self, other: &BitSet) -> usize {
+        assert_eq!(self.len, other.len, "bitset capacity mismatch");
+        let mut new_bits = 0;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            new_bits += (b & !*a).count_ones() as usize;
+            *a |= b;
+        }
+        new_bits
+    }
+
+    /// Bits set in `self` but not in `other`.
+    pub fn difference(&self, other: &BitSet) -> BitSet {
+        assert_eq!(self.len, other.len, "bitset capacity mismatch");
+        BitSet {
+            words: self.words.iter().zip(&other.words).map(|(a, b)| a & !b).collect(),
+            len: self.len,
+        }
+    }
+
+    /// Iterate over set bit indices in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut bits = w;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    None
+                } else {
+                    let b = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    Some(wi * 64 + b)
+                }
+            })
+        })
+    }
+
+    /// A stable 64-bit fingerprint of the set contents (used by strategy S1
+    /// to remember coverage bitmaps without storing them).
+    pub fn fingerprint(&self) -> u64 {
+        // FNV-1a over the words; trailing all-zero words do not affect the
+        // value beyond length, which is fixed per kernel.
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for &w in &self.words {
+            h ^= w;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_count() {
+        let mut s = BitSet::new(130);
+        assert!(s.insert(0));
+        assert!(s.insert(64));
+        assert!(s.insert(129));
+        assert!(!s.insert(129), "second insert is not fresh");
+        assert!(s.contains(64));
+        assert!(!s.contains(1));
+        assert_eq!(s.count(), 3);
+    }
+
+    #[test]
+    fn union_counts_new_bits() {
+        let mut a = BitSet::new(100);
+        a.insert(1);
+        a.insert(2);
+        let mut b = BitSet::new(100);
+        b.insert(2);
+        b.insert(3);
+        b.insert(99);
+        assert_eq!(a.union_with(&b), 2);
+        assert_eq!(a.count(), 4);
+    }
+
+    #[test]
+    fn difference_removes_other() {
+        let mut a = BitSet::new(70);
+        a.insert(5);
+        a.insert(69);
+        let mut b = BitSet::new(70);
+        b.insert(5);
+        let d = a.difference(&b);
+        assert_eq!(d.iter().collect::<Vec<_>>(), vec![69]);
+    }
+
+    #[test]
+    fn iter_ascending() {
+        let mut s = BitSet::new(200);
+        for i in [3, 70, 140, 199] {
+            s.insert(i);
+        }
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![3, 70, 140, 199]);
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_and_is_stable() {
+        let mut a = BitSet::new(100);
+        a.insert(10);
+        let mut b = BitSet::new(100);
+        b.insert(11);
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        let mut a2 = BitSet::new(100);
+        a2.insert(10);
+        assert_eq!(a.fingerprint(), a2.fingerprint());
+    }
+
+    #[test]
+    fn remove_clears() {
+        let mut s = BitSet::new(10);
+        s.insert(7);
+        s.remove(7);
+        assert!(!s.contains(7));
+        assert!(s.is_empty());
+    }
+}

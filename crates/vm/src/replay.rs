@@ -1,0 +1,173 @@
+//! Schedule recording and exact replay.
+//!
+//! Scheduling *hints* are best-effort; once an interesting execution is
+//! found (a race, a planted-bug manifestation), a reproducer wants the
+//! *exact* interleaving back. [`RecordingScheduler`] wraps any scheduler
+//! and captures the per-step thread choices; [`ReplayScheduler`] feeds a
+//! captured trace back, step for step. Because the VM is deterministic,
+//! replaying the trace reproduces the execution bit-for-bit.
+
+use crate::sched::{Scheduler, ThreadView};
+use serde::{Deserialize, Serialize};
+use snowcat_kernel::ThreadId;
+
+/// A recorded schedule: thread choices in decision order.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ScheduleTrace {
+    /// The chosen thread at each scheduling decision.
+    pub choices: Vec<ThreadId>,
+}
+
+impl ScheduleTrace {
+    /// Number of recorded decisions.
+    pub fn len(&self) -> usize {
+        self.choices.len()
+    }
+
+    /// True if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.choices.is_empty()
+    }
+}
+
+/// Wraps an inner scheduler and records every decision.
+pub struct RecordingScheduler<S> {
+    inner: S,
+    trace: ScheduleTrace,
+}
+
+impl<S: Scheduler> RecordingScheduler<S> {
+    /// Wrap `inner`.
+    pub fn new(inner: S) -> Self {
+        Self { inner, trace: ScheduleTrace::default() }
+    }
+
+    /// The trace recorded so far.
+    pub fn trace(&self) -> &ScheduleTrace {
+        &self.trace
+    }
+
+    /// Finish and take the trace.
+    pub fn into_trace(self) -> ScheduleTrace {
+        self.trace
+    }
+}
+
+impl<S: Scheduler> Scheduler for RecordingScheduler<S> {
+    fn choose(&mut self, views: &[ThreadView]) -> ThreadId {
+        let choice = self.inner.choose(views);
+        self.trace.choices.push(choice);
+        choice
+    }
+}
+
+/// Replays a [`ScheduleTrace`] decision by decision.
+///
+/// If the trace runs out (e.g. it was truncated), the replayer falls back to
+/// the first runnable thread; if the recorded thread is not runnable (which
+/// cannot happen when replaying against the same kernel/STIs), it likewise
+/// falls back rather than wedging the VM.
+pub struct ReplayScheduler {
+    trace: ScheduleTrace,
+    at: usize,
+    /// Decisions that could not be honored (diagnostics; 0 on faithful
+    /// replays).
+    pub divergences: usize,
+}
+
+impl ReplayScheduler {
+    /// Build a replayer for `trace`.
+    pub fn new(trace: ScheduleTrace) -> Self {
+        Self { trace, at: 0, divergences: 0 }
+    }
+}
+
+impl Scheduler for ReplayScheduler {
+    fn choose(&mut self, views: &[ThreadView]) -> ThreadId {
+        let fallback = || {
+            views
+                .iter()
+                .find(|v| v.runnable)
+                .map(|v| v.id)
+                .expect("no runnable thread")
+        };
+        match self.trace.choices.get(self.at) {
+            Some(&t) => {
+                self.at += 1;
+                if views.iter().any(|v| v.id == t && v.runnable) {
+                    t
+                } else {
+                    self.divergences += 1;
+                    fallback()
+                }
+            }
+            None => {
+                self.divergences += 1;
+                fallback()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{Vm, VmConfig};
+    use crate::sched::{HintScheduler, ScheduleHints, SwitchPoint};
+    use crate::sti::{Sti, SyscallInvocation};
+    use snowcat_kernel::{generate, GenConfig, SyscallId};
+
+    fn setup() -> (snowcat_kernel::Kernel, Sti, Sti) {
+        let k = generate(&GenConfig::default());
+        let a = Sti::new(vec![SyscallInvocation { syscall: SyscallId(0), args: [0; 3] }]);
+        let b = Sti::new(vec![SyscallInvocation { syscall: SyscallId(1), args: [1, 0, 0] }]);
+        (k, a, b)
+    }
+
+    #[test]
+    fn replaying_a_recorded_schedule_reproduces_the_execution() {
+        let (k, a, b) = setup();
+        let hints = ScheduleHints {
+            first: snowcat_kernel::ThreadId(0),
+            switches: vec![
+                SwitchPoint { thread: snowcat_kernel::ThreadId(0), after: 7 },
+                SwitchPoint { thread: snowcat_kernel::ThreadId(1), after: 5 },
+            ],
+        };
+        let mut rec = RecordingScheduler::new(HintScheduler::new(hints));
+        let original = Vm::new(&k, vec![a.clone(), b.clone()], VmConfig::default()).run(&mut rec);
+        let trace = rec.into_trace();
+        assert!(!trace.is_empty());
+
+        let mut replay = ReplayScheduler::new(trace);
+        let replayed = Vm::new(&k, vec![a, b], VmConfig::default()).run(&mut replay);
+        assert_eq!(replay.divergences, 0, "faithful replay must not diverge");
+        assert_eq!(original, replayed);
+    }
+
+    #[test]
+    fn truncated_trace_falls_back_and_completes() {
+        let (k, a, b) = setup();
+        let mut rec = RecordingScheduler::new(HintScheduler::new(ScheduleHints::sequential(
+            snowcat_kernel::ThreadId(0),
+        )));
+        let _ = Vm::new(&k, vec![a.clone(), b.clone()], VmConfig::default()).run(&mut rec);
+        let mut trace = rec.into_trace();
+        trace.choices.truncate(trace.choices.len() / 2);
+
+        let mut replay = ReplayScheduler::new(trace);
+        let r = Vm::new(&k, vec![a, b], VmConfig::default()).run(&mut replay);
+        assert_eq!(r.exit, crate::trace::ExitReason::Completed);
+        assert!(replay.divergences > 0);
+    }
+
+    #[test]
+    fn trace_serializes_round_trip() {
+        let trace = ScheduleTrace {
+            choices: vec![snowcat_kernel::ThreadId(0), snowcat_kernel::ThreadId(1)],
+        };
+        let json = serde_json::to_string(&trace).unwrap();
+        let back: ScheduleTrace = serde_json::from_str(&json).unwrap();
+        assert_eq!(trace, back);
+    }
+}

@@ -1,0 +1,299 @@
+//! Thread schedulers.
+//!
+//! The VM serializes threads like SKI's uniprocessor scheduler: exactly one
+//! thread runs at a time, and a [`Scheduler`] picks which before every step.
+//!
+//! * [`SequentialScheduler`] — run thread 0 to completion, then thread 1, …
+//!   (used for single-thread STI profiling).
+//! * [`HintScheduler`] — SKI-style *scheduling hints*: "switch to thread B
+//!   when thread A executes its x-th instruction". Hints are best-effort: a
+//!   hint whose thread finishes early is skipped, and a blocked thread
+//!   forces an extra switch, exactly as the paper describes SKI's behaviour.
+//! * [`PctScheduler`] — the PCT algorithm (Burckhardt et al., ASPLOS'10):
+//!   random thread priorities plus `d − 1` priority-change points at random
+//!   global steps.
+//!
+//! [`propose_hints`] draws the random 2-switch schedules that both the PCT
+//! baseline campaigns and MLPCT's candidate pool are built from (the paper
+//! fixes two scheduling hints per CT, "sufficient for discovering most
+//! concurrency bugs").
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use snowcat_kernel::ThreadId;
+
+/// Scheduler-visible thread state.
+#[derive(Debug, Clone, Copy)]
+pub struct ThreadView {
+    /// Thread id.
+    pub id: ThreadId,
+    /// Can this thread execute a step right now?
+    pub runnable: bool,
+    /// Has the thread finished its STI?
+    pub done: bool,
+    /// Dynamic instructions executed by the thread so far.
+    pub executed: u64,
+}
+
+/// Picks the next thread before every VM step.
+pub trait Scheduler {
+    /// Choose among the runnable threads in `views`. The VM guarantees at
+    /// least one view is runnable. Returning a non-runnable thread is a
+    /// contract violation; the VM falls back to the first runnable one.
+    fn choose(&mut self, views: &[ThreadView]) -> ThreadId;
+}
+
+/// Runs the lowest-numbered runnable thread: thread 0 to completion first.
+#[derive(Debug, Default, Clone)]
+pub struct SequentialScheduler;
+
+impl Scheduler for SequentialScheduler {
+    fn choose(&mut self, views: &[ThreadView]) -> ThreadId {
+        views.iter().find(|v| v.runnable).map(|v| v.id).expect("no runnable thread")
+    }
+}
+
+/// One scheduling hint: when `thread` has executed `after` instructions,
+/// yield to the other thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SwitchPoint {
+    /// The thread that yields.
+    pub thread: ThreadId,
+    /// Executed-instruction count at which it yields.
+    pub after: u64,
+}
+
+/// A complete hint schedule: the starting thread plus ordered switch points.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ScheduleHints {
+    /// Thread that runs first.
+    pub first: ThreadId,
+    /// Ordered switch points (the paper uses two per CT).
+    pub switches: Vec<SwitchPoint>,
+}
+
+impl ScheduleHints {
+    /// The trivial schedule: run `first` to completion, then the other.
+    pub fn sequential(first: ThreadId) -> Self {
+        Self { first, switches: Vec::new() }
+    }
+}
+
+/// SKI-style best-effort hint enforcement.
+#[derive(Debug, Clone)]
+pub struct HintScheduler {
+    hints: ScheduleHints,
+    /// Index of the next unconsumed switch point.
+    next: usize,
+    /// Thread we currently prefer to run.
+    current: ThreadId,
+}
+
+impl HintScheduler {
+    /// Build a scheduler enforcing `hints`.
+    pub fn new(hints: ScheduleHints) -> Self {
+        let current = hints.first;
+        Self { hints, next: 0, current }
+    }
+
+    fn other(views: &[ThreadView], id: ThreadId) -> ThreadId {
+        views
+            .iter()
+            .find(|v| v.id != id && v.runnable)
+            .or_else(|| views.iter().find(|v| v.runnable))
+            .map(|v| v.id)
+            .expect("no runnable thread")
+    }
+}
+
+impl Scheduler for HintScheduler {
+    fn choose(&mut self, views: &[ThreadView]) -> ThreadId {
+        // Consume switch points that can no longer fire (their thread is
+        // done before reaching the mark) — SKI "skips" such hints.
+        while let Some(sw) = self.hints.switches.get(self.next) {
+            let v = views.iter().find(|v| v.id == sw.thread);
+            match v {
+                Some(v) if v.done && v.executed < sw.after => self.next += 1,
+                Some(v) if v.id == self.current && v.executed >= sw.after => {
+                    // The hint fires: yield to the other thread.
+                    self.next += 1;
+                    self.current = Self::other(views, self.current);
+                }
+                _ => break,
+            }
+        }
+        let cur = views.iter().find(|v| v.id == self.current);
+        match cur {
+            Some(v) if v.runnable => self.current,
+            // Blocked or done: forced switch (SKI's deadlock-avoidance
+            // extra switch).
+            _ => {
+                self.current = Self::other(views, self.current);
+                self.current
+            }
+        }
+    }
+}
+
+/// The PCT randomized priority scheduler.
+#[derive(Debug, Clone)]
+pub struct PctScheduler {
+    /// Priority per thread; higher runs first.
+    priorities: Vec<u64>,
+    /// Sorted global steps at which the running thread's priority drops.
+    change_points: Vec<u64>,
+    next_change: usize,
+    global_step: u64,
+}
+
+impl PctScheduler {
+    /// PCT with `num_threads` threads, expected schedule length `k` and
+    /// depth `d` (the number of ordering constraints targeted; `d - 1`
+    /// change points are drawn).
+    pub fn new<R: Rng>(rng: &mut R, num_threads: usize, k: u64, d: usize) -> Self {
+        // Random distinct starting priorities in [d, d + n).
+        let mut prio: Vec<u64> = (0..num_threads as u64).map(|i| i + d as u64).collect();
+        for i in (1..prio.len()).rev() {
+            prio.swap(i, rng.gen_range(0..=i));
+        }
+        let mut change_points: Vec<u64> =
+            (0..d.saturating_sub(1)).map(|_| rng.gen_range(0..k.max(1))).collect();
+        change_points.sort_unstable();
+        Self { priorities: prio, change_points, next_change: 0, global_step: 0 }
+    }
+
+    fn highest_runnable(&self, views: &[ThreadView]) -> ThreadId {
+        views
+            .iter()
+            .filter(|v| v.runnable)
+            .max_by_key(|v| self.priorities[v.id.index()])
+            .map(|v| v.id)
+            .expect("no runnable thread")
+    }
+}
+
+impl Scheduler for PctScheduler {
+    fn choose(&mut self, views: &[ThreadView]) -> ThreadId {
+        // Fire due change points: demote the currently-highest runnable
+        // thread below everything else.
+        while self.next_change < self.change_points.len()
+            && self.global_step >= self.change_points[self.next_change]
+        {
+            let victim = self.highest_runnable(views);
+            // The i-th change point assigns priority d−1−i: strictly below
+            // every initial priority (≥ d) and below earlier demotions, per
+            // the PCT paper.
+            self.priorities[victim.index()] =
+                (self.change_points.len() - 1 - self.next_change) as u64;
+            self.next_change += 1;
+        }
+        self.global_step += 1;
+        self.highest_runnable(views)
+    }
+}
+
+/// Draw a random two-switch schedule for a CT, given the sequential lengths
+/// (dynamic instruction counts) of the two STIs.
+///
+/// Mirrors the paper's setup: start with thread A, switch to B once A has
+/// executed `x ∈ [1, len_a]` instructions, switch back once B has executed
+/// `y ∈ [1, len_b]`.
+pub fn propose_hints<R: Rng>(rng: &mut R, len_a: u64, len_b: u64) -> ScheduleHints {
+    let a = ThreadId(0);
+    let b = ThreadId(1);
+    let x = rng.gen_range(1..=len_a.max(1));
+    let y = rng.gen_range(1..=len_b.max(1));
+    ScheduleHints {
+        first: a,
+        switches: vec![SwitchPoint { thread: a, after: x }, SwitchPoint { thread: b, after: y }],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn views(a: (bool, bool, u64), b: (bool, bool, u64)) -> Vec<ThreadView> {
+        vec![
+            ThreadView { id: ThreadId(0), runnable: a.0, done: a.1, executed: a.2 },
+            ThreadView { id: ThreadId(1), runnable: b.0, done: b.1, executed: b.2 },
+        ]
+    }
+
+    #[test]
+    fn sequential_prefers_thread_zero() {
+        let mut s = SequentialScheduler;
+        assert_eq!(s.choose(&views((true, false, 0), (true, false, 0))), ThreadId(0));
+        assert_eq!(s.choose(&views((false, true, 10), (true, false, 0))), ThreadId(1));
+    }
+
+    #[test]
+    fn hint_scheduler_switches_at_mark() {
+        let hints = ScheduleHints {
+            first: ThreadId(0),
+            switches: vec![
+                SwitchPoint { thread: ThreadId(0), after: 3 },
+                SwitchPoint { thread: ThreadId(1), after: 2 },
+            ],
+        };
+        let mut s = HintScheduler::new(hints);
+        // Before the mark: stick with A.
+        assert_eq!(s.choose(&views((true, false, 0), (true, false, 0))), ThreadId(0));
+        assert_eq!(s.choose(&views((true, false, 2), (true, false, 0))), ThreadId(0));
+        // A reached 3 executed instructions: switch to B.
+        assert_eq!(s.choose(&views((true, false, 3), (true, false, 0))), ThreadId(1));
+        // B reached 2: switch back to A.
+        assert_eq!(s.choose(&views((true, false, 3), (true, false, 2))), ThreadId(0));
+    }
+
+    #[test]
+    fn hint_scheduler_skips_unreachable_hint() {
+        let hints = ScheduleHints {
+            first: ThreadId(0),
+            switches: vec![SwitchPoint { thread: ThreadId(0), after: 100 }],
+        };
+        let mut s = HintScheduler::new(hints);
+        // A finished at 5 instructions without reaching 100: hint skipped,
+        // B runs.
+        assert_eq!(s.choose(&views((false, true, 5), (true, false, 0))), ThreadId(1));
+    }
+
+    #[test]
+    fn hint_scheduler_forces_switch_when_blocked() {
+        let hints = ScheduleHints::sequential(ThreadId(0));
+        let mut s = HintScheduler::new(hints);
+        assert_eq!(s.choose(&views((false, false, 1), (true, false, 0))), ThreadId(1));
+    }
+
+    #[test]
+    fn pct_runs_highest_priority_and_demotes() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut s = PctScheduler::new(&mut rng, 2, 10, 2);
+        let first = s.choose(&views((true, false, 0), (true, false, 0)));
+        // Run until the single change point fires; the winner must flip at
+        // some step (change point < 10).
+        let mut flipped = false;
+        for _ in 0..12 {
+            let c = s.choose(&views((true, false, 0), (true, false, 0)));
+            if c != first {
+                flipped = true;
+                break;
+            }
+        }
+        assert!(flipped, "PCT with d=2 must demote the running thread once");
+    }
+
+    #[test]
+    fn propose_hints_in_range() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        for _ in 0..100 {
+            let h = propose_hints(&mut rng, 50, 30);
+            assert_eq!(h.first, ThreadId(0));
+            assert_eq!(h.switches.len(), 2);
+            assert!((1..=50).contains(&h.switches[0].after));
+            assert!((1..=30).contains(&h.switches[1].after));
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! Sequential and concurrent test inputs.
+//!
+//! Following the paper's terminology: a *sequential test input* (STI) is a
+//! sequence of syscall invocations executed by one thread; a *concurrent
+//! test input* (CTI) is a pair of STIs run on two threads; a *concurrent
+//! test* (CT) is a CTI plus scheduling hints.
+
+use serde::{Deserialize, Serialize};
+use snowcat_kernel::{Kernel, SyscallId};
+
+/// One syscall invocation with up to three integer arguments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SyscallInvocation {
+    /// Which syscall.
+    pub syscall: SyscallId,
+    /// Argument values (unused slots are zero).
+    pub args: [i64; 3],
+}
+
+/// A sequential test input: what one thread executes.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct Sti {
+    /// Invocations in program order.
+    pub calls: Vec<SyscallInvocation>,
+}
+
+impl Sti {
+    /// An STI from a list of invocations.
+    pub fn new(calls: Vec<SyscallInvocation>) -> Self {
+        Self { calls }
+    }
+
+    /// Number of syscalls.
+    pub fn len(&self) -> usize {
+        self.calls.len()
+    }
+
+    /// True if there are no syscalls.
+    pub fn is_empty(&self) -> bool {
+        self.calls.is_empty()
+    }
+
+    /// Validate against a kernel's syscall catalogue: ids must exist and
+    /// arguments must be within their declared domains.
+    pub fn validate(&self, kernel: &Kernel) -> Result<(), String> {
+        for (i, c) in self.calls.iter().enumerate() {
+            let Some(spec) = kernel.syscalls.get(c.syscall.index()) else {
+                return Err(format!("call {i}: unknown syscall {:?}", c.syscall));
+            };
+            for (ai, &max) in spec.arg_max.iter().enumerate() {
+                if c.args[ai] < 0 || c.args[ai] > max {
+                    return Err(format!(
+                        "call {i} ({}): arg {ai} = {} outside 0..={max}",
+                        spec.name, c.args[ai]
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A concurrent test input: two STIs, one per thread.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Cti {
+    /// Thread 0's input.
+    pub a: Sti,
+    /// Thread 1's input.
+    pub b: Sti,
+}
+
+impl Cti {
+    /// Pair two STIs.
+    pub fn new(a: Sti, b: Sti) -> Self {
+        Self { a, b }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snowcat_kernel::{GenConfig, generate};
+
+    #[test]
+    fn validate_accepts_in_range_args() {
+        let k = generate(&GenConfig::default());
+        let sti = Sti::new(vec![SyscallInvocation { syscall: SyscallId(0), args: [0, 0, 0] }]);
+        assert!(sti.validate(&k).is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_unknown_syscall() {
+        let k = generate(&GenConfig::default());
+        let sti =
+            Sti::new(vec![SyscallInvocation { syscall: SyscallId(9999), args: [0, 0, 0] }]);
+        assert!(sti.validate(&k).is_err());
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range_arg() {
+        let k = generate(&GenConfig::default());
+        let max = k.syscalls[0].arg_max[0];
+        let sti = Sti::new(vec![SyscallInvocation {
+            syscall: SyscallId(0),
+            args: [max + 1, 0, 0],
+        }]);
+        assert!(sti.validate(&k).is_err());
+    }
+}

@@ -1,0 +1,73 @@
+//! Quickstart: build a synthetic kernel, fuzz some inputs, run one
+//! concurrent test under an explicit schedule, and detect potential data
+//! races — the whole substrate in ~60 lines.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use snowcat::prelude::*;
+
+fn main() {
+    // 1. Generate the synthetic "Linux 5.12" and its static CFG.
+    let kernel = KernelVersion::V5_12.spec(42).build();
+    let cfg = KernelCfg::build(&kernel);
+    println!(
+        "kernel {}: {} blocks, {} syscalls, {} subsystems, {} planted bugs",
+        kernel.version,
+        kernel.num_blocks(),
+        kernel.syscalls.len(),
+        kernel.subsystems.len(),
+        kernel.bugs.len()
+    );
+
+    // 2. Fuzz sequential test inputs (STIs) with coverage feedback.
+    let mut fuzzer = StiFuzzer::new(&kernel, 7);
+    fuzzer.seed_each_syscall();
+    let stats = fuzzer.fuzz(100);
+    println!(
+        "fuzzer: {} executed, {} kept, {} blocks covered sequentially",
+        stats.executed, stats.kept, stats.coverage
+    );
+    let corpus = fuzzer.into_corpus();
+
+    // 3. Profile two STIs sequentially and identify their 1-hop URBs.
+    let a = &corpus[0];
+    let b = &corpus[1];
+    let urbs_a = cfg.k_hop_urbs(&a.seq.coverage, 1);
+    println!(
+        "STI A: {} syscalls, {} blocks covered, {} uncovered-reachable blocks at 1 hop",
+        a.sti.len(),
+        a.seq.coverage.count(),
+        urbs_a.len()
+    );
+
+    // 4. Run the pair concurrently under an explicit 2-switch schedule.
+    let cti = Cti::new(a.sti.clone(), b.sti.clone());
+    let hints = ScheduleHints {
+        first: ThreadId(0),
+        switches: vec![
+            SwitchPoint { thread: ThreadId(0), after: a.seq.steps / 2 },
+            SwitchPoint { thread: ThreadId(1), after: b.seq.steps / 2 },
+        ],
+    };
+    let result = run_ct(&kernel, &cti, hints, VmConfig::default());
+    let beyond = {
+        let mut seq = a.seq.coverage.clone();
+        seq.union_with(&b.seq.coverage);
+        result.coverage.difference(&seq).count()
+    };
+    println!(
+        "concurrent test: {} steps, {} blocks covered ({} beyond the sequential union)",
+        result.steps,
+        result.coverage.count(),
+        beyond
+    );
+
+    // 5. Detect potential data races in the access trace.
+    let detector = RaceDetector::default();
+    let races = detector.detect(&kernel, &result);
+    println!("potential data races observed: {}", races.len());
+    for r in races.iter().take(5) {
+        let tag = if r.benign { "benign (stats counter)" } else { "suspicious" };
+        println!("  {} ~ {} on {} [{}]", r.key.0, r.key.1, r.addr, tag);
+    }
+}

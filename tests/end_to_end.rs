@@ -1,0 +1,119 @@
+//! End-to-end integration: the full Snowcat workflow at miniature scale —
+//! fuzz → datasets → train → deploy → MLPCT exploration → campaign.
+
+use snowcat::core::{
+    explore_mlpct, explore_pct, run_campaign, train_pic, CostModel, ExploreConfig, Explorer,
+    Pic, PipelineConfig, S1NewBitmap,
+};
+use snowcat::nn::Checkpoint;
+use snowcat::prelude::*;
+
+fn tiny_pipeline() -> PipelineConfig {
+    PipelineConfig {
+        fuzz_iterations: 20,
+        n_ctis: 16,
+        train_interleavings: 4,
+        eval_interleavings: 4,
+        model: PicConfig { hidden: 12, layers: 2, ..PicConfig::default() },
+        train: TrainConfig { epochs: 2, ..TrainConfig::default() },
+        seed: 0xE2E,
+    }
+}
+
+#[test]
+fn full_workflow_runs_and_checkpoint_roundtrips_via_disk() {
+    let kernel = KernelVersion::V5_12.spec(0xE2E).build();
+    let cfg = KernelCfg::build(&kernel);
+    let out = train_pic(&kernel, &cfg, &tiny_pipeline(), "PIC-e2e");
+
+    // Persist and reload the checkpoint through a real file.
+    let dir = std::env::temp_dir().join("snowcat-e2e-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("pic.json");
+    std::fs::write(&path, out.checkpoint.to_json().unwrap()).unwrap();
+    let loaded = Checkpoint::from_json(&std::fs::read_to_string(&path).unwrap()).unwrap();
+    assert_eq!(loaded, out.checkpoint);
+    std::fs::remove_file(&path).ok();
+
+    // Deploy and explore one CTI with both explorers.
+    let mut pic = Pic::new(&loaded, &kernel, &cfg);
+    let mut strat = S1NewBitmap::new();
+    let explore = ExploreConfig { exec_budget: 6, inference_cap: 60, seed: 0xE2E };
+    let a = &out.corpus[0];
+    let b = &out.corpus[1];
+    let ml = explore_mlpct(&kernel, &mut pic, &mut strat, a, b, &explore);
+    let pct = explore_pct(&kernel, a, b, &explore);
+    assert!(ml.executions <= 6);
+    assert!(ml.inferences >= ml.executions);
+    assert!(pct.executions <= 6);
+    assert_eq!(pct.inferences, 0);
+}
+
+#[test]
+fn campaign_histories_are_reproducible() {
+    let kernel = KernelVersion::V5_12.spec(0xE2E).build();
+    let cfg = KernelCfg::build(&kernel);
+    let out = train_pic(&kernel, &cfg, &tiny_pipeline(), "PIC-e2e");
+    let stream = vec![(0usize, 1usize), (2, 3), (4, 5)];
+    let explore = ExploreConfig { exec_budget: 4, inference_cap: 40, seed: 0xCAFE };
+    let cost = CostModel::default();
+
+    let run = |ck: &Checkpoint| {
+        let mut pic = Pic::new(ck, &kernel, &cfg);
+        run_campaign(
+            &kernel,
+            &out.corpus,
+            &stream,
+            Explorer::MlPct { pic: &mut pic, strategy: Box::new(S1NewBitmap::new()) },
+            &explore,
+            &cost,
+        )
+    };
+    let r1 = run(&out.checkpoint);
+    let r2 = run(&out.checkpoint);
+    assert_eq!(r1.history, r2.history);
+    assert_eq!(r1.bugs_found, r2.bugs_found);
+}
+
+#[test]
+fn dataset_roundtrip_preserves_training_behaviour() {
+    use snowcat::core::as_labeled;
+    use snowcat::nn::{train, PicModel, TrainConfig};
+    let kernel = KernelVersion::V5_12.spec(0xE2E).build();
+    let cfg = KernelCfg::build(&kernel);
+    let out = train_pic(&kernel, &cfg, &tiny_pipeline(), "PIC-e2e");
+
+    // Serialize the training dataset and reload it; training on the loaded
+    // copy must produce identical losses.
+    let json = out.train_set.to_json().unwrap();
+    let reloaded = Dataset::from_json(&json).unwrap();
+    assert_eq!(out.train_set, reloaded);
+
+    let mk = || PicModel::new(PicConfig { hidden: 8, layers: 1, ..PicConfig::default() });
+    let cfg_t = TrainConfig { epochs: 1, ..TrainConfig::default() };
+    let mut m1 = mk();
+    let mut m2 = mk();
+    let r1 = train(&mut m1, &as_labeled(&out.train_set), &[], cfg_t);
+    let r2 = train(&mut m2, &as_labeled(&reloaded), &[], cfg_t);
+    assert_eq!(r1.epoch_losses, r2.epoch_losses);
+    assert_eq!(m1.params, m2.params);
+}
+
+#[test]
+fn predictions_are_consistent_between_predict_paths() {
+    let kernel = KernelVersion::V5_12.spec(0xE2E).build();
+    let cfg = KernelCfg::build(&kernel);
+    let out = train_pic(&kernel, &cfg, &tiny_pipeline(), "PIC-e2e");
+    let mut pic = Pic::new(&out.checkpoint, &kernel, &cfg);
+    let a = &out.corpus[2];
+    let b = &out.corpus[5];
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(2);
+    for _ in 0..5 {
+        let hints = propose_hints(&mut rng, a.seq.steps, b.seq.steps);
+        let p1 = pic.predict(a, b, &hints);
+        let base = pic.base_graph(a, b);
+        let p2 = pic.predict_with_base(&base, a, b, &hints);
+        assert_eq!(p1.probs, p2.probs);
+        assert_eq!(p1.positive, p2.positive);
+    }
+}

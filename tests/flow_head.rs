@@ -1,0 +1,72 @@
+//! End-to-end test of the §6 extension: the inter-thread-flow head learns
+//! to rank realized flows above unrealized ones on real synthetic-kernel
+//! data.
+
+use snowcat::core::{as_flow_labeled, collect_data, train_on_with_flows, PipelineConfig};
+use snowcat::nn::{average_precision, flow_average_precision};
+use snowcat::prelude::*;
+
+#[test]
+fn flow_head_learns_realized_flows() {
+    let kernel = KernelVersion::V5_12.spec(0xF10E).build();
+    let cfg = KernelCfg::build(&kernel);
+    // Flow prediction needs a little more data/capacity than the other
+    // integration tests (the signal is schedule-dependent); this is still a
+    // ~minute in release mode.
+    let pcfg = PipelineConfig {
+        fuzz_iterations: 60,
+        n_ctis: 140,
+        train_interleavings: 8,
+        eval_interleavings: 8,
+        model: PicConfig { hidden: 24, layers: 4, ..PicConfig::default() },
+        train: TrainConfig { epochs: 6, ..TrainConfig::default() },
+        seed: 0xF10E,
+    };
+    let data = collect_data(&kernel, &cfg, &pcfg);
+
+    // Base rate of realized flows among InterFlow edges in the eval split.
+    let eval_refs = as_flow_labeled(&data.eval_set);
+    let mut total = 0usize;
+    let mut pos = 0usize;
+    for (g, _, flows) in &eval_refs {
+        for (e, &f) in g.edges.iter().zip(*flows) {
+            if e.kind == EdgeKind::InterFlow {
+                total += 1;
+                if f {
+                    pos += 1;
+                }
+            }
+        }
+    }
+    assert!(total > 20, "eval split should contain inter-flow edges, got {total}");
+    let base_rate = pos as f64 / total as f64;
+    assert!(base_rate > 0.0, "some flows must be realized");
+    assert!(base_rate < 1.0, "not every potential flow is realized");
+
+    let (ck, _summary, flow_ap) = train_on_with_flows(
+        &kernel,
+        &data,
+        pcfg.model,
+        pcfg.train,
+        pcfg.seed,
+        "PIC-flow-test",
+    );
+
+    // A random ranker's AP equals the base rate in expectation; the trained
+    // head must clearly beat it.
+    assert!(
+        flow_ap > base_rate + 0.1,
+        "flow head failed to learn: AP {flow_ap:.3} vs base rate {base_rate:.3}"
+    );
+
+    // The returned checkpoint reproduces the same flow AP after restore.
+    let model = ck.restore();
+    let ap2 = flow_average_precision(&model, &eval_refs);
+    assert!((ap2 - flow_ap).abs() < 1e-9);
+
+    // Sanity: average_precision is exported and consistent for a perfect
+    // ranking of the same label multiset.
+    let labels: Vec<bool> = vec![true, false];
+    let scores = [0.9f32, 0.1];
+    assert_eq!(average_precision(&scores, &labels), 1.0);
+}

@@ -1,0 +1,197 @@
+//! Property-based tests (proptest) over the substrate's core invariants.
+
+use proptest::prelude::*;
+use snowcat::prelude::*;
+use snowcat::vm::BitSet;
+
+fn test_kernel() -> Kernel {
+    // Smaller than default so each proptest case is fast.
+    generate(&GenConfig {
+        num_subsystems: 3,
+        syscalls_per_subsystem: 4,
+        helpers_per_subsystem: 2,
+        segments_per_syscall: (3, 6),
+        ..GenConfig::default()
+    })
+}
+
+/// Strategy producing a valid STI for the test kernel.
+fn arb_sti(k: &Kernel) -> impl Strategy<Value = Sti> {
+    let n_syscalls = k.syscalls.len() as u32;
+    let max_arg = k.syscalls[0].arg_max[0];
+    proptest::collection::vec((0..n_syscalls, 0..=max_arg), 1..4).prop_map(|calls| {
+        Sti::new(
+            calls
+                .into_iter()
+                .map(|(s, a)| SyscallInvocation { syscall: SyscallId(s), args: [a, 0, 0] })
+                .collect(),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn sequential_execution_is_deterministic(seed in 0u32..1000) {
+        let k = test_kernel();
+        let sti = Sti::new(vec![SyscallInvocation {
+            syscall: SyscallId(seed % k.syscalls.len() as u32),
+            args: [i64::from(seed % 4), 0, 0],
+        }]);
+        let a = run_sequential(&k, &sti);
+        let b = run_sequential(&k, &sti);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn any_two_switch_schedule_terminates_and_respects_invariants(
+        ia in 0usize..12, ib in 0usize..12, x in 1u64..400, y in 1u64..400,
+    ) {
+        let k = test_kernel();
+        let sa = Sti::new(vec![SyscallInvocation {
+            syscall: SyscallId((ia % k.syscalls.len()) as u32),
+            args: [1, 0, 0],
+        }]);
+        let sb = Sti::new(vec![SyscallInvocation {
+            syscall: SyscallId((ib % k.syscalls.len()) as u32),
+            args: [2, 0, 0],
+        }]);
+        let hints = ScheduleHints {
+            first: ThreadId(0),
+            switches: vec![
+                SwitchPoint { thread: ThreadId(0), after: x },
+                SwitchPoint { thread: ThreadId(1), after: y },
+            ],
+        };
+        let r = run_ct(&k, &Cti::new(sa, sb), hints, VmConfig::default());
+        // Loop-free kernels always complete (no deadlock with reentrant
+        // locks on a 2-thread nested-region generator, no step-limit).
+        prop_assert_eq!(r.exit, snowcat::vm::ExitReason::Completed);
+        // Union coverage equals per-thread union.
+        let mut u = BitSet::new(k.num_blocks());
+        u.union_with(&r.per_thread_coverage[0]);
+        u.union_with(&r.per_thread_coverage[1]);
+        prop_assert_eq!(&u, &r.coverage);
+        // Accesses are in nondecreasing global-step order.
+        prop_assert!(r.accesses.windows(2).all(|w| w[0].step <= w[1].step));
+        // Each thread's executed count is consistent with its trace.
+        prop_assert!(r.thread_steps.iter().sum::<u64>() == r.steps);
+    }
+
+    #[test]
+    fn fuzzed_stis_always_validate(seed in 0u64..500) {
+        let k = test_kernel();
+        let mut fz = StiFuzzer::new(&k, seed);
+        for _ in 0..5 {
+            let sti = fz.random_sti();
+            prop_assert!(sti.validate(&k).is_ok());
+            let mutant = fz.mutate_sti(&sti);
+            prop_assert!(mutant.validate(&k).is_ok());
+        }
+    }
+
+    #[test]
+    fn graph_labels_align_and_urbs_stay_urbs(
+        ia in 0usize..10, ib in 0usize..10, x in 1u64..200, y in 1u64..200,
+    ) {
+        let k = test_kernel();
+        let cfg = KernelCfg::build(&k);
+        let sa = Sti::new(vec![SyscallInvocation {
+            syscall: SyscallId((ia % k.syscalls.len()) as u32),
+            args: [0, 0, 0],
+        }]);
+        let sb = Sti::new(vec![SyscallInvocation {
+            syscall: SyscallId((ib % k.syscalls.len()) as u32),
+            args: [3, 0, 0],
+        }]);
+        let ra = run_sequential(&k, &sa);
+        let rb = run_sequential(&k, &sb);
+        let builder = CtGraphBuilder::new(&k, &cfg);
+        let hints = ScheduleHints {
+            first: ThreadId(0),
+            switches: vec![
+                SwitchPoint { thread: ThreadId(0), after: x },
+                SwitchPoint { thread: ThreadId(1), after: y },
+            ],
+        };
+        let g = builder.build(&ra, &rb, &hints);
+        prop_assert!(g.validate().is_ok());
+        let ct = run_ct(&k, &Cti::new(sa, sb), hints, VmConfig::default());
+        let labels = builder.label(&g, &ct);
+        prop_assert_eq!(labels.len(), g.num_verts());
+        // Every SCB vertex covered sequentially by thread 0/1 keeps a
+        // defined label; URB vertices are never sequentially covered.
+        for v in &g.verts {
+            let seq = if v.thread == ThreadId(0) { &ra } else { &rb };
+            match v.kind {
+                VertKind::Urb => {
+                    prop_assert!(!seq.per_thread_coverage[0].contains(v.block.index()))
+                }
+                VertKind::Scb => {
+                    prop_assert!(seq.per_thread_coverage[0].contains(v.block.index()))
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bitset_union_difference_laws(bits_a in proptest::collection::vec(0usize..256, 0..40),
+                                    bits_b in proptest::collection::vec(0usize..256, 0..40)) {
+        let mut a = BitSet::new(256);
+        let mut b = BitSet::new(256);
+        for &x in &bits_a { a.insert(x); }
+        for &x in &bits_b { b.insert(x); }
+        let mut u = a.clone();
+        u.union_with(&b);
+        // |A ∪ B| = |A| + |B \ A|
+        prop_assert_eq!(u.count(), a.count() + b.difference(&a).count());
+        // A \ B and B disjoint
+        let d = a.difference(&b);
+        for bit in d.iter() {
+            prop_assert!(!b.contains(bit));
+            prop_assert!(a.contains(bit));
+        }
+        // fingerprint equality for equal sets
+        let mut a2 = BitSet::new(256);
+        for &x in &bits_a { a2.insert(x); }
+        prop_assert_eq!(a.fingerprint(), a2.fingerprint());
+    }
+
+    #[test]
+    fn race_detection_is_schedule_window_monotone(
+        w1 in 1u64..30, w2 in 30u64..200,
+    ) {
+        let k = test_kernel();
+        let bug = &k.bugs[0];
+        let a = Sti::new(vec![SyscallInvocation { syscall: bug.syscalls.0, args: [0; 3] }]);
+        let b = Sti::new(vec![SyscallInvocation { syscall: bug.syscalls.1, args: [0; 3] }]);
+        let hints = ScheduleHints {
+            first: ThreadId(0),
+            switches: vec![
+                SwitchPoint { thread: ThreadId(0), after: 6 },
+                SwitchPoint { thread: ThreadId(1), after: 6 },
+            ],
+        };
+        let r = run_ct(&k, &Cti::new(a, b), hints, VmConfig::default());
+        let narrow = RaceDetector::new(w1).detect(&k, &r).len();
+        let wide = RaceDetector::new(w2).detect(&k, &r).len();
+        prop_assert!(wide >= narrow);
+    }
+}
+
+/// Deep STIs stress the arbitrary-STI generator path (non-proptest smoke of
+/// the strategy above so failures print nicely).
+#[test]
+fn arbitrary_sti_strategy_smoke() {
+    let k = test_kernel();
+    use proptest::strategy::ValueTree;
+    let mut runner = proptest::test_runner::TestRunner::deterministic();
+    let strat = arb_sti(&k);
+    for _ in 0..16 {
+        let sti = strat.new_tree(&mut runner).unwrap().current();
+        assert!(sti.validate(&k).is_ok());
+        let r = run_sequential(&k, &sti);
+        assert_eq!(r.exit, snowcat::vm::ExitReason::Completed);
+    }
+}

@@ -1,0 +1,266 @@
+//! Cross-crate integration tests over the substrate: kernel ↔ vm ↔ cfg ↔
+//! race. These pin down the semantic contracts the higher layers (graphs,
+//! model, strategies) silently rely on.
+
+use snowcat::prelude::*;
+use snowcat::vm::{SequentialScheduler, Vm};
+
+fn kernel() -> Kernel {
+    KernelVersion::V5_12.spec(0x7e57).build()
+}
+
+fn corpus(k: &Kernel) -> Vec<StiProfile> {
+    let mut fz = StiFuzzer::new(k, 5);
+    fz.seed_each_syscall();
+    fz.fuzz(30);
+    fz.into_corpus()
+}
+
+#[test]
+fn sequential_composition_equals_hintless_schedule() {
+    // Running CTI (a, b) under the trivial schedule (A to completion, then
+    // B) must equal running a two-thread VM under the sequential scheduler:
+    // same coverage, same bug hits, same final behaviour.
+    let k = kernel();
+    let c = corpus(&k);
+    for (ia, ib) in [(0usize, 1usize), (3, 9), (12, 4)] {
+        let cti = Cti::new(c[ia].sti.clone(), c[ib].sti.clone());
+        let hintless = run_ct(
+            &k,
+            &cti,
+            ScheduleHints::sequential(ThreadId(0)),
+            VmConfig::default(),
+        );
+        let vm = Vm::new(
+            &k,
+            vec![cti.a.clone(), cti.b.clone()],
+            VmConfig::default(),
+        );
+        let seq = vm.run(&mut SequentialScheduler);
+        assert_eq!(hintless.coverage, seq.coverage);
+        assert_eq!(hintless.accesses, seq.accesses);
+        assert_eq!(hintless.bugs, seq.bugs);
+    }
+}
+
+#[test]
+fn urbs_are_disjoint_from_coverage_and_statically_adjacent() {
+    let k = kernel();
+    let cfg = KernelCfg::build(&k);
+    for p in corpus(&k).iter().take(20) {
+        let urbs = cfg.k_hop_urbs(&p.seq.coverage, 1);
+        for e in &urbs {
+            assert!(!p.seq.coverage.contains(e.to.index()));
+            assert!(p.seq.coverage.contains(e.from.index()));
+            assert!(cfg.successors(e.from).contains(&e.to));
+        }
+    }
+}
+
+#[test]
+fn concurrent_coverage_stays_within_static_reachability() {
+    // Whatever the schedule does, covered blocks must be statically
+    // reachable from the invoked syscalls' entries.
+    let k = kernel();
+    let cfg = KernelCfg::build(&k);
+    let c = corpus(&k);
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(11);
+    for (ia, ib) in [(0usize, 8usize), (5, 5), (20, 2)] {
+        let a = &c[ia];
+        let b = &c[ib];
+        let entries: Vec<_> = a
+            .sti
+            .calls
+            .iter()
+            .chain(&b.sti.calls)
+            .map(|call| k.func(k.syscall(call.syscall).func).entry)
+            .collect();
+        let reach = cfg.reachable_from(&entries);
+        for _ in 0..10 {
+            let hints = propose_hints(&mut rng, a.seq.steps, b.seq.steps);
+            let r = run_ct(
+                &k,
+                &Cti::new(a.sti.clone(), b.sti.clone()),
+                hints,
+                VmConfig::default(),
+            );
+            for blk in r.coverage.iter() {
+                assert!(reach.contains(blk), "block {blk} covered but not reachable");
+            }
+        }
+    }
+}
+
+#[test]
+fn race_reports_only_on_truly_shared_addresses() {
+    let k = kernel();
+    let c = corpus(&k);
+    let det = RaceDetector::default();
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(13);
+    let a = &c[0];
+    let b = &c[1];
+    for _ in 0..10 {
+        let hints = propose_hints(&mut rng, a.seq.steps, b.seq.steps);
+        let r = run_ct(
+            &k,
+            &Cti::new(a.sti.clone(), b.sti.clone()),
+            hints,
+            VmConfig::default(),
+        );
+        for report in det.detect(&k, &r) {
+            // Both racing instructions accessed the reported address from
+            // different threads in this run.
+            let hit = |loc| {
+                r.accesses
+                    .iter()
+                    .filter(|x| x.loc == loc && x.addr == report.addr)
+                    .map(|x| x.thread)
+                    .collect::<std::collections::HashSet<_>>()
+            };
+            let ta = hit(report.key.0);
+            let tb = hit(report.key.1);
+            assert!(!ta.is_empty() && !tb.is_empty());
+            assert!(
+                ta.union(&tb).count() >= 2,
+                "race endpoints must span two threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn all_planted_bugs_are_exposable_by_some_two_switch_schedule() {
+    // The core soundness property of the substrate: every planted bug has
+    // *some* 2-switch schedule (possibly with specific syscall orderings)
+    // under which its oracle fires or its race manifests — otherwise the
+    // testing experiments would chase phantoms. Hard bugs may need many
+    // trials; we bound the search generously and require at least easy +
+    // medium bugs to be exposable, and 2/3 of all bugs overall.
+    let k = kernel();
+    let det = RaceDetector::default();
+    let mut exposed = 0usize;
+    let mut exposed_easy_medium = 0usize;
+    let mut easy_medium_total = 0usize;
+    for bug in &k.bugs {
+        let a = Sti::new(vec![SyscallInvocation { syscall: bug.syscalls.0, args: [0; 3] }]);
+        let b = Sti::new(vec![SyscallInvocation { syscall: bug.syscalls.1, args: [0; 3] }]);
+        let len_a = run_sequential(&k, &a).steps;
+        let len_b = run_sequential(&k, &b).steps;
+        let mut hit = false;
+        'search: for first in [ThreadId(0), ThreadId(1)] {
+            let (fl, sl) = if first == ThreadId(0) { (len_a, len_b) } else { (len_b, len_a) };
+            for x in 1..=fl {
+                for y in (1..=sl).step_by(2) {
+                    let hints = ScheduleHints {
+                        first,
+                        switches: vec![
+                            SwitchPoint { thread: first, after: x },
+                            SwitchPoint {
+                                thread: ThreadId(1 - first.0),
+                                after: y,
+                            },
+                        ],
+                    };
+                    let r = run_ct(
+                        &k,
+                        &Cti::new(a.clone(), b.clone()),
+                        hints,
+                        VmConfig::default(),
+                    );
+                    if r.hit_bug(bug.id)
+                        || det
+                            .detect(&k, &r)
+                            .iter()
+                            .any(|rep| match_planted_bug(&k, rep) == Some(bug.id))
+                    {
+                        hit = true;
+                        break 'search;
+                    }
+                }
+            }
+        }
+        let em = bug.kind != BugKind::MultiOrder;
+        if em {
+            easy_medium_total += 1;
+        }
+        if hit {
+            exposed += 1;
+            if em {
+                exposed_easy_medium += 1;
+            }
+        }
+    }
+    assert_eq!(
+        exposed_easy_medium, easy_medium_total,
+        "every easy/medium planted bug must be exposable"
+    );
+    assert!(
+        exposed * 3 >= k.bugs.len() * 2,
+        "at least 2/3 of all planted bugs exposable, got {exposed}/{}",
+        k.bugs.len()
+    );
+}
+
+#[test]
+fn version_evolution_preserves_unchanged_syscall_semantics() {
+    // Syscalls whose code is bit-identical across 5.12 → 5.13 must produce
+    // identical memory-access *patterns* when run with the same inputs.
+    let k512 = KernelVersion::V5_12.spec(0x7e57).build();
+    let k513 = KernelVersion::V5_13.spec(0x7e57).build();
+    let mut checked = 0;
+    for sc512 in &k512.syscalls {
+        let Some(sc513) = k513.syscalls.iter().find(|s| s.name == sc512.name) else {
+            continue;
+        };
+        // Compare bodies with call targets resolved by *name* (function ids
+        // shift between versions), including one level of callee bodies
+        // (helpers are leaf functions in the generator).
+        fn comparable(k: &Kernel, f: snowcat::kernel::FuncId, depth: usize) -> Vec<String> {
+            let mut out = Vec::new();
+            for &b in &k.func(f).blocks {
+                for ins in &k.block(b).instrs {
+                    match ins {
+                        snowcat::kernel::Instr::Call { func } => {
+                            out.push(format!("call {}", k.func(*func).name));
+                            if depth > 0 {
+                                out.extend(comparable(k, *func, depth - 1));
+                            }
+                        }
+                        other => out.push(format!("{other:?}")),
+                    }
+                }
+                out.push(format!("{:?}", std::mem::discriminant(&k.block(b).term)));
+            }
+            out
+        }
+        if comparable(&k512, sc512.func, 1) != comparable(&k513, sc513.func, 1) {
+            continue; // evolved function (or evolved callee)
+        }
+        let sti512 = Sti::new(vec![SyscallInvocation {
+            syscall: SyscallId(
+                k512.syscalls.iter().position(|s| s.name == sc512.name).unwrap() as u32,
+            ),
+            args: [1, 0, 0],
+        }]);
+        let sti513 = Sti::new(vec![SyscallInvocation {
+            syscall: SyscallId(
+                k513.syscalls.iter().position(|s| s.name == sc513.name).unwrap() as u32,
+            ),
+            args: [1, 0, 0],
+        }]);
+        let r512 = run_sequential(&k512, &sti512);
+        let r513 = run_sequential(&k513, &sti513);
+        assert_eq!(r512.steps, r513.steps, "step count differs for {}", sc512.name);
+        assert_eq!(
+            r512.coverage.count(),
+            r513.coverage.count(),
+            "coverage size differs for {}",
+            sc512.name
+        );
+        checked += 1;
+        if checked >= 10 {
+            break;
+        }
+    }
+    assert!(checked >= 5, "too few unchanged syscalls to compare ({checked})");
+}
