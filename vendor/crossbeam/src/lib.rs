@@ -1,0 +1,64 @@
+//! Offline stand-in for the `crossbeam` crate: scoped threads with the
+//! `crossbeam::thread::scope(|s| { s.spawn(|_| ...) })` calling convention,
+//! implemented over `std::thread::scope`. A panic in any spawned thread
+//! surfaces as `Err` from `scope`, like crossbeam's result-returning API.
+
+pub mod thread {
+    use std::any::Any;
+
+    pub type Result<T> = std::result::Result<T, Box<dyn Any + Send + 'static>>;
+
+    /// Handle passed to the `scope` closure; spawns threads that may borrow
+    /// from the enclosing environment.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a scoped thread. The closure receives a placeholder
+        /// argument (crossbeam passes a nested `&Scope`; every call site in
+        /// this workspace ignores it with `|_|`).
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(()) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            self.inner.spawn(move || f(()))
+        }
+    }
+
+    /// Create a scope for spawning borrowing threads. All spawned threads
+    /// are joined before this returns; a child panic yields `Err`.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = vec![1u64, 2, 3, 4];
+        let mut sums = vec![0u64; 2];
+        let (lo, hi) = sums.split_at_mut(1);
+        super::thread::scope(|s| {
+            s.spawn(|_| lo[0] = data[..2].iter().sum());
+            s.spawn(|_| hi[0] = data[2..].iter().sum());
+        })
+        .unwrap();
+        assert_eq!(sums, vec![3, 7]);
+    }
+
+    #[test]
+    fn child_panic_is_an_err() {
+        let r = super::thread::scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,177 @@
+//! Strategy trait and combinators (no shrinking: `new_tree` yields a
+//! single-value tree).
+
+use crate::test_runner::{TestRng, TestRunner};
+
+/// A recipe for generating values of `Self::Value`.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Produce one (non-shrinkable) value tree from the runner's RNG.
+    fn new_tree(&self, runner: &mut TestRunner) -> Result<NoShrink<Self::Value>, String>
+    where
+        Self::Value: Clone,
+    {
+        Ok(NoShrink(self.generate(runner.rng())))
+    }
+}
+
+/// A generated value (real proptest pairs this with shrinking state).
+pub trait ValueTree {
+    type Value;
+    fn current(&self) -> Self::Value;
+}
+
+pub struct NoShrink<T>(pub T);
+
+impl<T: Clone> ValueTree for NoShrink<T> {
+    type Value = T;
+    fn current(&self) -> T {
+        self.0.clone()
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for Box<S> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+// Numeric range strategies ---------------------------------------------------
+
+/// Primitives that can be drawn uniformly from a range by the test RNG.
+pub trait RangePrimitive: Copy + PartialOrd {
+    fn draw(rng: &mut TestRng, lo: Self, hi_inclusive: Self) -> Self;
+    fn before(hi: Self) -> Self;
+}
+
+macro_rules! impl_range_primitive_int {
+    ($($t:ty),*) => {$(
+        impl RangePrimitive for $t {
+            fn draw(rng: &mut TestRng, lo: Self, hi: Self) -> Self {
+                let span = (hi as i64 as u64).wrapping_sub(lo as i64 as u64);
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add((rng.next_u64() % (span + 1)) as $t)
+            }
+            fn before(hi: Self) -> Self { hi - 1 }
+        }
+    )*};
+}
+impl_range_primitive_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_range_primitive_float {
+    ($($t:ty),*) => {$(
+        impl RangePrimitive for $t {
+            fn draw(rng: &mut TestRng, lo: Self, hi: Self) -> Self {
+                lo + (rng.unit_f64() as $t) * (hi - lo)
+            }
+            fn before(hi: Self) -> Self { hi }
+        }
+    )*};
+}
+impl_range_primitive_float!(f32, f64);
+
+impl<T: RangePrimitive> Strategy for std::ops::Range<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        assert!(self.start < self.end, "empty range strategy");
+        T::draw(rng, self.start, T::before(self.end))
+    }
+}
+
+impl<T: RangePrimitive> Strategy for std::ops::RangeInclusive<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty inclusive range strategy");
+        T::draw(rng, lo, hi)
+    }
+}
+
+// Tuple strategies -----------------------------------------------------------
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+}

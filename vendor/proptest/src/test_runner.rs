@@ -1,0 +1,158 @@
+//! Deterministic test runner: fixed-seed RNG, configurable case count.
+
+/// Runner configuration (field subset of real proptest's).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// Failure raised by `prop_assert!` and friends.
+#[derive(Clone, Debug)]
+pub struct TestCaseError {
+    msg: String,
+}
+
+impl TestCaseError {
+    pub fn fail(msg: impl Into<String>) -> Self {
+        Self { msg: msg.into() }
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+/// Deterministic xoshiro256++ RNG used for all generation.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    fn from_seed(seed: u64) -> Self {
+        // SplitMix64 expansion.
+        let mut s = [0u64; 4];
+        let mut x = seed;
+        for slot in &mut s {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            *slot = z ^ (z >> 31);
+        }
+        Self { s }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / 9_007_199_254_740_992.0)
+    }
+
+    pub fn uniform_usize(&mut self, lo: usize, hi_inclusive: usize) -> usize {
+        debug_assert!(lo <= hi_inclusive);
+        let span = (hi_inclusive - lo) as u64;
+        if span == u64::MAX {
+            return self.next_u64() as usize;
+        }
+        lo + (self.next_u64() % (span + 1)) as usize
+    }
+}
+
+/// Drives case generation for one `proptest!` test function.
+pub struct TestRunner {
+    rng: TestRng,
+    cases: u32,
+}
+
+impl TestRunner {
+    pub fn new(config: ProptestConfig) -> Self {
+        Self { rng: TestRng::from_seed(0x5EED_0CA7_0000_0001), cases: config.cases }
+    }
+
+    /// Runner with a fixed, well-known seed (real proptest API).
+    pub fn deterministic() -> Self {
+        Self::new(ProptestConfig::default())
+    }
+
+    pub fn cases(&self) -> u32 {
+        self.cases
+    }
+
+    pub fn rng(&mut self) -> &mut TestRng {
+        &mut self.rng
+    }
+}
+
+impl Default for TestRunner {
+    fn default() -> Self {
+        Self::new(ProptestConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Strategy;
+
+    #[test]
+    fn ranges_and_collections_compose() {
+        let mut runner = crate::test_runner::TestRunner::deterministic();
+        let strat = crate::collection::vec((0u32..10, -1.0f32..1.0), 2..=5)
+            .prop_map(|v| v.len())
+            .prop_flat_map(|n| (Just(n), 0usize..=n));
+        for _ in 0..100 {
+            let (n, k) = strat.new_tree(&mut runner).unwrap().current();
+            assert!((2..=5).contains(&n));
+            assert!(k <= n);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_binds_and_asserts(x in 1u64..100, b in crate::bool::ANY, v in crate::collection::vec(0u8..4, 0..6)) {
+            prop_assert!(x >= 1 && x < 100);
+            prop_assert_eq!(b, b);
+            prop_assert!(v.len() < 6);
+            prop_assert!(v.iter().all(|&e| e < 4));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case 1")]
+    fn failing_case_panics() {
+        proptest! {
+            fn inner(x in 0u32..10) {
+                prop_assert!(x > 100, "x was {}", x);
+            }
+        }
+        inner();
+    }
+}

@@ -1,0 +1,441 @@
+//! Derive macros for the vendored `serde` stand-in.
+//!
+//! Parses the derive input token stream directly (no syn/quote in the
+//! offline environment) and emits `impl serde::Serialize` /
+//! `impl serde::Deserialize` blocks generated as source text.
+//!
+//! Supported shapes — everything this workspace derives:
+//! * structs with named fields (`#[serde(default)]` honored per field),
+//! * tuple structs (1-field newtypes serialize transparently),
+//! * unit structs,
+//! * enums with unit / newtype / tuple / struct variants
+//!   (externally tagged, matching serde_json conventions).
+//!
+//! Generic types are intentionally unsupported.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+struct Field {
+    name: String,
+    has_default: bool,
+}
+
+enum Shape {
+    Unit,
+    Named(Vec<Field>),
+    Tuple(usize),
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Input {
+    Struct(Shape),
+    Enum(Vec<Variant>),
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let (name, parsed) = parse_input(&tokens);
+    let code = match (&parsed, mode) {
+        (Input::Struct(shape), Mode::Serialize) => gen_struct_ser(&name, shape),
+        (Input::Struct(shape), Mode::Deserialize) => gen_struct_de(&name, shape),
+        (Input::Enum(variants), Mode::Serialize) => gen_enum_ser(&name, variants),
+        (Input::Enum(variants), Mode::Deserialize) => gen_enum_de(&name, variants),
+    };
+    code.parse().expect("serde_derive: generated code failed to parse")
+}
+
+// ---------------------------------------------------------------------------
+// Token-level parsing
+// ---------------------------------------------------------------------------
+
+fn is_punct(t: &TokenTree, c: char) -> bool {
+    matches!(t, TokenTree::Punct(p) if p.as_char() == c)
+}
+
+fn is_ident(t: &TokenTree, s: &str) -> bool {
+    matches!(t, TokenTree::Ident(i) if i.to_string() == s)
+}
+
+/// Skip attributes (`#[...]`) at `tokens[i..]`, reporting whether any of
+/// them is `#[serde(default)]`.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> (usize, bool) {
+    let mut has_default = false;
+    while i + 1 < tokens.len() && is_punct(&tokens[i], '#') {
+        if let TokenTree::Group(g) = &tokens[i + 1] {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            if inner.first().map_or(false, |t| is_ident(t, "serde")) {
+                if let Some(TokenTree::Group(args)) = inner.get(1) {
+                    if args.stream().into_iter().any(|t| is_ident(&t, "default")) {
+                        has_default = true;
+                    }
+                }
+            }
+        }
+        i += 2;
+    }
+    (i, has_default)
+}
+
+/// Skip a visibility qualifier (`pub`, `pub(crate)`, ...) at `tokens[i..]`.
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if i < tokens.len() && is_ident(&tokens[i], "pub") {
+        i += 1;
+        if let Some(TokenTree::Group(g)) = tokens.get(i) {
+            if g.delimiter() == Delimiter::Parenthesis {
+                i += 1;
+            }
+        }
+    }
+    i
+}
+
+/// Advance past a type (or any expression) until a comma at angle-bracket
+/// depth zero; groups are single tokens so only `<`/`>` need tracking.
+fn skip_to_comma(tokens: &[TokenTree], mut i: usize) -> usize {
+    let mut depth = 0i32;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+            _ => {}
+        }
+        i += 1;
+    }
+    i
+}
+
+fn parse_input(tokens: &[TokenTree]) -> (String, Input) {
+    let (mut i, _) = skip_attrs(tokens, 0);
+    i = skip_vis(tokens, i);
+
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected struct/enum, found {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected type name, found {other}"),
+    };
+    i += 1;
+    if i < tokens.len() && is_punct(&tokens[i], '<') {
+        panic!("serde_derive (vendored): generic type `{name}` is not supported");
+    }
+
+    match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(&g.stream().into_iter().collect::<Vec<_>>());
+                (name, Input::Struct(Shape::Named(fields)))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(&g.stream().into_iter().collect::<Vec<_>>());
+                (name, Input::Struct(Shape::Tuple(n)))
+            }
+            _ => (name, Input::Struct(Shape::Unit)),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let variants = parse_variants(&g.stream().into_iter().collect::<Vec<_>>());
+                (name, Input::Enum(variants))
+            }
+            other => panic!("serde_derive: malformed enum body: {other:?}"),
+        },
+        other => panic!("serde_derive: cannot derive for `{other}` items"),
+    }
+}
+
+fn parse_named_fields(tokens: &[TokenTree]) -> Vec<Field> {
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let (j, has_default) = skip_attrs(tokens, i);
+        i = skip_vis(tokens, j);
+        if i >= tokens.len() {
+            break;
+        }
+        let fname = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive: expected field name, found {other}"),
+        };
+        i += 1; // field name
+        assert!(is_punct(&tokens[i], ':'), "serde_derive: expected `:` after field name");
+        i = skip_to_comma(tokens, i + 1);
+        i += 1; // the comma itself (or one past the end)
+        fields.push(Field { name: fname, has_default });
+    }
+    fields
+}
+
+fn count_tuple_fields(tokens: &[TokenTree]) -> usize {
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut n = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        let (j, _) = skip_attrs(tokens, i);
+        i = skip_vis(tokens, j);
+        i = skip_to_comma(tokens, i);
+        i += 1;
+        n += 1;
+    }
+    n
+}
+
+fn parse_variants(tokens: &[TokenTree]) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let (j, _) = skip_attrs(tokens, i);
+        i = j;
+        if i >= tokens.len() {
+            break;
+        }
+        let vname = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive: expected variant name, found {other}"),
+        };
+        i += 1;
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Shape::Named(parse_named_fields(&g.stream().into_iter().collect::<Vec<_>>()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Shape::Tuple(count_tuple_fields(&g.stream().into_iter().collect::<Vec<_>>()))
+            }
+            _ => Shape::Unit,
+        };
+        // Skip an explicit discriminant, then the separating comma.
+        i = skip_to_comma(tokens, i);
+        i += 1;
+        variants.push(Variant { name: vname, shape });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_struct_ser(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::Unit => "::serde::Value::Null".to_string(),
+        Shape::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::Tuple(n) => {
+            let items: Vec<String> =
+                (0..*n).map(|i| format!("::serde::Serialize::to_value(&self.{i})")).collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Shape::Named(fields) => {
+            let items: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(\"{0}\".to_string(), ::serde::Serialize::to_value(&self.{0}))",
+                        f.name
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Object(vec![{}])", items.join(", "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn named_field_exprs(ty_label: &str, fields: &[Field], src: &str) -> String {
+    fields
+        .iter()
+        .map(|f| {
+            let fallback = if f.has_default {
+                "::std::default::Default::default()".to_string()
+            } else {
+                format!("return Err(::serde::Error::missing(\"{ty_label}\", \"{}\"))", f.name)
+            };
+            format!(
+                "{0}: match ::serde::field({src}, \"{0}\") {{ \
+                 Some(x) => ::serde::Deserialize::from_value(x)?, \
+                 None => {fallback} }}",
+                f.name
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+fn gen_struct_de(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::Unit => format!(
+            "match v {{ ::serde::Value::Null => Ok({name}), \
+             _ => Err(::serde::Error::expected(\"null\", \"{name}\")) }}"
+        ),
+        Shape::Tuple(1) => format!("Ok({name}(::serde::Deserialize::from_value(v)?))"),
+        Shape::Tuple(n) => {
+            let items: Vec<String> =
+                (0..*n).map(|i| format!("::serde::Deserialize::from_value(&a[{i}])?")).collect();
+            format!(
+                "match v {{ ::serde::Value::Array(a) if a.len() == {n} => \
+                 Ok({name}({items})), \
+                 _ => Err(::serde::Error::expected(\"array of length {n}\", \"{name}\")) }}",
+                items = items.join(", ")
+            )
+        }
+        Shape::Named(fields) => {
+            let inits = named_field_exprs(name, fields, "obj");
+            format!(
+                "match v {{ ::serde::Value::Object(obj) => Ok({name} {{ {inits} }}), \
+                 _ => Err(::serde::Error::expected(\"object\", \"{name}\")) }}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+         {body}\n\
+         }}\n}}"
+    )
+}
+
+fn gen_enum_ser(name: &str, variants: &[Variant]) -> String {
+    let arms: Vec<String> = variants
+        .iter()
+        .map(|var| {
+            let v = &var.name;
+            match &var.shape {
+                Shape::Unit => {
+                    format!("{name}::{v} => ::serde::Value::Str(\"{v}\".to_string())")
+                }
+                Shape::Tuple(1) => format!(
+                    "{name}::{v}(x0) => ::serde::Value::Object(vec![(\"{v}\".to_string(), \
+                     ::serde::Serialize::to_value(x0))])"
+                ),
+                Shape::Tuple(n) => {
+                    let binds: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Serialize::to_value(x{i})"))
+                        .collect();
+                    format!(
+                        "{name}::{v}({binds}) => ::serde::Value::Object(vec![(\"{v}\".to_string(), \
+                         ::serde::Value::Array(vec![{items}]))])",
+                        binds = binds.join(", "),
+                        items = items.join(", ")
+                    )
+                }
+                Shape::Named(fields) => {
+                    let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                    let items: Vec<String> = fields
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "(\"{0}\".to_string(), ::serde::Serialize::to_value({0}))",
+                                f.name
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "{name}::{v} {{ {binds} }} => \
+                         ::serde::Value::Object(vec![(\"{v}\".to_string(), \
+                         ::serde::Value::Object(vec![{items}]))])",
+                        binds = binds.join(", "),
+                        items = items.join(", ")
+                    )
+                }
+            }
+        })
+        .collect();
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n\
+         match self {{ {arms} }}\n\
+         }}\n}}",
+        arms = arms.join(",\n")
+    )
+}
+
+fn gen_enum_de(name: &str, variants: &[Variant]) -> String {
+    let unit_arms: Vec<String> = variants
+        .iter()
+        .filter(|v| matches!(v.shape, Shape::Unit))
+        .map(|v| format!("\"{0}\" => Ok({name}::{0})", v.name))
+        .collect();
+    let data_arms: Vec<String> = variants
+        .iter()
+        .filter_map(|var| {
+            let v = &var.name;
+            match &var.shape {
+                Shape::Unit => None,
+                Shape::Tuple(1) => Some(format!(
+                    "\"{v}\" => Ok({name}::{v}(::serde::Deserialize::from_value(__val)?))"
+                )),
+                Shape::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Deserialize::from_value(&a[{i}])?"))
+                        .collect();
+                    Some(format!(
+                        "\"{v}\" => match __val {{ ::serde::Value::Array(a) if a.len() == {n} => \
+                         Ok({name}::{v}({items})), \
+                         _ => Err(::serde::Error::expected(\"array of length {n}\", \"{name}\")) }}",
+                        items = items.join(", ")
+                    ))
+                }
+                Shape::Named(fields) => {
+                    let inits = named_field_exprs(name, fields, "obj");
+                    Some(format!(
+                        "\"{v}\" => match __val {{ ::serde::Value::Object(obj) => \
+                         Ok({name}::{v} {{ {inits} }}), \
+                         _ => Err(::serde::Error::expected(\"object\", \"{name}\")) }}"
+                    ))
+                }
+            }
+        })
+        .collect();
+
+    let str_arm = format!(
+        "::serde::Value::Str(s) => match s.as_str() {{ {arms}{sep}_ => \
+         Err(::serde::Error::unknown_variant(\"{name}\", s)) }}",
+        arms = unit_arms.join(", "),
+        sep = if unit_arms.is_empty() { "" } else { ", " }
+    );
+    let obj_arm = format!(
+        "::serde::Value::Object(m) if m.len() == 1 => {{ \
+         let (__k, __val) = &m[0]; let _ = __val; \
+         match __k.as_str() {{ {arms}{sep}_ => \
+         Err(::serde::Error::unknown_variant(\"{name}\", __k)) }} }}",
+        arms = data_arms.join(", "),
+        sep = if data_arms.is_empty() { "" } else { ", " }
+    );
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+         match v {{\n{str_arm},\n{obj_arm},\n\
+         _ => Err(::serde::Error::expected(\"variant string or single-key object\", \"{name}\"))\n\
+         }}\n}}\n}}"
+    )
+}
