@@ -20,9 +20,7 @@ fn bench_graph(c: &mut Criterion) {
     let b = &corpus[corpus.len() - 2];
     let builder = CtGraphBuilder::new(&kernel, &cfg);
 
-    c.bench_function("ct_graph_build_base", |bch| {
-        bch.iter(|| builder.build_base(&a.seq, &b.seq))
-    });
+    c.bench_function("ct_graph_build_base", |bch| bch.iter(|| builder.build_base(&a.seq, &b.seq)));
 
     let base = builder.build_base(&a.seq, &b.seq);
     let mut rng = ChaCha8Rng::seed_from_u64(4);

@@ -14,14 +14,8 @@ fn bench_race(c: &mut Criterion) {
     fz.seed_each_syscall();
     let corpus = fz.into_corpus();
     let bug = &kernel.bugs[0];
-    let a = corpus
-        .iter()
-        .find(|p| p.sti.calls[0].syscall == bug.syscalls.0)
-        .unwrap();
-    let b = corpus
-        .iter()
-        .find(|p| p.sti.calls[0].syscall == bug.syscalls.1)
-        .unwrap();
+    let a = corpus.iter().find(|p| p.sti.calls[0].syscall == bug.syscalls.0).unwrap();
+    let b = corpus.iter().find(|p| p.sti.calls[0].syscall == bug.syscalls.1).unwrap();
     let cti = Cti::new(a.sti.clone(), b.sti.clone());
     let mut rng = ChaCha8Rng::seed_from_u64(5);
     let hints = propose_hints(&mut rng, a.seq.steps, b.seq.steps);

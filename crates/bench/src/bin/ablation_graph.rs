@@ -52,7 +52,12 @@ fn strip(g: &CtGraph, kind: Option<EdgeKind>, clear_marks: bool, clear_tokens: b
     g
 }
 
-fn ablate(data: &CollectedData, kind: Option<EdgeKind>, marks: bool, tokens: bool) -> CollectedData {
+fn ablate(
+    data: &CollectedData,
+    kind: Option<EdgeKind>,
+    marks: bool,
+    tokens: bool,
+) -> CollectedData {
     let map = |ds: &snowcat_corpus::Dataset| {
         let mut ds = ds.clone();
         for e in &mut ds.examples {
@@ -64,13 +69,8 @@ fn ablate(data: &CollectedData, kind: Option<EdgeKind>, marks: bool, tokens: boo
                 .iter()
                 .map(|edge| kind.map(|k| edge.kind != k).unwrap_or(true))
                 .collect();
-            e.flow_labels = e
-                .flow_labels
-                .iter()
-                .zip(&keep)
-                .filter(|(_, &k)| k)
-                .map(|(&f, _)| f)
-                .collect();
+            e.flow_labels =
+                e.flow_labels.iter().zip(&keep).filter(|(_, &k)| k).map(|(&f, _)| f).collect();
             e.graph = stripped;
         }
         ds
@@ -150,12 +150,15 @@ fn main() {
     save_json("ablation_graph", &rows);
 
     let full_ap = rows[0].val_urb_ap;
-    let best_ablated =
-        rows[1..].iter().map(|r| r.val_urb_ap).fold(f64::NEG_INFINITY, f64::max);
+    let best_ablated = rows[1..].iter().map(|r| r.val_urb_ap).fold(f64::NEG_INFINITY, f64::max);
     println!(
         "\nfull graph AP {:.4} vs best ablated {:.4} — {}",
         full_ap,
         best_ablated,
-        if full_ap >= best_ablated { "full graph wins ✓" } else { "an ablation won (investigate)" }
+        if full_ap >= best_ablated {
+            "full graph wins ✓"
+        } else {
+            "an ablation won (investigate)"
+        }
     );
 }

@@ -27,8 +27,8 @@ use serde::Serialize;
 use snowcat_bench::{cached_pic, print_table, save_json, std_pipeline, Scale, FAMILY_SEED};
 use snowcat_cfg::KernelCfg;
 use snowcat_core::{
-    explore_mlpct, explore_pct, ExploreConfig, Pic, S1NewBitmap, S2NewBlocks, S3LimitedTrials,
-    SelectionStrategy,
+    explore_mlpct, explore_pct, ExploreConfig, Pic, PredictorService, S1NewBitmap, S2NewBlocks,
+    S3LimitedTrials, SelectionStrategy,
 };
 use snowcat_corpus::interacting_cti_pairs;
 use snowcat_kernel::KernelVersion;
@@ -71,18 +71,17 @@ fn main() {
 
     let mut all_rows: Vec<Row> = Vec::new();
     for &budget in &budgets {
-        let explore = ExploreConfig {
-            exec_budget: budget,
-            // The paper caps PIC inferences at 1,600 regardless of budget.
-            inference_cap: 1600,
-            seed: FAMILY_SEED ^ budget as u64,
-        };
+        // The paper caps PIC inferences at 1,600 regardless of budget.
+        let explore = ExploreConfig::default()
+            .with_exec_budget(budget)
+            .with_inference_cap(1600)
+            .with_seed(FAMILY_SEED ^ budget as u64);
         // PCT baseline.
         let mut pct_races = 0usize;
         let mut pct_blocks = 0usize;
         let mut pct_execs = 0u64;
         for (ci, &(ia, ib)) in ctis.iter().enumerate() {
-            let c = ExploreConfig { seed: explore.seed ^ (ci as u64) << 3, ..explore };
+            let c = explore.with_seed(explore.seed ^ (ci as u64) << 3);
             let out = explore_pct(&kernel, &corpus[ia], &corpus[ib], &c);
             pct_races += out.race_keys().len();
             pct_blocks += out.sched_dep_blocks.count();
@@ -107,22 +106,17 @@ fn main() {
             let mut blocks = 0usize;
             let mut execs = 0u64;
             let mut infers = 0u64;
-            let mut pic = Pic::new(&checkpoint, &kernel, &cfg);
+            let pic = Pic::new(&checkpoint, &kernel, &cfg);
+            let service = PredictorService::direct(&pic);
             for (ci, &(ia, ib)) in ctis.iter().enumerate() {
                 let mut strat: Box<dyn SelectionStrategy> = match strat_name {
                     "S1" => Box::new(S1NewBitmap::new()),
                     "S2" => Box::new(S2NewBlocks::new()),
                     _ => Box::new(S3LimitedTrials::new(3)),
                 };
-                let c = ExploreConfig { seed: explore.seed ^ (ci as u64) << 3, ..explore };
-                let out = explore_mlpct(
-                    &kernel,
-                    &mut pic,
-                    strat.as_mut(),
-                    &corpus[ia],
-                    &corpus[ib],
-                    &c,
-                );
+                let c = explore.with_seed(explore.seed ^ (ci as u64) << 3);
+                let out =
+                    explore_mlpct(&kernel, &service, strat.as_mut(), &corpus[ia], &corpus[ib], &c);
                 races += out.race_keys().len();
                 blocks += out.sched_dep_blocks.count();
                 execs += out.executions;

@@ -19,7 +19,8 @@ use serde::Serialize;
 use snowcat_bench::{print_table, save_json, std_pipeline, Scale, FAMILY_SEED};
 use snowcat_cfg::KernelCfg;
 use snowcat_core::{
-    collect_data, find_candidates, reproduce, train_on_with_flows, CostModel, Pic, RazzerMode,
+    collect_data, find_candidates, reproduce, train_on_with_flows, CostModel, Pic,
+    PredictorService, RazzerMode,
 };
 use snowcat_corpus::StiFuzzer;
 use snowcat_kernel::KernelVersion;
@@ -43,18 +44,9 @@ fn main() {
 
     println!("training PIC-5+flow (joint coverage + inter-thread-flow head) ...");
     let data = collect_data(&kernel, &cfg, &pcfg);
-    let (checkpoint, summary, flow_ap) = train_on_with_flows(
-        &kernel,
-        &data,
-        pcfg.model,
-        pcfg.train,
-        pcfg.seed,
-        "PIC-5+flow",
-    );
-    println!(
-        "coverage val AP {:.4}, flow head eval AP {:.4}",
-        summary.val_urb_ap, flow_ap
-    );
+    let (checkpoint, summary, flow_ap) =
+        train_on_with_flows(&kernel, &data, pcfg.model, pcfg.train, pcfg.seed, "PIC-5+flow");
+    println!("coverage val AP {:.4}, flow head eval AP {:.4}", summary.val_urb_ap, flow_ap);
 
     let mut fz = StiFuzzer::new(&kernel, FAMILY_SEED ^ 0x4a22);
     fz.seed_each_syscall();
@@ -81,10 +73,12 @@ fn main() {
     for (ri, bug) in bugs.iter().enumerate() {
         let race_id = char::from(b'A' + ri as u8).to_string();
         for mode in [RazzerMode::Relax, RazzerMode::Pic, RazzerMode::PicFlow] {
-            let mut pic;
-            let pic_ref = if mode != RazzerMode::Relax {
+            let pic;
+            let service;
+            let svc_ref = if mode != RazzerMode::Relax {
                 pic = Pic::new(&checkpoint, &kernel, &cfg);
-                Some(&mut pic)
+                service = PredictorService::direct(&pic);
+                Some(&service)
             } else {
                 None
             };
@@ -94,7 +88,7 @@ fn main() {
                 &corpus,
                 bug,
                 mode,
-                pic_ref,
+                svc_ref,
                 FAMILY_SEED ^ ri as u64,
             );
             let res = reproduce(
@@ -143,8 +137,7 @@ fn main() {
 
     // Shape: flow filter keeps the queue at least as precise on average.
     let mean_ratio = |mode: &str| {
-        let v: Vec<f64> =
-            rows.iter().filter(|r| r.mode == mode).map(|r| r.tp_ratio).collect();
+        let v: Vec<f64> = rows.iter().filter(|r| r.mode == mode).map(|r| r.tp_ratio).collect();
         v.iter().sum::<f64>() / v.len().max(1) as f64
     };
     println!(

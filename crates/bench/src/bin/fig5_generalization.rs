@@ -22,8 +22,8 @@ use serde::Serialize;
 use snowcat_bench::{print_table, save_json, std_pipeline, Scale, FAMILY_SEED};
 use snowcat_cfg::KernelCfg;
 use snowcat_core::{
-    collect_data, fine_tune, run_campaign_budgeted, train_on, train_pic, CampaignResult,
-    CostModel, ExploreConfig, Explorer, Pic, PipelineConfig, S1NewBitmap,
+    collect_data, fine_tune, run_campaign_budgeted, train_on, train_pic, CampaignResult, CostModel,
+    ExploreConfig, Explorer, Pic, S1NewBitmap,
 };
 use snowcat_corpus::interacting_cti_pairs;
 use snowcat_kernel::{Kernel, KernelVersion};
@@ -61,16 +61,16 @@ fn campaign_with(
     max_hours: Option<f64>,
 ) -> CampaignResult {
     match checkpoint {
-        None => run_campaign_budgeted(
-            kernel, corpus, stream, Explorer::Pct, explore, cost, max_hours,
-        ),
+        None => {
+            run_campaign_budgeted(kernel, corpus, stream, Explorer::Pct, explore, cost, max_hours)
+        }
         Some(ck) => {
-            let mut pic = Pic::new(ck, kernel, cfg);
+            let pic = Pic::new(ck, kernel, cfg);
             let mut res = run_campaign_budgeted(
                 kernel,
                 corpus,
                 stream,
-                Explorer::MlPct { pic: &mut pic, strategy: Box::new(S1NewBitmap::new()) },
+                Explorer::mlpct(&pic, Box::new(S1NewBitmap::new())),
                 explore,
                 cost,
                 max_hours,
@@ -116,24 +116,15 @@ fn main() {
         k61.bugs.len(),
         k512.bugs.len()
     );
-    let sml_cfg = PipelineConfig {
-        n_ctis: (pcfg.n_ctis / 8).max(4),
-        seed: pcfg.seed ^ 0x61,
-        ..pcfg
-    };
-    let med_cfg = PipelineConfig {
-        n_ctis: (pcfg.n_ctis / 3).max(6),
-        seed: pcfg.seed ^ 0x62,
-        ..pcfg
-    };
+    let sml_cfg = pcfg.with_n_ctis((pcfg.n_ctis / 8).max(4)).with_seed(pcfg.seed ^ 0x61);
+    let med_cfg = pcfg.with_n_ctis((pcfg.n_ctis / 3).max(6)).with_seed(pcfg.seed ^ 0x62);
     println!("collecting 6.1 datasets (sml/med) ...");
     let data_sml = collect_data(&k61, &cfg61, &sml_cfg);
     let data_med = collect_data(&k61, &cfg61, &med_cfg);
 
     let mut checkpoints: Vec<(String, Checkpoint)> = Vec::new();
     // Fine-tuned variants.
-    for (tag, data, epochs) in
-        [("PIC-6.ft.sml", &data_sml, 3usize), ("PIC-6.ft.med", &data_med, 4)]
+    for (tag, data, epochs) in [("PIC-6.ft.sml", &data_sml, 3usize), ("PIC-6.ft.med", &data_med, 4)]
     {
         println!("fine-tuning {tag} ...");
         let started = std::time::Instant::now();
@@ -175,7 +166,15 @@ fn main() {
 
     print_table(
         "Table 2: model variants",
-        &["Model", "trained on", "graphs", "collect (sim h)", "train (s)", "val URB AP", "startup (sim h)"],
+        &[
+            "Model",
+            "trained on",
+            "graphs",
+            "collect (sim h)",
+            "train (s)",
+            "val URB AP",
+            "startup (sim h)",
+        ],
         &variants
             .iter()
             .map(|v| {
@@ -203,17 +202,15 @@ fn main() {
     let time_budget = Some(scale.pick(0.01, 2.0, 6.0));
     let mut rng = ChaCha8Rng::seed_from_u64(FAMILY_SEED ^ 0xF16B);
     let stream61 = interacting_cti_pairs(&mut rng, &corpus61, stream_len);
-    let explore = ExploreConfig {
-        exec_budget: scale.pick(8, 50, 50),
-        inference_cap: scale.pick(60, 600, 1600),
-        seed: FAMILY_SEED ^ 0x61CA,
-    };
+    let explore = ExploreConfig::default()
+        .with_exec_budget(scale.pick(8, 50, 50))
+        .with_inference_cap(scale.pick(60, 600, 1600))
+        .with_seed(FAMILY_SEED ^ 0x61CA);
 
     println!("running 6.1 campaigns ({stream_len} CTIs) ...");
     let mut series: Vec<CampaignSeries> = Vec::new();
-    let pct61 = campaign_with(
-        &k61, &cfg61, &corpus61, &stream61, None, &explore, &cost, None, time_budget,
-    );
+    let pct61 =
+        campaign_with(&k61, &cfg61, &corpus61, &stream61, None, &explore, &cost, None, time_budget);
     series.push(CampaignSeries {
         label: "PCT".into(),
         startup_hours: 0.0,
@@ -277,11 +274,7 @@ fn main() {
     let k513 = KernelVersion::V5_13.spec(FAMILY_SEED).build();
     let cfg513 = KernelCfg::build(&k513);
     println!("collecting a small 5.13 dataset + fine-tuning PIC-5.13.ft.sml ...");
-    let sml513 = PipelineConfig {
-        n_ctis: (pcfg.n_ctis / 8).max(4),
-        seed: pcfg.seed ^ 0x513,
-        ..pcfg
-    };
+    let sml513 = pcfg.with_n_ctis((pcfg.n_ctis / 8).max(4)).with_seed(pcfg.seed ^ 0x513);
     let data513 = collect_data(&k513, &cfg513, &sml513);
     let (ck513, _) =
         fine_tune(&base.checkpoint, &data513.train_set, &data513.valid_set, 3, "PIC-5.13.ft.sml");
@@ -294,7 +287,15 @@ fn main() {
 
     let mut rows513 = Vec::new();
     let pct513 = campaign_with(
-        &k513, &cfg513, &corpus513, &stream513, None, &explore, &cost, None, time_budget,
+        &k513,
+        &cfg513,
+        &corpus513,
+        &stream513,
+        None,
+        &explore,
+        &cost,
+        None,
+        time_budget,
     );
     for (label, ck) in
         [("PCT", None), ("PIC-5", Some(&base.checkpoint)), ("PIC-5.13.ft.sml", Some(&ck513))]
@@ -314,11 +315,7 @@ fn main() {
             ),
         };
         let last = res.last();
-        rows513.push(vec![
-            res.label.clone(),
-            last.races.to_string(),
-            format!("{:.2}", last.hours),
-        ]);
+        rows513.push(vec![res.label.clone(), last.races.to_string(), format!("{:.2}", last.hours)]);
         series.push(CampaignSeries {
             label: format!("5.13/{}", res.label),
             startup_hours: 0.0,

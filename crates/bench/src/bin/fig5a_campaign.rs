@@ -60,11 +60,10 @@ fn main() {
     let time_budget = scale.pick(0.02, 3.0, 8.0);
     let mut rng = ChaCha8Rng::seed_from_u64(FAMILY_SEED ^ 0xF16A);
     let stream = interacting_cti_pairs(&mut rng, corpus, stream_len);
-    let explore = ExploreConfig {
-        exec_budget: scale.pick(10, 50, 50),
-        inference_cap: scale.pick(80, 800, 1600),
-        seed: FAMILY_SEED ^ 0xACE5,
-    };
+    let explore = ExploreConfig::default()
+        .with_exec_budget(scale.pick(10, 50, 50))
+        .with_inference_cap(scale.pick(80, 800, 1600))
+        .with_seed(FAMILY_SEED ^ 0xACE5);
     let cost = CostModel::default();
 
     println!("running PCT campaign ({time_budget} sim h over up to {stream_len} CTIs) ...");
@@ -81,7 +80,7 @@ fn main() {
     let mut results = vec![pct];
     for name in ["S1", "S2", "S3"] {
         println!("running MLPCT-{name} campaign ...");
-        let mut pic = Pic::new(&checkpoint, &kernel, &cfg);
+        let pic = Pic::new(&checkpoint, &kernel, &cfg);
         let strategy: Box<dyn SelectionStrategy> = match name {
             "S1" => Box::new(S1NewBitmap::new()),
             "S2" => Box::new(S2NewBlocks::new()),
@@ -91,7 +90,7 @@ fn main() {
             &kernel,
             corpus,
             &stream,
-            Explorer::MlPct { pic: &mut pic, strategy },
+            Explorer::mlpct(&pic, strategy),
             &explore,
             &cost,
             Some(time_budget),
@@ -118,7 +117,16 @@ fn main() {
         .collect();
     print_table(
         "Fig 5a: cumulative campaign on kernel 5.12 (equal simulated-time budget)",
-        &["Explorer", "CTIs", "races", "harmful", "sched-dep blocks", "execs", "infers", "sim hours"],
+        &[
+            "Explorer",
+            "CTIs",
+            "races",
+            "harmful",
+            "sched-dep blocks",
+            "execs",
+            "infers",
+            "sim hours",
+        ],
         &rows,
     );
 
@@ -146,13 +154,14 @@ fn main() {
 
     // Shape check: the best MLPCT variant reaches the target faster than PCT.
     let pct_hours = results[0].hours_to_races(target);
-    let best_ml = results[1..]
-        .iter()
-        .filter_map(|r| r.hours_to_races(target))
-        .fold(f64::INFINITY, f64::min);
+    let best_ml =
+        results[1..].iter().filter_map(|r| r.hours_to_races(target)).fold(f64::INFINITY, f64::min);
     match pct_hours {
         Some(ph) if best_ml < ph => {
-            println!("\nshape check: best MLPCT reaches the target {:.1}x faster than PCT ✓", ph / best_ml)
+            println!(
+                "\nshape check: best MLPCT reaches the target {:.1}x faster than PCT ✓",
+                ph / best_ml
+            )
         }
         _ => eprintln!("\nWARNING: MLPCT did not beat PCT to the race target; shape broken"),
     }

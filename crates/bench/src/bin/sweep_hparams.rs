@@ -56,12 +56,7 @@ fn main() {
         for &layers in &layer_counts {
             for &lr in &lrs {
                 for &pos_weight in &pos_weights {
-                    let model = PicConfig {
-                        hidden,
-                        layers,
-                        pos_weight,
-                        ..PicConfig::default()
-                    };
+                    let model = PicConfig { hidden, layers, pos_weight, ..PicConfig::default() };
                     let train = TrainConfig { epochs, lr, ..TrainConfig::default() };
                     let (ck, summary) = train_on(
                         &kernel,

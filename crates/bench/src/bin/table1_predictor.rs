@@ -13,14 +13,12 @@
 //!
 //! Usage: `table1_predictor [--scale smoke|default|full]`
 
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
 use serde::Serialize;
 use snowcat_bench::{pct, print_table, save_json, std_pipeline, Scale, FAMILY_SEED};
 use snowcat_cfg::KernelCfg;
-use snowcat_core::{as_labeled, train_pic};
+use snowcat_core::{as_labeled, train_pic, BaselineService, CoveragePredictor};
 use snowcat_kernel::KernelVersion;
-use snowcat_nn::{evaluate, evaluate_pooled, evaluate_predictions_pooled, BaselinePredictor, MeanMetrics};
+use snowcat_nn::{evaluate, evaluate_pooled, evaluate_predictions_pooled, MeanMetrics};
 
 #[derive(Serialize)]
 struct Table1Row {
@@ -79,7 +77,10 @@ fn main() {
     let n = s.examples.0.max(1);
     print_table(
         "Dataset composition (per-graph averages, train split; paper §5.1.1)",
-        &["verts", "URBs", "SCBs", "edges", "scb-flow", "urb-flow", "intra", "inter", "sched", "shortcut"],
+        &[
+            "verts", "URBs", "SCBs", "edges", "scb-flow", "urb-flow", "intra", "inter", "sched",
+            "shortcut",
+        ],
         &[vec![
             format!("{:.1}", st.verts as f64 / n as f64),
             format!("{:.1}", st.urbs as f64 / n as f64),
@@ -112,17 +113,18 @@ fn main() {
     };
     let pic_c = evaluate_pooled(&model, &eval_refs, thr, true);
 
-    let mut rng = ChaCha8Rng::seed_from_u64(FAMILY_SEED ^ 0x7AB1);
-    let all_pos_c = evaluate_predictions_pooled(&eval_refs, true, |g| {
-        BaselinePredictor::AllPos.predict(&mut rng, g.num_verts())
-    });
-    let fair_c = evaluate_predictions_pooled(&eval_refs, true, |g| {
-        BaselinePredictor::FairCoin.predict(&mut rng, g.num_verts())
-    });
+    // The paper's three naive baselines, served through the same
+    // `CoveragePredictor` trait the campaigns use (Table 1 is exactly the
+    // service's baseline tier).
+    let all_pos = BaselineService::all_pos();
+    let all_pos_c =
+        evaluate_predictions_pooled(&eval_refs, true, |g| all_pos.predict_one(g).positive);
+    let fair = BaselineService::fair_coin(FAMILY_SEED ^ 0x7AB1);
+    let fair_c = evaluate_predictions_pooled(&eval_refs, true, |g| fair.predict_one(g).positive);
     let base_rate = out.train_set.urb_positive_rate();
-    let biased_c = evaluate_predictions_pooled(&eval_refs, true, |g| {
-        BaselinePredictor::BiasedCoin(base_rate).predict(&mut rng, g.num_verts())
-    });
+    let biased = BaselineService::biased_coin(base_rate, FAMILY_SEED ^ 0x7AB1);
+    let biased_c =
+        evaluate_predictions_pooled(&eval_refs, true, |g| biased.predict_one(g).positive);
 
     let rows = vec![
         conf_row("PIC-5", &pic_c),

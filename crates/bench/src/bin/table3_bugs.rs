@@ -38,9 +38,21 @@ fn main() {
     println!(
         "kernel 6.1: {} planted bugs ({} easy / {} medium / {} hard)",
         kernel.bugs.len(),
-        kernel.bugs.iter().filter(|b| b.difficulty == snowcat_kernel::bugs::BugDifficulty::Easy).count(),
-        kernel.bugs.iter().filter(|b| b.difficulty == snowcat_kernel::bugs::BugDifficulty::Medium).count(),
-        kernel.bugs.iter().filter(|b| b.difficulty == snowcat_kernel::bugs::BugDifficulty::Hard).count(),
+        kernel
+            .bugs
+            .iter()
+            .filter(|b| b.difficulty == snowcat_kernel::bugs::BugDifficulty::Easy)
+            .count(),
+        kernel
+            .bugs
+            .iter()
+            .filter(|b| b.difficulty == snowcat_kernel::bugs::BugDifficulty::Medium)
+            .count(),
+        kernel
+            .bugs
+            .iter()
+            .filter(|b| b.difficulty == snowcat_kernel::bugs::BugDifficulty::Hard)
+            .count(),
     );
 
     println!("training (or loading) PIC-6 ...");
@@ -53,12 +65,10 @@ fn main() {
     // interacting inputs, and schedule selection decides success.
     let mut stream: Vec<(usize, usize)> = Vec::new();
     for bug in &kernel.bugs {
-        let ia = corpus
-            .iter()
-            .position(|p| p.sti.calls.iter().any(|c| c.syscall == bug.syscalls.0));
-        let ib = corpus
-            .iter()
-            .position(|p| p.sti.calls.iter().any(|c| c.syscall == bug.syscalls.1));
+        let ia =
+            corpus.iter().position(|p| p.sti.calls.iter().any(|c| c.syscall == bug.syscalls.0));
+        let ib =
+            corpus.iter().position(|p| p.sti.calls.iter().any(|c| c.syscall == bug.syscalls.1));
         if let (Some(a), Some(b)) = (ia, ib) {
             stream.push((a, b));
         }
@@ -101,19 +111,14 @@ fn main() {
         stream.extend(block.iter().copied());
     }
 
-    let explore = ExploreConfig {
-        exec_budget: scale.pick(10, 50, 80),
-        inference_cap: scale.pick(80, 600, 1600),
-        seed: FAMILY_SEED ^ 0xB065,
-    };
+    let explore = ExploreConfig::default()
+        .with_exec_budget(scale.pick(10, 50, 80))
+        .with_inference_cap(scale.pick(80, 600, 1600))
+        .with_seed(FAMILY_SEED ^ 0xB065);
     let cost = CostModel::default();
     let time_budget = Some(scale.pick(0.02, 2.0, 6.0));
 
-    println!(
-        "running PCT campaign ({:?} sim h over up to {} CTIs) ...",
-        time_budget,
-        stream.len()
-    );
+    println!("running PCT campaign ({:?} sim h over up to {} CTIs) ...", time_budget, stream.len());
     let pct = run_campaign_budgeted(
         &kernel,
         corpus,
@@ -124,12 +129,12 @@ fn main() {
         time_budget,
     );
     println!("running MLPCT-S1 campaign ...");
-    let mut pic = Pic::new(&checkpoint, &kernel, &cfg);
+    let pic = Pic::new(&checkpoint, &kernel, &cfg);
     let mlpct = run_campaign_budgeted(
         &kernel,
         corpus,
         &stream,
-        Explorer::MlPct { pic: &mut pic, strategy: Box::new(S1NewBitmap::new()) },
+        Explorer::mlpct(&pic, Box::new(S1NewBitmap::new())),
         &explore,
         &cost,
         time_budget,

@@ -15,7 +15,7 @@
 use serde::Serialize;
 use snowcat_bench::{cached_pic, print_table, save_json, std_pipeline, Scale, FAMILY_SEED};
 use snowcat_cfg::KernelCfg;
-use snowcat_core::{find_candidates, reproduce, CostModel, Pic, RazzerMode};
+use snowcat_core::{find_candidates, reproduce, CostModel, Pic, PredictorService, RazzerMode};
 use snowcat_corpus::StiFuzzer;
 use snowcat_kernel::KernelVersion;
 
@@ -61,17 +61,22 @@ fn main() {
         kernel.bugs.iter().filter(|b| b.harmful).collect();
     bugs.sort_by_key(|b| (kind_rank(b.kind), std::cmp::Reverse(b.difficulty)));
     bugs.truncate(6);
-    println!("target races: {}", bugs.iter().map(|b| b.summary.as_str()).collect::<Vec<_>>().join("; "));
+    println!(
+        "target races: {}",
+        bugs.iter().map(|b| b.summary.as_str()).collect::<Vec<_>>().join("; ")
+    );
 
     let schedules = scale.pick(40, 300, 1000);
     let mut rows: Vec<RaceRow> = Vec::new();
     for (ri, bug) in bugs.iter().enumerate() {
         let race_id = char::from(b'A' + ri as u8).to_string();
         for mode in [RazzerMode::Strict, RazzerMode::Relax, RazzerMode::Pic] {
-            let mut pic;
-            let pic_ref = if mode == RazzerMode::Pic {
+            let pic;
+            let service;
+            let svc_ref = if mode == RazzerMode::Pic {
                 pic = Pic::new(&checkpoint, &kernel, &cfg);
-                Some(&mut pic)
+                service = PredictorService::direct(&pic);
+                Some(&service)
             } else {
                 None
             };
@@ -81,7 +86,7 @@ fn main() {
                 &corpus,
                 bug,
                 mode,
-                pic_ref,
+                svc_ref,
                 FAMILY_SEED ^ ri as u64,
             );
             let res = reproduce(
@@ -131,18 +136,10 @@ fn main() {
     save_json("table4_razzer", &rows);
 
     // Shape summary.
-    let strict_missed = rows
-        .iter()
-        .filter(|r| r.mode == "Razzer" && r.true_positives == 0)
-        .count();
-    let relax_found = rows
-        .iter()
-        .filter(|r| r.mode == "Razzer-Relax" && r.true_positives > 0)
-        .count();
-    let pic_found = rows
-        .iter()
-        .filter(|r| r.mode == "Razzer-PIC" && r.true_positives > 0)
-        .count();
+    let strict_missed = rows.iter().filter(|r| r.mode == "Razzer" && r.true_positives == 0).count();
+    let relax_found =
+        rows.iter().filter(|r| r.mode == "Razzer-Relax" && r.true_positives > 0).count();
+    let pic_found = rows.iter().filter(|r| r.mode == "Razzer-PIC" && r.true_positives > 0).count();
     let speedups: Vec<f64> = (0..bugs.len())
         .filter_map(|ri| {
             let get = |mode: &str| {

@@ -21,7 +21,8 @@ use serde::Serialize;
 use snowcat_bench::{cached_pic, pct, print_table, save_json, std_pipeline, Scale, FAMILY_SEED};
 use snowcat_cfg::KernelCfg;
 use snowcat_core::{
-    cluster_ctis, member_exposes_bug, predict_members, run_sampling_trials, Pic, Sampler,
+    cluster_ctis, member_exposes_bug, predict_members, run_sampling_trials, Pic, PredictorService,
+    Sampler,
 };
 use snowcat_kernel::KernelVersion;
 
@@ -119,16 +120,15 @@ fn main() {
         Sampler::PicS2,
     ];
     let trials = scale.pick(100, 1000, 1000);
-    let mut pic = Pic::new(&checkpoint, &kernel, &cfg);
+    let pic = Pic::new(&checkpoint, &kernel, &cfg);
+    let service = PredictorService::direct(&pic);
     let mut rows: Vec<Table5Row> = Vec::new();
     for sampler in samplers {
         let mut prob_sum = 0.0;
         let mut rate_sum = 0.0;
         for (ci, (members, exposing)) in buggy.iter().enumerate() {
             let preds = match sampler {
-                Sampler::PicS1 | Sampler::PicS2 => {
-                    Some(predict_members(&mut pic, corpus, members))
-                }
+                Sampler::PicS1 | Sampler::PicS2 => Some(predict_members(&service, corpus, members)),
                 _ => None,
             };
             let mut trng = ChaCha8Rng::seed_from_u64(FAMILY_SEED ^ 0x7e1a ^ ci as u64);
@@ -163,9 +163,7 @@ fn main() {
         &["Sampler", "bug-finding probability", "sampling rate"],
         &rows
             .iter()
-            .map(|r| {
-                vec![r.sampler.clone(), pct(r.mean_probability), pct(r.mean_sampling_rate)]
-            })
+            .map(|r| vec![r.sampler.clone(), pct(r.mean_probability), pct(r.mean_sampling_rate)])
             .collect::<Vec<_>>(),
     );
     save_json("table5_snowboard", &rows);

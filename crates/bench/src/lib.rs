@@ -55,22 +55,18 @@ impl Scale {
 
 /// The standard training pipeline at a given scale (the "PIC-5" recipe).
 pub fn std_pipeline(scale: Scale) -> PipelineConfig {
-    PipelineConfig {
-        fuzz_iterations: scale.pick(20, 150, 300),
-        n_ctis: scale.pick(12, 400, 900),
-        train_interleavings: scale.pick(4, 16, 24),
-        eval_interleavings: scale.pick(6, 24, 48),
-        model: PicConfig {
+    PipelineConfig::default()
+        .with_fuzz_iterations(scale.pick(20, 150, 300))
+        .with_n_ctis(scale.pick(12, 400, 900))
+        .with_train_interleavings(scale.pick(4, 16, 24))
+        .with_eval_interleavings(scale.pick(6, 24, 48))
+        .with_model(PicConfig {
             hidden: scale.pick(16, 32, 48),
             layers: scale.pick(2, 5, 5),
             ..PicConfig::default()
-        },
-        train: TrainConfig {
-            epochs: scale.pick(2, 8, 12),
-            ..TrainConfig::default()
-        },
-        seed: FAMILY_SEED,
-    }
+        })
+        .with_train(TrainConfig { epochs: scale.pick(2, 8, 12), ..TrainConfig::default() })
+        .with_seed(FAMILY_SEED)
 }
 
 /// Print an aligned text table.

@@ -71,9 +71,7 @@ impl Args {
     pub fn get_parse<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, ArgError> {
         match self.get(key) {
             None => Ok(default),
-            Some(v) => {
-                v.parse().map_err(|_| ArgError::BadValue(key.to_string(), v.to_string()))
-            }
+            Some(v) => v.parse().map_err(|_| ArgError::BadValue(key.to_string(), v.to_string())),
         }
     }
 
@@ -134,10 +132,7 @@ mod tests {
 
     #[test]
     fn stray_positional_is_an_error() {
-        let err = Args::parse(
-            "fuzz extra".split_whitespace().map(String::from),
-        )
-        .unwrap_err();
+        let err = Args::parse("fuzz extra".split_whitespace().map(String::from)).unwrap_err();
         assert_eq!(err, ArgError::Unknown("extra".into()));
     }
 

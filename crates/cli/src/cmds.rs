@@ -1,18 +1,17 @@
 //! Implementations of the `snowcat` subcommands.
 
 use crate::args::Args;
-use snowcat_cfg::KernelCfg;
-use snowcat_core::{
-    explore_mlpct, explore_pct, find_candidates, reproduce, train_pic, ExploreConfig, Pic,
-    PipelineConfig, RazzerMode, S1NewBitmap,
-};
-use snowcat_corpus::{
-    build_dataset, encode_dataset, interacting_cti_pairs, DatasetConfig, StiFuzzer,
-};
-use snowcat_kernel::{asm, Kernel, KernelVersion};
-use snowcat_nn::{Checkpoint, PicConfig, TrainConfig};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use snowcat_cfg::KernelCfg;
+use snowcat_core::{
+    explore_mlpct, explore_pct, find_candidates, load_checkpoint, reproduce, save_checkpoint,
+    save_dataset, train_pic, CachedPredictor, CoveragePredictor, ExploreConfig, Pic,
+    PipelineConfig, PredictorService, RazzerMode, S1NewBitmap,
+};
+use snowcat_corpus::{build_dataset, interacting_cti_pairs, DatasetConfig, StiFuzzer};
+use snowcat_kernel::{asm, Kernel, KernelVersion};
+use snowcat_nn::{Checkpoint, PicConfig, TrainConfig};
 
 /// Default family seed, matching the experiment harness.
 const DEFAULT_SEED: u64 = 0x5EED_2023;
@@ -188,9 +187,9 @@ pub fn collect(args: &Args) -> CmdResult {
         stats.edges,
         ds.urb_positive_rate() * 100.0
     );
-    let bytes = encode_dataset(&ds);
-    std::fs::write(out, &bytes)?;
-    println!("wrote {} ({} KiB)", out, bytes.len() / 1024);
+    save_dataset(std::path::Path::new(&out), &ds)?;
+    let size = std::fs::metadata(out)?.len();
+    println!("wrote {} ({} KiB)", out, size / 1024);
     Ok(())
 }
 
@@ -201,18 +200,17 @@ pub fn train(args: &Args) -> CmdResult {
     let cfg = KernelCfg::build(&k);
     let out = args.get("out").ok_or("--out FILE is required")?;
     let seed = args.get_parse("seed", DEFAULT_SEED)?;
-    let pcfg = PipelineConfig {
-        fuzz_iterations: 150,
-        n_ctis: args.get_parse("ctis", 200usize)?,
-        train_interleavings: 12,
-        eval_interleavings: 12,
-        model: PicConfig::default(),
-        train: TrainConfig {
+    let pcfg = PipelineConfig::default()
+        .with_fuzz_iterations(150)
+        .with_n_ctis(args.get_parse("ctis", 200usize)?)
+        .with_train_interleavings(12)
+        .with_eval_interleavings(12)
+        .with_model(PicConfig::default())
+        .with_train(TrainConfig {
             epochs: args.get_parse("epochs", 6usize)?,
             ..TrainConfig::default()
-        },
-        seed,
-    };
+        })
+        .with_seed(seed);
     let checkpoint = if args.has_flag("flow") {
         println!("training PIC with the inter-thread-flow head ...");
         let data = snowcat_core::collect_data(&k, &cfg, &pcfg);
@@ -239,15 +237,14 @@ pub fn train(args: &Args) -> CmdResult {
         );
         outp.checkpoint
     };
-    std::fs::write(out, checkpoint.to_json()?)?;
+    save_checkpoint(std::path::Path::new(&out), &checkpoint)?;
     println!("wrote checkpoint to {out}");
     Ok(())
 }
 
 fn load_model(args: &Args) -> Result<Checkpoint, Box<dyn std::error::Error>> {
     let path = args.get("model").ok_or("--model FILE is required")?;
-    let text = std::fs::read_to_string(path)?;
-    Ok(Checkpoint::from_json(&text)?)
+    Ok(load_checkpoint(std::path::Path::new(&path))?)
 }
 
 /// `snowcat explore` — PCT vs MLPCT-S1 on a CTI stream.
@@ -267,28 +264,46 @@ pub fn explore(args: &Args) -> CmdResult {
     let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xE0);
     let ctis = interacting_cti_pairs(&mut rng, &corpus, n_ctis);
 
-    let explore_cfg = ExploreConfig { exec_budget: budget, inference_cap: 1600, seed };
-    let mut pic = Pic::new(&ck, &k, &cfg);
+    let explore_cfg =
+        ExploreConfig::default().with_exec_budget(budget).with_inference_cap(1600).with_seed(seed);
+    let pic = Pic::new(&ck, &k, &cfg);
+    // Memoize inference: re-proposed schedules across the CTI stream are
+    // served from the cache instead of re-running the model.
+    let cached = CachedPredictor::new(&pic, 4096);
+    let service = PredictorService::with(&pic, &cached);
     let mut strat = S1NewBitmap::new();
     let (mut pct_r, mut pct_e) = (0usize, 0u64);
     let (mut ml_r, mut ml_e, mut ml_i) = (0usize, 0u64, 0u64);
     let mut all_reports = Vec::new();
     for (ci, &(a, b)) in ctis.iter().enumerate() {
-        let c = ExploreConfig { seed: seed ^ (ci as u64) << 4, ..explore_cfg };
+        let c = explore_cfg.with_seed(seed ^ (ci as u64) << 4);
         let p = explore_pct(&k, &corpus[a], &corpus[b], &c);
         pct_r += p.race_keys().len();
         pct_e += p.executions;
-        let m = explore_mlpct(&k, &mut pic, &mut strat, &corpus[a], &corpus[b], &c);
+        let m = explore_mlpct(&k, &service, &mut strat, &corpus[a], &corpus[b], &c);
         ml_r += m.race_keys().len();
         ml_e += m.executions;
         ml_i += m.inferences;
         all_reports.extend(m.races);
     }
     println!("over {} CTIs with budget {}:", ctis.len(), budget);
-    println!("  PCT      : {pct_r} races, {pct_e} executions         (sim {:.0}s)", pct_e as f64 * 2.8);
+    println!(
+        "  PCT      : {pct_r} races, {pct_e} executions         (sim {:.0}s)",
+        pct_e as f64 * 2.8
+    );
     println!(
         "  MLPCT-S1 : {ml_r} races, {ml_e} executions, {ml_i} inferences (sim {:.0}s)",
         ml_e as f64 * 2.8 + ml_i as f64 * 0.015
+    );
+    let ps = service.stats();
+    println!(
+        "  predictor: {} via {}, {} model inferences, cache {}/{} hits ({:.0}% hit rate)",
+        cached.name(),
+        pic.name(),
+        ps.inferences,
+        ps.cache_hits,
+        ps.cache_hits + ps.cache_misses,
+        ps.hit_rate() * 100.0
     );
     println!(
         "  races per execution: PCT {:.2} vs MLPCT {:.2}",
@@ -300,8 +315,11 @@ pub fn explore(args: &Args) -> CmdResult {
     let mut findings = snowcat_core::triage(&k, &all_reports);
     findings.truncate(10);
     if !findings.is_empty() {
-        println!("
-{}", snowcat_core::render_findings(&k, &findings));
+        println!(
+            "
+{}",
+            snowcat_core::render_findings(&k, &findings)
+        );
     }
     Ok(())
 }
@@ -326,24 +344,25 @@ pub fn razzer(args: &Args) -> CmdResult {
     for bug in bugs {
         println!("race: {}", bug.summary);
         for mode in [RazzerMode::Strict, RazzerMode::Relax, RazzerMode::Pic] {
-            let mut pic;
-            let pic_ref = if mode == RazzerMode::Pic {
+            let pic;
+            let service;
+            let svc_ref = if mode == RazzerMode::Pic {
                 pic = Pic::new(&ck, &k, &cfg);
-                Some(&mut pic)
+                service = PredictorService::direct(&pic);
+                Some(&service)
             } else {
                 None
             };
-            let cands = find_candidates(&k, &cfg, &corpus, bug, mode, pic_ref, seed);
+            let cands = find_candidates(&k, &cfg, &corpus, bug, mode, svc_ref, seed);
             let res = reproduce(&k, &corpus, &cands, bug, mode, schedules, 2.8, seed ^ 0xF);
             match res.avg_hours {
                 Some(h) => println!(
                     "  {:<13} {:>4} candidates, {:>3} TPs, avg {h:.2} sim h",
                     res.mode, res.candidates, res.true_positives
                 ),
-                None => println!(
-                    "  {:<13} {:>4} candidates, NOT reproduced",
-                    res.mode, res.candidates
-                ),
+                None => {
+                    println!("  {:<13} {:>4} candidates, NOT reproduced", res.mode, res.candidates)
+                }
             }
         }
     }

@@ -8,6 +8,7 @@
 use crate::costmodel::CostModel;
 use crate::mlpct::{explore_mlpct, explore_pct, ExploreConfig};
 use crate::pic::Pic;
+use crate::predictor::PredictorService;
 use crate::strategy::{S1NewBitmap, S2NewBlocks, S3LimitedTrials, SelectionStrategy};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
@@ -77,13 +78,20 @@ impl CampaignResult {
 pub enum Explorer<'p, 'k> {
     /// Plain PCT (the SKI baseline).
     Pct,
-    /// MLPCT: PIC + a selection strategy.
+    /// MLPCT: a predictor service + a selection strategy.
     MlPct {
-        /// The deployed predictor.
-        pic: &'p mut Pic<'k>,
+        /// The predictor service (graph building + inference chain).
+        service: PredictorService<'p, 'k>,
         /// The candidate-selection strategy.
         strategy: Box<dyn SelectionStrategy>,
     },
+}
+
+impl<'p, 'k> Explorer<'p, 'k> {
+    /// MLPCT explorer predicting directly through the deployed PIC.
+    pub fn mlpct(pic: &'p Pic<'k>, strategy: Box<dyn SelectionStrategy>) -> Self {
+        Explorer::MlPct { service: PredictorService::direct(pic), strategy }
+    }
 }
 
 impl Explorer<'_, '_> {
@@ -147,8 +155,8 @@ pub fn run_campaign_budgeted(
         };
         let outcome = match &mut explorer {
             Explorer::Pct => explore_pct(kernel, a, b, &cfg),
-            Explorer::MlPct { pic, strategy } => {
-                explore_mlpct(kernel, pic, strategy.as_mut(), a, b, &cfg)
+            Explorer::MlPct { service, strategy } => {
+                explore_mlpct(kernel, service, strategy.as_mut(), a, b, &cfg)
             }
         };
         executions += outcome.executions;
@@ -263,12 +271,12 @@ pub fn run_campaigns_parallel_budgeted(
                         max_hours,
                     ),
                     ExplorerSpec::MlPct { checkpoint, strategy } => {
-                        let mut pic = Pic::new(checkpoint, kernel, cfg);
+                        let pic = Pic::new(checkpoint, kernel, cfg);
                         run_campaign_budgeted(
                             kernel,
                             corpus,
                             stream,
-                            Explorer::MlPct { pic: &mut pic, strategy: strategy.build() },
+                            Explorer::mlpct(&pic, strategy.build()),
                             explore_cfg,
                             cost,
                             max_hours,
@@ -291,12 +299,12 @@ pub fn run_campaigns_parallel_budgeted(
 mod tests {
     use super::*;
     use crate::strategy::S1NewBitmap;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
     use snowcat_cfg::KernelCfg;
     use snowcat_corpus::{random_cti_pairs, StiFuzzer};
     use snowcat_kernel::{generate, GenConfig};
     use snowcat_nn::{Checkpoint, PicConfig, PicModel};
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
 
     fn setup() -> (Kernel, KernelCfg, Vec<StiProfile>, Vec<(usize, usize)>) {
         let k = generate(&GenConfig::default());
@@ -329,13 +337,13 @@ mod tests {
         let (k, cfg_k, corpus, stream) = setup();
         let model = PicModel::new(PicConfig { hidden: 8, layers: 1, ..Default::default() });
         let ck = Checkpoint::new(&model, 0.5, "t");
-        let mut pic = Pic::new(&ck, &k, &cfg_k);
+        let pic = Pic::new(&ck, &k, &cfg_k);
         let cfg = ExploreConfig { exec_budget: 4, inference_cap: 40, ..Default::default() };
         let res = run_campaign(
             &k,
             &corpus,
             &stream,
-            Explorer::MlPct { pic: &mut pic, strategy: Box::new(S1NewBitmap::new()) },
+            Explorer::mlpct(&pic, Box::new(S1NewBitmap::new())),
             &cfg,
             &CostModel::default(),
         );
@@ -352,15 +360,8 @@ mod tests {
         let cost = CostModel::default();
         let full = run_campaign(&k, &corpus, &stream, Explorer::Pct, &cfg, &cost);
         let budget = full.last().hours / 2.0;
-        let cut = run_campaign_budgeted(
-            &k,
-            &corpus,
-            &stream,
-            Explorer::Pct,
-            &cfg,
-            &cost,
-            Some(budget),
-        );
+        let cut =
+            run_campaign_budgeted(&k, &corpus, &stream, Explorer::Pct, &cfg, &cost, Some(budget));
         assert!(cut.history.len() < full.history.len());
         // The budget is checked before each CTI, so at most one CTI of
         // overshoot is possible.
@@ -381,15 +382,14 @@ mod tests {
         ];
         let par = run_campaigns_parallel(&k, &cfg_k, &corpus, &stream, &specs, &ecfg, &cost);
         // Serial reference.
-        let serial_pct =
-            run_campaign(&k, &corpus, &stream, Explorer::Pct, &ecfg, &cost);
+        let serial_pct = run_campaign(&k, &corpus, &stream, Explorer::Pct, &ecfg, &cost);
         assert_eq!(par[0].history, serial_pct.history);
-        let mut pic = Pic::new(&ck, &k, &cfg_k);
+        let pic = Pic::new(&ck, &k, &cfg_k);
         let serial_s1 = run_campaign(
             &k,
             &corpus,
             &stream,
-            Explorer::MlPct { pic: &mut pic, strategy: Box::new(S1NewBitmap::new()) },
+            Explorer::mlpct(&pic, Box::new(S1NewBitmap::new())),
             &ecfg,
             &cost,
         );

@@ -174,10 +174,7 @@ mod tests {
         // recall ~0.69, 2.8 s executions, 0.015 s inferences.
         let c = CostModel::default();
         let e = filter_economics(&c, 0.011, 0.49, 0.69);
-        assert!(
-            e.filtered_seconds < e.unfiltered_seconds / 10.0,
-            "expected ≥10x speedup: {e:?}"
-        );
+        assert!(e.filtered_seconds < e.unfiltered_seconds / 10.0, "expected ≥10x speedup: {e:?}");
     }
 
     #[test]
@@ -196,10 +193,7 @@ mod tests {
         let rel = |a: f64, b: f64| (a - b).abs() / b.max(1e-9);
         assert!(rel(sim.unfiltered_execs, ana.unfiltered_execs) < 0.15, "{sim:?} vs {ana:?}");
         assert!(rel(sim.filtered_execs, ana.filtered_execs) < 0.15, "{sim:?} vs {ana:?}");
-        assert!(
-            rel(sim.filtered_inferences, ana.filtered_inferences) < 0.2,
-            "{sim:?} vs {ana:?}"
-        );
+        assert!(rel(sim.filtered_inferences, ana.filtered_inferences) < 0.2, "{sim:?} vs {ana:?}");
     }
 
     #[test]

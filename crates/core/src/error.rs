@@ -1,0 +1,157 @@
+//! Error handling for checkpoint and dataset persistence.
+//!
+//! The substrate crates return their own error types (`serde_json::Error`,
+//! [`snowcat_corpus::DecodeError`]); this module folds them — together with
+//! filesystem failures — into one [`SnowcatError`] so callers (notably the
+//! CLI) can report a path-qualified message and exit non-zero instead of
+//! panicking on a missing or corrupt file.
+
+use snowcat_corpus::{decode_dataset, encode_dataset, Dataset};
+use snowcat_nn::Checkpoint;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Unified error for checkpoint/dataset load and save paths.
+#[derive(Debug)]
+pub enum SnowcatError {
+    /// A filesystem read or write failed.
+    Io {
+        /// The file being read or written.
+        path: PathBuf,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
+    /// A file was read but its contents could not be parsed.
+    Parse {
+        /// The file being parsed.
+        path: PathBuf,
+        /// What the parser objected to.
+        message: String,
+    },
+    /// A configuration was rejected before any I/O happened.
+    Config(String),
+}
+
+impl fmt::Display for SnowcatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnowcatError::Io { path, source } => {
+                write!(f, "{}: {source}", path.display())
+            }
+            SnowcatError::Parse { path, message } => {
+                write!(f, "{}: {message}", path.display())
+            }
+            SnowcatError::Config(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SnowcatError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SnowcatError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+/// Load a PIC checkpoint from a JSON file.
+pub fn load_checkpoint(path: &Path) -> Result<Checkpoint, SnowcatError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|source| SnowcatError::Io { path: path.to_owned(), source })?;
+    Checkpoint::from_json(&text).map_err(|e| SnowcatError::Parse {
+        path: path.to_owned(),
+        message: format!("not a PIC checkpoint: {e}"),
+    })
+}
+
+/// Save a PIC checkpoint as JSON.
+pub fn save_checkpoint(path: &Path, ck: &Checkpoint) -> Result<(), SnowcatError> {
+    let json = ck.to_json().map_err(|e| SnowcatError::Parse {
+        path: path.to_owned(),
+        message: format!("checkpoint serialization failed: {e}"),
+    })?;
+    std::fs::write(path, json).map_err(|source| SnowcatError::Io { path: path.to_owned(), source })
+}
+
+/// Load a dataset, accepting either the SCDS binary format or JSON (the
+/// format is sniffed from the leading byte, so either output of
+/// [`save_dataset`] round-trips).
+pub fn load_dataset(path: &Path) -> Result<Dataset, SnowcatError> {
+    let bytes =
+        std::fs::read(path).map_err(|source| SnowcatError::Io { path: path.to_owned(), source })?;
+    // JSON datasets start with '{' (possibly after whitespace); the SCDS
+    // binary magic does not.
+    let looks_json = bytes.iter().find(|b| !b.is_ascii_whitespace()) == Some(&b'{');
+    if looks_json {
+        let text = String::from_utf8(bytes).map_err(|e| SnowcatError::Parse {
+            path: path.to_owned(),
+            message: format!("not UTF-8 JSON: {e}"),
+        })?;
+        Dataset::from_json(&text).map_err(|e| SnowcatError::Parse {
+            path: path.to_owned(),
+            message: format!("not a dataset: {e}"),
+        })
+    } else {
+        decode_dataset(bytes::Bytes::from(bytes)).map_err(|e| SnowcatError::Parse {
+            path: path.to_owned(),
+            message: format!("not an SCDS dataset: {e}"),
+        })
+    }
+}
+
+/// Save a dataset in the SCDS binary format.
+pub fn save_dataset(path: &Path, ds: &Dataset) -> Result<(), SnowcatError> {
+    let bytes = encode_dataset(ds);
+    std::fs::write(path, bytes.as_slice())
+        .map_err(|source| SnowcatError::Io { path: path.to_owned(), source })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snowcat_nn::{PicConfig, PicModel};
+
+    #[test]
+    fn checkpoint_roundtrip_and_error_paths() {
+        let dir = std::env::temp_dir().join("snowcat-error-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let model = PicModel::new(PicConfig { hidden: 4, layers: 1, ..Default::default() });
+        let ck = Checkpoint::new(&model, 0.5, "rt");
+        let path = dir.join("ck.json");
+        save_checkpoint(&path, &ck).unwrap();
+        let back = load_checkpoint(&path).unwrap();
+        assert_eq!(back.name, "rt");
+        assert_eq!(back.threshold, 0.5);
+
+        let missing = load_checkpoint(&dir.join("nope.json"));
+        assert!(matches!(missing, Err(SnowcatError::Io { .. })));
+        let msg = missing.unwrap_err().to_string();
+        assert!(msg.contains("nope.json"), "error names the path: {msg}");
+
+        let bad = dir.join("bad.json");
+        std::fs::write(&bad, "{\"not\": \"a checkpoint\"}").unwrap();
+        let parse = load_checkpoint(&bad);
+        assert!(matches!(parse, Err(SnowcatError::Parse { .. })));
+    }
+
+    #[test]
+    fn dataset_roundtrip_binary_and_json() {
+        let dir = std::env::temp_dir().join("snowcat-error-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let ds = Dataset::default();
+        let bin = dir.join("ds.scds");
+        save_dataset(&bin, &ds).unwrap();
+        let back = load_dataset(&bin).unwrap();
+        assert_eq!(back.examples.len(), ds.examples.len());
+
+        let json = dir.join("ds.json");
+        std::fs::write(&json, ds.to_json().unwrap()).unwrap();
+        let back2 = load_dataset(&json).unwrap();
+        assert_eq!(back2.examples.len(), ds.examples.len());
+
+        let garbage = dir.join("garbage.bin");
+        std::fs::write(&garbage, [0u8; 7]).unwrap();
+        assert!(matches!(load_dataset(&garbage), Err(SnowcatError::Parse { .. })));
+    }
+}

@@ -14,33 +14,45 @@
 //!   SB-PIC (§5.6.2, Table 5),
 //! * [`costmodel`] — the execution/inference cost model and the §A.6
 //!   analytic filter economics,
-//! * [`pipeline`] — end-to-end data collection + training + tuning.
+//! * [`pipeline`] — end-to-end data collection + training + tuning,
+//! * [`predictor`] — the unified [`predictor::CoveragePredictor`] service:
+//!   batched inference, Table-1 baselines, a parallel worker-pool wrapper
+//!   and the [`predictor::PredictorService`] bundle,
+//! * [`predcache`] — content-addressed prediction memoization,
+//! * [`error`] — [`error::SnowcatError`] and checkpoint/dataset I/O helpers.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod campaign;
 pub mod costmodel;
+pub mod error;
 pub mod mlpct;
 pub mod pic;
 pub mod pipeline;
+pub mod predcache;
+pub mod predictor;
 pub mod razzer;
 pub mod snowboard;
 pub mod strategy;
 pub mod triage;
 
 pub use campaign::{
-    run_campaign, run_campaign_budgeted, run_campaigns_parallel,
-    run_campaigns_parallel_budgeted, CampaignResult, Explorer, ExplorerSpec, HistoryPoint,
-    StrategyKind,
+    run_campaign, run_campaign_budgeted, run_campaigns_parallel, run_campaigns_parallel_budgeted,
+    CampaignResult, Explorer, ExplorerSpec, HistoryPoint, StrategyKind,
 };
 pub use costmodel::{filter_economics, simulate_filter, CostModel, FilterEconomics};
+pub use error::{load_checkpoint, load_dataset, save_checkpoint, save_dataset, SnowcatError};
 pub use mlpct::{explore_mlpct, explore_pct, explore_pct_native, ExploreConfig, ExploreOutcome};
-pub use pic::{Pic, PredictedCoverage};
+pub use pic::{checkpoint_fingerprint, Pic, PredictedCoverage};
 pub use pipeline::{
     as_flow_labeled, as_labeled, collect_data, fine_tune, pretrain_encoder, train_on,
-    train_on_with_flows, train_pic, CollectedData, PipelineConfig, PipelineOutput,
-    PipelineSummary,
+    train_on_with_flows, train_pic, CollectedData, PipelineConfig, PipelineOutput, PipelineSummary,
+};
+pub use predcache::CachedPredictor;
+pub use predictor::{
+    graph_fingerprint, BaselineService, CoveragePredictor, FlowPredictor, ParallelPredictor,
+    PredictorService, PredictorStats,
 };
 pub use razzer::{find_candidates, racing_blocks, reproduce, RazzerMode, ReproResult};
 pub use snowboard::{

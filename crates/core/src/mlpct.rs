@@ -8,7 +8,7 @@
 //! interesting, capped by an inference budget (the paper caps at 1,600
 //! inferences for a 50-execution budget).
 
-use crate::pic::Pic;
+use crate::predictor::PredictorService;
 use crate::strategy::SelectionStrategy;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -19,7 +19,12 @@ use snowcat_vm::{propose_hints, run_ct, BitSet, Cti, VmConfig};
 use std::collections::HashSet;
 
 /// Exploration budget for one CTI.
+///
+/// Construct with [`ExploreConfig::default`] and refine with the `with_*`
+/// builders; the struct is `#[non_exhaustive]` so fields can be added
+/// without breaking downstream crates.
 #[derive(Debug, Clone, Copy)]
+#[non_exhaustive]
 pub struct ExploreConfig {
     /// Dynamic executions allowed.
     pub exec_budget: usize,
@@ -32,6 +37,26 @@ pub struct ExploreConfig {
 impl Default for ExploreConfig {
     fn default() -> Self {
         Self { exec_budget: 50, inference_cap: 1600, seed: 0xE791 }
+    }
+}
+
+impl ExploreConfig {
+    /// Set the dynamic-execution budget.
+    pub fn with_exec_budget(mut self, exec_budget: usize) -> Self {
+        self.exec_budget = exec_budget;
+        self
+    }
+
+    /// Set the inference cap (MLPCT only).
+    pub fn with_inference_cap(mut self, inference_cap: usize) -> Self {
+        self.inference_cap = inference_cap;
+        self
+    }
+
+    /// Set the schedule-proposal seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
     }
 }
 
@@ -139,11 +164,7 @@ pub fn explore_pct_native(
     let mut seen_races = HashSet::new();
     for _ in 0..cfg.exec_budget {
         let mut sched = PctScheduler::new(&mut rng, 2, expected_len, depth);
-        let vm = Vm::new(
-            kernel,
-            vec![a.sti.clone(), b.sti.clone()],
-            VmConfig::default(),
-        );
+        let vm = Vm::new(kernel, vec![a.sti.clone(), b.sti.clone()], VmConfig::default());
         let r = vm.run(&mut sched);
         outcome.executions += 1;
         for report in detector.detect(kernel, &r) {
@@ -160,10 +181,13 @@ pub fn explore_pct_native(
 }
 
 /// Explore a CTI with MLPCT: same proposal stream, but only candidates the
-/// strategy selects (based on PIC's predicted coverage) are executed.
+/// strategy selects (based on the predicted coverage) are executed.
+///
+/// Predictions go through the [`PredictorService`]'s inference chain, so
+/// callers can route them through a cache or a worker pool transparently.
 pub fn explore_mlpct(
     kernel: &Kernel,
-    pic: &mut Pic<'_>,
+    service: &PredictorService<'_, '_>,
     strategy: &mut dyn SelectionStrategy,
     a: &StiProfile,
     b: &StiProfile,
@@ -173,7 +197,7 @@ pub fn explore_mlpct(
     let detector = RaceDetector::default();
     let cti = Cti::new(a.sti.clone(), b.sti.clone());
     let seq_cov = seq_union(kernel, a, b);
-    let base = pic.base_graph(a, b);
+    let base = service.base_graph(a, b);
     let mut outcome = ExploreOutcome {
         executions: 0,
         inferences: 0,
@@ -193,7 +217,7 @@ pub fn explore_mlpct(
             outcome.inferences += 1;
             continue;
         }
-        let pred = pic.predict_with_base(&base, a, b, &hints);
+        let pred = service.predict_candidate(&base, a, b, &hints);
         outcome.inferences += 1;
         if !strategy.select(&pred) {
             continue;
@@ -216,6 +240,7 @@ pub fn explore_mlpct(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::pic::Pic;
     use crate::strategy::S1NewBitmap;
     use snowcat_cfg::KernelCfg;
     use snowcat_corpus::StiFuzzer;
@@ -236,14 +261,8 @@ mod tests {
         let (k, _, corpus) = setup();
         let cfg = ExploreConfig { exec_budget: 10, ..Default::default() };
         let bug = &k.bugs[0];
-        let a = corpus
-            .iter()
-            .find(|p| p.sti.calls[0].syscall == bug.syscalls.0)
-            .unwrap();
-        let b = corpus
-            .iter()
-            .find(|p| p.sti.calls[0].syscall == bug.syscalls.1)
-            .unwrap();
+        let a = corpus.iter().find(|p| p.sti.calls[0].syscall == bug.syscalls.0).unwrap();
+        let b = corpus.iter().find(|p| p.sti.calls[0].syscall == bug.syscalls.1).unwrap();
         let out = explore_pct(&k, a, b, &cfg);
         assert!(out.executions <= 10);
         assert_eq!(out.inferences, 0);
@@ -254,10 +273,11 @@ mod tests {
         let (k, cfg_k, corpus) = setup();
         let model = PicModel::new(PicConfig { hidden: 8, layers: 1, ..Default::default() });
         let ck = Checkpoint::new(&model, 0.5, "t");
-        let mut pic = Pic::new(&ck, &k, &cfg_k);
+        let pic = Pic::new(&ck, &k, &cfg_k);
+        let svc = PredictorService::direct(&pic);
         let mut strat = S1NewBitmap::new();
-        let cfg = ExploreConfig { exec_budget: 8, inference_cap: 60, seed: 3 };
-        let out = explore_mlpct(&k, &mut pic, &mut strat, &corpus[0], &corpus[1], &cfg);
+        let cfg = ExploreConfig::default().with_exec_budget(8).with_inference_cap(60).with_seed(3);
+        let out = explore_mlpct(&k, &svc, &mut strat, &corpus[0], &corpus[1], &cfg);
         assert!(out.executions <= 8);
         assert!(out.inferences <= 60);
         assert!(out.inferences >= out.executions, "every execution was predicted first");

@@ -1,13 +1,19 @@
 //! The deployed coverage predictor: trained model + tuned threshold + graph
 //! construction, packaged behind the interface the testing workflow uses
 //! ("given a CT candidate, predict its block coverage").
+//!
+//! Inference goes through the [`crate::predictor::CoveragePredictor`] trait,
+//! which [`Pic`] implements; this module keeps the graph-construction side
+//! (base graphs, schedule overlays) and the prediction result type.
 
+use crate::predictor::{fnv1a, CoveragePredictor, FlowPredictor, PredictorStats};
 use snowcat_cfg::KernelCfg;
 use snowcat_corpus::StiProfile;
 use snowcat_graph::{CtGraph, CtGraphBuilder};
 use snowcat_kernel::{BlockId, Kernel, ThreadId};
 use snowcat_nn::{Checkpoint, PicModel};
 use snowcat_vm::ScheduleHints;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Predicted coverage for one CT candidate.
 #[derive(Debug, Clone)]
@@ -34,34 +40,34 @@ impl PredictedCoverage {
 
     /// Whether any vertex for `block` (either thread) is predicted covered.
     pub fn covers_block(&self, block: BlockId) -> bool {
-        self.graph
-            .verts
-            .iter()
-            .zip(&self.positive)
-            .any(|(v, &p)| p && v.block == block)
+        self.graph.verts.iter().zip(&self.positive).any(|(v, &p)| p && v.block == block)
     }
 
     /// Indices of predicted-positive vertices.
     pub fn positive_indices(&self) -> Vec<usize> {
-        self.positive
-            .iter()
-            .enumerate()
-            .filter(|(_, &p)| p)
-            .map(|(i, _)| i)
-            .collect()
+        self.positive.iter().enumerate().filter(|(_, &p)| p).map(|(i, _)| i).collect()
     }
 }
 
-/// The deployable PIC predictor.
+/// The deployable PIC predictor: a restored model, its tuned threshold, and
+/// the graph builder for the kernel it was deployed against.
+///
+/// Inference state (the model, the threshold, the inference counter) is
+/// encapsulated: predictions go through [`CoveragePredictor::predict_batch`]
+/// / [`CoveragePredictor::predict_one`], counters come back via
+/// [`CoveragePredictor::stats`], and the model/threshold are read-only
+/// through [`Pic::model`] and [`Pic::threshold`].
 pub struct Pic<'k> {
-    /// The trained model.
-    pub model: PicModel,
-    /// Tuned classification threshold.
-    pub threshold: f32,
+    model: PicModel,
+    threshold: f32,
     builder: CtGraphBuilder<'k>,
     /// Inferences performed (for inference-budget accounting, §5.3.1 caps
-    /// these at 1,600 per CTI).
-    pub inferences: u64,
+    /// these at 1,600 per CTI). Atomic so shared references can predict
+    /// concurrently (see [`crate::predictor::ParallelPredictor`]).
+    inferences: AtomicU64,
+    batches: AtomicU64,
+    fingerprint: u64,
+    name: String,
 }
 
 impl<'k> Pic<'k> {
@@ -71,8 +77,26 @@ impl<'k> Pic<'k> {
             model: checkpoint.restore(),
             threshold: checkpoint.threshold,
             builder: CtGraphBuilder::new(kernel, cfg),
-            inferences: 0,
+            inferences: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            fingerprint: checkpoint_fingerprint(checkpoint),
+            name: checkpoint.name.clone(),
         }
+    }
+
+    /// The restored model (read-only).
+    pub fn model(&self) -> &PicModel {
+        &self.model
+    }
+
+    /// The tuned classification threshold.
+    pub fn threshold(&self) -> f32 {
+        self.threshold
+    }
+
+    /// Total inferences performed so far (same as `stats().inferences`).
+    pub fn inferences(&self) -> u64 {
+        self.inferences.load(Ordering::Relaxed)
     }
 
     /// Access the underlying graph builder.
@@ -86,50 +110,76 @@ impl<'k> Pic<'k> {
         self.builder.build_base(&a.seq, &b.seq)
     }
 
-    /// Predict coverage of a CT candidate, given its CTI's base graph.
-    pub fn predict_with_base(
-        &mut self,
+    /// Overlay a candidate schedule on a CTI's base graph, producing the
+    /// complete CT graph a predictor consumes.
+    pub fn candidate_graph(
+        &self,
         base: &CtGraph,
         a: &StiProfile,
         b: &StiProfile,
         hints: &ScheduleHints,
-    ) -> PredictedCoverage {
-        let graph = self.builder.with_schedule(base, &a.seq, &b.seq, hints);
-        let probs = self.model.forward(&graph);
-        let positive = probs.iter().map(|&p| p >= self.threshold).collect();
-        self.inferences += 1;
-        PredictedCoverage { graph, probs, positive }
+    ) -> CtGraph {
+        self.builder.with_schedule(base, &a.seq, &b.seq, hints)
+    }
+}
+
+impl CoveragePredictor for Pic<'_> {
+    fn predict_batch(&self, graphs: &[CtGraph]) -> Vec<PredictedCoverage> {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.inferences.fetch_add(graphs.len() as u64, Ordering::Relaxed);
+        graphs
+            .iter()
+            .map(|graph| {
+                let probs = self.model.forward(graph);
+                let positive = probs.iter().map(|&p| p >= self.threshold).collect();
+                PredictedCoverage { graph: graph.clone(), probs, positive }
+            })
+            .collect()
     }
 
-    /// Predict coverage *and* inter-thread-flow probabilities of a CT
-    /// candidate (the flow head is only meaningful on models trained with
-    /// [`snowcat_nn::train_with_flows`]). The second return value is aligned
-    /// with `graph.edges` (0.0 on non-InterFlow edges).
-    pub fn predict_with_flows(
-        &mut self,
-        base: &CtGraph,
-        a: &StiProfile,
-        b: &StiProfile,
-        hints: &ScheduleHints,
-    ) -> (PredictedCoverage, Vec<f32>) {
-        let graph = self.builder.with_schedule(base, &a.seq, &b.seq, hints);
-        let (probs, cache) = self.model.forward_cached(&graph);
-        let flows = self.model.forward_flows(&graph, &cache);
-        let positive = probs.iter().map(|&p| p >= self.threshold).collect();
-        self.inferences += 1;
-        (PredictedCoverage { graph, probs, positive }, flows)
+    fn stats(&self) -> PredictorStats {
+        PredictorStats {
+            inferences: self.inferences.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            ..PredictorStats::default()
+        }
     }
 
-    /// Predict coverage of a CT candidate from scratch.
-    pub fn predict(
-        &mut self,
-        a: &StiProfile,
-        b: &StiProfile,
-        hints: &ScheduleHints,
-    ) -> PredictedCoverage {
-        let base = self.base_graph(a, b);
-        self.predict_with_base(&base, a, b, hints)
+    fn fingerprint(&self) -> u64 {
+        self.fingerprint
     }
+
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+}
+
+impl FlowPredictor for Pic<'_> {
+    fn predict_with_flows(&self, graph: &CtGraph) -> (PredictedCoverage, Vec<f32>) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.inferences.fetch_add(1, Ordering::Relaxed);
+        let (probs, cache) = self.model.forward_cached(graph);
+        let flows = self.model.forward_flows(graph, &cache);
+        let positive = probs.iter().map(|&p| p >= self.threshold).collect();
+        (PredictedCoverage { graph: graph.clone(), probs, positive }, flows)
+    }
+}
+
+/// Content fingerprint of a checkpoint, used to key prediction caches: two
+/// deployments of the same trained model agree, different trainings (almost
+/// surely) differ. Hashes the provenance name, the threshold, the model
+/// hyperparameters and a prefix of the learned token embedding.
+pub fn checkpoint_fingerprint(ck: &Checkpoint) -> u64 {
+    let mut h = fnv1a(0xcbf2_9ce4_8422_2325, ck.name.as_bytes());
+    h = fnv1a(h, &ck.threshold.to_bits().to_le_bytes());
+    h = fnv1a(h, &(ck.cfg.hidden as u64).to_le_bytes());
+    h = fnv1a(h, &(ck.cfg.layers as u64).to_le_bytes());
+    let emb = &ck.params.tok_emb.data;
+    h = fnv1a(h, &(emb.len() as u64).to_le_bytes());
+    for v in emb.iter().take(256) {
+        h = fnv1a(h, &v.to_bits().to_le_bytes());
+    }
+    h
 }
 
 #[cfg(test)]
@@ -149,19 +199,22 @@ mod tests {
         let corpus = fz.into_corpus();
         let model = PicModel::new(PicConfig { hidden: 8, layers: 1, ..Default::default() });
         let ck = Checkpoint::new(&model, 0.5, "t");
-        let mut pic = Pic::new(&ck, &k, &cfg);
+        let pic = Pic::new(&ck, &k, &cfg);
         let mut rng = rand::rngs::mock::StepRng::new(42, 77);
         let hints = propose_hints(&mut rng, corpus[0].seq.steps, corpus[1].seq.steps);
-        let pred = pic.predict(&corpus[0], &corpus[1], &hints);
+        let base = pic.base_graph(&corpus[0], &corpus[1]);
+        let graph = pic.candidate_graph(&base, &corpus[0], &corpus[1], &hints);
+        let pred = pic.predict_one(&graph);
         assert_eq!(pred.probs.len(), pred.graph.num_verts());
         assert_eq!(pred.positive.len(), pred.graph.num_verts());
-        assert_eq!(pic.inferences, 1);
+        assert_eq!(pic.inferences(), 1);
+        assert_eq!(pic.stats().inferences, 1);
         // positive_blocks consistent with positive flags.
         assert_eq!(pred.positive_blocks().len(), pred.positive_indices().len());
     }
 
     #[test]
-    fn base_graph_reuse_matches_fresh_build() {
+    fn batch_prediction_matches_one_by_one() {
         let k = generate(&GenConfig::default());
         let cfg = KernelCfg::build(&k);
         let mut fz = StiFuzzer::new(&k, 2);
@@ -169,13 +222,34 @@ mod tests {
         let corpus = fz.into_corpus();
         let model = PicModel::new(PicConfig { hidden: 8, layers: 1, ..Default::default() });
         let ck = Checkpoint::new(&model, 0.5, "t");
-        let mut pic = Pic::new(&ck, &k, &cfg);
+        let pic = Pic::new(&ck, &k, &cfg);
         let mut rng = rand::rngs::mock::StepRng::new(7, 3);
-        let hints = propose_hints(&mut rng, corpus[2].seq.steps, corpus[3].seq.steps);
         let base = pic.base_graph(&corpus[2], &corpus[3]);
-        let via_base = pic.predict_with_base(&base, &corpus[2], &corpus[3], &hints);
-        let fresh = pic.predict(&corpus[2], &corpus[3], &hints);
-        assert_eq!(via_base.graph, fresh.graph);
-        assert_eq!(via_base.probs, fresh.probs);
+        let graphs: Vec<CtGraph> = (0..4)
+            .map(|_| {
+                let hints = propose_hints(&mut rng, corpus[2].seq.steps, corpus[3].seq.steps);
+                pic.candidate_graph(&base, &corpus[2], &corpus[3], &hints)
+            })
+            .collect();
+        let batch = pic.predict_batch(&graphs);
+        assert_eq!(batch.len(), graphs.len());
+        for (g, p) in graphs.iter().zip(&batch) {
+            let one = pic.predict_one(g);
+            assert_eq!(one.graph, p.graph);
+            assert_eq!(one.probs, p.probs);
+            assert_eq!(one.positive, p.positive);
+        }
+        assert_eq!(pic.inferences(), 8, "4 batched + 4 single");
+    }
+
+    #[test]
+    fn checkpoint_fingerprint_distinguishes_models() {
+        let model = PicModel::new(PicConfig { hidden: 8, layers: 1, ..Default::default() });
+        let a = Checkpoint::new(&model, 0.5, "a");
+        let b = Checkpoint::new(&model, 0.5, "b");
+        let c = Checkpoint::new(&model, 0.25, "a");
+        assert_eq!(checkpoint_fingerprint(&a), checkpoint_fingerprint(&a));
+        assert_ne!(checkpoint_fingerprint(&a), checkpoint_fingerprint(&b));
+        assert_ne!(checkpoint_fingerprint(&a), checkpoint_fingerprint(&c));
     }
 }

@@ -2,6 +2,8 @@
 //! tune → deployable checkpoint. This is the "240 hours of data collection
 //! and training" step of the paper, scaled to minutes.
 
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 use snowcat_cfg::KernelCfg;
 use snowcat_corpus::{build_dataset, make_splits, Dataset, DatasetConfig, StiFuzzer, StiProfile};
@@ -11,11 +13,14 @@ use snowcat_nn::{
     evaluate, pretrain, train, tune_threshold_f2_pooled, urb_average_precision, Checkpoint,
     LabeledGraph, MeanMetrics, PicConfig, PicModel, PretrainConfig, TrainConfig,
 };
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
 
 /// Pipeline configuration (scaled-down analogue of §5.1.1).
+///
+/// Construct with [`PipelineConfig::default`] and refine with the `with_*`
+/// builders; the struct is `#[non_exhaustive]` so fields can be added
+/// without breaking downstream crates.
 #[derive(Debug, Clone, Copy)]
+#[non_exhaustive]
 pub struct PipelineConfig {
     /// Fuzzing iterations for the STI corpus.
     pub fuzz_iterations: usize,
@@ -44,6 +49,50 @@ impl Default for PipelineConfig {
             train: TrainConfig::default(),
             seed: 0x517E,
         }
+    }
+}
+
+impl PipelineConfig {
+    /// Set the STI-corpus fuzzing iterations.
+    pub fn with_fuzz_iterations(mut self, fuzz_iterations: usize) -> Self {
+        self.fuzz_iterations = fuzz_iterations;
+        self
+    }
+
+    /// Set the number of CTIs drawn.
+    pub fn with_n_ctis(mut self, n_ctis: usize) -> Self {
+        self.n_ctis = n_ctis;
+        self
+    }
+
+    /// Set the interleavings per training/validation CTI.
+    pub fn with_train_interleavings(mut self, train_interleavings: usize) -> Self {
+        self.train_interleavings = train_interleavings;
+        self
+    }
+
+    /// Set the interleavings per evaluation CTI.
+    pub fn with_eval_interleavings(mut self, eval_interleavings: usize) -> Self {
+        self.eval_interleavings = eval_interleavings;
+        self
+    }
+
+    /// Set the model hyperparameters.
+    pub fn with_model(mut self, model: PicConfig) -> Self {
+        self.model = model;
+        self
+    }
+
+    /// Set the training schedule.
+    pub fn with_train(mut self, train: TrainConfig) -> Self {
+        self.train = train;
+        self
+    }
+
+    /// Set the master seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
     }
 }
 
@@ -96,10 +145,7 @@ pub fn as_labeled(ds: &Dataset) -> Vec<LabeledGraph<'_>> {
 /// Borrow a dataset as (graph, labels, flow labels) triples for joint
 /// coverage + flow training.
 pub fn as_flow_labeled(ds: &Dataset) -> Vec<snowcat_nn::FlowLabeledGraph<'_>> {
-    ds.examples
-        .iter()
-        .map(|e| (&e.graph, e.labels.as_slice(), e.flow_labels.as_slice()))
-        .collect()
+    ds.examples.iter().map(|e| (&e.graph, e.labels.as_slice(), e.flow_labels.as_slice())).collect()
 }
 
 /// Like [`train_on`], but jointly trains the inter-thread-flow head
@@ -167,14 +213,10 @@ pub fn collect_data(kernel: &Kernel, cfg: &KernelCfg, pcfg: &PipelineConfig) -> 
 
     let mut rng = ChaCha8Rng::seed_from_u64(pcfg.seed ^ 0xC71);
     let splits = make_splits(&mut rng, &corpus, pcfg.n_ctis);
-    let dc_train = DatasetConfig {
-        interleavings_per_cti: pcfg.train_interleavings,
-        seed: pcfg.seed ^ 0x1,
-    };
-    let dc_eval = DatasetConfig {
-        interleavings_per_cti: pcfg.eval_interleavings,
-        seed: pcfg.seed ^ 0x2,
-    };
+    let dc_train =
+        DatasetConfig { interleavings_per_cti: pcfg.train_interleavings, seed: pcfg.seed ^ 0x1 };
+    let dc_eval =
+        DatasetConfig { interleavings_per_cti: pcfg.eval_interleavings, seed: pcfg.seed ^ 0x2 };
     let train_set = build_dataset(kernel, cfg, &corpus, &splits.train, dc_train);
     let valid_set = build_dataset(kernel, cfg, &corpus, &splits.valid, dc_train);
     let eval_set = build_dataset(kernel, cfg, &corpus, &splits.eval, dc_eval);
@@ -183,7 +225,11 @@ pub fn collect_data(kernel: &Kernel, cfg: &KernelCfg, pcfg: &PipelineConfig) -> 
 
 /// Pre-train the assembly encoder on the whole kernel image (the
 /// RoBERTa-pre-training role; done once per architecture dimension).
-pub fn pretrain_encoder(kernel: &Kernel, model: &PicConfig, seed: u64) -> snowcat_nn::PretrainReport {
+pub fn pretrain_encoder(
+    kernel: &Kernel,
+    model: &PicConfig,
+    seed: u64,
+) -> snowcat_nn::PretrainReport {
     let sequences: Vec<Vec<u32>> = kernel
         .blocks
         .iter()
@@ -241,7 +287,12 @@ pub fn train_on(
 /// Run the full pipeline on a kernel: fuzz, collect, pre-train, train, tune.
 ///
 /// `name` tags the resulting checkpoint (e.g. `"PIC-5"`).
-pub fn train_pic(kernel: &Kernel, cfg: &KernelCfg, pcfg: &PipelineConfig, name: &str) -> PipelineOutput {
+pub fn train_pic(
+    kernel: &Kernel,
+    cfg: &KernelCfg,
+    pcfg: &PipelineConfig,
+    name: &str,
+) -> PipelineOutput {
     let data = collect_data(kernel, cfg, pcfg);
     let (checkpoint, summary) = train_on(kernel, &data, pcfg.model, pcfg.train, pcfg.seed, name);
     let CollectedData { corpus, train_set, valid_set, eval_set } = data;

@@ -1,0 +1,274 @@
+//! Content-addressed memoization for coverage predictors.
+//!
+//! Snowcat's workflows re-predict: MLPCT revisits a CTI across campaign
+//! rounds, Razzer filters overlapping candidate pools, Snowboard re-ranks
+//! the same cluster exemplars. A CT graph is a pure function of the CTI
+//! pair and the scheduling hints, and a prediction is a pure function of
+//! the CT graph and the checkpoint, so memoizing on
+//! `(checkpoint fingerprint, graph fingerprint)` is sound: a hit returns
+//! bit-identical output to a fresh inference.
+
+use crate::pic::PredictedCoverage;
+use crate::predictor::{fnv1a, graph_fingerprint, CoveragePredictor, PredictorStats};
+use parking_lot::{Mutex, RwLock};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A memoizing wrapper around any [`CoveragePredictor`]. Keys combine the
+/// inner predictor's model fingerprint with the graph's content
+/// fingerprint, so caches never leak predictions across checkpoints.
+/// Bounded FIFO: when more than `capacity` distinct graphs have been
+/// predicted, the oldest entries are evicted.
+pub struct CachedPredictor<P> {
+    inner: P,
+    capacity: usize,
+    map: RwLock<HashMap<u64, PredictedCoverage>>,
+    /// Insertion order for FIFO eviction.
+    order: Mutex<VecDeque<u64>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    batches: AtomicU64,
+}
+
+impl<P: CoveragePredictor> CachedPredictor<P> {
+    /// Wrap `inner` with a cache holding up to `capacity` predictions.
+    pub fn new(inner: P, capacity: usize) -> Self {
+        Self {
+            inner,
+            capacity: capacity.max(1),
+            map: RwLock::new(HashMap::new()),
+            order: Mutex::new(VecDeque::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+        }
+    }
+
+    /// The wrapped predictor.
+    pub fn inner(&self) -> &P {
+        &self.inner
+    }
+
+    /// Maximum number of cached predictions.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of predictions currently cached.
+    pub fn len(&self) -> usize {
+        self.map.read().len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop all cached predictions (counters are kept).
+    pub fn clear(&self) {
+        self.map.write().clear();
+        self.order.lock().clear();
+    }
+
+    fn key(&self, g: &snowcat_graph::CtGraph) -> u64 {
+        fnv1a(self.inner.fingerprint(), &graph_fingerprint(g).to_le_bytes())
+    }
+
+    fn insert(&self, key: u64, pred: PredictedCoverage) {
+        let mut map = self.map.write();
+        let mut order = self.order.lock();
+        if map.insert(key, pred).is_none() {
+            order.push_back(key);
+            while map.len() > self.capacity {
+                if let Some(old) = order.pop_front() {
+                    map.remove(&old);
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+impl<P: CoveragePredictor> CoveragePredictor for CachedPredictor<P> {
+    fn predict_batch(&self, graphs: &[snowcat_graph::CtGraph]) -> Vec<PredictedCoverage> {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        let keys: Vec<u64> = graphs.iter().map(|g| self.key(g)).collect();
+
+        // Probe under the read lock; remember which slots missed.
+        let mut out: Vec<Option<PredictedCoverage>> = {
+            let map = self.map.read();
+            keys.iter().map(|k| map.get(k).cloned()).collect()
+        };
+
+        // One inner batch for the distinct missing graphs (an intra-batch
+        // duplicate is inferred once and fans out to all its slots).
+        let mut miss_keys: Vec<u64> = Vec::new();
+        let mut miss_graphs: Vec<snowcat_graph::CtGraph> = Vec::new();
+        for (i, slot) in out.iter().enumerate() {
+            if slot.is_none() && !miss_keys.contains(&keys[i]) {
+                miss_keys.push(keys[i]);
+                miss_graphs.push(graphs[i].clone());
+            }
+        }
+        let mut fresh: HashMap<u64, PredictedCoverage> = HashMap::new();
+        if !miss_graphs.is_empty() {
+            let predicted = self.inner.predict_batch(&miss_graphs);
+            for (k, p) in miss_keys.iter().zip(predicted) {
+                self.insert(*k, p.clone());
+                fresh.insert(*k, p);
+            }
+        }
+
+        let mut hits = 0u64;
+        let mut misses = 0u64;
+        for (i, slot) in out.iter_mut().enumerate() {
+            if slot.is_some() {
+                hits += 1;
+            } else {
+                misses += 1;
+                // Resolve from `fresh`, not the map: with a tiny capacity the
+                // entry may already have been evicted again.
+                *slot = Some(
+                    fresh.get(&keys[i]).expect("every miss key was inferred this batch").clone(),
+                );
+            }
+        }
+        self.hits.fetch_add(hits, Ordering::Relaxed);
+        self.misses.fetch_add(misses, Ordering::Relaxed);
+        out.into_iter().map(|p| p.expect("every slot resolved")).collect()
+    }
+
+    fn stats(&self) -> PredictorStats {
+        let inner = self.inner.stats();
+        PredictorStats {
+            batches: self.batches.load(Ordering::Relaxed),
+            cache_hits: inner.cache_hits + self.hits.load(Ordering::Relaxed),
+            cache_misses: inner.cache_misses + self.misses.load(Ordering::Relaxed),
+            cache_evictions: inner.cache_evictions + self.evictions.load(Ordering::Relaxed),
+            ..inner
+        }
+    }
+
+    fn fingerprint(&self) -> u64 {
+        self.inner.fingerprint()
+    }
+
+    fn name(&self) -> String {
+        format!("cached{}({})", self.capacity, self.inner.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pic::Pic;
+    use rand::SeedableRng;
+    use snowcat_cfg::KernelCfg;
+    use snowcat_corpus::StiFuzzer;
+    use snowcat_graph::CtGraph;
+    use snowcat_kernel::{generate, GenConfig, Kernel};
+    use snowcat_nn::{Checkpoint, PicConfig, PicModel};
+    use snowcat_vm::propose_hints;
+
+    fn setup(n: usize) -> (Kernel, Checkpoint, Vec<CtGraph>) {
+        let k = generate(&GenConfig::default());
+        let cfg = KernelCfg::build(&k);
+        let mut fz = StiFuzzer::new(&k, 5);
+        fz.seed_each_syscall();
+        let corpus = fz.into_corpus();
+        let model = PicModel::new(PicConfig { hidden: 8, layers: 1, ..Default::default() });
+        let ck = Checkpoint::new(&model, 0.5, "t");
+        let graphs = {
+            let pic = Pic::new(&ck, &k, &cfg);
+            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0xD15_71AC);
+            let base = pic.base_graph(&corpus[0], &corpus[1]);
+            let mut out: Vec<CtGraph> = Vec::new();
+            let mut fps = std::collections::HashSet::new();
+            while out.len() < n {
+                let hints = propose_hints(&mut rng, corpus[0].seq.steps, corpus[1].seq.steps);
+                let g = pic.candidate_graph(&base, &corpus[0], &corpus[1], &hints);
+                if fps.insert(graph_fingerprint(&g)) {
+                    out.push(g);
+                }
+            }
+            out
+        };
+        (k, ck, graphs)
+    }
+
+    #[test]
+    fn repeats_hit_and_match_fresh_inference() {
+        let (k, ck, graphs) = setup(4);
+        let cfg = KernelCfg::build(&k);
+        let pic = Pic::new(&ck, &k, &cfg);
+        let cached = CachedPredictor::new(&pic, 64);
+        let first = cached.predict_batch(&graphs);
+        let second = cached.predict_batch(&graphs);
+        for (a, b) in first.iter().zip(&second) {
+            assert_eq!(a.probs, b.probs);
+            assert_eq!(a.positive, b.positive);
+        }
+        let s = cached.stats();
+        assert_eq!(s.cache_misses, 4);
+        assert_eq!(s.cache_hits, 4);
+        assert_eq!(s.inferences, 4, "second pass served entirely from cache");
+        assert!(s.hit_rate() > 0.49 && s.hit_rate() < 0.51);
+        assert_eq!(cached.len(), 4);
+    }
+
+    #[test]
+    fn intra_batch_duplicates_infer_once() {
+        let (k, ck, graphs) = setup(2);
+        let cfg = KernelCfg::build(&k);
+        let pic = Pic::new(&ck, &k, &cfg);
+        let cached = CachedPredictor::new(&pic, 64);
+        let doubled =
+            vec![graphs[0].clone(), graphs[1].clone(), graphs[0].clone(), graphs[1].clone()];
+        let out = cached.predict_batch(&doubled);
+        assert_eq!(out.len(), 4);
+        assert_eq!(out[0].probs, out[2].probs);
+        assert_eq!(out[1].probs, out[3].probs);
+        assert_eq!(cached.stats().inferences, 2, "duplicates deduped before inference");
+        assert_eq!(cached.stats().cache_misses, 4, "all four slots missed the cache");
+    }
+
+    #[test]
+    fn fifo_eviction_respects_capacity() {
+        let (k, ck, graphs) = setup(5);
+        let cfg = KernelCfg::build(&k);
+        let pic = Pic::new(&ck, &k, &cfg);
+        let cached = CachedPredictor::new(&pic, 2);
+        for g in &graphs {
+            cached.predict_one(g);
+        }
+        assert!(cached.len() <= 2);
+        let s = cached.stats();
+        assert_eq!(s.cache_misses, 5);
+        assert!(s.cache_evictions >= 3);
+        cached.clear();
+        assert!(cached.is_empty());
+    }
+
+    #[test]
+    fn distinct_checkpoints_do_not_share_entries() {
+        let (k, ck_a, graphs) = setup(1);
+        let cfg = KernelCfg::build(&k);
+        let model = PicModel::new(PicConfig { hidden: 8, layers: 1, ..Default::default() });
+        let ck_b = Checkpoint::new(&model, 0.25, "other");
+        let pic_a = Pic::new(&ck_a, &k, &cfg);
+        let pic_b = Pic::new(&ck_b, &k, &cfg);
+        let cached_a = CachedPredictor::new(&pic_a, 8);
+        let cached_b = CachedPredictor::new(&pic_b, 8);
+        cached_a.predict_one(&graphs[0]);
+        cached_b.predict_one(&graphs[0]);
+        // Same graph, different model fingerprints: distinct keys.
+        assert_ne!(
+            fnv1a(pic_a.fingerprint(), &graph_fingerprint(&graphs[0]).to_le_bytes()),
+            fnv1a(pic_b.fingerprint(), &graph_fingerprint(&graphs[0]).to_le_bytes()),
+        );
+    }
+}

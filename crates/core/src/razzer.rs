@@ -14,7 +14,7 @@
 //!   if, under some random schedules, both racing blocks are predicted
 //!   covered.
 
-use crate::pic::Pic;
+use crate::predictor::{FlowPredictor, PredictorService};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
@@ -62,11 +62,8 @@ pub fn racing_blocks(kernel: &Kernel, bug: &BugSpec) -> Option<(BlockId, BlockId
     // Take the *last* racing instruction recorded per carrier: bug patterns
     // record the shallow access first and the deep (often URB-resident) one
     // last, and the deep one is the actual race target Razzer aims at.
-    let block_in = |f| {
-        bug.racing_instrs
-            .iter()
-            .map(|l| l.block).rfind(|&b| kernel.block(b).func == f)
-    };
+    let block_in =
+        |f| bug.racing_instrs.iter().map(|l| l.block).rfind(|&b| kernel.block(b).func == f);
     Some((block_in(func_a)?, block_in(func_b)?))
 }
 
@@ -86,13 +83,17 @@ fn urb_set(cfg: &KernelCfg, profile: &StiProfile) -> BitSet {
 }
 
 /// Find candidate CTIs (ordered corpus index pairs) for the target race.
+///
+/// `Pic`/`PicFlow` modes require a [`PredictorService`]; the per-candidate
+/// schedule pool is predicted as one batch, so the service's inference
+/// chain (parallel pool, cache) is exercised end to end.
 pub fn find_candidates(
     kernel: &Kernel,
     cfg: &KernelCfg,
     corpus: &[StiProfile],
     bug: &BugSpec,
     mode: RazzerMode,
-    pic: Option<&mut Pic<'_>>,
+    service: Option<&PredictorService<'_, '_>>,
     seed: u64,
 ) -> Vec<(usize, usize)> {
     let Some((block_a, block_b)) = racing_blocks(kernel, bug) else {
@@ -117,22 +118,25 @@ pub fn find_candidates(
         }
     }
     if mode == RazzerMode::Pic || mode == RazzerMode::PicFlow {
-        let pic = pic.expect("Razzer-PIC requires a deployed predictor");
+        let service = service.expect("Razzer-PIC requires a deployed predictor");
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         candidates.retain(|&(i, j)| {
             let a = &corpus[i];
             let b = &corpus[j];
-            let base = pic.base_graph(a, b);
+            let base = service.base_graph(a, b);
             // Keep if any of a few random schedules is predicted to cover
             // both racing blocks (and, for PicFlow, to realize an
-            // inter-thread flow between them).
-            (0..4).any(|_| {
-                let hints = propose_hints(&mut rng, a.seq.steps, b.seq.steps);
-                if mode == RazzerMode::Pic {
-                    let pred = pic.predict_with_base(&base, a, b, &hints);
-                    pred.covers_block(block_a) && pred.covers_block(block_b)
-                } else {
-                    let (pred, flows) = pic.predict_with_flows(&base, a, b, &hints);
+            // inter-thread flow between them). The schedule pool is drawn
+            // up front and predicted as one batch.
+            let hints: Vec<_> =
+                (0..4).map(|_| propose_hints(&mut rng, a.seq.steps, b.seq.steps)).collect();
+            if mode == RazzerMode::Pic {
+                let preds = service.predict_candidates(&base, a, b, &hints);
+                preds.iter().any(|pred| pred.covers_block(block_a) && pred.covers_block(block_b))
+            } else {
+                hints.iter().any(|h| {
+                    let graph = service.pic().candidate_graph(&base, a, b, h);
+                    let (pred, flows) = service.pic().predict_with_flows(&graph);
                     if !(pred.covers_block(block_a) && pred.covers_block(block_b)) {
                         return false;
                     }
@@ -150,8 +154,7 @@ pub fn find_candidates(
                         }
                         let ub = pred.graph.verts[e.from as usize].block;
                         let vb = pred.graph.verts[e.to as usize].block;
-                        if (ub == block_a && vb == block_b) || (ub == block_b && vb == block_a)
-                        {
+                        if (ub == block_a && vb == block_b) || (ub == block_b && vb == block_a) {
                             edge_exists = true;
                             if f >= 0.4 {
                                 flow_predicted = true;
@@ -160,8 +163,8 @@ pub fn find_candidates(
                         }
                     }
                     !edge_exists || flow_predicted
-                }
-            })
+                })
+            }
         });
     }
     candidates
@@ -308,8 +311,7 @@ mod tests {
     fn relax_finds_at_least_as_many_candidates_as_strict() {
         let (k, cfg, corpus) = setup();
         for bug in &k.bugs {
-            let strict =
-                find_candidates(&k, &cfg, &corpus, bug, RazzerMode::Strict, None, 1);
+            let strict = find_candidates(&k, &cfg, &corpus, bug, RazzerMode::Strict, None, 1);
             let relax = find_candidates(&k, &cfg, &corpus, bug, RazzerMode::Relax, None, 1);
             assert!(relax.len() >= strict.len(), "bug {}", bug.id);
         }
@@ -339,9 +341,9 @@ mod tests {
         let relax = find_candidates(&k, &cfg, &corpus, bug, RazzerMode::Relax, None, 2);
         let model = PicModel::new(PicConfig { hidden: 8, layers: 1, ..Default::default() });
         let ck = Checkpoint::new(&model, 0.5, "t");
-        let mut pic = Pic::new(&ck, &k, &cfg);
-        let filtered =
-            find_candidates(&k, &cfg, &corpus, bug, RazzerMode::Pic, Some(&mut pic), 2);
+        let pic = crate::pic::Pic::new(&ck, &k, &cfg);
+        let svc = PredictorService::direct(&pic);
+        let filtered = find_candidates(&k, &cfg, &corpus, bug, RazzerMode::Pic, Some(&svc), 2);
         assert!(filtered.len() <= relax.len());
         for c in &filtered {
             assert!(relax.contains(c));

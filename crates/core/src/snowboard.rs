@@ -11,7 +11,7 @@
 //!   a synthetic scheduling hint that forces the write to yield to the read,
 //!   and keep members the selection strategy finds interesting.
 
-use crate::pic::Pic;
+use crate::predictor::PredictorService;
 use crate::strategy::{S1NewBitmap, S2NewBlocks, SelectionStrategy};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -75,10 +75,10 @@ pub fn cluster_ctis(
                         if !seen_pairs.insert(key) {
                             continue;
                         }
-                        clusters.entry(key).or_default().push(ClusterMember {
-                            pair: (wi, ri),
-                            write_step: acc.step,
-                        });
+                        clusters
+                            .entry(key)
+                            .or_default()
+                            .push(ClusterMember { pair: (wi, ri), write_step: acc.step });
                     }
                 }
             }
@@ -121,7 +121,10 @@ pub fn member_exposes_bug(
         schedules.push(ScheduleHints {
             first: ThreadId(0),
             switches: vec![
-                SwitchPoint { thread: ThreadId(0), after: member.write_step.saturating_sub(jitter) + 1 },
+                SwitchPoint {
+                    thread: ThreadId(0),
+                    after: member.write_step.saturating_sub(jitter) + 1,
+                },
                 SwitchPoint { thread: ThreadId(1), after: rng.gen_range(1..=reader_len) },
             ],
         });
@@ -199,19 +202,23 @@ pub fn sample_cluster<R: Rng>(
 }
 
 /// Precompute each cluster member's PIC prediction under its write-yield
-/// hint.
+/// hint. Graphs for the whole cluster are built first and predicted as one
+/// batch through the service's inference chain.
 pub fn predict_members(
-    pic: &mut Pic<'_>,
+    service: &PredictorService<'_, '_>,
     corpus: &[StiProfile],
     members: &[ClusterMember],
 ) -> Vec<crate::pic::PredictedCoverage> {
-    members
+    let graphs: Vec<_> = members
         .iter()
         .map(|m| {
             let (wi, ri) = m.pair;
-            pic.predict(&corpus[wi], &corpus[ri], &write_yield_hint(m))
+            let (a, b) = (&corpus[wi], &corpus[ri]);
+            let base = service.base_graph(a, b);
+            service.pic().candidate_graph(&base, a, b, &write_yield_hint(m))
         })
-        .collect()
+        .collect();
+    service.predictor().predict_batch(&graphs)
 }
 
 /// Table 5 outcome of running one sampler on one buggy cluster many times.
@@ -315,8 +322,7 @@ mod tests {
         // probability should be ≈ 0.25.
         let mut rng = ChaCha8Rng::seed_from_u64(4);
         let exposing = vec![true, false, false, false];
-        let out =
-            run_sampling_trials(Sampler::Random(0.25), 4, &exposing, None, 4000, &mut rng);
+        let out = run_sampling_trials(Sampler::Random(0.25), 4, &exposing, None, 4000, &mut rng);
         assert!((out.bug_finding_probability - 0.25).abs() < 0.05, "{out:?}");
         assert!((out.sampling_rate - 0.25).abs() < 1e-9);
     }
@@ -334,11 +340,8 @@ mod tests {
         // Build a CTI from a bug's carrier syscalls; the write-yield hint
         // family should expose at least the easy order-violation bug.
         let (k, corpus) = setup();
-        let bug = k
-            .bugs
-            .iter()
-            .find(|b| b.kind == snowcat_kernel::BugKind::OrderViolation)
-            .unwrap();
+        let bug =
+            k.bugs.iter().find(|b| b.kind == snowcat_kernel::BugKind::OrderViolation).unwrap();
         let ia = corpus
             .iter()
             .position(|p| p.sti.calls.iter().any(|c| c.syscall == bug.syscalls.0))

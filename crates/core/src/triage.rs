@@ -58,10 +58,7 @@ pub fn triage(kernel: &Kernel, reports: &[RaceReport]) -> Vec<Finding> {
         let funcs = if fa <= fb { (fa, fb) } else { (fb, fa) };
         let entry = groups.entry(funcs).or_insert_with(|| Finding {
             funcs,
-            func_names: (
-                kernel.func(funcs.0).name.clone(),
-                kernel.func(funcs.1).name.clone(),
-            ),
+            func_names: (kernel.func(funcs.0).name.clone(), kernel.func(funcs.1).name.clone()),
             race_count: 0,
             has_write_write: false,
             min_distance: u64::MAX,
@@ -75,7 +72,7 @@ pub fn triage(kernel: &Kernel, reports: &[RaceReport]) -> Vec<Finding> {
         }
     }
     let mut findings: Vec<Finding> = groups.into_values().collect();
-    findings.sort_by(|a, b| b.score().cmp(&a.score()));
+    findings.sort_by_key(|f| std::cmp::Reverse(f.score()));
     findings
 }
 
@@ -108,12 +105,12 @@ pub fn render_findings(kernel: &Kernel, findings: &[Finding]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
     use snowcat_corpus::StiFuzzer;
     use snowcat_kernel::{generate, GenConfig};
     use snowcat_race::RaceDetector;
     use snowcat_vm::{propose_hints, run_ct, Cti, VmConfig};
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
 
     fn campaign_reports(k: &Kernel) -> Vec<RaceReport> {
         let mut fz = StiFuzzer::new(k, 3);
@@ -123,18 +120,11 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(9);
         let mut reports = Vec::new();
         for bug in k.bugs.iter().take(4) {
-            let ia = corpus
-                .iter()
-                .position(|p| p.sti.calls[0].syscall == bug.syscalls.0)
-                .unwrap();
-            let ib = corpus
-                .iter()
-                .position(|p| p.sti.calls[0].syscall == bug.syscalls.1)
-                .unwrap();
+            let ia = corpus.iter().position(|p| p.sti.calls[0].syscall == bug.syscalls.0).unwrap();
+            let ib = corpus.iter().position(|p| p.sti.calls[0].syscall == bug.syscalls.1).unwrap();
             let cti = Cti::new(corpus[ia].sti.clone(), corpus[ib].sti.clone());
             for _ in 0..25 {
-                let hints =
-                    propose_hints(&mut rng, corpus[ia].seq.steps, corpus[ib].seq.steps);
+                let hints = propose_hints(&mut rng, corpus[ia].seq.steps, corpus[ib].seq.steps);
                 let r = run_ct(k, &cti, hints, VmConfig::default());
                 reports.extend(det.detect(k, &r));
             }

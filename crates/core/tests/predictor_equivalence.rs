@@ -1,0 +1,183 @@
+//! Property tests for the predictor service: every wrapper in the
+//! [`CoveragePredictor`] chain must be *bit-identical* to serial [`Pic`]
+//! inference — parallelism and memoization are pure performance features,
+//! never behavioural ones — and the cache must stay correct under
+//! concurrent use.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use snowcat_cfg::KernelCfg;
+use snowcat_core::{CachedPredictor, CoveragePredictor, ParallelPredictor, Pic};
+use snowcat_corpus::{StiFuzzer, StiProfile};
+use snowcat_graph::CtGraph;
+use snowcat_kernel::{generate, GenConfig, Kernel};
+use snowcat_nn::{Checkpoint, PicConfig, PicModel};
+use snowcat_vm::propose_hints;
+use std::sync::OnceLock;
+
+struct Fixture {
+    kernel: Kernel,
+    cfg: KernelCfg,
+    corpus: Vec<StiProfile>,
+    checkpoint: Checkpoint,
+}
+
+fn fixture() -> &'static Fixture {
+    static FIXTURE: OnceLock<Fixture> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let kernel = generate(&GenConfig::default());
+        let cfg = KernelCfg::build(&kernel);
+        let mut fz = StiFuzzer::new(&kernel, 0xE9);
+        fz.seed_each_syscall();
+        let corpus = fz.into_corpus();
+        let model = PicModel::new(PicConfig { hidden: 10, layers: 2, ..Default::default() });
+        let checkpoint = Checkpoint::new(&model, 0.5, "prop");
+        Fixture { kernel, cfg, corpus, checkpoint }
+    })
+}
+
+/// Build `n` candidate CT graphs for a seeded random CTI pair with seeded
+/// random scheduling hints — the exact inputs the exploration loops feed
+/// the predictor.
+fn random_graphs(pic: &Pic<'_>, corpus: &[StiProfile], seed: u64, n: usize) -> Vec<CtGraph> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    use rand::Rng;
+    let ia = rng.gen_range(0..corpus.len());
+    let ib = rng.gen_range(0..corpus.len());
+    let (a, b) = (&corpus[ia], &corpus[ib]);
+    let base = pic.base_graph(a, b);
+    (0..n)
+        .map(|_| {
+            let hints = propose_hints(&mut rng, a.seq.steps, b.seq.steps);
+            pic.candidate_graph(&base, a, b, &hints)
+        })
+        .collect()
+}
+
+fn assert_bit_identical(
+    label: &str,
+    serial: &[snowcat_core::PredictedCoverage],
+    other: &[snowcat_core::PredictedCoverage],
+) {
+    assert_eq!(serial.len(), other.len(), "{label}: batch length");
+    for (i, (s, o)) in serial.iter().zip(other).enumerate() {
+        assert_eq!(s.graph, o.graph, "{label}: graph {i}");
+        assert_eq!(s.probs, o.probs, "{label}: probs {i}");
+        assert_eq!(s.positive, o.positive, "{label}: positive {i}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// ParallelPredictor is bit-identical to serial Pic inference for any
+    /// worker count and batch size, including empty and single-item batches.
+    #[test]
+    fn parallel_matches_serial(seed in 0u64..1_000, workers in 1usize..8, n in 0usize..24) {
+        let fx = fixture();
+        let pic = Pic::new(&fx.checkpoint, &fx.kernel, &fx.cfg);
+        let graphs = random_graphs(&pic, &fx.corpus, seed, n);
+        let serial = pic.predict_batch(&graphs);
+        let par = ParallelPredictor::new(&pic, workers);
+        let parallel = par.predict_batch(&graphs);
+        assert_bit_identical("parallel", &serial, &parallel);
+    }
+
+    /// CachedPredictor returns bit-identical predictions for any capacity
+    /// (including capacities far smaller than the working set, which force
+    /// evictions mid-stream) and any repetition pattern.
+    #[test]
+    fn cached_matches_serial(
+        seed in 0u64..1_000,
+        capacity in 1usize..48,
+        pool in 1usize..12,
+        picks in proptest::collection::vec(0usize..12, 0..40),
+    ) {
+        let fx = fixture();
+        let pic = Pic::new(&fx.checkpoint, &fx.kernel, &fx.cfg);
+        let pool_graphs = random_graphs(&pic, &fx.corpus, seed, pool);
+        let stream: Vec<CtGraph> =
+            picks.iter().map(|&i| pool_graphs[i % pool].clone()).collect();
+        let serial = pic.predict_batch(&stream);
+        let cached = CachedPredictor::new(&pic, capacity);
+        // Feed the stream in two halves so the second half replays cached
+        // entries from the first.
+        let mid = stream.len() / 2;
+        let mut out = cached.predict_batch(&stream[..mid]);
+        out.extend(cached.predict_batch(&stream[mid..]));
+        assert_bit_identical("cached", &serial, &out);
+        prop_assert!(cached.len() <= capacity, "cache exceeded capacity");
+        let st = cached.stats();
+        prop_assert_eq!(st.cache_hits + st.cache_misses, stream.len() as u64);
+    }
+
+    /// The full composed chain — cache over a parallel pool over the Pic —
+    /// is still bit-identical to serial inference.
+    #[test]
+    fn cached_parallel_chain_matches_serial(
+        seed in 0u64..1_000,
+        workers in 1usize..6,
+        n in 0usize..20,
+    ) {
+        let fx = fixture();
+        let pic = Pic::new(&fx.checkpoint, &fx.kernel, &fx.cfg);
+        let graphs = random_graphs(&pic, &fx.corpus, seed, n);
+        let serial = pic.predict_batch(&graphs);
+        let par = ParallelPredictor::new(&pic, workers);
+        let chain = CachedPredictor::new(&par, 64);
+        let first = chain.predict_batch(&graphs);
+        assert_bit_identical("chain (cold)", &serial, &first);
+        // Replay: everything must now come from the cache, still identical.
+        let second = chain.predict_batch(&graphs);
+        assert_bit_identical("chain (warm)", &serial, &second);
+    }
+}
+
+/// Many threads hammering one shared cache concurrently: every thread must
+/// observe predictions bit-identical to serial inference, and the counters
+/// must account for every request.
+#[test]
+fn concurrent_cache_is_correct_under_contention() {
+    let fx = fixture();
+    let pic = Pic::new(&fx.checkpoint, &fx.kernel, &fx.cfg);
+    let pool = random_graphs(&pic, &fx.corpus, 0xC0DE, 12);
+    let serial = pic.predict_batch(&pool);
+    // Capacity smaller than the pool: threads race on insert *and* evict.
+    let cached = CachedPredictor::new(&pic, 8);
+    let n_threads = 8;
+    let rounds = 6;
+    std::thread::scope(|s| {
+        for t in 0..n_threads {
+            let cached = &cached;
+            let pool = &pool;
+            let serial = &serial;
+            s.spawn(move || {
+                let mut rng = ChaCha8Rng::seed_from_u64(0xBEEF ^ t as u64);
+                use rand::Rng;
+                for _ in 0..rounds {
+                    // Each round predicts a random slice of the pool in a
+                    // random order, mixing batched and single calls.
+                    let mut idx: Vec<usize> = (0..pool.len()).collect();
+                    for i in (1..idx.len()).rev() {
+                        idx.swap(i, rng.gen_range(0..=i));
+                    }
+                    let take = rng.gen_range(1..=pool.len());
+                    let batch: Vec<CtGraph> =
+                        idx[..take].iter().map(|&i| pool[i].clone()).collect();
+                    let preds = cached.predict_batch(&batch);
+                    for (&i, p) in idx[..take].iter().zip(&preds) {
+                        assert_eq!(p.probs, serial[i].probs, "thread {t}");
+                        assert_eq!(p.positive, serial[i].positive, "thread {t}");
+                    }
+                    let lone = rng.gen_range(0..pool.len());
+                    let p = cached.predict_one(&pool[lone]);
+                    assert_eq!(p.probs, serial[lone].probs, "thread {t} (single)");
+                }
+            });
+        }
+    });
+    let st = cached.stats();
+    assert!(st.cache_hits > 0, "contended run should produce hits");
+    assert!(cached.len() <= 8, "cache exceeded capacity after contention");
+}

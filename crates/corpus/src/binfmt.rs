@@ -242,10 +242,7 @@ mod tests {
         let corpus = fz.into_corpus();
         let mut rng = ChaCha8Rng::seed_from_u64(2);
         let ctis = random_cti_pairs(&mut rng, corpus.len(), 3);
-        build_dataset(&k, &cfg, &corpus, &ctis, DatasetConfig {
-            interleavings_per_cti: 3,
-            seed: 5,
-        })
+        build_dataset(&k, &cfg, &corpus, &ctis, DatasetConfig { interleavings_per_cti: 3, seed: 5 })
     }
 
     #[test]
@@ -261,10 +258,7 @@ mod tests {
         let ds = sample_dataset();
         let bin = encode_dataset(&ds).len();
         let json = ds.to_json().unwrap().len();
-        assert!(
-            bin * 3 < json,
-            "binary ({bin} B) should be ≥3x smaller than JSON ({json} B)"
-        );
+        assert!(bin * 3 < json, "binary ({bin} B) should be ≥3x smaller than JSON ({json} B)");
     }
 
     #[test]

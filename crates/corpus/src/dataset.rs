@@ -111,9 +111,7 @@ impl Default for DatasetConfig {
 /// sequential test inputs from SKI".
 pub fn random_cti_pairs<R: Rng>(rng: &mut R, corpus_len: usize, n: usize) -> Vec<(usize, usize)> {
     assert!(corpus_len > 0, "empty corpus");
-    (0..n)
-        .map(|_| (rng.gen_range(0..corpus_len), rng.gen_range(0..corpus_len)))
-        .collect()
+    (0..n).map(|_| (rng.gen_range(0..corpus_len), rng.gen_range(0..corpus_len))).collect()
 }
 
 /// Pair up CTIs whose constituent STIs *interact*: one's sequential run
@@ -140,9 +138,8 @@ pub fn interacting_cti_pairs<R: Rng>(
         .iter()
         .map(|p| p.seq.accesses.iter().filter(|a| !a.is_write).map(|a| a.addr.0).collect())
         .collect();
-    let interacts = |a: usize, b: usize| {
-        !writes[a].is_disjoint(&reads[b]) || !writes[b].is_disjoint(&reads[a])
-    };
+    let interacts =
+        |a: usize, b: usize| !writes[a].is_disjoint(&reads[b]) || !writes[b].is_disjoint(&reads[a]);
     let mut out = Vec::with_capacity(n);
     let mut attempts = 0usize;
     while out.len() < n && attempts < n * 200 {
@@ -328,34 +325,14 @@ mod tests {
         assert_eq!(pairs.len(), 10);
         let mut found_overlap = 0;
         for (a, b) in pairs {
-            let wa: std::collections::HashSet<u32> = corpus[a]
-                .seq
-                .accesses
-                .iter()
-                .filter(|x| x.is_write)
-                .map(|x| x.addr.0)
-                .collect();
-            let rb: std::collections::HashSet<u32> = corpus[b]
-                .seq
-                .accesses
-                .iter()
-                .filter(|x| !x.is_write)
-                .map(|x| x.addr.0)
-                .collect();
-            let wb: std::collections::HashSet<u32> = corpus[b]
-                .seq
-                .accesses
-                .iter()
-                .filter(|x| x.is_write)
-                .map(|x| x.addr.0)
-                .collect();
-            let ra: std::collections::HashSet<u32> = corpus[a]
-                .seq
-                .accesses
-                .iter()
-                .filter(|x| !x.is_write)
-                .map(|x| x.addr.0)
-                .collect();
+            let wa: std::collections::HashSet<u32> =
+                corpus[a].seq.accesses.iter().filter(|x| x.is_write).map(|x| x.addr.0).collect();
+            let rb: std::collections::HashSet<u32> =
+                corpus[b].seq.accesses.iter().filter(|x| !x.is_write).map(|x| x.addr.0).collect();
+            let wb: std::collections::HashSet<u32> =
+                corpus[b].seq.accesses.iter().filter(|x| x.is_write).map(|x| x.addr.0).collect();
+            let ra: std::collections::HashSet<u32> =
+                corpus[a].seq.accesses.iter().filter(|x| !x.is_write).map(|x| x.addr.0).collect();
             if !wa.is_disjoint(&rb) || !wb.is_disjoint(&ra) {
                 found_overlap += 1;
             }

@@ -53,11 +53,7 @@ fn arb_example() -> impl Strategy<Value = Example> {
             .prop_map(|(verts, raw_edges, cti_index, switches, labels, flow_labels)| {
                 let edges: Vec<Edge> = raw_edges
                     .into_iter()
-                    .map(|(from, to, k)| Edge {
-                        from,
-                        to,
-                        kind: EdgeKind::ALL[k],
-                    })
+                    .map(|(from, to, k)| Edge { from, to, kind: EdgeKind::ALL[k] })
                     .collect();
                 Example {
                     cti_index,

@@ -28,12 +28,7 @@ impl<'k> CtGraphBuilder<'k> {
     /// Build the CT graph for a CTI, given the *sequential* execution
     /// profiles of its two STIs (each run alone as thread 0 of its own VM)
     /// and the candidate schedule.
-    pub fn build(
-        &self,
-        seq_a: &ExecResult,
-        seq_b: &ExecResult,
-        hints: &ScheduleHints,
-    ) -> CtGraph {
+    pub fn build(&self, seq_a: &ExecResult, seq_b: &ExecResult, hints: &ScheduleHints) -> CtGraph {
         let base = self.build_base(seq_a, seq_b);
         self.with_schedule(&base, seq_a, seq_b, hints)
     }
@@ -46,16 +41,15 @@ impl<'k> CtGraphBuilder<'k> {
         let mut edges: Vec<Edge> = Vec::new();
         let mut edge_seen: HashSet<(u32, u32, EdgeKind)> = HashSet::new();
 
-        let push_edge =
-            |edges: &mut Vec<Edge>,
-             seen: &mut HashSet<(u32, u32, EdgeKind)>,
-             from: u32,
-             to: u32,
-             kind: EdgeKind| {
-                if seen.insert((from, to, kind)) {
-                    edges.push(Edge { from, to, kind });
-                }
-            };
+        let push_edge = |edges: &mut Vec<Edge>,
+                         seen: &mut HashSet<(u32, u32, EdgeKind)>,
+                         from: u32,
+                         to: u32,
+                         kind: EdgeKind| {
+            if seen.insert((from, to, kind)) {
+                edges.push(Edge { from, to, kind });
+            }
+        };
 
         // --- Vertices: SCBs in first-entry order, then URBs, per thread. ---
         for (t, seq) in [(0u8, seq_a), (1u8, seq_b)] {
@@ -138,33 +132,32 @@ impl<'k> CtGraphBuilder<'k> {
         }
 
         // --- 4. Inter-thread potential data flow (both directions). ---
-        let mut flows =
-            |wt: u8, w_seq: &ExecResult, rt: u8, r_seq: &ExecResult| {
-                let mut writes: HashMap<u32, Vec<BlockId>> = HashMap::new();
-                for a in &w_seq.accesses {
-                    if a.is_write {
-                        let v = writes.entry(a.addr.0).or_default();
-                        if !v.contains(&a.loc.block) {
-                            v.push(a.loc.block);
+        let mut flows = |wt: u8, w_seq: &ExecResult, rt: u8, r_seq: &ExecResult| {
+            let mut writes: HashMap<u32, Vec<BlockId>> = HashMap::new();
+            for a in &w_seq.accesses {
+                if a.is_write {
+                    let v = writes.entry(a.addr.0).or_default();
+                    if !v.contains(&a.loc.block) {
+                        v.push(a.loc.block);
+                    }
+                }
+            }
+            let mut emitted: HashSet<(BlockId, BlockId)> = HashSet::new();
+            for a in &r_seq.accesses {
+                if a.is_write {
+                    continue;
+                }
+                if let Some(wblocks) = writes.get(&a.addr.0) {
+                    for &wb in wblocks {
+                        if emitted.insert((wb, a.loc.block)) {
+                            let from = index[&(wt, wb)];
+                            let to = index[&(rt, a.loc.block)];
+                            push_edge(&mut edges, &mut edge_seen, from, to, EdgeKind::InterFlow);
                         }
                     }
                 }
-                let mut emitted: HashSet<(BlockId, BlockId)> = HashSet::new();
-                for a in &r_seq.accesses {
-                    if a.is_write {
-                        continue;
-                    }
-                    if let Some(wblocks) = writes.get(&a.addr.0) {
-                        for &wb in wblocks {
-                            if emitted.insert((wb, a.loc.block)) {
-                                let from = index[&(wt, wb)];
-                                let to = index[&(rt, a.loc.block)];
-                                push_edge(&mut edges, &mut edge_seen, from, to, EdgeKind::InterFlow);
-                            }
-                        }
-                    }
-                }
-            };
+            }
+        };
         flows(0, seq_a, 1, seq_b);
         flows(1, seq_b, 0, seq_a);
 
@@ -294,9 +287,7 @@ fn tokenize(kernel: &Kernel, block: BlockId) -> Vec<u32> {
 mod tests {
     use super::*;
     use snowcat_kernel::{generate, GenConfig, SyscallId};
-    use snowcat_vm::{
-        run_ct, run_sequential, Cti, Sti, SwitchPoint, SyscallInvocation, VmConfig,
-    };
+    use snowcat_vm::{run_ct, run_sequential, Cti, Sti, SwitchPoint, SyscallInvocation, VmConfig};
 
     fn setup() -> (Kernel, KernelCfg) {
         let k = generate(&GenConfig::default());

@@ -30,6 +30,6 @@ pub mod repr;
 
 pub use build::CtGraphBuilder;
 pub use repr::{
-    CtGraph, Edge, EdgeKind, GraphStats, SchedMark, VertKind, Vertex, MASK_TOKEN,
-    NUM_SCHED_MARKS, VOCAB_SIZE,
+    CtGraph, Edge, EdgeKind, GraphStats, SchedMark, VertKind, Vertex, MASK_TOKEN, NUM_SCHED_MARKS,
+    VOCAB_SIZE,
 };

@@ -140,8 +140,7 @@ pub fn render_block(kernel: &Kernel, block: &Block) -> String {
             Instr::Lock { lock } => writeln!(s, "  lock {lock}").unwrap(),
             Instr::Unlock { lock } => writeln!(s, "  unlock {lock}").unwrap(),
             Instr::Call { func } => {
-                let name =
-                    kernel.funcs.get(func.index()).map(|f| f.name.as_str()).unwrap_or("?");
+                let name = kernel.funcs.get(func.index()).map(|f| f.name.as_str()).unwrap_or("?");
                 writeln!(s, "  call {name}").unwrap()
             }
             Instr::BugIf { bug, reg, cmp, imm } => {
@@ -210,8 +209,10 @@ mod tests {
             Terminator::Ret,
         );
         let toks = tokenize_block(&k, &b);
-        assert!(toks.iter().all(|t| !t.contains("77") && !t.contains('3') || t.contains("r")),
-            "tokens leaked a number: {toks:?}");
+        assert!(
+            toks.iter().all(|t| !t.contains("77") && !t.contains('3') || t.contains("r")),
+            "tokens leaked a number: {toks:?}"
+        );
         assert!(toks.contains(&NUM_TOKEN.to_string()));
         assert!(toks.contains(&"[flag+<num>]".to_string()));
     }

@@ -97,13 +97,8 @@ impl GenConfig {
     /// Per-function RNG seed: mixes the master seed, the function's stable
     /// slot key and any evolution salt attached to that slot.
     pub fn func_seed(&self, slot: u64) -> u64 {
-        let salt = self
-            .salts
-            .iter()
-            .rev()
-            .find(|(s, _)| *s == slot)
-            .map(|(_, salt)| *salt)
-            .unwrap_or(0);
+        let salt =
+            self.salts.iter().rev().find(|(s, _)| *s == slot).map(|(_, salt)| *salt).unwrap_or(0);
         splitmix(self.seed ^ slot.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ salt)
     }
 }
@@ -227,13 +222,7 @@ impl KernelBuilder {
             *w = init;
         }
         let idx = self.regions.len();
-        self.regions.push(MemRegion {
-            subsystem,
-            kind,
-            start,
-            len,
-            name: name.to_string(),
-        });
+        self.regions.push(MemRegion { subsystem, kind, start, len, name: name.to_string() });
         self.subsystems[subsystem.index()].regions.push(idx);
         start
     }
@@ -253,12 +242,7 @@ impl KernelBuilder {
         let fid = FuncId(self.funcs.len() as u32);
         let entry = BlockId(self.blocks.len() as u32);
         self.blocks.push(Block { func: fid, instrs: vec![], term: Terminator::Ret });
-        self.funcs.push(Function {
-            name: name.to_string(),
-            subsystem,
-            entry,
-            blocks: vec![entry],
-        });
+        self.funcs.push(Function { name: name.to_string(), subsystem, entry, blocks: vec![entry] });
         self.cur_func = Some(fid);
         self.cur_block = Some(entry);
         fid
@@ -338,12 +322,7 @@ impl KernelBuilder {
         arg_max: Vec<i64>,
     ) -> SyscallId {
         let id = SyscallId(self.syscalls.len() as u32);
-        self.syscalls.push(SyscallSpec {
-            name: name.to_string(),
-            func,
-            subsystem,
-            arg_max,
-        });
+        self.syscalls.push(SyscallSpec { name: name.to_string(), func, subsystem, arg_max });
         id
     }
 

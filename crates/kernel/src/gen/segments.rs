@@ -20,9 +20,8 @@ use rand::Rng;
 use rand_chacha::ChaCha8Rng;
 
 /// Verbs used to name plain syscalls (wraps around if more are needed).
-pub const SYSCALL_VERBS: &[&str] = &[
-    "open", "close", "read", "write", "ioctl", "poll", "mmap", "seek", "stat", "sync",
-];
+pub const SYSCALL_VERBS: &[&str] =
+    &["open", "close", "read", "write", "ioctl", "poll", "mmap", "seek", "stat", "sync"];
 
 /// Verbs used to name helper functions.
 pub const HELPER_VERBS: &[&str] = &["init", "update", "check", "flush", "lookup"];

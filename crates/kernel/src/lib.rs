@@ -39,9 +39,11 @@ pub mod stats;
 pub mod version;
 
 pub use bugs::{BugKind, BugSpec};
-pub use ids::{Addr, BlockId, BugId, FuncId, InstrLoc, LockId, Reg, SubsystemId, SyscallId, ThreadId};
+pub use gen::{generate, BugPlan, GenConfig, KernelBuilder};
+pub use ids::{
+    Addr, BlockId, BugId, FuncId, InstrLoc, LockId, Reg, SubsystemId, SyscallId, ThreadId,
+};
 pub use instr::{AddrExpr, BinOp, CmpOp, Instr, Terminator};
 pub use program::{Block, Function, Kernel, MemRegion, RegionKind, Subsystem, SyscallSpec};
-pub use gen::{generate, BugPlan, GenConfig, KernelBuilder};
 pub use stats::{InstrMix, KernelStats};
 pub use version::{Evolution, KernelVersion, VersionSpec};

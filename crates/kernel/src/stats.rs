@@ -95,11 +95,8 @@ impl KernelStats {
     pub fn compute(kernel: &Kernel) -> Self {
         let mut mix = InstrMix::default();
         let mut block_sizes = vec![0usize; Self::SIZE_BUCKETS];
-        let mut per_sub: Vec<(String, usize, usize)> = kernel
-            .subsystems
-            .iter()
-            .map(|s| (s.name.clone(), 0, 0))
-            .collect();
+        let mut per_sub: Vec<(String, usize, usize)> =
+            kernel.subsystems.iter().map(|s| (s.name.clone(), 0, 0)).collect();
         for block in &kernel.blocks {
             block_sizes[block.len().min(Self::SIZE_BUCKETS - 1)] += 1;
             let sub: SubsystemId = kernel.func(block.func).subsystem;

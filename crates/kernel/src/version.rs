@@ -14,9 +14,7 @@
 //! are bit-identical across versions — exactly the property that lets a
 //! predictor trained on one version transfer to the next.
 
-use crate::gen::{
-    generate, BugPlan, GenConfig, slot_key, ROLE_BUG, ROLE_HELPER, ROLE_SYSCALL,
-};
+use crate::gen::{generate, slot_key, BugPlan, GenConfig, ROLE_BUG, ROLE_HELPER, ROLE_SYSCALL};
 use crate::program::Kernel;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -197,16 +195,17 @@ mod tests {
         // Most syscalls keep identical instruction sequences 5.12 → 5.13.
         let a = KernelVersion::V5_12.spec(SEED).build();
         let b = KernelVersion::V5_13.spec(SEED).build();
-        let by_name = |k: &crate::program::Kernel, name: &str| -> Option<Vec<crate::instr::Instr>> {
-            let sc = k.syscalls.iter().find(|s| s.name == name)?;
-            Some(
-                k.func(sc.func)
-                    .blocks
-                    .iter()
-                    .flat_map(|&blk| k.block(blk).instrs.clone())
-                    .collect(),
-            )
-        };
+        let by_name =
+            |k: &crate::program::Kernel, name: &str| -> Option<Vec<crate::instr::Instr>> {
+                let sc = k.syscalls.iter().find(|s| s.name == name)?;
+                Some(
+                    k.func(sc.func)
+                        .blocks
+                        .iter()
+                        .flat_map(|&blk| k.block(blk).instrs.clone())
+                        .collect(),
+                )
+            };
         let mut same = 0;
         let mut total = 0;
         for sc in &a.syscalls {

@@ -63,8 +63,7 @@ pub fn pretrain(sequences: &[Vec<u32>], cfg: PretrainConfig) -> PretrainReport {
     let mut tok_emb = Mat::xavier(&mut rng, cfg.vocab, cfg.dim);
     let mut dec_w = Mat::xavier(&mut rng, cfg.dim, cfg.vocab);
     let mut dec_b = Mat::zeros(1, cfg.vocab);
-    let shapes =
-        [(cfg.vocab, cfg.dim), (cfg.dim, cfg.vocab), (1, cfg.vocab)];
+    let shapes = [(cfg.vocab, cfg.dim), (cfg.dim, cfg.vocab), (1, cfg.vocab)];
     let mut opt = Adam::new(AdamConfig { lr: cfg.lr, ..Default::default() }, &shapes);
 
     let usable: Vec<&Vec<u32>> = sequences.iter().filter(|s| s.len() >= 2).collect();
@@ -80,8 +79,7 @@ pub fn pretrain(sequences: &[Vec<u32>], cfg: PretrainConfig) -> PretrainReport {
             let inv = 1.0 / seq.len() as f32;
             let mut ctx = vec![0.0f32; cfg.dim];
             for (i, &t) in seq.iter().enumerate() {
-                let row =
-                    tok_emb.row(if i == mask_at { MASK_TOKEN as usize } else { t as usize });
+                let row = tok_emb.row(if i == mask_at { MASK_TOKEN as usize } else { t as usize });
                 for (c, &e) in ctx.iter_mut().zip(row) {
                     *c += e * inv;
                 }
@@ -200,8 +198,7 @@ mod tests {
 
     #[test]
     fn pretraining_learns_regular_corpus() {
-        let cfg =
-            PretrainConfig { dim: 16, epochs: 8, lr: 5e-2, seed: 2, ..Default::default() };
+        let cfg = PretrainConfig { dim: 16, epochs: 8, lr: 5e-2, seed: 2, ..Default::default() };
         let report = pretrain(&corpus(), cfg);
         assert!(
             report.accuracy > 0.3,

@@ -31,7 +31,6 @@ pub use optim::{Adam, AdamConfig};
 pub use tensor::Mat;
 pub use train::{
     evaluate, evaluate_pooled, evaluate_predictions, evaluate_predictions_pooled,
-    flow_average_precision, train, train_with_flows, tune_threshold_f2,
-    tune_threshold_f2_pooled, urb_average_precision, Checkpoint, FlowLabeledGraph, LabeledGraph,
-    TrainConfig, TrainReport,
+    flow_average_precision, train, train_with_flows, tune_threshold_f2, tune_threshold_f2_pooled,
+    urb_average_precision, Checkpoint, FlowLabeledGraph, LabeledGraph, TrainConfig, TrainReport,
 };

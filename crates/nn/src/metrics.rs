@@ -198,10 +198,7 @@ mod tests {
 
     #[test]
     fn confusion_from_preds() {
-        let c = Confusion::from_preds(
-            &[true, true, false, false],
-            &[true, false, true, false],
-        );
+        let c = Confusion::from_preds(&[true, true, false, false], &[true, false, true, false]);
         assert_eq!(c, Confusion { tp: 1, fp: 1, tn: 1, fn_: 1 });
         assert!((c.precision() - 0.5).abs() < 1e-12);
         assert!((c.recall() - 0.5).abs() < 1e-12);

@@ -57,7 +57,15 @@ pub struct PicConfig {
 
 impl Default for PicConfig {
     fn default() -> Self {
-        Self { hidden: 32, layers: 5, vocab: VOCAB_SIZE, pos_weight: 4.0, urb_weight: 3.0, flow_weight: 1.0, seed: 0x91C }
+        Self {
+            hidden: 32,
+            layers: 5,
+            vocab: VOCAB_SIZE,
+            pos_weight: 4.0,
+            urb_weight: 3.0,
+            flow_weight: 1.0,
+            seed: 0x91C,
+        }
     }
 }
 
@@ -359,8 +367,7 @@ impl PicModel {
             })
             .collect();
         let probs = logits.iter().map(|&z| sigmoid(z)).collect();
-        let cache =
-            ForwardCache { x, z_in, layer_h, layer_m, layer_z, h_final: h, logits };
+        let cache = ForwardCache { x, z_in, layer_h, layer_m, layer_z, h_final: h, logits };
         (probs, cache)
     }
 
@@ -583,7 +590,7 @@ impl PicModel {
             let mut dz = dh.clone();
             dz.relu_backward_mask(z);
             let mut dh_in = dh; // residual path
-            // Self path.
+                                // Self path.
             grads.layers[li].w_self.add_assign(&h_in.matmul_tn(&dz));
             dh_in.add_assign(&dz.matmul_nt(&layer.w_self));
             // Relational paths.
@@ -614,9 +621,7 @@ impl PicModel {
             for (g, d) in grads.type_emb.row_mut(trow).iter_mut().zip(&dxr) {
                 *g += d;
             }
-            for (g, d) in
-                grads.sched_emb.row_mut(v.sched_mark.index()).iter_mut().zip(&dxr)
-            {
+            for (g, d) in grads.sched_emb.row_mut(v.sched_mark.index()).iter_mut().zip(&dxr) {
                 *g += d;
             }
             if !v.tokens.is_empty() {
@@ -721,7 +726,8 @@ mod tests {
     fn gradient_check_against_finite_differences() {
         // Numerical gradient check on a tiny model — the canonical test that
         // the hand-derived backward is correct.
-        let cfg = PicConfig { hidden: 6, layers: 2, pos_weight: 1.7, seed: 5, ..Default::default() };
+        let cfg =
+            PicConfig { hidden: 6, layers: 2, pos_weight: 1.7, seed: 5, ..Default::default() };
         let mut model = PicModel::new(cfg);
         let g = toy_graph(7);
         let labels: Vec<bool> = (0..7).map(|i| i % 2 == 0).collect();
@@ -769,7 +775,8 @@ mod tests {
         let mut model = PicModel::new(cfg);
         let g = toy_graph(12);
         let labels: Vec<bool> = (0..12).map(|i| i % 4 == 0).collect();
-        let mut opt = Adam::new(AdamConfig { lr: 0.02, ..Default::default() }, &model.params.shapes());
+        let mut opt =
+            Adam::new(AdamConfig { lr: 0.02, ..Default::default() }, &model.params.shapes());
         let mut first = None;
         let mut last = 0.0;
         for _ in 0..60 {
@@ -790,7 +797,15 @@ mod tests {
     #[test]
     fn flow_head_gradient_check() {
         // Finite-difference check of the flow-head backward (trunk included).
-        let cfg = PicConfig { hidden: 6, layers: 1, pos_weight: 1.0, urb_weight: 1.0, flow_weight: 1.3, seed: 9, ..Default::default() };
+        let cfg = PicConfig {
+            hidden: 6,
+            layers: 1,
+            pos_weight: 1.0,
+            urb_weight: 1.0,
+            flow_weight: 1.3,
+            seed: 9,
+            ..Default::default()
+        };
         let mut model = PicModel::new(cfg);
         let g = {
             let mut g = toy_graph(8);

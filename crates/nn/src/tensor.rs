@@ -27,11 +27,7 @@ impl Mat {
     /// Xavier/Glorot-uniform initialized matrix.
     pub fn xavier<R: Rng>(rng: &mut R, rows: usize, cols: usize) -> Self {
         let bound = (6.0 / (rows + cols) as f32).sqrt();
-        Self {
-            rows,
-            cols,
-            data: (0..rows * cols).map(|_| rng.gen_range(-bound..bound)).collect(),
-        }
+        Self { rows, cols, data: (0..rows * cols).map(|_| rng.gen_range(-bound..bound)).collect() }
     }
 
     /// Build from a function of (row, col).
@@ -263,7 +259,7 @@ mod tests {
     fn matmul_tn_equals_transpose_matmul() {
         let a = m(3, 2, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]); // 3x2
         let b = m(3, 2, &[1.0, 0.0, 0.0, 1.0, 1.0, 1.0]); // 3x2
-        // aT (2x3) @ b (3x2) = 2x2
+                                                          // aT (2x3) @ b (3x2) = 2x2
         let c = a.matmul_tn(&b);
         assert_eq!(c.rows, 2);
         assert_eq!(c.cols, 2);
@@ -324,8 +320,8 @@ mod tests {
         for &z in &[-2.0f32, -0.5, 0.0, 0.7, 3.0] {
             for &y in &[true, false] {
                 for &w in &[1.0f32, 3.0] {
-                    let num =
-                        (bce_with_logit(z + eps, y, w) - bce_with_logit(z - eps, y, w)) / (2.0 * eps);
+                    let num = (bce_with_logit(z + eps, y, w) - bce_with_logit(z - eps, y, w))
+                        / (2.0 * eps);
                     let ana = bce_grad(z, y, w);
                     assert!((num - ana).abs() < 1e-2, "z={z} y={y} w={w}: {num} vs {ana}");
                 }

@@ -58,7 +58,8 @@ pub fn train(
 ) -> TrainReport {
     let started = std::time::Instant::now();
     let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
-    let mut opt = Adam::new(AdamConfig { lr: cfg.lr, ..Default::default() }, &model.params.shapes());
+    let mut opt =
+        Adam::new(AdamConfig { lr: cfg.lr, ..Default::default() }, &model.params.shapes());
     let mut order: Vec<usize> = (0..train.len()).collect();
     let mut epoch_losses = Vec::new();
     let mut val_ap = Vec::new();
@@ -129,7 +130,8 @@ pub fn train_with_flows(
 ) -> TrainReport {
     let started = std::time::Instant::now();
     let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
-    let mut opt = Adam::new(AdamConfig { lr: cfg.lr, ..Default::default() }, &model.params.shapes());
+    let mut opt =
+        Adam::new(AdamConfig { lr: cfg.lr, ..Default::default() }, &model.params.shapes());
     let mut order: Vec<usize> = (0..train.len()).collect();
     let mut epoch_losses = Vec::new();
     let mut val_ap = Vec::new();
@@ -297,8 +299,7 @@ pub fn evaluate_pooled(
             continue;
         }
         let probs = model.forward(g);
-        let idx: Vec<usize> =
-            if urb_only { g.urb_indices() } else { (0..g.num_verts()).collect() };
+        let idx: Vec<usize> = if urb_only { g.urb_indices() } else { (0..g.num_verts()).collect() };
         let preds: Vec<bool> = idx.iter().map(|&i| probs[i] >= threshold).collect();
         let truth: Vec<bool> = idx.iter().map(|&i| y[i]).collect();
         c.add(&Confusion::from_preds(&preds, &truth));
@@ -321,8 +322,7 @@ where
             continue;
         }
         let preds_all = predict(g);
-        let idx: Vec<usize> =
-            if urb_only { g.urb_indices() } else { (0..g.num_verts()).collect() };
+        let idx: Vec<usize> = if urb_only { g.urb_indices() } else { (0..g.num_verts()).collect() };
         let preds: Vec<bool> = idx.iter().map(|&i| preds_all[i]).collect();
         let truth: Vec<bool> = idx.iter().map(|&i| y[i]).collect();
         c.add(&Confusion::from_preds(&preds, &truth));
@@ -344,8 +344,7 @@ pub fn evaluate(
             continue;
         }
         let probs = model.forward(g);
-        let idx: Vec<usize> =
-            if urb_only { g.urb_indices() } else { (0..g.num_verts()).collect() };
+        let idx: Vec<usize> = if urb_only { g.urb_indices() } else { (0..g.num_verts()).collect() };
         if idx.is_empty() {
             continue;
         }
@@ -372,8 +371,7 @@ where
             continue;
         }
         let preds_all = predict(g);
-        let idx: Vec<usize> =
-            if urb_only { g.urb_indices() } else { (0..g.num_verts()).collect() };
+        let idx: Vec<usize> = if urb_only { g.urb_indices() } else { (0..g.num_verts()).collect() };
         if idx.is_empty() {
             continue;
         }

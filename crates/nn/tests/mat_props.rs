@@ -6,8 +6,11 @@ use proptest::prelude::*;
 use snowcat_nn::Mat;
 
 fn arb_mat(rows: usize, cols: usize) -> impl Strategy<Value = Mat> {
-    proptest::collection::vec(-2.0f32..2.0, rows * cols)
-        .prop_map(move |data| Mat { rows, cols, data })
+    proptest::collection::vec(-2.0f32..2.0, rows * cols).prop_map(move |data| Mat {
+        rows,
+        cols,
+        data,
+    })
 }
 
 fn naive_matmul(a: &Mat, b: &Mat) -> Mat {

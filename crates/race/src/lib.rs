@@ -177,8 +177,7 @@ mod tests {
     use super::*;
     use snowcat_kernel::{generate, BugKind, GenConfig, ThreadId};
     use snowcat_vm::{
-        run_ct, run_sequential, Cti, ScheduleHints, Sti, SwitchPoint, SyscallInvocation,
-        VmConfig,
+        run_ct, run_sequential, Cti, ScheduleHints, Sti, SwitchPoint, SyscallInvocation, VmConfig,
     };
 
     fn kernel() -> Kernel {

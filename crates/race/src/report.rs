@@ -89,16 +89,10 @@ mod tests {
     #[test]
     fn render_race_mentions_region_and_verdict() {
         let k = generate(&GenConfig::default());
-        let stats = k
-            .regions
-            .iter()
-            .find(|r| r.kind == snowcat_kernel::RegionKind::StatsCounter)
-            .unwrap();
+        let stats =
+            k.regions.iter().find(|r| r.kind == snowcat_kernel::RegionKind::StatsCounter).unwrap();
         let race = RaceReport {
-            key: RaceKey::new(
-                InstrLoc::new(BlockId(0), 0),
-                InstrLoc::new(BlockId(1), 0),
-            ),
+            key: RaceKey::new(InstrLoc::new(BlockId(0), 0), InstrLoc::new(BlockId(1), 0)),
             addr: Addr(stats.start.0),
             write_write: true,
             benign: true,

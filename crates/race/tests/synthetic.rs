@@ -39,7 +39,10 @@ fn write_read_different_threads_disjoint_locks_is_race() {
     );
     let races = det.detect(&k, &r);
     assert_eq!(races.len(), 1);
-    assert_eq!(races[0].key, RaceKey::new(InstrLoc::new(BlockId(1), 0), InstrLoc::new(BlockId(2), 0)));
+    assert_eq!(
+        races[0].key,
+        RaceKey::new(InstrLoc::new(BlockId(1), 0), InstrLoc::new(BlockId(2), 0))
+    );
     assert!(!races[0].write_write);
     assert_eq!(races[0].distance, 3);
 }
@@ -138,11 +141,8 @@ fn stats_region_race_is_benign_other_regions_not() {
         .iter()
         .find(|r| r.kind == snowcat_kernel::RegionKind::StatsCounter)
         .expect("generator allocates stats regions");
-    let flags_region = k
-        .regions
-        .iter()
-        .find(|r| r.kind == snowcat_kernel::RegionKind::Flags)
-        .unwrap();
+    let flags_region =
+        k.regions.iter().find(|r| r.kind == snowcat_kernel::RegionKind::Flags).unwrap();
     let r = result_with_accesses(
         k.num_blocks(),
         vec![

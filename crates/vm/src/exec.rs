@@ -66,7 +66,14 @@ struct Thread {
 
 impl Thread {
     fn new(sti: Sti) -> Self {
-        Self { sti, next_call: 0, stack: Vec::new(), status: Status::Runnable, executed: 0, held: 0 }
+        Self {
+            sti,
+            next_call: 0,
+            stack: Vec::new(),
+            status: Status::Runnable,
+            executed: 0,
+            held: 0,
+        }
     }
 }
 

@@ -84,13 +84,8 @@ impl ReplayScheduler {
 
 impl Scheduler for ReplayScheduler {
     fn choose(&mut self, views: &[ThreadView]) -> ThreadId {
-        let fallback = || {
-            views
-                .iter()
-                .find(|v| v.runnable)
-                .map(|v| v.id)
-                .expect("no runnable thread")
-        };
+        let fallback =
+            || views.iter().find(|v| v.runnable).map(|v| v.id).expect("no runnable thread");
         match self.trace.choices.get(self.at) {
             Some(&t) => {
                 self.at += 1;

@@ -79,7 +79,7 @@ impl Cti {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use snowcat_kernel::{GenConfig, generate};
+    use snowcat_kernel::{generate, GenConfig};
 
     #[test]
     fn validate_accepts_in_range_args() {
@@ -91,8 +91,7 @@ mod tests {
     #[test]
     fn validate_rejects_unknown_syscall() {
         let k = generate(&GenConfig::default());
-        let sti =
-            Sti::new(vec![SyscallInvocation { syscall: SyscallId(9999), args: [0, 0, 0] }]);
+        let sti = Sti::new(vec![SyscallInvocation { syscall: SyscallId(9999), args: [0, 0, 0] }]);
         assert!(sti.validate(&k).is_err());
     }
 
@@ -100,10 +99,8 @@ mod tests {
     fn validate_rejects_out_of_range_arg() {
         let k = generate(&GenConfig::default());
         let max = k.syscalls[0].arg_max[0];
-        let sti = Sti::new(vec![SyscallInvocation {
-            syscall: SyscallId(0),
-            args: [max + 1, 0, 0],
-        }]);
+        let sti =
+            Sti::new(vec![SyscallInvocation { syscall: SyscallId(0), args: [max + 1, 0, 0] }]);
         assert!(sti.validate(&k).is_err());
     }
 }

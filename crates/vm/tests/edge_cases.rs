@@ -5,8 +5,8 @@
 use snowcat_kernel::gen::KernelBuilder;
 use snowcat_kernel::{CmpOp, Instr, Kernel, Reg, SyscallId, ThreadId};
 use snowcat_vm::{
-    run_ct, run_sequential, Cti, ExitReason, ScheduleHints, Sti, SwitchPoint,
-    SyscallInvocation, VmConfig,
+    run_ct, run_sequential, Cti, ExitReason, ScheduleHints, Sti, SwitchPoint, SyscallInvocation,
+    VmConfig,
 };
 
 /// Kernel with two syscalls that acquire two locks in opposite orders, plus
@@ -14,13 +14,8 @@ use snowcat_vm::{
 fn crafted_kernel() -> Kernel {
     let mut kb = KernelBuilder::new();
     let sub = kb.add_subsystem("crafted");
-    let _region = kb.alloc_region(
-        sub,
-        snowcat_kernel::program::RegionKind::Flags,
-        8,
-        "crafted.flags",
-        0,
-    );
+    let _region =
+        kb.alloc_region(sub, snowcat_kernel::program::RegionKind::Flags, 8, "crafted.flags", 0);
     let l1 = kb.alloc_lock(sub);
     let l2 = kb.alloc_lock(sub);
 
@@ -128,12 +123,9 @@ fn opposite_lock_orders_complete_when_serialized() {
 #[test]
 fn infinite_loop_hits_step_limit() {
     let k = crafted_kernel();
-    let r = snowcat_vm::Vm::new(
-        &k,
-        vec![sti(2)],
-        VmConfig { collect_accesses: false, max_steps: 500 },
-    )
-    .run(&mut snowcat_vm::SequentialScheduler);
+    let r =
+        snowcat_vm::Vm::new(&k, vec![sti(2)], VmConfig { collect_accesses: false, max_steps: 500 })
+            .run(&mut snowcat_vm::SequentialScheduler);
     assert_eq!(r.exit, ExitReason::StepLimit);
     assert!(r.steps >= 500);
 }

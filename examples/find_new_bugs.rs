@@ -9,8 +9,7 @@
 //! Run with: `cargo run --release --example find_new_bugs`
 
 use snowcat::core::{
-    run_campaign, train_pic, CostModel, ExploreConfig, Explorer, Pic, PipelineConfig,
-    S1NewBitmap,
+    run_campaign, train_pic, CostModel, ExploreConfig, Explorer, Pic, PipelineConfig, S1NewBitmap,
 };
 use snowcat::prelude::*;
 
@@ -24,15 +23,14 @@ fn main() {
         kernel.bugs.len()
     );
 
-    let pcfg = PipelineConfig {
-        fuzz_iterations: 60,
-        n_ctis: 80,
-        train_interleavings: 8,
-        eval_interleavings: 4,
-        model: PicConfig { hidden: 24, layers: 3, ..PicConfig::default() },
-        train: TrainConfig { epochs: 4, ..TrainConfig::default() },
-        seed: 0xF00D,
-    };
+    let pcfg = PipelineConfig::default()
+        .with_fuzz_iterations(60)
+        .with_n_ctis(80)
+        .with_train_interleavings(8)
+        .with_eval_interleavings(4)
+        .with_model(PicConfig { hidden: 24, layers: 3, ..PicConfig::default() })
+        .with_train(TrainConfig { epochs: 4, ..TrainConfig::default() })
+        .with_seed(0xF00D);
     let trained = train_pic(&kernel, &cfg, &pcfg, "PIC-6");
     let corpus = trained.corpus;
 
@@ -55,16 +53,17 @@ fn main() {
         }
     }
 
-    let explore = ExploreConfig { exec_budget: 30, inference_cap: 400, seed: 0xF00D };
+    let explore =
+        ExploreConfig::default().with_exec_budget(30).with_inference_cap(400).with_seed(0xF00D);
     let cost = CostModel::default();
 
     let pct = run_campaign(&kernel, &corpus, &stream, Explorer::Pct, &explore, &cost);
-    let mut pic = Pic::new(&trained.checkpoint, &kernel, &cfg);
+    let pic = Pic::new(&trained.checkpoint, &kernel, &cfg);
     let mlpct = run_campaign(
         &kernel,
         &corpus,
         &stream,
-        Explorer::MlPct { pic: &mut pic, strategy: Box::new(S1NewBitmap::new()) },
+        Explorer::mlpct(&pic, Box::new(S1NewBitmap::new())),
         &explore,
         &cost,
     );

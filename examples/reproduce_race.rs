@@ -31,21 +31,21 @@ fn main() {
     println!("target race: {} (racing blocks {} / {})", bug.summary, ba, bb);
 
     // Train a small PIC for the -PIC variant.
-    let pcfg = PipelineConfig {
-        fuzz_iterations: 40,
-        n_ctis: 60,
-        train_interleavings: 8,
-        eval_interleavings: 4,
-        model: PicConfig { hidden: 24, layers: 3, ..PicConfig::default() },
-        train: TrainConfig { epochs: 4, ..TrainConfig::default() },
-        seed: 0xACE,
-    };
+    let pcfg = PipelineConfig::default()
+        .with_fuzz_iterations(40)
+        .with_n_ctis(60)
+        .with_train_interleavings(8)
+        .with_eval_interleavings(4)
+        .with_model(PicConfig { hidden: 24, layers: 3, ..PicConfig::default() })
+        .with_train(TrainConfig { epochs: 4, ..TrainConfig::default() })
+        .with_seed(0xACE);
     let trained = train_pic(&kernel, &cfg, &pcfg, "PIC-5");
-    let mut pic = Pic::new(&trained.checkpoint, &kernel, &cfg);
+    let pic = Pic::new(&trained.checkpoint, &kernel, &cfg);
+    let service = PredictorService::direct(&pic);
 
     for mode in [RazzerMode::Strict, RazzerMode::Relax, RazzerMode::Pic] {
-        let picref = (mode == RazzerMode::Pic).then_some(&mut pic);
-        let candidates = find_candidates(&kernel, &cfg, &corpus, bug, mode, picref, 11);
+        let svc = (mode == RazzerMode::Pic).then_some(&service);
+        let candidates = find_candidates(&kernel, &cfg, &corpus, bug, mode, svc, 11);
         let res = reproduce(&kernel, &corpus, &candidates, bug, mode, 120, 2.8, 13);
         match res.avg_hours {
             Some(avg) => println!(

@@ -16,15 +16,14 @@ fn main() {
 
     // A deliberately small pipeline so the example finishes in ~a minute;
     // the bench binaries run the real thing.
-    let pcfg = PipelineConfig {
-        fuzz_iterations: 60,
-        n_ctis: 80,
-        train_interleavings: 8,
-        eval_interleavings: 8,
-        model: PicConfig { hidden: 24, layers: 3, ..PicConfig::default() },
-        train: TrainConfig { epochs: 4, ..TrainConfig::default() },
-        seed: 0xBEEF,
-    };
+    let pcfg = PipelineConfig::default()
+        .with_fuzz_iterations(60)
+        .with_n_ctis(80)
+        .with_train_interleavings(8)
+        .with_eval_interleavings(8)
+        .with_model(PicConfig { hidden: 24, layers: 3, ..PicConfig::default() })
+        .with_train(TrainConfig { epochs: 4, ..TrainConfig::default() })
+        .with_seed(0xBEEF);
     println!("training PIC on synthetic kernel {} ...", kernel.version);
     let out = train_pic(&kernel, &cfg, &pcfg, "PIC-example");
     let s = &out.summary;
@@ -44,12 +43,13 @@ fn main() {
     );
 
     // Deploy the predictor and query it on a fresh CT candidate.
-    let mut pic = Pic::new(&out.checkpoint, &kernel, &cfg);
+    let pic = Pic::new(&out.checkpoint, &kernel, &cfg);
+    let service = PredictorService::direct(&pic);
     let a = &out.corpus[0];
     let b = &out.corpus[1];
     let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(1);
     let hints = propose_hints(&mut rng, a.seq.steps, b.seq.steps);
-    let pred = pic.predict(a, b, &hints);
+    let pred = service.predict_ct(a, b, &hints);
     let n_pos = pred.positive.iter().filter(|&&p| p).count();
     println!(
         "prediction for a fresh CT candidate: {} of {} vertices predicted covered",
@@ -58,24 +58,13 @@ fn main() {
     );
 
     // Compare against the actual dynamic execution.
-    let ct = run_ct(
-        &kernel,
-        &Cti::new(a.sti.clone(), b.sti.clone()),
-        hints,
-        VmConfig::default(),
-    );
+    let ct = run_ct(&kernel, &Cti::new(a.sti.clone(), b.sti.clone()), hints, VmConfig::default());
     let correct = pred
         .graph
         .verts
         .iter()
         .zip(&pred.positive)
-        .filter(|(v, &p)| {
-            p == ct.per_thread_coverage[v.thread.index()].contains(v.block.index())
-        })
+        .filter(|(v, &p)| p == ct.per_thread_coverage[v.thread.index()].contains(v.block.index()))
         .count();
-    println!(
-        "ground truth agreement: {}/{} vertices",
-        correct,
-        pred.graph.num_verts()
-    );
+    println!("ground truth agreement: {}/{} vertices", correct, pred.graph.num_verts());
 }

@@ -15,15 +15,14 @@ use snowcat::prelude::*;
 
 fn main() {
     let cost = CostModel::default();
-    let pcfg = PipelineConfig {
-        fuzz_iterations: 60,
-        n_ctis: 80,
-        train_interleavings: 8,
-        eval_interleavings: 8,
-        model: PicConfig { hidden: 24, layers: 3, ..PicConfig::default() },
-        train: TrainConfig { epochs: 4, ..TrainConfig::default() },
-        seed: 0xD21F7,
-    };
+    let pcfg = PipelineConfig::default()
+        .with_fuzz_iterations(60)
+        .with_n_ctis(80)
+        .with_train_interleavings(8)
+        .with_eval_interleavings(8)
+        .with_model(PicConfig { hidden: 24, layers: 3, ..PicConfig::default() })
+        .with_train(TrainConfig { epochs: 4, ..TrainConfig::default() })
+        .with_seed(0xD21F7);
 
     // Day 0: kernel 5.12 ships; train the base model.
     let k512 = KernelVersion::V5_12.spec(0xD21F7).build();
@@ -49,7 +48,7 @@ fn main() {
     );
 
     // Collect a small 5.13 dataset (1/8 of the 5.12 budget).
-    let small = PipelineConfig { n_ctis: pcfg.n_ctis / 8, seed: pcfg.seed ^ 0x513, ..pcfg };
+    let small = pcfg.with_n_ctis(pcfg.n_ctis / 8).with_seed(pcfg.seed ^ 0x513);
     let data513 = collect_data(&k513, &cfg513, &small);
     let new_graphs = data513.train_set.len() + data513.valid_set.len();
     let valid_refs = as_labeled(&data513.valid_set);

@@ -67,13 +67,13 @@ pub use snowcat_vm as vm;
 pub mod prelude {
     pub use snowcat_cfg::KernelCfg;
     pub use snowcat_core::{
-        explore_mlpct, explore_pct, fine_tune, run_campaign, train_pic, CostModel, ExploreConfig,
-        Explorer, Pic, PipelineConfig, RazzerMode, S1NewBitmap, S2NewBlocks, S3LimitedTrials,
-        Sampler, SelectionStrategy,
+        explore_mlpct, explore_pct, fine_tune, run_campaign, train_pic, CachedPredictor, CostModel,
+        CoveragePredictor, ExploreConfig, Explorer, ParallelPredictor, Pic, PipelineConfig,
+        PredictorService, RazzerMode, S1NewBitmap, S2NewBlocks, S3LimitedTrials, Sampler,
+        SelectionStrategy, SnowcatError,
     };
     pub use snowcat_corpus::{
-        build_dataset, make_splits, random_cti_pairs, Dataset, DatasetConfig, StiFuzzer,
-        StiProfile,
+        build_dataset, make_splits, random_cti_pairs, Dataset, DatasetConfig, StiFuzzer, StiProfile,
     };
     pub use snowcat_graph::{CtGraph, CtGraphBuilder, EdgeKind, VertKind};
     pub use snowcat_kernel::{

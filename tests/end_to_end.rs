@@ -2,22 +2,22 @@
 //! fuzz → datasets → train → deploy → MLPCT exploration → campaign.
 
 use snowcat::core::{
-    explore_mlpct, explore_pct, run_campaign, train_pic, CostModel, ExploreConfig, Explorer,
-    Pic, PipelineConfig, S1NewBitmap,
+    explore_mlpct, explore_pct, load_checkpoint, run_campaign, save_checkpoint, train_pic,
+    CostModel, CoveragePredictor, ExploreConfig, Explorer, Pic, PipelineConfig, PredictorService,
+    S1NewBitmap,
 };
 use snowcat::nn::Checkpoint;
 use snowcat::prelude::*;
 
 fn tiny_pipeline() -> PipelineConfig {
-    PipelineConfig {
-        fuzz_iterations: 20,
-        n_ctis: 16,
-        train_interleavings: 4,
-        eval_interleavings: 4,
-        model: PicConfig { hidden: 12, layers: 2, ..PicConfig::default() },
-        train: TrainConfig { epochs: 2, ..TrainConfig::default() },
-        seed: 0xE2E,
-    }
+    PipelineConfig::default()
+        .with_fuzz_iterations(20)
+        .with_n_ctis(16)
+        .with_train_interleavings(4)
+        .with_eval_interleavings(4)
+        .with_model(PicConfig { hidden: 12, layers: 2, ..PicConfig::default() })
+        .with_train(TrainConfig { epochs: 2, ..TrainConfig::default() })
+        .with_seed(0xE2E)
 }
 
 #[test]
@@ -26,22 +26,25 @@ fn full_workflow_runs_and_checkpoint_roundtrips_via_disk() {
     let cfg = KernelCfg::build(&kernel);
     let out = train_pic(&kernel, &cfg, &tiny_pipeline(), "PIC-e2e");
 
-    // Persist and reload the checkpoint through a real file.
+    // Persist and reload the checkpoint through a real file, via the
+    // fallible I/O helpers the CLI uses.
     let dir = std::env::temp_dir().join("snowcat-e2e-test");
     std::fs::create_dir_all(&dir).unwrap();
     let path = dir.join("pic.json");
-    std::fs::write(&path, out.checkpoint.to_json().unwrap()).unwrap();
-    let loaded = Checkpoint::from_json(&std::fs::read_to_string(&path).unwrap()).unwrap();
+    save_checkpoint(&path, &out.checkpoint).unwrap();
+    let loaded = load_checkpoint(&path).unwrap();
     assert_eq!(loaded, out.checkpoint);
     std::fs::remove_file(&path).ok();
 
     // Deploy and explore one CTI with both explorers.
-    let mut pic = Pic::new(&loaded, &kernel, &cfg);
+    let pic = Pic::new(&loaded, &kernel, &cfg);
+    let service = PredictorService::direct(&pic);
     let mut strat = S1NewBitmap::new();
-    let explore = ExploreConfig { exec_budget: 6, inference_cap: 60, seed: 0xE2E };
+    let explore =
+        ExploreConfig::default().with_exec_budget(6).with_inference_cap(60).with_seed(0xE2E);
     let a = &out.corpus[0];
     let b = &out.corpus[1];
-    let ml = explore_mlpct(&kernel, &mut pic, &mut strat, a, b, &explore);
+    let ml = explore_mlpct(&kernel, &service, &mut strat, a, b, &explore);
     let pct = explore_pct(&kernel, a, b, &explore);
     assert!(ml.executions <= 6);
     assert!(ml.inferences >= ml.executions);
@@ -55,16 +58,17 @@ fn campaign_histories_are_reproducible() {
     let cfg = KernelCfg::build(&kernel);
     let out = train_pic(&kernel, &cfg, &tiny_pipeline(), "PIC-e2e");
     let stream = vec![(0usize, 1usize), (2, 3), (4, 5)];
-    let explore = ExploreConfig { exec_budget: 4, inference_cap: 40, seed: 0xCAFE };
+    let explore =
+        ExploreConfig::default().with_exec_budget(4).with_inference_cap(40).with_seed(0xCAFE);
     let cost = CostModel::default();
 
     let run = |ck: &Checkpoint| {
-        let mut pic = Pic::new(ck, &kernel, &cfg);
+        let pic = Pic::new(ck, &kernel, &cfg);
         run_campaign(
             &kernel,
             &out.corpus,
             &stream,
-            Explorer::MlPct { pic: &mut pic, strategy: Box::new(S1NewBitmap::new()) },
+            Explorer::mlpct(&pic, Box::new(S1NewBitmap::new())),
             &explore,
             &cost,
         )
@@ -104,16 +108,24 @@ fn predictions_are_consistent_between_predict_paths() {
     let kernel = KernelVersion::V5_12.spec(0xE2E).build();
     let cfg = KernelCfg::build(&kernel);
     let out = train_pic(&kernel, &cfg, &tiny_pipeline(), "PIC-e2e");
-    let mut pic = Pic::new(&out.checkpoint, &kernel, &cfg);
+    let pic = Pic::new(&out.checkpoint, &kernel, &cfg);
+    let service = PredictorService::direct(&pic);
     let a = &out.corpus[2];
     let b = &out.corpus[5];
     let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(2);
-    for _ in 0..5 {
-        let hints = propose_hints(&mut rng, a.seq.steps, b.seq.steps);
-        let p1 = pic.predict(a, b, &hints);
-        let base = pic.base_graph(a, b);
-        let p2 = pic.predict_with_base(&base, a, b, &hints);
+    let base = service.base_graph(a, b);
+    let hints: Vec<_> = (0..5).map(|_| propose_hints(&mut rng, a.seq.steps, b.seq.steps)).collect();
+    // Three routes to the same prediction: one-shot, base-graph reuse, batch.
+    let batch = service.predict_candidates(&base, a, b, &hints);
+    for (h, pb) in hints.iter().zip(&batch) {
+        let p1 = service.predict_ct(a, b, h);
+        let p2 = service.predict_candidate(&base, a, b, h);
+        let graph = pic.candidate_graph(&base, a, b, h);
+        let p3 = pic.predict_one(&graph);
         assert_eq!(p1.probs, p2.probs);
-        assert_eq!(p1.positive, p2.positive);
+        assert_eq!(p2.probs, p3.probs);
+        assert_eq!(p3.probs, pb.probs);
+        assert_eq!(p1.positive, pb.positive);
     }
+    assert!(pic.stats().inferences >= hints.len() as u64 * 3);
 }

@@ -13,15 +13,14 @@ fn flow_head_learns_realized_flows() {
     // Flow prediction needs a little more data/capacity than the other
     // integration tests (the signal is schedule-dependent); this is still a
     // ~minute in release mode.
-    let pcfg = PipelineConfig {
-        fuzz_iterations: 60,
-        n_ctis: 140,
-        train_interleavings: 8,
-        eval_interleavings: 8,
-        model: PicConfig { hidden: 24, layers: 4, ..PicConfig::default() },
-        train: TrainConfig { epochs: 6, ..TrainConfig::default() },
-        seed: 0xF10E,
-    };
+    let pcfg = PipelineConfig::default()
+        .with_fuzz_iterations(60)
+        .with_n_ctis(140)
+        .with_train_interleavings(8)
+        .with_eval_interleavings(8)
+        .with_model(PicConfig { hidden: 24, layers: 4, ..PicConfig::default() })
+        .with_train(TrainConfig { epochs: 6, ..TrainConfig::default() })
+        .with_seed(0xF10E);
     let data = collect_data(&kernel, &cfg, &pcfg);
 
     // Base rate of realized flows among InterFlow edges in the eval split.
@@ -43,14 +42,8 @@ fn flow_head_learns_realized_flows() {
     assert!(base_rate > 0.0, "some flows must be realized");
     assert!(base_rate < 1.0, "not every potential flow is realized");
 
-    let (ck, _summary, flow_ap) = train_on_with_flows(
-        &kernel,
-        &data,
-        pcfg.model,
-        pcfg.train,
-        pcfg.seed,
-        "PIC-flow-test",
-    );
+    let (ck, _summary, flow_ap) =
+        train_on_with_flows(&kernel, &data, pcfg.model, pcfg.train, pcfg.seed, "PIC-flow-test");
 
     // A random ranker's AP equals the base rate in expectation; the trained
     // head must clearly beat it.

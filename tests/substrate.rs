@@ -25,17 +25,9 @@ fn sequential_composition_equals_hintless_schedule() {
     let c = corpus(&k);
     for (ia, ib) in [(0usize, 1usize), (3, 9), (12, 4)] {
         let cti = Cti::new(c[ia].sti.clone(), c[ib].sti.clone());
-        let hintless = run_ct(
-            &k,
-            &cti,
-            ScheduleHints::sequential(ThreadId(0)),
-            VmConfig::default(),
-        );
-        let vm = Vm::new(
-            &k,
-            vec![cti.a.clone(), cti.b.clone()],
-            VmConfig::default(),
-        );
+        let hintless =
+            run_ct(&k, &cti, ScheduleHints::sequential(ThreadId(0)), VmConfig::default());
+        let vm = Vm::new(&k, vec![cti.a.clone(), cti.b.clone()], VmConfig::default());
         let seq = vm.run(&mut SequentialScheduler);
         assert_eq!(hintless.coverage, seq.coverage);
         assert_eq!(hintless.accesses, seq.accesses);
@@ -78,12 +70,7 @@ fn concurrent_coverage_stays_within_static_reachability() {
         let reach = cfg.reachable_from(&entries);
         for _ in 0..10 {
             let hints = propose_hints(&mut rng, a.seq.steps, b.seq.steps);
-            let r = run_ct(
-                &k,
-                &Cti::new(a.sti.clone(), b.sti.clone()),
-                hints,
-                VmConfig::default(),
-            );
+            let r = run_ct(&k, &Cti::new(a.sti.clone(), b.sti.clone()), hints, VmConfig::default());
             for blk in r.coverage.iter() {
                 assert!(reach.contains(blk), "block {blk} covered but not reachable");
             }
@@ -101,12 +88,7 @@ fn race_reports_only_on_truly_shared_addresses() {
     let b = &c[1];
     for _ in 0..10 {
         let hints = propose_hints(&mut rng, a.seq.steps, b.seq.steps);
-        let r = run_ct(
-            &k,
-            &Cti::new(a.sti.clone(), b.sti.clone()),
-            hints,
-            VmConfig::default(),
-        );
+        let r = run_ct(&k, &Cti::new(a.sti.clone(), b.sti.clone()), hints, VmConfig::default());
         for report in det.detect(&k, &r) {
             // Both racing instructions accessed the reported address from
             // different threads in this run.
@@ -120,10 +102,7 @@ fn race_reports_only_on_truly_shared_addresses() {
             let ta = hit(report.key.0);
             let tb = hit(report.key.1);
             assert!(!ta.is_empty() && !tb.is_empty());
-            assert!(
-                ta.union(&tb).count() >= 2,
-                "race endpoints must span two threads"
-            );
+            assert!(ta.union(&tb).count() >= 2, "race endpoints must span two threads");
         }
     }
 }
@@ -155,18 +134,10 @@ fn all_planted_bugs_are_exposable_by_some_two_switch_schedule() {
                         first,
                         switches: vec![
                             SwitchPoint { thread: first, after: x },
-                            SwitchPoint {
-                                thread: ThreadId(1 - first.0),
-                                after: y,
-                            },
+                            SwitchPoint { thread: ThreadId(1 - first.0), after: y },
                         ],
                     };
-                    let r = run_ct(
-                        &k,
-                        &Cti::new(a.clone(), b.clone()),
-                        hints,
-                        VmConfig::default(),
-                    );
+                    let r = run_ct(&k, &Cti::new(a.clone(), b.clone()), hints, VmConfig::default());
                     if r.hit_bug(bug.id)
                         || det
                             .detect(&k, &r)
@@ -238,13 +209,13 @@ fn version_evolution_preserves_unchanged_syscall_semantics() {
         }
         let sti512 = Sti::new(vec![SyscallInvocation {
             syscall: SyscallId(
-                k512.syscalls.iter().position(|s| s.name == sc512.name).unwrap() as u32,
+                k512.syscalls.iter().position(|s| s.name == sc512.name).unwrap() as u32
             ),
             args: [1, 0, 0],
         }]);
         let sti513 = Sti::new(vec![SyscallInvocation {
             syscall: SyscallId(
-                k513.syscalls.iter().position(|s| s.name == sc513.name).unwrap() as u32,
+                k513.syscalls.iter().position(|s| s.name == sc513.name).unwrap() as u32
             ),
             args: [1, 0, 0],
         }]);

@@ -2,10 +2,10 @@
 //! these tests run three concurrent threads (e.g. modelling an interrupt
 //! handler as a third context, the direction §6 sketches).
 
-use snowcat::prelude::*;
-use snowcat::vm::{PctScheduler, Vm};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use snowcat::prelude::*;
+use snowcat::vm::{PctScheduler, Vm};
 
 fn kernel() -> Kernel {
     KernelVersion::V5_12.spec(0x333).build()

@@ -1,3 +1,5 @@
+// Vendored crate: exempt from workspace clippy (CI runs clippy -D warnings).
+#![allow(clippy::all)]
 //! Offline stand-in for the `bytes` crate: `Bytes`/`BytesMut` plus the
 //! little-endian `Buf`/`BufMut` accessors the SCDS binary format uses.
 //! `Bytes` is a cheaply cloneable shared buffer with a read cursor.

@@ -1,3 +1,5 @@
+// Vendored crate: exempt from workspace clippy (CI runs clippy -D warnings).
+#![allow(clippy::all)]
 //! Offline stand-in for `criterion`: `bench_function`/`Bencher::iter` with
 //! warm-up, fixed sample counts, and a mean/min/max report printed in a
 //! criterion-like format. No plotting, no statistical regression analysis.
@@ -103,12 +105,7 @@ impl Bencher {
         let mean = self.samples_ns.iter().sum::<f64>() / n;
         let min = self.samples_ns.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = self.samples_ns.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        println!(
-            "{id:<40} time: [{} {} {}]",
-            fmt_ns(min),
-            fmt_ns(mean),
-            fmt_ns(max)
-        );
+        println!("{id:<40} time: [{} {} {}]", fmt_ns(min), fmt_ns(mean), fmt_ns(max));
     }
 }
 

@@ -1,3 +1,5 @@
+// Vendored crate: exempt from workspace clippy (CI runs clippy -D warnings).
+#![allow(clippy::all)]
 //! Offline stand-in for the `crossbeam` crate: scoped threads with the
 //! `crossbeam::thread::scope(|s| { s.spawn(|_| ...) })` calling convention,
 //! implemented over `std::thread::scope`. A panic in any spawned thread

@@ -1,3 +1,5 @@
+// Vendored crate: exempt from workspace clippy (CI runs clippy -D warnings).
+#![allow(clippy::all)]
 //! Offline stand-in for `proptest`: the strategy combinators, runner, and
 //! macros this workspace's property tests use. Case generation is
 //! deterministic (fixed-seed xoshiro256++) and failing cases are reported

@@ -1,3 +1,5 @@
+// Vendored crate: exempt from workspace clippy (CI runs clippy -D warnings).
+#![allow(clippy::all)]
 //! Offline stand-in for the `rand` 0.8 crate: the API subset this workspace
 //! uses (`Rng::{gen, gen_range, gen_bool}`, `SeedableRng::seed_from_u64`,
 //! `rngs::StdRng`, `rngs::mock::StepRng`, `seq::SliceRandom::shuffle`),

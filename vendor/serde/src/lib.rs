@@ -1,3 +1,5 @@
+// Vendored crate: exempt from workspace clippy (CI runs clippy -D warnings).
+#![allow(clippy::all)]
 //! Offline stand-in for `serde`: a value-tree serialization framework with
 //! the same derive ergonomics (`#[derive(Serialize, Deserialize)]`,
 //! `#[serde(default)]`) as the real crate, sized to what this workspace
@@ -297,10 +299,7 @@ impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
     fn from_value(v: &Value) -> Result<Self, Error> {
         let vec = Vec::<T>::from_value(v)?;
         if vec.len() != N {
-            return Err(Error::custom(format!(
-                "expected array of length {N}, got {}",
-                vec.len()
-            )));
+            return Err(Error::custom(format!("expected array of length {N}, got {}", vec.len())));
         }
         vec.try_into().map_err(|_| Error::expected("array", "[T; N]"))
     }

@@ -1,3 +1,5 @@
+// Vendored crate: exempt from workspace clippy (CI runs clippy -D warnings).
+#![allow(clippy::all)]
 //! Derive macros for the vendored `serde` stand-in.
 //!
 //! Parses the derive input token stream directly (no syn/quote in the
@@ -338,9 +340,8 @@ fn gen_enum_ser(name: &str, variants: &[Variant]) -> String {
                 ),
                 Shape::Tuple(n) => {
                     let binds: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
-                    let items: Vec<String> = (0..*n)
-                        .map(|i| format!("::serde::Serialize::to_value(x{i})"))
-                        .collect();
+                    let items: Vec<String> =
+                        (0..*n).map(|i| format!("::serde::Serialize::to_value(x{i})")).collect();
                     format!(
                         "{name}::{v}({binds}) => ::serde::Value::Object(vec![(\"{v}\".to_string(), \
                          ::serde::Value::Array(vec![{items}]))])",

@@ -1,3 +1,5 @@
+// Vendored crate: exempt from workspace clippy (CI runs clippy -D warnings).
+#![allow(clippy::all)]
 //! Offline stand-in for `serde_json`: renders and parses the vendored
 //! `serde::Value` tree as standard JSON (`to_string`, `to_string_pretty`,
 //! `from_str`). Integer precision is preserved end to end; non-finite
@@ -181,10 +183,7 @@ impl<'a> Parser<'a> {
             self.pos += 1;
             Ok(())
         } else {
-            Err(Error::new(format!(
-                "expected `{}` at byte {}",
-                b as char, self.pos
-            )))
+            Err(Error::new(format!("expected `{}` at byte {}", b as char, self.pos)))
         }
     }
 
@@ -243,7 +242,12 @@ impl<'a> Parser<'a> {
                             self.pos += 1;
                             return Ok(Value::Array(items));
                         }
-                        _ => return Err(Error::new(format!("expected `,` or `]` at byte {}", self.pos))),
+                        _ => {
+                            return Err(Error::new(format!(
+                                "expected `,` or `]` at byte {}",
+                                self.pos
+                            )))
+                        }
                     }
                 }
             }
@@ -269,7 +273,12 @@ impl<'a> Parser<'a> {
                             self.pos += 1;
                             return Ok(Value::Object(fields));
                         }
-                        _ => return Err(Error::new(format!("expected `,` or `}}` at byte {}", self.pos))),
+                        _ => {
+                            return Err(Error::new(format!(
+                                "expected `,` or `}}` at byte {}",
+                                self.pos
+                            )))
+                        }
                     }
                 }
             }
@@ -420,10 +429,7 @@ mod tests {
     fn nested_pretty_parses_back() {
         let v = Value::Object(vec![
             ("name".into(), Value::Str("pic".into())),
-            (
-                "xs".into(),
-                Value::Array(vec![Value::Int(-1), Value::Float(2.5), Value::Null]),
-            ),
+            ("xs".into(), Value::Array(vec![Value::Int(-1), Value::Float(2.5), Value::Null])),
             ("empty".into(), Value::Array(vec![])),
         ]);
         let mut out = String::new();
