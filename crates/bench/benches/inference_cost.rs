@@ -1,5 +1,7 @@
 //! Microbenchmark: PIC inference cost (§5.2.2) — graph assembly plus one
-//! forward pass, and the forward pass alone.
+//! forward pass, and the forward pass alone. Also reports graphs/sec for the
+//! pre-optimization (naive kernels, per-call allocation) forward against the
+//! tiled session-based forward.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use rand::SeedableRng;
@@ -8,8 +10,9 @@ use snowcat_cfg::KernelCfg;
 use snowcat_corpus::StiFuzzer;
 use snowcat_graph::CtGraphBuilder;
 use snowcat_kernel::{generate, GenConfig};
-use snowcat_nn::{PicConfig, PicModel};
+use snowcat_nn::{PicConfig, PicModel, PicSession};
 use snowcat_vm::propose_hints;
+use std::time::Instant;
 
 fn bench_inference(c: &mut Criterion) {
     let kernel = generate(&GenConfig::default());
@@ -27,7 +30,20 @@ fn bench_inference(c: &mut Criterion) {
     let hints = propose_hints(&mut rng, a.seq.steps, b.seq.steps);
     let graph = builder.with_schedule(&base, &a.seq, &b.seq, &hints);
 
+    c.bench_function("pic_forward_naive", |bch| {
+        bch.iter(|| snowcat_bench::naive_forward(&model, &graph))
+    });
+
     c.bench_function("pic_forward_only", |bch| bch.iter(|| model.forward(&graph)));
+
+    let mut session = PicSession::new();
+    let mut probs = Vec::new();
+    c.bench_function("pic_forward_session", |bch| {
+        bch.iter(|| {
+            model.forward_into(&graph, &mut session, &mut probs);
+            probs.len()
+        })
+    });
 
     c.bench_function("pic_inference_with_graph_assembly", |bch| {
         bch.iter(|| {
@@ -36,6 +52,30 @@ fn bench_inference(c: &mut Criterion) {
             model.forward(&g)
         })
     });
+
+    // Before/after throughput summary: graphs/sec of the pre-optimization
+    // forward vs the session-based forward on the same graph.
+    let throughput = |mut f: Box<dyn FnMut() + '_>| {
+        f();
+        let t0 = Instant::now();
+        let mut iters = 0u64;
+        while iters < 30 || t0.elapsed().as_millis() < 1500 {
+            f();
+            iters += 1;
+        }
+        iters as f64 / t0.elapsed().as_secs_f64()
+    };
+    let naive = throughput(Box::new(|| {
+        std::hint::black_box(snowcat_bench::naive_forward(&model, &graph));
+    }));
+    let tiled = throughput(Box::new(|| {
+        model.forward_into(&graph, &mut session, &mut probs);
+        std::hint::black_box(&probs);
+    }));
+    println!(
+        "graphs/sec: naive {naive:.0} -> session {tiled:.0} ({:.2}x end-to-end)",
+        tiled / naive
+    );
 }
 
 criterion_group! {

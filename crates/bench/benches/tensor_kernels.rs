@@ -1,0 +1,250 @@
+//! Microbenchmark: the tensor core (tiled matmul kernels, fused ops and
+//! scratch-arena reuse) against the `naive_*` scalar references, plus an
+//! end-to-end graphs/sec comparison of the pre-optimization forward pass
+//! (`snowcat_bench::naive_forward`) vs the session-based allocation-free
+//! forward. Writes `results/BENCH_tensor.json` with the measured speedups.
+//!
+//! Pass `--quick` for a CI-sized smoke run (small shapes, short timings).
+
+use criterion::{black_box, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use snowcat_cfg::KernelCfg;
+use snowcat_corpus::StiFuzzer;
+use snowcat_graph::{CtGraph, CtGraphBuilder};
+use snowcat_kernel::{generate, GenConfig};
+use snowcat_nn::{Mat, PicConfig, PicModel, PicSession, Scratch};
+use snowcat_vm::propose_hints;
+use std::time::{Duration, Instant};
+
+fn quick() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
+
+/// Mean ns/iteration of `f`, measured over at least `min_iters` iterations
+/// and at least `min_time` of wall clock (after one warmup call).
+fn time_ns(mut f: impl FnMut(), min_iters: u64, min_time: Duration) -> f64 {
+    f();
+    let t0 = Instant::now();
+    let mut iters = 0u64;
+    while iters < min_iters || t0.elapsed() < min_time {
+        f();
+        iters += 1;
+    }
+    t0.elapsed().as_nanos() as f64 / iters as f64
+}
+
+#[derive(serde::Serialize)]
+struct KernelRow {
+    n: usize,
+    k: usize,
+    m: usize,
+    naive_ns: f64,
+    seed_ns: f64,
+    tiled_ns: f64,
+    tiled_into_ns: f64,
+    fused_ns: f64,
+    speedup_tiled: f64,
+    speedup_fused: f64,
+}
+
+#[derive(serde::Serialize)]
+struct EndToEnd {
+    graphs: usize,
+    naive_graphs_per_sec: f64,
+    session_graphs_per_sec: f64,
+    speedup: f64,
+}
+
+#[derive(serde::Serialize)]
+struct Report {
+    quick: bool,
+    kernels: Vec<KernelRow>,
+    end_to_end: EndToEnd,
+}
+
+fn bench_kernels(c: &mut Criterion) -> Vec<KernelRow> {
+    let mut rng = ChaCha8Rng::seed_from_u64(0x7E57);
+    let sizes: &[usize] = if quick() { &[64] } else { &[64, 256, 1024] };
+    let (min_iters, min_time) =
+        if quick() { (3, Duration::from_millis(20)) } else { (10, Duration::from_millis(300)) };
+    let mut rows = Vec::new();
+    for &n in sizes {
+        let (k, m) = (32usize, 32usize);
+        let a = Mat::xavier(&mut rng, n, k);
+        let b = Mat::xavier(&mut rng, k, m);
+        let bias = Mat::xavier(&mut rng, 1, m);
+        let mut out = Mat::zeros(n, m);
+
+        c.bench_function(&format!("naive_matmul_{n}x{k}_{k}x{m}"), |bch| {
+            bch.iter(|| a.naive_matmul(black_box(&b)))
+        });
+        c.bench_function(&format!("seed_matmul_{n}x{k}_{k}x{m}"), |bch| {
+            bch.iter(|| snowcat_bench::seed_matmul(&a, black_box(&b)))
+        });
+        c.bench_function(&format!("tiled_matmul_{n}x{k}_{k}x{m}"), |bch| {
+            bch.iter(|| a.matmul(black_box(&b)))
+        });
+        c.bench_function(&format!("tiled_matmul_into_{n}x{k}_{k}x{m}"), |bch| {
+            bch.iter(|| a.matmul_into(black_box(&b), &mut out))
+        });
+        c.bench_function(&format!("unfused_bias_relu_{n}x{k}_{k}x{m}"), |bch| {
+            bch.iter(|| {
+                let mut z = a.matmul(black_box(&b));
+                z.add_row_broadcast(&bias);
+                z.relu_inplace();
+                z
+            })
+        });
+        c.bench_function(&format!("fused_bias_relu_into_{n}x{k}_{k}x{m}"), |bch| {
+            bch.iter(|| a.matmul_bias_relu_into(black_box(&b), &bias, &mut out))
+        });
+        // Scratch reuse vs per-call allocation for the NT kernel (the only
+        // into-kernel that needs a transpose buffer).
+        let bt_src = Mat::xavier(&mut rng, m, k);
+        let mut scratch = Scratch::new();
+        c.bench_function(&format!("matmul_nt_alloc_{n}x{k}_{m}x{k}"), |bch| {
+            bch.iter(|| a.matmul_nt(black_box(&bt_src)))
+        });
+        c.bench_function(&format!("matmul_nt_scratch_{n}x{k}_{m}x{k}"), |bch| {
+            bch.iter(|| a.matmul_nt_into(black_box(&bt_src), &mut out, &mut scratch))
+        });
+
+        // Manual speedup numbers for the JSON report (criterion's printed
+        // stats are for humans; these feed the acceptance check).
+        let naive_ns = time_ns(|| drop(black_box(a.naive_matmul(&b))), min_iters, min_time);
+        let seed_ns =
+            time_ns(|| drop(black_box(snowcat_bench::seed_matmul(&a, &b))), min_iters, min_time);
+        let tiled_ns = time_ns(|| drop(black_box(a.matmul(&b))), min_iters, min_time);
+        let tiled_into_ns = time_ns(|| a.matmul_into(black_box(&b), &mut out), min_iters, min_time);
+        let fused_ns = time_ns(
+            || a.matmul_bias_relu_into(black_box(&b), &bias, &mut out),
+            min_iters,
+            min_time,
+        );
+        rows.push(KernelRow {
+            n,
+            k,
+            m,
+            naive_ns,
+            seed_ns,
+            tiled_ns,
+            tiled_into_ns,
+            fused_ns,
+            speedup_tiled: naive_ns / tiled_into_ns,
+            speedup_fused: naive_ns / fused_ns,
+        });
+    }
+    rows
+}
+
+fn build_graphs(n: usize) -> (PicModel, Vec<CtGraph>) {
+    let kernel = generate(&GenConfig::default());
+    let cfg = KernelCfg::build(&kernel);
+    let mut fz = StiFuzzer::new(&kernel, 1);
+    fz.seed_each_syscall();
+    fz.push_random(10);
+    let corpus = fz.into_corpus();
+    let a = &corpus[corpus.len() - 1];
+    let b = &corpus[corpus.len() - 2];
+    let builder = CtGraphBuilder::new(&kernel, &cfg);
+    let base = builder.build_base(&a.seq, &b.seq);
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+    let graphs = (0..n)
+        .map(|_| {
+            let hints = propose_hints(&mut rng, a.seq.steps, b.seq.steps);
+            builder.with_schedule(&base, &a.seq, &b.seq, &hints)
+        })
+        .collect();
+    (PicModel::new(PicConfig::default()), graphs)
+}
+
+fn bench_end_to_end(c: &mut Criterion) -> EndToEnd {
+    let n_graphs = if quick() { 4 } else { 16 };
+    let (model, graphs) = build_graphs(n_graphs);
+
+    c.bench_function("forward_naive_batch", |bch| {
+        bch.iter(|| {
+            for g in &graphs {
+                black_box(snowcat_bench::naive_forward(&model, g));
+            }
+        })
+    });
+    let mut session = PicSession::new();
+    let mut probs = Vec::new();
+    c.bench_function("forward_session_batch", |bch| {
+        bch.iter(|| {
+            for g in &graphs {
+                model.forward_into(g, &mut session, &mut probs);
+                black_box(&probs);
+            }
+        })
+    });
+
+    let (min_iters, min_time) =
+        if quick() { (2, Duration::from_millis(50)) } else { (3, Duration::from_millis(1500)) };
+    let naive_ns = time_ns(
+        || {
+            for g in &graphs {
+                black_box(snowcat_bench::naive_forward(&model, g));
+            }
+        },
+        min_iters,
+        min_time,
+    );
+    let session_ns = time_ns(
+        || {
+            for g in &graphs {
+                model.forward_into(g, &mut session, &mut probs);
+                black_box(&probs);
+            }
+        },
+        min_iters,
+        min_time,
+    );
+    let per_graph = |batch_ns: f64| 1e9 * n_graphs as f64 / batch_ns;
+    EndToEnd {
+        graphs: n_graphs,
+        naive_graphs_per_sec: per_graph(naive_ns),
+        session_graphs_per_sec: per_graph(session_ns),
+        speedup: naive_ns / session_ns,
+    }
+}
+
+fn main() {
+    let mut c = if quick() {
+        Criterion::default()
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(40))
+            .warm_up_time(Duration::from_millis(10))
+    } else {
+        Criterion::default()
+            .sample_size(15)
+            .measurement_time(Duration::from_secs(2))
+            .warm_up_time(Duration::from_millis(300))
+    };
+    let kernels = bench_kernels(&mut c);
+    let end_to_end = bench_end_to_end(&mut c);
+    for r in &kernels {
+        println!(
+            "matmul {}x{}·{}x{}: naive {:.0} ns, seed {:.0} ns, tiled-into {:.0} ns, \
+             fused {:.0} ns → {:.2}x vs naive, {:.2}x vs seed",
+            r.n,
+            r.k,
+            r.k,
+            r.m,
+            r.naive_ns,
+            r.seed_ns,
+            r.tiled_into_ns,
+            r.fused_ns,
+            r.speedup_tiled,
+            r.seed_ns / r.tiled_into_ns
+        );
+    }
+    println!(
+        "end-to-end forward: naive {:.0} graphs/s, session {:.0} graphs/s → {:.2}x",
+        end_to_end.naive_graphs_per_sec, end_to_end.session_graphs_per_sec, end_to_end.speedup
+    );
+    let report = Report { quick: quick(), kernels, end_to_end };
+    snowcat_bench::save_json("BENCH_tensor", &report);
+}

@@ -95,10 +95,22 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
     }
 }
 
-/// Persist experiment output as JSON under `results/`.
+/// Persist experiment output as JSON under `results/` at the workspace root.
+///
+/// Anchored via `CARGO_MANIFEST_DIR` so `cargo bench` (which runs with the
+/// crate directory as cwd) and `cargo run` (invocation cwd) write to the
+/// same place; falls back to a cwd-relative `results/` outside cargo.
 pub fn save_json<T: serde::Serialize>(name: &str, value: &T) {
-    let dir = std::path::Path::new("results");
-    if std::fs::create_dir_all(dir).is_err() {
+    let root = std::env::var("CARGO_MANIFEST_DIR")
+        .map(|d| {
+            let mut p = std::path::PathBuf::from(d);
+            p.pop();
+            p.pop();
+            p
+        })
+        .unwrap_or_else(|_| std::path::PathBuf::from("."));
+    let dir = root.join("results");
+    if std::fs::create_dir_all(&dir).is_err() {
         return;
     }
     let path = dir.join(format!("{name}.json"));
@@ -161,6 +173,115 @@ pub fn cached_pic(
 /// Percent formatting helper.
 pub fn pct(x: f64) -> String {
     format!("{:.2}%", x * 100.0)
+}
+
+/// The seed's `Mat::matmul`, verbatim: row-major axpy with the
+/// `if a == 0.0 { continue }` early-exit branch. This is the exact kernel
+/// the repo shipped before the tensor-core optimization — including the
+/// zero-skip, which silently skipped the all-zero rows of aggregated
+/// message matrices — so speedups measured against it are honest
+/// before/after numbers, not strawman comparisons.
+pub fn seed_matmul(a: &snowcat_nn::Mat, other: &snowcat_nn::Mat) -> snowcat_nn::Mat {
+    assert_eq!(a.cols, other.rows, "matmul shape mismatch");
+    let mut out = snowcat_nn::Mat::zeros(a.rows, other.cols);
+    for i in 0..a.rows {
+        let a_row = a.row(i);
+        let out_row = out.row_mut(i);
+        for (k, &av) in a_row.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let b_row = other.row(k);
+            for (o, &b) in out_row.iter_mut().zip(b_row) {
+                *o += av * b;
+            }
+        }
+    }
+    out
+}
+
+/// Reference PIC forward pass replicating the pre-optimization pipeline:
+/// the seed's matmul kernel ([`seed_matmul`]), flat edge-list mean
+/// aggregation with element-wise accessors, bias added after the matmul,
+/// and a fresh allocation for every intermediate.
+///
+/// Kept as the "before" baseline for the `tensor_kernels` /
+/// `inference_cost` speedup reports; for actual inference use
+/// [`snowcat_nn::PicModel::forward`] (or the allocation-free
+/// [`snowcat_nn::PicModel::forward_into`]).
+pub fn naive_forward(model: &snowcat_nn::PicModel, graph: &snowcat_graph::CtGraph) -> Vec<f32> {
+    use snowcat_graph::VertKind;
+    use snowcat_nn::Mat;
+    let p = &model.params;
+    let n = graph.num_verts();
+    let d = model.cfg.hidden;
+    // Input features: type + sched embeddings plus mean token embedding.
+    let mut x = Mat::zeros(n, d);
+    for (i, v) in graph.verts.iter().enumerate() {
+        let trow = p.type_emb.row(match v.kind {
+            VertKind::Scb => 0,
+            VertKind::Urb => 1,
+        });
+        let srow = p.sched_emb.row(v.sched_mark.index());
+        let row = x.row_mut(i);
+        for ((o, &t), &m) in row.iter_mut().zip(trow).zip(srow) {
+            *o = t + m;
+        }
+        if !v.tokens.is_empty() {
+            let inv = 1.0 / v.tokens.len() as f32;
+            for &tok in &v.tokens {
+                for (o, &t) in row.iter_mut().zip(p.tok_emb.row(tok as usize)) {
+                    *o += t * inv;
+                }
+            }
+        }
+    }
+    // Input transform, bias-last.
+    let mut h = seed_matmul(&x, &p.w_in);
+    h.add_row_broadcast(&p.b_in);
+    h.relu_inplace();
+    // Message passing with flat edge-list aggregation.
+    for layer in &p.layers {
+        let mut z = seed_matmul(&h, &layer.w_self);
+        for (r, w_rel) in layer.w_rel.iter().enumerate() {
+            let mut m = Mat::zeros(n, d);
+            let mut deg = vec![0u32; n];
+            for e in &graph.edges {
+                if e.kind.index() != r {
+                    continue;
+                }
+                deg[e.to as usize] += 1;
+                let (src, dst) = (e.from as usize, e.to as usize);
+                for c in 0..d {
+                    let v = m.get(dst, c) + h.get(src, c);
+                    m.set(dst, c, v);
+                }
+            }
+            for (v, &dg) in deg.iter().enumerate() {
+                if dg > 1 {
+                    let inv = 1.0 / dg as f32;
+                    for c in m.row_mut(v) {
+                        *c *= inv;
+                    }
+                }
+            }
+            z.add_assign(&seed_matmul(&m, w_rel));
+        }
+        z.add_row_broadcast(&layer.b);
+        z.relu_inplace();
+        z.add_assign(&h);
+        h = z;
+    }
+    // Per-vertex sigmoid head.
+    (0..n)
+        .map(|i| {
+            let mut acc = p.b_out.data[0];
+            for (hv, wv) in h.row(i).iter().zip(p.w_out.data.iter()) {
+                acc += hv * wv;
+            }
+            snowcat_nn::tensor::sigmoid(acc)
+        })
+        .collect()
 }
 
 #[cfg(test)]

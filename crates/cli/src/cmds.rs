@@ -195,7 +195,7 @@ pub fn collect(args: &Args) -> CmdResult {
 
 /// `snowcat train` — full pipeline, checkpoint to JSON.
 pub fn train(args: &Args) -> CmdResult {
-    args.ensure_known(&["version", "seed", "out", "ctis", "epochs", "flow"])?;
+    args.ensure_known(&["version", "seed", "out", "ctis", "epochs", "threads", "flow"])?;
     let k = build_kernel(args)?;
     let cfg = KernelCfg::build(&k);
     let out = args.get("out").ok_or("--out FILE is required")?;
@@ -208,6 +208,7 @@ pub fn train(args: &Args) -> CmdResult {
         .with_model(PicConfig::default())
         .with_train(TrainConfig {
             epochs: args.get_parse("epochs", 6usize)?,
+            threads: args.get_parse("threads", 1usize)?,
             ..TrainConfig::default()
         })
         .with_seed(seed);

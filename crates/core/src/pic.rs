@@ -11,7 +11,7 @@ use snowcat_cfg::KernelCfg;
 use snowcat_corpus::StiProfile;
 use snowcat_graph::{CtGraph, CtGraphBuilder};
 use snowcat_kernel::{BlockId, Kernel, ThreadId};
-use snowcat_nn::{Checkpoint, PicModel};
+use snowcat_nn::{Checkpoint, PicModel, PicSession};
 use snowcat_vm::ScheduleHints;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -127,10 +127,15 @@ impl CoveragePredictor for Pic<'_> {
     fn predict_batch(&self, graphs: &[CtGraph]) -> Vec<PredictedCoverage> {
         self.batches.fetch_add(1, Ordering::Relaxed);
         self.inferences.fetch_add(graphs.len() as u64, Ordering::Relaxed);
+        // One session per batch: every graph after the first reuses the same
+        // scratch buffers and CSR arrays, so steady-state inference does not
+        // touch the allocator.
+        let mut session = PicSession::new();
         graphs
             .iter()
             .map(|graph| {
-                let probs = self.model.forward(graph);
+                let mut probs = Vec::new();
+                self.model.forward_into(graph, &mut session, &mut probs);
                 let positive = probs.iter().map(|&p| p >= self.threshold).collect();
                 PredictedCoverage { graph: graph.clone(), probs, positive }
             })

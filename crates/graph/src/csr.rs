@@ -1,0 +1,318 @@
+//! Per-edge-type CSR adjacency for fast message passing.
+//!
+//! The relational GNN visits every edge of every type once per layer and per
+//! direction. Re-scanning the flat edge list each time is cache-hostile
+//! (random access into the hidden-state matrix) and forces the backward pass
+//! to scatter. Instead we build, once per graph, a compressed-sparse-row
+//! index per edge type in **both** directions:
+//!
+//! * the *in*-CSR groups source vertices by destination, so forward mean
+//!   aggregation is a sequential gather into each destination row, and
+//! * the *out*-CSR groups destination vertices by source, so the backward
+//!   pass (`grad_h[u] += Σ_{u→v} grad_m[v] / indeg[v]`) is also a gather.
+//!
+//! Both sides are built with a counting sort that is *stable* with respect
+//! to edge-list order, so per-row accumulation order — and therefore the
+//! floating-point result — is identical to iterating the original edge
+//! list. [`CsrAdj::rebuild`] reuses all internal buffers, so steady-state
+//! graph ingestion performs no heap allocation once capacities have grown
+//! to the working-set size.
+
+use crate::repr::{CtGraph, NUM_EDGE_KINDS};
+
+/// CSR index for one edge type, both directions.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct KindAdj {
+    /// Incoming row pointers: sources of vertex `v` are
+    /// `in_src[in_ptr[v] as usize .. in_ptr[v + 1] as usize]`.
+    in_ptr: Vec<u32>,
+    /// Source vertex indices grouped by destination, edge-list order within
+    /// each destination.
+    in_src: Vec<u32>,
+    /// Outgoing row pointers: destinations of vertex `u` are
+    /// `out_dst[out_ptr[u] as usize .. out_ptr[u + 1] as usize]`.
+    out_ptr: Vec<u32>,
+    /// Destination vertex indices grouped by source, edge-list order within
+    /// each source.
+    out_dst: Vec<u32>,
+    /// Destinations with at least one incoming edge of this type, in
+    /// ascending vertex order — the rows of the compacted message matrix.
+    touched: Vec<u32>,
+    /// Vertex → index into `touched` (`u32::MAX` for untouched vertices).
+    compact: Vec<u32>,
+}
+
+/// Sentinel in [`KindAdj`]'s vertex → compact-row map.
+const UNTOUCHED: u32 = u32::MAX;
+
+impl KindAdj {
+    /// Sources of incoming edges of this type at vertex `v`.
+    #[inline]
+    pub fn in_sources(&self, v: usize) -> &[u32] {
+        &self.in_src[self.in_ptr[v] as usize..self.in_ptr[v + 1] as usize]
+    }
+
+    /// Destinations of outgoing edges of this type at vertex `u`.
+    #[inline]
+    pub fn out_dests(&self, u: usize) -> &[u32] {
+        &self.out_dst[self.out_ptr[u] as usize..self.out_ptr[u + 1] as usize]
+    }
+
+    /// In-degree of vertex `v` under this edge type.
+    #[inline]
+    pub fn in_degree(&self, v: usize) -> usize {
+        (self.in_ptr[v + 1] - self.in_ptr[v]) as usize
+    }
+
+    /// Number of edges of this type.
+    pub fn num_edges(&self) -> usize {
+        self.in_src.len()
+    }
+
+    /// Destinations with at least one incoming edge of this type, ascending.
+    ///
+    /// These are the only rows of the per-type message matrix that can be
+    /// non-zero, so message passing computes just `touched().len()` rows
+    /// (the compacted path) instead of one per vertex.
+    #[inline]
+    pub fn touched(&self) -> &[u32] {
+        &self.touched
+    }
+
+    /// Row of vertex `v` in the compacted message matrix, or `None` when `v`
+    /// has no incoming edge of this type.
+    #[inline]
+    pub fn compact_row(&self, v: usize) -> Option<usize> {
+        let c = self.compact[v];
+        (c != UNTOUCHED).then_some(c as usize)
+    }
+
+    fn clear(&mut self) {
+        self.in_ptr.clear();
+        self.in_src.clear();
+        self.out_ptr.clear();
+        self.out_dst.clear();
+        self.touched.clear();
+        self.compact.clear();
+    }
+}
+
+/// Per-edge-type CSR adjacency of a [`CtGraph`].
+///
+/// Build with [`CsrAdj::build`], or keep one around and [`CsrAdj::rebuild`]
+/// it per graph to reuse capacity (this is what the inference session does).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CsrAdj {
+    n: usize,
+    kinds: [KindAdj; NUM_EDGE_KINDS],
+}
+
+impl CsrAdj {
+    /// Build the adjacency of `g` from scratch.
+    pub fn build(g: &CtGraph) -> Self {
+        let mut adj = Self::default();
+        adj.rebuild(g);
+        adj
+    }
+
+    /// Rebuild in place for a new graph, reusing internal buffers.
+    pub fn rebuild(&mut self, g: &CtGraph) {
+        let n = g.num_verts();
+        self.n = n;
+        for kind in &mut self.kinds {
+            kind.clear();
+            kind.in_ptr.resize(n + 1, 0);
+            kind.out_ptr.resize(n + 1, 0);
+        }
+        // Pass 1: per-kind degree counts (shifted by one so the prefix sum
+        // leaves `ptr[v]` at the start of v's slot range).
+        for e in &g.edges {
+            let k = &mut self.kinds[e.kind.index()];
+            k.in_ptr[e.to as usize + 1] += 1;
+            k.out_ptr[e.from as usize + 1] += 1;
+        }
+        for kind in &mut self.kinds {
+            kind.compact.resize(n, UNTOUCHED);
+            for v in 0..n {
+                // Pre-prefix-sum, `in_ptr[v + 1]` still holds v's in-degree.
+                if kind.in_ptr[v + 1] > 0 {
+                    kind.compact[v] = kind.touched.len() as u32;
+                    kind.touched.push(v as u32);
+                }
+                kind.in_ptr[v + 1] += kind.in_ptr[v];
+                kind.out_ptr[v + 1] += kind.out_ptr[v];
+            }
+            kind.in_src.resize(kind.in_ptr[n] as usize, 0);
+            kind.out_dst.resize(kind.out_ptr[n] as usize, 0);
+        }
+        // Pass 2: stable placement in edge-list order, using a per-kind
+        // write cursor. Cursors start at each row's slot start; after the
+        // pass `cursor[v] == ptr[v + 1]`, so we restore `ptr` by shifting.
+        let mut in_cur: [Vec<u32>; NUM_EDGE_KINDS] = Default::default();
+        let mut out_cur: [Vec<u32>; NUM_EDGE_KINDS] = Default::default();
+        for (r, kind) in self.kinds.iter().enumerate() {
+            in_cur[r].extend_from_slice(&kind.in_ptr[..n]);
+            out_cur[r].extend_from_slice(&kind.out_ptr[..n]);
+        }
+        for e in &g.edges {
+            let r = e.kind.index();
+            let k = &mut self.kinds[r];
+            let ic = &mut in_cur[r][e.to as usize];
+            k.in_src[*ic as usize] = e.from;
+            *ic += 1;
+            let oc = &mut out_cur[r][e.from as usize];
+            k.out_dst[*oc as usize] = e.to;
+            *oc += 1;
+        }
+    }
+
+    /// Number of vertices this adjacency was built for.
+    pub fn num_verts(&self) -> usize {
+        self.n
+    }
+
+    /// The CSR index for edge-kind index `r` (see `EdgeKind::index`).
+    #[inline]
+    pub fn kind(&self, r: usize) -> &KindAdj {
+        &self.kinds[r]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::repr::{Edge, EdgeKind, SchedMark, VertKind, Vertex};
+    use snowcat_kernel::{BlockId, ThreadId};
+
+    fn vert(i: u32) -> Vertex {
+        Vertex {
+            block: BlockId(i),
+            thread: ThreadId(0),
+            kind: VertKind::Scb,
+            sched_mark: SchedMark::None,
+            tokens: vec![],
+        }
+    }
+
+    fn graph(n: u32, edges: Vec<Edge>) -> CtGraph {
+        CtGraph { verts: (0..n).map(vert).collect(), edges }
+    }
+
+    #[test]
+    fn csr_matches_edge_list_in_order() {
+        let g = graph(
+            4,
+            vec![
+                Edge { from: 2, to: 1, kind: EdgeKind::ScbFlow },
+                Edge { from: 0, to: 1, kind: EdgeKind::ScbFlow },
+                Edge { from: 3, to: 1, kind: EdgeKind::InterFlow },
+                Edge { from: 0, to: 3, kind: EdgeKind::ScbFlow },
+                Edge { from: 1, to: 1, kind: EdgeKind::ScbFlow },
+            ],
+        );
+        let adj = CsrAdj::build(&g);
+        let scb = adj.kind(EdgeKind::ScbFlow.index());
+        // Stable: sources of vertex 1 appear in edge-list order.
+        assert_eq!(scb.in_sources(1), &[2, 0, 1]);
+        assert_eq!(scb.in_sources(3), &[0]);
+        assert_eq!(scb.in_sources(0), &[] as &[u32]);
+        assert_eq!(scb.out_dests(0), &[1, 3]);
+        assert_eq!(scb.in_degree(1), 3);
+        let inter = adj.kind(EdgeKind::InterFlow.index());
+        assert_eq!(inter.in_sources(1), &[3]);
+        assert_eq!(inter.out_dests(3), &[1]);
+        assert_eq!(inter.num_edges(), 1);
+    }
+
+    #[test]
+    fn touched_lists_destinations_in_ascending_order() {
+        let g = graph(
+            5,
+            vec![
+                Edge { from: 2, to: 4, kind: EdgeKind::ScbFlow },
+                Edge { from: 0, to: 1, kind: EdgeKind::ScbFlow },
+                Edge { from: 3, to: 1, kind: EdgeKind::ScbFlow },
+                Edge { from: 1, to: 0, kind: EdgeKind::InterFlow },
+            ],
+        );
+        let adj = CsrAdj::build(&g);
+        let scb = adj.kind(EdgeKind::ScbFlow.index());
+        assert_eq!(scb.touched(), &[1, 4]);
+        assert_eq!(scb.compact_row(1), Some(0));
+        assert_eq!(scb.compact_row(4), Some(1));
+        assert_eq!(scb.compact_row(0), None);
+        assert_eq!(scb.compact_row(2), None);
+        let inter = adj.kind(EdgeKind::InterFlow.index());
+        assert_eq!(inter.touched(), &[0]);
+        assert_eq!(inter.compact_row(0), Some(0));
+        // A kind with no edges at all has an empty compact row set.
+        let urb = adj.kind(EdgeKind::UrbFlow.index());
+        assert_eq!(urb.touched(), &[] as &[u32]);
+        assert_eq!(urb.compact_row(3), None);
+        // Every touched vertex's sources are non-empty and vice versa.
+        for r in 0..NUM_EDGE_KINDS {
+            let k = adj.kind(r);
+            for v in 0..g.num_verts() {
+                assert_eq!(k.compact_row(v).is_some(), !k.in_sources(v).is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn csr_round_trips_every_edge() {
+        let g = graph(
+            6,
+            (0..30u32)
+                .map(|i| Edge {
+                    from: (i * 7 + 3) % 6,
+                    to: (i * 5 + 1) % 6,
+                    kind: EdgeKind::ALL[(i % 6) as usize],
+                })
+                .collect(),
+        );
+        let adj = CsrAdj::build(&g);
+        let mut rebuilt: Vec<(u32, u32, usize)> = vec![];
+        for (r, _) in EdgeKind::ALL.iter().enumerate() {
+            let k = adj.kind(r);
+            for u in 0..g.num_verts() {
+                for &v in k.out_dests(u) {
+                    rebuilt.push((u as u32, v, r));
+                }
+            }
+            let total: usize = (0..g.num_verts()).map(|v| k.in_degree(v)).sum();
+            assert_eq!(total, k.num_edges());
+        }
+        let mut expect: Vec<(u32, u32, usize)> =
+            g.edges.iter().map(|e| (e.from, e.to, e.kind.index())).collect();
+        expect.sort_unstable();
+        rebuilt.sort_unstable();
+        assert_eq!(rebuilt, expect);
+    }
+
+    #[test]
+    fn rebuild_reuses_and_matches_fresh_build() {
+        let g1 = graph(5, vec![Edge { from: 0, to: 4, kind: EdgeKind::Schedule }]);
+        let g2 = graph(
+            3,
+            vec![
+                Edge { from: 1, to: 2, kind: EdgeKind::UrbFlow },
+                Edge { from: 2, to: 0, kind: EdgeKind::UrbFlow },
+            ],
+        );
+        let mut adj = CsrAdj::build(&g1);
+        adj.rebuild(&g2);
+        assert_eq!(adj, CsrAdj::build(&g2));
+        adj.rebuild(&g1);
+        assert_eq!(adj, CsrAdj::build(&g1));
+    }
+
+    #[test]
+    fn empty_graph_is_fine() {
+        let g = graph(0, vec![]);
+        let adj = CsrAdj::build(&g);
+        assert_eq!(adj.num_verts(), 0);
+        for r in 0..EdgeKind::ALL.len() {
+            assert_eq!(adj.kind(r).num_edges(), 0);
+        }
+    }
+}

@@ -26,10 +26,12 @@
 #![warn(missing_docs)]
 
 pub mod build;
+pub mod csr;
 pub mod repr;
 
 pub use build::CtGraphBuilder;
+pub use csr::{CsrAdj, KindAdj};
 pub use repr::{
-    CtGraph, Edge, EdgeKind, GraphStats, SchedMark, VertKind, Vertex, MASK_TOKEN, NUM_SCHED_MARKS,
-    VOCAB_SIZE,
+    CtGraph, Edge, EdgeKind, GraphStats, SchedMark, VertKind, Vertex, MASK_TOKEN, NUM_EDGE_KINDS,
+    NUM_SCHED_MARKS, VOCAB_SIZE,
 };

@@ -79,6 +79,9 @@ pub enum EdgeKind {
     Shortcut,
 }
 
+/// Number of edge kinds (length of [`EdgeKind::ALL`]).
+pub const NUM_EDGE_KINDS: usize = 6;
+
 impl EdgeKind {
     /// All edge kinds, in embedding-table order.
     pub const ALL: [EdgeKind; 6] = [

@@ -9,7 +9,7 @@
 //! training continues to update it.
 
 use crate::optim::{Adam, AdamConfig};
-use crate::tensor::Mat;
+use crate::tensor::{Mat, Scratch};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use snowcat_graph::MASK_TOKEN;
@@ -46,15 +46,22 @@ pub struct PretrainReport {
     pub accuracy: f64,
 }
 
-fn softmax_ce_backward(logits: &[f32], target: usize) -> (f32, Vec<f32>) {
+/// Writes `softmax(logits) - onehot(target)` into `grad` and returns the
+/// cross-entropy loss. `grad` must have the same length as `logits`.
+fn softmax_ce_backward_into(logits: &[f32], target: usize, grad: &mut [f32]) -> f32 {
     let max = logits.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
-    let exps: Vec<f32> = logits.iter().map(|&z| (z - max).exp()).collect();
-    let sum: f32 = exps.iter().sum();
-    let probs: Vec<f32> = exps.iter().map(|e| e / sum).collect();
-    let loss = -(probs[target].max(1e-12)).ln();
-    let mut grad = probs;
+    let mut sum = 0.0f32;
+    for (g, &z) in grad.iter_mut().zip(logits) {
+        let e = (z - max).exp();
+        *g = e;
+        sum += e;
+    }
+    for g in grad.iter_mut() {
+        *g /= sum;
+    }
+    let loss = -(grad[target].max(1e-12)).ln();
     grad[target] -= 1.0;
-    (loss, grad)
+    loss
 }
 
 /// Pre-train token embeddings on the kernel's block token sequences.
@@ -68,6 +75,15 @@ pub fn pretrain(sequences: &[Vec<u32>], cfg: PretrainConfig) -> PretrainReport {
 
     let usable: Vec<&Vec<u32>> = sequences.iter().filter(|s| s.len() >= 2).collect();
     let mut epoch_losses = Vec::new();
+    // Gradient and activation buffers are allocated once and reused for
+    // every step; the per-step cost is a zero-fill, not a realloc.
+    let mut scratch = Scratch::default();
+    let mut g_emb = Mat::zeros(cfg.vocab, cfg.dim);
+    let mut g_dw = Mat::zeros(cfg.dim, cfg.vocab);
+    let mut g_db = Mat::zeros(1, cfg.vocab);
+    let mut ctx = Mat::zeros(1, cfg.dim);
+    let mut logits = Mat::zeros(1, cfg.vocab);
+    let mut dctx = Mat::zeros(1, cfg.dim);
     for _ in 0..cfg.epochs {
         let mut total = 0.0f32;
         let mut count = 0usize;
@@ -77,52 +93,28 @@ pub fn pretrain(sequences: &[Vec<u32>], cfg: PretrainConfig) -> PretrainReport {
             // Context = mean embedding with the masked slot replaced by the
             // MASK embedding.
             let inv = 1.0 / seq.len() as f32;
-            let mut ctx = vec![0.0f32; cfg.dim];
+            ctx.zero();
             for (i, &t) in seq.iter().enumerate() {
                 let row = tok_emb.row(if i == mask_at { MASK_TOKEN as usize } else { t as usize });
-                for (c, &e) in ctx.iter_mut().zip(row) {
+                for (c, &e) in ctx.row_mut(0).iter_mut().zip(row) {
                     *c += e * inv;
                 }
             }
-            // Logits and loss.
-            let mut logits = dec_b.data.clone();
-            for (k, &c) in ctx.iter().enumerate() {
-                if c == 0.0 {
-                    continue;
-                }
-                for (l, &w) in logits.iter_mut().zip(dec_w.row(k)) {
-                    *l += c * w;
-                }
-            }
-            let (loss, dlogits) = softmax_ce_backward(&logits, target);
+            // Logits = bias + ctx @ dec_w, and loss.
+            logits.fill_row_broadcast(&dec_b);
+            ctx.matmul_acc_into(&dec_w, &mut logits);
+            let loss = softmax_ce_backward_into(logits.row(0), target, &mut g_db.data);
             total += loss;
             count += 1;
 
-            // Gradients.
-            let mut g_emb = Mat::zeros(cfg.vocab, cfg.dim);
-            let mut g_dw = Mat::zeros(cfg.dim, cfg.vocab);
-            let g_db = Mat { rows: 1, cols: cfg.vocab, data: dlogits.clone() };
-            // dctx = dec_w @ dlogits.
-            let mut dctx = vec![0.0f32; cfg.dim];
-            for k in 0..cfg.dim {
-                let wrow = dec_w.row(k);
-                let mut acc = 0.0;
-                for (&dl, &w) in dlogits.iter().zip(wrow) {
-                    acc += dl * w;
-                }
-                dctx[k] = acc;
-                // g_dw[k] = ctx[k] * dlogits.
-                let c = ctx[k];
-                if c != 0.0 {
-                    for (g, &dl) in g_dw.row_mut(k).iter_mut().zip(&dlogits) {
-                        *g = c * dl;
-                    }
-                }
-            }
+            // g_dw = ctxᵀ @ dlogits; dctx = dlogits @ dec_wᵀ.
+            ctx.matmul_tn_into(&g_db, &mut g_dw);
+            g_db.matmul_nt_into(&dec_w, &mut dctx, &mut scratch);
             // Scatter dctx into embeddings.
+            g_emb.zero();
             for (i, &t) in seq.iter().enumerate() {
                 let row_idx = if i == mask_at { MASK_TOKEN as usize } else { t as usize };
-                for (g, &d) in g_emb.row_mut(row_idx).iter_mut().zip(&dctx) {
+                for (g, &d) in g_emb.row_mut(row_idx).iter_mut().zip(dctx.row(0)) {
                     *g += d * inv;
                 }
             }
@@ -137,20 +129,18 @@ pub fn pretrain(sequences: &[Vec<u32>], cfg: PretrainConfig) -> PretrainReport {
     for seq in &usable {
         let target = seq[0] as usize;
         let inv = 1.0 / seq.len() as f32;
-        let mut ctx = vec![0.0f32; cfg.dim];
+        ctx.zero();
         for (i, &t) in seq.iter().enumerate() {
             let row = tok_emb.row(if i == 0 { MASK_TOKEN as usize } else { t as usize });
-            for (c, &e) in ctx.iter_mut().zip(row) {
+            for (c, &e) in ctx.row_mut(0).iter_mut().zip(row) {
                 *c += e * inv;
             }
         }
+        logits.fill_row_broadcast(&dec_b);
+        ctx.matmul_acc_into(&dec_w, &mut logits);
         let mut best = 0usize;
         let mut best_v = f32::NEG_INFINITY;
-        for t in 0..cfg.vocab {
-            let mut acc = dec_b.data[t];
-            for (k, &c) in ctx.iter().enumerate() {
-                acc += c * dec_w.get(k, t);
-            }
+        for (t, &acc) in logits.row(0).iter().enumerate() {
             if acc > best_v {
                 best_v = acc;
                 best = t;

@@ -3,16 +3,22 @@
 //! A small, dependency-free (beyond `rand`/`serde`) neural stack implementing
 //! the paper's PIC model family:
 //!
-//! * [`tensor`] — dense `f32` matrices and stable sigmoid/BCE primitives,
+//! * [`tensor`] — dense `f32` matrices with register-tiled, autovectorizer-
+//!   friendly kernels, fused ops, a documented summation-order contract,
+//!   `naive_*` reference kernels, and the [`tensor::Scratch`] arena for
+//!   allocation-free steady-state compute,
 //! * [`optim`] — Adam with global-norm clipping,
 //! * [`asmenc`] — masked-token pre-training for the assembly encoder (the
 //!   RoBERTa substitute; see DESIGN.md for the substitution argument),
 //! * [`model`] — the relational message-passing GNN with per-edge-type
-//!   weights, residual layers, a per-vertex sigmoid head, and hand-derived
-//!   backward passes (validated by finite-difference tests),
+//!   weights, residual layers, a per-vertex sigmoid head, hand-derived
+//!   backward passes (validated by finite-difference tests), CSR-based
+//!   message passing and the [`model::PicSession`] zero-allocation
+//!   inference path,
 //! * [`metrics`] — precision/recall/F1/F2/accuracy/balanced-accuracy/AP,
-//! * [`train`] — training loop with best-validation-AP checkpointing,
-//!   F2-based threshold tuning, evaluation helpers and JSON checkpoints.
+//! * [`train`] — data-parallel training loop (bit-identical across thread
+//!   counts) with best-validation-AP checkpointing, F2-based threshold
+//!   tuning, evaluation helpers and JSON checkpoints.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -26,9 +32,9 @@ pub mod train;
 
 pub use asmenc::{pretrain, PretrainConfig, PretrainReport};
 pub use metrics::{average_precision, Confusion, MeanMetrics, PerGraphAverager};
-pub use model::{BaselinePredictor, PicConfig, PicModel, PicParams};
+pub use model::{BaselinePredictor, PicConfig, PicModel, PicParams, PicSession};
 pub use optim::{Adam, AdamConfig};
-pub use tensor::Mat;
+pub use tensor::{Mat, Scratch};
 pub use train::{
     evaluate, evaluate_pooled, evaluate_predictions, evaluate_predictions_pooled,
     flow_average_precision, train, train_with_flows, tune_threshold_f2, tune_threshold_f2_pooled,

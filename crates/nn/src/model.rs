@@ -18,15 +18,40 @@
 //! Forward and backward passes are hand-derived (no autograd): activations
 //! are cached per layer, gradients flow through the scatter/gather
 //! aggregation exactly adjoint to the forward.
+//!
+//! # Compute path
+//!
+//! Message passing consumes the per-edge-type CSR adjacency built by
+//! [`snowcat_graph::CsrAdj`] — forward aggregation gathers each
+//! destination's sources (in edge-list order, so each row matches the flat
+//! edge scan bitwise) and the backward pass gathers through the out-CSR
+//! instead of scattering. Per edge type, only the *touched* destinations
+//! (those with at least one incoming edge of that type — a small fraction
+//! of the vertex set per kind) are materialized: aggregation fills a
+//! compacted `touched × d` message matrix, the `W_r` transform runs on
+//! those rows only, and the result is scatter-added row-wise into the
+//! pre-activation. This recovers — explicitly and vectorizably — the
+//! sparsity the old `if a == 0.0` kernel branch exploited by accident,
+//! while skipping the untouched rows' gather *and* matmul cost entirely.
+//!
+//! The per-vertex reduction order is fixed and shared by the training and
+//! inference paths, which therefore agree bit-for-bit: bias first, then the
+//! `W_self` products in ascending-k order (see the summation-order contract
+//! in [`crate::tensor`]), then one row-add of each completed per-kind
+//! message transform, kinds in ascending kind order.
+//!
+//! Inference goes through a [`PicSession`], which owns a [`Scratch`] arena
+//! and a reusable adjacency: after warmup, [`PicModel::forward_into`]
+//! performs **zero heap allocations** per graph.
 
-use crate::tensor::{bce_grad, bce_with_logit, sigmoid, Mat};
+use crate::tensor::{bce_grad, bce_with_logit, sigmoid, Mat, Scratch};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
-use snowcat_graph::{CtGraph, VertKind, NUM_SCHED_MARKS, VOCAB_SIZE};
+use snowcat_graph::{CsrAdj, CtGraph, VertKind, NUM_SCHED_MARKS, VOCAB_SIZE};
 
 /// Number of edge types (the paper's five plus shortcut edges).
-pub const NUM_EDGE_TYPES: usize = 6;
+pub const NUM_EDGE_TYPES: usize = snowcat_graph::NUM_EDGE_KINDS;
 /// Number of vertex types (SCB / URB).
 pub const NUM_VERT_TYPES: usize = 2;
 
@@ -210,76 +235,134 @@ impl PicParams {
             t.zero();
         }
     }
-}
 
-/// Per-graph adjacency in aggregation-friendly form.
-struct GraphAdj {
-    /// Per edge type: (from, to) pairs.
-    edges: [Vec<(usize, usize)>; NUM_EDGE_TYPES],
-    /// Per edge type: in-degree per vertex (for mean aggregation).
-    indeg: [Vec<f32>; NUM_EDGE_TYPES],
-}
-
-impl GraphAdj {
-    fn build(graph: &CtGraph) -> Self {
-        let n = graph.num_verts();
-        let mut edges: [Vec<(usize, usize)>; NUM_EDGE_TYPES] = Default::default();
-        let mut indeg: [Vec<f32>; NUM_EDGE_TYPES] = Default::default();
-        for d in &mut indeg {
-            d.resize(n, 0.0);
+    /// `self += other` tensor-wise. The data-parallel trainer reduces
+    /// per-graph gradient shards through this in a fixed (shard-index)
+    /// order, which is what makes training bit-identical across thread
+    /// counts.
+    pub fn add_assign(&mut self, other: &PicParams) {
+        for (t, o) in self.tensors_mut().into_iter().zip(other.tensors()) {
+            t.add_assign(o);
         }
-        for e in &graph.edges {
-            let r = e.kind.index();
-            edges[r].push((e.from as usize, e.to as usize));
-            indeg[r][e.to as usize] += 1.0;
-        }
-        Self { edges, indeg }
     }
+}
 
-    /// Mean-aggregate `h` along type-`r` edges: `out[v] = mean_{u→v} h[u]`.
-    fn aggregate(&self, r: usize, h: &Mat) -> Mat {
-        let mut out = Mat::zeros(h.rows, h.cols);
-        for &(u, v) in &self.edges[r] {
-            // `h` and `out` are distinct matrices, so the borrows are
-            // disjoint — no per-edge allocation needed in this hot path.
-            let src = h.row(u);
-            for (o, s) in out.row_mut(v).iter_mut().zip(src) {
+/// Mean-aggregate `h` along type-`r` edges into the *compacted* message
+/// matrix: row `j` of `out` is `mean_{u→v} h[u]` for `v = touched[j]` (see
+/// [`snowcat_graph::KindAdj::touched`]). Rows for vertices with no incoming
+/// edge of this type — the vast majority, per kind — are simply not
+/// materialized, so the downstream `W_r` matmul runs on `touched` rows
+/// instead of all `n`.
+///
+/// A gather per destination through the in-CSR; per-destination accumulation
+/// is in edge-list order (the CSR build is stable), so each computed row is
+/// bit-identical to scanning the flat edge list. `out` must be a zeroed
+/// `touched × hidden` matrix.
+fn aggregate_compact_into(adj: &CsrAdj, r: usize, h: &Mat, out: &mut Mat) {
+    let ka = adj.kind(r);
+    debug_assert_eq!(out.rows, ka.touched().len());
+    for (row, &v) in ka.touched().iter().enumerate() {
+        let srcs = ka.in_sources(v as usize);
+        let out_row = out.row_mut(row);
+        for &u in srcs {
+            for (o, s) in out_row.iter_mut().zip(h.row(u as usize)) {
                 *o += s;
             }
         }
-        for v in 0..h.rows {
-            let d = self.indeg[r][v];
-            if d > 1.0 {
-                for o in out.row_mut(v) {
-                    *o /= d;
-                }
+        if srcs.len() > 1 {
+            let d = srcs.len() as f32;
+            for o in out_row {
+                *o /= d;
             }
         }
-        out
     }
+}
 
-    /// Adjoint of [`Self::aggregate`]: scatter `grad_out` back to sources.
-    fn aggregate_backward(&self, r: usize, grad_out: &Mat, grad_h: &mut Mat) {
-        for &(u, v) in &self.edges[r] {
-            let d = self.indeg[r][v].max(1.0);
-            let g = grad_out.row(v).to_vec();
-            for (o, gv) in grad_h.row_mut(u).iter_mut().zip(&g) {
-                *o += gv / d;
+/// Adjoint of [`aggregate_compact_into`]:
+/// `grad_h[u] += Σ_{u→v} grad_m[compact(v)] / indeg[v]`, a gather per
+/// source through the out-CSR (no scatter, no per-edge copies). `grad_m` is
+/// the compacted message gradient (`touched × hidden`).
+fn aggregate_backward_into(adj: &CsrAdj, r: usize, grad_m: &Mat, grad_h: &mut Mat) {
+    let ka = adj.kind(r);
+    for u in 0..grad_h.rows {
+        let dsts = ka.out_dests(u);
+        if dsts.is_empty() {
+            continue;
+        }
+        let grad_row = grad_h.row_mut(u);
+        for &v in dsts {
+            let d = (ka.in_degree(v as usize).max(1)) as f32;
+            let row = ka.compact_row(v as usize).expect("edge destination must be touched");
+            for (o, &g) in grad_row.iter_mut().zip(grad_m.row(row)) {
+                *o += g / d;
             }
         }
     }
+}
+
+/// Scatter-add the compacted per-kind message transform into `z`:
+/// `z[touched[j]] += mw[j]` row-wise, `j` ascending. One (rounded) add per
+/// element of the *completed* `W_r`-transformed message row — this row-add
+/// order is part of the model's reduction contract (see the module doc) and
+/// is shared by the training and inference paths.
+fn scatter_add_rows(ka: &snowcat_graph::KindAdj, mw: &Mat, z: &mut Mat) {
+    for (row, &v) in ka.touched().iter().enumerate() {
+        for (o, &x) in z.row_mut(v as usize).iter_mut().zip(mw.row(row)) {
+            *o += x;
+        }
+    }
+}
+
+/// Per-vertex head logit: `b_out + h · w_out`, k ascending.
+#[inline]
+fn head_logit(h_row: &[f32], w_out: &Mat, b_out: &Mat) -> f32 {
+    let mut acc = b_out.data[0];
+    for (hv, wv) in h_row.iter().zip(w_out.data.iter()) {
+        acc += hv * wv;
+    }
+    acc
 }
 
 /// Cached activations from one forward pass (needed for backward).
 pub struct ForwardCache {
+    /// CSR adjacency of the graph (built once; backward reuses it).
+    adj: CsrAdj,
     x: Mat,            // input features (type emb + asm emb), n×d
     z_in: Mat,         // pre-relu input transform
     layer_h: Vec<Mat>, // input H of each layer
+    /// Compacted aggregated messages per layer per kind: `touched_r × d`
+    /// (empty matrix for kinds with no edges).
     layer_m: Vec<Vec<Mat>>,
     layer_z: Vec<Mat>, // pre-relu per layer
     h_final: Mat,
     /// Per-vertex logits.
     pub logits: Vec<f32>,
+}
+
+/// Reusable per-session state for allocation-free inference: a [`Scratch`]
+/// arena for intermediate matrices and a rebuildable [`CsrAdj`].
+///
+/// Create one per inference session (e.g. per predictor batch) and pass it
+/// to [`PicModel::forward_into`] for every graph; after the first
+/// warmup graph of each size class, forward passes perform no heap
+/// allocation ([`PicSession::allocations`] stops advancing).
+#[derive(Debug, Default)]
+pub struct PicSession {
+    scratch: Scratch,
+    adj: CsrAdj,
+}
+
+impl PicSession {
+    /// A fresh, empty session.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of scratch-buffer heap allocations performed so far (see
+    /// [`Scratch::allocations`]) — stable once the session is warmed up.
+    pub fn allocations(&self) -> usize {
+        self.scratch.allocations()
+    }
 }
 
 /// The PIC model.
@@ -298,40 +381,48 @@ impl PicModel {
         Self { cfg, params }
     }
 
-    fn input_features(&self, graph: &CtGraph) -> Mat {
-        let d = self.cfg.hidden;
-        let n = graph.num_verts();
-        let mut x = Mat::zeros(n, d);
+    /// Write input features into `x` (n×d, assumed zeroed): vertex-type and
+    /// schedule-mark embeddings plus the mean token embedding, all explicit
+    /// row gathers — no temporaries, no dense one-hot matmuls.
+    fn input_features_into(&self, graph: &CtGraph, x: &mut Mat) {
         for (i, v) in graph.verts.iter().enumerate() {
-            let trow = match v.kind {
-                VertKind::Scb => self.params.type_emb.row(0).to_vec(),
-                VertKind::Urb => self.params.type_emb.row(1).to_vec(),
-            };
-            let srow = self.params.sched_emb.row(v.sched_mark.index()).to_vec();
+            let trow = self.params.type_emb.row(match v.kind {
+                VertKind::Scb => 0,
+                VertKind::Urb => 1,
+            });
+            let srow = self.params.sched_emb.row(v.sched_mark.index());
             let row = x.row_mut(i);
-            for ((o, t), m) in row.iter_mut().zip(&trow).zip(&srow) {
-                *o += t + m;
+            for ((o, &t), &m) in row.iter_mut().zip(trow).zip(srow) {
+                *o = t + m;
             }
             if !v.tokens.is_empty() {
                 let inv = 1.0 / v.tokens.len() as f32;
                 for &tok in &v.tokens {
                     let e = self.params.tok_emb.row(tok as usize);
-                    for (o, t) in x.row_mut(i).iter_mut().zip(e) {
+                    for (o, &t) in row.iter_mut().zip(e) {
                         *o += t * inv;
                     }
                 }
             }
         }
+    }
+
+    fn input_features(&self, graph: &CtGraph) -> Mat {
+        let mut x = Mat::zeros(graph.num_verts(), self.cfg.hidden);
+        self.input_features_into(graph, &mut x);
         x
     }
 
     /// Forward pass returning probabilities and the activation cache.
     pub fn forward_cached(&self, graph: &CtGraph) -> (Vec<f32>, ForwardCache) {
-        let adj = GraphAdj::build(graph);
+        let adj = CsrAdj::build(graph);
+        let n = graph.num_verts();
+        let d = self.cfg.hidden;
         let x = self.input_features(graph);
-        // Input transform.
-        let mut z_in = x.matmul(&self.params.w_in);
-        z_in.add_row_broadcast(&self.params.b_in);
+        // Input transform, bias-first: z_in = b_in + x @ w_in.
+        let mut z_in = Mat::zeros(n, d);
+        z_in.fill_row_broadcast(&self.params.b_in);
+        x.matmul_acc_into(&self.params.w_in, &mut z_in);
         let mut h = z_in.clone();
         h.relu_inplace();
 
@@ -339,15 +430,23 @@ impl PicModel {
         let mut layer_m = Vec::with_capacity(self.params.layers.len());
         let mut layer_z = Vec::with_capacity(self.params.layers.len());
         for layer in &self.params.layers {
-            let h_in = h.clone();
-            let mut z = h_in.matmul(&layer.w_self);
+            let h_in = h;
+            let mut z = Mat::zeros(n, d);
+            z.fill_row_broadcast(&layer.b);
+            h_in.matmul_acc_into(&layer.w_self, &mut z);
             let mut ms = Vec::with_capacity(NUM_EDGE_TYPES);
-            for r in 0..NUM_EDGE_TYPES {
-                let m = adj.aggregate(r, &h_in);
-                z.add_assign(&m.matmul(&layer.w_rel[r]));
+            for (r, w_rel) in layer.w_rel.iter().enumerate() {
+                let ka = adj.kind(r);
+                let t = ka.touched().len();
+                let mut m = Mat::zeros(t, d);
+                if t > 0 {
+                    aggregate_compact_into(&adj, r, &h_in, &mut m);
+                    let mut mw = Mat::zeros(t, d);
+                    m.matmul_into(w_rel, &mut mw);
+                    scatter_add_rows(ka, &mw, &mut z);
+                }
                 ms.push(m);
             }
-            z.add_row_broadcast(&layer.b);
             let mut h_out = z.clone();
             h_out.relu_inplace();
             h_out.add_assign(&h_in); // residual
@@ -357,23 +456,69 @@ impl PicModel {
             h = h_out;
         }
 
-        let logits: Vec<f32> = (0..h.rows)
-            .map(|i| {
-                let mut acc = self.params.b_out.data[0];
-                for (hv, wv) in h.row(i).iter().zip(self.params.w_out.data.iter()) {
-                    acc += hv * wv;
-                }
-                acc
-            })
-            .collect();
+        let logits: Vec<f32> =
+            (0..n).map(|i| head_logit(h.row(i), &self.params.w_out, &self.params.b_out)).collect();
         let probs = logits.iter().map(|&z| sigmoid(z)).collect();
-        let cache = ForwardCache { x, z_in, layer_h, layer_m, layer_z, h_final: h, logits };
+        let cache = ForwardCache { adj, x, z_in, layer_h, layer_m, layer_z, h_final: h, logits };
         (probs, cache)
     }
 
-    /// Forward pass returning only probabilities (inference path).
+    /// Inference forward pass into a caller-owned probability buffer, using
+    /// the session's scratch arena and reusable adjacency. Bit-identical to
+    /// [`PicModel::forward_cached`]'s probabilities; performs zero heap
+    /// allocations once the session is warmed up.
+    pub fn forward_into(&self, graph: &CtGraph, session: &mut PicSession, probs: &mut Vec<f32>) {
+        let n = graph.num_verts();
+        let d = self.cfg.hidden;
+        probs.clear();
+        let PicSession { scratch, adj } = session;
+        adj.rebuild(graph);
+        let mut x = scratch.take(n, d);
+        self.input_features_into(graph, &mut x);
+        // Fused input transform: h0 = relu(b_in + x @ w_in).
+        let mut h = scratch.take(n, d);
+        x.matmul_bias_relu_into(&self.params.w_in, &self.params.b_in, &mut h);
+        scratch.put(x);
+
+        let mut z = scratch.take(n, d);
+        for layer in &self.params.layers {
+            z.fill_row_broadcast(&layer.b);
+            h.matmul_acc_into(&layer.w_self, &mut z);
+            for (r, w_rel) in layer.w_rel.iter().enumerate() {
+                let ka = adj.kind(r);
+                let t = ka.touched().len();
+                if t == 0 {
+                    continue;
+                }
+                let mut m = scratch.take(t, d);
+                aggregate_compact_into(adj, r, &h, &mut m);
+                let mut mw = scratch.take(t, d);
+                m.matmul_into(w_rel, &mut mw);
+                scatter_add_rows(ka, &mw, &mut z);
+                scratch.put(m);
+                scratch.put(mw);
+            }
+            // h_out = relu(z) + h_in, then the old h buffer becomes next z.
+            z.relu_inplace();
+            z.add_assign(&h);
+            std::mem::swap(&mut h, &mut z);
+        }
+        scratch.put(z);
+
+        probs.extend(
+            (0..n).map(|i| sigmoid(head_logit(h.row(i), &self.params.w_out, &self.params.b_out))),
+        );
+        session.scratch.put(h);
+    }
+
+    /// Forward pass returning only probabilities (one-shot inference; for
+    /// repeated inference hold a [`PicSession`] and use
+    /// [`PicModel::forward_into`]).
     pub fn forward(&self, graph: &CtGraph) -> Vec<f32> {
-        self.forward_cached(graph).0
+        let mut session = PicSession::new();
+        let mut probs = Vec::new();
+        self.forward_into(graph, &mut session, &mut probs);
+        probs
     }
 
     /// Thresholded prediction.
@@ -382,7 +527,9 @@ impl PicModel {
     }
 
     /// Backward pass: accumulates gradients into `grads` and returns the
-    /// mean per-vertex BCE loss of this graph.
+    /// mean per-vertex BCE loss of this graph. Intermediate matrices come
+    /// from `scratch`, so a reused arena makes training steps
+    /// allocation-free too.
     #[allow(clippy::needless_range_loop)]
     pub fn backward(
         &self,
@@ -390,13 +537,13 @@ impl PicModel {
         cache: &ForwardCache,
         labels: &[bool],
         grads: &mut PicParams,
+        scratch: &mut Scratch,
     ) -> f32 {
         let n = graph.num_verts();
         assert_eq!(labels.len(), n, "label count mismatch");
         if n == 0 {
             return 0.0;
         }
-        let adj = GraphAdj::build(graph);
         let w = self.cfg.pos_weight;
         let inv_n = 1.0 / n as f32;
         let vw = |i: usize| {
@@ -416,7 +563,7 @@ impl PicModel {
             * inv_n;
 
         // Head gradients.
-        let mut dh = Mat::zeros(n, self.cfg.hidden);
+        let mut dh = scratch.take(n, self.cfg.hidden);
         for i in 0..n {
             let dz = vw(i) * bce_grad(cache.logits[i], labels[i], w) * inv_n;
             grads.b_out.data[0] += dz;
@@ -428,7 +575,7 @@ impl PicModel {
             }
         }
 
-        self.backward_from_dh(graph, cache, &adj, dh, grads);
+        self.backward_from_dh(graph, cache, dh, grads, scratch);
         loss
     }
 
@@ -444,6 +591,7 @@ impl PicModel {
         labels: &[bool],
         flow_labels: &[bool],
         grads: &mut PicParams,
+        scratch: &mut Scratch,
     ) -> (f32, f32) {
         let n = graph.num_verts();
         assert_eq!(labels.len(), n, "label count mismatch");
@@ -451,7 +599,6 @@ impl PicModel {
         if n == 0 {
             return (0.0, 0.0);
         }
-        let adj = GraphAdj::build(graph);
         let w = self.cfg.pos_weight;
         let inv_n = 1.0 / n as f32;
         let vw = |i: usize| {
@@ -470,7 +617,7 @@ impl PicModel {
             .sum::<f32>()
             * inv_n;
 
-        let mut dh = Mat::zeros(n, self.cfg.hidden);
+        let mut dh = scratch.take(n, self.cfg.hidden);
         for i in 0..n {
             let dz = vw(i) * bce_grad(cache.logits[i], labels[i], w) * inv_n;
             grads.b_out.data[0] += dz;
@@ -494,55 +641,56 @@ impl PicModel {
         if !inter.is_empty() {
             let inv_e = self.cfg.flow_weight / inter.len() as f32;
             let d = self.cfg.hidden;
+            let mut wv_ = scratch.take(1, d);
+            let mut wtu = scratch.take(1, d);
             for &ei in &inter {
                 let e = graph.edges[ei];
                 let (u, v) = (e.from as usize, e.to as usize);
                 let hu = cache.h_final.row(u);
                 let hv = cache.h_final.row(v);
                 // wv_ = W_flow @ h_v ; z = h_u · wv_ + b.
-                let mut wv_ = vec![0.0f32; d];
-                for (r_i, wrow) in (0..d).zip(self.params.w_flow.data.chunks(d)) {
+                for (o, wrow) in wv_.data.iter_mut().zip(self.params.w_flow.data.chunks(d)) {
                     let mut acc = 0.0;
                     for (w_, hvv) in wrow.iter().zip(hv) {
                         acc += w_ * hvv;
                     }
-                    wv_[r_i] = acc;
+                    *o = acc;
                 }
-                let z: f32 = hu.iter().zip(&wv_).map(|(a, b)| a * b).sum::<f32>()
+                let z: f32 = hu.iter().zip(&wv_.data).map(|(a, b)| a * b).sum::<f32>()
                     + self.params.b_flow.data[0];
                 let y = flow_labels[ei];
                 flow_loss += bce_with_logit(z, y, 1.0) * inv_e;
                 let dz = bce_grad(z, y, 1.0) * inv_e;
                 grads.b_flow.data[0] += dz;
                 // dW[r][c] += dz * hu[r] * hv[c]; dh_u += dz * W hv; dh_v += dz * Wᵀ hu.
-                let hu_v: Vec<f32> = hu.to_vec();
-                let hv_v: Vec<f32> = hv.to_vec();
                 for r_i in 0..d {
                     let gr = &mut grads.w_flow.data[r_i * d..(r_i + 1) * d];
-                    let hur = hu_v[r_i];
-                    for (g, hvv) in gr.iter_mut().zip(&hv_v) {
+                    let hur = hu[r_i];
+                    for (g, &hvv) in gr.iter_mut().zip(hv) {
                         *g += dz * hur * hvv;
                     }
                 }
-                for (g, wvv) in dh.row_mut(u).iter_mut().zip(&wv_) {
+                for (g, wvv) in dh.row_mut(u).iter_mut().zip(&wv_.data) {
                     *g += dz * wvv;
                 }
                 // Wᵀ hu
-                let mut wtu = vec![0.0f32; d];
+                wtu.data.fill(0.0);
                 for r_i in 0..d {
                     let wrow = &self.params.w_flow.data[r_i * d..(r_i + 1) * d];
-                    let hur = hu_v[r_i];
-                    for (o, w_) in wtu.iter_mut().zip(wrow) {
+                    let hur = hu[r_i];
+                    for (o, w_) in wtu.data.iter_mut().zip(wrow) {
                         *o += hur * w_;
                     }
                 }
-                for (g, t) in dh.row_mut(v).iter_mut().zip(&wtu) {
+                for (g, t) in dh.row_mut(v).iter_mut().zip(&wtu.data) {
                     *g += dz * t;
                 }
             }
+            scratch.put(wv_);
+            scratch.put(wtu);
         }
 
-        self.backward_from_dh(graph, cache, &adj, dh, grads);
+        self.backward_from_dh(graph, cache, dh, grads, scratch);
         (vertex_loss, flow_loss)
     }
 
@@ -573,66 +721,89 @@ impl PicModel {
     }
 
     /// Shared trunk backward: given the gradient at the final hidden state,
-    /// propagate through layers, input transform and embeddings.
+    /// propagate through layers, input transform and embeddings. `dh` must
+    /// come from `scratch` (its buffer is returned to the pool).
     fn backward_from_dh(
         &self,
         graph: &CtGraph,
         cache: &ForwardCache,
-        adj: &GraphAdj,
         mut dh: Mat,
         grads: &mut PicParams,
+        scratch: &mut Scratch,
     ) {
-        // Layers, in reverse.
+        let adj = &cache.adj;
+        let (n, d) = (dh.rows, dh.cols);
+        let mut dz = scratch.take(n, d);
+        let mut dm = scratch.take(n, d);
+        // Layers, in reverse. `dh` doubles as dh_in: the residual path means
+        // dh_in starts as a copy of dh, so we accumulate into it directly.
         for (li, layer) in self.params.layers.iter().enumerate().rev() {
             let h_in = &cache.layer_h[li];
             let z = &cache.layer_z[li];
-            // h_out = relu(z) + h_in  →  dz = dh ⊙ relu'(z); dh_in = dh (residual)
-            let mut dz = dh.clone();
+            // h_out = relu(z) + h_in  →  dz = dh ⊙ relu'(z); dh_in = dh.
+            dz.data.copy_from_slice(&dh.data);
             dz.relu_backward_mask(z);
-            let mut dh_in = dh; // residual path
-                                // Self path.
-            grads.layers[li].w_self.add_assign(&h_in.matmul_tn(&dz));
-            dh_in.add_assign(&dz.matmul_nt(&layer.w_self));
-            // Relational paths.
-            for r in 0..NUM_EDGE_TYPES {
+            // Self path.
+            h_in.matmul_tn_acc_into(&dz, &mut grads.layers[li].w_self);
+            dz.matmul_nt_acc_into(&layer.w_self, &mut dh, scratch);
+            // Relational paths, on the compacted message rows: gather the
+            // touched rows of dz, push gradients through the t×d message
+            // matmul, then gather back through the out-CSR.
+            for (r, w_rel) in layer.w_rel.iter().enumerate() {
+                let ka = adj.kind(r);
+                let t = ka.touched().len();
+                if t == 0 {
+                    continue;
+                }
                 let m = &cache.layer_m[li][r];
-                grads.layers[li].w_rel[r].add_assign(&m.matmul_tn(&dz));
-                let dm = dz.matmul_nt(&layer.w_rel[r]);
-                adj.aggregate_backward(r, &dm, &mut dh_in);
+                let mut dzc = scratch.take(t, d);
+                for (row, &v) in ka.touched().iter().enumerate() {
+                    dzc.row_mut(row).copy_from_slice(dz.row(v as usize));
+                }
+                m.matmul_tn_acc_into(&dzc, &mut grads.layers[li].w_rel[r]);
+                let mut dmc = scratch.take(t, d);
+                dzc.matmul_nt_into(w_rel, &mut dmc, scratch);
+                aggregate_backward_into(adj, r, &dmc, &mut dh);
+                scratch.put(dzc);
+                scratch.put(dmc);
             }
-            grads.layers[li].b.add_assign(&dz.col_sum());
-            dh = dh_in;
+            dz.col_sum_acc_into(&mut grads.layers[li].b);
         }
 
-        // Input transform: h0 = relu(z_in), z_in = x @ w_in + b_in.
-        let mut dz_in = dh;
-        dz_in.relu_backward_mask(&cache.z_in);
-        grads.w_in.add_assign(&cache.x.matmul_tn(&dz_in));
-        grads.b_in.add_assign(&dz_in.col_sum());
-        let dx = dz_in.matmul_nt(&self.params.w_in);
+        // Input transform: h0 = relu(z_in), z_in = b_in + x @ w_in.
+        dz.data.copy_from_slice(&dh.data);
+        dz.relu_backward_mask(&cache.z_in);
+        cache.x.matmul_tn_acc_into(&dz, &mut grads.w_in);
+        dz.col_sum_acc_into(&mut grads.b_in);
+        let dx = &mut dm;
+        dz.matmul_nt_into(&self.params.w_in, dx, scratch);
 
-        // Embedding gradients.
+        // Embedding gradients: explicit row gathers (grads and the cache are
+        // distinct structs, so no per-vertex copies are needed).
         for (i, v) in graph.verts.iter().enumerate() {
             let trow = match v.kind {
                 VertKind::Scb => 0,
                 VertKind::Urb => 1,
             };
-            let dxr = dx.row(i).to_vec();
-            for (g, d) in grads.type_emb.row_mut(trow).iter_mut().zip(&dxr) {
-                *g += d;
+            let dxr = dx.row(i);
+            for (g, &dv) in grads.type_emb.row_mut(trow).iter_mut().zip(dxr) {
+                *g += dv;
             }
-            for (g, d) in grads.sched_emb.row_mut(v.sched_mark.index()).iter_mut().zip(&dxr) {
-                *g += d;
+            for (g, &dv) in grads.sched_emb.row_mut(v.sched_mark.index()).iter_mut().zip(dxr) {
+                *g += dv;
             }
             if !v.tokens.is_empty() {
                 let inv = 1.0 / v.tokens.len() as f32;
                 for &tok in &v.tokens {
-                    for (g, d) in grads.tok_emb.row_mut(tok as usize).iter_mut().zip(&dxr) {
-                        *g += d * inv;
+                    for (g, &dv) in grads.tok_emb.row_mut(tok as usize).iter_mut().zip(dxr) {
+                        *g += dv * inv;
                     }
                 }
             }
         }
+        scratch.put(dz);
+        scratch.put(dm);
+        scratch.put(dh);
     }
 
     /// Count of parameters (for reporting).
@@ -712,13 +883,84 @@ mod tests {
     }
 
     #[test]
+    fn session_forward_matches_cached_forward_bitwise() {
+        let m = PicModel::new(PicConfig::default());
+        let mut session = PicSession::new();
+        let mut probs = Vec::new();
+        for n in [1, 2, 9, 17, 40] {
+            let g = toy_graph(n);
+            m.forward_into(&g, &mut session, &mut probs);
+            let (cached, _) = m.forward_cached(&g);
+            assert_eq!(probs, cached, "session vs cached mismatch at n={n}");
+        }
+    }
+
+    #[test]
+    fn session_forward_is_allocation_free_after_warmup() {
+        let m = PicModel::new(PicConfig::default());
+        let g = toy_graph(33);
+        let mut session = PicSession::new();
+        let mut probs = Vec::new();
+        m.forward_into(&g, &mut session, &mut probs); // warmup
+        let warm = session.allocations();
+        assert!(warm > 0);
+        for _ in 0..5 {
+            m.forward_into(&g, &mut session, &mut probs);
+        }
+        assert_eq!(session.allocations(), warm, "steady-state forward allocated");
+        // Smaller graphs fit in the warmed pool too.
+        m.forward_into(&toy_graph(8), &mut session, &mut probs);
+        assert_eq!(session.allocations(), warm);
+    }
+
+    #[test]
+    fn csr_aggregate_matches_edge_list_reference() {
+        // The CSR gather must reproduce the flat edge-list scan bit-for-bit.
+        let g = toy_graph(23);
+        let adj = CsrAdj::build(&g);
+        let h = Mat::from_fn(23, 5, |r, c| ((r * 31 + c * 7) % 13) as f32 * 0.37 - 1.9);
+        for r in 0..NUM_EDGE_TYPES {
+            let ka = adj.kind(r);
+            let t = ka.touched().len();
+            let mut out = Mat::zeros(t, 5);
+            aggregate_compact_into(&adj, r, &h, &mut out);
+            // Reference: flat edge scan, then mean, over the full vertex set.
+            let mut expect = Mat::zeros(23, 5);
+            let mut indeg = [0.0f32; 23];
+            for e in g.edges.iter().filter(|e| e.kind.index() == r) {
+                indeg[e.to as usize] += 1.0;
+                for (o, s) in expect.row_mut(e.to as usize).iter_mut().zip(h.row(e.from as usize)) {
+                    *o += s;
+                }
+            }
+            for (v, &d) in indeg.iter().enumerate() {
+                if d > 1.0 {
+                    for o in expect.row_mut(v) {
+                        *o /= d;
+                    }
+                }
+            }
+            // Compact rows match their vertices; untouched vertices are the
+            // ones with an all-zero (never materialized) reference row.
+            for (v, &d) in indeg.iter().enumerate() {
+                match ka.compact_row(v) {
+                    Some(row) => assert_eq!(out.row(row), expect.row(v), "kind {r} vertex {v}"),
+                    None => assert_eq!(d, 0.0, "kind {r} vertex {v} untouched but has edges"),
+                }
+            }
+        }
+    }
+
+    #[test]
     fn empty_graph_forward_and_backward() {
         let m = PicModel::new(PicConfig::default());
         let g = CtGraph { verts: vec![], edges: vec![] };
         let (p, cache) = m.forward_cached(&g);
         assert!(p.is_empty());
+        assert!(m.forward(&g).is_empty());
         let mut grads = m.params.zeros_like();
-        let loss = m.backward(&g, &cache, &[], &mut grads);
+        let mut scratch = Scratch::new();
+        let loss = m.backward(&g, &cache, &[], &mut grads, &mut scratch);
         assert_eq!(loss, 0.0);
     }
 
@@ -735,12 +977,14 @@ mod tests {
         let loss_of = |m: &PicModel| {
             let (_, cache) = m.forward_cached(&g);
             let mut tmp = m.params.zeros_like();
-            m.backward(&g, &cache, &labels, &mut tmp)
+            let mut scratch = Scratch::new();
+            m.backward(&g, &cache, &labels, &mut tmp, &mut scratch)
         };
 
         let mut grads = model.params.zeros_like();
         let (_, cache) = model.forward_cached(&g);
-        model.backward(&g, &cache, &labels, &mut grads);
+        let mut scratch = Scratch::new();
+        model.backward(&g, &cache, &labels, &mut grads, &mut scratch);
 
         // Probe a handful of coordinates in several tensors.
         let eps = 3e-3f32;
@@ -777,12 +1021,13 @@ mod tests {
         let labels: Vec<bool> = (0..12).map(|i| i % 4 == 0).collect();
         let mut opt =
             Adam::new(AdamConfig { lr: 0.02, ..Default::default() }, &model.params.shapes());
+        let mut scratch = Scratch::new();
         let mut first = None;
         let mut last = 0.0;
         for _ in 0..60 {
             let (_, cache) = model.forward_cached(&g);
             let mut grads = model.params.zeros_like();
-            let loss = model.backward(&g, &cache, &labels, &mut grads);
+            let loss = model.backward(&g, &cache, &labels, &mut grads, &mut scratch);
             let gl: Vec<&Mat> = grads.tensors();
             let mut pl = model.params.tensors_mut();
             opt.step(&mut pl, &gl);
@@ -821,12 +1066,15 @@ mod tests {
         let loss_of = |m: &PicModel| {
             let (_, cache) = m.forward_cached(&g);
             let mut tmp = m.params.zeros_like();
-            let (lv, lf) = m.backward_with_flows(&g, &cache, &labels, &flows, &mut tmp);
+            let mut scratch = Scratch::new();
+            let (lv, lf) =
+                m.backward_with_flows(&g, &cache, &labels, &flows, &mut tmp, &mut scratch);
             lv + lf
         };
         let mut grads = model.params.zeros_like();
         let (_, cache) = model.forward_cached(&g);
-        model.backward_with_flows(&g, &cache, &labels, &flows, &mut grads);
+        let mut scratch = Scratch::new();
+        model.backward_with_flows(&g, &cache, &labels, &flows, &mut grads, &mut scratch);
         let flat: Vec<Mat> = grads.tensors().into_iter().cloned().collect();
         let eps = 3e-3f32;
         // Probe the flow tensors (last two) and a trunk tensor.
@@ -889,5 +1137,18 @@ mod tests {
         let shapes_b: Vec<(usize, usize)> =
             p.tensors_mut().iter().map(|t| (t.rows, t.cols)).collect();
         assert_eq!(shapes_a, shapes_b);
+    }
+
+    #[test]
+    fn params_add_assign_sums_tensorwise() {
+        let m = PicModel::new(PicConfig { hidden: 4, layers: 1, ..Default::default() });
+        let mut a = m.params.zeros_like();
+        let mut b = m.params.zeros_like();
+        a.w_in.data[0] = 1.5;
+        b.w_in.data[0] = 2.0;
+        b.b_out.data[0] = -1.0;
+        a.add_assign(&b);
+        assert_eq!(a.w_in.data[0], 3.5);
+        assert_eq!(a.b_out.data[0], -1.0);
     }
 }

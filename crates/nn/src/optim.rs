@@ -78,13 +78,17 @@ impl Adam {
         {
             assert_eq!(p.data.len(), g.data.len(), "tensor shape mismatch");
             assert_eq!(p.data.len(), m.len(), "state shape mismatch");
-            for i in 0..p.data.len() {
-                let gi = g.data[i] * scale;
-                m[i] = self.cfg.beta1 * m[i] + (1.0 - self.cfg.beta1) * gi;
-                v[i] = self.cfg.beta2 * v[i] + (1.0 - self.cfg.beta2) * gi * gi;
-                let mhat = m[i] / bc1;
-                let vhat = v[i] / bc2;
-                p.data[i] -= self.cfg.lr * mhat / (vhat.sqrt() + self.cfg.eps);
+            // Lockstep iterators keep the inner loop free of bounds checks
+            // so it autovectorizes.
+            for (((pi, &gd), mi), vi) in
+                p.data.iter_mut().zip(&g.data).zip(m.iter_mut()).zip(v.iter_mut())
+            {
+                let gi = gd * scale;
+                *mi = self.cfg.beta1 * *mi + (1.0 - self.cfg.beta1) * gi;
+                *vi = self.cfg.beta2 * *vi + (1.0 - self.cfg.beta2) * gi * gi;
+                let mhat = *mi / bc1;
+                let vhat = *vi / bc2;
+                *pi -= self.cfg.lr * mhat / (vhat.sqrt() + self.cfg.eps);
             }
         }
     }

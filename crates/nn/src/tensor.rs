@@ -1,11 +1,74 @@
-//! Minimal dense-matrix math for the neural stack.
+//! Dense-matrix math for the neural stack: register-tiled, autovectorizer-
+//! friendly `f32` kernels, fused ops, and a scratch arena for allocation-free
+//! steady-state inference.
 //!
-//! `f32`, row-major, no unsafe, no SIMD intrinsics — at Snowcat-scale graphs
-//! (10²–10³ vertices, hidden dims ≤ 128) plain loops keep training and
-//! inference comfortably fast, and the code stays auditable.
+//! Everything is row-major, safe Rust (no `unsafe`, no intrinsics, no
+//! nightly). The hot kernels are written so LLVM's autovectorizer emits SIMD
+//! on stable:
+//!
+//! * the `matmul` core walks each output row in fixed-width column panels
+//!   ([`PANEL_WIDE`] = 32, then [`PANEL`] = 8); each panel is copied into a
+//!   `[f32; W]` accumulator that LLVM keeps in vector registers for the
+//!   *entire* k loop, so per product there is exactly one `b`-row load and
+//!   no output-row traffic (the naive axpy form reloads and restores the
+//!   output row on every k step);
+//! * the `matmul_tn` core does rank-[`KU`] (4) updates: four k steps share
+//!   one pass over the output row, quartering its load/store traffic, with
+//!   the panel bodies on compile-time trip counts via `chunks_exact`.
+//!
+//! # Summation-order contract
+//!
+//! Floating-point addition is not associative, so every kernel documents —
+//! and tests pin — its exact reduction order. For all matmul-family ops the
+//! contract is:
+//!
+//! * `matmul` / `matmul_into` / `matmul_acc_into`:
+//!   `out[i][j] = fold_k (acc + a[i][k] * b[k][j])` with `k` strictly
+//!   ascending, starting from `0.0` (or from the existing `out[i][j]` for
+//!   the `acc` variants). The panel kernel folds every output element's
+//!   products sequentially in k order inside its register accumulator, so
+//!   it is bit-identical to the scalar [`Mat::naive_matmul`] loop.
+//! * `matmul_tn` family: same contract with `a[k][i]` in place of
+//!   `a[i][k]`; `k` ascending per output element.
+//! * `matmul_nt` family: `out[i][j] = fold_k (acc + a[i][k] * b[j][k])`,
+//!   `k` ascending (implemented by transposing `b` once and running the
+//!   `matmul` kernel — same per-element order as the naive dot product).
+//! * [`Mat::matmul_bias_relu_into`] initializes each output row with the
+//!   bias row and *then* accumulates the products, i.e.
+//!   `relu(bias[j] + Σ_k …)` with the sum folded left-to-right from
+//!   `bias[j]`. Model code uses this bias-first order everywhere (also on
+//!   the unfused path) so training and inference agree bitwise.
+//! * [`Mat::col_sum_acc_into`] folds rows in ascending row order starting
+//!   from the existing accumulator value.
+//!
+//! Rust never contracts `a * b + c` into an FMA and LLVM never reassociates
+//! float adds without fast-math flags, so these orders are stable across
+//! optimization levels.
+//!
+//! The `naive_*` functions are the scalar reference implementations: each
+//! output element is a textbook k-ascending dot product, written in
+//! element-wise `get`/`set` form. They compute exactly the same per-element
+//! addition chains as the pre-optimization kernels (minus the old
+//! `if a == 0.0 { continue }` early-exit: that branch pessimized dense
+//! hidden-state matmuls, and the sparsity it silently exploited — zero rows
+//! of aggregated messages, one-hot-ish embedding rows — is now handled
+//! explicitly with gathers and the CSR-compacted message path in the model).
+//! Because a strict-FP dot-product reduction cannot be vectorized without
+//! reassociation, the references also stay honest scalar baselines for the
+//! `tensor_kernels` bench. A proptest suite (`tests/kernel_equivalence.rs`)
+//! pins every optimized kernel to its reference bit-for-bit.
 
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+
+/// k-loop unroll factor of the rank-update (`matmul_tn`) kernel.
+const KU: usize = 4;
+
+/// Narrow column-panel width (axpy bodies and the register-panel cleanup).
+const PANEL: usize = 8;
+
+/// Wide column-panel width of the register-accumulator `matmul` kernel.
+const PANEL_WIDE: usize = 32;
 
 /// A row-major dense matrix.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -16,6 +79,102 @@ pub struct Mat {
     pub cols: usize,
     /// Row-major storage, `rows * cols` long.
     pub data: Vec<f32>,
+}
+
+/// `out[j] += a * b[j]` over a full row, panel-vectorized.
+#[inline]
+fn axpy1(out: &mut [f32], a: f32, b: &[f32]) {
+    debug_assert_eq!(out.len(), b.len());
+    for (o, &x) in out.iter_mut().zip(b) {
+        *o += a * x;
+    }
+}
+
+/// Four sequential axpys fused over one pass of the output row:
+/// `out[j] += a[0]*b0[j]; out[j] += a[1]*b1[j]; …` — the adds for each `j`
+/// happen in index order `0..4`, preserving the k-ascending summation
+/// contract while quartering the output-row traffic.
+#[inline]
+fn axpy4(out: &mut [f32], a: [f32; KU], b0: &[f32], b1: &[f32], b2: &[f32], b3: &[f32]) {
+    let mut o_it = out.chunks_exact_mut(PANEL);
+    let mut b0_it = b0.chunks_exact(PANEL);
+    let mut b1_it = b1.chunks_exact(PANEL);
+    let mut b2_it = b2.chunks_exact(PANEL);
+    let mut b3_it = b3.chunks_exact(PANEL);
+    for ((((po, p0), p1), p2), p3) in o_it
+        .by_ref()
+        .zip(b0_it.by_ref())
+        .zip(b1_it.by_ref())
+        .zip(b2_it.by_ref())
+        .zip(b3_it.by_ref())
+    {
+        // Fixed trip count: LLVM unrolls and vectorizes this panel.
+        for j in 0..PANEL {
+            let mut acc = po[j];
+            acc += a[0] * p0[j];
+            acc += a[1] * p1[j];
+            acc += a[2] * p2[j];
+            acc += a[3] * p3[j];
+            po[j] = acc;
+        }
+    }
+    for ((((o, &x0), &x1), &x2), &x3) in o_it
+        .into_remainder()
+        .iter_mut()
+        .zip(b0_it.remainder())
+        .zip(b1_it.remainder())
+        .zip(b2_it.remainder())
+        .zip(b3_it.remainder())
+    {
+        let mut acc = *o;
+        acc += a[0] * x0;
+        acc += a[1] * x1;
+        acc += a[2] * x2;
+        acc += a[3] * x3;
+        *o = acc;
+    }
+}
+
+/// One register-resident output panel of the `matmul` core:
+/// `out_panel[j] += Σ_k a_row[k] * b[k][jp + j]` with the accumulator held
+/// in a `[f32; W]` (vector registers) across the whole k loop — one `b` load
+/// per product, zero output traffic inside the loop. Adds per element are
+/// sequential in ascending k, preserving the summation-order contract.
+#[inline]
+fn panel_acc<const W: usize>(out_panel: &mut [f32], a_row: &[f32], b: &Mat, jp: usize) {
+    let mut acc = [0.0f32; W];
+    acc.copy_from_slice(out_panel);
+    for (k, &a) in a_row.iter().enumerate() {
+        let b_panel = &b.row(k)[jp..jp + W];
+        for (o, &x) in acc.iter_mut().zip(b_panel) {
+            *o += a * x;
+        }
+    }
+    out_panel.copy_from_slice(&acc);
+}
+
+/// `out_row += a_row @ b` for one output row: wide register panels, then
+/// narrow ones, then a k-ascending axpy over the sub-[`PANEL`] tail.
+#[inline]
+fn accum_row(out_row: &mut [f32], a_row: &[f32], b: &Mat) {
+    let m = out_row.len();
+    let mut jp = 0;
+    while jp + PANEL_WIDE <= m {
+        panel_acc::<PANEL_WIDE>(&mut out_row[jp..jp + PANEL_WIDE], a_row, b, jp);
+        jp += PANEL_WIDE;
+    }
+    while jp + PANEL <= m {
+        panel_acc::<PANEL>(&mut out_row[jp..jp + PANEL], a_row, b, jp);
+        jp += PANEL;
+    }
+    if jp < m {
+        let tail = &mut out_row[jp..];
+        for (k, &a) in a_row.iter().enumerate() {
+            for (o, &x) in tail.iter_mut().zip(&b.row(k)[jp..]) {
+                *o += a * x;
+            }
+        }
+    }
 }
 
 impl Mat {
@@ -67,58 +226,195 @@ impl Mat {
 
     /// `self @ other` — (n×k)·(k×m) → n×m.
     pub fn matmul(&self, other: &Mat) -> Mat {
-        assert_eq!(self.cols, other.rows, "matmul shape mismatch");
         let mut out = Mat::zeros(self.rows, other.cols);
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            let out_row = out.row_mut(i);
-            for (k, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = other.row(k);
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
-            }
-        }
+        self.matmul_acc_into(other, &mut out);
         out
+    }
+
+    /// `out = self @ other`, overwriting `out` (which must be n×m).
+    pub fn matmul_into(&self, other: &Mat, out: &mut Mat) {
+        assert_eq!(
+            (out.rows, out.cols),
+            (self.rows, other.cols),
+            "matmul_into output shape mismatch"
+        );
+        out.data.fill(0.0);
+        self.matmul_acc_into(other, out);
+    }
+
+    /// `out += self @ other` — the tiled core kernel. Per output element the
+    /// products are added in ascending-k order starting from the existing
+    /// `out` value (see the module doc's summation-order contract).
+    pub fn matmul_acc_into(&self, other: &Mat, out: &mut Mat) {
+        assert_eq!(self.cols, other.rows, "matmul shape mismatch");
+        assert_eq!(
+            (out.rows, out.cols),
+            (self.rows, other.cols),
+            "matmul_acc_into output shape mismatch"
+        );
+        for i in 0..self.rows {
+            accum_row(out.row_mut(i), self.row(i), other);
+        }
     }
 
     /// `selfᵀ @ other` — (k×n)ᵀ·(k×m) → n×m. Used for weight gradients.
     pub fn matmul_tn(&self, other: &Mat) -> Mat {
-        assert_eq!(self.rows, other.rows, "matmul_tn shape mismatch");
         let mut out = Mat::zeros(self.cols, other.cols);
-        for k in 0..self.rows {
-            let a_row = self.row(k);
-            let b_row = other.row(k);
-            for (i, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let out_row = out.row_mut(i);
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
-            }
-        }
+        self.matmul_tn_acc_into(other, &mut out);
         out
+    }
+
+    /// `out = selfᵀ @ other`, overwriting `out`.
+    pub fn matmul_tn_into(&self, other: &Mat, out: &mut Mat) {
+        assert_eq!(
+            (out.rows, out.cols),
+            (self.cols, other.cols),
+            "matmul_tn_into output shape mismatch"
+        );
+        out.data.fill(0.0);
+        self.matmul_tn_acc_into(other, out);
+    }
+
+    /// `out += selfᵀ @ other` — rank-[`KU`] updates; per output element the
+    /// additions happen in ascending-k order. Gradient accumulation calls
+    /// this directly to skip the temporary + add pass.
+    pub fn matmul_tn_acc_into(&self, other: &Mat, out: &mut Mat) {
+        assert_eq!(self.rows, other.rows, "matmul_tn shape mismatch");
+        assert_eq!(
+            (out.rows, out.cols),
+            (self.cols, other.cols),
+            "matmul_tn_acc_into output shape mismatch"
+        );
+        let mut k = 0;
+        while k + KU <= self.rows {
+            let (b0, b1, b2, b3) =
+                (other.row(k), other.row(k + 1), other.row(k + 2), other.row(k + 3));
+            for i in 0..self.cols {
+                let a =
+                    [self.get(k, i), self.get(k + 1, i), self.get(k + 2, i), self.get(k + 3, i)];
+                axpy4(out.row_mut(i), a, b0, b1, b2, b3);
+            }
+            k += KU;
+        }
+        while k < self.rows {
+            for i in 0..self.cols {
+                axpy1(out.row_mut(i), self.get(k, i), other.row(k));
+            }
+            k += 1;
+        }
     }
 
     /// `self @ otherᵀ` — (n×k)·(m×k)ᵀ → n×m. Used for input gradients.
     pub fn matmul_nt(&self, other: &Mat) -> Mat {
         assert_eq!(self.cols, other.cols, "matmul_nt shape mismatch");
+        let t = other.transposed();
+        self.matmul(&t)
+    }
+
+    /// `out = self @ otherᵀ`, overwriting `out`; transposes `other` into a
+    /// scratch buffer so the tiled row kernel applies.
+    pub fn matmul_nt_into(&self, other: &Mat, out: &mut Mat, scratch: &mut Scratch) {
+        assert_eq!(
+            (out.rows, out.cols),
+            (self.rows, other.rows),
+            "matmul_nt_into output shape mismatch"
+        );
+        out.data.fill(0.0);
+        self.matmul_nt_acc_into(other, out, scratch);
+    }
+
+    /// `out += self @ otherᵀ` via a scratch-buffered transpose of `other`.
+    pub fn matmul_nt_acc_into(&self, other: &Mat, out: &mut Mat, scratch: &mut Scratch) {
+        assert_eq!(self.cols, other.cols, "matmul_nt shape mismatch");
+        let mut t = scratch.take(other.cols, other.rows);
+        other.transpose_into(&mut t);
+        self.matmul_acc_into(&t, out);
+        scratch.put(t);
+    }
+
+    /// Fused `relu(self @ w + bias)` (bias is 1×m). See
+    /// [`Mat::matmul_bias_relu_into`] for the summation order.
+    pub fn matmul_bias_relu(&self, w: &Mat, bias: &Mat) -> Mat {
+        let mut out = Mat::zeros(self.rows, w.cols);
+        self.matmul_bias_relu_into(w, bias, &mut out);
+        out
+    }
+
+    /// Fused `out = relu(self @ w + bias)`: each output row is initialized
+    /// with the bias row and the products accumulate on top (bias-first
+    /// order), then ReLU is applied in place — no intermediate matrix.
+    pub fn matmul_bias_relu_into(&self, w: &Mat, bias: &Mat, out: &mut Mat) {
+        out.fill_row_broadcast(bias);
+        self.matmul_acc_into(w, out);
+        out.relu_inplace();
+    }
+
+    /// Transpose into a fresh matrix.
+    pub fn transposed(&self) -> Mat {
+        let mut out = Mat::zeros(self.cols, self.rows);
+        self.transpose_into(&mut out);
+        out
+    }
+
+    /// `out = selfᵀ` (out must be cols×rows).
+    pub fn transpose_into(&self, out: &mut Mat) {
+        assert_eq!((out.rows, out.cols), (self.cols, self.rows), "transpose shape mismatch");
+        for i in 0..self.rows {
+            let row = self.row(i);
+            for (j, &v) in row.iter().enumerate() {
+                out.data[j * self.rows + i] = v;
+            }
+        }
+    }
+
+    /// Reference scalar `self @ other`: every output element is a textbook
+    /// k-ascending dot product in element-wise `get`/`set` form. This is the
+    /// definitional form of the summation-order contract — the per-element
+    /// addition chains are exactly those of the pre-optimization kernel —
+    /// and a strict-FP dot-product reduction cannot be vectorized, so it
+    /// doubles as the honest scalar baseline in `tensor_kernels`.
+    pub fn naive_matmul(&self, other: &Mat) -> Mat {
+        assert_eq!(self.cols, other.rows, "matmul shape mismatch");
+        let mut out = Mat::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for j in 0..other.cols {
+                let mut acc = 0.0f32;
+                for k in 0..self.cols {
+                    acc += self.get(i, k) * other.get(k, j);
+                }
+                out.set(i, j, acc);
+            }
+        }
+        out
+    }
+
+    /// Reference scalar `selfᵀ @ other` (see [`Mat::naive_matmul`]).
+    pub fn naive_matmul_tn(&self, other: &Mat) -> Mat {
+        assert_eq!(self.rows, other.rows, "matmul_tn shape mismatch");
+        let mut out = Mat::zeros(self.cols, other.cols);
+        for i in 0..self.cols {
+            for j in 0..other.cols {
+                let mut acc = 0.0f32;
+                for k in 0..self.rows {
+                    acc += self.get(k, i) * other.get(k, j);
+                }
+                out.set(i, j, acc);
+            }
+        }
+        out
+    }
+
+    /// Reference scalar `self @ otherᵀ` (see [`Mat::naive_matmul`]).
+    pub fn naive_matmul_nt(&self, other: &Mat) -> Mat {
+        assert_eq!(self.cols, other.cols, "matmul_nt shape mismatch");
         let mut out = Mat::zeros(self.rows, other.rows);
         for i in 0..self.rows {
-            let a_row = self.row(i);
-            let out_row = out.row_mut(i);
-            for (j, o) in out_row.iter_mut().enumerate() {
-                let b_row = other.row(j);
-                let mut acc = 0.0;
-                for (&a, &b) in a_row.iter().zip(b_row) {
-                    acc += a * b;
+            for j in 0..other.rows {
+                let mut acc = 0.0f32;
+                for k in 0..self.cols {
+                    acc += self.get(i, k) * other.get(j, k);
                 }
-                *o = acc;
+                out.set(i, j, acc);
             }
         }
         out
@@ -129,6 +425,15 @@ impl Mat {
         assert_eq!((self.rows, self.cols), (other.rows, other.cols));
         for (a, b) in self.data.iter_mut().zip(&other.data) {
             *a += b;
+        }
+    }
+
+    /// Fused `self += s * other` element-wise (one pass, one rounding per
+    /// element: `a + s*b`).
+    pub fn add_scaled(&mut self, other: &Mat, s: f32) {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += s * b;
         }
     }
 
@@ -143,15 +448,31 @@ impl Mat {
         }
     }
 
+    /// Overwrite every row with a 1×cols row vector (bias-first affine
+    /// initialization; see [`Mat::matmul_bias_relu_into`]).
+    pub fn fill_row_broadcast(&mut self, row: &Mat) {
+        assert_eq!(row.rows, 1);
+        assert_eq!(row.cols, self.cols);
+        for r in 0..self.rows {
+            self.row_mut(r).copy_from_slice(&row.data);
+        }
+    }
+
     /// Column-wise sum as a 1×cols matrix (bias gradients).
     pub fn col_sum(&self) -> Mat {
         let mut out = Mat::zeros(1, self.cols);
+        self.col_sum_acc_into(&mut out);
+        out
+    }
+
+    /// `out += column-wise sum of self`, rows folded in ascending order.
+    pub fn col_sum_acc_into(&self, out: &mut Mat) {
+        assert_eq!((out.rows, out.cols), (1, self.cols), "col_sum output shape mismatch");
         for r in 0..self.rows {
             for (o, &v) in out.data.iter_mut().zip(self.row(r)) {
                 *o += v;
             }
         }
-        out
     }
 
     /// ReLU in place; returns the pre-activation copy for backward.
@@ -187,9 +508,63 @@ impl Mat {
 
     /// Zero all elements (gradient reset between steps).
     pub fn zero(&mut self) {
-        for v in &mut self.data {
-            *v = 0.0;
-        }
+        self.data.fill(0.0);
+    }
+}
+
+/// A pool of reusable `f32` buffers for intermediate matrices.
+///
+/// Lifetime rules: [`Scratch::take`] hands out a zeroed `Mat` of the
+/// requested shape, reusing the capacity of a previously [`Scratch::put`]
+/// buffer when one is large enough (most-recently-returned first, so the
+/// cache-warm buffer wins). Once the pool has warmed up to a workload's
+/// working set, `take`/`put` cycles perform **zero heap allocations** — the
+/// [`Scratch::allocations`] counter only advances when a fresh buffer must
+/// be created, which is what the steady-state zero-allocation tests assert.
+#[derive(Debug, Default)]
+pub struct Scratch {
+    pool: Vec<Vec<f32>>,
+    allocations: usize,
+}
+
+impl Scratch {
+    /// An empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Take a zero-filled `rows`×`cols` matrix, reusing pooled capacity when
+    /// possible.
+    pub fn take(&mut self, rows: usize, cols: usize) -> Mat {
+        let need = rows * cols;
+        let mut data = match self.pool.iter().rposition(|b| b.capacity() >= need) {
+            Some(i) => self.pool.swap_remove(i),
+            None => {
+                if need > 0 {
+                    self.allocations += 1;
+                }
+                Vec::with_capacity(need)
+            }
+        };
+        data.clear();
+        data.resize(need, 0.0);
+        Mat { rows, cols, data }
+    }
+
+    /// Return a matrix's buffer to the pool.
+    pub fn put(&mut self, m: Mat) {
+        self.pool.push(m.data);
+    }
+
+    /// Number of fresh buffer allocations performed so far. Stable across
+    /// repeated same-shape workloads once warmed up.
+    pub fn allocations(&self) -> usize {
+        self.allocations
+    }
+
+    /// Number of buffers currently parked in the pool.
+    pub fn pooled(&self) -> usize {
+        self.pool.len()
     }
 }
 
@@ -253,6 +628,7 @@ mod tests {
         let b = m(3, 2, &[7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
         let c = a.matmul(&b);
         assert_eq!(c.data, vec![58.0, 64.0, 139.0, 154.0]);
+        assert_eq!(a.naive_matmul(&b).data, c.data);
     }
 
     #[test]
@@ -274,6 +650,57 @@ mod tests {
         assert_eq!(c.rows, 2);
         assert_eq!(c.cols, 2);
         assert_eq!(c.data, vec![3.0, 5.0, 9.0, 11.0]);
+    }
+
+    #[test]
+    fn fused_matmul_bias_relu_matches_unfused() {
+        let a = m(3, 2, &[1.0, -2.0, 0.5, 4.0, -1.0, -1.0]);
+        let w = m(2, 2, &[0.5, -1.0, 2.0, 0.25]);
+        let bias = m(1, 2, &[0.1, -0.2]);
+        let fused = a.matmul_bias_relu(&w, &bias);
+        let mut unfused = Mat::zeros(3, 2);
+        unfused.fill_row_broadcast(&bias);
+        a.matmul_acc_into(&w, &mut unfused);
+        unfused.relu_inplace();
+        assert_eq!(fused, unfused);
+        assert!(fused.data.iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn add_scaled_is_single_rounding_axpy() {
+        let mut a = m(1, 3, &[1.0, 2.0, 3.0]);
+        let b = m(1, 3, &[4.0, -5.0, 6.0]);
+        a.add_scaled(&b, 0.5);
+        assert_eq!(a.data, vec![1.0 + 0.5 * 4.0, 2.0 + 0.5 * -5.0, 3.0 + 0.5 * 6.0]);
+    }
+
+    #[test]
+    fn transpose_round_trips() {
+        let a = m(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let t = a.transposed();
+        assert_eq!((t.rows, t.cols), (3, 2));
+        assert_eq!(t.data, vec![1.0, 4.0, 2.0, 5.0, 3.0, 6.0]);
+        assert_eq!(t.transposed(), a);
+    }
+
+    #[test]
+    fn scratch_reuses_buffers() {
+        let mut s = Scratch::new();
+        let a = s.take(4, 8);
+        assert_eq!(s.allocations(), 1);
+        s.put(a);
+        let b = s.take(2, 16); // same size, reuses
+        assert_eq!(s.allocations(), 1);
+        assert_eq!((b.rows, b.cols), (2, 16));
+        assert!(b.data.iter().all(|&v| v == 0.0));
+        s.put(b);
+        let c = s.take(8, 8); // larger, fresh allocation
+        assert_eq!(s.allocations(), 2);
+        s.put(c);
+        let d = s.take(1, 4); // small, reuses a big buffer
+        assert_eq!(s.allocations(), 2);
+        s.put(d);
+        assert_eq!(s.pooled(), 2);
     }
 
     #[test]

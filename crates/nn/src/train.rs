@@ -1,9 +1,17 @@
 //! Training, evaluation, threshold tuning and checkpointing for PIC models.
+//!
+//! Training is data-parallel: each minibatch is sharded contiguously across
+//! [`TrainConfig::threads`] scoped worker threads, every graph's gradient
+//! lands in its own pooled [`PicParams`] buffer, and the buffers are reduced
+//! in fixed (shard-index) order. Because the reduction order never depends
+//! on the thread count, training with `threads = N` is **bit-identical** to
+//! `threads = 1` — the single-threaded path runs the exact same per-graph
+//! structure, just without spawning.
 
 use crate::metrics::{average_precision, Confusion, MeanMetrics, PerGraphAverager};
-use crate::model::{PicConfig, PicModel, PicParams};
+use crate::model::{PicConfig, PicModel, PicParams, PicSession};
 use crate::optim::{Adam, AdamConfig};
-use crate::tensor::Mat;
+use crate::tensor::{Mat, Scratch};
 use rand::{seq::SliceRandom, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
@@ -27,12 +35,90 @@ pub struct TrainConfig {
     pub batch: usize,
     /// Shuffling seed.
     pub seed: u64,
+    /// Worker threads per minibatch. Results are bit-identical for any
+    /// value (fixed-order gradient reduction); values above the batch size
+    /// are clamped.
+    pub threads: usize,
 }
 
 impl Default for TrainConfig {
     fn default() -> Self {
-        Self { epochs: 5, lr: 2e-3, batch: 4, seed: 0x7EA1 }
+        Self { epochs: 5, lr: 2e-3, batch: 4, seed: 0x7EA1, threads: 1 }
     }
+}
+
+/// Pooled per-graph gradient buffers, scratch arenas and loss slots, sized
+/// to the largest batch seen and reused for the whole training run — no
+/// per-step allocation once warmed up.
+#[derive(Default)]
+struct ShardPool {
+    grads: Vec<PicParams>,
+    scratch: Vec<Scratch>,
+    losses: Vec<f32>,
+}
+
+impl ShardPool {
+    fn ensure(&mut self, model: &PicModel, n: usize) {
+        while self.grads.len() < n {
+            self.grads.push(model.params.zeros_like());
+            self.scratch.push(Scratch::new());
+        }
+        if self.losses.len() < n {
+            self.losses.resize(n, 0.0);
+        }
+    }
+}
+
+/// Compute each batch item's gradient into its own pooled buffer —
+/// contiguously sharded across `threads` scoped workers — then reduce the
+/// buffers into `grads` in ascending item order and return the loss sum
+/// (also folded in item order). The per-item work and both folds are
+/// independent of the sharding, which is the determinism contract.
+fn batch_gradients<T: Sync>(
+    model: &PicModel,
+    batch: &[T],
+    pool: &mut ShardPool,
+    threads: usize,
+    grads: &mut PicParams,
+    per_item: &(dyn Fn(&PicModel, &T, &mut PicParams, &mut Scratch) -> f32 + Sync),
+) -> f32 {
+    pool.ensure(model, batch.len());
+    let gbufs = &mut pool.grads[..batch.len()];
+    let scratches = &mut pool.scratch[..batch.len()];
+    let losses = &mut pool.losses[..batch.len()];
+    let threads = threads.clamp(1, batch.len().max(1));
+    if threads == 1 {
+        for (((item, gb), sc), l) in
+            batch.iter().zip(gbufs.iter_mut()).zip(scratches.iter_mut()).zip(losses.iter_mut())
+        {
+            gb.zero_all();
+            *l = per_item(model, item, gb, sc);
+        }
+    } else {
+        let chunk = batch.len().div_ceil(threads);
+        crossbeam::thread::scope(|s| {
+            for (((items, gbs), scs), ls) in batch
+                .chunks(chunk)
+                .zip(gbufs.chunks_mut(chunk))
+                .zip(scratches.chunks_mut(chunk))
+                .zip(losses.chunks_mut(chunk))
+            {
+                s.spawn(move |_| {
+                    for (((item, gb), sc), l) in
+                        items.iter().zip(gbs.iter_mut()).zip(scs.iter_mut()).zip(ls.iter_mut())
+                    {
+                        gb.zero_all();
+                        *l = per_item(model, item, gb, sc);
+                    }
+                });
+            }
+        })
+        .expect("training worker panicked");
+    }
+    for gb in pool.grads[..batch.len()].iter() {
+        grads.add_assign(gb);
+    }
+    pool.losses[..batch.len()].iter().sum()
 }
 
 /// Result of a training run.
@@ -66,10 +152,16 @@ pub fn train(
     let mut best_ap = f64::NEG_INFINITY;
     let mut best_params: Option<PicParams> = None;
 
+    let mut pool = ShardPool::default();
+    let mut grads = model.params.zeros_like();
+    let per_item =
+        |m: &PicModel, &(g, labels): &LabeledGraph<'_>, gb: &mut PicParams, sc: &mut Scratch| {
+            let (_, cache) = m.forward_cached(g);
+            m.backward(g, &cache, labels, gb, sc)
+        };
     for _ in 0..cfg.epochs {
         order.shuffle(&mut rng);
-        let mut grads = model.params.zeros_like();
-        let mut in_batch = 0usize;
+        let mut batch_buf: Vec<LabeledGraph<'_>> = Vec::with_capacity(cfg.batch);
         let mut total_loss = 0.0f32;
         let mut graphs = 0usize;
         for &i in &order {
@@ -77,17 +169,27 @@ pub fn train(
             if g.num_verts() == 0 {
                 continue;
             }
-            let (_, cache) = model.forward_cached(g);
-            total_loss += model.backward(g, &cache, labels, &mut grads);
-            graphs += 1;
-            in_batch += 1;
-            if in_batch == cfg.batch {
-                apply(&mut opt, model, &mut grads, in_batch);
-                in_batch = 0;
+            batch_buf.push((g, labels));
+            if batch_buf.len() == cfg.batch {
+                total_loss += batch_gradients(
+                    model,
+                    &batch_buf,
+                    &mut pool,
+                    cfg.threads,
+                    &mut grads,
+                    &per_item,
+                );
+                graphs += batch_buf.len();
+                apply(&mut opt, model, &mut grads, batch_buf.len());
+                batch_buf.clear();
             }
         }
-        if in_batch > 0 {
-            apply(&mut opt, model, &mut grads, in_batch);
+        if !batch_buf.is_empty() {
+            total_loss +=
+                batch_gradients(model, &batch_buf, &mut pool, cfg.threads, &mut grads, &per_item);
+            graphs += batch_buf.len();
+            apply(&mut opt, model, &mut grads, batch_buf.len());
+            batch_buf.clear();
         }
         epoch_losses.push(if graphs == 0 { 0.0 } else { total_loss / graphs as f32 });
 
@@ -138,10 +240,19 @@ pub fn train_with_flows(
     let mut best_ap = f64::NEG_INFINITY;
     let mut best_params: Option<PicParams> = None;
 
+    let mut pool = ShardPool::default();
+    let mut grads = model.params.zeros_like();
+    let per_item = |m: &PicModel,
+                    &(g, labels, flows): &FlowLabeledGraph<'_>,
+                    gb: &mut PicParams,
+                    sc: &mut Scratch| {
+        let (_, cache) = m.forward_cached(g);
+        let (lv, lf) = m.backward_with_flows(g, &cache, labels, flows, gb, sc);
+        lv + lf
+    };
     for _ in 0..cfg.epochs {
         order.shuffle(&mut rng);
-        let mut grads = model.params.zeros_like();
-        let mut in_batch = 0usize;
+        let mut batch_buf: Vec<FlowLabeledGraph<'_>> = Vec::with_capacity(cfg.batch);
         let mut total_loss = 0.0f32;
         let mut graphs = 0usize;
         for &i in &order {
@@ -149,18 +260,27 @@ pub fn train_with_flows(
             if g.num_verts() == 0 {
                 continue;
             }
-            let (_, cache) = model.forward_cached(g);
-            let (lv, lf) = model.backward_with_flows(g, &cache, labels, flows, &mut grads);
-            total_loss += lv + lf;
-            graphs += 1;
-            in_batch += 1;
-            if in_batch == cfg.batch {
-                apply(&mut opt, model, &mut grads, in_batch);
-                in_batch = 0;
+            batch_buf.push((g, labels, flows));
+            if batch_buf.len() == cfg.batch {
+                total_loss += batch_gradients(
+                    model,
+                    &batch_buf,
+                    &mut pool,
+                    cfg.threads,
+                    &mut grads,
+                    &per_item,
+                );
+                graphs += batch_buf.len();
+                apply(&mut opt, model, &mut grads, batch_buf.len());
+                batch_buf.clear();
             }
         }
-        if in_batch > 0 {
-            apply(&mut opt, model, &mut grads, in_batch);
+        if !batch_buf.is_empty() {
+            total_loss +=
+                batch_gradients(model, &batch_buf, &mut pool, cfg.threads, &mut grads, &per_item);
+            graphs += batch_buf.len();
+            apply(&mut opt, model, &mut grads, batch_buf.len());
+            batch_buf.clear();
         }
         epoch_losses.push(if graphs == 0 { 0.0 } else { total_loss / graphs as f32 });
         if !valid.is_empty() {
@@ -203,13 +323,15 @@ pub fn flow_average_precision(model: &PicModel, examples: &[FlowLabeledGraph<'_>
 pub fn urb_average_precision(model: &PicModel, examples: &[LabeledGraph<'_>]) -> f64 {
     let mut scores = Vec::new();
     let mut labels = Vec::new();
+    let mut session = PicSession::new();
+    let mut probs = Vec::new();
     for (g, y) in examples {
         if g.num_verts() == 0 {
             continue;
         }
-        let p = model.forward(g);
+        model.forward_into(g, &mut session, &mut probs);
         for i in g.urb_indices() {
-            scores.push(p[i]);
+            scores.push(probs[i]);
             labels.push(y[i]);
         }
     }
@@ -261,11 +383,13 @@ pub fn tune_threshold_f2(model: &PicModel, valid: &[LabeledGraph<'_>]) -> f32 {
 pub fn tune_threshold_f2_pooled(model: &PicModel, valid: &[LabeledGraph<'_>]) -> f32 {
     let mut scores = Vec::new();
     let mut labels = Vec::new();
+    let mut session = PicSession::new();
+    let mut probs = Vec::new();
     for (g, y) in valid {
         if g.num_verts() == 0 {
             continue;
         }
-        let probs = model.forward(g);
+        model.forward_into(g, &mut session, &mut probs);
         for i in g.urb_indices() {
             scores.push(probs[i]);
             labels.push(y[i]);
@@ -294,11 +418,13 @@ pub fn evaluate_pooled(
     urb_only: bool,
 ) -> Confusion {
     let mut c = Confusion::default();
+    let mut session = PicSession::new();
+    let mut probs = Vec::new();
     for (g, y) in examples {
         if g.num_verts() == 0 {
             continue;
         }
-        let probs = model.forward(g);
+        model.forward_into(g, &mut session, &mut probs);
         let idx: Vec<usize> = if urb_only { g.urb_indices() } else { (0..g.num_verts()).collect() };
         let preds: Vec<bool> = idx.iter().map(|&i| probs[i] >= threshold).collect();
         let truth: Vec<bool> = idx.iter().map(|&i| y[i]).collect();
@@ -339,11 +465,13 @@ pub fn evaluate(
     urb_only: bool,
 ) -> MeanMetrics {
     let mut avg = PerGraphAverager::new();
+    let mut session = PicSession::new();
+    let mut probs = Vec::new();
     for (g, y) in examples {
         if g.num_verts() == 0 {
             continue;
         }
-        let probs = model.forward(g);
+        model.forward_into(g, &mut session, &mut probs);
         let idx: Vec<usize> = if urb_only { g.urb_indices() } else { (0..g.num_verts()).collect() };
         if idx.is_empty() {
             continue;
@@ -480,7 +608,7 @@ mod tests {
             &mut model,
             &train_refs,
             &valid_refs,
-            TrainConfig { epochs: 8, lr: 1e-2, batch: 4, seed: 1 },
+            TrainConfig { epochs: 8, lr: 1e-2, batch: 4, seed: 1, ..Default::default() },
         );
         let after = urb_average_precision(&model, &valid_refs);
         assert!(

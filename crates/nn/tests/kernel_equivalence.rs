@@ -1,0 +1,247 @@
+//! Bit-exact equivalence suite for the tiled tensor kernels.
+//!
+//! Every optimized / fused / into-buffer kernel in `snowcat_nn::tensor` is
+//! pinned to a scalar reference that follows the module doc's
+//! summation-order contract (k strictly ascending, sequential adds). Because
+//! the tiled kernels preserve that order — the unrolled blocks do sequential
+//! adds, Rust never contracts to FMA, and LLVM never reassociates float adds
+//! without fast-math — the comparison is exact `assert_eq!` on the raw
+//! `f32` bits, not tolerance-based.
+
+use proptest::prelude::*;
+use snowcat_nn::{Mat, Scratch};
+
+/// Random matrix of the given shape.
+fn arb_mat(rows: usize, cols: usize) -> impl Strategy<Value = Mat> {
+    proptest::collection::vec(-2.0f32..2.0, rows * cols).prop_map(move |data| Mat {
+        rows,
+        cols,
+        data,
+    })
+}
+
+/// Random (n, k, m) shape triple crossing the KU=4 / PANEL=8 remainder
+/// boundaries, with the three matrices of a matmul-family call.
+fn arb_triple() -> impl Strategy<Value = (Mat, Mat, Mat)> {
+    (1usize..=13, 1usize..=13, 1usize..=19)
+        .prop_flat_map(|(n, k, m)| (arb_mat(n, k), arb_mat(k, m), arb_mat(n, m)))
+}
+
+/// Reference `out[i][j] = fold_k (acc + a[i][k] * b[k][j])`, k ascending,
+/// starting from the existing `out` values.
+fn ref_matmul_acc(a: &Mat, b: &Mat, out: &mut Mat) {
+    for i in 0..a.rows {
+        for k in 0..a.cols {
+            let av = a.get(i, k);
+            for j in 0..b.cols {
+                let v = out.get(i, j) + av * b.get(k, j);
+                out.set(i, j, v);
+            }
+        }
+    }
+}
+
+/// Reference `out += aᵀ @ b`, k ascending per output element.
+fn ref_matmul_tn_acc(a: &Mat, b: &Mat, out: &mut Mat) {
+    for k in 0..a.rows {
+        for i in 0..a.cols {
+            let av = a.get(k, i);
+            for j in 0..b.cols {
+                let v = out.get(i, j) + av * b.get(k, j);
+                out.set(i, j, v);
+            }
+        }
+    }
+}
+
+/// Reference `out += a @ bᵀ`, k ascending per output element.
+fn ref_matmul_nt_acc(a: &Mat, b: &Mat, out: &mut Mat) {
+    for i in 0..a.rows {
+        for j in 0..b.rows {
+            let mut acc = out.get(i, j);
+            for k in 0..a.cols {
+                acc += a.get(i, k) * b.get(j, k);
+            }
+            out.set(i, j, acc);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn matmul_bits_match_naive(abc in arb_triple()) {
+        let (a, b, _) = abc;
+        prop_assert_eq!(a.matmul(&b).data, a.naive_matmul(&b).data);
+    }
+
+    #[test]
+    fn matmul_bits_match_reference(abc in arb_triple()) {
+        let (a, b, _) = abc;
+        let mut expect = Mat::zeros(a.rows, b.cols);
+        ref_matmul_acc(&a, &b, &mut expect);
+        prop_assert_eq!(a.matmul(&b).data, expect.data);
+    }
+
+    #[test]
+    fn matmul_into_overwrites_dirty_buffer(abc in arb_triple()) {
+        let (a, b, dirty) = abc;
+        let mut out = dirty;
+        a.matmul_into(&b, &mut out);
+        prop_assert_eq!(out.data, a.naive_matmul(&b).data);
+    }
+
+    #[test]
+    fn matmul_acc_into_folds_from_base(abc in arb_triple()) {
+        let (a, b, base) = abc;
+        let mut out = base.clone();
+        a.matmul_acc_into(&b, &mut out);
+        let mut expect = base;
+        ref_matmul_acc(&a, &b, &mut expect);
+        prop_assert_eq!(out.data, expect.data);
+    }
+
+    #[test]
+    fn matmul_tn_bits_match_naive(abc in arb_triple()) {
+        let (_, b, _) = abc;
+        // aᵀ needs a.rows == b.rows: reuse b as both operands ((kxm)ᵀ·(kxm)).
+        let a = b.clone();
+        prop_assert_eq!(a.matmul_tn(&b).data, a.naive_matmul_tn(&b).data);
+    }
+
+    #[test]
+    fn matmul_tn_acc_into_folds_from_base(nkm in (1usize..=11, 1usize..=11, 1usize..=17)) {
+        let (n, k, m) = nkm;
+        let mk = |seed: usize, rows: usize, cols: usize| {
+            Mat::from_fn(rows, cols, |r, c| {
+                ((seed * 31 + r * 7 + c * 3) % 17) as f32 * 0.37 - 2.9
+            })
+        };
+        let a = mk(1, k, n);
+        let b = mk(2, k, m);
+        let base = mk(3, n, m);
+        let mut out = base.clone();
+        a.matmul_tn_acc_into(&b, &mut out);
+        let mut expect = base.clone();
+        ref_matmul_tn_acc(&a, &b, &mut expect);
+        assert_eq!(out.data, expect.data);
+        let mut overwrite = base;
+        a.matmul_tn_into(&b, &mut overwrite);
+        assert_eq!(overwrite.data, a.naive_matmul_tn(&b).data);
+    }
+
+    #[test]
+    fn matmul_nt_bits_match_naive(nkm in (1usize..=11, 1usize..=17, 1usize..=11)) {
+        let (n, k, m) = nkm;
+        let mk = |seed: usize, rows: usize, cols: usize| {
+            Mat::from_fn(rows, cols, |r, c| {
+                ((seed * 13 + r * 5 + c * 11) % 23) as f32 * 0.21 - 2.3
+            })
+        };
+        let a = mk(4, n, k);
+        let b = mk(5, m, k);
+        let base = mk(6, n, m);
+        assert_eq!(a.matmul_nt(&b).data, a.naive_matmul_nt(&b).data);
+        // The into/acc variants route through a scratch transpose; pre-dirty
+        // the scratch pool to prove `take` zero-fills reused buffers.
+        let mut scratch = Scratch::new();
+        let mut junk = scratch.take(k + 3, m + 3);
+        junk.data.iter_mut().for_each(|v| *v = f32::NAN);
+        scratch.put(junk);
+        let mut out = base.clone();
+        a.matmul_nt_into(&b, &mut out, &mut scratch);
+        assert_eq!(out.data, a.naive_matmul_nt(&b).data);
+        let mut acc = base.clone();
+        a.matmul_nt_acc_into(&b, &mut acc, &mut scratch);
+        let mut expect = base;
+        ref_matmul_nt_acc(&a, &b, &mut expect);
+        assert_eq!(acc.data, expect.data);
+    }
+
+    #[test]
+    fn fused_bias_relu_matches_bias_first_reference(abc in arb_triple()) {
+        let (a, b, dirty) = abc;
+        let bias = Mat { rows: 1, cols: b.cols, data: b.row(0).to_vec() };
+        // Reference: out row initialized with bias, then k-ascending
+        // accumulation, then ReLU (the documented bias-first order).
+        let mut expect = Mat::zeros(a.rows, b.cols);
+        expect.fill_row_broadcast(&bias);
+        ref_matmul_acc(&a, &b, &mut expect);
+        expect.relu_inplace();
+        prop_assert_eq!(a.matmul_bias_relu(&b, &bias).data.clone(), expect.data.clone());
+        let mut out = dirty;
+        a.matmul_bias_relu_into(&b, &bias, &mut out);
+        prop_assert_eq!(out.data, expect.data);
+    }
+
+    #[test]
+    fn add_scaled_is_single_rounding_axpy(a in arb_mat(5, 9), b in arb_mat(5, 9), s in -2.0f32..2.0) {
+        let mut out = a.clone();
+        out.add_scaled(&b, s);
+        let expect: Vec<f32> =
+            a.data.iter().zip(&b.data).map(|(&x, &y)| x + s * y).collect();
+        prop_assert_eq!(out.data, expect);
+    }
+
+    #[test]
+    fn col_sum_acc_folds_rows_ascending(a in arb_mat(7, 6), base in arb_mat(1, 6)) {
+        let mut out = base.clone();
+        a.col_sum_acc_into(&mut out);
+        let mut expect = base;
+        for r in 0..a.rows {
+            for (o, &v) in expect.data.iter_mut().zip(a.row(r)) {
+                *o += v;
+            }
+        }
+        prop_assert_eq!(out.data, expect.data);
+        // And the allocating variant starts from zero.
+        let mut zero_based = Mat::zeros(1, a.cols);
+        a.col_sum_acc_into(&mut zero_based);
+        prop_assert_eq!(a.col_sum().data, zero_based.data);
+    }
+
+    #[test]
+    fn transpose_into_matches_transposed(a in arb_mat(6, 11)) {
+        let mut out = Mat::zeros(11, 6);
+        out.data.iter_mut().for_each(|v| *v = 42.0);
+        a.transpose_into(&mut out);
+        prop_assert_eq!(out.data.clone(), a.transposed().data.clone());
+        for r in 0..a.rows {
+            for c in 0..a.cols {
+                prop_assert_eq!(a.get(r, c), out.get(c, r));
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_take_is_zeroed_and_reuses_capacity(rows in 1usize..10, cols in 1usize..10) {
+        let mut scratch = Scratch::new();
+        let mut m = scratch.take(rows, cols);
+        prop_assert!(m.data.iter().all(|&v| v == 0.0));
+        m.data.iter_mut().for_each(|v| *v = f32::INFINITY);
+        scratch.put(m);
+        let before = scratch.allocations();
+        let again = scratch.take(rows, cols);
+        prop_assert_eq!(scratch.allocations(), before);
+        prop_assert!(again.data.iter().all(|&v| v == 0.0));
+    }
+}
+
+/// Larger fixed shapes exercising full panels plus remainders in the same
+/// call (n, k, m beyond one KU block and one PANEL).
+#[test]
+fn large_shapes_bit_match_naive() {
+    let mk = |seed: usize, rows: usize, cols: usize| {
+        Mat::from_fn(rows, cols, |r, c| ((seed * 37 + r * 13 + c * 29) % 41) as f32 * 0.11 - 2.2)
+    };
+    for &(n, k, m) in &[(40, 33, 19), (17, 8, 32), (9, 5, 8), (64, 32, 32)] {
+        let a = mk(7, n, k);
+        let b = mk(8, k, m);
+        assert_eq!(a.matmul(&b).data, a.naive_matmul(&b).data, "matmul {n}x{k}x{m}");
+        let at = mk(9, k, n);
+        assert_eq!(at.matmul_tn(&b).data, at.naive_matmul_tn(&b).data, "matmul_tn {n}x{k}x{m}");
+        let bt = mk(10, m, k);
+        assert_eq!(a.matmul_nt(&bt).data, a.naive_matmul_nt(&bt).data, "matmul_nt {n}x{k}x{m}");
+    }
+}

@@ -22,7 +22,7 @@ fn main() {
         .with_train_interleavings(8)
         .with_eval_interleavings(8)
         .with_model(PicConfig { hidden: 24, layers: 3, ..PicConfig::default() })
-        .with_train(TrainConfig { epochs: 4, ..TrainConfig::default() })
+        .with_train(TrainConfig { epochs: 4, threads: 2, ..TrainConfig::default() })
         .with_seed(0xBEEF);
     println!("training PIC on synthetic kernel {} ...", kernel.version);
     let out = train_pic(&kernel, &cfg, &pcfg, "PIC-example");

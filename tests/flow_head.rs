@@ -15,7 +15,7 @@ fn flow_head_learns_realized_flows() {
     // ~minute in release mode.
     let pcfg = PipelineConfig::default()
         .with_fuzz_iterations(60)
-        .with_n_ctis(140)
+        .with_n_ctis(160)
         .with_train_interleavings(8)
         .with_eval_interleavings(8)
         .with_model(PicConfig { hidden: 24, layers: 4, ..PicConfig::default() })
