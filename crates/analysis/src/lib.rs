@@ -1,0 +1,189 @@
+//! # snowcat-analysis — static concurrency analysis of the synthetic kernel
+//!
+//! The paper leans on static structure twice: the whole-kernel CFG defines
+//! the URBs the coverage predictor scores, and Razzer-style directed testing
+//! starts from *statically identified* potential race pairs. This crate
+//! supplies that static layer:
+//!
+//! * [`lockset`] — an interprocedural **must-hold lockset dataflow**
+//!   (forward fixpoint, intersection at joins) annotating every static
+//!   memory access with the locks definitely held around it,
+//! * [`lints`] — **lock-discipline lints** on top of it (double-lock,
+//!   unlock-without-lock, lock-leak, lock-order cycles, inconsistent
+//!   protection), with an allowlist for planted bugs,
+//! * [`mayrace`] — a **static may-race pass** whose pair set provably
+//!   over-approximates every dynamic [`snowcat_race::RaceKey`], plus the
+//!   per-block may-race bits and syscall-pair density matrix consumed by
+//!   the CT-graph builder and the Razzer pre-filter in `snowcat-core`.
+//!
+//! [`analyze`] runs all three and [`Analysis::report`] renders the JSON
+//! document emitted by `snowcat analyze`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod lints;
+pub mod lockset;
+pub mod mayrace;
+
+pub use lints::{lint, Allowlist, LintKind, Severity, StaticFinding};
+pub use lockset::{AccessInfo, LockEvent, LocksetAnalysis};
+pub use mayrace::MayRace;
+
+use serde::{Deserialize, Serialize};
+use snowcat_cfg::KernelCfg;
+use snowcat_kernel::{BugId, Kernel};
+
+/// Combined result of the full static-analysis pipeline.
+#[derive(Debug, Clone)]
+pub struct Analysis {
+    /// The must-hold lockset dataflow results.
+    pub locksets: LocksetAnalysis,
+    /// Lint findings, sorted by dedup key.
+    pub findings: Vec<StaticFinding>,
+    /// The static may-race over-approximation.
+    pub may_race: MayRace,
+}
+
+/// Run lockset dataflow, lints and the may-race pass over one kernel.
+pub fn analyze(kernel: &Kernel, cfg: &KernelCfg) -> Analysis {
+    let locksets = LocksetAnalysis::compute(kernel, cfg);
+    let findings = lint(kernel, &locksets);
+    let may_race = MayRace::compute(kernel, cfg, &locksets);
+    Analysis { locksets, findings, may_race }
+}
+
+impl Analysis {
+    /// Findings not excused by `allowlist`.
+    pub fn unexpected_findings<'a>(
+        &'a self,
+        allowlist: &'a Allowlist,
+    ) -> impl Iterator<Item = &'a StaticFinding> {
+        self.findings.iter().filter(move |f| !allowlist.permits(f))
+    }
+
+    /// Planted bugs whose broken locking the lints actually flagged: the
+    /// bug's pattern involves a lock (some racing access has a non-empty
+    /// must-lockset) and an [`LintKind::InconsistentProtection`] finding
+    /// names one of its racing words or instructions.
+    pub fn flagged_lock_misuse_bugs(&self, kernel: &Kernel) -> Vec<BugId> {
+        lock_misuse_bugs(kernel, &self.locksets)
+            .into_iter()
+            .filter(|&id| {
+                let bug = &kernel.bugs[id.index()];
+                self.findings.iter().any(|f| {
+                    f.kind == LintKind::InconsistentProtection
+                        && f.locs.iter().any(|l| bug.racing_instrs.contains(l))
+                })
+            })
+            .collect()
+    }
+
+    /// Render the serializable report document.
+    pub fn report(&self, kernel: &Kernel) -> AnalysisReport {
+        let allowlist = Allowlist::from_planted_bugs(kernel);
+        let allowlisted = self.findings.iter().filter(|f| allowlist.permits(f)).count();
+        AnalysisReport {
+            kernel_version: kernel.version.clone(),
+            blocks: kernel.num_blocks(),
+            instrs: kernel.num_instrs(),
+            mem_accesses: self.locksets.accesses.len(),
+            locked_accesses: self.locksets.accesses.iter().filter(|a| a.lockset != 0).count(),
+            findings: self.findings.clone(),
+            allowlisted_findings: allowlisted,
+            may_race_pairs: self.may_race.len(),
+            may_race_blocks: self.may_race.blocks().count(),
+            flagged_lock_misuse_bugs: self
+                .flagged_lock_misuse_bugs(kernel)
+                .iter()
+                .map(|b| b.0)
+                .collect(),
+        }
+    }
+}
+
+/// Planted bugs whose racing instructions involve broken locking: at least
+/// one racing memory access holds a lock while a sibling racing access to
+/// the same pattern does not (DataRace and MultiOrder plants qualify;
+/// lock-free order/atomicity violations do not).
+pub fn lock_misuse_bugs(kernel: &Kernel, locksets: &LocksetAnalysis) -> Vec<BugId> {
+    kernel
+        .bugs
+        .iter()
+        .filter(|bug| {
+            bug.racing_instrs.iter().filter_map(|&l| locksets.access_lockset(l)).any(|set| set != 0)
+        })
+        .map(|b| b.id)
+        .collect()
+}
+
+/// The JSON document written by `snowcat analyze --out`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AnalysisReport {
+    /// Kernel version tag.
+    pub kernel_version: String,
+    /// Basic blocks analyzed.
+    pub blocks: usize,
+    /// Static instructions analyzed.
+    pub instrs: usize,
+    /// Static memory accesses annotated with locksets.
+    pub mem_accesses: usize,
+    /// Accesses with a non-empty must-hold lockset.
+    pub locked_accesses: usize,
+    /// All lint findings (sorted by dedup key).
+    pub findings: Vec<StaticFinding>,
+    /// How many findings the planted-bug allowlist excuses.
+    pub allowlisted_findings: usize,
+    /// Size of the static may-race set.
+    pub may_race_pairs: usize,
+    /// Blocks carrying the may-race feature bit.
+    pub may_race_blocks: usize,
+    /// Planted lock-misuse bugs flagged by the lints (raw bug ids).
+    pub flagged_lock_misuse_bugs: Vec<u16>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snowcat_kernel::{generate, BugKind, GenConfig};
+
+    #[test]
+    fn default_kernel_is_clean_outside_planted_bugs() {
+        let k = generate(&GenConfig::default());
+        let cfg = KernelCfg::build(&k);
+        let analysis = analyze(&k, &cfg);
+        let allowlist = Allowlist::from_planted_bugs(&k);
+        let unexpected: Vec<_> = analysis.unexpected_findings(&allowlist).collect();
+        assert!(unexpected.is_empty(), "generator emitted dirty locking: {unexpected:#?}");
+        assert!(!analysis.findings.is_empty(), "planted lock misuse must be visible");
+    }
+
+    #[test]
+    fn every_planted_lock_misuse_bug_is_flagged() {
+        let k = generate(&GenConfig::default());
+        let cfg = KernelCfg::build(&k);
+        let analysis = analyze(&k, &cfg);
+        let misuse = lock_misuse_bugs(&k, &analysis.locksets);
+        // DataRace and MultiOrder plants mix locked and raw accesses.
+        for bug in &k.bugs {
+            if matches!(bug.kind, BugKind::DataRace | BugKind::MultiOrder) {
+                assert!(misuse.contains(&bug.id), "bug {} should be lock misuse", bug.id);
+            }
+        }
+        assert_eq!(analysis.flagged_lock_misuse_bugs(&k), misuse, "all misuse bugs flagged");
+    }
+
+    #[test]
+    fn report_is_serializable_and_consistent() {
+        let k = generate(&GenConfig::default());
+        let cfg = KernelCfg::build(&k);
+        let analysis = analyze(&k, &cfg);
+        let report = analysis.report(&k);
+        assert_eq!(report.blocks, k.num_blocks());
+        assert_eq!(report.findings.len(), analysis.findings.len());
+        assert!(report.locked_accesses > 0);
+        assert!(report.may_race_pairs > 0);
+        let json = serde_json::to_string(&report).unwrap();
+        assert!(json.contains("may_race_pairs"));
+    }
+}

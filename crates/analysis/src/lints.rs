@@ -1,0 +1,481 @@
+//! Lock-discipline lints over the must-hold lockset analysis.
+//!
+//! Five lints, in the LockDoc tradition of deriving locking rules from the
+//! program itself rather than annotations:
+//!
+//! * **double-lock** — re-acquiring a mutex definitely already held,
+//! * **unlock-without-lock** — releasing a mutex not in the must-held set,
+//! * **lock-leak** — returning from a function still holding a lock the
+//!   function itself acquired,
+//! * **lock-order-cycle** — a cycle in the static lock-order graph (a
+//!   deadlock candidate),
+//! * **inconsistent-protection** — a fixed shared word accessed both under
+//!   a lock and, elsewhere, with a disjoint must-lockset including at least
+//!   one write (the static shadow of a data race).
+//!
+//! Findings carry [`InstrLoc`]s, a severity and a stable dedup key. The
+//! generator is expected to be discipline-clean except at *planted* bugs;
+//! [`Allowlist::from_planted_bugs`] captures those, so any non-allowlisted
+//! finding on a generated kernel is a generator defect (enforced by a test).
+
+use crate::lockset::{AccessInfo, LockEvent, LocksetAnalysis};
+use serde::{Deserialize, Serialize};
+use snowcat_kernel::{Addr, AddrExpr, InstrLoc, Kernel, LockId};
+use std::collections::{BTreeMap, HashSet};
+
+/// Which lint produced a finding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LintKind {
+    /// Re-acquisition of a definitely-held mutex.
+    DoubleLock,
+    /// Release of a mutex not in the must-held set.
+    UnlockWithoutLock,
+    /// Function exit while holding a self-acquired lock.
+    LockLeak,
+    /// Cycle in the static lock-order graph (deadlock candidate).
+    LockOrderCycle,
+    /// Shared word protected by a lock at some accesses but not others.
+    InconsistentProtection,
+}
+
+impl LintKind {
+    /// Short stable code used in dedup keys and reports.
+    pub fn code(self) -> &'static str {
+        match self {
+            LintKind::DoubleLock => "double-lock",
+            LintKind::UnlockWithoutLock => "unlock-without-lock",
+            LintKind::LockLeak => "lock-leak",
+            LintKind::LockOrderCycle => "lock-order-cycle",
+            LintKind::InconsistentProtection => "inconsistent-protection",
+        }
+    }
+}
+
+/// Finding severity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Severity {
+    /// Heuristic or deadlock-candidate finding.
+    Warning,
+    /// Definite discipline violation on every reaching path.
+    Error,
+}
+
+/// A structured static-analysis finding.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StaticFinding {
+    /// Producing lint.
+    pub kind: LintKind,
+    /// Severity.
+    pub severity: Severity,
+    /// Instruction locations involved (at least one, primary first).
+    pub locs: Vec<InstrLoc>,
+    /// Locks involved, ascending (empty for pure data findings).
+    pub locks: Vec<LockId>,
+    /// The shared word at issue, for address-centric lints.
+    pub addr: Option<Addr>,
+    /// Human-readable one-liner.
+    pub message: String,
+}
+
+impl StaticFinding {
+    /// Stable deduplication key: two findings with the same key describe
+    /// the same defect. Also the deterministic report sort key.
+    pub fn dedup_key(&self) -> String {
+        let mut key = String::from(self.kind.code());
+        if let Some(a) = self.addr {
+            key.push_str(&format!(":a{}", a.0));
+        }
+        for l in &self.locks {
+            key.push_str(&format!(":L{}", l.0));
+        }
+        for loc in &self.locs {
+            key.push_str(&format!(":b{}.{}", loc.block.0, loc.idx));
+        }
+        key
+    }
+}
+
+/// Locations and addresses excused from lint findings because they belong
+/// to *planted* bugs — the generator deliberately emits broken locking
+/// there.
+#[derive(Debug, Clone, Default)]
+pub struct Allowlist {
+    locs: HashSet<InstrLoc>,
+    addrs: HashSet<Addr>,
+}
+
+impl Allowlist {
+    /// An empty allowlist (nothing is excused).
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Allowlist derived from the kernel's planted-bug registry: every
+    /// recorded racing instruction, plus every fixed address those
+    /// instructions touch.
+    pub fn from_planted_bugs(kernel: &Kernel) -> Self {
+        let mut locs = HashSet::new();
+        let mut addrs = HashSet::new();
+        for bug in &kernel.bugs {
+            for &loc in &bug.racing_instrs {
+                locs.insert(loc);
+                if let Some(
+                    snowcat_kernel::Instr::Load { addr: AddrExpr::Fixed(a), .. }
+                    | snowcat_kernel::Instr::Store { addr: AddrExpr::Fixed(a), .. },
+                ) = kernel.instr(loc)
+                {
+                    addrs.insert(*a);
+                }
+            }
+        }
+        Self { locs, addrs }
+    }
+
+    /// Whether a finding is excused: address-centric findings match by
+    /// address, location-centric ones require every involved location to be
+    /// planted.
+    pub fn permits(&self, finding: &StaticFinding) -> bool {
+        if let Some(a) = finding.addr {
+            return self.addrs.contains(&a);
+        }
+        !finding.locs.is_empty() && finding.locs.iter().all(|l| self.locs.contains(l))
+    }
+}
+
+/// Run every lint and return findings sorted by [`StaticFinding::dedup_key`].
+pub fn lint(_kernel: &Kernel, locksets: &LocksetAnalysis) -> Vec<StaticFinding> {
+    let mut findings = Vec::new();
+    let mut order_edges: BTreeMap<(LockId, LockId), InstrLoc> = BTreeMap::new();
+
+    for e in &locksets.events {
+        match *e {
+            LockEvent::DoubleLock { loc, lock } => findings.push(StaticFinding {
+                kind: LintKind::DoubleLock,
+                severity: Severity::Error,
+                locs: vec![loc],
+                locks: vec![lock],
+                addr: None,
+                message: format!("{lock} acquired at {loc} while already held"),
+            }),
+            LockEvent::UnlockNotHeld { loc, lock } => findings.push(StaticFinding {
+                kind: LintKind::UnlockWithoutLock,
+                severity: Severity::Error,
+                locs: vec![loc],
+                locks: vec![lock],
+                addr: None,
+                message: format!("{lock} released at {loc} but not held on every path"),
+            }),
+            LockEvent::Leak { loc, lock } => findings.push(StaticFinding {
+                kind: LintKind::LockLeak,
+                severity: Severity::Error,
+                locs: vec![loc],
+                locks: vec![lock],
+                addr: None,
+                message: format!("function returns at {loc} still holding {lock}"),
+            }),
+            LockEvent::Order { held, acquired, loc } => {
+                order_edges.entry((held, acquired)).or_insert(loc);
+            }
+        }
+    }
+
+    findings.extend(lock_order_cycles(&order_edges));
+    findings.extend(inconsistent_protection(&locksets.accesses));
+
+    findings.sort_by_key(|a| a.dedup_key());
+    findings.dedup_by(|a, b| a.dedup_key() == b.dedup_key());
+    findings
+}
+
+/// Cycle detection over the lock-order graph: one finding per strongly
+/// connected component with more than one lock (a self-edge is already the
+/// double-lock lint's business).
+fn lock_order_cycles(edges: &BTreeMap<(LockId, LockId), InstrLoc>) -> Vec<StaticFinding> {
+    let locks: Vec<LockId> = {
+        let mut s: Vec<LockId> = edges.keys().flat_map(|&(a, b)| [a, b]).collect();
+        s.sort_unstable();
+        s.dedup();
+        s
+    };
+    let idx_of = |l: LockId| locks.binary_search(&l).unwrap();
+    let n = locks.len();
+    let mut succ: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for &(a, b) in edges.keys() {
+        if a != b {
+            succ[idx_of(a)].push(idx_of(b));
+        }
+    }
+    // Iterative Tarjan SCC.
+    let mut index = vec![usize::MAX; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut sccs: Vec<Vec<usize>> = Vec::new();
+    let mut counter = 0usize;
+    for root in 0..n {
+        if index[root] != usize::MAX {
+            continue;
+        }
+        // (node, next-successor position)
+        let mut call: Vec<(usize, usize)> = vec![(root, 0)];
+        while let Some(&mut (v, ref mut pos)) = call.last_mut() {
+            if *pos == 0 {
+                index[v] = counter;
+                low[v] = counter;
+                counter += 1;
+                stack.push(v);
+                on_stack[v] = true;
+            }
+            if *pos < succ[v].len() {
+                let w = succ[v][*pos];
+                *pos += 1;
+                if index[w] == usize::MAX {
+                    call.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                if low[v] == index[v] {
+                    let mut comp = Vec::new();
+                    loop {
+                        let w = stack.pop().unwrap();
+                        on_stack[w] = false;
+                        comp.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    if comp.len() > 1 {
+                        sccs.push(comp);
+                    }
+                }
+                call.pop();
+                if let Some(&mut (p, _)) = call.last_mut() {
+                    low[p] = low[p].min(low[v]);
+                }
+            }
+        }
+    }
+    sccs.into_iter()
+        .map(|comp| {
+            let mut cycle_locks: Vec<LockId> = comp.iter().map(|&i| locks[i]).collect();
+            cycle_locks.sort_unstable();
+            let locs: Vec<InstrLoc> = edges
+                .iter()
+                .filter(|((a, b), _)| cycle_locks.contains(a) && cycle_locks.contains(b))
+                .map(|(_, &loc)| loc)
+                .collect();
+            let names: Vec<String> = cycle_locks.iter().map(|l| l.to_string()).collect();
+            StaticFinding {
+                kind: LintKind::LockOrderCycle,
+                severity: Severity::Warning,
+                locs,
+                locks: cycle_locks,
+                addr: None,
+                message: format!("lock-order cycle between {{{}}}", names.join(", ")),
+            }
+        })
+        .collect()
+}
+
+/// LockDoc-style inconsistent-protection lint on fixed addresses: a word is
+/// flagged when some access holds a lock, yet a conflicting pair (disjoint
+/// must-locksets, at least one write) also exists.
+fn inconsistent_protection(accesses: &[AccessInfo]) -> Vec<StaticFinding> {
+    let mut by_addr: BTreeMap<Addr, Vec<&AccessInfo>> = BTreeMap::new();
+    for a in accesses {
+        if let AddrExpr::Fixed(addr) = a.addr {
+            by_addr.entry(addr).or_default().push(a);
+        }
+    }
+    let mut out = Vec::new();
+    for (addr, accs) in by_addr {
+        if !accs.iter().any(|a| a.lockset != 0) {
+            continue;
+        }
+        // Find a conflicting pair: disjoint locksets, at least one write,
+        // at least one side locked (so a locking convention exists and is
+        // violated). Accesses are in deterministic order; take the first.
+        let mut witness: Option<(&AccessInfo, &AccessInfo)> = None;
+        'search: for (i, x) in accs.iter().enumerate() {
+            for y in accs.iter().skip(i) {
+                if (x.lockset & y.lockset) == 0
+                    && (x.is_write || y.is_write)
+                    && (x.lockset != 0 || y.lockset != 0)
+                {
+                    witness = Some((x, y));
+                    break 'search;
+                }
+            }
+        }
+        if let Some((x, y)) = witness {
+            let mut locks: Vec<LockId> =
+                (0..64).filter(|i| (x.lockset | y.lockset) & (1 << i) != 0).map(LockId).collect();
+            locks.sort_unstable();
+            let mut locs = vec![x.loc, y.loc];
+            locs.dedup();
+            out.push(StaticFinding {
+                kind: LintKind::InconsistentProtection,
+                severity: Severity::Warning,
+                locs,
+                locks,
+                addr: Some(addr),
+                message: format!(
+                    "word {addr} is lock-protected at some accesses but reachable with a \
+                     disjoint lockset at {} (≥1 write)",
+                    y.loc
+                ),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lockset::LocksetAnalysis;
+    use snowcat_cfg::KernelCfg;
+    use snowcat_kernel::{Instr, KernelBuilder, Reg};
+
+    fn analyzed(k: &Kernel) -> Vec<StaticFinding> {
+        let cfg = KernelCfg::build(k);
+        let an = LocksetAnalysis::compute(k, &cfg);
+        lint(k, &an)
+    }
+
+    #[test]
+    fn clean_kernel_has_no_findings() {
+        let mut kb = KernelBuilder::new();
+        let sub = kb.add_subsystem("t");
+        let a = kb.alloc_region(sub, snowcat_kernel::RegionKind::Flags, 1, "t.flags", 0);
+        let l = kb.alloc_lock(sub);
+        let f = kb.begin_func("f", sub);
+        kb.emit(Instr::Lock { lock: l });
+        kb.emit(Instr::Store { addr: AddrExpr::Fixed(a), src: Reg(0) });
+        kb.emit(Instr::Unlock { lock: l });
+        kb.end_func();
+        kb.add_syscall("t_call", f, sub, vec![]);
+        let k = kb.finish("t");
+        assert!(analyzed(&k).is_empty());
+    }
+
+    #[test]
+    fn lock_order_cycle_detected() {
+        // f takes l0 then l1; g takes l1 then l0 — classic ABBA.
+        let mut kb = KernelBuilder::new();
+        let sub = kb.add_subsystem("t");
+        let l0 = kb.alloc_lock(sub);
+        let l1 = kb.alloc_lock(sub);
+        for (name, first, second) in [("f", l0, l1), ("g", l1, l0)] {
+            let f = kb.begin_func(name, sub);
+            kb.emit(Instr::Lock { lock: first });
+            kb.emit(Instr::Lock { lock: second });
+            kb.emit(Instr::Unlock { lock: second });
+            kb.emit(Instr::Unlock { lock: first });
+            kb.end_func();
+            kb.add_syscall(name, f, sub, vec![]);
+        }
+        let k = kb.finish("t");
+        let findings = analyzed(&k);
+        let cyc: Vec<_> = findings.iter().filter(|f| f.kind == LintKind::LockOrderCycle).collect();
+        assert_eq!(cyc.len(), 1, "findings: {findings:?}");
+        assert_eq!(cyc[0].locks, vec![l0, l1]);
+        assert_eq!(cyc[0].severity, Severity::Warning);
+    }
+
+    #[test]
+    fn consistent_single_order_has_no_cycle() {
+        let mut kb = KernelBuilder::new();
+        let sub = kb.add_subsystem("t");
+        let l0 = kb.alloc_lock(sub);
+        let l1 = kb.alloc_lock(sub);
+        for name in ["f", "g"] {
+            let f = kb.begin_func(name, sub);
+            kb.emit(Instr::Lock { lock: l0 });
+            kb.emit(Instr::Lock { lock: l1 });
+            kb.emit(Instr::Unlock { lock: l1 });
+            kb.emit(Instr::Unlock { lock: l0 });
+            kb.end_func();
+            kb.add_syscall(name, f, sub, vec![]);
+        }
+        let k = kb.finish("t");
+        assert!(analyzed(&k).is_empty());
+    }
+
+    #[test]
+    fn inconsistent_protection_flags_half_locked_word() {
+        let mut kb = KernelBuilder::new();
+        let sub = kb.add_subsystem("t");
+        let a = kb.alloc_region(sub, snowcat_kernel::RegionKind::Flags, 1, "t.flags", 0);
+        let l = kb.alloc_lock(sub);
+        let f = kb.begin_func("locked_writer", sub);
+        kb.emit(Instr::Lock { lock: l });
+        kb.emit(Instr::Store { addr: AddrExpr::Fixed(a), src: Reg(0) });
+        kb.emit(Instr::Unlock { lock: l });
+        kb.end_func();
+        kb.add_syscall("locked_writer", f, sub, vec![]);
+        let g = kb.begin_func("raw_reader", sub);
+        kb.emit(Instr::Load { dst: Reg(0), addr: AddrExpr::Fixed(a) });
+        kb.end_func();
+        kb.add_syscall("raw_reader", g, sub, vec![]);
+        let k = kb.finish("t");
+        let findings = analyzed(&k);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].kind, LintKind::InconsistentProtection);
+        assert_eq!(findings[0].addr, Some(a));
+    }
+
+    #[test]
+    fn all_unlocked_accesses_are_fine() {
+        let mut kb = KernelBuilder::new();
+        let sub = kb.add_subsystem("t");
+        let a = kb.alloc_region(sub, snowcat_kernel::RegionKind::Flags, 1, "t.flags", 0);
+        for name in ["w", "r"] {
+            let f = kb.begin_func(name, sub);
+            if name == "w" {
+                kb.emit(Instr::Store { addr: AddrExpr::Fixed(a), src: Reg(0) });
+            } else {
+                kb.emit(Instr::Load { dst: Reg(0), addr: AddrExpr::Fixed(a) });
+            }
+            kb.end_func();
+            kb.add_syscall(name, f, sub, vec![]);
+        }
+        let k = kb.finish("t");
+        assert!(analyzed(&k).is_empty(), "no lock convention → no inconsistency");
+    }
+
+    #[test]
+    fn dedup_keys_are_stable_and_unique_per_defect() {
+        let f = StaticFinding {
+            kind: LintKind::DoubleLock,
+            severity: Severity::Error,
+            locs: vec![InstrLoc::new(snowcat_kernel::BlockId(3), 1)],
+            locks: vec![LockId(2)],
+            addr: None,
+            message: "x".into(),
+        };
+        assert_eq!(f.dedup_key(), "double-lock:L2:b3.1");
+        let g = StaticFinding { message: "different text".into(), ..f.clone() };
+        assert_eq!(f.dedup_key(), g.dedup_key());
+    }
+
+    #[test]
+    fn allowlist_permits_planted_addresses_only() {
+        let mut al = Allowlist::empty();
+        al.addrs.insert(Addr(7));
+        let hit = StaticFinding {
+            kind: LintKind::InconsistentProtection,
+            severity: Severity::Warning,
+            locs: vec![],
+            locks: vec![],
+            addr: Some(Addr(7)),
+            message: String::new(),
+        };
+        let miss = StaticFinding { addr: Some(Addr(8)), ..hit.clone() };
+        assert!(al.permits(&hit));
+        assert!(!al.permits(&miss));
+        let no_addr = StaticFinding { addr: None, locs: vec![], ..hit };
+        assert!(!al.permits(&no_addr), "empty loc list is never excused");
+    }
+}

@@ -1,0 +1,543 @@
+//! Must-hold lockset dataflow analysis.
+//!
+//! A forward fixpoint over the whole-kernel [`KernelCfg`] computing, for
+//! every program point, the set of locks that are *definitely* held on every
+//! path from a syscall entry to that point (a classic must-analysis with
+//! set intersection at joins). Locksets are `u64` bitmasks (bit `i` = lock
+//! `i`), matching the VM's dynamic lockset representation, so static and
+//! dynamic locksets are directly comparable.
+//!
+//! The analysis is interprocedural and runs in two phases:
+//!
+//! 1. **Summaries** — each function gets a `(gen, kill)` transfer summary
+//!    (meet over all entry→`Ret` paths of the composed per-instruction
+//!    transfers), computed bottom-up over the call graph; recursive cycles
+//!    fall back to the sound havoc summary "nothing is known held after the
+//!    call".
+//! 2. **Absolute propagation** — syscall entry blocks are seeded with the
+//!    empty lockset, and absolute must-locksets flow through terminator
+//!    edges and `Call` sites (the callee entry receives the caller's set;
+//!    the continuation applies the callee's summary). Blocks not reachable
+//!    from any syscall stay ⊤ (`None`).
+//!
+//! Soundness invariant (exercised by the crate's proptest suite): the
+//! must-lockset of a memory access is a subset of the dynamic lockset the
+//! VM records for *any* execution of that access.
+
+use snowcat_cfg::KernelCfg;
+use snowcat_kernel::{AddrExpr, BlockId, FuncId, Instr, InstrLoc, Kernel, LockId, Terminator};
+use std::collections::VecDeque;
+
+/// A lockset transfer function: `apply(S) = (S & !kill) | gen`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Transfer {
+    gen: u64,
+    kill: u64,
+}
+
+impl Transfer {
+    /// The identity transfer (empty straight-line code).
+    const IDENTITY: Transfer = Transfer { gen: 0, kill: 0 };
+
+    /// Sound worst case: after the step nothing is known to be held.
+    const HAVOC: Transfer = Transfer { gen: 0, kill: u64::MAX };
+
+    /// Apply to an absolute lockset.
+    fn apply(self, s: u64) -> u64 {
+        (s & !self.kill) | self.gen
+    }
+
+    /// Sequential composition: first `self`, then `next`.
+    fn then(self, next: Transfer) -> Transfer {
+        Transfer { gen: (self.gen & !next.kill) | next.gen, kill: self.kill | next.kill }
+    }
+
+    /// Must-analysis meet: the result under-approximates both operands
+    /// (a lock is generated only if both paths generate it; killed if
+    /// either path may kill it).
+    fn meet(self, other: Transfer) -> Transfer {
+        Transfer { gen: self.gen & other.gen, kill: self.kill | other.kill }
+    }
+}
+
+/// One static shared-memory access annotated with its must-hold lockset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessInfo {
+    /// Static location of the load/store.
+    pub loc: InstrLoc,
+    /// Its effective-address expression.
+    pub addr: AddrExpr,
+    /// True for stores.
+    pub is_write: bool,
+    /// Must-hold lockset bitmask at the access (bit `i` = lock `i`).
+    pub lockset: u64,
+}
+
+/// A lock-discipline event observed during the final deterministic walk.
+/// Converted into [`crate::lints::StaticFinding`]s by the lint pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockEvent {
+    /// `Lock l` executed while `l` is definitely already held.
+    DoubleLock {
+        /// The acquiring instruction.
+        loc: InstrLoc,
+        /// The re-acquired lock.
+        lock: LockId,
+    },
+    /// `Unlock l` executed while `l` is not in the must-held set.
+    UnlockNotHeld {
+        /// The releasing instruction.
+        loc: InstrLoc,
+        /// The released lock.
+        lock: LockId,
+    },
+    /// A function returns while still holding a lock it acquired itself.
+    Leak {
+        /// Position just past the last instruction of the returning block.
+        loc: InstrLoc,
+        /// The leaked lock.
+        lock: LockId,
+    },
+    /// `acquired` taken while `held` was held — an edge of the lock-order
+    /// graph used for static deadlock-candidate detection.
+    Order {
+        /// The already-held lock.
+        held: LockId,
+        /// The newly acquired lock.
+        acquired: LockId,
+        /// The acquiring instruction.
+        loc: InstrLoc,
+    },
+}
+
+/// Result of the must-hold lockset dataflow over one kernel.
+#[derive(Debug, Clone)]
+pub struct LocksetAnalysis {
+    /// Must-lockset at each block's entry; `None` = not reachable from any
+    /// syscall entry (⊤ of the must lattice).
+    block_entry: Vec<Option<u64>>,
+    /// Must-lockset at each function's entry (0 for unreachable functions).
+    func_entry: Vec<u64>,
+    /// Every static memory access with its must-hold lockset, in
+    /// deterministic (block, index) order. Unreachable code is excluded.
+    pub accesses: Vec<AccessInfo>,
+    /// Lock-discipline events in deterministic order.
+    pub events: Vec<LockEvent>,
+    /// Number of fixpoint block visits (reported by the throughput bench).
+    pub fixpoint_visits: usize,
+}
+
+impl LocksetAnalysis {
+    /// Run the analysis.
+    ///
+    /// # Panics
+    /// Panics if the kernel uses more than 64 locks (same limit as the VM).
+    pub fn compute(kernel: &Kernel, cfg: &KernelCfg) -> Self {
+        assert!(kernel.num_locks <= 64, "lockset bitmask supports at most 64 locks");
+        let summaries = summarize_functions(kernel);
+        let mut visits = 0usize;
+
+        // Phase 2: absolute must-locksets, seeded at syscall entries.
+        let n = kernel.num_blocks();
+        let mut entry_in: Vec<Option<u64>> = vec![None; n];
+        let mut queue: VecDeque<BlockId> = VecDeque::new();
+        let mut queued = vec![false; n];
+        let meet_into = |entry_in: &mut Vec<Option<u64>>,
+                         queue: &mut VecDeque<BlockId>,
+                         queued: &mut Vec<bool>,
+                         b: BlockId,
+                         s: u64| {
+            let merged = match entry_in[b.index()] {
+                None => s,
+                Some(prev) => prev & s,
+            };
+            if entry_in[b.index()] != Some(merged) {
+                entry_in[b.index()] = Some(merged);
+                if !queued[b.index()] {
+                    queued[b.index()] = true;
+                    queue.push_back(b);
+                }
+            }
+        };
+        for sc in &kernel.syscalls {
+            let entry = cfg.entry(sc.func);
+            meet_into(&mut entry_in, &mut queue, &mut queued, entry, 0);
+        }
+        while let Some(b) = queue.pop_front() {
+            queued[b.index()] = false;
+            visits += 1;
+            let Some(mut cur) = entry_in[b.index()] else { continue };
+            let block = kernel.block(b);
+            for ins in &block.instrs {
+                match ins {
+                    Instr::Lock { lock } => cur |= 1 << lock.0,
+                    Instr::Unlock { lock } => cur &= !(1 << lock.0),
+                    Instr::Call { func } => {
+                        let callee_entry = cfg.entry(*func);
+                        meet_into(&mut entry_in, &mut queue, &mut queued, callee_entry, cur);
+                        cur = summaries[func.index()].apply(cur);
+                    }
+                    _ => {}
+                }
+            }
+            for succ in block.term.successors() {
+                meet_into(&mut entry_in, &mut queue, &mut queued, succ, cur);
+            }
+        }
+
+        // Function-entry locksets (for the leak lint: a function that was
+        // *entered* holding a lock may legitimately return holding it).
+        let func_entry: Vec<u64> =
+            kernel.funcs.iter().map(|f| entry_in[f.entry.index()].unwrap_or(0)).collect();
+
+        // Phase 3: deterministic walk collecting per-access locksets and
+        // lock-discipline events. `entry_in` is already the meet over every
+        // reaching context, so one pass per block suffices.
+        let mut accesses = Vec::new();
+        let mut events = Vec::new();
+        for (bi, block) in kernel.blocks.iter().enumerate() {
+            let b = BlockId(bi as u32);
+            let Some(mut cur) = entry_in[bi] else { continue };
+            for (ii, ins) in block.instrs.iter().enumerate() {
+                let loc = InstrLoc::new(b, ii as u16);
+                match ins {
+                    Instr::Load { addr, .. } => {
+                        accesses.push(AccessInfo {
+                            loc,
+                            addr: *addr,
+                            is_write: false,
+                            lockset: cur,
+                        });
+                    }
+                    Instr::Store { addr, .. } => {
+                        accesses.push(AccessInfo {
+                            loc,
+                            addr: *addr,
+                            is_write: true,
+                            lockset: cur,
+                        });
+                    }
+                    Instr::Lock { lock } => {
+                        let bit = 1u64 << lock.0;
+                        if cur & bit != 0 {
+                            events.push(LockEvent::DoubleLock { loc, lock: *lock });
+                        }
+                        for h in bits(cur) {
+                            events.push(LockEvent::Order {
+                                held: LockId(h as u16),
+                                acquired: *lock,
+                                loc,
+                            });
+                        }
+                        cur |= bit;
+                    }
+                    Instr::Unlock { lock } => {
+                        let bit = 1u64 << lock.0;
+                        if cur & bit == 0 {
+                            events.push(LockEvent::UnlockNotHeld { loc, lock: *lock });
+                        }
+                        cur &= !bit;
+                    }
+                    Instr::Call { func } => cur = summaries[func.index()].apply(cur),
+                    _ => {}
+                }
+            }
+            if matches!(block.term, Terminator::Ret) {
+                let leaked = cur & !func_entry[block.func.index()];
+                for l in bits(leaked) {
+                    events.push(LockEvent::Leak {
+                        loc: InstrLoc::new(b, block.instrs.len() as u16),
+                        lock: LockId(l as u16),
+                    });
+                }
+            }
+        }
+
+        Self { block_entry: entry_in, func_entry, accesses, events, fixpoint_visits: visits }
+    }
+
+    /// Must-lockset at a block's entry (`None` = unreachable from syscalls).
+    pub fn block_entry(&self, b: BlockId) -> Option<u64> {
+        self.block_entry[b.index()]
+    }
+
+    /// Must-lockset at a function's entry (0 for unreachable functions).
+    pub fn func_entry(&self, f: FuncId) -> u64 {
+        self.func_entry[f.index()]
+    }
+
+    /// Must-lockset of the memory access at `loc`, if `loc` is a reachable
+    /// load or store.
+    pub fn access_lockset(&self, loc: InstrLoc) -> Option<u64> {
+        // `accesses` is sorted by (block, idx) — the walk emits in order.
+        self.accesses.binary_search_by_key(&loc, |a| a.loc).ok().map(|i| self.accesses[i].lockset)
+    }
+}
+
+/// Iterate the set bit indices of a bitmask, ascending.
+fn bits(mut mask: u64) -> impl Iterator<Item = u32> {
+    std::iter::from_fn(move || {
+        if mask == 0 {
+            None
+        } else {
+            let i = mask.trailing_zeros();
+            mask &= mask - 1;
+            Some(i)
+        }
+    })
+}
+
+/// Phase 1: per-function `(gen, kill)` summaries, bottom-up over the call
+/// graph. Recursive cycles get the havoc summary.
+fn summarize_functions(kernel: &Kernel) -> Vec<Transfer> {
+    #[derive(Clone, Copy, PartialEq)]
+    enum State {
+        Unvisited,
+        InProgress,
+        Done,
+    }
+    struct Ctx<'k> {
+        kernel: &'k Kernel,
+        state: Vec<State>,
+        summary: Vec<Transfer>,
+    }
+    fn visit(ctx: &mut Ctx<'_>, f: FuncId) -> Transfer {
+        match ctx.state[f.index()] {
+            State::Done => return ctx.summary[f.index()],
+            // A cycle in the call graph: nothing is known across the call.
+            State::InProgress => return Transfer::HAVOC,
+            State::Unvisited => {}
+        }
+        ctx.state[f.index()] = State::InProgress;
+        // Resolve callee summaries first (generated kernels have call depth
+        // 1, but the traversal handles arbitrary acyclic nesting).
+        let callees: Vec<FuncId> = ctx
+            .kernel
+            .func(f)
+            .blocks
+            .iter()
+            .flat_map(|&b| ctx.kernel.block(b).instrs.iter())
+            .filter_map(|i| match i {
+                Instr::Call { func } => Some(*func),
+                _ => None,
+            })
+            .collect();
+        let mut callee_sums = vec![Transfer::HAVOC; ctx.kernel.funcs.len()];
+        for c in callees {
+            callee_sums[c.index()] = visit(ctx, c);
+        }
+        let s = function_summary(ctx.kernel, f, &callee_sums);
+        ctx.state[f.index()] = State::Done;
+        ctx.summary[f.index()] = s;
+        s
+    }
+    let mut ctx = Ctx {
+        kernel,
+        state: vec![State::Unvisited; kernel.funcs.len()],
+        summary: vec![Transfer::IDENTITY; kernel.funcs.len()],
+    };
+    for fi in 0..kernel.funcs.len() {
+        visit(&mut ctx, FuncId(fi as u32));
+    }
+    ctx.summary
+}
+
+/// Intra-function transfer fixpoint: meet of composed transfers over all
+/// entry→`Ret` paths.
+fn function_summary(kernel: &Kernel, f: FuncId, callee_sums: &[Transfer]) -> Transfer {
+    let func = kernel.func(f);
+    // Transfer reaching each block's entry, relative to the function entry.
+    let mut t_in: Vec<Option<Transfer>> = vec![None; kernel.num_blocks()];
+    t_in[func.entry.index()] = Some(Transfer::IDENTITY);
+    let mut queue: VecDeque<BlockId> = VecDeque::from([func.entry]);
+    let mut exit: Option<Transfer> = None;
+    // Worklist over the (finite, monotone) transfer lattice.
+    while let Some(b) = queue.pop_front() {
+        let Some(mut t) = t_in[b.index()] else { continue };
+        let block = kernel.block(b);
+        for ins in &block.instrs {
+            match ins {
+                Instr::Lock { lock } => {
+                    t = t.then(Transfer { gen: 1 << lock.0, kill: 0 });
+                }
+                Instr::Unlock { lock } => {
+                    t = t.then(Transfer { gen: 0, kill: 1 << lock.0 });
+                }
+                Instr::Call { func } => t = t.then(callee_sums[func.index()]),
+                _ => {}
+            }
+        }
+        if matches!(block.term, Terminator::Ret) {
+            exit = Some(match exit {
+                None => t,
+                Some(e) => e.meet(t),
+            });
+        }
+        for succ in block.term.successors() {
+            let merged = match t_in[succ.index()] {
+                None => t,
+                Some(prev) => prev.meet(t),
+            };
+            if t_in[succ.index()] != Some(merged) {
+                t_in[succ.index()] = Some(merged);
+                queue.push_back(succ);
+            }
+        }
+    }
+    // A function with no reachable Ret (cannot happen for generated code).
+    exit.unwrap_or(Transfer::HAVOC)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snowcat_kernel::{generate, CmpOp, GenConfig, KernelBuilder, Reg};
+
+    #[test]
+    fn transfer_algebra() {
+        let lock0 = Transfer { gen: 1, kill: 0 };
+        let unlock0 = Transfer { gen: 0, kill: 1 };
+        assert_eq!(lock0.apply(0), 1);
+        assert_eq!(unlock0.apply(1), 0);
+        assert_eq!(lock0.then(unlock0).apply(0), 0);
+        assert_eq!(unlock0.then(lock0).apply(0), 1);
+        // Meet under-approximates: lock-on-one-path generates nothing.
+        assert_eq!(lock0.meet(Transfer::IDENTITY).apply(0), 0);
+        // But a kill on either path kills.
+        assert_eq!(unlock0.meet(Transfer::IDENTITY).apply(1), 0);
+    }
+
+    #[test]
+    fn straight_line_lock_region_has_exact_locksets() {
+        let mut kb = KernelBuilder::new();
+        let sub = kb.add_subsystem("t");
+        let a = kb.alloc_region(sub, snowcat_kernel::RegionKind::Flags, 2, "t.flags", 0);
+        let l = kb.alloc_lock(sub);
+        let f = kb.begin_func("f", sub);
+        kb.emit(Instr::Load { dst: Reg(0), addr: AddrExpr::Fixed(a) });
+        kb.emit(Instr::Lock { lock: l });
+        kb.emit(Instr::Store { addr: AddrExpr::Fixed(a), src: Reg(0) });
+        kb.emit(Instr::Unlock { lock: l });
+        kb.emit(Instr::Load { dst: Reg(1), addr: AddrExpr::Fixed(a.offset(1)) });
+        kb.end_func();
+        kb.add_syscall("t_call", f, sub, vec![]);
+        let k = kb.finish("t");
+        let cfg = KernelCfg::build(&k);
+        let an = LocksetAnalysis::compute(&k, &cfg);
+        let locksets: Vec<u64> = an.accesses.iter().map(|x| x.lockset).collect();
+        assert_eq!(locksets, vec![0, 1, 0]);
+        assert!(an.events.is_empty());
+    }
+
+    #[test]
+    fn branch_join_intersects() {
+        // Lock is taken on only one branch arm; after the join it must not
+        // be in the must-set.
+        let mut kb = KernelBuilder::new();
+        let sub = kb.add_subsystem("t");
+        let a = kb.alloc_region(sub, snowcat_kernel::RegionKind::Flags, 1, "t.flags", 0);
+        let l = kb.alloc_lock(sub);
+        let f = kb.begin_func("f", sub);
+        kb.emit(Instr::Load { dst: Reg(0), addr: AddrExpr::Fixed(a) });
+        let (then_blk, else_blk) = kb.branch(Reg(0), CmpOp::Eq, 0);
+        let join = kb.new_block();
+        kb.set_cur(then_blk);
+        kb.emit(Instr::Lock { lock: l });
+        kb.jump_to(join);
+        kb.set_cur(else_blk);
+        kb.jump_to(join);
+        kb.set_cur(join);
+        kb.emit(Instr::Store { addr: AddrExpr::Fixed(a), src: Reg(0) });
+        kb.emit(Instr::Unlock { lock: l });
+        kb.end_func();
+        kb.add_syscall("t_call", f, sub, vec![]);
+        let k = kb.finish("t");
+        let cfg = KernelCfg::build(&k);
+        let an = LocksetAnalysis::compute(&k, &cfg);
+        let store = an.accesses.iter().find(|x| x.is_write).unwrap();
+        assert_eq!(store.lockset, 0, "one-armed lock must not survive the join");
+        // The unlock after the join releases a lock not in the must-set.
+        assert!(an
+            .events
+            .iter()
+            .any(|e| matches!(e, LockEvent::UnlockNotHeld { lock, .. } if *lock == l)));
+    }
+
+    #[test]
+    fn call_propagates_lockset_into_helper() {
+        let mut kb = KernelBuilder::new();
+        let sub = kb.add_subsystem("t");
+        let a = kb.alloc_region(sub, snowcat_kernel::RegionKind::Flags, 1, "t.flags", 0);
+        let l = kb.alloc_lock(sub);
+        let helper = kb.begin_func("helper", sub);
+        kb.emit(Instr::Store { addr: AddrExpr::Fixed(a), src: Reg(0) });
+        kb.end_func();
+        let f = kb.begin_func("f", sub);
+        kb.emit(Instr::Lock { lock: l });
+        kb.emit(Instr::Call { func: helper });
+        kb.emit(Instr::Unlock { lock: l });
+        kb.end_func();
+        kb.add_syscall("t_call", f, sub, vec![]);
+        let k = kb.finish("t");
+        let cfg = KernelCfg::build(&k);
+        let an = LocksetAnalysis::compute(&k, &cfg);
+        // The helper's store inherits the caller's held lock.
+        let store = an.accesses.iter().find(|x| x.is_write).unwrap();
+        assert_eq!(store.lockset, 1 << l.0);
+        // The helper returns holding only what it was entered with: no leak.
+        assert!(an.events.is_empty(), "events: {:?}", an.events);
+    }
+
+    #[test]
+    fn leak_and_double_lock_are_reported() {
+        let mut kb = KernelBuilder::new();
+        let sub = kb.add_subsystem("t");
+        let l = kb.alloc_lock(sub);
+        let f = kb.begin_func("f", sub);
+        kb.emit(Instr::Lock { lock: l });
+        kb.emit(Instr::Lock { lock: l });
+        kb.end_func();
+        kb.add_syscall("t_call", f, sub, vec![]);
+        let k = kb.finish("t");
+        let cfg = KernelCfg::build(&k);
+        let an = LocksetAnalysis::compute(&k, &cfg);
+        assert!(an.events.iter().any(|e| matches!(e, LockEvent::DoubleLock { .. })));
+        assert!(an.events.iter().any(|e| matches!(e, LockEvent::Leak { .. })));
+    }
+
+    #[test]
+    fn lock_order_edges_recorded() {
+        let mut kb = KernelBuilder::new();
+        let sub = kb.add_subsystem("t");
+        let l0 = kb.alloc_lock(sub);
+        let l1 = kb.alloc_lock(sub);
+        let f = kb.begin_func("f", sub);
+        kb.emit(Instr::Lock { lock: l0 });
+        kb.emit(Instr::Lock { lock: l1 });
+        kb.emit(Instr::Unlock { lock: l1 });
+        kb.emit(Instr::Unlock { lock: l0 });
+        kb.end_func();
+        kb.add_syscall("t_call", f, sub, vec![]);
+        let k = kb.finish("t");
+        let cfg = KernelCfg::build(&k);
+        let an = LocksetAnalysis::compute(&k, &cfg);
+        assert!(an.events.iter().any(
+            |e| matches!(e, LockEvent::Order { held, acquired, .. } if *held == l0 && *acquired == l1)
+        ));
+    }
+
+    #[test]
+    fn default_kernel_accesses_are_sorted_and_reachable() {
+        let k = generate(&GenConfig::default());
+        let cfg = KernelCfg::build(&k);
+        let an = LocksetAnalysis::compute(&k, &cfg);
+        assert!(!an.accesses.is_empty());
+        for w in an.accesses.windows(2) {
+            assert!(w[0].loc < w[1].loc, "accesses must be in (block, idx) order");
+        }
+        for a in &an.accesses {
+            assert!(an.block_entry(a.loc.block).is_some());
+            assert_eq!(an.access_lockset(a.loc), Some(a.lockset));
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! Generator verification: the lock-discipline lints double as a test
+//! oracle for the kernel generator itself. Outside the deliberately
+//! planted bugs, every generated kernel — any config, any seed, any
+//! version — must use locks cleanly: no double-lock, no unlock of a
+//! free lock, no leak at function exit, no lock-order cycle, and no
+//! inconsistently protected word. A non-allowlisted finding here is a
+//! generator bug, not an analysis bug.
+
+use snowcat_analysis::{analyze, Allowlist, LintKind};
+use snowcat_cfg::KernelCfg;
+use snowcat_kernel::{generate, BugKind, GenConfig, Kernel, KernelVersion};
+
+fn assert_clean(k: &Kernel, what: &str) {
+    let cfg = KernelCfg::build(k);
+    let analysis = analyze(k, &cfg);
+    let allowlist = Allowlist::from_planted_bugs(k);
+    let unexpected: Vec<_> = analysis.unexpected_findings(&allowlist).collect();
+    assert!(
+        unexpected.is_empty(),
+        "{what}: generator emitted non-allowlisted lock misuse: {unexpected:#?}"
+    );
+    // Hard discipline violations never occur, allowlisted or not: the
+    // planted bugs break *protection consistency*, never lock pairing.
+    for f in &analysis.findings {
+        assert!(
+            f.kind == LintKind::InconsistentProtection,
+            "{what}: generator emitted a lock-pairing defect: {f:#?}"
+        );
+    }
+}
+
+#[test]
+fn default_config_is_clean() {
+    let k = generate(&GenConfig::default());
+    assert_clean(&k, "default config");
+}
+
+#[test]
+fn seed_sweep_is_clean() {
+    for seed in 0..6u64 {
+        let k = generate(&GenConfig { seed, ..GenConfig::default() });
+        assert_clean(&k, &format!("seed {seed}"));
+    }
+}
+
+#[test]
+fn shape_sweep_is_clean() {
+    let shapes = [
+        GenConfig { num_subsystems: 1, syscalls_per_subsystem: 2, ..GenConfig::default() },
+        GenConfig { num_subsystems: 2, helpers_per_subsystem: 0, ..GenConfig::default() },
+        GenConfig { num_subsystems: 12, syscalls_per_subsystem: 10, ..GenConfig::default() },
+        GenConfig { locks: 4, ..GenConfig::default() },
+        GenConfig { segments_per_syscall: (1, 3), ..GenConfig::default() },
+    ];
+    for (i, cfg) in shapes.iter().enumerate() {
+        let k = generate(cfg);
+        assert_clean(&k, &format!("shape {i}"));
+    }
+}
+
+#[test]
+fn every_kernel_version_is_clean() {
+    for v in [KernelVersion::V5_12, KernelVersion::V5_13, KernelVersion::V6_1] {
+        let k = v.spec(42).build();
+        assert_clean(&k, v.tag());
+    }
+}
+
+#[test]
+fn planted_lock_misuse_is_always_visible() {
+    // The converse guarantee: the lints are strong enough that the planted
+    // lock-misuse bugs (locked writer vs. raw reader) never slip through.
+    for seed in [0u64, 7, 42] {
+        let k = generate(&GenConfig { seed, ..GenConfig::default() });
+        let cfg = KernelCfg::build(&k);
+        let analysis = analyze(&k, &cfg);
+        let flagged = analysis.flagged_lock_misuse_bugs(&k);
+        for bug in &k.bugs {
+            if matches!(bug.kind, BugKind::DataRace | BugKind::MultiOrder) {
+                assert!(
+                    flagged.contains(&bug.id),
+                    "seed {seed}: planted {:?} bug {} not flagged",
+                    bug.kind,
+                    bug.id
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Soundness of the static analysis against the dynamic substrate.
+//!
+//! Two containment properties, checked over randomized concurrent
+//! executions:
+//!
+//! 1. **must ⊆ dynamic**: the must-hold lockset computed for a static
+//!    instruction is a subset of the lockset the VM observed every time
+//!    that instruction executed (must-analysis under-approximates).
+//! 2. **dynamic ⊆ may-race**: every potential data race the dynamic
+//!    detector reports — any window, any schedule — is already in the
+//!    static may-race set (the static pass over-approximates).
+//!
+//! Together these justify using [`snowcat_analysis::MayRace`] as a
+//! pre-filter: dropping pairs outside it can never lose a dynamic race.
+
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+use snowcat_analysis::{analyze, Analysis};
+use snowcat_cfg::KernelCfg;
+use snowcat_kernel::{generate, GenConfig, Kernel, SyscallId, ThreadId};
+use snowcat_race::RaceDetector;
+use snowcat_vm::{
+    run_ct, Cti, ExecResult, ScheduleHints, Sti, SwitchPoint, SyscallInvocation, VmConfig,
+};
+
+/// Kernel small enough for fast proptest cases but with every bug class.
+fn setup() -> &'static (Kernel, KernelCfg, Analysis) {
+    static CELL: OnceLock<(Kernel, KernelCfg, Analysis)> = OnceLock::new();
+    CELL.get_or_init(|| {
+        let k = generate(&GenConfig {
+            num_subsystems: 4,
+            syscalls_per_subsystem: 4,
+            helpers_per_subsystem: 2,
+            ..GenConfig::default()
+        });
+        let cfg = KernelCfg::build(&k);
+        let analysis = analyze(&k, &cfg);
+        (k, cfg, analysis)
+    })
+}
+
+/// Check both containment properties on one execution.
+fn check_execution(k: &Kernel, analysis: &Analysis, r: &ExecResult) -> Result<(), TestCaseError> {
+    // 1. must ⊆ dynamic, for every access the VM recorded.
+    for a in &r.accesses {
+        let stat = analysis.locksets.access_lockset(a.loc).ok_or_else(|| {
+            TestCaseError::fail(format!("executed access at {} unknown to analysis", a.loc))
+        })?;
+        prop_assert!(
+            stat & a.lockset == stat,
+            "must-lockset {:#b} at {} not ⊆ dynamic {:#b}",
+            stat,
+            a.loc,
+            a.lockset
+        );
+    }
+    // 2. dynamic ⊆ may-race, with the widest detector window.
+    for report in RaceDetector::new(u64::MAX).detect(k, r) {
+        prop_assert!(
+            analysis.may_race.contains(&report.key),
+            "dynamic race {:?} missing from static may-race set",
+            report.key
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn random_schedules_stay_inside_static_approximations(
+        ia in 0usize..16, ib in 0usize..16,
+        arg_a in 0i64..4, arg_b in 0i64..4,
+        x in 1u64..300, y in 1u64..300,
+    ) {
+        let (k, _cfg, analysis) = setup();
+        let sa = Sti::new(vec![SyscallInvocation {
+            syscall: SyscallId((ia % k.syscalls.len()) as u32),
+            args: [arg_a, 0, 0],
+        }]);
+        let sb = Sti::new(vec![SyscallInvocation {
+            syscall: SyscallId((ib % k.syscalls.len()) as u32),
+            args: [arg_b, 0, 0],
+        }]);
+        let hints = ScheduleHints {
+            first: ThreadId(0),
+            switches: vec![
+                SwitchPoint { thread: ThreadId(0), after: x },
+                SwitchPoint { thread: ThreadId(1), after: y },
+            ],
+        };
+        let r = run_ct(k, &Cti::new(sa, sb), hints, VmConfig::default());
+        check_execution(k, analysis, &r)?;
+    }
+
+    #[test]
+    fn planted_bug_carriers_stay_inside_static_approximations(
+        bug_idx in 0usize..16, x in 1u64..200, y in 1u64..200, flip in proptest::bool::ANY,
+    ) {
+        let (k, _cfg, analysis) = setup();
+        // Drive the two carrier syscalls of a planted bug directly — these
+        // schedules produce the densest racy access streams.
+        let bug = &k.bugs[bug_idx % k.bugs.len()];
+        let (mut sc_a, mut sc_b) = bug.syscalls;
+        if flip {
+            std::mem::swap(&mut sc_a, &mut sc_b);
+        }
+        let sa = Sti::new(vec![SyscallInvocation { syscall: sc_a, args: [0, 0, 0] }]);
+        let sb = Sti::new(vec![SyscallInvocation { syscall: sc_b, args: [0, 0, 0] }]);
+        let hints = ScheduleHints {
+            first: ThreadId(0),
+            switches: vec![
+                SwitchPoint { thread: ThreadId(0), after: x },
+                SwitchPoint { thread: ThreadId(1), after: y },
+            ],
+        };
+        let r = run_ct(k, &Cti::new(sa, sb), hints, VmConfig::default());
+        check_execution(k, analysis, &r)?;
+    }
+}

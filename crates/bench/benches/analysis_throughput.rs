@@ -1,0 +1,112 @@
+//! Microbenchmark: static concurrency analysis throughput.
+//!
+//! Times the full `snowcat_analysis::analyze` pass (must-hold lockset
+//! dataflow + lock-discipline lints + may-race computation) on generated
+//! kernels of increasing size and writes `results/BENCH_analysis.json`
+//! with blocks/sec and the finding counts.
+//!
+//! Pass `--quick` for a CI-sized smoke run (small kernels, short timings).
+
+use criterion::{black_box, Criterion};
+use snowcat_cfg::KernelCfg;
+use snowcat_kernel::{generate, GenConfig};
+use std::time::{Duration, Instant};
+
+fn quick() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
+
+/// Mean ns/iteration of `f`, measured over at least `min_iters` iterations
+/// and at least `min_time` of wall clock (after one warmup call).
+fn time_ns(mut f: impl FnMut(), min_iters: u64, min_time: Duration) -> f64 {
+    f();
+    let t0 = Instant::now();
+    let mut iters = 0u64;
+    while iters < min_iters || t0.elapsed() < min_time {
+        f();
+        iters += 1;
+    }
+    t0.elapsed().as_nanos() as f64 / iters as f64
+}
+
+#[derive(serde::Serialize)]
+struct Row {
+    subsystems: usize,
+    blocks: usize,
+    instrs: usize,
+    analyze_ns: f64,
+    blocks_per_sec: f64,
+    findings: usize,
+    may_race_pairs: usize,
+}
+
+#[derive(serde::Serialize)]
+struct Report {
+    quick: bool,
+    rows: Vec<Row>,
+}
+
+fn bench_analysis(c: &mut Criterion) -> Vec<Row> {
+    let sizes: &[usize] = if quick() { &[2, 4] } else { &[2, 4, 8, 12] };
+    let (min_iters, min_time) =
+        if quick() { (2, Duration::from_millis(50)) } else { (5, Duration::from_millis(1500)) };
+
+    let mut rows = Vec::new();
+    for &subsystems in sizes {
+        let gc = GenConfig { num_subsystems: subsystems, ..GenConfig::default() };
+        let kernel = generate(&gc);
+        let cfg = KernelCfg::build(&kernel);
+
+        if subsystems == sizes[sizes.len() - 1] {
+            c.bench_function("analysis_full_pass", |bch| {
+                bch.iter(|| black_box(snowcat_analysis::analyze(&kernel, &cfg)))
+            });
+        }
+
+        let analyze_ns = time_ns(
+            || drop(black_box(snowcat_analysis::analyze(&kernel, &cfg))),
+            min_iters,
+            min_time,
+        );
+        let analysis = snowcat_analysis::analyze(&kernel, &cfg);
+        rows.push(Row {
+            subsystems,
+            blocks: kernel.num_blocks(),
+            instrs: kernel.num_instrs(),
+            analyze_ns,
+            blocks_per_sec: kernel.num_blocks() as f64 / (analyze_ns / 1e9),
+            findings: analysis.findings.len(),
+            may_race_pairs: analysis.may_race.len(),
+        });
+    }
+    rows
+}
+
+fn main() {
+    let mut c = if quick() {
+        Criterion::default()
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(40))
+            .warm_up_time(Duration::from_millis(10))
+    } else {
+        Criterion::default()
+            .sample_size(15)
+            .measurement_time(Duration::from_secs(2))
+            .warm_up_time(Duration::from_millis(300))
+    };
+    let rows = bench_analysis(&mut c);
+    for r in &rows {
+        println!(
+            "analyze {:>2} subsystems ({:>5} blocks): {:>8.2} ms, {:>10.0} blocks/s, \
+             {} findings, {} may-race pairs",
+            r.subsystems,
+            r.blocks,
+            r.analyze_ns / 1e6,
+            r.blocks_per_sec,
+            r.findings,
+            r.may_race_pairs
+        );
+    }
+    let report = Report { quick: quick(), rows };
+    snowcat_bench::save_json("BENCH_analysis", &report);
+}

@@ -133,6 +133,16 @@ impl KernelCfg {
         seen
     }
 
+    /// Per-syscall forward reachability: element `i` is the set of blocks
+    /// statically reachable from syscall `i`'s entry (inclusive).
+    ///
+    /// The static may-race analysis uses this to decide which syscall pairs
+    /// can put two given accesses in concurrent threads, and the Razzer
+    /// pre-filter sums may-race density over these sets.
+    pub fn syscall_reachability(&self, kernel: &Kernel) -> Vec<BitSet> {
+        kernel.syscalls.iter().map(|s| self.reachable_from(&[self.entry(s.func)])).collect()
+    }
+
     /// Functions whose entry can statically reach `target` — used by the
     /// Razzer-style analysis to shortlist syscalls that might execute a
     /// racing instruction.
@@ -244,6 +254,18 @@ mod tests {
             for b in r.coverage.iter() {
                 assert!(reach.contains(b), "covered block {b} not statically reachable");
             }
+        }
+    }
+
+    #[test]
+    fn syscall_reachability_matches_reachable_from() {
+        let (k, cfg) = setup();
+        let reach = cfg.syscall_reachability(&k);
+        assert_eq!(reach.len(), k.syscalls.len());
+        for (i, s) in k.syscalls.iter().enumerate() {
+            let entry = cfg.entry(s.func);
+            assert!(reach[i].contains(entry.index()), "entry must reach itself");
+            assert_eq!(reach[i], cfg.reachable_from(&[entry]));
         }
     }
 

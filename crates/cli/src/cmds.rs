@@ -3,11 +3,12 @@
 use crate::args::Args;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use snowcat_analysis::{analyze as run_analysis, Allowlist, Severity};
 use snowcat_cfg::KernelCfg;
 use snowcat_core::{
-    explore_mlpct, explore_pct, find_candidates, load_checkpoint, reproduce, save_checkpoint,
-    save_dataset, train_pic, CachedPredictor, CoveragePredictor, ExploreConfig, Pic,
-    PipelineConfig, PredictorService, RazzerMode, S1NewBitmap,
+    explore_mlpct, explore_pct, find_candidates, find_candidates_prefiltered, load_checkpoint,
+    reproduce, save_checkpoint, save_dataset, train_pic, CachedPredictor, CoveragePredictor,
+    ExploreConfig, Pic, PipelineConfig, PredictorService, RacePrefilter, RazzerMode, S1NewBitmap,
 };
 use snowcat_corpus::{build_dataset, interacting_cti_pairs, DatasetConfig, StiFuzzer};
 use snowcat_kernel::{asm, Kernel, KernelVersion};
@@ -339,6 +340,10 @@ pub fn razzer(args: &Args) -> CmdResult {
     fz.fuzz(150);
     let corpus = fz.into_corpus();
 
+    // Static may-race pre-filter: vetoes statically impossible targets and
+    // density-ranks candidates before the PIC scores them.
+    let prefilter = RacePrefilter::new(&k, &cfg);
+
     let mut bugs: Vec<&snowcat_kernel::BugSpec> = k.bugs.iter().filter(|b| b.harmful).collect();
     bugs.sort_by_key(|b| std::cmp::Reverse(b.difficulty));
     bugs.truncate(3);
@@ -348,13 +353,17 @@ pub fn razzer(args: &Args) -> CmdResult {
             let pic;
             let service;
             let svc_ref = if mode == RazzerMode::Pic {
-                pic = Pic::new(&ck, &k, &cfg);
+                pic = Pic::new(&ck, &k, &cfg).with_may_race_blocks(prefilter.may_race_blocks());
                 service = PredictorService::direct(&pic);
                 Some(&service)
             } else {
                 None
             };
-            let cands = find_candidates(&k, &cfg, &corpus, bug, mode, svc_ref, seed);
+            let cands = if mode == RazzerMode::Pic {
+                find_candidates_prefiltered(&k, &cfg, &corpus, bug, mode, svc_ref, &prefilter, seed)
+            } else {
+                find_candidates(&k, &cfg, &corpus, bug, mode, svc_ref, seed)
+            };
             let res = reproduce(&k, &corpus, &cands, bug, mode, schedules, 2.8, seed ^ 0xF);
             match res.avg_hours {
                 Some(h) => println!(
@@ -366,6 +375,78 @@ pub fn razzer(args: &Args) -> CmdResult {
                 }
             }
         }
+    }
+    Ok(())
+}
+
+/// `snowcat analyze` — run the static concurrency analyzer.
+pub fn analyze(args: &Args) -> CmdResult {
+    args.ensure_known(&["version", "seed", "out", "self-check"])?;
+    let k = build_kernel(args)?;
+    let cfg = KernelCfg::build(&k);
+    let analysis = run_analysis(&k, &cfg);
+    let allowlist = Allowlist::from_planted_bugs(&k);
+    let report = analysis.report(&k);
+
+    println!("kernel {} (seed {:#x})", k.version, args.get_parse("seed", DEFAULT_SEED)?);
+    println!(
+        "analyzed {} blocks / {} instrs; {} memory accesses, {} lock-protected",
+        report.blocks, report.instrs, report.mem_accesses, report.locked_accesses
+    );
+    println!(
+        "may-race: {} instruction pairs over {} blocks",
+        report.may_race_pairs, report.may_race_blocks
+    );
+    println!(
+        "findings: {} total, {} allowlisted (planted bugs)",
+        report.findings.len(),
+        report.allowlisted_findings
+    );
+    for f in &analysis.findings {
+        let sev = match f.severity {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        };
+        let excused = if allowlist.permits(f) { " [allowlisted]" } else { "" };
+        println!("  {sev:<7} {:<40} {}{excused}", f.dedup_key(), f.message);
+    }
+    let flagged = analysis.flagged_lock_misuse_bugs(&k);
+    println!(
+        "planted lock-misuse bugs flagged: {}",
+        flagged.iter().map(|b| b.to_string()).collect::<Vec<_>>().join(", ")
+    );
+
+    if let Some(path) = args.get("out") {
+        std::fs::write(path, serde_json::to_string_pretty(&report)?)?;
+        println!("report written to {path}");
+    }
+
+    if args.has_flag("self-check") {
+        let unexpected: Vec<_> = analysis.unexpected_findings(&allowlist).collect();
+        if !unexpected.is_empty() {
+            return Err(format!(
+                "self-check failed: {} non-allowlisted finding(s), first: {}",
+                unexpected.len(),
+                unexpected[0].message
+            )
+            .into());
+        }
+        let misuse = snowcat_analysis::lock_misuse_bugs(&k, &analysis.locksets);
+        if let Some(missed) = misuse.iter().find(|id| !flagged.contains(id)) {
+            return Err(format!("self-check failed: lock-misuse bug {missed} not flagged").into());
+        }
+        for bug in &k.bugs {
+            for loc in &bug.racing_instrs {
+                if !analysis.may_race.block_may_race(loc.block) {
+                    return Err(format!(
+                        "self-check failed: bug {} racing block {} outside may-race set",
+                        bug.id, loc.block.0
+                    )
+                    .into());
+                }
+            }
+        }
+        println!("self-check passed");
     }
     Ok(())
 }

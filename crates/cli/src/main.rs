@@ -8,6 +8,7 @@
 //! snowcat train    --version 5.12 --out pic.json [--ctis N] [--epochs E] [--flow]
 //! snowcat explore  --version 5.12 --model pic.json [--ctis N] [--budget B]
 //! snowcat razzer   --version 5.12 --model pic.json [--schedules N]
+//! snowcat analyze  --version 5.12 [--seed N] [--out report.json] [--self-check]
 //! ```
 //!
 //! Every command is deterministic given `--seed` (default: the family seed
@@ -39,6 +40,8 @@ COMMANDS:
               --version V --model FILE [--ctis N] [--budget B] [--seed N]
   razzer    reproduce planted races with Razzer / -Relax / -PIC
               --version V --model FILE [--schedules N] [--seed N]
+  analyze   run the static concurrency analyzer (locksets, lints, may-race)
+              --version V [--seed N] [--out FILE] [--self-check]
 ";
 
 fn main() {
@@ -57,6 +60,7 @@ fn main() {
         Some("train") => cmds::train(&args),
         Some("explore") => cmds::explore(&args),
         Some("razzer") => cmds::razzer(&args),
+        Some("analyze") => cmds::analyze(&args),
         Some("help") | None => {
             println!("{USAGE}");
             Ok(())

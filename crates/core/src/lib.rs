@@ -10,6 +10,8 @@
 //!   time accounting (Figure 5),
 //! * [`razzer`] — directed race reproduction: Razzer / Razzer-Relax /
 //!   Razzer-PIC (§5.6.1, Table 4),
+//! * [`prefilter`] — sound static may-race pre-filter that vetoes and
+//!   ranks CT candidates before GNN scoring (built on `snowcat-analysis`),
 //! * [`snowboard`] — INS-PAIR clustering and exemplar sampling: SB-RND /
 //!   SB-PIC (§5.6.2, Table 5),
 //! * [`costmodel`] — the execution/inference cost model and the §A.6
@@ -32,6 +34,7 @@ pub mod pic;
 pub mod pipeline;
 pub mod predcache;
 pub mod predictor;
+pub mod prefilter;
 pub mod razzer;
 pub mod snowboard;
 pub mod strategy;
@@ -54,7 +57,10 @@ pub use predictor::{
     graph_fingerprint, BaselineService, CoveragePredictor, FlowPredictor, ParallelPredictor,
     PredictorService, PredictorStats,
 };
-pub use razzer::{find_candidates, racing_blocks, reproduce, RazzerMode, ReproResult};
+pub use prefilter::RacePrefilter;
+pub use razzer::{
+    find_candidates, find_candidates_prefiltered, racing_blocks, reproduce, RazzerMode, ReproResult,
+};
 pub use snowboard::{
     cluster_ctis, member_exposes_bug, predict_members, run_sampling_trials, sample_cluster,
     ClusterMember, InsPair, Sampler, SamplingOutcome,

@@ -84,6 +84,14 @@ impl<'k> Pic<'k> {
         }
     }
 
+    /// Enable the static may-race node feature: vertices on `blocks` carry
+    /// [`snowcat_graph::Vertex::may_race`] in every graph this predictor
+    /// builds. Pass the block set of `snowcat-analysis`' may-race pass.
+    pub fn with_may_race_blocks(mut self, blocks: snowcat_vm::BitSet) -> Self {
+        self.builder.may_race_blocks = Some(blocks);
+        self
+    }
+
     /// The restored model (read-only).
     pub fn model(&self) -> &PicModel {
         &self.model

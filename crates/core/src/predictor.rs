@@ -50,7 +50,7 @@ pub fn graph_fingerprint(g: &CtGraph) -> u64 {
     h = fnv1a(h, &(g.verts.len() as u64).to_le_bytes());
     for v in &g.verts {
         h = fnv1a(h, &v.block.0.to_le_bytes());
-        h = fnv1a(h, &[v.thread.0, v.kind as u8, v.sched_mark.index() as u8]);
+        h = fnv1a(h, &[v.thread.0, v.kind as u8, v.sched_mark.index() as u8, u8::from(v.may_race)]);
         for t in &v.tokens {
             h = fnv1a(h, &t.to_le_bytes());
         }

@@ -1,0 +1,164 @@
+//! Static may-race pre-filter for CT candidate ranking.
+//!
+//! Razzer-PIC spends one GNN inference batch per candidate CTI. Many of
+//! those candidates are statically hopeless: the target instruction pair is
+//! consistently lock-protected, or the candidate STIs invoke syscalls whose
+//! reachable accesses cannot overlap. The must-lockset analysis in
+//! `snowcat-analysis` proves both facts *soundly* (its may-race set
+//! over-approximates every dynamic race), so dropping such candidates
+//! before GNN scoring can never lose a reproducible race — it only removes
+//! inference work.
+//!
+//! [`RacePrefilter`] packages the static results for the testing workflow:
+//! a target-level veto ([`RacePrefilter::blocks_may_race`]), a per-CTI
+//! density score ([`RacePrefilter::sti_density`]) and a candidate ranking
+//! ([`RacePrefilter::rank`]) used by
+//! [`crate::razzer::find_candidates_prefiltered`].
+
+use snowcat_analysis::{LocksetAnalysis, MayRace};
+use snowcat_cfg::KernelCfg;
+use snowcat_corpus::StiProfile;
+use snowcat_kernel::{BlockId, Kernel};
+use snowcat_vm::{BitSet, Sti};
+
+/// Static may-race knowledge, packaged for candidate filtering.
+pub struct RacePrefilter {
+    may_race: MayRace,
+}
+
+impl RacePrefilter {
+    /// Run the static analysis and build the pre-filter.
+    pub fn new(kernel: &Kernel, cfg: &KernelCfg) -> Self {
+        let locksets = LocksetAnalysis::compute(kernel, cfg);
+        Self { may_race: MayRace::compute(kernel, cfg, &locksets) }
+    }
+
+    /// Wrap an already-computed may-race set.
+    pub fn from_may_race(may_race: MayRace) -> Self {
+        Self { may_race }
+    }
+
+    /// The underlying may-race set.
+    pub fn may_race(&self) -> &MayRace {
+        &self.may_race
+    }
+
+    /// Blocks participating in any may-race pair, for
+    /// [`crate::pic::Pic::with_may_race_blocks`].
+    pub fn may_race_blocks(&self) -> BitSet {
+        self.may_race.blocks().clone()
+    }
+
+    /// Whether any may-race pair connects the two blocks (in either
+    /// orientation). `false` means the static analysis *proves* no dynamic
+    /// race between instructions of these blocks — e.g. every conflicting
+    /// access pair shares a must-held lock.
+    pub fn blocks_may_race(&self, a: BlockId, b: BlockId) -> bool {
+        self.may_race
+            .iter()
+            .any(|k| (k.0.block == a && k.1.block == b) || (k.0.block == b && k.1.block == a))
+    }
+
+    /// May-race density of a CTI: total density over all syscall pairs the
+    /// two STIs can run concurrently. Zero means no access of `a`'s
+    /// syscalls can race any access of `b`'s.
+    pub fn sti_density(&self, a: &Sti, b: &Sti) -> u64 {
+        let mut total = 0u64;
+        for ca in &a.calls {
+            for cb in &b.calls {
+                total += self.may_race.density(ca.syscall, cb.syscall);
+            }
+        }
+        total
+    }
+
+    /// Rank candidate CTIs (corpus index pairs) by descending may-race
+    /// density, dropping zero-density candidates entirely. The sort is
+    /// stable, so equal-density candidates keep their discovery order.
+    pub fn rank(
+        &self,
+        corpus: &[StiProfile],
+        candidates: &[(usize, usize)],
+    ) -> Vec<(usize, usize)> {
+        let mut scored: Vec<((usize, usize), u64)> = candidates
+            .iter()
+            .map(|&(i, j)| ((i, j), self.sti_density(&corpus[i].sti, &corpus[j].sti)))
+            .filter(|&(_, d)| d > 0)
+            .collect();
+        scored.sort_by_key(|&(_, d)| std::cmp::Reverse(d));
+        scored.into_iter().map(|(pair, _)| pair).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snowcat_corpus::StiFuzzer;
+    use snowcat_kernel::{generate, GenConfig};
+
+    fn setup() -> (Kernel, KernelCfg, Vec<StiProfile>) {
+        let k = generate(&GenConfig::default());
+        let cfg = KernelCfg::build(&k);
+        let mut fz = StiFuzzer::new(&k, 1);
+        fz.seed_each_syscall();
+        fz.fuzz(20);
+        let corpus = fz.into_corpus();
+        (k, cfg, corpus)
+    }
+
+    #[test]
+    fn planted_racing_blocks_survive_the_target_veto() {
+        let (k, cfg, _) = setup();
+        let pf = RacePrefilter::new(&k, &cfg);
+        for bug in &k.bugs {
+            let (a, b) = crate::razzer::racing_blocks(&k, bug).unwrap();
+            assert!(pf.blocks_may_race(a, b), "bug {} vetoed statically", bug.id);
+        }
+    }
+
+    #[test]
+    fn carrier_syscall_pairs_have_positive_density() {
+        let (k, cfg, _) = setup();
+        let pf = RacePrefilter::new(&k, &cfg);
+        for bug in &k.bugs {
+            let a = Sti::new(vec![snowcat_vm::SyscallInvocation {
+                syscall: bug.syscalls.0,
+                args: [0; 3],
+            }]);
+            let b = Sti::new(vec![snowcat_vm::SyscallInvocation {
+                syscall: bug.syscalls.1,
+                args: [0; 3],
+            }]);
+            assert!(pf.sti_density(&a, &b) > 0, "bug {} carriers scored zero", bug.id);
+        }
+    }
+
+    #[test]
+    fn rank_is_a_stable_descending_permutation_of_positive_candidates() {
+        let (k, cfg, corpus) = setup();
+        let pf = RacePrefilter::new(&k, &cfg);
+        let candidates: Vec<(usize, usize)> =
+            (0..corpus.len().min(8)).flat_map(|i| (0..4).map(move |j| (i, j))).collect();
+        let ranked = pf.rank(&corpus, &candidates);
+        assert!(ranked.len() <= candidates.len());
+        for pair in &ranked {
+            assert!(candidates.contains(pair));
+            assert!(pf.sti_density(&corpus[pair.0].sti, &corpus[pair.1].sti) > 0);
+        }
+        let densities: Vec<u64> =
+            ranked.iter().map(|&(i, j)| pf.sti_density(&corpus[i].sti, &corpus[j].sti)).collect();
+        assert!(densities.windows(2).all(|w| w[0] >= w[1]), "not descending: {densities:?}");
+    }
+
+    #[test]
+    fn may_race_blocks_match_the_analysis_bitset() {
+        let (k, cfg, _) = setup();
+        let pf = RacePrefilter::new(&k, &cfg);
+        let blocks = pf.may_race_blocks();
+        assert!(blocks.count() > 0);
+        for key in pf.may_race().iter() {
+            assert!(blocks.contains(key.0.block.index()));
+            assert!(blocks.contains(key.1.block.index()));
+        }
+    }
+}

@@ -15,6 +15,7 @@
 //!   covered.
 
 use crate::predictor::{FlowPredictor, PredictorService};
+use crate::prefilter::RacePrefilter;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
@@ -99,6 +100,56 @@ pub fn find_candidates(
     let Some((block_a, block_b)) = racing_blocks(kernel, bug) else {
         return Vec::new();
     };
+    let mut candidates = reach_candidates(corpus, cfg, mode, block_a, block_b);
+    pic_retain(&mut candidates, corpus, mode, service, block_a, block_b, seed);
+    candidates
+}
+
+/// [`find_candidates`] with the static may-race pre-filter applied before
+/// any GNN scoring.
+///
+/// Two static cuts, both sound (the may-race set over-approximates every
+/// dynamic race, so nothing reproducible is ever dropped):
+///
+/// 1. **Target veto** — if no may-race pair connects the two racing blocks
+///    (e.g. the accesses are consistently lock-protected), the race cannot
+///    manifest dynamically; return no candidates without a single
+///    prediction.
+/// 2. **Density ranking** — remaining candidates are ranked by
+///    [`RacePrefilter::rank`]: zero-density CTIs (whose syscalls cannot
+///    race at all) are dropped before the predictor sees them, and the
+///    rest are scored densest-first.
+#[allow(clippy::too_many_arguments)]
+pub fn find_candidates_prefiltered(
+    kernel: &Kernel,
+    cfg: &KernelCfg,
+    corpus: &[StiProfile],
+    bug: &BugSpec,
+    mode: RazzerMode,
+    service: Option<&PredictorService<'_, '_>>,
+    prefilter: &RacePrefilter,
+    seed: u64,
+) -> Vec<(usize, usize)> {
+    let Some((block_a, block_b)) = racing_blocks(kernel, bug) else {
+        return Vec::new();
+    };
+    if !prefilter.blocks_may_race(block_a, block_b) {
+        return Vec::new();
+    }
+    let reach = reach_candidates(corpus, cfg, mode, block_a, block_b);
+    let mut candidates = prefilter.rank(corpus, &reach);
+    pic_retain(&mut candidates, corpus, mode, service, block_a, block_b, seed);
+    candidates
+}
+
+/// Reachability-qualified candidate pairs (the Strict/Relax core).
+fn reach_candidates(
+    corpus: &[StiProfile],
+    cfg: &KernelCfg,
+    mode: RazzerMode,
+    block_a: BlockId,
+    block_b: BlockId,
+) -> Vec<(usize, usize)> {
     let relax_sets: Option<Vec<BitSet>> = if mode != RazzerMode::Strict {
         Some(corpus.iter().map(|p| urb_set(cfg, p)).collect())
     } else {
@@ -117,6 +168,19 @@ pub fn find_candidates(
             }
         }
     }
+    candidates
+}
+
+/// Apply the Pic / PicFlow predictor filter in place (no-op otherwise).
+fn pic_retain(
+    candidates: &mut Vec<(usize, usize)>,
+    corpus: &[StiProfile],
+    mode: RazzerMode,
+    service: Option<&PredictorService<'_, '_>>,
+    block_a: BlockId,
+    block_b: BlockId,
+    seed: u64,
+) {
     if mode == RazzerMode::Pic || mode == RazzerMode::PicFlow {
         let service = service.expect("Razzer-PIC requires a deployed predictor");
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
@@ -167,7 +231,6 @@ pub fn find_candidates(
             }
         });
     }
-    candidates
 }
 
 /// Reproduction attempt for one candidate CTI.
@@ -348,6 +411,108 @@ mod tests {
         for c in &filtered {
             assert!(relax.contains(c));
         }
+    }
+
+    #[test]
+    fn prefilter_never_drops_candidates_for_planted_bugs() {
+        // Soundness in practice: every reach-qualified candidate for a real
+        // planted bug contains the bug's carrier syscalls, so its may-race
+        // density is positive and the ranking keeps it. The pre-filter may
+        // only reorder — never shrink — the candidate set of a real race.
+        let (k, cfg, corpus) = setup();
+        let pf = RacePrefilter::new(&k, &cfg);
+        for bug in &k.bugs {
+            let relax = find_candidates(&k, &cfg, &corpus, bug, RazzerMode::Relax, None, 1);
+            let ranked = find_candidates_prefiltered(
+                &k,
+                &cfg,
+                &corpus,
+                bug,
+                RazzerMode::Relax,
+                None,
+                &pf,
+                1,
+            );
+            assert_eq!(ranked.len(), relax.len(), "bug {} lost candidates", bug.id);
+            for c in &ranked {
+                assert!(relax.contains(c), "bug {}: ranked {c:?} not in relax set", bug.id);
+            }
+        }
+    }
+
+    #[test]
+    fn prefilter_vetoes_locked_pseudo_race_without_inference() {
+        use snowcat_analysis::LocksetAnalysis;
+        use snowcat_kernel::bugs::BugDifficulty;
+        use snowcat_kernel::{BugId, BugSpec, SyscallId};
+
+        let (k, cfg, corpus) = setup();
+        let pf = RacePrefilter::new(&k, &cfg);
+        let locksets = LocksetAnalysis::compute(&k, &KernelCfg::build(&k));
+
+        // Hand a consistently lock-protected access pair to Razzer as if a
+        // (naive) static race scanner had flagged it: two locked accesses to
+        // the same word from two different syscalls, whose blocks share no
+        // may-race pair.
+        let func_syscall =
+            |f| k.syscalls.iter().position(|s| s.func == f).map(|i| SyscallId(i as u32));
+        let mut target = None;
+        'outer: for x in locksets.accesses.iter().filter(|a| a.lockset != 0) {
+            for y in locksets.accesses.iter().filter(|a| a.lockset != 0) {
+                let (fx, fy) = (k.block(x.loc.block).func, k.block(y.loc.block).func);
+                if fx == fy || (x.lockset & y.lockset) == 0 {
+                    continue;
+                }
+                let (Some(sx), Some(sy)) = (func_syscall(fx), func_syscall(fy)) else {
+                    continue;
+                };
+                if !pf.blocks_may_race(x.loc.block, y.loc.block) {
+                    target = Some((sx, sy, x.loc, y.loc));
+                    break 'outer;
+                }
+            }
+        }
+        let (sx, sy, lx, ly) = target.expect("kernel has consistently locked cross-syscall pairs");
+        let pseudo = BugSpec {
+            id: BugId(9999),
+            kind: BugKind::DataRace,
+            difficulty: BugDifficulty::Easy,
+            subsystem: k.syscall(sx).subsystem,
+            summary: "pseudo: consistently locked pair".into(),
+            syscalls: (sx, sy),
+            racing_instrs: vec![lx, ly],
+            harmful: false,
+        };
+
+        let model = PicModel::new(PicConfig { hidden: 8, layers: 1, ..Default::default() });
+        let ck = Checkpoint::new(&model, 0.5, "t");
+
+        // Plain Razzer-PIC burns inferences on the statically impossible
+        // target; the pre-filtered variant answers from the veto alone.
+        let pic_plain = crate::pic::Pic::new(&ck, &k, &cfg);
+        let svc_plain = PredictorService::direct(&pic_plain);
+        let plain =
+            find_candidates(&k, &cfg, &corpus, &pseudo, RazzerMode::Pic, Some(&svc_plain), 2);
+        assert!(pic_plain.inferences() > 0, "plain PIC mode should have scored candidates");
+
+        let pic_pref = crate::pic::Pic::new(&ck, &k, &cfg);
+        let svc_pref = PredictorService::direct(&pic_pref);
+        let filtered = find_candidates_prefiltered(
+            &k,
+            &cfg,
+            &corpus,
+            &pseudo,
+            RazzerMode::Pic,
+            Some(&svc_pref),
+            &pf,
+            2,
+        );
+        assert!(filtered.is_empty(), "veto must reject the locked pair");
+        assert_eq!(pic_pref.inferences(), 0, "veto must spend zero inferences");
+        // Nothing reproducible was lost: the dropped candidates could never
+        // race (must-locksets are sound), so `plain`'s survivors are all
+        // false positives anyway.
+        let _ = plain;
     }
 
     #[test]

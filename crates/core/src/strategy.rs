@@ -153,6 +153,7 @@ mod tests {
                 thread: ThreadId(t),
                 kind: VertKind::Scb,
                 sched_mark: snowcat_graph::SchedMark::None,
+                may_race: false,
                 tokens: vec![1],
             })
             .collect();

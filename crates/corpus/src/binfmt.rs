@@ -13,8 +13,15 @@ use snowcat_vm::{ScheduleHints, SwitchPoint};
 
 /// Format magic.
 const MAGIC: &[u8; 4] = b"SCDS";
-/// Format version.
-const VERSION: u16 = 2;
+/// Format version written by [`encode_dataset`]. Version 3 added a
+/// per-vertex flags byte (bit 0 = `may_race`); version-2 payloads still
+/// decode, with the flags defaulting to zero.
+const VERSION: u16 = 3;
+/// Oldest version [`decode_dataset`] accepts.
+const MIN_VERSION: u16 = 2;
+
+/// Vertex flags byte, bit 0: static may-race mark.
+const VFLAG_MAY_RACE: u8 = 1;
 
 /// Errors produced by [`decode_dataset`].
 #[derive(Debug, PartialEq, Eq)]
@@ -89,6 +96,7 @@ fn encode_graph(buf: &mut BytesMut, g: &CtGraph) {
             VertKind::Urb => 1,
         });
         buf.put_u8(v.sched_mark.index() as u8);
+        buf.put_u8(if v.may_race { VFLAG_MAY_RACE } else { 0 });
         buf.put_u16_le(v.tokens.len() as u16);
         for &t in &v.tokens {
             buf.put_u16_le(t as u16); // vocabulary is < 2^16
@@ -102,14 +110,15 @@ fn encode_graph(buf: &mut BytesMut, g: &CtGraph) {
     }
 }
 
-fn decode_graph(buf: &mut Bytes) -> Result<CtGraph, DecodeError> {
+fn decode_graph(buf: &mut Bytes, version: u16) -> Result<CtGraph, DecodeError> {
     if buf.remaining() < 4 {
         return Err(DecodeError::Truncated);
     }
+    let flags_bytes = usize::from(version >= 3);
     let nv = buf.get_u32_le() as usize;
     let mut verts = Vec::with_capacity(nv.min(1 << 20));
     for _ in 0..nv {
-        if buf.remaining() < 4 + 1 + 1 + 1 + 2 {
+        if buf.remaining() < 4 + 1 + 1 + 1 + flags_bytes + 2 {
             return Err(DecodeError::Truncated);
         }
         let block = BlockId(buf.get_u32_le());
@@ -125,12 +134,13 @@ fn decode_graph(buf: &mut Bytes) -> Result<CtGraph, DecodeError> {
             2 => SchedMark::ResumeTarget,
             x => return Err(DecodeError::BadEnum("sched mark", x)),
         };
+        let may_race = if version >= 3 { buf.get_u8() & VFLAG_MAY_RACE != 0 } else { false };
         let nt = buf.get_u16_le() as usize;
         if buf.remaining() < nt * 2 {
             return Err(DecodeError::Truncated);
         }
         let tokens = (0..nt).map(|_| u32::from(buf.get_u16_le())).collect();
-        verts.push(Vertex { block, thread, kind, sched_mark, tokens });
+        verts.push(Vertex { block, thread, kind, sched_mark, may_race, tokens });
     }
     if buf.remaining() < 4 {
         return Err(DecodeError::Truncated);
@@ -189,7 +199,7 @@ pub fn decode_dataset(mut buf: Bytes) -> Result<Dataset, DecodeError> {
         return Err(DecodeError::BadMagic);
     }
     let version = buf.get_u16_le();
-    if version != VERSION {
+    if !(MIN_VERSION..=VERSION).contains(&version) {
         return Err(DecodeError::BadVersion(version));
     }
     let n = buf.get_u32_le() as usize;
@@ -199,7 +209,7 @@ pub fn decode_dataset(mut buf: Bytes) -> Result<Dataset, DecodeError> {
             return Err(DecodeError::Truncated);
         }
         let cti_index = buf.get_u32_le() as usize;
-        let graph = decode_graph(&mut buf)?;
+        let graph = decode_graph(&mut buf, version)?;
         let labels = get_bits(&mut buf)?;
         let flow_labels = get_bits(&mut buf)?;
         if buf.remaining() < 1 + 2 {
@@ -259,6 +269,55 @@ mod tests {
         let bin = encode_dataset(&ds).len();
         let json = ds.to_json().unwrap().len();
         assert!(bin * 3 < json, "binary ({bin} B) should be ≥3x smaller than JSON ({json} B)");
+    }
+
+    #[test]
+    fn may_race_bits_roundtrip() {
+        let mut ds = sample_dataset();
+        for (i, e) in ds.examples.iter_mut().enumerate() {
+            for (j, v) in e.graph.verts.iter_mut().enumerate() {
+                v.may_race = (i + j) % 2 == 0;
+            }
+        }
+        let back = decode_dataset(encode_dataset(&ds)).unwrap();
+        assert_eq!(ds, back);
+    }
+
+    #[test]
+    fn version_2_payloads_still_decode() {
+        // Hand-build a v2 payload (no per-vertex flags byte): one example,
+        // one vertex, no edges, no labels, no switches.
+        let mut buf = BytesMut::new();
+        buf.put_slice(MAGIC);
+        buf.put_u16_le(2); // version
+        buf.put_u32_le(1); // examples
+        buf.put_u32_le(7); // cti_index
+        buf.put_u32_le(1); // verts
+        buf.put_u32_le(3); // block
+        buf.put_u8(1); // thread
+        buf.put_u8(1); // kind = Urb
+        buf.put_u8(0); // sched mark = None
+        buf.put_u16_le(1); // tokens
+        buf.put_u16_le(42);
+        buf.put_u32_le(0); // edges
+        buf.put_u32_le(0); // labels
+        buf.put_u32_le(0); // flow labels
+        buf.put_u8(0); // hints.first
+        buf.put_u16_le(0); // switches
+        let ds = decode_dataset(buf.freeze()).unwrap();
+        assert_eq!(ds.examples.len(), 1);
+        let v = &ds.examples[0].graph.verts[0];
+        assert_eq!(v.block, BlockId(3));
+        assert!(!v.may_race, "v2 vertices default to may_race = false");
+    }
+
+    #[test]
+    fn future_versions_are_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_slice(MAGIC);
+        buf.put_u16_le(VERSION + 1);
+        buf.put_u32_le(0);
+        assert_eq!(decode_dataset(buf.freeze()).unwrap_err(), DecodeError::BadVersion(VERSION + 1));
     }
 
     #[test]

@@ -14,9 +14,10 @@ fn arb_vertex() -> impl Strategy<Value = Vertex> {
         0u8..2,
         proptest::bool::ANY,
         0u8..3,
+        proptest::bool::ANY,
         proptest::collection::vec(0u32..512, 0..12),
     )
-        .prop_map(|(block, thread, urb, mark, tokens)| Vertex {
+        .prop_map(|(block, thread, urb, mark, may_race, tokens)| Vertex {
             block: BlockId(block),
             thread: ThreadId(thread),
             kind: if urb { VertKind::Urb } else { VertKind::Scb },
@@ -25,6 +26,7 @@ fn arb_vertex() -> impl Strategy<Value = Vertex> {
                 1 => SchedMark::YieldSource,
                 _ => SchedMark::ResumeTarget,
             },
+            may_race,
             tokens,
         })
 }

@@ -3,7 +3,7 @@
 use crate::repr::{hash_token, CtGraph, Edge, EdgeKind, SchedMark, VertKind, Vertex};
 use snowcat_cfg::KernelCfg;
 use snowcat_kernel::{asm, BlockId, Kernel, ThreadId};
-use snowcat_vm::{ExecResult, ScheduleHints};
+use snowcat_vm::{BitSet, ExecResult, ScheduleHints};
 use std::collections::{HashMap, HashSet};
 
 /// Builds CT graphs for one kernel image.
@@ -17,12 +17,28 @@ pub struct CtGraphBuilder<'k> {
     /// Additional coarser shortcut strides (multi-scale densification: lets
     /// positional information cross the graph in few message-passing hops).
     pub extra_strides: Vec<usize>,
+    /// Blocks flagged by the static may-race analysis (bit = block index).
+    /// When set, vertices on these blocks carry [`Vertex::may_race`]; when
+    /// `None`, the bit stays `false` everywhere.
+    pub may_race_blocks: Option<BitSet>,
 }
 
 impl<'k> CtGraphBuilder<'k> {
     /// Builder with the paper's defaults (1-hop URBs, stride-4 shortcuts).
     pub fn new(kernel: &'k Kernel, cfg: &'k KernelCfg) -> Self {
-        Self { kernel, cfg, urb_hops: 1, shortcut_stride: 4, extra_strides: vec![16] }
+        Self {
+            kernel,
+            cfg,
+            urb_hops: 1,
+            shortcut_stride: 4,
+            extra_strides: vec![16],
+            may_race_blocks: None,
+        }
+    }
+
+    /// True if the static analysis marked `b` as may-race.
+    fn block_may_race(&self, b: BlockId) -> bool {
+        self.may_race_blocks.as_ref().is_some_and(|s| s.contains(b.index()))
     }
 
     /// Build the CT graph for a CTI, given the *sequential* execution
@@ -61,6 +77,7 @@ impl<'k> CtGraphBuilder<'k> {
                         thread: ThreadId(t),
                         kind: VertKind::Scb,
                         sched_mark: SchedMark::None,
+                        may_race: self.block_may_race(b),
                         tokens: tokenize(self.kernel, b),
                     });
                     id
@@ -78,6 +95,7 @@ impl<'k> CtGraphBuilder<'k> {
                         thread: ThreadId(t),
                         kind: VertKind::Urb,
                         sched_mark: SchedMark::None,
+                        may_race: self.block_may_race(e.to),
                         tokens: tokenize(self.kernel, e.to),
                     });
                     id

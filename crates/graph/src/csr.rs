@@ -190,6 +190,7 @@ mod tests {
             thread: ThreadId(0),
             kind: VertKind::Scb,
             sched_mark: SchedMark::None,
+            may_race: false,
             tokens: vec![],
         }
     }

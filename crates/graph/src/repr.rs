@@ -122,6 +122,12 @@ pub struct Vertex {
     /// graphs).
     #[serde(default)]
     pub sched_mark: SchedMark,
+    /// Static may-race bit: the block holds a memory access that the static
+    /// analyzer (`snowcat-analysis`) places in some may-race pair. Another
+    /// node-type enhancement in the spirit of the paper's §6; `false` when
+    /// no analysis was supplied to the builder.
+    #[serde(default)]
+    pub may_race: bool,
     /// Hashed assembly tokens (numeric-elided), ids in `1..VOCAB_SIZE`.
     pub tokens: Vec<u32>,
 }
@@ -173,6 +179,7 @@ impl CtGraph {
         s.verts = self.verts.len();
         s.urbs = self.verts.iter().filter(|v| v.kind == VertKind::Urb).count();
         s.scbs = s.verts - s.urbs;
+        s.may_race_verts = self.verts.iter().filter(|v| v.may_race).count();
         s.edges = self.edges.len();
         for e in &self.edges {
             s.by_edge_kind[e.kind.index()] += 1;
@@ -201,6 +208,9 @@ pub struct GraphStats {
     pub urbs: usize,
     /// SCB vertices.
     pub scbs: usize,
+    /// Vertices carrying the static may-race bit.
+    #[serde(default)]
+    pub may_race_verts: usize,
     /// Total edges.
     pub edges: usize,
     /// Edge counts indexed by [`EdgeKind::index`].
@@ -213,6 +223,7 @@ impl GraphStats {
         self.verts += other.verts;
         self.urbs += other.urbs;
         self.scbs += other.scbs;
+        self.may_race_verts += other.may_race_verts;
         self.edges += other.edges;
         for i in 0..6 {
             self.by_edge_kind[i] += other.by_edge_kind[i];
@@ -254,6 +265,7 @@ mod tests {
                     thread: ThreadId(0),
                     kind: VertKind::Scb,
                     sched_mark: SchedMark::None,
+                    may_race: true,
                     tokens: vec![1],
                 },
                 Vertex {
@@ -261,6 +273,7 @@ mod tests {
                     thread: ThreadId(0),
                     kind: VertKind::Urb,
                     sched_mark: SchedMark::None,
+                    may_race: false,
                     tokens: vec![2],
                 },
             ],
@@ -273,6 +286,7 @@ mod tests {
         assert_eq!(s.verts, 2);
         assert_eq!(s.urbs, 1);
         assert_eq!(s.scbs, 1);
+        assert_eq!(s.may_race_verts, 1);
         assert_eq!(s.by_edge_kind[EdgeKind::UrbFlow.index()], 1);
         assert!(g.validate().is_ok());
     }

@@ -6,7 +6,7 @@
 //! Linux image as one pool of ~2.7M blocks.
 
 use crate::bugs::BugSpec;
-use crate::ids::{Addr, BlockId, FuncId, LockId, SubsystemId, SyscallId};
+use crate::ids::{Addr, BlockId, FuncId, InstrLoc, LockId, SubsystemId, SyscallId};
 use crate::instr::{Instr, Terminator};
 use serde::{Deserialize, Serialize};
 
@@ -163,6 +163,11 @@ impl Kernel {
     #[inline]
     pub fn num_blocks(&self) -> usize {
         self.blocks.len()
+    }
+
+    /// Look up the instruction at a static location, if it exists.
+    pub fn instr(&self, loc: InstrLoc) -> Option<&Instr> {
+        self.blocks.get(loc.block.index()).and_then(|b| b.instrs.get(usize::from(loc.idx)))
     }
 
     /// The region containing `addr`, if any.

@@ -853,6 +853,7 @@ mod tests {
                 } else {
                     snowcat_graph::SchedMark::None
                 },
+                may_race: false,
                 tokens: vec![(1 + i as u32 % 50), (1 + (i as u32 * 7) % 50)],
             })
             .collect();

@@ -562,6 +562,7 @@ mod tests {
                 thread: ThreadId((i % 2) as u8),
                 kind: if i % 2 == 0 { VertKind::Scb } else { VertKind::Urb },
                 sched_mark: snowcat_graph::SchedMark::None,
+                may_race: false,
                 tokens: vec![1 + rng.gen_range(0..40u32)],
             })
             .collect();

@@ -20,6 +20,7 @@ fn synthetic_example(seed: u64, n: usize) -> (CtGraph, Vec<bool>) {
             thread: ThreadId((i % 2) as u8),
             kind: if i % 2 == 0 { VertKind::Scb } else { VertKind::Urb },
             sched_mark: SchedMark::None,
+            may_race: false,
             tokens: vec![1 + rng.gen_range(0..40u32)],
         })
         .collect();

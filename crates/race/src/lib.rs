@@ -161,6 +161,11 @@ impl RaceSet {
     pub fn contains(&self, key: &RaceKey) -> bool {
         self.keys.contains(key)
     }
+
+    /// Iterate over the recorded keys (unspecified order).
+    pub fn iter(&self) -> impl Iterator<Item = &RaceKey> {
+        self.keys.iter()
+    }
 }
 
 /// Match a detected race against the planted-bug registry: a report that

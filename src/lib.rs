@@ -20,6 +20,7 @@
 //! | [`vm`] | SKI-style uniprocessor VM with scheduling hints and PCT |
 //! | [`cfg`] | whole-kernel CFG, uncovered-reachable-block identification |
 //! | [`race`] | potential-data-race detection and deduplication |
+//! | [`analysis`] | must-hold locksets, lock-discipline lints, static may-race |
 //! | [`corpus`] | STI fuzzing, CTI pairing, labelled graph datasets |
 //! | [`graph`] | the CT graph representation (5 edge types + shortcuts) |
 //! | [`nn`] | tensors, Adam, masked pre-training, relational GNN, metrics |
@@ -54,6 +55,7 @@
 
 #![forbid(unsafe_code)]
 
+pub use snowcat_analysis as analysis;
 pub use snowcat_cfg as cfg;
 pub use snowcat_core as core;
 pub use snowcat_corpus as corpus;
@@ -65,6 +67,7 @@ pub use snowcat_vm as vm;
 
 /// The most commonly used items across the workspace, in one import.
 pub mod prelude {
+    pub use snowcat_analysis::{analyze, Allowlist, MayRace, StaticFinding};
     pub use snowcat_cfg::KernelCfg;
     pub use snowcat_core::{
         explore_mlpct, explore_pct, fine_tune, run_campaign, train_pic, CachedPredictor, CostModel,
