@@ -7,10 +7,14 @@ use snowcat_analysis::{analyze as run_analysis, Allowlist, Severity};
 use snowcat_cfg::KernelCfg;
 use snowcat_core::{
     explore_mlpct, explore_pct, find_candidates, find_candidates_prefiltered, load_checkpoint,
-    reproduce, save_checkpoint, save_dataset, train_pic, CachedPredictor, CoveragePredictor,
-    ExploreConfig, Pic, PipelineConfig, PredictorService, RacePrefilter, RazzerMode, S1NewBitmap,
+    reproduce, save_checkpoint, save_dataset, train_pic, CachedPredictor, CostModel,
+    CoveragePredictor, ExploreConfig, Explorer, Pic, PipelineConfig, PredictorService,
+    RacePrefilter, RazzerMode, S1NewBitmap, SnowcatError, StrategyKind,
 };
 use snowcat_corpus::{build_dataset, interacting_cti_pairs, DatasetConfig, StiFuzzer};
+use snowcat_harness::{
+    load_checkpoint_with_fallback, run_supervised_campaign, FaultPlan, SupervisorConfig,
+};
 use snowcat_kernel::{asm, Kernel, KernelVersion};
 use snowcat_nn::{Checkpoint, PicConfig, TrainConfig};
 
@@ -373,6 +377,164 @@ pub fn razzer(args: &Args) -> CmdResult {
                 None => {
                     println!("  {:<13} {:>4} candidates, NOT reproduced", res.mode, res.candidates)
                 }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// `snowcat campaign` — run a supervised (fault-tolerant) testing campaign.
+pub fn campaign(args: &Args) -> CmdResult {
+    args.ensure_known(&[
+        "version",
+        "seed",
+        "ctis",
+        "budget",
+        "explorer",
+        "model",
+        "checkpoint",
+        "checkpoint-every",
+        "resume",
+        "fuel-budget",
+        "fault-plan",
+        "max-hours",
+        "stall-ms",
+        "stop-after",
+        "out",
+        "fail-on-hung",
+        "fail-on-degraded",
+    ])?;
+    let k = build_kernel(args)?;
+    let seed = args.get_parse("seed", DEFAULT_SEED)?;
+    let n_ctis = args.get_parse("ctis", 20usize)?;
+    let budget = args.get_parse("budget", 20usize)?;
+
+    // The corpus and CTI stream are deterministic in (version, seed, ctis),
+    // so a resumed invocation regenerates the exact stream the checkpoint
+    // was written against.
+    let mut fz = StiFuzzer::new(&k, seed);
+    fz.seed_each_syscall();
+    fz.fuzz(100);
+    let corpus = fz.into_corpus();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xE0);
+    let stream = interacting_cti_pairs(&mut rng, &corpus, n_ctis);
+
+    let explore_cfg = ExploreConfig::default().with_exec_budget(budget).with_seed(seed);
+    let cost = CostModel::default();
+
+    let mut sup = SupervisorConfig::new();
+    if let Some(v) = args.get("fuel-budget") {
+        sup.fuel_budget =
+            Some(v.parse().map_err(|_| format!("--fuel-budget: cannot parse {v:?}"))?);
+    }
+    sup.checkpoint_path = args.get("checkpoint").map(std::path::PathBuf::from);
+    sup.checkpoint_every = args.get_parse("checkpoint-every", 25usize)?;
+    if let Some(v) = args.get("max-hours") {
+        sup.max_hours = Some(v.parse().map_err(|_| format!("--max-hours: cannot parse {v:?}"))?);
+    }
+    sup.stall_ms = args.get_parse("stall-ms", 0u64)?;
+    if let Some(v) = args.get("stop-after") {
+        sup.stop_after = Some(v.parse().map_err(|_| format!("--stop-after: cannot parse {v:?}"))?);
+    }
+    sup.fault_plan = FaultPlan::parse(&args.get_or("fault-plan", ""))
+        .map_err(|e| SnowcatError::Config(format!("--fault-plan: {e}")))?;
+
+    let resume = match args.get("resume") {
+        Some(p) => {
+            let (ck, fell_back) = load_checkpoint_with_fallback(std::path::Path::new(p))?;
+            if fell_back {
+                eprintln!("warning: {p} was corrupt; resuming from the previous good snapshot");
+            }
+            println!("resuming at stream position {} of {}", ck.position, stream.len());
+            Some(ck)
+        }
+        None => None,
+    };
+
+    let supervised = match args.get_or("explorer", "pct").as_str() {
+        "pct" => run_supervised_campaign(
+            &k,
+            &corpus,
+            &stream,
+            Explorer::Pct,
+            &explore_cfg,
+            &cost,
+            &sup,
+            resume,
+        )?,
+        s @ ("s1" | "s2" | "s3") => {
+            let ck = load_model(args)?;
+            let cfg = KernelCfg::build(&k);
+            let pic = Pic::new(&ck, &k, &cfg);
+            let kind = match s {
+                "s1" => StrategyKind::S1,
+                "s2" => StrategyKind::S2,
+                _ => StrategyKind::S3(2),
+            };
+            run_supervised_campaign(
+                &k,
+                &corpus,
+                &stream,
+                Explorer::mlpct(&pic, kind.build()),
+                &explore_cfg,
+                &cost,
+                &sup,
+                resume,
+            )?
+        }
+        other => return Err(format!("unknown explorer {other:?} (pct|s1|s2|s3)").into()),
+    };
+
+    let last = supervised.result.last();
+    println!(
+        "{}: {} CTIs, {} executions, {} races ({} harmful), {} sched-dep blocks, {} bugs, {:.2} sim h",
+        supervised.result.label,
+        last.ctis,
+        last.executions,
+        last.races,
+        last.harmful_races,
+        last.sched_dep_blocks,
+        last.bugs,
+        last.hours,
+    );
+    let r = &supervised.recovery;
+    println!(
+        "recovery: {} hung attempts, {} retries, {} wasted executions, {} checkpoints",
+        r.hung_attempts, r.retries, r.wasted_executions, r.checkpoints_written,
+    );
+    if !supervised.quarantined.is_empty() {
+        println!(
+            "quarantined CT pairs ({} skipped later): {:?}",
+            r.skipped_quarantined, supervised.quarantined
+        );
+    }
+    if let Some(stats) = &supervised.predictor_stats {
+        println!(
+            "predictor: {} batches, {} degraded, {} fallback predictions",
+            stats.batches, stats.degraded_batches, stats.fallback_predictions
+        );
+    }
+
+    if let Some(path) = args.get("out") {
+        std::fs::write(path, serde_json::to_string_pretty(&supervised)?)?;
+        println!("result written to {path}");
+    }
+
+    if args.has_flag("fail-on-hung") {
+        if let Some(&cti) = supervised.quarantined.first() {
+            return Err(Box::new(SnowcatError::ExecutionHung {
+                cti,
+                fuel: sup.fuel_budget.unwrap_or(explore_cfg.fuel_budget),
+            }));
+        }
+    }
+    if args.has_flag("fail-on-degraded") {
+        if let Some(stats) = &supervised.predictor_stats {
+            if stats.degraded_batches > 0 {
+                return Err(Box::new(SnowcatError::PredictorDegraded {
+                    chain: supervised.result.label.clone(),
+                    degraded_batches: stats.degraded_batches,
+                }));
             }
         }
     }

@@ -9,6 +9,7 @@
 //! snowcat explore  --version 5.12 --model pic.json [--ctis N] [--budget B]
 //! snowcat razzer   --version 5.12 --model pic.json [--schedules N]
 //! snowcat analyze  --version 5.12 [--seed N] [--out report.json] [--self-check]
+//! snowcat campaign --version 5.12 [--explorer pct|s1|s2|s3] [--checkpoint F] [--resume F]
 //! ```
 //!
 //! Every command is deterministic given `--seed` (default: the family seed
@@ -42,6 +43,19 @@ COMMANDS:
               --version V --model FILE [--schedules N] [--seed N]
   analyze   run the static concurrency analyzer (locksets, lints, may-race)
               --version V [--seed N] [--out FILE] [--self-check]
+  campaign  run a supervised testing campaign (watchdog, checkpoint/resume,
+            fault injection, graceful predictor degradation)
+              --version V [--seed N] [--ctis N] [--budget B]
+              [--explorer pct|s1|s2|s3] [--model FILE]
+              [--checkpoint FILE] [--checkpoint-every K] [--resume FILE]
+              [--fuel-budget STEPS] [--fault-plan SPEC] [--max-hours H]
+              [--stall-ms MS] [--stop-after N] [--out FILE]
+              [--fail-on-hung] [--fail-on-degraded]
+
+EXIT CODES:
+  0 success   1 I/O or parse error      2 bad usage / config
+  3 CT hung   4 checkpoint corrupt      5 campaign worker failed
+  6 predictor degraded (with --fail-on-degraded)
 ";
 
 fn main() {
@@ -61,6 +75,7 @@ fn main() {
         Some("explore") => cmds::explore(&args),
         Some("razzer") => cmds::razzer(&args),
         Some("analyze") => cmds::analyze(&args),
+        Some("campaign") => cmds::campaign(&args),
         Some("help") | None => {
             println!("{USAGE}");
             Ok(())
@@ -72,6 +87,13 @@ fn main() {
     };
     if let Err(e) = result {
         eprintln!("error: {e}");
-        std::process::exit(1);
+        // Typed Snowcat errors carry distinct exit codes (hung CT = 3,
+        // corrupt checkpoint = 4, failed campaign = 5, degraded = 6, …);
+        // anything else is a generic failure.
+        let code = e
+            .downcast_ref::<snowcat_core::SnowcatError>()
+            .map(snowcat_core::SnowcatError::exit_code)
+            .unwrap_or(1);
+        std::process::exit(code);
     }
 }

@@ -1,0 +1,127 @@
+//! Kill-and-resume smoke test: SIGKILL the `snowcat campaign` binary
+//! mid-run, resume from its checkpoint, and verify the final coverage is
+//! byte-identical to an uninterrupted run with the same seed.
+
+use std::path::Path;
+use std::process::Command;
+use std::time::{Duration, Instant};
+
+fn snowcat() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_snowcat"))
+}
+
+fn tmp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("snowcat-kill-{tag}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// The `result` field of a campaign's `--out` JSON (history + bugs), which
+/// must be identical between a kill+resume run and an uninterrupted one.
+fn result_of(path: &Path) -> serde_json::Value {
+    let text = std::fs::read_to_string(path).unwrap();
+    let v = serde_json::parse(&text).unwrap();
+    v.get("result").expect("out JSON has a result field").clone()
+}
+
+const COMMON: &[&str] = &["campaign", "--seed", "77", "--ctis", "8", "--budget", "5"];
+
+#[test]
+fn killed_campaign_resumes_to_identical_coverage() {
+    let dir = tmp_dir("resume");
+    let ckpt = dir.join("campaign.ckpt");
+    let full_out = dir.join("full.json");
+    let resumed_out = dir.join("resumed.json");
+
+    // Reference: the same campaign, uninterrupted.
+    let status = snowcat()
+        .args(COMMON)
+        .args(["--out", full_out.to_str().unwrap()])
+        .status()
+        .expect("binary runs");
+    assert!(status.success());
+
+    // Victim: checkpoint every CTI, stall so the kill lands mid-campaign.
+    let mut child = snowcat()
+        .args(COMMON)
+        .args(["--checkpoint", ckpt.to_str().unwrap()])
+        .args(["--checkpoint-every", "1", "--stall-ms", "300"])
+        .spawn()
+        .expect("binary spawns");
+
+    // Wait for at least one checkpoint to land, then kill without warning.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while !ckpt.exists() {
+        assert!(Instant::now() < deadline, "no checkpoint appeared within 30s");
+        assert!(
+            child.try_wait().expect("try_wait").is_none(),
+            "campaign finished before we could kill it — raise --stall-ms"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    child.kill().expect("SIGKILL");
+    child.wait().expect("reaped");
+
+    // The checkpoint (or its .prev fallback, if the kill tore the newest
+    // write) must load, and the resumed run must finish the campaign.
+    let status = snowcat()
+        .args(COMMON)
+        .args(["--resume", ckpt.to_str().unwrap()])
+        .args(["--out", resumed_out.to_str().unwrap()])
+        .status()
+        .expect("binary runs");
+    assert!(status.success(), "resume after SIGKILL failed");
+
+    assert_eq!(
+        result_of(&resumed_out),
+        result_of(&full_out),
+        "kill+resume must reproduce the uninterrupted campaign exactly"
+    );
+}
+
+#[test]
+fn corrupt_checkpoint_without_fallback_exits_4() {
+    let dir = tmp_dir("corrupt");
+    let ckpt = dir.join("campaign.ckpt");
+    std::fs::write(&ckpt, b"definitely not a checkpoint").unwrap();
+    let out = snowcat()
+        .args(COMMON)
+        .args(["--resume", ckpt.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(4), "corrupt checkpoint is exit code 4");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("checkpoint corrupt"), "stderr names the failure: {stderr}");
+}
+
+#[test]
+fn injected_predictor_style_faults_do_not_abort() {
+    // A hang-heavy plan: the campaign must still exit 0 (no --fail-on-hung)
+    // and report its recovery counters on stdout.
+    let dir = tmp_dir("faulty");
+    let out_json = dir.join("out.json");
+    let out = snowcat()
+        .args(COMMON)
+        .args(["--fault-plan", "hang@1,hang@3x3", "--out", out_json.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "faulty campaign must complete");
+    let v = serde_json::parse(&std::fs::read_to_string(&out_json).unwrap()).unwrap();
+    let hung = v.get("recovery").and_then(|r| r.get("hung_attempts")).cloned();
+    assert!(
+        matches!(hung, Some(serde_json::Value::UInt(n)) if n >= 4),
+        "hang@1 + hang@3x3 means at least 4 hung attempts, got {hung:?}"
+    );
+    let quarantined = v.get("quarantined").and_then(|q| q.as_array().map(<[_]>::len));
+    assert_eq!(quarantined, Some(1), "only the 3x-hung position is quarantined");
+
+    // The same plan with --fail-on-hung is exit code 3.
+    let out = snowcat()
+        .args(COMMON)
+        .args(["--fault-plan", "hang@3x3"])
+        .arg("--fail-on-hung")
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(3), "hung CT with --fail-on-hung is exit code 3");
+}

@@ -6,6 +6,7 @@
 //! against *simulated testing time* (see [`crate::costmodel`]).
 
 use crate::costmodel::CostModel;
+use crate::error::SnowcatError;
 use crate::mlpct::{explore_mlpct, explore_pct, ExploreConfig};
 use crate::pic::Pic;
 use crate::predictor::PredictorService;
@@ -95,7 +96,8 @@ impl<'p, 'k> Explorer<'p, 'k> {
 }
 
 impl Explorer<'_, '_> {
-    fn label(&self) -> String {
+    /// Display label for campaign results (`"PCT"`, `"MLPCT-S1"`, …).
+    pub fn label(&self) -> String {
         match self {
             Explorer::Pct => "PCT".into(),
             Explorer::MlPct { strategy, .. } => format!("MLPCT-{}", strategy.name()),
@@ -201,6 +203,14 @@ pub enum ExplorerSpec {
         /// Which selection strategy to run.
         strategy: StrategyKind,
     },
+    /// Fault-injection seam: the worker panics with `reason` instead of
+    /// running. Used by the harness's fault plans to prove that a panicking
+    /// campaign thread is contained per-campaign rather than aborting the
+    /// process.
+    Faulty {
+        /// The panic payload the worker will raise.
+        reason: String,
+    },
 }
 
 /// Strategy selector for [`ExplorerSpec`].
@@ -225,12 +235,39 @@ impl StrategyKind {
     }
 }
 
+impl ExplorerSpec {
+    /// Display label matching what the spawned [`Explorer`] would report.
+    pub fn label(&self) -> String {
+        match self {
+            ExplorerSpec::Pct => "PCT".into(),
+            ExplorerSpec::MlPct { strategy, .. } => {
+                format!("MLPCT-{}", strategy.build().name())
+            }
+            ExplorerSpec::Faulty { .. } => "FAULTY".into(),
+        }
+    }
+}
+
+/// Render a `catch_unwind` panic payload as a message (string payloads are
+/// passed through; anything else gets a placeholder).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".into()
+    }
+}
+
 /// Run several campaigns over the same stream concurrently, one OS thread
 /// per explorer (campaigns are embarrassingly parallel: each owns its model
 /// copy, strategy state and VM executions).
 ///
 /// Results come back in spec order, identical to running each campaign
-/// serially with [`run_campaign`].
+/// serially with [`run_campaign`]. A panicking worker is contained to its
+/// own slot as [`SnowcatError::CampaignFailed`]; the other campaigns'
+/// results are preserved.
 pub fn run_campaigns_parallel(
     kernel: &Kernel,
     cfg: &KernelCfg,
@@ -239,7 +276,7 @@ pub fn run_campaigns_parallel(
     specs: &[ExplorerSpec],
     explore_cfg: &ExploreConfig,
     cost: &CostModel,
-) -> Vec<CampaignResult> {
+) -> Vec<Result<CampaignResult, SnowcatError>> {
     run_campaigns_parallel_budgeted(kernel, cfg, corpus, stream, specs, explore_cfg, cost, None)
 }
 
@@ -254,13 +291,16 @@ pub fn run_campaigns_parallel_budgeted(
     explore_cfg: &ExploreConfig,
     cost: &CostModel,
     max_hours: Option<f64>,
-) -> Vec<CampaignResult> {
-    let results: Mutex<Vec<Option<CampaignResult>>> = Mutex::new(vec![None; specs.len()]);
-    crossbeam::thread::scope(|scope| {
+) -> Vec<Result<CampaignResult, SnowcatError>> {
+    type Slot = Option<Result<CampaignResult, SnowcatError>>;
+    let results: Mutex<Vec<Slot>> = Mutex::new((0..specs.len()).map(|_| None).collect());
+    // The scope itself only errors if a *worker thread* panicked past its
+    // own catch_unwind, which the per-worker wrapper below makes impossible.
+    let scope_result = crossbeam::thread::scope(|scope| {
         for (i, spec) in specs.iter().enumerate() {
             let results = &results;
             scope.spawn(move |_| {
-                let res = match spec {
+                let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match spec {
                     ExplorerSpec::Pct => run_campaign_budgeted(
                         kernel,
                         corpus,
@@ -282,12 +322,17 @@ pub fn run_campaigns_parallel_budgeted(
                             max_hours,
                         )
                     }
-                };
+                    ExplorerSpec::Faulty { reason } => panic!("{}", reason.clone()),
+                }));
+                let res = run.map_err(|payload| SnowcatError::CampaignFailed {
+                    label: spec.label(),
+                    message: panic_message(payload.as_ref()),
+                });
                 results.lock()[i] = Some(res);
             });
         }
-    })
-    .expect("campaign thread panicked");
+    });
+    debug_assert!(scope_result.is_ok(), "worker panics are contained by catch_unwind");
     results
         .into_inner()
         .into_iter()
@@ -380,7 +425,11 @@ mod tests {
             ExplorerSpec::MlPct { checkpoint: ck.clone(), strategy: StrategyKind::S1 },
             ExplorerSpec::MlPct { checkpoint: ck.clone(), strategy: StrategyKind::S3(2) },
         ];
-        let par = run_campaigns_parallel(&k, &cfg_k, &corpus, &stream, &specs, &ecfg, &cost);
+        let par: Vec<CampaignResult> =
+            run_campaigns_parallel(&k, &cfg_k, &corpus, &stream, &specs, &ecfg, &cost)
+                .into_iter()
+                .map(|r| r.expect("no faults injected"))
+                .collect();
         // Serial reference.
         let serial_pct = run_campaign(&k, &corpus, &stream, Explorer::Pct, &ecfg, &cost);
         assert_eq!(par[0].history, serial_pct.history);
@@ -395,6 +444,33 @@ mod tests {
         );
         assert_eq!(par[1].history, serial_s1.history);
         assert_eq!(par[2].label, "MLPCT-S3(2)");
+    }
+
+    #[test]
+    fn panicking_worker_is_contained_per_campaign() {
+        let (k, cfg_k, corpus, stream) = setup();
+        let ecfg = ExploreConfig { exec_budget: 4, ..Default::default() };
+        let cost = CostModel::default();
+        let specs = vec![
+            ExplorerSpec::Pct,
+            ExplorerSpec::Faulty { reason: "injected worker fault".into() },
+            ExplorerSpec::Pct,
+        ];
+        let par = run_campaigns_parallel(&k, &cfg_k, &corpus, &stream, &specs, &ecfg, &cost);
+        assert_eq!(par.len(), 3);
+        // The healthy campaigns both finish and agree with a serial run.
+        let serial = run_campaign(&k, &corpus, &stream, Explorer::Pct, &ecfg, &cost);
+        assert_eq!(par[0].as_ref().unwrap().history, serial.history);
+        assert_eq!(par[2].as_ref().unwrap().history, serial.history);
+        // The faulty one surfaces as a typed error naming its label and
+        // carrying the panic payload.
+        match &par[1] {
+            Err(SnowcatError::CampaignFailed { label, message }) => {
+                assert_eq!(label, "FAULTY");
+                assert_eq!(message, "injected worker fault");
+            }
+            other => panic!("expected CampaignFailed, got {other:?}"),
+        }
     }
 
     #[test]

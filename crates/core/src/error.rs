@@ -30,6 +30,37 @@ pub enum SnowcatError {
     },
     /// A configuration was rejected before any I/O happened.
     Config(String),
+    /// A concurrent test exhausted its fuel budget on every retry and was
+    /// quarantined as hung.
+    ExecutionHung {
+        /// The (STI, STI) index pair identifying the concurrent test.
+        cti: (usize, usize),
+        /// The fuel (step) budget each attempt was given.
+        fuel: u64,
+    },
+    /// A campaign checkpoint failed its integrity checks (bad magic, torn
+    /// length framing, or checksum mismatch) and no fallback was usable.
+    CheckpointCorrupt {
+        /// The checkpoint file.
+        path: PathBuf,
+        /// What the integrity check objected to.
+        detail: String,
+    },
+    /// A campaign worker panicked; the other campaigns' results survive.
+    CampaignFailed {
+        /// Label of the failed campaign (explorer name).
+        label: String,
+        /// The panic payload, if it was a string.
+        message: String,
+    },
+    /// The predictor chain degraded to the baseline fallback (reported when
+    /// the caller asked degradation to be fatal via `--fail-on-degraded`).
+    PredictorDegraded {
+        /// Description of the predictor chain that degraded.
+        chain: String,
+        /// How many batches fell back to the baseline.
+        degraded_batches: u64,
+    },
 }
 
 impl fmt::Display for SnowcatError {
@@ -42,6 +73,42 @@ impl fmt::Display for SnowcatError {
                 write!(f, "{}: {message}", path.display())
             }
             SnowcatError::Config(msg) => write!(f, "invalid configuration: {msg}"),
+            SnowcatError::ExecutionHung { cti, fuel } => {
+                write!(
+                    f,
+                    "concurrent test (sti {}, sti {}) hung: exhausted fuel budget of {fuel} \
+                     steps on every attempt",
+                    cti.0, cti.1
+                )
+            }
+            SnowcatError::CheckpointCorrupt { path, detail } => {
+                write!(f, "{}: checkpoint corrupt: {detail}", path.display())
+            }
+            SnowcatError::CampaignFailed { label, message } => {
+                write!(f, "campaign '{label}' failed: worker panicked: {message}")
+            }
+            SnowcatError::PredictorDegraded { chain, degraded_batches } => {
+                write!(
+                    f,
+                    "predictor '{chain}' degraded: {degraded_batches} batch(es) fell back \
+                     to the baseline service"
+                )
+            }
+        }
+    }
+}
+
+impl SnowcatError {
+    /// Stable, documented process exit code for each failure class (the CLI
+    /// maps errors through this so scripts can distinguish fault kinds).
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            SnowcatError::Io { .. } | SnowcatError::Parse { .. } => 1,
+            SnowcatError::Config(_) => 2,
+            SnowcatError::ExecutionHung { .. } => 3,
+            SnowcatError::CheckpointCorrupt { .. } => 4,
+            SnowcatError::CampaignFailed { .. } => 5,
+            SnowcatError::PredictorDegraded { .. } => 6,
         }
     }
 }

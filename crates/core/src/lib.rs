@@ -67,5 +67,6 @@ pub use snowboard::{
 };
 pub use strategy::{
     standard_strategies, S1NewBitmap, S2NewBlocks, S3LimitedTrials, SelectionStrategy,
+    StrategySnapshot,
 };
 pub use triage::{render_findings, triage, Finding};

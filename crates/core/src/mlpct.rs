@@ -32,11 +32,16 @@ pub struct ExploreConfig {
     pub inference_cap: usize,
     /// Schedule-proposal seed.
     pub seed: u64,
+    /// Fuel (VM step) budget per dynamic execution. Runs that exhaust it
+    /// exit with `StepLimit` and are counted in [`ExploreOutcome::hangs`].
+    /// The default matches [`VmConfig::default`], so unsupervised callers
+    /// see identical behaviour.
+    pub fuel_budget: u64,
 }
 
 impl Default for ExploreConfig {
     fn default() -> Self {
-        Self { exec_budget: 50, inference_cap: 1600, seed: 0xE791 }
+        Self { exec_budget: 50, inference_cap: 1600, seed: 0xE791, fuel_budget: 1 << 20 }
     }
 }
 
@@ -58,6 +63,17 @@ impl ExploreConfig {
         self.seed = seed;
         self
     }
+
+    /// Set the per-execution fuel (VM step) budget.
+    pub fn with_fuel_budget(mut self, fuel_budget: u64) -> Self {
+        self.fuel_budget = fuel_budget;
+        self
+    }
+
+    /// The [`VmConfig`] this exploration runs each candidate under.
+    pub fn vm_config(&self) -> VmConfig {
+        VmConfig::with_fuel(self.fuel_budget)
+    }
 }
 
 /// What one CTI's exploration produced.
@@ -74,6 +90,10 @@ pub struct ExploreOutcome {
     /// Schedule-dependent blocks covered: concurrent coverage minus the
     /// union of the two STIs' sequential coverage.
     pub sched_dep_blocks: BitSet,
+    /// Executions that exhausted the fuel budget (`ExitReason::StepLimit`).
+    pub hangs: u64,
+    /// Executions that aborted on a deadlock (`ExitReason::Deadlock`).
+    pub crashes: u64,
 }
 
 impl ExploreOutcome {
@@ -111,6 +131,8 @@ pub fn explore_pct(
         races: Vec::new(),
         bugs: Vec::new(),
         sched_dep_blocks: BitSet::new(kernel.num_blocks()),
+        hangs: 0,
+        crashes: 0,
     };
     let mut seen_races = HashSet::new();
     let mut seen_hints = HashSet::new();
@@ -121,8 +143,10 @@ pub fn explore_pct(
         if !seen_hints.insert(hints.clone()) {
             continue;
         }
-        let r = run_ct(kernel, &cti, hints, VmConfig::default());
+        let r = run_ct(kernel, &cti, hints, cfg.vm_config());
         outcome.executions += 1;
+        outcome.hangs += u64::from(r.hung());
+        outcome.crashes += u64::from(r.crashed());
         for report in detector.detect(kernel, &r) {
             if seen_races.insert(report.key) {
                 outcome.races.push(report);
@@ -149,7 +173,7 @@ pub fn explore_pct_native(
     cfg: &ExploreConfig,
     depth: usize,
 ) -> ExploreOutcome {
-    use snowcat_vm::{PctScheduler, Vm, VmConfig};
+    use snowcat_vm::{PctScheduler, Vm};
     let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
     let detector = RaceDetector::default();
     let seq_cov = seq_union(kernel, a, b);
@@ -160,13 +184,17 @@ pub fn explore_pct_native(
         races: Vec::new(),
         bugs: Vec::new(),
         sched_dep_blocks: BitSet::new(kernel.num_blocks()),
+        hangs: 0,
+        crashes: 0,
     };
     let mut seen_races = HashSet::new();
     for _ in 0..cfg.exec_budget {
         let mut sched = PctScheduler::new(&mut rng, 2, expected_len, depth);
-        let vm = Vm::new(kernel, vec![a.sti.clone(), b.sti.clone()], VmConfig::default());
+        let vm = Vm::new(kernel, vec![a.sti.clone(), b.sti.clone()], cfg.vm_config());
         let r = vm.run(&mut sched);
         outcome.executions += 1;
+        outcome.hangs += u64::from(r.hung());
+        outcome.crashes += u64::from(r.crashed());
         for report in detector.detect(kernel, &r) {
             if seen_races.insert(report.key) {
                 outcome.races.push(report);
@@ -204,6 +232,8 @@ pub fn explore_mlpct(
         races: Vec::new(),
         bugs: Vec::new(),
         sched_dep_blocks: BitSet::new(kernel.num_blocks()),
+        hangs: 0,
+        crashes: 0,
     };
     let mut seen_races = HashSet::new();
     let mut seen_hints = HashSet::new();
@@ -222,8 +252,10 @@ pub fn explore_mlpct(
         if !strategy.select(&pred) {
             continue;
         }
-        let r = run_ct(kernel, &cti, hints, VmConfig::default());
+        let r = run_ct(kernel, &cti, hints, cfg.vm_config());
         outcome.executions += 1;
+        outcome.hangs += u64::from(r.hung());
+        outcome.crashes += u64::from(r.crashed());
         for report in detector.detect(kernel, &r) {
             if seen_races.insert(report.key) {
                 outcome.races.push(report);
@@ -298,7 +330,8 @@ mod tests {
     #[test]
     fn exploration_is_deterministic_given_seed() {
         let (k, _, corpus) = setup();
-        let cfg = ExploreConfig { exec_budget: 6, inference_cap: 100, seed: 9 };
+        let cfg =
+            ExploreConfig { exec_budget: 6, inference_cap: 100, seed: 9, ..Default::default() };
         let x = explore_pct(&k, &corpus[2], &corpus[3], &cfg);
         let y = explore_pct(&k, &corpus[2], &corpus[3], &cfg);
         assert_eq!(x.executions, y.executions);

@@ -79,6 +79,11 @@ pub struct PredictorStats {
     pub cache_misses: u64,
     /// Cached predictions dropped to respect the cache capacity.
     pub cache_evictions: u64,
+    /// Batches that failed (panic or latency-budget violation) and were
+    /// served by the degradation fallback instead.
+    pub degraded_batches: u64,
+    /// Individual predictions produced by the fallback predictor.
+    pub fallback_predictions: u64,
 }
 
 impl PredictorStats {

@@ -16,8 +16,33 @@
 //! chosen CT").
 
 use crate::pic::PredictedCoverage;
+use serde::{Deserialize, Serialize};
 use snowcat_kernel::BlockId;
 use std::collections::{HashMap, HashSet};
+
+/// Serializable snapshot of a strategy's cumulative memory, used by the
+/// campaign supervisor's checkpoint/resume path. Collections are sorted so
+/// the encoding is deterministic for a given state.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StrategySnapshot {
+    /// [`S1NewBitmap`] memory: sorted fingerprints of seen bitmaps.
+    S1 {
+        /// Seen coverage-bitmap fingerprints.
+        seen: Vec<u64>,
+    },
+    /// [`S2NewBlocks`] memory: sorted seen block ids.
+    S2 {
+        /// Seen predicted-positive blocks.
+        seen: Vec<u32>,
+    },
+    /// [`S3LimitedTrials`] memory: sorted (block, trials) pairs + limit.
+    S3 {
+        /// Per-block trial counts.
+        trials: Vec<(u32, usize)>,
+        /// The per-block trial limit.
+        limit: usize,
+    },
+}
 
 /// A candidate-selection strategy.
 pub trait SelectionStrategy: Send {
@@ -27,6 +52,14 @@ pub trait SelectionStrategy: Send {
 
     /// Short name for reports ("S1", "S2", "S3(3)").
     fn name(&self) -> String;
+
+    /// Export the cumulative memory for checkpointing.
+    fn snapshot(&self) -> StrategySnapshot;
+
+    /// Restore memory from a snapshot. Returns `false` (leaving the
+    /// strategy untouched) if the snapshot belongs to a different strategy
+    /// kind.
+    fn restore(&mut self, snap: &StrategySnapshot) -> bool;
 }
 
 /// S1: new set of positive blocks (coverage-bitmap novelty).
@@ -63,6 +96,22 @@ impl SelectionStrategy for S1NewBitmap {
     fn name(&self) -> String {
         "S1".into()
     }
+
+    fn snapshot(&self) -> StrategySnapshot {
+        let mut seen: Vec<u64> = self.seen.iter().copied().collect();
+        seen.sort_unstable();
+        StrategySnapshot::S1 { seen }
+    }
+
+    fn restore(&mut self, snap: &StrategySnapshot) -> bool {
+        match snap {
+            StrategySnapshot::S1 { seen } => {
+                self.seen = seen.iter().copied().collect();
+                true
+            }
+            _ => false,
+        }
+    }
 }
 
 /// S2: at least one never-before-predicted-covered block.
@@ -96,6 +145,22 @@ impl SelectionStrategy for S2NewBlocks {
     fn name(&self) -> String {
         "S2".into()
     }
+
+    fn snapshot(&self) -> StrategySnapshot {
+        let mut seen: Vec<u32> = self.seen.iter().map(|b| b.0).collect();
+        seen.sort_unstable();
+        StrategySnapshot::S2 { seen }
+    }
+
+    fn restore(&mut self, snap: &StrategySnapshot) -> bool {
+        match snap {
+            StrategySnapshot::S2 { seen } => {
+                self.seen = seen.iter().map(|&b| BlockId(b)).collect();
+                true
+            }
+            _ => false,
+        }
+    }
 }
 
 /// S3: per-block trial budget.
@@ -127,6 +192,23 @@ impl SelectionStrategy for S3LimitedTrials {
 
     fn name(&self) -> String {
         format!("S3({})", self.limit)
+    }
+
+    fn snapshot(&self) -> StrategySnapshot {
+        let mut trials: Vec<(u32, usize)> = self.trials.iter().map(|(b, &n)| (b.0, n)).collect();
+        trials.sort_unstable();
+        StrategySnapshot::S3 { trials, limit: self.limit }
+    }
+
+    fn restore(&mut self, snap: &StrategySnapshot) -> bool {
+        match snap {
+            StrategySnapshot::S3 { trials, limit } => {
+                self.trials = trials.iter().map(|&(b, n)| (BlockId(b), n)).collect();
+                self.limit = (*limit).max(1);
+                true
+            }
+            _ => false,
+        }
     }
 }
 
@@ -215,5 +297,44 @@ mod tests {
         assert_eq!(S1NewBitmap::new().name(), "S1");
         assert_eq!(S2NewBlocks::new().name(), "S2");
         assert_eq!(S3LimitedTrials::new(3).name(), "S3(3)");
+    }
+
+    #[test]
+    fn snapshots_roundtrip_and_preserve_decisions() {
+        // Drive each strategy, snapshot it, restore into a fresh instance,
+        // and check the fresh instance makes the same next decision — the
+        // property the supervisor's checkpoint/resume path relies on.
+        let p = pred_with_blocks(&[(0, 1), (0, 2)], &[true, true]);
+        let q = pred_with_blocks(&[(0, 1)], &[true]);
+        let r = pred_with_blocks(&[(1, 9)], &[true]);
+
+        let mut s1 = S1NewBitmap::new();
+        s1.select(&p);
+        let mut s1b = S1NewBitmap::new();
+        assert!(s1b.restore(&s1.snapshot()));
+        assert!(!s1b.select(&p), "restored S1 remembers the seen bitmap");
+        assert!(s1b.select(&q));
+
+        let mut s2 = S2NewBlocks::new();
+        s2.select(&p);
+        let mut s2b = S2NewBlocks::new();
+        assert!(s2b.restore(&s2.snapshot()));
+        assert!(!s2b.select(&q), "restored S2 remembers seen blocks");
+        assert!(s2b.select(&r));
+
+        let mut s3 = S3LimitedTrials::new(2);
+        s3.select(&q);
+        s3.select(&q);
+        let mut s3b = S3LimitedTrials::new(2);
+        assert!(s3b.restore(&s3.snapshot()));
+        assert!(!s3b.select(&q), "restored S3 remembers exhausted trials");
+
+        // Kind mismatch leaves the strategy untouched.
+        let mut s1c = S1NewBitmap::new();
+        assert!(!s1c.restore(&s3.snapshot()));
+        assert!(s1c.select(&p));
+
+        // Snapshots are deterministic for a given state (sorted encoding).
+        assert_eq!(s3.snapshot(), s3b.snapshot());
     }
 }

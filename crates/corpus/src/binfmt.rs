@@ -14,16 +14,20 @@ use snowcat_vm::{ScheduleHints, SwitchPoint};
 /// Format magic.
 const MAGIC: &[u8; 4] = b"SCDS";
 /// Format version written by [`encode_dataset`]. Version 3 added a
-/// per-vertex flags byte (bit 0 = `may_race`); version-2 payloads still
-/// decode, with the flags defaulting to zero.
-const VERSION: u16 = 3;
+/// per-vertex flags byte (bit 0 = `may_race`); version 4 wrapped the payload
+/// in a checksummed length frame (see [`frame_checksummed`]) so truncated
+/// and bit-flipped files are detected instead of decoding to garbage.
+/// Version-2/3 payloads still decode, without integrity checking.
+const VERSION: u16 = 4;
 /// Oldest version [`decode_dataset`] accepts.
 const MIN_VERSION: u16 = 2;
+/// First version whose payload is CRC-framed.
+const FRAMED_VERSION: u16 = 4;
 
 /// Vertex flags byte, bit 0: static may-race mark.
 const VFLAG_MAY_RACE: u8 = 1;
 
-/// Errors produced by [`decode_dataset`].
+/// Errors produced by [`decode_dataset`] and [`unframe_checksummed`].
 #[derive(Debug, PartialEq, Eq)]
 pub enum DecodeError {
     /// Wrong magic bytes.
@@ -32,6 +36,20 @@ pub enum DecodeError {
     BadVersion(u16),
     /// Input ended prematurely or a length field is inconsistent.
     Truncated,
+    /// The framed payload length disagrees with the bytes actually present.
+    BadLength {
+        /// Length recorded in the frame header.
+        framed: u64,
+        /// Bytes actually available after the header.
+        actual: u64,
+    },
+    /// The payload checksum does not match (bit rot or a torn write).
+    BadChecksum {
+        /// CRC recorded in the frame header.
+        expected: u32,
+        /// CRC recomputed over the payload.
+        actual: u32,
+    },
     /// An enum discriminant is out of range.
     BadEnum(&'static str, u8),
 }
@@ -42,12 +60,90 @@ impl std::fmt::Display for DecodeError {
             DecodeError::BadMagic => write!(f, "not a SCDS dataset (bad magic)"),
             DecodeError::BadVersion(v) => write!(f, "unsupported SCDS version {v}"),
             DecodeError::Truncated => write!(f, "truncated SCDS payload"),
+            DecodeError::BadLength { framed, actual } => {
+                write!(f, "framed length {framed} B but {actual} B present (truncated or torn)")
+            }
+            DecodeError::BadChecksum { expected, actual } => {
+                write!(
+                    f,
+                    "payload checksum mismatch (header {expected:#010x}, data {actual:#010x})"
+                )
+            }
             DecodeError::BadEnum(what, v) => write!(f, "invalid {what} discriminant {v}"),
         }
     }
 }
 
 impl std::error::Error for DecodeError {}
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over `bytes`.
+///
+/// Dependency-free implementation used to integrity-check SCDS datasets and
+/// campaign checkpoints; slice-by-one is plenty for the megabyte-scale files
+/// involved.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// Wrap `payload` in a checksummed length frame:
+/// `magic(4) | version(u16 le) | payload_len(u64 le) | crc32(u32 le) | payload`.
+///
+/// The frame makes truncation (length mismatch) and bit rot (checksum
+/// mismatch) detectable at decode time; both SCDS v4 datasets and SCCP
+/// campaign checkpoints use it.
+pub fn frame_checksummed(magic: &[u8; 4], version: u16, payload: &[u8]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(4 + 2 + 8 + 4 + payload.len());
+    buf.put_slice(magic);
+    buf.put_u16_le(version);
+    buf.put_u64_le(payload.len() as u64);
+    buf.put_u32_le(crc32(payload));
+    buf.put_slice(payload);
+    buf.freeze()
+}
+
+/// Undo [`frame_checksummed`]: verify magic, version range, framed length and
+/// checksum, returning `(version, payload)`. Every malformed input — wrong
+/// magic, unknown version, truncation at any offset, any flipped bit in
+/// header or payload — yields a typed [`DecodeError`], never a panic.
+pub fn unframe_checksummed(
+    magic: &[u8; 4],
+    min_version: u16,
+    max_version: u16,
+    mut buf: Bytes,
+) -> Result<(u16, Bytes), DecodeError> {
+    if buf.remaining() < 4 + 2 + 8 + 4 {
+        return Err(DecodeError::Truncated);
+    }
+    let mut got = [0u8; 4];
+    buf.copy_to_slice(&mut got);
+    if &got != magic {
+        return Err(DecodeError::BadMagic);
+    }
+    let version = buf.get_u16_le();
+    if !(min_version..=max_version).contains(&version) {
+        return Err(DecodeError::BadVersion(version));
+    }
+    let framed = buf.get_u64_le();
+    let expected = buf.get_u32_le();
+    let actual_len = buf.remaining() as u64;
+    if framed != actual_len {
+        return Err(DecodeError::BadLength { framed, actual: actual_len });
+    }
+    let payload = buf.slice(0..buf.remaining());
+    let actual = crc32(&payload);
+    if actual != expected {
+        return Err(DecodeError::BadChecksum { expected, actual });
+    }
+    Ok((version, payload))
+}
 
 fn put_bits(buf: &mut BytesMut, bits: &[bool]) {
     buf.put_u32_le(bits.len() as u32);
@@ -167,11 +263,9 @@ fn decode_graph(buf: &mut Bytes, version: u16) -> Result<CtGraph, DecodeError> {
     Ok(CtGraph { verts, edges })
 }
 
-/// Encode a dataset into the compact binary format.
+/// Encode a dataset into the compact binary format (v4: checksummed frame).
 pub fn encode_dataset(ds: &Dataset) -> Bytes {
     let mut buf = BytesMut::with_capacity(1 << 20);
-    buf.put_slice(MAGIC);
-    buf.put_u16_le(VERSION);
     buf.put_u32_le(ds.examples.len() as u32);
     for e in &ds.examples {
         buf.put_u32_le(e.cti_index as u32);
@@ -185,13 +279,26 @@ pub fn encode_dataset(ds: &Dataset) -> Bytes {
             buf.put_u64_le(sw.after);
         }
     }
-    buf.freeze()
+    frame_checksummed(MAGIC, VERSION, &buf.freeze())
 }
 
 /// Decode a dataset from the compact binary format.
+///
+/// v4 payloads are length- and CRC-checked first, so truncation and bit rot
+/// anywhere in the file surface as typed errors; v2/v3 payloads decode with
+/// structural validation only (their headers carry no checksum).
 pub fn decode_dataset(mut buf: Bytes) -> Result<Dataset, DecodeError> {
-    if buf.remaining() < 4 + 2 + 4 {
+    if buf.remaining() < 4 + 2 {
         return Err(DecodeError::Truncated);
+    }
+    // Peek the version to route framed vs legacy layouts.
+    let peeked_version = u16::from_le_bytes([buf[4], buf[5]]);
+    if peeked_version >= FRAMED_VERSION || !(MIN_VERSION..=VERSION).contains(&peeked_version) {
+        // Framed layout (or an invalid version, which unframing reports
+        // with the same typed errors as the legacy path would).
+        let (_, payload) = unframe_checksummed(MAGIC, MIN_VERSION, VERSION, buf)?;
+        // The framed body reuses the v3 example layout (per-vertex flags).
+        return decode_examples(payload, 3);
     }
     let mut magic = [0u8; 4];
     buf.copy_to_slice(&mut magic);
@@ -199,8 +306,13 @@ pub fn decode_dataset(mut buf: Bytes) -> Result<Dataset, DecodeError> {
         return Err(DecodeError::BadMagic);
     }
     let version = buf.get_u16_le();
-    if !(MIN_VERSION..=VERSION).contains(&version) {
-        return Err(DecodeError::BadVersion(version));
+    decode_examples(buf, version)
+}
+
+/// Decode the example section (`count u32 | examples…`) of an SCDS payload.
+fn decode_examples(mut buf: Bytes, version: u16) -> Result<Dataset, DecodeError> {
+    if buf.remaining() < 4 {
+        return Err(DecodeError::Truncated);
     }
     let n = buf.get_u32_le() as usize;
     let mut examples = Vec::with_capacity(n.min(1 << 24));
@@ -313,11 +425,66 @@ mod tests {
 
     #[test]
     fn future_versions_are_rejected() {
-        let mut buf = BytesMut::new();
-        buf.put_slice(MAGIC);
-        buf.put_u16_le(VERSION + 1);
-        buf.put_u32_le(0);
-        assert_eq!(decode_dataset(buf.freeze()).unwrap_err(), DecodeError::BadVersion(VERSION + 1));
+        let framed = frame_checksummed(MAGIC, VERSION + 1, &[0, 0, 0, 0]);
+        assert_eq!(decode_dataset(framed).unwrap_err(), DecodeError::BadVersion(VERSION + 1));
+    }
+
+    #[test]
+    fn crc32_matches_reference_vectors() {
+        // Standard IEEE CRC-32 check values.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn frame_roundtrips_and_reports_typed_corruption() {
+        let payload = b"campaign state goes here";
+        let framed = frame_checksummed(b"SCCP", 1, payload);
+        let (v, back) = unframe_checksummed(b"SCCP", 1, 1, framed.clone()).unwrap();
+        assert_eq!(v, 1);
+        assert_eq!(back.as_slice(), payload);
+
+        // Wrong magic.
+        assert_eq!(
+            unframe_checksummed(b"XXXX", 1, 1, framed.clone()).unwrap_err(),
+            DecodeError::BadMagic
+        );
+        // Truncated payload → length mismatch.
+        let torn = framed.slice(0..framed.len() - 3);
+        assert!(matches!(
+            unframe_checksummed(b"SCCP", 1, 1, torn).unwrap_err(),
+            DecodeError::BadLength { .. }
+        ));
+        // Truncated header.
+        assert_eq!(
+            unframe_checksummed(b"SCCP", 1, 1, framed.slice(0..9)).unwrap_err(),
+            DecodeError::Truncated
+        );
+        // Any payload bit flip → checksum mismatch.
+        let mut flipped = framed.to_vec();
+        let last = flipped.len() - 1;
+        flipped[last] ^= 0x40;
+        assert!(matches!(
+            unframe_checksummed(b"SCCP", 1, 1, Bytes::from(flipped)).unwrap_err(),
+            DecodeError::BadChecksum { .. }
+        ));
+    }
+
+    #[test]
+    fn v4_datasets_detect_any_bit_flip() {
+        let ds = sample_dataset();
+        let bytes = encode_dataset(&ds).to_vec();
+        // Flip one bit at a spread of offsets: decode must always fail with
+        // a typed error (the CRC frame leaves no undetectable positions).
+        for pos in (0..bytes.len()).step_by(131) {
+            let mut raw = bytes.clone();
+            raw[pos] ^= 0x10;
+            assert!(
+                decode_dataset(Bytes::from(raw)).is_err(),
+                "flip at byte {pos} decoded successfully"
+            );
+        }
     }
 
     #[test]

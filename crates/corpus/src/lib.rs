@@ -16,7 +16,9 @@ pub mod binfmt;
 pub mod dataset;
 pub mod fuzzer;
 
-pub use binfmt::{decode_dataset, encode_dataset, DecodeError};
+pub use binfmt::{
+    crc32, decode_dataset, encode_dataset, frame_checksummed, unframe_checksummed, DecodeError,
+};
 pub use dataset::{
     build_dataset, interacting_cti_pairs, make_splits, random_cti_pairs, Dataset, DatasetConfig,
     Example, Splits,

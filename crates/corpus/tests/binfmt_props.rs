@@ -99,8 +99,20 @@ proptest! {
         let mut raw = encode_dataset(&ds).to_vec();
         let pos = ((raw.len() - 1) as f64 * pos_frac) as usize;
         raw[pos] ^= 1 << bit;
-        // Decoding a corrupted payload must not panic; it may error or
-        // produce a (different) dataset if the flip landed in benign data.
-        let _ = decode_dataset(bytes::Bytes::from(raw));
+        // SCDS v4 frames the payload with a CRC32, so *any* single-bit flip
+        // anywhere in the file must be detected as a typed error — never a
+        // panic, never a silently different dataset.
+        prop_assert!(decode_dataset(bytes::Bytes::from(raw)).is_err());
+    }
+
+    #[test]
+    fn truncation_fails_cleanly(examples in proptest::collection::vec(arb_example(), 1..3),
+                                cut_frac in 0.0f64..1.0) {
+        let ds = Dataset { examples };
+        let raw = encode_dataset(&ds).to_vec();
+        // Truncate at every possible offset short of the full length: the
+        // length framing must catch the tear with a typed error.
+        let cut = ((raw.len() - 1) as f64 * cut_frac) as usize;
+        prop_assert!(decode_dataset(bytes::Bytes::from(raw[..cut].to_vec())).is_err());
     }
 }

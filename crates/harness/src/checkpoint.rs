@@ -1,0 +1,255 @@
+//! Checksummed campaign checkpoints (SCCP format) with atomic rotation.
+//!
+//! A checkpoint captures everything the supervisor needs to resume a killed
+//! campaign at the exact CTI position it stopped: accumulated coverage,
+//! race sets, history, quarantine, the selection strategy's memory, and the
+//! base seed (per-CTI seeds are derived positionally, so "RNG state" is the
+//! base seed plus the resume position).
+//!
+//! On-disk framing reuses the corpus crate's checksummed envelope
+//! (`magic | version | length | crc32 | payload`, payload = JSON), so a
+//! truncated or bit-flipped snapshot is *detected*, not deserialized into
+//! garbage. Writes are atomic (tmp + rename) and rotate the previous
+//! snapshot to `<path>.prev`; loads fall back to `.prev` when the current
+//! file is corrupt, and only fail when neither is usable.
+
+use crate::supervisor::RecoveryLog;
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+use snowcat_core::{HistoryPoint, SnowcatError, StrategySnapshot};
+use snowcat_corpus::{frame_checksummed, unframe_checksummed};
+use snowcat_kernel::BugId;
+use snowcat_race::RaceKey;
+use snowcat_vm::BitSet;
+use std::path::{Path, PathBuf};
+
+/// Magic of the Snowcat Campaign CheckPoint envelope.
+pub const CKPT_MAGIC: &[u8; 4] = b"SCCP";
+/// Current (and minimum readable) envelope version.
+pub const CKPT_VERSION: u16 = 1;
+
+/// Full campaign state at a stream position.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignCheckpoint {
+    /// Explorer label — resumes must match the original explorer.
+    pub label: String,
+    /// Base exploration seed — per-CTI seeds derive from it positionally.
+    pub seed: u64,
+    /// Next stream position to process.
+    pub position: usize,
+    /// Dynamic executions accumulated (accepted attempts only).
+    pub executions: u64,
+    /// Inferences accumulated (accepted attempts only).
+    pub inferences: u64,
+    /// Unique potential race keys, sorted.
+    pub race_keys: Vec<RaceKey>,
+    /// Unique harmful race keys, sorted.
+    pub harmful_keys: Vec<RaceKey>,
+    /// Schedule-dependent block coverage bitmap.
+    pub blocks: BitSet,
+    /// Bugs exposed, in discovery order.
+    pub bugs_found: Vec<BugId>,
+    /// History points recorded so far.
+    pub history: Vec<HistoryPoint>,
+    /// Quarantined CT pairs (corpus index pairs), sorted.
+    pub quarantine: Vec<(usize, usize)>,
+    /// Selection-strategy memory (None for PCT).
+    pub strategy: Option<StrategySnapshot>,
+    /// Recovery counters accumulated so far.
+    pub recovery: RecoveryLog,
+}
+
+/// Serialize a checkpoint into its checksummed envelope.
+pub fn encode_checkpoint(ck: &CampaignCheckpoint) -> Result<Vec<u8>, SnowcatError> {
+    let payload = serde_json::to_string(ck).map_err(|e| SnowcatError::Parse {
+        path: PathBuf::new(),
+        message: format!("checkpoint serialization failed: {e}"),
+    })?;
+    Ok(frame_checksummed(CKPT_MAGIC, CKPT_VERSION, payload.as_bytes()).to_vec())
+}
+
+/// Decode a checkpoint, verifying magic, version, length and checksum.
+pub fn decode_checkpoint(path: &Path, bytes: &[u8]) -> Result<CampaignCheckpoint, SnowcatError> {
+    let corrupt =
+        |detail: String| SnowcatError::CheckpointCorrupt { path: path.to_owned(), detail };
+    let (_, payload) =
+        unframe_checksummed(CKPT_MAGIC, CKPT_VERSION, CKPT_VERSION, Bytes::from(bytes.to_vec()))
+            .map_err(|e| corrupt(e.to_string()))?;
+    let text = std::str::from_utf8(payload.as_slice())
+        .map_err(|e| corrupt(format!("payload is not UTF-8: {e}")))?;
+    serde_json::from_str(text).map_err(|e| corrupt(format!("payload is not a checkpoint: {e}")))
+}
+
+/// The rotation target for the previous good snapshot.
+pub fn prev_path(path: &Path) -> PathBuf {
+    let mut os = path.as_os_str().to_owned();
+    os.push(".prev");
+    PathBuf::from(os)
+}
+
+/// Atomically write a checkpoint: serialize to `<path>.tmp`, rotate any
+/// existing `<path>` to `<path>.prev`, then rename the tmp file into place.
+/// A SIGKILL at any point leaves either the old snapshot, the old snapshot
+/// plus a stray tmp file, or the new snapshot — never a torn `<path>`.
+///
+/// `raw_override` lets fault injection substitute corrupted bytes while
+/// keeping the write path identical.
+pub fn save_checkpoint_atomic(
+    path: &Path,
+    ck: &CampaignCheckpoint,
+    raw_override: Option<Vec<u8>>,
+) -> Result<(), SnowcatError> {
+    let bytes = match raw_override {
+        Some(raw) => raw,
+        None => encode_checkpoint(ck)?,
+    };
+    let io_err = |p: &Path, source: std::io::Error| SnowcatError::Io { path: p.to_owned(), source };
+    let tmp = {
+        let mut os = path.as_os_str().to_owned();
+        os.push(".tmp");
+        PathBuf::from(os)
+    };
+    std::fs::write(&tmp, &bytes).map_err(|e| io_err(&tmp, e))?;
+    if path.exists() {
+        std::fs::rename(path, prev_path(path)).map_err(|e| io_err(path, e))?;
+    }
+    std::fs::rename(&tmp, path).map_err(|e| io_err(&tmp, e))
+}
+
+/// Load a checkpoint, falling back to `<path>.prev` when `<path>` is
+/// missing or fails its integrity checks. Returns the checkpoint and
+/// whether the fallback was used. Errors with
+/// [`SnowcatError::CheckpointCorrupt`] when no usable snapshot exists.
+pub fn load_checkpoint_with_fallback(
+    path: &Path,
+) -> Result<(CampaignCheckpoint, bool), SnowcatError> {
+    let primary = try_load(path);
+    match primary {
+        Ok(ck) => Ok((ck, false)),
+        Err(first) => {
+            let prev = prev_path(path);
+            match try_load(&prev) {
+                Ok(ck) => Ok((ck, true)),
+                Err(_) => {
+                    // Avoid double-prefixing when the first failure is
+                    // already a CheckpointCorrupt naming this path.
+                    let detail = match &first {
+                        SnowcatError::CheckpointCorrupt { detail, .. } => detail.clone(),
+                        other => other.to_string(),
+                    };
+                    Err(SnowcatError::CheckpointCorrupt {
+                        path: path.to_owned(),
+                        detail: format!("{detail}; fallback {} also unusable", prev.display()),
+                    })
+                }
+            }
+        }
+    }
+}
+
+fn try_load(path: &Path) -> Result<CampaignCheckpoint, SnowcatError> {
+    let bytes =
+        std::fs::read(path).map_err(|source| SnowcatError::Io { path: path.to_owned(), source })?;
+    decode_checkpoint(path, &bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::{corrupt, CorruptionKind};
+
+    fn sample(position: usize) -> CampaignCheckpoint {
+        let mut blocks = BitSet::new(64);
+        blocks.insert(3);
+        blocks.insert(17);
+        CampaignCheckpoint {
+            label: "PCT".into(),
+            seed: 0xE791,
+            position,
+            executions: 40,
+            inferences: 0,
+            race_keys: vec![],
+            harmful_keys: vec![],
+            blocks,
+            bugs_found: vec![BugId(2)],
+            history: vec![],
+            quarantine: vec![(1, 4)],
+            strategy: Some(StrategySnapshot::S2 { seen: vec![3, 17] }),
+            recovery: RecoveryLog { hung_attempts: 1, ..Default::default() },
+        }
+    }
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("snowcat-ckpt-{tag}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn roundtrips_through_envelope() {
+        let ck = sample(5);
+        let bytes = encode_checkpoint(&ck).unwrap();
+        let back = decode_checkpoint(Path::new("x"), &bytes).unwrap();
+        assert_eq!(back, ck);
+    }
+
+    #[test]
+    fn corruption_is_detected_not_deserialized() {
+        let bytes = encode_checkpoint(&sample(5)).unwrap();
+        for kind in [CorruptionKind::Flip, CorruptionKind::Truncate] {
+            let bad = corrupt(&bytes, kind);
+            let err = decode_checkpoint(Path::new("x"), &bad).unwrap_err();
+            assert!(
+                matches!(err, SnowcatError::CheckpointCorrupt { .. }),
+                "expected CheckpointCorrupt, got {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn rotation_keeps_previous_good_snapshot() {
+        let dir = tmp_dir("rotate");
+        let path = dir.join("campaign.ckpt");
+        save_checkpoint_atomic(&path, &sample(1), None).unwrap();
+        save_checkpoint_atomic(&path, &sample(2), None).unwrap();
+        let (ck, fell_back) = load_checkpoint_with_fallback(&path).unwrap();
+        assert_eq!(ck.position, 2);
+        assert!(!fell_back);
+        let (prev, _) = load_checkpoint_with_fallback(&prev_path(&path)).unwrap();
+        assert_eq!(prev.position, 1);
+    }
+
+    #[test]
+    fn corrupt_current_falls_back_to_previous() {
+        let dir = tmp_dir("fallback");
+        let path = dir.join("campaign.ckpt");
+        save_checkpoint_atomic(&path, &sample(1), None).unwrap();
+        // Second write is corrupted on disk (injected I/O corruption).
+        let raw = corrupt(&encode_checkpoint(&sample(2)).unwrap(), CorruptionKind::Flip);
+        save_checkpoint_atomic(&path, &sample(2), Some(raw)).unwrap();
+        let (ck, fell_back) = load_checkpoint_with_fallback(&path).unwrap();
+        assert!(fell_back, "corrupt current snapshot must fall back to .prev");
+        assert_eq!(ck.position, 1);
+    }
+
+    #[test]
+    fn both_corrupt_is_a_typed_error() {
+        let dir = tmp_dir("dead");
+        let path = dir.join("campaign.ckpt");
+        std::fs::write(&path, b"garbage").unwrap();
+        std::fs::write(prev_path(&path), b"more garbage").unwrap();
+        let err = load_checkpoint_with_fallback(&path).unwrap_err();
+        assert!(matches!(err, SnowcatError::CheckpointCorrupt { .. }));
+        assert!(err.to_string().contains("campaign.ckpt"), "error names the file: {err}");
+        assert_eq!(err.exit_code(), 4);
+    }
+
+    #[test]
+    fn missing_file_is_an_io_error_when_no_fallback() {
+        let dir = tmp_dir("missing");
+        let err = load_checkpoint_with_fallback(&dir.join("nope.ckpt")).unwrap_err();
+        // Neither file exists: surfaced as CheckpointCorrupt naming both.
+        assert!(matches!(err, SnowcatError::CheckpointCorrupt { .. }));
+    }
+}

@@ -1,0 +1,257 @@
+//! Deterministic fault injection for recovery-path testing.
+//!
+//! A [`FaultPlan`] describes, reproducibly, which faults to inject where:
+//! executor hangs at chosen stream positions, predictor failures at a fixed
+//! batch cadence, checkpoint corruption at chosen write ordinals, and worker
+//! panics for parallel campaign runs. Plans parse from a compact spec string
+//! so the CLI can take them on the command line (`--fault-plan
+//! "hang@3x2,pred@5,ckpt@2:flip"`), and an empty plan injects nothing — the
+//! supervised path must then be bit-identical to the unsupervised one.
+
+use snowcat_core::{CoveragePredictor, PredictedCoverage, PredictorStats};
+use snowcat_graph::CtGraph;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// How a checkpoint write is corrupted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CorruptionKind {
+    /// Flip one byte in the middle of the written file.
+    Flip,
+    /// Truncate the file to half its length.
+    Truncate,
+}
+
+/// Force the first `attempts` exploration attempts at stream position
+/// `position` to run with a starvation fuel budget, so they classify hung.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HangFault {
+    /// Stream position (CTI index) the fault applies to.
+    pub position: usize,
+    /// How many consecutive attempts at that position hang.
+    pub attempts: u32,
+}
+
+/// Corrupt the `ordinal`-th checkpoint write (1-based).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointFault {
+    /// Which checkpoint write to corrupt (1 = first write).
+    pub ordinal: u64,
+    /// How to corrupt it.
+    pub kind: CorruptionKind,
+}
+
+/// A reproducible fault-injection plan.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    /// Executor-hang faults by stream position.
+    pub hangs: Vec<HangFault>,
+    /// Panic every Nth predictor batch (None = no predictor faults).
+    pub predictor_period: Option<u64>,
+    /// Checkpoint-corruption faults by write ordinal.
+    pub checkpoints: Vec<CheckpointFault>,
+    /// Campaign indices whose parallel worker panics (used with
+    /// `ExplorerSpec::Faulty` by callers of `run_campaigns_parallel`).
+    pub worker_panics: Vec<usize>,
+}
+
+impl FaultPlan {
+    /// True when the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.hangs.is_empty()
+            && self.predictor_period.is_none()
+            && self.checkpoints.is_empty()
+            && self.worker_panics.is_empty()
+    }
+
+    /// How many attempts at stream position `position` should hang.
+    pub fn hang_attempts_at(&self, position: usize) -> u32 {
+        self.hangs.iter().filter(|h| h.position == position).map(|h| h.attempts).sum()
+    }
+
+    /// The corruption to apply to the `ordinal`-th checkpoint write, if any.
+    pub fn checkpoint_fault(&self, ordinal: u64) -> Option<CorruptionKind> {
+        self.checkpoints.iter().find(|c| c.ordinal == ordinal).map(|c| c.kind)
+    }
+
+    /// Parse a comma-separated spec string. Grammar (whitespace-free):
+    ///
+    /// * `hang@I` / `hang@IxN` — hang the first 1 (resp. N) attempts at
+    ///   stream position I,
+    /// * `pred@N` — panic every Nth predictor batch (N ≥ 1),
+    /// * `ckpt@K:flip` / `ckpt@K:trunc` — corrupt the Kth checkpoint write,
+    /// * `panic@I` — panic the parallel campaign worker at spec index I.
+    ///
+    /// The empty string parses to the empty plan.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let mut plan = FaultPlan::default();
+        for token in spec.split(',').map(str::trim).filter(|t| !t.is_empty()) {
+            let (kind, rest) = token
+                .split_once('@')
+                .ok_or_else(|| format!("fault token '{token}' is missing '@'"))?;
+            match kind {
+                "hang" => {
+                    let (pos, attempts) = match rest.split_once('x') {
+                        Some((p, n)) => (
+                            p.parse::<usize>().map_err(|_| bad_num(token, p))?,
+                            n.parse::<u32>().map_err(|_| bad_num(token, n))?,
+                        ),
+                        None => (rest.parse::<usize>().map_err(|_| bad_num(token, rest))?, 1),
+                    };
+                    if attempts == 0 {
+                        return Err(format!("'{token}': hang count must be ≥ 1"));
+                    }
+                    plan.hangs.push(HangFault { position: pos, attempts });
+                }
+                "pred" => {
+                    let n = rest.parse::<u64>().map_err(|_| bad_num(token, rest))?;
+                    if n == 0 {
+                        return Err(format!("'{token}': predictor period must be ≥ 1"));
+                    }
+                    if plan.predictor_period.is_some() {
+                        return Err("duplicate pred@ fault".into());
+                    }
+                    plan.predictor_period = Some(n);
+                }
+                "ckpt" => {
+                    let (ord, how) = rest
+                        .split_once(':')
+                        .ok_or_else(|| format!("'{token}': expected ckpt@K:flip|trunc"))?;
+                    let ordinal = ord.parse::<u64>().map_err(|_| bad_num(token, ord))?;
+                    if ordinal == 0 {
+                        return Err(format!("'{token}': checkpoint ordinal is 1-based"));
+                    }
+                    let kind = match how {
+                        "flip" => CorruptionKind::Flip,
+                        "trunc" => CorruptionKind::Truncate,
+                        other => return Err(format!("'{token}': unknown corruption '{other}'")),
+                    };
+                    plan.checkpoints.push(CheckpointFault { ordinal, kind });
+                }
+                "panic" => {
+                    let i = rest.parse::<usize>().map_err(|_| bad_num(token, rest))?;
+                    plan.worker_panics.push(i);
+                }
+                other => return Err(format!("unknown fault kind '{other}' in '{token}'")),
+            }
+        }
+        Ok(plan)
+    }
+}
+
+fn bad_num(token: &str, field: &str) -> String {
+    format!("'{token}': '{field}' is not a valid number")
+}
+
+/// Corrupt a serialized blob per `kind` (pure function, for checkpoint
+/// fault injection and tests).
+pub fn corrupt(bytes: &[u8], kind: CorruptionKind) -> Vec<u8> {
+    let mut out = bytes.to_vec();
+    match kind {
+        CorruptionKind::Flip => {
+            if !out.is_empty() {
+                let mid = out.len() / 2;
+                out[mid] ^= 0x20;
+            }
+            out
+        }
+        CorruptionKind::Truncate => {
+            out.truncate(out.len() / 2);
+            out
+        }
+    }
+}
+
+/// A predictor wrapper that panics on a fixed batch cadence — the injected
+/// "predictor failure" the [`crate::resilient::ResilientPredictor`] must
+/// contain. Deterministic: the Nth, 2Nth, … batches fail.
+pub struct FaultyPredictor<P> {
+    inner: P,
+    period: u64,
+    batch_no: AtomicU64,
+}
+
+impl<P: CoveragePredictor> FaultyPredictor<P> {
+    /// Wrap `inner`, panicking on every `period`-th batch (period ≥ 1;
+    /// a period of 1 fails every batch).
+    pub fn new(inner: P, period: u64) -> Self {
+        Self { inner, period: period.max(1), batch_no: AtomicU64::new(0) }
+    }
+}
+
+impl<P: CoveragePredictor> CoveragePredictor for FaultyPredictor<P> {
+    fn predict_batch(&self, graphs: &[CtGraph]) -> Vec<PredictedCoverage> {
+        let n = self.batch_no.fetch_add(1, Ordering::Relaxed) + 1;
+        if n.is_multiple_of(self.period) {
+            panic!("injected predictor fault (batch {n})");
+        }
+        self.inner.predict_batch(graphs)
+    }
+
+    fn stats(&self) -> PredictorStats {
+        self.inner.stats()
+    }
+
+    fn fingerprint(&self) -> u64 {
+        self.inner.fingerprint()
+    }
+
+    fn name(&self) -> String {
+        format!("faulty/{}({})", self.period, self.inner.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_spec_is_empty_plan() {
+        let plan = FaultPlan::parse("").unwrap();
+        assert!(plan.is_empty());
+        assert_eq!(plan, FaultPlan::default());
+    }
+
+    #[test]
+    fn full_grammar_parses() {
+        let plan =
+            FaultPlan::parse("hang@3x2,hang@7,pred@5,ckpt@2:flip,ckpt@4:trunc,panic@1").unwrap();
+        assert_eq!(plan.hang_attempts_at(3), 2);
+        assert_eq!(plan.hang_attempts_at(7), 1);
+        assert_eq!(plan.hang_attempts_at(0), 0);
+        assert_eq!(plan.predictor_period, Some(5));
+        assert_eq!(plan.checkpoint_fault(2), Some(CorruptionKind::Flip));
+        assert_eq!(plan.checkpoint_fault(4), Some(CorruptionKind::Truncate));
+        assert_eq!(plan.checkpoint_fault(1), None);
+        assert_eq!(plan.worker_panics, vec![1]);
+        assert!(!plan.is_empty());
+    }
+
+    #[test]
+    fn malformed_specs_are_rejected() {
+        for bad in [
+            "hang",
+            "hang@",
+            "hang@x",
+            "hang@1x0",
+            "pred@0",
+            "pred@x",
+            "ckpt@1",
+            "ckpt@0:flip",
+            "ckpt@1:melt",
+            "wobble@3",
+            "pred@2,pred@3",
+        ] {
+            assert!(FaultPlan::parse(bad).is_err(), "'{bad}' should not parse");
+        }
+    }
+
+    #[test]
+    fn corruption_changes_bytes() {
+        let original = vec![7u8; 64];
+        let flipped = corrupt(&original, CorruptionKind::Flip);
+        assert_eq!(flipped.len(), original.len());
+        assert_ne!(flipped, original);
+        let torn = corrupt(&original, CorruptionKind::Truncate);
+        assert_eq!(torn.len(), 32);
+    }
+}

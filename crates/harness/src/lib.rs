@@ -1,0 +1,39 @@
+//! Fault-tolerant campaign supervision for the Snowcat reproduction.
+//!
+//! Long concurrency-testing campaigns die for reasons that have nothing to
+//! do with the kernel under test: a schedule wedges the guest, the learned
+//! predictor OOMs or stalls, a worker thread panics, the host reboots. The
+//! paper's artifact survives these by supervising the loop; this crate is
+//! that layer for the reproduction, built from four pieces:
+//!
+//! * [`watchdog`] — fuel-bounded execution with hang/crash classification,
+//! * [`checkpoint`] — checksummed, atomically-rotated campaign snapshots
+//!   with `.prev` fallback,
+//! * [`resilient`] — a predictor wrapper that degrades to a cheap baseline
+//!   instead of aborting,
+//! * [`fault`] — deterministic fault injection to prove the recovery paths,
+//! * [`supervisor`] — the loop tying them together: retry hung schedules
+//!   with fresh seeds, quarantine repeat offenders, checkpoint periodically,
+//!   resume exactly.
+//!
+//! The supervised loop is bit-identical to the plain
+//! [`snowcat_core::run_campaign_budgeted`] when no faults are injected and
+//! no fuel override is set — robustness costs nothing on the happy path.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod checkpoint;
+pub mod fault;
+pub mod resilient;
+pub mod supervisor;
+pub mod watchdog;
+
+pub use checkpoint::{
+    decode_checkpoint, encode_checkpoint, load_checkpoint_with_fallback, prev_path,
+    save_checkpoint_atomic, CampaignCheckpoint, CKPT_MAGIC, CKPT_VERSION,
+};
+pub use fault::{corrupt, CheckpointFault, CorruptionKind, FaultPlan, FaultyPredictor, HangFault};
+pub use resilient::ResilientPredictor;
+pub use supervisor::{run_supervised_campaign, RecoveryLog, SupervisedResult, SupervisorConfig};
+pub use watchdog::{run_ct_watchdog, ExecOutcome};

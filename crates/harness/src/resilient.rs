@@ -1,0 +1,221 @@
+//! Graceful predictor degradation.
+//!
+//! ConPredictor-style resilience: when the expensive learned predictor is
+//! unavailable (a batch panics) or too slow (repeated latency-budget
+//! violations), fall back to the cheap deterministic baseline instead of
+//! aborting the campaign. MLPCT with a degraded predictor is still a valid
+//! explorer — it just selects candidates with less insight — so a campaign
+//! finishes with degradation *counters* rather than a crash.
+
+use snowcat_core::{CoveragePredictor, PredictedCoverage, PredictorStats};
+use snowcat_graph::CtGraph;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Wraps a primary predictor with a fallback. Per-batch panics are caught
+/// and served by the fallback; after `max_violations` latency-budget
+/// violations the wrapper degrades permanently and routes every further
+/// batch to the fallback.
+///
+/// With no latency budget and a healthy primary, the wrapper is fully
+/// transparent: predictions are bit-identical to calling the primary
+/// directly.
+pub struct ResilientPredictor<P, F> {
+    primary: P,
+    fallback: F,
+    latency_budget: Option<Duration>,
+    max_violations: u32,
+    violations: AtomicU32,
+    permanently_degraded: AtomicBool,
+    batches: AtomicU64,
+    degraded_batches: AtomicU64,
+    fallback_predictions: AtomicU64,
+}
+
+impl<P: CoveragePredictor, F: CoveragePredictor> ResilientPredictor<P, F> {
+    /// Wrap `primary`, degrading to `fallback` on per-batch failure.
+    pub fn new(primary: P, fallback: F) -> Self {
+        Self {
+            primary,
+            fallback,
+            latency_budget: None,
+            max_violations: 3,
+            violations: AtomicU32::new(0),
+            permanently_degraded: AtomicBool::new(false),
+            batches: AtomicU64::new(0),
+            degraded_batches: AtomicU64::new(0),
+            fallback_predictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Additionally degrade permanently after `max_violations` batches
+    /// exceed `budget` wall-clock time (the batch that violates is still
+    /// served by the primary — it already paid the cost).
+    pub fn with_latency_budget(mut self, budget: Duration, max_violations: u32) -> Self {
+        self.latency_budget = Some(budget);
+        self.max_violations = max_violations.max(1);
+        self
+    }
+
+    /// True once the wrapper has switched permanently to the fallback.
+    pub fn is_degraded(&self) -> bool {
+        self.permanently_degraded.load(Ordering::Relaxed)
+    }
+
+    /// Batches served by the fallback so far.
+    pub fn degraded_batches(&self) -> u64 {
+        self.degraded_batches.load(Ordering::Relaxed)
+    }
+
+    fn degrade(&self, graphs: &[CtGraph]) -> Vec<PredictedCoverage> {
+        self.degraded_batches.fetch_add(1, Ordering::Relaxed);
+        self.fallback_predictions.fetch_add(graphs.len() as u64, Ordering::Relaxed);
+        self.fallback.predict_batch(graphs)
+    }
+}
+
+impl<P: CoveragePredictor, F: CoveragePredictor> CoveragePredictor for ResilientPredictor<P, F> {
+    fn predict_batch(&self, graphs: &[CtGraph]) -> Vec<PredictedCoverage> {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        if self.permanently_degraded.load(Ordering::Relaxed) {
+            return self.degrade(graphs);
+        }
+        let start = Instant::now();
+        match catch_unwind(AssertUnwindSafe(|| self.primary.predict_batch(graphs))) {
+            Ok(preds) if preds.len() == graphs.len() => {
+                if let Some(budget) = self.latency_budget {
+                    if start.elapsed() > budget {
+                        let v = self.violations.fetch_add(1, Ordering::Relaxed) + 1;
+                        if v >= self.max_violations {
+                            self.permanently_degraded.store(true, Ordering::Relaxed);
+                        }
+                    }
+                }
+                preds
+            }
+            // Wrong-length output is a contract violation — treat it like a
+            // failed batch rather than letting it misalign downstream.
+            Ok(_) | Err(_) => self.degrade(graphs),
+        }
+    }
+
+    fn stats(&self) -> PredictorStats {
+        let mut s = self.primary.stats();
+        s.batches = self.batches.load(Ordering::Relaxed);
+        s.degraded_batches += self.degraded_batches.load(Ordering::Relaxed);
+        s.fallback_predictions += self.fallback_predictions.load(Ordering::Relaxed);
+        s
+    }
+
+    fn fingerprint(&self) -> u64 {
+        self.primary.fingerprint()
+    }
+
+    fn name(&self) -> String {
+        format!("resilient({}|{})", self.primary.name(), self.fallback.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::FaultyPredictor;
+    use snowcat_core::BaselineService;
+    use snowcat_graph::{CtGraph, SchedMark, VertKind, Vertex};
+    use snowcat_kernel::{BlockId, ThreadId};
+
+    fn tiny_graph(tag: u32) -> CtGraph {
+        CtGraph {
+            verts: vec![Vertex {
+                block: BlockId(tag),
+                thread: ThreadId(0),
+                kind: VertKind::Scb,
+                sched_mark: SchedMark::None,
+                may_race: false,
+                tokens: vec![tag],
+            }],
+            edges: vec![],
+        }
+    }
+
+    /// A predictor that burns wall-clock time before answering.
+    struct SlowPredictor {
+        inner: BaselineService,
+        delay: Duration,
+    }
+
+    impl CoveragePredictor for SlowPredictor {
+        fn predict_batch(&self, graphs: &[CtGraph]) -> Vec<PredictedCoverage> {
+            std::thread::sleep(self.delay);
+            self.inner.predict_batch(graphs)
+        }
+        fn stats(&self) -> PredictorStats {
+            self.inner.stats()
+        }
+        fn fingerprint(&self) -> u64 {
+            self.inner.fingerprint()
+        }
+        fn name(&self) -> String {
+            "slow".into()
+        }
+    }
+
+    #[test]
+    fn healthy_primary_is_transparent() {
+        let primary = BaselineService::fair_coin(7);
+        let reference = BaselineService::fair_coin(7);
+        let wrapped = ResilientPredictor::new(primary, BaselineService::all_pos());
+        let graphs = [tiny_graph(1), tiny_graph(2)];
+        let a = wrapped.predict_batch(&graphs);
+        let b = reference.predict_batch(&graphs);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.positive, y.positive);
+            assert_eq!(x.probs, y.probs);
+        }
+        let s = wrapped.stats();
+        assert_eq!(s.degraded_batches, 0);
+        assert_eq!(s.fallback_predictions, 0);
+        assert!(!wrapped.is_degraded());
+    }
+
+    #[test]
+    fn panicking_batches_fall_back() {
+        // Fail every 2nd batch: batches 2 and 4 degrade, 1 and 3 succeed.
+        let faulty = FaultyPredictor::new(BaselineService::fair_coin(7), 2);
+        let wrapped = ResilientPredictor::new(faulty, BaselineService::all_pos());
+        let graphs = [tiny_graph(1), tiny_graph(2), tiny_graph(3)];
+        for _ in 0..4 {
+            let preds = wrapped.predict_batch(&graphs);
+            assert_eq!(preds.len(), graphs.len(), "output stays aligned even when degraded");
+        }
+        let s = wrapped.stats();
+        assert_eq!(s.batches, 4);
+        assert_eq!(s.degraded_batches, 2);
+        assert_eq!(s.fallback_predictions, 6);
+        assert!(!wrapped.is_degraded(), "panic fallback is per-batch, not permanent");
+        // Degraded batches come from all-pos: every vertex positive.
+        let _healthy = wrapped.predict_batch(&graphs); // batch 5 succeeds
+        let degraded = wrapped.predict_batch(&graphs); // batch 6 fails (periods 2, 4, 6)
+        assert!(degraded.iter().all(|p| p.positive.iter().all(|&x| x)));
+    }
+
+    #[test]
+    fn repeated_latency_violations_degrade_permanently() {
+        let slow = SlowPredictor {
+            inner: BaselineService::fair_coin(3),
+            delay: Duration::from_millis(20),
+        };
+        let wrapped = ResilientPredictor::new(slow, BaselineService::all_pos())
+            .with_latency_budget(Duration::from_millis(1), 2);
+        let graphs = [tiny_graph(9)];
+        // Two violating batches trip the breaker…
+        wrapped.predict_batch(&graphs);
+        wrapped.predict_batch(&graphs);
+        assert!(wrapped.is_degraded());
+        // …after which every batch is served by the fallback (all-pos).
+        let p = wrapped.predict_batch(&graphs);
+        assert!(p[0].positive.iter().all(|&x| x));
+        assert!(wrapped.stats().degraded_batches >= 1);
+    }
+}

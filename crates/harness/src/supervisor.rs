@@ -1,0 +1,419 @@
+//! The campaign supervisor: a fault-tolerant drop-in for
+//! `snowcat_core::run_campaign_budgeted`.
+//!
+//! The supervised loop replicates the unsupervised one exactly — same
+//! positional per-CTI seed derivation, same time-budget check, same
+//! accumulation order — so with an empty [`FaultPlan`] and the default fuel
+//! budget the results are bit-identical. On top of that it adds the four
+//! robustness pillars:
+//!
+//! 1. **watchdog execution** — every attempt runs under a fuel budget; an
+//!    attempt whose executions *all* hang is retried with a different seed
+//!    (bounded), and CT pairs that hang through every retry are quarantined
+//!    (skipped at later stream positions, reported in the result),
+//! 2. **checkpoint/resume** — periodic checksummed snapshots via
+//!    [`crate::checkpoint`]; a killed campaign resumes at the exact stream
+//!    position with identical final state,
+//! 3. **graceful predictor degradation** — explorers can route inference
+//!    through [`crate::resilient::ResilientPredictor`]; the supervisor
+//!    reports the chain's degradation counters in the result,
+//! 4. **fault injection** — a [`FaultPlan`] forces hangs at chosen
+//!    positions and corrupts chosen checkpoint writes, deterministically.
+//!
+//! Quarantine is keyed by CT *pair* (not stream position) and seeds are
+//! derived by *position*, so skipping a quarantined pair never shifts the
+//! seeds of later CTIs.
+
+use crate::checkpoint::{save_checkpoint_atomic, CampaignCheckpoint};
+use crate::fault::{corrupt, FaultPlan};
+use serde::{Deserialize, Serialize};
+use snowcat_core::{
+    explore_mlpct, explore_pct, CampaignResult, CostModel, ExploreConfig, Explorer, HistoryPoint,
+    PredictorStats, SnowcatError,
+};
+use snowcat_corpus::StiProfile;
+use snowcat_kernel::{BugId, Kernel};
+use snowcat_race::RaceSet;
+use snowcat_vm::BitSet;
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+
+/// Per-CTI seed derivation — identical to `run_campaign_budgeted`.
+const SEED_GOLDEN: u64 = 0x9E37_79B9_7F4A_7C15;
+/// Retry salt: decorrelates retry seeds from the positional stream.
+const RETRY_SALT: u64 = 0xD1B5_4A32_D192_ED03;
+/// Starvation fuel used for injected hang faults.
+const INJECTED_HANG_FUEL: u64 = 1;
+
+/// Supervisor knobs. `Default` is maximally transparent: no checkpointing,
+/// no fault plan, fuel from the exploration config, 2 retries.
+#[derive(Debug, Clone, Default)]
+pub struct SupervisorConfig {
+    /// Fuel (VM step) budget per execution; `None` inherits
+    /// [`ExploreConfig::fuel_budget`].
+    pub fuel_budget: Option<u64>,
+    /// Retries (with a different seed) after a fully-hung attempt before
+    /// the CT pair is quarantined.
+    pub max_retries: u32,
+    /// Where to write checkpoints (`None` disables checkpointing).
+    pub checkpoint_path: Option<PathBuf>,
+    /// Write a checkpoint every N processed stream positions (min 1).
+    pub checkpoint_every: usize,
+    /// Simulated-time budget in hours, as in `run_campaign_budgeted`.
+    pub max_hours: Option<f64>,
+    /// Stop after processing this many stream positions *this run* (a
+    /// checkpoint is written first if checkpointing is on) — the in-process
+    /// equivalent of a mid-campaign kill, used by resume tests.
+    pub stop_after: Option<usize>,
+    /// Sleep this long after each stream position — widens the kill window
+    /// for out-of-process kill-and-resume tests.
+    pub stall_ms: u64,
+    /// Deterministic faults to inject.
+    pub fault_plan: FaultPlan,
+}
+
+impl SupervisorConfig {
+    /// Transparent supervision with 2 retries and no checkpointing.
+    pub fn new() -> Self {
+        Self { max_retries: 2, checkpoint_every: 25, ..Default::default() }
+    }
+}
+
+/// Counters describing what the supervisor had to recover from.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RecoveryLog {
+    /// Attempts whose executions all hung.
+    pub hung_attempts: u64,
+    /// Retries issued after hung attempts.
+    pub retries: u64,
+    /// Executions spent on rejected (hung) attempts — not counted in the
+    /// campaign's execution totals.
+    pub wasted_executions: u64,
+    /// CT pairs quarantined after exhausting retries.
+    pub quarantined: u64,
+    /// Stream positions skipped because their pair was already quarantined.
+    pub skipped_quarantined: u64,
+    /// Checkpoints written.
+    pub checkpoints_written: u64,
+}
+
+/// What a supervised campaign produced: the plain [`CampaignResult`] plus
+/// robustness metadata.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SupervisedResult {
+    /// The campaign result, shaped exactly like the unsupervised one.
+    pub result: CampaignResult,
+    /// Quarantined CT pairs (corpus index pairs), sorted.
+    pub quarantined: Vec<(usize, usize)>,
+    /// Recovery counters.
+    pub recovery: RecoveryLog,
+    /// Stream position this run resumed from (None for a fresh run).
+    pub resumed_from: Option<usize>,
+    /// Predictor-chain counters (None for PCT), including degradation.
+    pub predictor_stats: Option<PredictorStats>,
+}
+
+/// Mutable campaign accumulators, extracted so checkpointing and resuming
+/// are symmetric.
+struct SupState {
+    races: RaceSet,
+    harmful: RaceSet,
+    blocks: BitSet,
+    bugs_found: Vec<BugId>,
+    executions: u64,
+    inferences: u64,
+    history: Vec<HistoryPoint>,
+    quarantine: BTreeSet<(usize, usize)>,
+    recovery: RecoveryLog,
+}
+
+impl SupState {
+    fn fresh(num_blocks: usize) -> Self {
+        Self {
+            races: RaceSet::new(),
+            harmful: RaceSet::new(),
+            blocks: BitSet::new(num_blocks),
+            bugs_found: Vec::new(),
+            executions: 0,
+            inferences: 0,
+            history: Vec::new(),
+            quarantine: BTreeSet::new(),
+            recovery: RecoveryLog::default(),
+        }
+    }
+
+    fn from_checkpoint(ck: &CampaignCheckpoint) -> Self {
+        let mut races = RaceSet::new();
+        for &k in &ck.race_keys {
+            races.insert(k);
+        }
+        let mut harmful = RaceSet::new();
+        for &k in &ck.harmful_keys {
+            harmful.insert(k);
+        }
+        Self {
+            races,
+            harmful,
+            blocks: ck.blocks.clone(),
+            bugs_found: ck.bugs_found.clone(),
+            executions: ck.executions,
+            inferences: ck.inferences,
+            history: ck.history.clone(),
+            quarantine: ck.quarantine.iter().copied().collect(),
+            recovery: ck.recovery,
+        }
+    }
+
+    fn to_checkpoint(
+        &self,
+        label: &str,
+        seed: u64,
+        position: usize,
+        strategy: Option<snowcat_core::StrategySnapshot>,
+    ) -> CampaignCheckpoint {
+        let mut race_keys: Vec<_> = self.races.iter().copied().collect();
+        race_keys.sort_unstable();
+        let mut harmful_keys: Vec<_> = self.harmful.iter().copied().collect();
+        harmful_keys.sort_unstable();
+        CampaignCheckpoint {
+            label: label.to_owned(),
+            seed,
+            position,
+            executions: self.executions,
+            inferences: self.inferences,
+            race_keys,
+            harmful_keys,
+            blocks: self.blocks.clone(),
+            bugs_found: self.bugs_found.clone(),
+            history: self.history.clone(),
+            quarantine: self.quarantine.iter().copied().collect(),
+            strategy,
+            recovery: self.recovery,
+        }
+    }
+}
+
+/// Run a supervised campaign. With `resume`, validation requires the
+/// checkpoint's label and seed to match the explorer and config it was
+/// written under — resuming an S1 campaign with an S2 explorer, or with a
+/// different base seed, is a configuration error, not silent divergence.
+#[allow(clippy::too_many_arguments)]
+pub fn run_supervised_campaign(
+    kernel: &Kernel,
+    corpus: &[StiProfile],
+    stream: &[(usize, usize)],
+    mut explorer: Explorer<'_, '_>,
+    explore_cfg: &ExploreConfig,
+    cost: &CostModel,
+    sup: &SupervisorConfig,
+    resume: Option<CampaignCheckpoint>,
+) -> Result<SupervisedResult, SnowcatError> {
+    let label = explorer.label();
+    let effective_fuel = sup.fuel_budget.unwrap_or(explore_cfg.fuel_budget);
+    let checkpoint_every = sup.checkpoint_every.max(1);
+
+    let (mut state, start, resumed_from) = match resume {
+        None => (SupState::fresh(kernel.num_blocks()), 0, None),
+        Some(ck) => {
+            if ck.label != label {
+                return Err(SnowcatError::Config(format!(
+                    "checkpoint was written by explorer '{}', not '{label}'",
+                    ck.label
+                )));
+            }
+            if ck.seed != explore_cfg.seed {
+                return Err(SnowcatError::Config(format!(
+                    "checkpoint base seed {:#x} does not match configured seed {:#x}",
+                    ck.seed, explore_cfg.seed
+                )));
+            }
+            if ck.position > stream.len() {
+                return Err(SnowcatError::Config(format!(
+                    "checkpoint position {} is beyond the stream ({} CTIs)",
+                    ck.position,
+                    stream.len()
+                )));
+            }
+            if let Explorer::MlPct { strategy, .. } = &mut explorer {
+                match &ck.strategy {
+                    Some(snap) if strategy.restore(snap) => {}
+                    Some(_) => {
+                        return Err(SnowcatError::Config(
+                            "checkpoint strategy snapshot does not match the explorer's \
+                             strategy kind"
+                                .into(),
+                        ))
+                    }
+                    None => {
+                        return Err(SnowcatError::Config(
+                            "checkpoint has no strategy snapshot but the explorer is MLPCT".into(),
+                        ))
+                    }
+                }
+            }
+            let pos = ck.position;
+            (SupState::from_checkpoint(&ck), pos, Some(pos))
+        }
+    };
+
+    let mut processed_this_run = 0usize;
+    let mut next_position = start;
+    #[allow(clippy::needless_range_loop)] // resume starts mid-stream; the index IS the seed input
+    for ci in start..stream.len() {
+        if let Some(h) = sup.max_hours {
+            if cost.hours(state.executions, state.inferences) >= h {
+                break;
+            }
+        }
+        if let Some(n) = sup.stop_after {
+            if processed_this_run >= n {
+                break;
+            }
+        }
+        let (ia, ib) = stream[ci];
+        if state.quarantine.contains(&(ia, ib)) {
+            state.recovery.skipped_quarantined += 1;
+            next_position = ci + 1;
+            processed_this_run += 1;
+            continue;
+        }
+
+        let planned_hangs = sup.fault_plan.hang_attempts_at(ci);
+        let mut accepted = None;
+        for attempt in 0..=sup.max_retries {
+            let salt = if attempt == 0 { 0 } else { u64::from(attempt).wrapping_mul(RETRY_SALT) };
+            let fuel = if attempt < planned_hangs { INJECTED_HANG_FUEL } else { effective_fuel };
+            let cfg = (*explore_cfg)
+                .with_seed(explore_cfg.seed ^ (ci as u64).wrapping_mul(SEED_GOLDEN) ^ salt)
+                .with_fuel_budget(fuel);
+            // Hung attempts are discarded wholesale, so the strategy's
+            // cumulative memory must be rolled back with them.
+            let pre = match &explorer {
+                Explorer::MlPct { strategy, .. } => Some(strategy.snapshot()),
+                _ => None,
+            };
+            let a = &corpus[ia];
+            let b = &corpus[ib];
+            let outcome = match &mut explorer {
+                Explorer::Pct => explore_pct(kernel, a, b, &cfg),
+                Explorer::MlPct { service, strategy } => {
+                    explore_mlpct(kernel, service, strategy.as_mut(), a, b, &cfg)
+                }
+            };
+            let fully_hung = outcome.executions > 0 && outcome.hangs == outcome.executions;
+            if !fully_hung {
+                accepted = Some(outcome);
+                break;
+            }
+            state.recovery.hung_attempts += 1;
+            state.recovery.wasted_executions += outcome.executions;
+            if let (Explorer::MlPct { strategy, .. }, Some(snap)) = (&mut explorer, &pre) {
+                strategy.restore(snap);
+            }
+            if attempt < sup.max_retries {
+                state.recovery.retries += 1;
+            }
+        }
+
+        match accepted {
+            Some(outcome) => {
+                state.executions += outcome.executions;
+                state.inferences += outcome.inferences;
+                for r in &outcome.races {
+                    state.races.insert(r.key);
+                    if !r.benign {
+                        state.harmful.insert(r.key);
+                    }
+                }
+                state.blocks.union_with(&outcome.sched_dep_blocks);
+                for bug in outcome.bugs {
+                    if !state.bugs_found.contains(&bug) {
+                        state.bugs_found.push(bug);
+                    }
+                }
+                state.history.push(HistoryPoint {
+                    ctis: ci + 1,
+                    executions: state.executions,
+                    inferences: state.inferences,
+                    hours: cost.hours(state.executions, state.inferences),
+                    races: state.races.len(),
+                    harmful_races: state.harmful.len(),
+                    sched_dep_blocks: state.blocks.count(),
+                    bugs: state.bugs_found.len(),
+                });
+            }
+            None => {
+                state.quarantine.insert((ia, ib));
+                state.recovery.quarantined += 1;
+            }
+        }
+
+        next_position = ci + 1;
+        processed_this_run += 1;
+
+        if let Some(path) = &sup.checkpoint_path {
+            if processed_this_run.is_multiple_of(checkpoint_every)
+                || sup.stop_after == Some(processed_this_run)
+            {
+                write_checkpoint(
+                    path,
+                    &state,
+                    &label,
+                    explore_cfg.seed,
+                    next_position,
+                    &explorer,
+                    sup,
+                )?;
+                state.recovery.checkpoints_written += 1;
+            }
+        }
+        if sup.stall_ms > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(sup.stall_ms));
+        }
+    }
+
+    // Final checkpoint so a completed campaign can still be re-resumed
+    // (a resume at position == stream.len() is a no-op run).
+    if let Some(path) = &sup.checkpoint_path {
+        write_checkpoint(path, &state, &label, explore_cfg.seed, next_position, &explorer, sup)?;
+        state.recovery.checkpoints_written += 1;
+    }
+
+    let predictor_stats = match &explorer {
+        Explorer::MlPct { service, .. } => Some(service.stats()),
+        _ => None,
+    };
+    Ok(SupervisedResult {
+        result: CampaignResult { label, history: state.history, bugs_found: state.bugs_found },
+        quarantined: state.quarantine.into_iter().collect(),
+        recovery: state.recovery,
+        resumed_from,
+        predictor_stats,
+    })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn write_checkpoint(
+    path: &std::path::Path,
+    state: &SupState,
+    label: &str,
+    seed: u64,
+    position: usize,
+    explorer: &Explorer<'_, '_>,
+    sup: &SupervisorConfig,
+) -> Result<(), SnowcatError> {
+    // NOTE: `state.recovery` is copied into the checkpoint *before* the
+    // written-counter increment below, which is intentional: on resume the
+    // counter continues from the snapshots that preceded this write.
+    let strategy = match explorer {
+        Explorer::MlPct { strategy, .. } => Some(strategy.snapshot()),
+        _ => None,
+    };
+    let ck = state.to_checkpoint(label, seed, position, strategy);
+    let ordinal = state.recovery.checkpoints_written + 1;
+    let raw = match sup.fault_plan.checkpoint_fault(ordinal) {
+        Some(kind) => Some(corrupt(&crate::checkpoint::encode_checkpoint(&ck)?, kind)),
+        None => None,
+    };
+    save_checkpoint_atomic(path, &ck, raw)
+}

@@ -1,0 +1,149 @@
+//! Watchdog execution: fuel-bounded runs with hang/crash classification.
+//!
+//! SKI's real deployment survives wedged guests by bounding every execution
+//! and classifying how it ended; this module is the reproduction's
+//! equivalent. Every run gets a *fuel* (VM step) budget; a run that exhausts
+//! it is classified [`ExecOutcome::Hung`], a run that aborts on a
+//! cross-thread deadlock is [`ExecOutcome::Crashed`], and everything else is
+//! [`ExecOutcome::Completed`]. The supervisor retries hung schedules with a
+//! different seed and quarantines CTs that hang repeatedly.
+
+use snowcat_kernel::Kernel;
+use snowcat_vm::{run_ct, Cti, ExecResult, ScheduleHints, VmConfig};
+
+/// How a watchdog-supervised execution ended. Each variant carries the full
+/// [`ExecResult`] — even hung and crashed runs have (partial) coverage and
+/// access streams worth inspecting.
+#[derive(Debug, Clone)]
+pub enum ExecOutcome {
+    /// All threads ran to completion within the fuel budget.
+    Completed(ExecResult),
+    /// The fuel budget was exhausted before completion (a wedged guest).
+    Hung(ExecResult),
+    /// The run aborted on a cross-thread deadlock.
+    Crashed(ExecResult),
+}
+
+impl ExecOutcome {
+    /// Classify a raw execution result by its exit reason.
+    pub fn classify(r: ExecResult) -> Self {
+        if r.hung() {
+            ExecOutcome::Hung(r)
+        } else if r.crashed() {
+            ExecOutcome::Crashed(r)
+        } else {
+            ExecOutcome::Completed(r)
+        }
+    }
+
+    /// The underlying execution result, whatever the classification.
+    pub fn result(&self) -> &ExecResult {
+        match self {
+            ExecOutcome::Completed(r) | ExecOutcome::Hung(r) | ExecOutcome::Crashed(r) => r,
+        }
+    }
+
+    /// True for [`ExecOutcome::Completed`].
+    pub fn is_completed(&self) -> bool {
+        matches!(self, ExecOutcome::Completed(_))
+    }
+
+    /// True for [`ExecOutcome::Hung`].
+    pub fn is_hung(&self) -> bool {
+        matches!(self, ExecOutcome::Hung(_))
+    }
+
+    /// True for [`ExecOutcome::Crashed`].
+    pub fn is_crashed(&self) -> bool {
+        matches!(self, ExecOutcome::Crashed(_))
+    }
+}
+
+/// Execute one CT under a fuel budget and classify the outcome. The VM is
+/// deterministic, so the classification is reproducible for a given
+/// (kernel, CTI, hints, fuel) tuple.
+pub fn run_ct_watchdog(kernel: &Kernel, cti: &Cti, hints: ScheduleHints, fuel: u64) -> ExecOutcome {
+    ExecOutcome::classify(run_ct(kernel, cti, hints, VmConfig::with_fuel(fuel)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snowcat_kernel::{
+        Block, BlockId, FuncId, Function, Kernel, Subsystem, SubsystemId, SyscallId, SyscallSpec,
+        Terminator, ThreadId,
+    };
+    use snowcat_vm::{Sti, SyscallInvocation};
+
+    /// A hand-built kernel whose only syscall spins forever: one block that
+    /// jumps to itself. Generated kernels are loop-free, so this is the
+    /// planted pathological input the watchdog must catch.
+    fn looping_kernel() -> Kernel {
+        Kernel {
+            version: "loop-test".into(),
+            blocks: vec![Block {
+                func: FuncId(0),
+                instrs: vec![],
+                term: Terminator::Jump(BlockId(0)),
+            }],
+            funcs: vec![Function {
+                name: "spin_forever".into(),
+                subsystem: SubsystemId(0),
+                entry: BlockId(0),
+                blocks: vec![BlockId(0)],
+            }],
+            subsystems: vec![Subsystem { name: "test".into(), locks: vec![], regions: vec![] }],
+            regions: vec![],
+            syscalls: vec![SyscallSpec {
+                name: "sys_spin".into(),
+                func: FuncId(0),
+                subsystem: SubsystemId(0),
+                arg_max: vec![],
+            }],
+            bugs: vec![],
+            mem_words: 1,
+            num_locks: 0,
+            init_mem: vec![0],
+        }
+    }
+
+    fn spin_cti() -> Cti {
+        let sti = Sti::new(vec![SyscallInvocation { syscall: SyscallId(0), args: [0; 3] }]);
+        Cti::new(sti.clone(), sti)
+    }
+
+    #[test]
+    fn infinite_loop_is_classified_hung_within_fuel_budget() {
+        let k = looping_kernel();
+        let hints = ScheduleHints { first: ThreadId(0), switches: vec![] };
+        // A small budget keeps the test fast; the classification must be
+        // Hung, and the run must consume no more than the budget.
+        let fuel = 500;
+        let out = run_ct_watchdog(&k, &spin_cti(), hints, fuel);
+        assert!(out.is_hung(), "infinite loop must exhaust fuel, got {:?}", out.result().exit);
+        assert!(out.result().steps <= fuel, "watchdog must stop at the fuel budget");
+    }
+
+    #[test]
+    fn classification_is_deterministic() {
+        let k = looping_kernel();
+        let hints = ScheduleHints { first: ThreadId(0), switches: vec![] };
+        let a = run_ct_watchdog(&k, &spin_cti(), hints.clone(), 200);
+        let b = run_ct_watchdog(&k, &spin_cti(), hints, 200);
+        assert!(a.is_hung() && b.is_hung());
+        assert_eq!(a.result().steps, b.result().steps);
+    }
+
+    #[test]
+    fn generated_kernels_complete_under_default_fuel() {
+        use snowcat_kernel::{generate, GenConfig};
+        let k = generate(&GenConfig::default());
+        let sti = Sti::new(vec![SyscallInvocation { syscall: SyscallId(0), args: [0; 3] }]);
+        let hints = ScheduleHints { first: ThreadId(0), switches: vec![] };
+        let out = run_ct_watchdog(&k, &Cti::new(sti.clone(), sti), hints, 1 << 20);
+        assert!(
+            out.is_completed() || out.is_crashed(),
+            "loop-free kernels never hang under the default budget"
+        );
+    }
+}

@@ -40,6 +40,16 @@ impl Default for VmConfig {
     }
 }
 
+impl VmConfig {
+    /// Config with an explicit fuel (step) budget. Supervised campaigns use
+    /// this to bound wedged executions: once the budget is exhausted the run
+    /// exits with [`ExitReason::StepLimit`](crate::trace::ExitReason) and the
+    /// watchdog classifies it as hung.
+    pub fn with_fuel(fuel: u64) -> Self {
+        Self { max_steps: fuel, ..Self::default() }
+    }
+}
+
 #[derive(Debug, Clone)]
 struct Frame {
     block: BlockId,

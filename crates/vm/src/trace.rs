@@ -81,6 +81,18 @@ pub struct ExecResult {
 }
 
 impl ExecResult {
+    /// True when the run exhausted its step/fuel budget — the watchdog's
+    /// "hung execution" signal (a wedged guest in SKI terms).
+    pub fn hung(&self) -> bool {
+        self.exit == ExitReason::StepLimit
+    }
+
+    /// True when the run aborted on a cross-thread deadlock — the watchdog's
+    /// "crashed execution" signal.
+    pub fn crashed(&self) -> bool {
+        self.exit == ExitReason::Deadlock
+    }
+
     /// Unique bugs hit during the run.
     pub fn unique_bugs(&self) -> Vec<BugId> {
         let mut ids: Vec<BugId> = self.bugs.iter().map(|b| b.bug).collect();
