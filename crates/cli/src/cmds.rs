@@ -7,16 +7,17 @@ use snowcat_analysis::{analyze as run_analysis, Allowlist, Severity};
 use snowcat_cfg::KernelCfg;
 use snowcat_core::{
     explore_mlpct, explore_pct, find_candidates, find_candidates_prefiltered, load_checkpoint,
-    reproduce, save_checkpoint, save_dataset, train_pic, CachedPredictor, CostModel,
+    reproduce, save_checkpoint, save_checkpoint_json, save_dataset, CachedPredictor, CostModel,
     CoveragePredictor, ExploreConfig, Explorer, Pic, PipelineConfig, PredictorService,
     RacePrefilter, RazzerMode, S1NewBitmap, SnowcatError, StrategyKind,
 };
 use snowcat_corpus::{build_dataset, interacting_cti_pairs, DatasetConfig, StiFuzzer};
 use snowcat_harness::{
-    load_checkpoint_with_fallback, run_supervised_campaign, FaultPlan, SupervisorConfig,
+    load_checkpoint_with_fallback, load_shards_quarantining, robust_train, run_supervised_campaign,
+    FaultPlan, RobustTrainConfig, SupervisorConfig, TrainFaultPlan,
 };
 use snowcat_kernel::{asm, Kernel, KernelVersion};
-use snowcat_nn::{Checkpoint, PicConfig, TrainConfig};
+use snowcat_nn::{Checkpoint, PicConfig, PicModel, TrainConfig};
 
 /// Default family seed, matching the experiment harness.
 const DEFAULT_SEED: u64 = 0x5EED_2023;
@@ -198,26 +199,64 @@ pub fn collect(args: &Args) -> CmdResult {
     Ok(())
 }
 
-/// `snowcat train` — full pipeline, checkpoint to JSON.
+/// `snowcat train` — robust, resumable training pipeline; binary (SCMC)
+/// model checkpoint out, epoch-granular (STCP) training checkpoints with
+/// `--checkpoint`, anomaly guards with rollback, and shard-quarantining
+/// data loading with `--data`.
 pub fn train(args: &Args) -> CmdResult {
-    args.ensure_known(&["version", "seed", "out", "ctis", "epochs", "threads", "flow"])?;
+    args.ensure_known(&[
+        "version",
+        "seed",
+        "out",
+        "ctis",
+        "epochs",
+        "threads",
+        "flow",
+        "data",
+        "checkpoint",
+        "checkpoint-every",
+        "resume",
+        "fault-plan",
+        "patience",
+        "export-json",
+        "report",
+        "stall-ms",
+    ])?;
     let k = build_kernel(args)?;
     let cfg = KernelCfg::build(&k);
     let out = args.get("out").ok_or("--out FILE is required")?;
     let seed = args.get_parse("seed", DEFAULT_SEED)?;
+    let train_cfg = TrainConfig {
+        epochs: args.get_parse("epochs", 6usize)?,
+        threads: args.get_parse("threads", 1usize)?,
+        ..TrainConfig::default()
+    };
     let pcfg = PipelineConfig::default()
         .with_fuzz_iterations(150)
         .with_n_ctis(args.get_parse("ctis", 200usize)?)
         .with_train_interleavings(12)
         .with_eval_interleavings(12)
         .with_model(PicConfig::default())
-        .with_train(TrainConfig {
-            epochs: args.get_parse("epochs", 6usize)?,
-            threads: args.get_parse("threads", 1usize)?,
-            ..TrainConfig::default()
-        })
+        .with_train(train_cfg)
         .with_seed(seed);
-    let checkpoint = if args.has_flag("flow") {
+
+    if args.has_flag("flow") {
+        // The flow head trains through the plain joint path; the supervised
+        // trainer covers the deployed coverage head only.
+        for robust in [
+            "data",
+            "checkpoint",
+            "checkpoint-every",
+            "resume",
+            "fault-plan",
+            "patience",
+            "report",
+            "stall-ms",
+        ] {
+            if args.get(robust).is_some() || args.has_flag(robust) {
+                return Err(format!("--flow does not support --{robust}").into());
+            }
+        }
         println!("training PIC with the inter-thread-flow head ...");
         let data = snowcat_core::collect_data(&k, &cfg, &pcfg);
         let (ck, summary, flow_ap) = snowcat_core::train_on_with_flows(
@@ -232,19 +271,123 @@ pub fn train(args: &Args) -> CmdResult {
             "coverage val AP {:.4}, flow AP {:.4}, threshold {:.2}",
             summary.val_urb_ap, flow_ap, ck.threshold
         );
-        ck
-    } else {
-        println!("training PIC ...");
-        let outp = train_pic(&k, &cfg, &pcfg, "PIC-cli");
-        let s = &outp.summary;
-        println!(
-            "trained on {} graphs; val URB AP {:.4}; eval URB P/R {:.3}/{:.3}; threshold {:.2}",
-            s.examples.0, s.val_urb_ap, s.eval_urb.precision, s.eval_urb.recall, s.threshold
-        );
-        outp.checkpoint
+        save_checkpoint(std::path::Path::new(&out), &ck)?;
+        println!("wrote checkpoint to {out}");
+        if let Some(p) = args.get("export-json") {
+            save_checkpoint_json(std::path::Path::new(p), &ck)?;
+            println!("wrote JSON export to {p}");
+        }
+        return Ok(());
+    }
+
+    let fault_plan = TrainFaultPlan::parse(&args.get_or("fault-plan", ""))
+        .map_err(|e| SnowcatError::Config(format!("--fault-plan: {e}")))?;
+
+    // Data: either quarantine-load shards collected earlier, or collect
+    // deterministically from the synthetic kernel (the plain-pipeline path).
+    let mut quarantine = None;
+    let (train_set, valid_set, eval_set) = match args.get("data") {
+        Some(spec) => {
+            let paths: Vec<std::path::PathBuf> =
+                spec.split(',').filter(|s| !s.is_empty()).map(std::path::PathBuf::from).collect();
+            let (merged, q) = load_shards_quarantining(&paths, &fault_plan);
+            println!(
+                "loaded {}/{} shards ({} examples), {} quarantined",
+                q.loaded,
+                paths.len(),
+                q.examples,
+                q.quarantined.len()
+            );
+            for issue in &q.quarantined {
+                eprintln!("warning: quarantined shard {}: {}", issue.path, issue.reason);
+            }
+            if merged.is_empty() {
+                return Err(SnowcatError::Config(
+                    "no usable examples: every shard was quarantined".into(),
+                )
+                .into());
+            }
+            quarantine = Some(q);
+            // Deterministic 90/10 train/valid split by example position.
+            let mut tr = snowcat_corpus::Dataset::default();
+            let mut va = snowcat_corpus::Dataset::default();
+            for (i, e) in merged.examples.into_iter().enumerate() {
+                if i % 10 == 9 {
+                    va.examples.push(e);
+                } else {
+                    tr.examples.push(e);
+                }
+            }
+            (tr, va, None)
+        }
+        None => {
+            let data = snowcat_core::collect_data(&k, &cfg, &pcfg);
+            (data.train_set, data.valid_set, Some(data.eval_set))
+        }
     };
+
+    println!("training PIC ({} train / {} valid graphs) ...", train_set.len(), valid_set.len());
+    let pre = snowcat_core::pretrain_encoder(&k, &pcfg.model, seed);
+    let mut model = PicModel::new(pcfg.model);
+    model.params.tok_emb = pre.tok_emb.clone();
+    let train_refs = snowcat_core::as_labeled(&train_set);
+    let valid_refs = snowcat_core::as_labeled(&valid_set);
+
+    let mut rcfg = RobustTrainConfig::new(pcfg.train);
+    rcfg.checkpoint_path = args.get("checkpoint").map(std::path::PathBuf::from);
+    rcfg.checkpoint_every = args.get_parse("checkpoint-every", 1usize)?;
+    if let Some(p) = args.get("patience") {
+        rcfg.patience = Some(p.parse().map_err(|_| format!("--patience: cannot parse {p:?}"))?);
+    }
+    rcfg.stall_ms = args.get_parse("stall-ms", 0u64)?;
+    rcfg.fault_plan = fault_plan;
+    let resume = args.has_flag("resume");
+    if resume && rcfg.checkpoint_path.is_none() {
+        return Err(SnowcatError::Config("--resume requires --checkpoint FILE".into()).into());
+    }
+
+    let report = robust_train(&mut model, &train_refs, &valid_refs, &rcfg, resume)?;
+    let threshold = report.threshold.unwrap_or(0.5);
+    let checkpoint = Checkpoint::new(&model, threshold, "PIC-cli");
+    println!(
+        "trained {} epochs; val URB AP {:.4}; threshold {:.2}; {} anomalies survived{}",
+        report.epoch_losses.len(),
+        report.val_ap.last().copied().unwrap_or(f64::NAN),
+        threshold,
+        report.anomalies.len(),
+        if report.early_stopped { " (early-stopped)" } else { "" },
+    );
+    for a in &report.anomalies {
+        println!("  anomaly: epoch {} attempt {}: {} ({})", a.epoch, a.attempt, a.kind, a.detail);
+    }
+    if let Some(eval) = &eval_set {
+        let eval_refs = snowcat_core::as_labeled(eval);
+        let m = snowcat_nn::evaluate(&model, &eval_refs, threshold, true);
+        println!("eval URB P/R {:.3}/{:.3} over {} graphs", m.precision, m.recall, eval.len());
+    }
+
     save_checkpoint(std::path::Path::new(&out), &checkpoint)?;
     println!("wrote checkpoint to {out}");
+    if let Some(p) = args.get("export-json") {
+        save_checkpoint_json(std::path::Path::new(p), &checkpoint)?;
+        println!("wrote JSON export to {p}");
+    }
+    if let Some(p) = args.get("report") {
+        // Compose manually: the run report and quarantine report both
+        // serialize deterministically (no wall-clock fields), so a resumed
+        // run's report is byte-identical to an uninterrupted one.
+        let quarantine_json = match &quarantine {
+            Some(q) => serde_json::to_string(q)?,
+            None => "null".to_string(),
+        };
+        let json = format!(
+            "{{\"result\":{},\"quarantine\":{}}}",
+            serde_json::to_string(&report)?,
+            quarantine_json
+        );
+        std::fs::write(p, json)?;
+        println!("report written to {p}");
+    }
     Ok(())
 }
 

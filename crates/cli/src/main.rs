@@ -5,9 +5,9 @@
 //! snowcat disasm   --version 5.12 --func fs_open [--seed N]
 //! snowcat fuzz     --version 5.12 [--iterations N]
 //! snowcat collect  --version 5.12 --out data.scds [--ctis N] [--interleavings K]
-//! snowcat train    --version 5.12 --out pic.json [--ctis N] [--epochs E] [--flow]
-//! snowcat explore  --version 5.12 --model pic.json [--ctis N] [--budget B]
-//! snowcat razzer   --version 5.12 --model pic.json [--schedules N]
+//! snowcat train    --version 5.12 --out pic.bin [--ctis N] [--epochs E] [--flow]
+//! snowcat explore  --version 5.12 --model pic.bin [--ctis N] [--budget B]
+//! snowcat razzer   --version 5.12 --model pic.bin [--schedules N]
 //! snowcat analyze  --version 5.12 [--seed N] [--out report.json] [--self-check]
 //! snowcat campaign --version 5.12 [--explorer pct|s1|s2|s3] [--checkpoint F] [--resume F]
 //! ```
@@ -35,8 +35,14 @@ COMMANDS:
               --version V [--iterations N] [--seed N]
   collect   build a labelled CT-graph dataset and write it (binary .scds)
               --version V --out FILE [--ctis N] [--interleavings K] [--seed N]
-  train     run the full pipeline and write a model checkpoint (JSON)
-              --version V --out FILE [--ctis N] [--epochs E] [--flow] [--seed N]
+  train     run the robust training pipeline and write a binary model
+            checkpoint (anomaly guards with rollback, epoch checkpoints,
+            shard quarantine; resumes bit-identically after a kill)
+              --version V --out FILE [--ctis N] [--epochs E] [--seed N]
+              [--threads T] [--data S1,S2,...] [--checkpoint FILE]
+              [--checkpoint-every K] [--resume] [--patience P]
+              [--fault-plan SPEC] [--stall-ms MS] [--report FILE]
+              [--export-json FILE] [--flow]
   explore   compare PCT vs MLPCT-S1 on a CTI stream with a trained model
               --version V --model FILE [--ctis N] [--budget B] [--seed N]
   razzer    reproduce planted races with Razzer / -Relax / -PIC
@@ -56,6 +62,7 @@ EXIT CODES:
   0 success   1 I/O or parse error      2 bad usage / config
   3 CT hung   4 checkpoint corrupt      5 campaign worker failed
   6 predictor degraded (with --fail-on-degraded)
+  7 training diverged (anomaly persisted through every salted retry)
 ";
 
 fn main() {

@@ -6,10 +6,17 @@
 //! CLI) can report a path-qualified message and exit non-zero instead of
 //! panicking on a missing or corrupt file.
 
-use snowcat_corpus::{decode_dataset, encode_dataset, Dataset};
+use snowcat_corpus::{
+    decode_dataset, encode_dataset, frame_checksummed, unframe_checksummed, Dataset,
+};
 use snowcat_nn::Checkpoint;
 use std::fmt;
 use std::path::{Path, PathBuf};
+
+/// Magic of the Snowcat Model Checkpoint envelope (binary, bit-exact).
+pub const MODEL_MAGIC: &[u8; 4] = b"SCMC";
+/// Current (and minimum readable) model-checkpoint envelope version.
+pub const MODEL_VERSION: u16 = 1;
 
 /// Unified error for checkpoint/dataset load and save paths.
 #[derive(Debug)]
@@ -61,6 +68,16 @@ pub enum SnowcatError {
         /// How many batches fell back to the baseline.
         degraded_batches: u64,
     },
+    /// Training hit an unrecoverable anomaly: an epoch kept producing
+    /// NaN/Inf losses or gradient spikes through every salted retry.
+    TrainingDiverged {
+        /// The epoch that could not be completed.
+        epoch: usize,
+        /// Retries attempted after the first failure.
+        retries: usize,
+        /// The last anomaly observed.
+        cause: String,
+    },
 }
 
 impl fmt::Display for SnowcatError {
@@ -94,6 +111,13 @@ impl fmt::Display for SnowcatError {
                      to the baseline service"
                 )
             }
+            SnowcatError::TrainingDiverged { epoch, retries, cause } => {
+                write!(
+                    f,
+                    "training diverged at epoch {epoch} after {retries} salted retr{}: {cause}",
+                    if *retries == 1 { "y" } else { "ies" }
+                )
+            }
         }
     }
 }
@@ -109,6 +133,7 @@ impl SnowcatError {
             SnowcatError::CheckpointCorrupt { .. } => 4,
             SnowcatError::CampaignFailed { .. } => 5,
             SnowcatError::PredictorDegraded { .. } => 6,
+            SnowcatError::TrainingDiverged { .. } => 7,
         }
     }
 }
@@ -122,18 +147,62 @@ impl std::error::Error for SnowcatError {
     }
 }
 
-/// Load a PIC checkpoint from a JSON file.
-pub fn load_checkpoint(path: &Path) -> Result<Checkpoint, SnowcatError> {
-    let text = std::fs::read_to_string(path)
-        .map_err(|source| SnowcatError::Io { path: path.to_owned(), source })?;
-    Checkpoint::from_json(&text).map_err(|e| SnowcatError::Parse {
-        path: path.to_owned(),
-        message: format!("not a PIC checkpoint: {e}"),
-    })
+/// Serialize a PIC checkpoint into its checksummed SCMC envelope.
+pub fn encode_model_checkpoint_framed(ck: &Checkpoint) -> Vec<u8> {
+    let payload = snowcat_nn::encode_model_checkpoint(ck);
+    frame_checksummed(MODEL_MAGIC, MODEL_VERSION, &payload).to_vec()
 }
 
-/// Save a PIC checkpoint as JSON.
+/// Decode an SCMC envelope, verifying magic, version, length and checksum.
+pub fn decode_model_checkpoint_framed(
+    path: &Path,
+    bytes: &[u8],
+) -> Result<Checkpoint, SnowcatError> {
+    let corrupt =
+        |detail: String| SnowcatError::CheckpointCorrupt { path: path.to_owned(), detail };
+    let (_, payload) = unframe_checksummed(
+        MODEL_MAGIC,
+        MODEL_VERSION,
+        MODEL_VERSION,
+        bytes::Bytes::from(bytes.to_vec()),
+    )
+    .map_err(|e| corrupt(e.to_string()))?;
+    snowcat_nn::decode_model_checkpoint(payload.as_slice())
+        .map_err(|e| corrupt(format!("payload is not a model checkpoint: {e}")))
+}
+
+/// Load a PIC checkpoint: the binary SCMC format, or legacy JSON (sniffed
+/// from the leading byte so pre-existing checkpoints and `--export-json`
+/// output both load).
+pub fn load_checkpoint(path: &Path) -> Result<Checkpoint, SnowcatError> {
+    let bytes =
+        std::fs::read(path).map_err(|source| SnowcatError::Io { path: path.to_owned(), source })?;
+    let looks_json = bytes.iter().find(|b| !b.is_ascii_whitespace()) == Some(&b'{');
+    if looks_json {
+        let text = std::str::from_utf8(&bytes).map_err(|e| SnowcatError::Parse {
+            path: path.to_owned(),
+            message: format!("not UTF-8 JSON: {e}"),
+        })?;
+        Checkpoint::from_json(text).map_err(|e| SnowcatError::Parse {
+            path: path.to_owned(),
+            message: format!("not a PIC checkpoint: {e}"),
+        })
+    } else {
+        decode_model_checkpoint_framed(path, &bytes)
+    }
+}
+
+/// Save a PIC checkpoint in the binary SCMC format (bit-exact floats,
+/// CRC-protected). Use [`save_checkpoint_json`] for an inspectable export.
 pub fn save_checkpoint(path: &Path, ck: &Checkpoint) -> Result<(), SnowcatError> {
+    std::fs::write(path, encode_model_checkpoint_framed(ck))
+        .map_err(|source| SnowcatError::Io { path: path.to_owned(), source })
+}
+
+/// Save a PIC checkpoint as JSON for human inspection. JSON is *lossy* for
+/// non-finite floats (they serialize as null) — the binary format is the
+/// authoritative one.
+pub fn save_checkpoint_json(path: &Path, ck: &Checkpoint) -> Result<(), SnowcatError> {
     let json = ck.to_json().map_err(|e| SnowcatError::Parse {
         path: path.to_owned(),
         message: format!("checkpoint serialization failed: {e}"),
@@ -141,12 +210,11 @@ pub fn save_checkpoint(path: &Path, ck: &Checkpoint) -> Result<(), SnowcatError>
     std::fs::write(path, json).map_err(|source| SnowcatError::Io { path: path.to_owned(), source })
 }
 
-/// Load a dataset, accepting either the SCDS binary format or JSON (the
-/// format is sniffed from the leading byte, so either output of
-/// [`save_dataset`] round-trips).
-pub fn load_dataset(path: &Path) -> Result<Dataset, SnowcatError> {
-    let bytes =
-        std::fs::read(path).map_err(|source| SnowcatError::Io { path: path.to_owned(), source })?;
+/// Decode dataset bytes as read from `path` — SCDS binary or JSON, sniffed
+/// from the leading byte. Split out of [`load_dataset`] so callers that
+/// need to intercept the raw bytes (fault injection, shard quarantine) can
+/// reuse the exact decode path.
+pub fn decode_dataset_auto(path: &Path, bytes: Vec<u8>) -> Result<Dataset, SnowcatError> {
     // JSON datasets start with '{' (possibly after whitespace); the SCDS
     // binary magic does not.
     let looks_json = bytes.iter().find(|b| !b.is_ascii_whitespace()) == Some(&b'{');
@@ -165,6 +233,15 @@ pub fn load_dataset(path: &Path) -> Result<Dataset, SnowcatError> {
             message: format!("not an SCDS dataset: {e}"),
         })
     }
+}
+
+/// Load a dataset, accepting either the SCDS binary format or JSON (the
+/// format is sniffed from the leading byte, so either output of
+/// [`save_dataset`] round-trips).
+pub fn load_dataset(path: &Path) -> Result<Dataset, SnowcatError> {
+    let bytes =
+        std::fs::read(path).map_err(|source| SnowcatError::Io { path: path.to_owned(), source })?;
+    decode_dataset_auto(path, bytes)
 }
 
 /// Save a dataset in the SCDS binary format.
@@ -200,6 +277,42 @@ mod tests {
         std::fs::write(&bad, "{\"not\": \"a checkpoint\"}").unwrap();
         let parse = load_checkpoint(&bad);
         assert!(matches!(parse, Err(SnowcatError::Parse { .. })));
+    }
+
+    #[test]
+    fn model_checkpoint_binary_is_authoritative_and_json_still_loads() {
+        let dir = std::env::temp_dir().join("snowcat-error-tests-scmc");
+        std::fs::create_dir_all(&dir).unwrap();
+        let model = PicModel::new(PicConfig { hidden: 4, layers: 1, ..Default::default() });
+        let ck = Checkpoint::new(&model, 0.45, "scmc");
+
+        // Binary round-trip is exact (full struct equality, not just name).
+        let bin = dir.join("ck.scmc");
+        save_checkpoint(&bin, &ck).unwrap();
+        let raw = std::fs::read(&bin).unwrap();
+        assert_eq!(&raw[..4], MODEL_MAGIC, "file leads with the SCMC magic");
+        assert_eq!(load_checkpoint(&bin).unwrap(), ck);
+
+        // Legacy / exported JSON loads through the same entry point.
+        let json = dir.join("ck.json");
+        save_checkpoint_json(&json, &ck).unwrap();
+        assert_eq!(load_checkpoint(&json).unwrap(), ck);
+
+        // A flipped byte is detected by the CRC, not deserialized.
+        let mut bad = raw.clone();
+        let mid = bad.len() / 2;
+        bad[mid] ^= 0x40;
+        let bad_path = dir.join("ck-bad.scmc");
+        std::fs::write(&bad_path, &bad).unwrap();
+        assert!(matches!(load_checkpoint(&bad_path), Err(SnowcatError::CheckpointCorrupt { .. })));
+    }
+
+    #[test]
+    fn training_diverged_has_its_own_exit_code() {
+        let err = SnowcatError::TrainingDiverged { epoch: 3, retries: 2, cause: "NaN loss".into() };
+        assert_eq!(err.exit_code(), 7);
+        let msg = err.to_string();
+        assert!(msg.contains("epoch 3") && msg.contains("NaN loss"), "{msg}");
     }
 
     #[test]

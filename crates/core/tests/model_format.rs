@@ -1,0 +1,77 @@
+//! Property tests for the binary (SCMC) model checkpoint format: arbitrary
+//! parameter values — including NaN payloads, infinities and signed zeros —
+//! must round-trip bit-exactly through the framed envelope, and corrupted
+//! envelopes must fail with typed errors rather than panic or decode into
+//! garbage.
+
+use proptest::prelude::*;
+use snowcat_core::{decode_model_checkpoint_framed, encode_model_checkpoint_framed, SnowcatError};
+use snowcat_nn::{Checkpoint, PicConfig, PicModel};
+use std::path::Path;
+
+/// Build a checkpoint whose parameters are filled from arbitrary `f32` bit
+/// patterns, cycled across every tensor.
+fn checkpoint_from_bits(bits: &[u32], threshold: u32, name: &str) -> Checkpoint {
+    let mut model = PicModel::new(PicConfig { hidden: 4, layers: 1, ..Default::default() });
+    let mut it = bits.iter().cycle();
+    for t in model.params.tensors_mut() {
+        for x in &mut t.data {
+            *x = f32::from_bits(*it.next().unwrap());
+        }
+    }
+    Checkpoint::new(&model, f32::from_bits(threshold), name)
+}
+
+/// Bit-level equality witness (derived `PartialEq` would treat NaN != NaN).
+fn all_bits(ck: &Checkpoint) -> Vec<u32> {
+    let mut out: Vec<u32> =
+        ck.params.tensors().iter().flat_map(|t| t.data.iter().map(|x| x.to_bits())).collect();
+    out.push(ck.threshold.to_bits());
+    out
+}
+
+fn arb_name() -> impl Strategy<Value = String> {
+    proptest::collection::vec(97u8..123, 0..24).prop_map(|b| String::from_utf8(b).expect("ascii"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn arbitrary_bit_patterns_roundtrip_exactly(
+        bits in proptest::collection::vec(0u32..=u32::MAX, 1..64),
+        threshold in 0u32..=u32::MAX,
+        name in arb_name(),
+    ) {
+        let ck = checkpoint_from_bits(&bits, threshold, &name);
+        let framed = encode_model_checkpoint_framed(&ck);
+        let back = decode_model_checkpoint_framed(Path::new("x"), &framed).unwrap();
+        prop_assert_eq!(all_bits(&back), all_bits(&ck));
+        prop_assert_eq!(back.cfg, ck.cfg);
+        prop_assert_eq!(back.name, ck.name);
+    }
+
+    #[test]
+    fn truncation_at_any_point_is_a_typed_error(
+        bits in proptest::collection::vec(0u32..=u32::MAX, 1..16),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let framed = encode_model_checkpoint_framed(&checkpoint_from_bits(&bits, 0, "t"));
+        let cut = ((framed.len() - 1) as f64 * cut_frac) as usize;
+        let err = decode_model_checkpoint_framed(Path::new("x"), &framed[..cut]).unwrap_err();
+        prop_assert!(matches!(err, SnowcatError::CheckpointCorrupt { .. }), "{}", err);
+    }
+
+    #[test]
+    fn any_single_byte_flip_is_detected(
+        bits in proptest::collection::vec(0u32..=u32::MAX, 1..16),
+        pos_frac in 0.0f64..1.0,
+        mask in 1u8..=255,
+    ) {
+        let mut framed = encode_model_checkpoint_framed(&checkpoint_from_bits(&bits, 0, "t"));
+        let pos = ((framed.len() - 1) as f64 * pos_frac) as usize;
+        framed[pos] ^= mask;
+        let err = decode_model_checkpoint_framed(Path::new("x"), &framed).unwrap_err();
+        prop_assert!(matches!(err, SnowcatError::CheckpointCorrupt { .. }), "{}", err);
+    }
+}

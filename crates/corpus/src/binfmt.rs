@@ -76,19 +76,61 @@ impl std::fmt::Display for DecodeError {
 
 impl std::error::Error for DecodeError {}
 
-/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over `bytes`.
-///
-/// Dependency-free implementation used to integrity-check SCDS datasets and
-/// campaign checkpoints; slice-by-one is plenty for the megabyte-scale files
-/// involved.
-pub fn crc32(bytes: &[u8]) -> u32 {
-    let mut crc = !0u32;
-    for &b in bytes {
-        crc ^= u32::from(b);
-        for _ in 0..8 {
+/// Slicing-by-8 lookup tables for the reflected IEEE polynomial, built at
+/// compile time. `TABLES[0]` is the classic byte-at-a-time table; table `j`
+/// advances a byte through `j` additional zero bytes, letting [`crc32`]
+/// consume eight input bytes per step.
+const CRC_TABLES: [[u32; 256]; 8] = {
+    let mut t = [[0u32; 256]; 8];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut k = 0;
+        while k < 8 {
             let mask = (crc & 1).wrapping_neg();
             crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+            k += 1;
         }
+        t[0][i] = crc;
+        i += 1;
+    }
+    let mut j = 1;
+    while j < 8 {
+        let mut i = 0;
+        while i < 256 {
+            let prev = t[j - 1][i];
+            t[j][i] = (prev >> 8) ^ t[0][(prev & 0xFF) as usize];
+            i += 1;
+        }
+        j += 1;
+    }
+    t
+};
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over `bytes`.
+///
+/// Dependency-free slicing-by-8 implementation used to integrity-check SCDS
+/// datasets and campaign/training checkpoints. Checkpoints are checksummed
+/// on every epoch, so the checksum must stay a small fraction of an epoch;
+/// eight bytes per table step keeps it an order of magnitude faster than the
+/// textbook bit-at-a-time loop while remaining pure safe Rust.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    let mut chunks = bytes.chunks_exact(8);
+    for c in chunks.by_ref() {
+        let lo = u32::from_le_bytes([c[0], c[1], c[2], c[3]]) ^ crc;
+        let hi = u32::from_le_bytes([c[4], c[5], c[6], c[7]]);
+        crc = CRC_TABLES[7][(lo & 0xFF) as usize]
+            ^ CRC_TABLES[6][((lo >> 8) & 0xFF) as usize]
+            ^ CRC_TABLES[5][((lo >> 16) & 0xFF) as usize]
+            ^ CRC_TABLES[4][(lo >> 24) as usize]
+            ^ CRC_TABLES[3][(hi & 0xFF) as usize]
+            ^ CRC_TABLES[2][((hi >> 8) & 0xFF) as usize]
+            ^ CRC_TABLES[1][((hi >> 16) & 0xFF) as usize]
+            ^ CRC_TABLES[0][(hi >> 24) as usize];
+    }
+    for &b in chunks.remainder() {
+        crc = (crc >> 8) ^ CRC_TABLES[0][((crc ^ u32::from(b)) & 0xFF) as usize];
     }
     !crc
 }

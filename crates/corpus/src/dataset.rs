@@ -92,6 +92,48 @@ impl Dataset {
     }
 }
 
+/// Structural validation of one example, beyond what the on-disk frame
+/// checksum covers: a CRC proves the bytes are the ones written, not that
+/// the writer produced a well-formed example. Checks graph invariants (edge
+/// endpoints in range), label/graph alignment, flow-label/edge alignment
+/// and token-vocabulary range. Returns a human-readable reason on failure.
+pub fn validate_example(e: &Example) -> Result<(), String> {
+    e.graph.validate()?;
+    if e.labels.len() != e.graph.num_verts() {
+        return Err(format!(
+            "label count {} does not match vertex count {}",
+            e.labels.len(),
+            e.graph.num_verts()
+        ));
+    }
+    if !e.flow_labels.is_empty() && e.flow_labels.len() != e.graph.edges.len() {
+        return Err(format!(
+            "flow-label count {} does not match edge count {}",
+            e.flow_labels.len(),
+            e.graph.edges.len()
+        ));
+    }
+    for (vi, v) in e.graph.verts.iter().enumerate() {
+        for &t in &v.tokens {
+            if t == 0 || t as usize >= snowcat_graph::VOCAB_SIZE {
+                return Err(format!(
+                    "vertex {vi} token {t} outside 1..{}",
+                    snowcat_graph::VOCAB_SIZE
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Validate every example of a dataset shard, naming the first offender.
+pub fn validate_dataset(ds: &Dataset) -> Result<(), String> {
+    for (i, e) in ds.examples.iter().enumerate() {
+        validate_example(e).map_err(|m| format!("example {i}: {m}"))?;
+    }
+    Ok(())
+}
+
 /// Dataset-construction parameters.
 #[derive(Debug, Clone, Copy)]
 pub struct DatasetConfig {
@@ -283,6 +325,34 @@ mod tests {
         let json = ds.to_json().unwrap();
         let back = Dataset::from_json(&json).unwrap();
         assert_eq!(ds, back);
+    }
+
+    #[test]
+    fn validation_accepts_built_datasets_and_names_defects() {
+        let (k, cfg, corpus) = setup();
+        let mut rng = ChaCha8Rng::seed_from_u64(21);
+        let ctis = random_cti_pairs(&mut rng, corpus.len(), 2);
+        let mut ds = build_dataset(
+            &k,
+            &cfg,
+            &corpus,
+            &ctis,
+            DatasetConfig { interleavings_per_cti: 2, seed: 22 },
+        );
+        assert!(validate_dataset(&ds).is_ok());
+
+        let mut truncated = ds.clone();
+        truncated.examples[0].labels.pop();
+        let err = validate_dataset(&truncated).unwrap_err();
+        assert!(err.contains("example 0") && err.contains("label count"), "{err}");
+
+        let mut bad_tok = ds.clone();
+        bad_tok.examples[0].graph.verts[0].tokens.push(9999);
+        assert!(validate_dataset(&bad_tok).unwrap_err().contains("token 9999"));
+
+        let last = ds.examples.len() - 1;
+        ds.examples[last].graph.edges[0].to = u32::MAX;
+        assert!(validate_dataset(&ds).unwrap_err().contains(&format!("example {last}")));
     }
 
     #[test]

@@ -20,7 +20,7 @@ pub use binfmt::{
     crc32, decode_dataset, encode_dataset, frame_checksummed, unframe_checksummed, DecodeError,
 };
 pub use dataset::{
-    build_dataset, interacting_cti_pairs, make_splits, random_cti_pairs, Dataset, DatasetConfig,
-    Example, Splits,
+    build_dataset, interacting_cti_pairs, make_splits, random_cti_pairs, validate_dataset,
+    validate_example, Dataset, DatasetConfig, Example, Splits,
 };
 pub use fuzzer::{FuzzConfig, FuzzStats, StiFuzzer, StiProfile};

@@ -87,44 +87,45 @@ pub fn prev_path(path: &Path) -> PathBuf {
     PathBuf::from(os)
 }
 
-/// Atomically write a checkpoint: serialize to `<path>.tmp`, rotate any
+/// Atomically write snapshot bytes: write to `<path>.tmp`, rotate any
 /// existing `<path>` to `<path>.prev`, then rename the tmp file into place.
 /// A SIGKILL at any point leaves either the old snapshot, the old snapshot
 /// plus a stray tmp file, or the new snapshot — never a torn `<path>`.
-///
-/// `raw_override` lets fault injection substitute corrupted bytes while
-/// keeping the write path identical.
-pub fn save_checkpoint_atomic(
-    path: &Path,
-    ck: &CampaignCheckpoint,
-    raw_override: Option<Vec<u8>>,
-) -> Result<(), SnowcatError> {
-    let bytes = match raw_override {
-        Some(raw) => raw,
-        None => encode_checkpoint(ck)?,
-    };
+/// Shared by the campaign (SCCP) and training (STCP) checkpoint writers.
+pub fn save_bytes_atomic(path: &Path, bytes: &[u8]) -> Result<(), SnowcatError> {
     let io_err = |p: &Path, source: std::io::Error| SnowcatError::Io { path: p.to_owned(), source };
     let tmp = {
         let mut os = path.as_os_str().to_owned();
         os.push(".tmp");
         PathBuf::from(os)
     };
-    std::fs::write(&tmp, &bytes).map_err(|e| io_err(&tmp, e))?;
+    std::fs::write(&tmp, bytes).map_err(|e| io_err(&tmp, e))?;
     if path.exists() {
         std::fs::rename(path, prev_path(path)).map_err(|e| io_err(path, e))?;
     }
     std::fs::rename(&tmp, path).map_err(|e| io_err(&tmp, e))
 }
 
-/// Load a checkpoint, falling back to `<path>.prev` when `<path>` is
-/// missing or fails its integrity checks. Returns the checkpoint and
-/// whether the fallback was used. Errors with
-/// [`SnowcatError::CheckpointCorrupt`] when no usable snapshot exists.
-pub fn load_checkpoint_with_fallback(
+/// An integrity-checking checkpoint decoder, as accepted by
+/// [`load_with_fallback`]: turns a file's raw bytes into a `T` or a typed
+/// corruption error naming the path.
+pub type CheckpointDecoder<'a, T> = &'a dyn Fn(&Path, &[u8]) -> Result<T, SnowcatError>;
+
+/// Load-and-decode with `.prev` fallback: try `path`, then `<path>.prev`,
+/// using the caller's decoder for integrity checking. Returns the decoded
+/// value and whether the fallback was used; errors with
+/// [`SnowcatError::CheckpointCorrupt`] naming both files when neither is
+/// usable.
+pub fn load_with_fallback<T>(
     path: &Path,
-) -> Result<(CampaignCheckpoint, bool), SnowcatError> {
-    let primary = try_load(path);
-    match primary {
+    decode: CheckpointDecoder<'_, T>,
+) -> Result<(T, bool), SnowcatError> {
+    let try_load = |p: &Path| -> Result<T, SnowcatError> {
+        let bytes =
+            std::fs::read(p).map_err(|source| SnowcatError::Io { path: p.to_owned(), source })?;
+        decode(p, &bytes)
+    };
+    match try_load(path) {
         Ok(ck) => Ok((ck, false)),
         Err(first) => {
             let prev = prev_path(path);
@@ -147,10 +148,30 @@ pub fn load_checkpoint_with_fallback(
     }
 }
 
-fn try_load(path: &Path) -> Result<CampaignCheckpoint, SnowcatError> {
-    let bytes =
-        std::fs::read(path).map_err(|source| SnowcatError::Io { path: path.to_owned(), source })?;
-    decode_checkpoint(path, &bytes)
+/// Atomically write a campaign checkpoint (see [`save_bytes_atomic`]).
+///
+/// `raw_override` lets fault injection substitute corrupted bytes while
+/// keeping the write path identical.
+pub fn save_checkpoint_atomic(
+    path: &Path,
+    ck: &CampaignCheckpoint,
+    raw_override: Option<Vec<u8>>,
+) -> Result<(), SnowcatError> {
+    let bytes = match raw_override {
+        Some(raw) => raw,
+        None => encode_checkpoint(ck)?,
+    };
+    save_bytes_atomic(path, &bytes)
+}
+
+/// Load a campaign checkpoint, falling back to `<path>.prev` when `<path>`
+/// is missing or fails its integrity checks. Returns the checkpoint and
+/// whether the fallback was used. Errors with
+/// [`SnowcatError::CheckpointCorrupt`] when no usable snapshot exists.
+pub fn load_checkpoint_with_fallback(
+    path: &Path,
+) -> Result<(CampaignCheckpoint, bool), SnowcatError> {
+    load_with_fallback(path, &|p, bytes| decode_checkpoint(p, bytes))
 }
 
 #[cfg(test)]

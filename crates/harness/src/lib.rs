@@ -14,11 +14,16 @@
 //! * [`fault`] — deterministic fault injection to prove the recovery paths,
 //! * [`supervisor`] — the loop tying them together: retry hung schedules
 //!   with fresh seeds, quarantine repeat offenders, checkpoint periodically,
-//!   resume exactly.
+//!   resume exactly,
+//! * [`trainer`] — the same discipline for training: epoch-granular
+//!   bit-exact checkpoints (STCP), anomaly guards with rollback and salted
+//!   retries, and shard-quarantining data loading.
 //!
 //! The supervised loop is bit-identical to the plain
 //! [`snowcat_core::run_campaign_budgeted`] when no faults are injected and
 //! no fuel override is set — robustness costs nothing on the happy path.
+//! Likewise, [`trainer::robust_train`] with an empty fault plan is
+//! bit-identical to [`snowcat_nn::train`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -27,13 +32,22 @@ pub mod checkpoint;
 pub mod fault;
 pub mod resilient;
 pub mod supervisor;
+pub mod trainer;
 pub mod watchdog;
 
 pub use checkpoint::{
-    decode_checkpoint, encode_checkpoint, load_checkpoint_with_fallback, prev_path,
-    save_checkpoint_atomic, CampaignCheckpoint, CKPT_MAGIC, CKPT_VERSION,
+    decode_checkpoint, encode_checkpoint, load_checkpoint_with_fallback, load_with_fallback,
+    prev_path, save_bytes_atomic, save_checkpoint_atomic, CampaignCheckpoint, CKPT_MAGIC,
+    CKPT_VERSION,
 };
 pub use fault::{corrupt, CheckpointFault, CorruptionKind, FaultPlan, FaultyPredictor, HangFault};
 pub use resilient::ResilientPredictor;
 pub use supervisor::{run_supervised_campaign, RecoveryLog, SupervisedResult, SupervisorConfig};
+pub use trainer::{
+    decode_train_checkpoint, encode_train_checkpoint, load_shards_quarantining,
+    load_train_checkpoint_with_fallback, loss_diverged, params_crc32, robust_train,
+    save_train_checkpoint_atomic, AnomalyEvent, QuarantineReport, RobustTrainConfig, ShardIssue,
+    TrainCheckpoint, TrainEpochFault, TrainFaultKind, TrainFaultPlan, TrainRunReport,
+    TRAIN_CKPT_MAGIC, TRAIN_CKPT_VERSION,
+};
 pub use watchdog::{run_ct_watchdog, ExecOutcome};

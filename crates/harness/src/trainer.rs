@@ -1,0 +1,951 @@
+//! Robust, resumable supervised training (STCP format).
+//!
+//! PR 4 made *campaign execution* fault-tolerant; this module extends the
+//! same discipline to training, which is itself a long-running job (the
+//! predictor is retrained per kernel version and refreshed during
+//! campaigns). Three layers, mirroring the supervisor's design:
+//!
+//! * **epoch-granular checkpoints** — model weights, Adam moments, the RNG
+//!   stream position, the *cumulative* shuffle permutation, anomaly-guard
+//!   state and metric history, serialized bit-exactly (`snowcat_nn::binser`)
+//!   inside the corpus crate's checksummed envelope and written atomically
+//!   with `.prev` rotation. Resuming reproduces the uninterrupted run
+//!   **bit-identically**, at any thread count;
+//! * **anomaly guards** — per-step NaN/Inf sentinels on loss and gradient
+//!   norm, an EWMA-based gradient-spike detector, and a post-epoch
+//!   loss-divergence breaker. Each rolls the epoch back to its pre-epoch
+//!   state and retries with a salted re-seed of the shuffle; bounded
+//!   retries, then a typed [`SnowcatError::TrainingDiverged`];
+//! * **shard-quarantining loading** — [`load_shards_quarantining`] decodes
+//!   and validates each SCDS/JSON shard, sidelining corrupt or malformed
+//!   ones into a [`QuarantineReport`] instead of aborting the run.
+//!
+//! A deterministic [`TrainFaultPlan`] (`nan@E`, `spike@E`, `panic@E`,
+//! `shard@K:flip|trunc`, `kill@E`) drives the recovery paths end to end in
+//! tests. An empty plan with no resume is bit-identical to the plain
+//! [`snowcat_nn::train`] path — robustness costs nothing on the happy path.
+
+use crate::checkpoint::{load_with_fallback, save_bytes_atomic};
+use crate::fault::{corrupt, CorruptionKind};
+use bytes::Bytes;
+use rand::{seq::SliceRandom, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+use snowcat_core::{decode_dataset_auto, SnowcatError};
+use snowcat_corpus::{crc32, frame_checksummed, unframe_checksummed, validate_dataset, Dataset};
+use snowcat_nn::binser::{
+    put_adam, put_params, put_pic_config, take_adam, take_params, take_pic_config, Dec, Enc,
+};
+use snowcat_nn::{
+    dataset_fingerprint, tune_threshold_f2_pooled, urb_average_precision, Adam, AdamConfig,
+    AdamSnapshot, EpochError, EpochFault, EpochRunner, LabeledGraph, PicConfig, PicModel,
+    PicParams, StepInfo, TrainConfig,
+};
+use std::path::{Path, PathBuf};
+
+/// Magic of the Snowcat Training CheckPoint envelope.
+pub const TRAIN_CKPT_MAGIC: &[u8; 4] = b"STCP";
+/// Current (and minimum readable) envelope version.
+pub const TRAIN_CKPT_VERSION: u16 = 1;
+
+/// Salt mixed into the RNG state on epoch retries (distinct from the
+/// supervisor's hang-retry salt).
+const RETRY_SALT: u64 = 0x7A19_EE0C_55AB_41D7;
+/// EWMA smoothing factor for the gradient-norm baseline.
+const EWMA_ALPHA: f32 = 0.2;
+/// Steps of EWMA warm-up before the spike detector arms. A spike injected
+/// before the baseline exists is undetectable by design.
+const EWMA_WARMUP: u64 = 3;
+/// Gradient scale applied by an injected `spike@E` fault.
+const SPIKE_MAGNITUDE: f32 = 1.0e3;
+/// Exit code emulating SIGKILL for `kill@E` faults (128 + 9).
+const KILL_EXIT_CODE: i32 = 137;
+
+/// Which anomaly an injected epoch fault provokes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrainFaultKind {
+    /// Poison one accumulated gradient entry with NaN.
+    Nan,
+    /// Scale the accumulated gradients by [`SPIKE_MAGNITUDE`].
+    Spike,
+    /// Panic a training worker.
+    Panic,
+}
+
+/// Inject a fault into the first `attempts` attempts at one epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrainEpochFault {
+    /// Epoch the fault applies to (0-based).
+    pub epoch: usize,
+    /// What to inject.
+    pub kind: TrainFaultKind,
+    /// How many consecutive attempts at that epoch are faulted.
+    pub attempts: usize,
+}
+
+/// A reproducible training fault-injection plan.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TrainFaultPlan {
+    /// Per-epoch gradient/worker faults.
+    pub epoch_faults: Vec<TrainEpochFault>,
+    /// Shard corruptions by shard index (applied to the bytes between read
+    /// and decode, emulating on-disk corruption).
+    pub shard_faults: Vec<(usize, CorruptionKind)>,
+    /// Exit the process (as if SIGKILLed) right after this epoch completes.
+    pub kill_epoch: Option<usize>,
+}
+
+impl TrainFaultPlan {
+    /// True when the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.epoch_faults.is_empty() && self.shard_faults.is_empty() && self.kill_epoch.is_none()
+    }
+
+    /// The fault to inject at (`epoch`, `attempt`), if any.
+    pub fn epoch_fault(&self, epoch: usize, attempt: usize) -> Option<EpochFault> {
+        self.epoch_faults.iter().find(|f| f.epoch == epoch && attempt < f.attempts).map(|f| match f
+            .kind
+        {
+            TrainFaultKind::Nan => EpochFault::NanGrads,
+            TrainFaultKind::Spike => EpochFault::SpikeGrads(SPIKE_MAGNITUDE),
+            TrainFaultKind::Panic => EpochFault::WorkerPanic,
+        })
+    }
+
+    /// The corruption to apply to shard `index`, if any.
+    pub fn shard_fault(&self, index: usize) -> Option<CorruptionKind> {
+        self.shard_faults.iter().find(|(k, _)| *k == index).map(|(_, kind)| *kind)
+    }
+
+    /// True when the process should die right after `epoch` completes.
+    pub fn kill_at(&self, epoch: usize) -> bool {
+        self.kill_epoch == Some(epoch)
+    }
+
+    /// Parse a comma-separated spec string. Grammar (whitespace-free):
+    ///
+    /// * `nan@E` / `nan@ExN` — NaN-poison the gradients of the first 1
+    ///   (resp. N) attempts at epoch E,
+    /// * `spike@E` / `spike@ExN` — scale the gradients of the first
+    ///   attempts at epoch E by a large factor,
+    /// * `panic@E` / `panic@ExN` — panic a training worker at epoch E,
+    /// * `shard@K:flip` / `shard@K:trunc` — corrupt the Kth data shard
+    ///   (0-based) before decoding,
+    /// * `kill@E` — exit the process right after epoch E completes (its
+    ///   checkpoint, if due, has been written).
+    ///
+    /// The empty string parses to the empty plan.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let mut plan = TrainFaultPlan::default();
+        for token in spec.split(',').map(str::trim).filter(|t| !t.is_empty()) {
+            let (kind, rest) = token
+                .split_once('@')
+                .ok_or_else(|| format!("fault token '{token}' is missing '@'"))?;
+            let bad = |field: &str| format!("'{token}': '{field}' is not a valid number");
+            match kind {
+                "nan" | "spike" | "panic" => {
+                    let (epoch, attempts) = match rest.split_once('x') {
+                        Some((e, n)) => (
+                            e.parse::<usize>().map_err(|_| bad(e))?,
+                            n.parse::<usize>().map_err(|_| bad(n))?,
+                        ),
+                        None => (rest.parse::<usize>().map_err(|_| bad(rest))?, 1),
+                    };
+                    if attempts == 0 {
+                        return Err(format!("'{token}': attempt count must be ≥ 1"));
+                    }
+                    let fk = match kind {
+                        "nan" => TrainFaultKind::Nan,
+                        "spike" => TrainFaultKind::Spike,
+                        _ => TrainFaultKind::Panic,
+                    };
+                    plan.epoch_faults.push(TrainEpochFault { epoch, kind: fk, attempts });
+                }
+                "shard" => {
+                    let (idx, how) = rest
+                        .split_once(':')
+                        .ok_or_else(|| format!("'{token}': expected shard@K:flip|trunc"))?;
+                    let index = idx.parse::<usize>().map_err(|_| bad(idx))?;
+                    let ck = match how {
+                        "flip" => CorruptionKind::Flip,
+                        "trunc" => CorruptionKind::Truncate,
+                        other => return Err(format!("'{token}': unknown corruption '{other}'")),
+                    };
+                    plan.shard_faults.push((index, ck));
+                }
+                "kill" => {
+                    let epoch = rest.parse::<usize>().map_err(|_| bad(rest))?;
+                    if plan.kill_epoch.is_some() {
+                        return Err("duplicate kill@ fault".into());
+                    }
+                    plan.kill_epoch = Some(epoch);
+                }
+                other => return Err(format!("unknown fault kind '{other}' in '{token}'")),
+            }
+        }
+        Ok(plan)
+    }
+}
+
+/// One detected-and-handled training anomaly (also recorded when the
+/// retry succeeded — the report shows what was survived, not just what
+/// killed the run).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AnomalyEvent {
+    /// Epoch the anomaly occurred in.
+    pub epoch: usize,
+    /// Attempt number at that epoch (0 = first try).
+    pub attempt: usize,
+    /// Anomaly class: `nan-loss`, `nan-grad`, `grad-spike`,
+    /// `loss-divergence` or `worker-panic`.
+    pub kind: String,
+    /// Human-readable detail.
+    pub detail: String,
+}
+
+/// Everything needed to continue an interrupted run bit-identically.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainCheckpoint {
+    /// Model hyperparameters (resume must match).
+    pub pic_cfg: PicConfig,
+    /// Training schedule: total epochs.
+    pub epochs: usize,
+    /// Training schedule: learning rate (compared bit-exactly on resume).
+    pub lr: f32,
+    /// Training schedule: batch size.
+    pub batch: usize,
+    /// Training schedule: shuffle seed.
+    pub seed: u64,
+    /// Structural fingerprint of the training set (resume must match).
+    pub data_fingerprint: u64,
+    /// Epochs fully completed.
+    pub epochs_done: usize,
+    /// RNG stream position after the last completed epoch's shuffle.
+    pub rng_state: [u64; 4],
+    /// The cumulative in-place shuffle permutation. `shuffle` permutes the
+    /// index vector *in place*, so epoch N's order depends on every prior
+    /// shuffle — without this vector a resumed run would diverge even with
+    /// the exact RNG position.
+    pub order: Vec<u32>,
+    /// Model parameters after the last completed epoch.
+    pub params: PicParams,
+    /// Best validation checkpoint so far: (epoch, URB AP, parameters).
+    pub best: Option<(usize, f64, PicParams)>,
+    /// Complete optimizer state.
+    pub adam: AdamSnapshot,
+    /// Gradient-norm EWMA (anomaly-guard baseline).
+    pub ewma: f32,
+    /// Steps folded into the EWMA.
+    pub ewma_steps: u64,
+    /// Mean training loss per completed epoch.
+    pub epoch_losses: Vec<f32>,
+    /// Validation URB AP per completed epoch.
+    pub val_ap: Vec<f64>,
+    /// Anomalies detected (and survived) so far.
+    pub anomalies: Vec<AnomalyEvent>,
+    /// Tuned threshold (complete checkpoints only).
+    pub threshold: Option<f32>,
+    /// Whether patience-based early stopping ended the run.
+    pub early_stopped: bool,
+    /// True once the run finished (best restored, threshold tuned);
+    /// resuming a complete checkpoint short-circuits to its report.
+    pub complete: bool,
+}
+
+/// Serialize a training checkpoint into its checksummed STCP envelope.
+pub fn encode_train_checkpoint(ck: &TrainCheckpoint) -> Vec<u8> {
+    let mut e = Enc::new();
+    put_pic_config(&mut e, &ck.pic_cfg);
+    e.put_u64(ck.epochs as u64);
+    e.put_f32(ck.lr);
+    e.put_u64(ck.batch as u64);
+    e.put_u64(ck.seed);
+    e.put_u64(ck.data_fingerprint);
+    e.put_u64(ck.epochs_done as u64);
+    for w in ck.rng_state {
+        e.put_u64(w);
+    }
+    e.put_u32(ck.order.len() as u32);
+    for &i in &ck.order {
+        e.put_u32(i);
+    }
+    put_params(&mut e, &ck.params);
+    match &ck.best {
+        None => e.put_u8(0),
+        Some((epoch, ap, params)) => {
+            e.put_u8(1);
+            e.put_u64(*epoch as u64);
+            e.put_f64(*ap);
+            put_params(&mut e, params);
+        }
+    }
+    put_adam(&mut e, &ck.adam);
+    e.put_f32(ck.ewma);
+    e.put_u64(ck.ewma_steps);
+    e.put_f32s(&ck.epoch_losses);
+    e.put_f64s(&ck.val_ap);
+    e.put_u32(ck.anomalies.len() as u32);
+    for a in &ck.anomalies {
+        e.put_u64(a.epoch as u64);
+        e.put_u64(a.attempt as u64);
+        e.put_str(&a.kind);
+        e.put_str(&a.detail);
+    }
+    match ck.threshold {
+        None => e.put_u8(0),
+        Some(t) => {
+            e.put_u8(1);
+            e.put_f32(t);
+        }
+    }
+    e.put_u8(u8::from(ck.early_stopped));
+    e.put_u8(u8::from(ck.complete));
+    frame_checksummed(TRAIN_CKPT_MAGIC, TRAIN_CKPT_VERSION, &e.finish()).to_vec()
+}
+
+/// Decode a training checkpoint, verifying magic, version, length and
+/// checksum before touching the payload.
+pub fn decode_train_checkpoint(path: &Path, bytes: &[u8]) -> Result<TrainCheckpoint, SnowcatError> {
+    let bad = |detail: String| SnowcatError::CheckpointCorrupt { path: path.to_owned(), detail };
+    let (_, payload) = unframe_checksummed(
+        TRAIN_CKPT_MAGIC,
+        TRAIN_CKPT_VERSION,
+        TRAIN_CKPT_VERSION,
+        Bytes::from(bytes.to_vec()),
+    )
+    .map_err(|e| bad(e.to_string()))?;
+    let mut d = Dec::new(payload.as_slice());
+    let decode = |d: &mut Dec<'_>| -> Result<TrainCheckpoint, snowcat_nn::BinError> {
+        let pic_cfg = take_pic_config(d)?;
+        let epochs = d.take_u64()? as usize;
+        let lr = d.take_f32()?;
+        let batch = d.take_u64()? as usize;
+        let seed = d.take_u64()?;
+        let data_fingerprint = d.take_u64()?;
+        let epochs_done = d.take_u64()? as usize;
+        let mut rng_state = [0u64; 4];
+        for w in &mut rng_state {
+            *w = d.take_u64()?;
+        }
+        let n_order = d.take_u32()? as usize;
+        let order = (0..n_order).map(|_| d.take_u32()).collect::<Result<Vec<u32>, _>>()?;
+        let params = take_params(d)?;
+        let best = match d.take_u8()? {
+            0 => None,
+            _ => {
+                let epoch = d.take_u64()? as usize;
+                let ap = d.take_f64()?;
+                Some((epoch, ap, take_params(d)?))
+            }
+        };
+        let adam = take_adam(d)?;
+        let ewma = d.take_f32()?;
+        let ewma_steps = d.take_u64()?;
+        let epoch_losses = d.take_f32s()?;
+        let val_ap = d.take_f64s()?;
+        let n_anoms = d.take_u32()? as usize;
+        let mut anomalies = Vec::with_capacity(n_anoms.min(1024));
+        for _ in 0..n_anoms {
+            anomalies.push(AnomalyEvent {
+                epoch: d.take_u64()? as usize,
+                attempt: d.take_u64()? as usize,
+                kind: d.take_str()?,
+                detail: d.take_str()?,
+            });
+        }
+        let threshold = match d.take_u8()? {
+            0 => None,
+            _ => Some(d.take_f32()?),
+        };
+        let early_stopped = d.take_u8()? != 0;
+        let complete = d.take_u8()? != 0;
+        d.expect_end()?;
+        Ok(TrainCheckpoint {
+            pic_cfg,
+            epochs,
+            lr,
+            batch,
+            seed,
+            data_fingerprint,
+            epochs_done,
+            rng_state,
+            order,
+            params,
+            best,
+            adam,
+            ewma,
+            ewma_steps,
+            epoch_losses,
+            val_ap,
+            anomalies,
+            threshold,
+            early_stopped,
+            complete,
+        })
+    };
+    decode(&mut d).map_err(|e| bad(format!("payload is not a training checkpoint: {e}")))
+}
+
+/// Atomically write a training checkpoint with `.prev` rotation (see
+/// [`crate::checkpoint::save_bytes_atomic`]).
+pub fn save_train_checkpoint_atomic(path: &Path, ck: &TrainCheckpoint) -> Result<(), SnowcatError> {
+    save_bytes_atomic(path, &encode_train_checkpoint(ck))
+}
+
+/// Load a training checkpoint, falling back to `<path>.prev` when the
+/// current file is missing or corrupt. Returns the checkpoint and whether
+/// the fallback was used.
+pub fn load_train_checkpoint_with_fallback(
+    path: &Path,
+) -> Result<(TrainCheckpoint, bool), SnowcatError> {
+    load_with_fallback(path, &|p, bytes| decode_train_checkpoint(p, bytes))
+}
+
+/// Supervised-training configuration wrapping the plain [`TrainConfig`].
+#[derive(Debug, Clone, Default)]
+pub struct RobustTrainConfig {
+    /// The underlying schedule (epochs, lr, batch, seed, threads).
+    pub train: TrainConfig,
+    /// Where to write training checkpoints (None = never checkpoint).
+    pub checkpoint_path: Option<PathBuf>,
+    /// Checkpoint cadence in completed epochs.
+    pub checkpoint_every: usize,
+    /// Stop after this many epochs without a validation-AP improvement.
+    pub patience: Option<usize>,
+    /// Salted retries per epoch before declaring divergence.
+    pub max_retries: usize,
+    /// Gradient-norm spike threshold as a multiple of the EWMA baseline.
+    pub spike_factor: f32,
+    /// Loss-divergence breaker: mean epoch loss above this multiple of the
+    /// best (minimum) prior epoch loss fails the epoch.
+    pub divergence_factor: f32,
+    /// Stop cleanly after this many epochs completed *in this call* (the
+    /// in-process analogue of a kill, for resume tests).
+    pub stop_after: Option<usize>,
+    /// Sleep after each epoch (lets CLI kill tests land mid-run).
+    pub stall_ms: u64,
+    /// Deterministic fault injection.
+    pub fault_plan: TrainFaultPlan,
+}
+
+impl RobustTrainConfig {
+    /// Defaults: checkpoint every epoch (when a path is given), 2 salted
+    /// retries, 8× EWMA spike threshold, 4× divergence breaker.
+    pub fn new(train: TrainConfig) -> Self {
+        Self {
+            train,
+            checkpoint_path: None,
+            checkpoint_every: 1,
+            patience: None,
+            max_retries: 2,
+            spike_factor: 8.0,
+            divergence_factor: 4.0,
+            stop_after: None,
+            stall_ms: 0,
+            fault_plan: TrainFaultPlan::default(),
+        }
+    }
+}
+
+/// Result of a supervised training run. Deliberately excludes wall-clock
+/// time so the report of a killed-and-resumed run serializes byte-identical
+/// to an uninterrupted one.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainRunReport {
+    /// Mean training loss per completed epoch.
+    pub epoch_losses: Vec<f32>,
+    /// Validation URB AP per completed epoch.
+    pub val_ap: Vec<f64>,
+    /// Epoch whose parameters were kept (best validation AP).
+    pub best_epoch: Option<usize>,
+    /// F2-tuned classification threshold (None without a validation set or
+    /// on an incomplete run).
+    pub threshold: Option<f32>,
+    /// Anomalies detected and survived.
+    pub anomalies: Vec<AnomalyEvent>,
+    /// Whether patience-based early stopping ended the run.
+    pub early_stopped: bool,
+    /// False when `stop_after` interrupted the run before the last epoch.
+    pub completed: bool,
+    /// CRC32 of the bit-exact serialized final parameters — a strong
+    /// weight-identity witness for resume tests.
+    pub params_crc32: u32,
+}
+
+/// CRC32 over the bit-exact serialization of a parameter set.
+pub fn params_crc32(params: &PicParams) -> u32 {
+    let mut e = Enc::new();
+    put_params(&mut e, params);
+    crc32(&e.finish())
+}
+
+/// Mix (epoch, attempt) into a captured RNG state for a salted retry —
+/// splitmix64-style, so retry streams are decorrelated from the original
+/// and from each other.
+fn salt_state(state: [u64; 4], epoch: usize, attempt: usize) -> [u64; 4] {
+    let mut s = state;
+    let mut z = (epoch as u64)
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add((attempt as u64).wrapping_mul(RETRY_SALT));
+    for w in &mut s {
+        z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut x = z;
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        *w ^= x ^ (x >> 31);
+    }
+    s
+}
+
+/// The post-epoch loss-divergence breaker: fails an epoch whose mean loss
+/// is non-finite or exceeds `factor` times the best prior epoch loss.
+pub fn loss_diverged(mean_loss: f32, prior_losses: &[f32], factor: f32) -> bool {
+    if !mean_loss.is_finite() {
+        return true;
+    }
+    let min_prior = prior_losses.iter().copied().fold(f32::INFINITY, f32::min);
+    min_prior.is_finite() && min_prior > 1e-12 && mean_loss > factor * min_prior
+}
+
+fn report_from_checkpoint(ck: &TrainCheckpoint) -> TrainRunReport {
+    TrainRunReport {
+        epoch_losses: ck.epoch_losses.clone(),
+        val_ap: ck.val_ap.clone(),
+        best_epoch: ck.best.as_ref().map(|b| b.0),
+        threshold: ck.threshold,
+        anomalies: ck.anomalies.clone(),
+        early_stopped: ck.early_stopped,
+        completed: true,
+        params_crc32: params_crc32(&ck.params),
+    }
+}
+
+/// Train `model` under supervision: anomaly guards with rollback-and-retry,
+/// epoch-granular checkpointing, patience-based early stopping, and
+/// best-validation-AP model selection identical to [`snowcat_nn::train`].
+///
+/// With an empty fault plan, no resume and no early interruption, the final
+/// parameters are **bit-identical** to `snowcat_nn::train` with the same
+/// [`TrainConfig`] — at any thread count. With `resume`, continues from the
+/// checkpoint at `cfg.checkpoint_path`, again bit-identically.
+pub fn robust_train(
+    model: &mut PicModel,
+    train_set: &[LabeledGraph<'_>],
+    valid: &[LabeledGraph<'_>],
+    cfg: &RobustTrainConfig,
+    resume: bool,
+) -> Result<TrainRunReport, SnowcatError> {
+    let tc = cfg.train;
+    let fingerprint = dataset_fingerprint(train_set);
+    let checkpoint_every = cfg.checkpoint_every.max(1);
+
+    let mut rng;
+    let mut opt;
+    let mut order: Vec<usize>;
+    let mut start_epoch = 0usize;
+    let mut epoch_losses: Vec<f32> = Vec::new();
+    let mut val_ap: Vec<f64> = Vec::new();
+    let mut anomalies: Vec<AnomalyEvent> = Vec::new();
+    let mut best: Option<(usize, f64, PicParams)> = None;
+    let mut ewma = 0.0f32;
+    let mut ewma_steps = 0u64;
+
+    if resume {
+        let path = cfg.checkpoint_path.as_deref().ok_or_else(|| {
+            SnowcatError::Config("resume requested but no checkpoint path configured".into())
+        })?;
+        let (ck, _fell_back) = load_train_checkpoint_with_fallback(path)?;
+        let mismatch = |what: &str| {
+            SnowcatError::Config(format!(
+                "cannot resume {}: {what} differs from the checkpointed run",
+                path.display()
+            ))
+        };
+        if ck.pic_cfg != model.cfg {
+            return Err(mismatch("model configuration"));
+        }
+        if ck.data_fingerprint != fingerprint {
+            return Err(mismatch("training-set fingerprint"));
+        }
+        if ck.epochs != tc.epochs
+            || ck.lr.to_bits() != tc.lr.to_bits()
+            || ck.batch != tc.batch
+            || ck.seed != tc.seed
+        {
+            return Err(mismatch("training schedule (epochs/lr/batch/seed)"));
+        }
+        if ck.order.len() != train_set.len() {
+            return Err(mismatch("training-set size"));
+        }
+        if ck.complete {
+            model.params = ck.params.clone();
+            return Ok(report_from_checkpoint(&ck));
+        }
+        model.params = ck.params.clone();
+        opt = Adam::from_snapshot(&ck.adam);
+        rng = ChaCha8Rng::from_state(ck.rng_state);
+        order = ck.order.iter().map(|&i| i as usize).collect();
+        start_epoch = ck.epochs_done;
+        epoch_losses = ck.epoch_losses;
+        val_ap = ck.val_ap;
+        anomalies = ck.anomalies;
+        best = ck.best;
+        ewma = ck.ewma;
+        ewma_steps = ck.ewma_steps;
+    } else {
+        rng = ChaCha8Rng::seed_from_u64(tc.seed);
+        opt = Adam::new(AdamConfig { lr: tc.lr, ..Default::default() }, &model.params.shapes());
+        order = (0..train_set.len()).collect();
+    }
+
+    let mut runner = EpochRunner::new(model);
+    let mut early_stopped = false;
+    let mut completed = true;
+    let mut epochs_this_call = 0usize;
+
+    let mut epoch = start_epoch;
+    while epoch < tc.epochs {
+        // Everything an epoch mutates, captured for rollback.
+        let pre_params = model.params.clone();
+        let pre_adam = opt.snapshot();
+        let pre_rng = rng.state();
+        let pre_order = order.clone();
+        let (pre_ewma, pre_ewma_steps) = (ewma, ewma_steps);
+
+        let mut attempt = 0usize;
+        let outcome = loop {
+            if attempt > 0 {
+                model.params = pre_params.clone();
+                opt = Adam::from_snapshot(&pre_adam);
+                order.copy_from_slice(&pre_order);
+                rng = ChaCha8Rng::from_state(salt_state(pre_rng, epoch, attempt));
+                ewma = pre_ewma;
+                ewma_steps = pre_ewma_steps;
+            }
+            order.shuffle(&mut rng);
+            let fault = cfg.fault_plan.epoch_fault(epoch, attempt);
+
+            let spike_factor = cfg.spike_factor;
+            let mut pending: Option<(String, String)> = None;
+            let mut g_ewma = ewma;
+            let mut g_steps = ewma_steps;
+            let mut obs = |info: &StepInfo| -> Result<(), String> {
+                if !info.loss_sum.is_finite() {
+                    let d = format!("non-finite batch loss at step {}", info.step);
+                    pending = Some(("nan-loss".into(), d.clone()));
+                    return Err(d);
+                }
+                if !info.grad_norm.is_finite() {
+                    let d = format!("non-finite gradient norm at step {}", info.step);
+                    pending = Some(("nan-grad".into(), d.clone()));
+                    return Err(d);
+                }
+                if g_steps >= EWMA_WARMUP && g_ewma > 0.0 && info.grad_norm > spike_factor * g_ewma
+                {
+                    let d = format!(
+                        "gradient norm {:.4} exceeds {spike_factor}x EWMA baseline {:.4} at \
+                         step {}",
+                        info.grad_norm, g_ewma, info.step
+                    );
+                    pending = Some(("grad-spike".into(), d.clone()));
+                    return Err(d);
+                }
+                g_ewma = if g_steps == 0 {
+                    info.grad_norm
+                } else {
+                    EWMA_ALPHA * info.grad_norm + (1.0 - EWMA_ALPHA) * g_ewma
+                };
+                g_steps += 1;
+                Ok(())
+            };
+            let result = runner.run_coverage_epoch(
+                model,
+                train_set,
+                &order,
+                tc.batch,
+                tc.threads,
+                &mut opt,
+                fault,
+                Some(&mut obs),
+            );
+            match result {
+                Ok(out) => {
+                    if loss_diverged(out.mean_loss, &epoch_losses, cfg.divergence_factor) {
+                        anomalies.push(AnomalyEvent {
+                            epoch,
+                            attempt,
+                            kind: "loss-divergence".into(),
+                            detail: format!(
+                                "mean epoch loss {} vs best prior {:?} (breaker x{})",
+                                out.mean_loss,
+                                epoch_losses.iter().copied().fold(f32::INFINITY, f32::min),
+                                cfg.divergence_factor
+                            ),
+                        });
+                    } else {
+                        ewma = g_ewma;
+                        ewma_steps = g_steps;
+                        break out;
+                    }
+                }
+                Err(EpochError::WorkerPanicked { message }) => {
+                    anomalies.push(AnomalyEvent {
+                        epoch,
+                        attempt,
+                        kind: "worker-panic".into(),
+                        detail: message,
+                    });
+                }
+                Err(EpochError::Aborted { step, reason }) => {
+                    let (kind, detail) = pending
+                        .take()
+                        .unwrap_or(("anomaly".into(), format!("step {step}: {reason}")));
+                    anomalies.push(AnomalyEvent { epoch, attempt, kind, detail });
+                }
+            }
+            if attempt >= cfg.max_retries {
+                // Leave the caller's model at the last good state rather
+                // than mid-poisoned-epoch.
+                model.params = pre_params;
+                let cause = anomalies
+                    .last()
+                    .map(|a| format!("{}: {}", a.kind, a.detail))
+                    .unwrap_or_else(|| "unknown anomaly".into());
+                return Err(SnowcatError::TrainingDiverged { epoch, retries: attempt, cause });
+            }
+            attempt += 1;
+        };
+
+        epoch_losses.push(outcome.mean_loss);
+        if !valid.is_empty() {
+            let ap = urb_average_precision(model, valid);
+            val_ap.push(ap);
+            let best_ap = best.as_ref().map(|b| b.1).unwrap_or(f64::NEG_INFINITY);
+            if ap > best_ap {
+                best = Some((epoch, ap, model.params.clone()));
+            }
+        }
+        let epochs_done = epoch + 1;
+        epochs_this_call += 1;
+
+        if let (Some(p), Some((best_epoch, _, _))) = (cfg.patience, best.as_ref()) {
+            if epoch - best_epoch >= p {
+                early_stopped = true;
+            }
+        }
+        let stopping = early_stopped
+            || cfg.stop_after.is_some_and(|n| epochs_this_call >= n && epochs_done < tc.epochs);
+
+        let mut wrote = false;
+        if let Some(path) = &cfg.checkpoint_path {
+            if epochs_done.is_multiple_of(checkpoint_every) || epochs_done == tc.epochs || stopping
+            {
+                let ck = TrainCheckpoint {
+                    pic_cfg: model.cfg,
+                    epochs: tc.epochs,
+                    lr: tc.lr,
+                    batch: tc.batch,
+                    seed: tc.seed,
+                    data_fingerprint: fingerprint,
+                    epochs_done,
+                    rng_state: rng.state(),
+                    order: order.iter().map(|&i| i as u32).collect(),
+                    params: model.params.clone(),
+                    best: best.clone(),
+                    adam: opt.snapshot(),
+                    ewma,
+                    ewma_steps,
+                    epoch_losses: epoch_losses.clone(),
+                    val_ap: val_ap.clone(),
+                    anomalies: anomalies.clone(),
+                    threshold: None,
+                    early_stopped: false,
+                    complete: false,
+                };
+                save_train_checkpoint_atomic(path, &ck)?;
+                wrote = true;
+            }
+        }
+        let _ = wrote;
+
+        if cfg.fault_plan.kill_at(epoch) {
+            // Emulate SIGKILL: no cleanup, no final checkpoint.
+            std::process::exit(KILL_EXIT_CODE);
+        }
+        if cfg.stall_ms > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(cfg.stall_ms));
+        }
+        if stopping && !early_stopped {
+            completed = false;
+        }
+        epoch += 1;
+        if stopping {
+            break;
+        }
+    }
+
+    let best_epoch = best.as_ref().map(|b| b.0);
+    let mut threshold = None;
+    if completed {
+        if let Some((_, _, p)) = &best {
+            model.params = p.clone();
+        }
+        if !valid.is_empty() {
+            threshold = Some(tune_threshold_f2_pooled(model, valid));
+        }
+        if let Some(path) = &cfg.checkpoint_path {
+            let ck = TrainCheckpoint {
+                pic_cfg: model.cfg,
+                epochs: tc.epochs,
+                lr: tc.lr,
+                batch: tc.batch,
+                seed: tc.seed,
+                data_fingerprint: fingerprint,
+                epochs_done: epoch,
+                rng_state: rng.state(),
+                order: order.iter().map(|&i| i as u32).collect(),
+                params: model.params.clone(),
+                best: best.clone(),
+                adam: opt.snapshot(),
+                ewma,
+                ewma_steps,
+                epoch_losses: epoch_losses.clone(),
+                val_ap: val_ap.clone(),
+                anomalies: anomalies.clone(),
+                threshold,
+                early_stopped,
+                complete: true,
+            };
+            save_train_checkpoint_atomic(path, &ck)?;
+        }
+    }
+    Ok(TrainRunReport {
+        epoch_losses,
+        val_ap,
+        best_epoch,
+        threshold,
+        anomalies,
+        early_stopped,
+        completed,
+        params_crc32: params_crc32(&model.params),
+    })
+}
+
+/// One quarantined shard.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardIssue {
+    /// The shard file.
+    pub path: String,
+    /// Why it was quarantined (read, decode or validation failure).
+    pub reason: String,
+}
+
+/// Summary of a quarantining load: what made it in, what was sidelined.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QuarantineReport {
+    /// Shards loaded successfully.
+    pub loaded: usize,
+    /// Examples merged from the loaded shards.
+    pub examples: usize,
+    /// Quarantined shards with reasons, in input order.
+    pub quarantined: Vec<ShardIssue>,
+}
+
+/// Load dataset shards, quarantining any that fail to read, fail the frame
+/// checksum / decode, or fail structural validation (graph invariants,
+/// label alignment, token ranges) — instead of aborting the run. The fault
+/// plan's `shard@K` entries corrupt shard K's bytes between read and
+/// decode, emulating on-disk corruption deterministically.
+pub fn load_shards_quarantining(
+    paths: &[PathBuf],
+    plan: &TrainFaultPlan,
+) -> (Dataset, QuarantineReport) {
+    let mut merged = Dataset::default();
+    let mut report = QuarantineReport::default();
+    for (k, path) in paths.iter().enumerate() {
+        let quarantine = |report: &mut QuarantineReport, reason: String| {
+            report.quarantined.push(ShardIssue { path: path.display().to_string(), reason });
+        };
+        let bytes = match std::fs::read(path) {
+            Ok(b) => b,
+            Err(e) => {
+                quarantine(&mut report, format!("read failed: {e}"));
+                continue;
+            }
+        };
+        let bytes = match plan.shard_fault(k) {
+            Some(kind) => corrupt(&bytes, kind),
+            None => bytes,
+        };
+        let ds = match decode_dataset_auto(path, bytes) {
+            Ok(ds) => ds,
+            Err(e) => {
+                quarantine(&mut report, format!("decode failed: {e}"));
+                continue;
+            }
+        };
+        if let Err(e) = validate_dataset(&ds) {
+            quarantine(&mut report, format!("validation failed: {e}"));
+            continue;
+        }
+        report.loaded += 1;
+        report.examples += ds.examples.len();
+        merged.examples.extend(ds.examples);
+    }
+    (merged, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_plan_grammar_parses_and_rejects() {
+        let plan =
+            TrainFaultPlan::parse("nan@0,spike@1x2,panic@2,shard@0:flip,shard@3:trunc,kill@4")
+                .unwrap();
+        assert_eq!(plan.epoch_fault(0, 0), Some(EpochFault::NanGrads));
+        assert_eq!(plan.epoch_fault(0, 1), None);
+        assert_eq!(plan.epoch_fault(1, 1), Some(EpochFault::SpikeGrads(SPIKE_MAGNITUDE)));
+        assert_eq!(plan.epoch_fault(1, 2), None);
+        assert_eq!(plan.epoch_fault(2, 0), Some(EpochFault::WorkerPanic));
+        assert_eq!(plan.shard_fault(0), Some(CorruptionKind::Flip));
+        assert_eq!(plan.shard_fault(3), Some(CorruptionKind::Truncate));
+        assert_eq!(plan.shard_fault(1), None);
+        assert!(plan.kill_at(4) && !plan.kill_at(3));
+        assert!(TrainFaultPlan::parse("").unwrap().is_empty());
+        for bad in [
+            "nan",
+            "nan@",
+            "nan@1x0",
+            "spike@x",
+            "shard@1",
+            "shard@1:melt",
+            "kill@x",
+            "boom@1",
+            "kill@1,kill@2",
+        ] {
+            assert!(TrainFaultPlan::parse(bad).is_err(), "'{bad}' should not parse");
+        }
+    }
+
+    #[test]
+    fn salted_states_differ_per_attempt() {
+        let base = [1u64, 2, 3, 4];
+        let a1 = salt_state(base, 3, 1);
+        let a2 = salt_state(base, 3, 2);
+        let b1 = salt_state(base, 4, 1);
+        assert_ne!(a1, base);
+        assert_ne!(a1, a2);
+        assert_ne!(a1, b1);
+    }
+
+    #[test]
+    fn divergence_breaker_logic() {
+        assert!(loss_diverged(f32::NAN, &[], 4.0));
+        assert!(loss_diverged(f32::INFINITY, &[0.5], 4.0));
+        assert!(!loss_diverged(1.0, &[], 4.0), "no prior epochs, finite loss: fine");
+        assert!(!loss_diverged(1.9, &[0.5, 0.8], 4.0));
+        assert!(loss_diverged(2.1, &[0.5, 0.8], 4.0));
+    }
+}

@@ -18,12 +18,16 @@
 //! * [`metrics`] — precision/recall/F1/F2/accuracy/balanced-accuracy/AP,
 //! * [`train`] — data-parallel training loop (bit-identical across thread
 //!   counts) with best-validation-AP checkpointing, F2-based threshold
-//!   tuning, evaluation helpers and JSON checkpoints.
+//!   tuning, evaluation helpers, panic-contained workers and the
+//!   [`train::EpochRunner`] seam supervised trainers build on,
+//! * [`binser`] — bit-exact little-endian binary serialization for model
+//!   and optimizer state (IEEE bit patterns, no decimal round-trip).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod asmenc;
+pub mod binser;
 pub mod metrics;
 pub mod model;
 pub mod optim;
@@ -31,12 +35,15 @@ pub mod tensor;
 pub mod train;
 
 pub use asmenc::{pretrain, PretrainConfig, PretrainReport};
+pub use binser::{decode_model_checkpoint, encode_model_checkpoint, BinError, Dec, Enc};
 pub use metrics::{average_precision, Confusion, MeanMetrics, PerGraphAverager};
 pub use model::{BaselinePredictor, PicConfig, PicModel, PicParams, PicSession};
-pub use optim::{Adam, AdamConfig};
+pub use optim::{Adam, AdamConfig, AdamSnapshot};
 pub use tensor::{Mat, Scratch};
 pub use train::{
-    evaluate, evaluate_pooled, evaluate_predictions, evaluate_predictions_pooled,
-    flow_average_precision, train, train_with_flows, tune_threshold_f2, tune_threshold_f2_pooled,
-    urb_average_precision, Checkpoint, FlowLabeledGraph, LabeledGraph, TrainConfig, TrainReport,
+    dataset_fingerprint, evaluate, evaluate_pooled, evaluate_predictions,
+    evaluate_predictions_pooled, flow_average_precision, train, train_with_flows,
+    tune_threshold_f2, tune_threshold_f2_pooled, urb_average_precision, Checkpoint, EpochError,
+    EpochFault, EpochOutcome, EpochRunner, FlowLabeledGraph, LabeledGraph, StepInfo, StepObserver,
+    TrainConfig, TrainReport,
 };

@@ -69,11 +69,26 @@ impl ShardPool {
     }
 }
 
+/// Render a panic payload as text (worker panics become typed errors).
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 /// Compute each batch item's gradient into its own pooled buffer —
 /// contiguously sharded across `threads` scoped workers — then reduce the
 /// buffers into `grads` in ascending item order and return the loss sum
 /// (also folded in item order). The per-item work and both folds are
 /// independent of the sharding, which is the determinism contract.
+///
+/// A panicking worker is contained (on both the threaded and the inline
+/// path) and surfaced as `Err(panic message)` with `grads` untouched, so a
+/// caller can fail the step without poisoning the process.
 fn batch_gradients<T: Sync>(
     model: &PicModel,
     batch: &[T],
@@ -81,19 +96,22 @@ fn batch_gradients<T: Sync>(
     threads: usize,
     grads: &mut PicParams,
     per_item: &(dyn Fn(&PicModel, &T, &mut PicParams, &mut Scratch) -> f32 + Sync),
-) -> f32 {
+) -> Result<f32, String> {
     pool.ensure(model, batch.len());
     let gbufs = &mut pool.grads[..batch.len()];
     let scratches = &mut pool.scratch[..batch.len()];
     let losses = &mut pool.losses[..batch.len()];
     let threads = threads.clamp(1, batch.len().max(1));
     if threads == 1 {
-        for (((item, gb), sc), l) in
-            batch.iter().zip(gbufs.iter_mut()).zip(scratches.iter_mut()).zip(losses.iter_mut())
-        {
-            gb.zero_all();
-            *l = per_item(model, item, gb, sc);
-        }
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            for (((item, gb), sc), l) in
+                batch.iter().zip(gbufs.iter_mut()).zip(scratches.iter_mut()).zip(losses.iter_mut())
+            {
+                gb.zero_all();
+                *l = per_item(model, item, gb, sc);
+            }
+        }))
+        .map_err(panic_message)?;
     } else {
         let chunk = batch.len().div_ceil(threads);
         crossbeam::thread::scope(|s| {
@@ -113,12 +131,12 @@ fn batch_gradients<T: Sync>(
                 });
             }
         })
-        .expect("training worker panicked");
+        .map_err(panic_message)?;
     }
     for gb in pool.grads[..batch.len()].iter() {
         grads.add_assign(gb);
     }
-    pool.losses[..batch.len()].iter().sum()
+    Ok(pool.losses[..batch.len()].iter().sum())
 }
 
 /// Result of a training run.
@@ -130,6 +148,322 @@ pub struct TrainReport {
     pub val_ap: Vec<f64>,
     /// Wall-clock seconds spent training.
     pub train_seconds: f64,
+}
+
+/// Per-step observation handed to an epoch observer after gradients are
+/// reduced and **before** the optimizer applies them — an observer that
+/// rejects the step therefore keeps poisoned gradients out of the model.
+#[derive(Debug, Clone, Copy)]
+pub struct StepInfo {
+    /// Optimizer step index within the epoch (0-based).
+    pub step: usize,
+    /// Sum of per-graph losses over the batch.
+    pub loss_sum: f32,
+    /// Graphs in the batch.
+    pub batch_len: usize,
+    /// Global L2 norm of the accumulated (un-scaled) batch gradient. Only
+    /// computed when an observer is installed — the plain training path
+    /// pays nothing for it.
+    pub grad_norm: f32,
+}
+
+/// Why an epoch stopped early.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EpochError {
+    /// A training worker panicked; the panic was contained and the
+    /// optimizer state is unchanged for this step.
+    WorkerPanicked {
+        /// The worker's panic message.
+        message: String,
+    },
+    /// The step observer rejected the step (anomaly guard tripped) before
+    /// the optimizer applied its gradients.
+    Aborted {
+        /// Optimizer step index that was rejected.
+        step: usize,
+        /// Observer-provided reason.
+        reason: String,
+    },
+}
+
+/// A per-step observer hook: sees each [`StepInfo`] after gradient
+/// reduction and may reject the step with a reason, aborting the epoch
+/// (see [`EpochError::Aborted`]).
+pub type StepObserver<'a> = &'a mut dyn FnMut(&StepInfo) -> Result<(), String>;
+
+impl std::fmt::Display for EpochError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EpochError::WorkerPanicked { message } => {
+                write!(f, "training worker panicked: {message}")
+            }
+            EpochError::Aborted { step, reason } => {
+                write!(f, "epoch aborted at step {step}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EpochError {}
+
+/// Deterministic fault injected into an epoch's first optimizer step —
+/// the seam the robustness harness uses to prove the anomaly guards fire.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EpochFault {
+    /// Overwrite one accumulated gradient entry with NaN.
+    NanGrads,
+    /// Scale the accumulated gradients by this factor (norm spike).
+    SpikeGrads(f32),
+    /// Make the first batch's workers panic.
+    WorkerPanic,
+}
+
+/// What a completed epoch produced.
+#[derive(Debug, Clone, Copy)]
+pub struct EpochOutcome {
+    /// Mean per-graph training loss.
+    pub mean_loss: f32,
+    /// Graphs processed (empty graphs are skipped).
+    pub graphs: usize,
+    /// Optimizer steps taken.
+    pub steps: usize,
+}
+
+/// Reusable epoch executor: owns the pooled gradient buffers and runs one
+/// epoch of the exact loop [`train`] uses — same batch assembly, same
+/// reduction order, same float operation sequence — so a supervised trainer
+/// built on it is bit-identical to the plain path when no observer or fault
+/// intervenes.
+pub struct EpochRunner {
+    pool: ShardPool,
+    grads: PicParams,
+}
+
+impl EpochRunner {
+    /// Allocate buffers shaped like `model`'s parameters.
+    pub fn new(model: &PicModel) -> Self {
+        Self { pool: ShardPool::default(), grads: model.params.zeros_like() }
+    }
+
+    /// Run one coverage-training epoch over `train[order]`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_coverage_epoch(
+        &mut self,
+        model: &mut PicModel,
+        train: &[LabeledGraph<'_>],
+        order: &[usize],
+        batch: usize,
+        threads: usize,
+        opt: &mut Adam,
+        fault: Option<EpochFault>,
+        observer: Option<StepObserver<'_>>,
+    ) -> Result<EpochOutcome, EpochError> {
+        let per_item = |m: &PicModel,
+                        &(g, labels): &LabeledGraph<'_>,
+                        gb: &mut PicParams,
+                        sc: &mut Scratch| {
+            let (_, cache) = m.forward_cached(g);
+            m.backward(g, &cache, labels, gb, sc)
+        };
+        self.run_epoch_generic(
+            model,
+            train,
+            order,
+            batch,
+            threads,
+            opt,
+            fault,
+            observer,
+            &|&(g, _)| g.num_verts() == 0,
+            &per_item,
+        )
+    }
+
+    /// Run one joint coverage+flow training epoch over `train[order]`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_flow_epoch(
+        &mut self,
+        model: &mut PicModel,
+        train: &[FlowLabeledGraph<'_>],
+        order: &[usize],
+        batch: usize,
+        threads: usize,
+        opt: &mut Adam,
+        fault: Option<EpochFault>,
+        observer: Option<StepObserver<'_>>,
+    ) -> Result<EpochOutcome, EpochError> {
+        let per_item = |m: &PicModel,
+                        &(g, labels, flows): &FlowLabeledGraph<'_>,
+                        gb: &mut PicParams,
+                        sc: &mut Scratch| {
+            let (_, cache) = m.forward_cached(g);
+            let (lv, lf) = m.backward_with_flows(g, &cache, labels, flows, gb, sc);
+            lv + lf
+        };
+        self.run_epoch_generic(
+            model,
+            train,
+            order,
+            batch,
+            threads,
+            opt,
+            fault,
+            observer,
+            &|&(g, _, _)| g.num_verts() == 0,
+            &per_item,
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn run_epoch_generic<T: Sync + Copy>(
+        &mut self,
+        model: &mut PicModel,
+        train: &[T],
+        order: &[usize],
+        batch: usize,
+        threads: usize,
+        opt: &mut Adam,
+        fault: Option<EpochFault>,
+        mut observer: Option<StepObserver<'_>>,
+        is_empty: &dyn Fn(&T) -> bool,
+        per_item: &(dyn Fn(&PicModel, &T, &mut PicParams, &mut Scratch) -> f32 + Sync),
+    ) -> Result<EpochOutcome, EpochError> {
+        let mut batch_buf: Vec<T> = Vec::with_capacity(batch);
+        let mut total_loss = 0.0f32;
+        let mut graphs = 0usize;
+        let mut steps = 0usize;
+        for &i in order {
+            let item = train[i];
+            if is_empty(&item) {
+                continue;
+            }
+            batch_buf.push(item);
+            if batch_buf.len() == batch {
+                total_loss += self.step_batch(
+                    model,
+                    &batch_buf,
+                    threads,
+                    opt,
+                    steps,
+                    fault,
+                    &mut observer,
+                    per_item,
+                )?;
+                graphs += batch_buf.len();
+                steps += 1;
+                batch_buf.clear();
+            }
+        }
+        if !batch_buf.is_empty() {
+            total_loss += self.step_batch(
+                model,
+                &batch_buf,
+                threads,
+                opt,
+                steps,
+                fault,
+                &mut observer,
+                per_item,
+            )?;
+            graphs += batch_buf.len();
+            steps += 1;
+            batch_buf.clear();
+        }
+        Ok(EpochOutcome {
+            mean_loss: if graphs == 0 { 0.0 } else { total_loss / graphs as f32 },
+            graphs,
+            steps,
+        })
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn step_batch<T: Sync>(
+        &mut self,
+        model: &mut PicModel,
+        batch_buf: &[T],
+        threads: usize,
+        opt: &mut Adam,
+        step: usize,
+        fault: Option<EpochFault>,
+        observer: &mut Option<StepObserver<'_>>,
+        per_item: &(dyn Fn(&PicModel, &T, &mut PicParams, &mut Scratch) -> f32 + Sync),
+    ) -> Result<f32, EpochError> {
+        let inject = if step == 0 { fault } else { None };
+        let loss_sum = if matches!(inject, Some(EpochFault::WorkerPanic)) {
+            let panicking = |_m: &PicModel, _item: &T, _gb: &mut PicParams, _sc: &mut Scratch| {
+                panic!("injected training-worker panic")
+            };
+            batch_gradients(model, batch_buf, &mut self.pool, threads, &mut self.grads, &panicking)
+        } else {
+            batch_gradients(model, batch_buf, &mut self.pool, threads, &mut self.grads, per_item)
+        }
+        .map_err(|message| EpochError::WorkerPanicked { message })?;
+        match inject {
+            Some(EpochFault::NanGrads) => {
+                if let Some(t) = self.grads.tensors_mut().into_iter().next() {
+                    if let Some(x) = t.data.first_mut() {
+                        *x = f32::NAN;
+                    }
+                }
+            }
+            Some(EpochFault::SpikeGrads(factor)) => {
+                for t in self.grads.tensors_mut() {
+                    t.scale(factor);
+                }
+            }
+            _ => {}
+        }
+        if let Some(obs) = observer {
+            let sq: f32 = self
+                .grads
+                .tensors()
+                .iter()
+                .map(|t| t.data.iter().map(|x| x * x).sum::<f32>())
+                .sum();
+            let info =
+                StepInfo { step, loss_sum, batch_len: batch_buf.len(), grad_norm: sq.sqrt() };
+            if let Err(reason) = obs(&info) {
+                // Leave the buffers clean for the next (retried) epoch; the
+                // model and optimizer were not touched by this step.
+                self.grads.zero_all();
+                return Err(EpochError::Aborted { step, reason });
+            }
+        }
+        apply(opt, model, &mut self.grads, batch_buf.len());
+        Ok(loss_sum)
+    }
+}
+
+/// Order-insensitive-to-nothing structural fingerprint of a training set:
+/// FNV-1a folded over example count, per-graph vertex/edge counts, vertex
+/// tokens and positive-label indices. Resume validation compares it to the
+/// one stored in the training checkpoint — continuing a run on different
+/// data cannot silently produce a "resumed" model.
+pub fn dataset_fingerprint(examples: &[LabeledGraph<'_>]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mix = |h: &mut u64, x: u64| {
+        for b in x.to_le_bytes() {
+            *h ^= u64::from(b);
+            *h = h.wrapping_mul(0x100_0000_01b3);
+        }
+    };
+    mix(&mut h, examples.len() as u64);
+    for &(g, labels) in examples {
+        mix(&mut h, g.num_verts() as u64);
+        mix(&mut h, g.edges.len() as u64);
+        for v in &g.verts {
+            mix(&mut h, u64::from(v.block.0));
+            for &t in &v.tokens {
+                mix(&mut h, u64::from(t));
+            }
+        }
+        for (i, &l) in labels.iter().enumerate() {
+            if l {
+                mix(&mut h, i as u64);
+            }
+        }
+    }
+    h
 }
 
 /// Train `model` on `train`, tracking URB average precision on `valid` after
@@ -152,46 +486,13 @@ pub fn train(
     let mut best_ap = f64::NEG_INFINITY;
     let mut best_params: Option<PicParams> = None;
 
-    let mut pool = ShardPool::default();
-    let mut grads = model.params.zeros_like();
-    let per_item =
-        |m: &PicModel, &(g, labels): &LabeledGraph<'_>, gb: &mut PicParams, sc: &mut Scratch| {
-            let (_, cache) = m.forward_cached(g);
-            m.backward(g, &cache, labels, gb, sc)
-        };
+    let mut runner = EpochRunner::new(model);
     for _ in 0..cfg.epochs {
         order.shuffle(&mut rng);
-        let mut batch_buf: Vec<LabeledGraph<'_>> = Vec::with_capacity(cfg.batch);
-        let mut total_loss = 0.0f32;
-        let mut graphs = 0usize;
-        for &i in &order {
-            let (g, labels) = train[i];
-            if g.num_verts() == 0 {
-                continue;
-            }
-            batch_buf.push((g, labels));
-            if batch_buf.len() == cfg.batch {
-                total_loss += batch_gradients(
-                    model,
-                    &batch_buf,
-                    &mut pool,
-                    cfg.threads,
-                    &mut grads,
-                    &per_item,
-                );
-                graphs += batch_buf.len();
-                apply(&mut opt, model, &mut grads, batch_buf.len());
-                batch_buf.clear();
-            }
-        }
-        if !batch_buf.is_empty() {
-            total_loss +=
-                batch_gradients(model, &batch_buf, &mut pool, cfg.threads, &mut grads, &per_item);
-            graphs += batch_buf.len();
-            apply(&mut opt, model, &mut grads, batch_buf.len());
-            batch_buf.clear();
-        }
-        epoch_losses.push(if graphs == 0 { 0.0 } else { total_loss / graphs as f32 });
+        let outcome = runner
+            .run_coverage_epoch(model, train, &order, cfg.batch, cfg.threads, &mut opt, None, None)
+            .unwrap_or_else(|e| panic!("{e}"));
+        epoch_losses.push(outcome.mean_loss);
 
         if !valid.is_empty() {
             let ap = urb_average_precision(model, valid);
@@ -240,49 +541,13 @@ pub fn train_with_flows(
     let mut best_ap = f64::NEG_INFINITY;
     let mut best_params: Option<PicParams> = None;
 
-    let mut pool = ShardPool::default();
-    let mut grads = model.params.zeros_like();
-    let per_item = |m: &PicModel,
-                    &(g, labels, flows): &FlowLabeledGraph<'_>,
-                    gb: &mut PicParams,
-                    sc: &mut Scratch| {
-        let (_, cache) = m.forward_cached(g);
-        let (lv, lf) = m.backward_with_flows(g, &cache, labels, flows, gb, sc);
-        lv + lf
-    };
+    let mut runner = EpochRunner::new(model);
     for _ in 0..cfg.epochs {
         order.shuffle(&mut rng);
-        let mut batch_buf: Vec<FlowLabeledGraph<'_>> = Vec::with_capacity(cfg.batch);
-        let mut total_loss = 0.0f32;
-        let mut graphs = 0usize;
-        for &i in &order {
-            let (g, labels, flows) = train[i];
-            if g.num_verts() == 0 {
-                continue;
-            }
-            batch_buf.push((g, labels, flows));
-            if batch_buf.len() == cfg.batch {
-                total_loss += batch_gradients(
-                    model,
-                    &batch_buf,
-                    &mut pool,
-                    cfg.threads,
-                    &mut grads,
-                    &per_item,
-                );
-                graphs += batch_buf.len();
-                apply(&mut opt, model, &mut grads, batch_buf.len());
-                batch_buf.clear();
-            }
-        }
-        if !batch_buf.is_empty() {
-            total_loss +=
-                batch_gradients(model, &batch_buf, &mut pool, cfg.threads, &mut grads, &per_item);
-            graphs += batch_buf.len();
-            apply(&mut opt, model, &mut grads, batch_buf.len());
-            batch_buf.clear();
-        }
-        epoch_losses.push(if graphs == 0 { 0.0 } else { total_loss / graphs as f32 });
+        let outcome = runner
+            .run_flow_epoch(model, train, &order, cfg.batch, cfg.threads, &mut opt, None, None)
+            .unwrap_or_else(|e| panic!("{e}"));
+        epoch_losses.push(outcome.mean_loss);
         if !valid.is_empty() {
             let ap = urb_average_precision(model, valid);
             val_ap.push(ap);
@@ -664,6 +929,129 @@ mod tests {
         assert_eq!(c.total(), total_urbs);
         let t = tune_threshold_f2_pooled(&model, &refs);
         assert!((0.05..=0.95).contains(&t));
+    }
+
+    #[test]
+    fn worker_panic_is_contained_not_propagated() {
+        let data = dataset(0..8);
+        let refs: Vec<LabeledGraph> = data.iter().map(|(g, y)| (g, y.as_slice())).collect();
+        for threads in [1, 3] {
+            let mut model = PicModel::new(PicConfig { hidden: 8, layers: 1, ..Default::default() });
+            let frozen = model.params.clone();
+            let mut opt = Adam::new(AdamConfig::default(), &model.params.shapes());
+            let mut runner = EpochRunner::new(&model);
+            let order: Vec<usize> = (0..refs.len()).collect();
+            let err = runner
+                .run_coverage_epoch(
+                    &mut model,
+                    &refs,
+                    &order,
+                    4,
+                    threads,
+                    &mut opt,
+                    Some(EpochFault::WorkerPanic),
+                    None,
+                )
+                .unwrap_err();
+            match err {
+                // The inline path preserves the worker's message; the
+                // threaded path surfaces std's generic scoped-thread payload.
+                EpochError::WorkerPanicked { message } => assert!(
+                    message.contains("injected") || message.contains("panicked"),
+                    "unexpected message: {message}"
+                ),
+                other => panic!("expected WorkerPanicked, got {other:?}"),
+            }
+            // The failed step never reached the optimizer.
+            assert_eq!(model.params, frozen, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn observer_abort_keeps_model_and_buffers_clean() {
+        let data = dataset(0..8);
+        let refs: Vec<LabeledGraph> = data.iter().map(|(g, y)| (g, y.as_slice())).collect();
+        let mut model = PicModel::new(PicConfig { hidden: 8, layers: 1, ..Default::default() });
+        let frozen = model.params.clone();
+        let mut opt = Adam::new(AdamConfig::default(), &model.params.shapes());
+        let mut runner = EpochRunner::new(&model);
+        let order: Vec<usize> = (0..refs.len()).collect();
+        let mut seen = Vec::new();
+        let mut obs = |info: &StepInfo| {
+            seen.push(info.grad_norm);
+            if info.step == 1 {
+                Err("synthetic anomaly".into())
+            } else {
+                Ok(())
+            }
+        };
+        let err = runner
+            .run_coverage_epoch(&mut model, &refs, &order, 4, 1, &mut opt, None, Some(&mut obs))
+            .unwrap_err();
+        assert_eq!(err, EpochError::Aborted { step: 1, reason: "synthetic anomaly".into() });
+        // Step 0 applied, step 1 did not; grad norms were observed finite.
+        assert_ne!(model.params, frozen);
+        assert_eq!(seen.len(), 2);
+        assert!(seen.iter().all(|n| n.is_finite() && *n > 0.0));
+        // The runner stays usable: a fresh epoch with no observer succeeds
+        // (a dirty gradient buffer from the aborted step would corrupt it).
+        let outcome = runner
+            .run_coverage_epoch(&mut model, &refs, &order, 4, 1, &mut opt, None, None)
+            .unwrap();
+        assert_eq!(outcome.graphs, 8);
+        assert_eq!(outcome.steps, 2);
+    }
+
+    #[test]
+    fn injected_faults_are_visible_to_the_observer() {
+        let data = dataset(0..4);
+        let refs: Vec<LabeledGraph> = data.iter().map(|(g, y)| (g, y.as_slice())).collect();
+        let order: Vec<usize> = (0..refs.len()).collect();
+        // Baseline first-step gradient norm without faults.
+        let norm_at_step0 = |fault: Option<EpochFault>| {
+            let mut model = PicModel::new(PicConfig { hidden: 8, layers: 1, ..Default::default() });
+            let mut opt = Adam::new(AdamConfig::default(), &model.params.shapes());
+            let mut runner = EpochRunner::new(&model);
+            let mut first = None;
+            let mut obs = |info: &StepInfo| {
+                if info.step == 0 {
+                    first = Some(info.grad_norm);
+                }
+                Ok(())
+            };
+            runner
+                .run_coverage_epoch(
+                    &mut model,
+                    &refs,
+                    &order,
+                    4,
+                    1,
+                    &mut opt,
+                    fault,
+                    Some(&mut obs),
+                )
+                .unwrap();
+            first.unwrap()
+        };
+        let clean = norm_at_step0(None);
+        let spiked = norm_at_step0(Some(EpochFault::SpikeGrads(64.0)));
+        assert!(spiked > clean * 32.0, "spike not visible: {clean} vs {spiked}");
+        assert!(norm_at_step0(Some(EpochFault::NanGrads)).is_nan());
+    }
+
+    #[test]
+    fn fingerprint_discriminates_data_and_labels() {
+        let data = dataset(0..6);
+        let refs: Vec<LabeledGraph> = data.iter().map(|(g, y)| (g, y.as_slice())).collect();
+        let base = dataset_fingerprint(&refs);
+        assert_eq!(base, dataset_fingerprint(&refs), "fingerprint is deterministic");
+        assert_ne!(base, dataset_fingerprint(&refs[..5]), "dropping an example changes it");
+        let mut flipped = data.clone();
+        let pos = flipped[0].1.iter().position(|&l| l).expect("synthetic data has positive labels");
+        flipped[0].1[pos] = false;
+        let flipped_refs: Vec<LabeledGraph> =
+            flipped.iter().map(|(g, y)| (g, y.as_slice())).collect();
+        assert_ne!(base, dataset_fingerprint(&flipped_refs), "label flip changes it");
     }
 
     #[test]

@@ -13,6 +13,27 @@ pub struct ChaCha8Rng {
     s: [u64; 4],
 }
 
+impl ChaCha8Rng {
+    /// The generator's raw internal state — the stand-in's analogue of the
+    /// real crate's `get_word_pos`, used for exact stream checkpointing.
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Rebuild a generator at an exact stream position captured with
+    /// [`ChaCha8Rng::state`]. An all-zero state (a fixed point of the
+    /// transition function, unreachable from `from_seed`) is remapped the
+    /// same way `from_seed` remaps it.
+    pub fn from_state(s: [u64; 4]) -> Self {
+        if s == [0; 4] {
+            return Self {
+                s: [0xC4AC_8A11_5EED_C8A7, 0x0123_4567_89AB_CDEF, 0xFEDC_BA98_7654_3210, 1],
+            };
+        }
+        Self { s }
+    }
+}
+
 impl RngCore for ChaCha8Rng {
     fn next_u64(&mut self) -> u64 {
         let s = &mut self.s;
@@ -61,5 +82,23 @@ mod tests {
         let mut s = rand::rngs::StdRng::seed_from_u64(42);
         let zs: Vec<u64> = (0..8).map(|_| s.gen()).collect();
         assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn state_roundtrip_resumes_stream_exactly() {
+        let mut a = ChaCha8Rng::seed_from_u64(7);
+        for _ in 0..13 {
+            a.next_u64();
+        }
+        let mut b = ChaCha8Rng::from_state(a.state());
+        let xs: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        assert_eq!(xs, ys);
+    }
+
+    #[test]
+    fn zero_state_is_remapped_not_stuck() {
+        let mut z = ChaCha8Rng::from_state([0; 4]);
+        assert_ne!(z.next_u64(), z.next_u64());
     }
 }
