@@ -68,8 +68,8 @@ fn bench_service(c: &mut Criterion) {
     println!(
         "\ncache [{}]: {} hits / {} misses ({:.1}% hit rate) over the warm stream",
         cached.name(),
-        stats.cache_hits,
-        stats.cache_misses,
+        stats.cache_hits(),
+        stats.cache_misses(),
         stats.hit_rate() * 100.0
     );
 }

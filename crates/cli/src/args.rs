@@ -11,6 +11,7 @@ pub struct Args {
     pub command: Option<String>,
     opts: BTreeMap<String, String>,
     flags: Vec<String>,
+    positionals: Vec<String>,
 }
 
 /// Parsing errors, rendered to the user as-is.
@@ -51,7 +52,10 @@ impl Args {
             } else if out.command.is_none() {
                 out.command = Some(tok);
             } else {
-                return Err(ArgError::Unknown(tok));
+                // Positional operands after the subcommand. Most commands
+                // take none and reject them in `ensure_known`; the ones
+                // that do (e.g. `status <dir>`) read them explicitly.
+                out.positionals.push(tok);
             }
         }
         Ok(out)
@@ -80,12 +84,32 @@ impl Args {
         self.flags.iter().any(|f| f == key)
     }
 
-    /// Reject any option/flag not in `allowed` (catches typos early).
+    /// Positional operand by index (after the subcommand).
+    pub fn positional(&self, i: usize) -> Option<&str> {
+        self.positionals.get(i).map(String::as_str)
+    }
+
+    /// Reject any option/flag not in `allowed` and any positional operand
+    /// (catches typos early). Commands that take positionals use
+    /// [`Args::ensure_known_with_positionals`].
     pub fn ensure_known(&self, allowed: &[&str]) -> Result<(), ArgError> {
+        self.ensure_known_with_positionals(allowed, 0)
+    }
+
+    /// Like [`Args::ensure_known`], but permitting up to `max_positionals`
+    /// positional operands.
+    pub fn ensure_known_with_positionals(
+        &self,
+        allowed: &[&str],
+        max_positionals: usize,
+    ) -> Result<(), ArgError> {
         for k in self.opts.keys().chain(self.flags.iter()) {
             if !allowed.contains(&k.as_str()) {
                 return Err(ArgError::Unknown(k.clone()));
             }
+        }
+        if let Some(extra) = self.positionals.get(max_positionals) {
+            return Err(ArgError::Unknown(extra.clone()));
         }
         Ok(())
     }
@@ -132,8 +156,17 @@ mod tests {
 
     #[test]
     fn stray_positional_is_an_error() {
-        let err = Args::parse("fuzz extra".split_whitespace().map(String::from)).unwrap_err();
+        let a = parse("fuzz extra");
+        let err = a.ensure_known(&["iterations"]).unwrap_err();
         assert_eq!(err, ArgError::Unknown("extra".into()));
+    }
+
+    #[test]
+    fn positionals_are_accessible_when_permitted() {
+        let a = parse("status /tmp/run --json");
+        assert_eq!(a.positional(0), Some("/tmp/run"));
+        assert!(a.ensure_known_with_positionals(&["json"], 1).is_ok());
+        assert!(a.ensure_known_with_positionals(&["json"], 0).is_err());
     }
 
     #[test]

@@ -12,8 +12,14 @@ use snowcat_core::{
     RacePrefilter, RazzerMode, S1NewBitmap, SnowcatError, StrategyKind,
 };
 use snowcat_corpus::{build_dataset, interacting_cti_pairs, DatasetConfig, StiFuzzer};
+use snowcat_events::{
+    read_stream, validate_trace, CampaignEvent, Event, EventSink, EventWriter, TrainEvent,
+    EVENTS_FILE, TRACE_FILE,
+};
 use snowcat_harness::{
-    load_checkpoint_with_fallback, load_shards_quarantining, robust_train, run_supervised_campaign,
+    load_checkpoint_with_fallback, load_shards_quarantining_instrumented,
+    load_train_checkpoint_with_fallback, report_from_campaign_checkpoint, report_from_supervised,
+    report_from_train, report_from_train_checkpoint, robust_train, run_supervised_campaign,
     FaultPlan, RobustTrainConfig, SupervisorConfig, TrainFaultPlan,
 };
 use snowcat_kernel::{asm, Kernel, KernelVersion};
@@ -220,6 +226,7 @@ pub fn train(args: &Args) -> CmdResult {
         "patience",
         "export-json",
         "report",
+        "events",
         "stall-ms",
     ])?;
     let k = build_kernel(args)?;
@@ -251,6 +258,7 @@ pub fn train(args: &Args) -> CmdResult {
             "fault-plan",
             "patience",
             "report",
+            "events",
             "stall-ms",
         ] {
             if args.get(robust).is_some() || args.has_flag(robust) {
@@ -282,6 +290,7 @@ pub fn train(args: &Args) -> CmdResult {
 
     let fault_plan = TrainFaultPlan::parse(&args.get_or("fault-plan", ""))
         .map_err(|e| SnowcatError::Config(format!("--fault-plan: {e}")))?;
+    let (sink, writer) = spawn_event_writer(args)?;
 
     // Data: either quarantine-load shards collected earlier, or collect
     // deterministically from the synthetic kernel (the plain-pipeline path).
@@ -290,7 +299,8 @@ pub fn train(args: &Args) -> CmdResult {
         Some(spec) => {
             let paths: Vec<std::path::PathBuf> =
                 spec.split(',').filter(|s| !s.is_empty()).map(std::path::PathBuf::from).collect();
-            let (merged, q) = load_shards_quarantining(&paths, &fault_plan);
+            let (merged, q) =
+                load_shards_quarantining_instrumented(&paths, &fault_plan, sink.as_ref());
             println!(
                 "loaded {}/{} shards ({} examples), {} quarantined",
                 q.loaded,
@@ -341,6 +351,7 @@ pub fn train(args: &Args) -> CmdResult {
     }
     rcfg.stall_ms = args.get_parse("stall-ms", 0u64)?;
     rcfg.fault_plan = fault_plan;
+    rcfg.events = sink;
     let resume = args.has_flag("resume");
     if resume && rcfg.checkpoint_path.is_none() {
         return Err(SnowcatError::Config("--resume requires --checkpoint FILE".into()).into());
@@ -373,20 +384,42 @@ pub fn train(args: &Args) -> CmdResult {
         println!("wrote JSON export to {p}");
     }
     if let Some(p) = args.get("report") {
-        // Compose manually: the run report and quarantine report both
-        // serialize deterministically (no wall-clock fields), so a resumed
-        // run's report is byte-identical to an uninterrupted one.
-        let quarantine_json = match &quarantine {
-            Some(q) => serde_json::to_string(q)?,
-            None => "null".to_string(),
-        };
-        let json = format!(
-            "{{\"result\":{},\"quarantine\":{}}}",
-            serde_json::to_string(&report)?,
-            quarantine_json
-        );
-        std::fs::write(p, json)?;
+        // The unified schema serializes deterministically (no wall-clock
+        // fields), so a resumed run's report is byte-identical to an
+        // uninterrupted one.
+        let unified = report_from_train(&report, quarantine.as_ref());
+        std::fs::write(p, unified.to_canonical_json())?;
         println!("report written to {p}");
+    }
+    finish_event_writer(writer)?;
+    Ok(())
+}
+
+/// Capacity of the in-process event queue: generous enough that a healthy
+/// writer thread never causes drops, bounded so a stuck one cannot take the
+/// hot loop down with it.
+const EVENT_QUEUE_CAP: usize = 1 << 16;
+
+/// Wire up `--events DIR`: a bounded sink plus the writer thread draining
+/// it into `DIR/events.jsonl` and `DIR/trace.json`.
+fn spawn_event_writer(
+    args: &Args,
+) -> Result<(Option<EventSink>, Option<EventWriter>), Box<dyn std::error::Error>> {
+    match args.get("events") {
+        Some(dir) => {
+            let sink = EventSink::bounded(EVENT_QUEUE_CAP);
+            let writer = EventWriter::spawn(sink.clone(), std::path::Path::new(dir))?;
+            Ok((Some(sink), Some(writer)))
+        }
+        None => Ok((None, None)),
+    }
+}
+
+/// Flush the event stream and report what landed on disk.
+fn finish_event_writer(writer: Option<EventWriter>) -> Result<(), Box<dyn std::error::Error>> {
+    if let Some(w) = writer {
+        let summary = w.finish()?;
+        println!("events: {} written, {} dropped", summary.written, summary.dropped);
     }
     Ok(())
 }
@@ -449,9 +482,9 @@ pub fn explore(args: &Args) -> CmdResult {
         "  predictor: {} via {}, {} model inferences, cache {}/{} hits ({:.0}% hit rate)",
         cached.name(),
         pic.name(),
-        ps.inferences,
-        ps.cache_hits,
-        ps.cache_hits + ps.cache_misses,
+        ps.inferences(),
+        ps.cache_hits(),
+        ps.cache_hits() + ps.cache_misses(),
         ps.hit_rate() * 100.0
     );
     println!(
@@ -544,6 +577,8 @@ pub fn campaign(args: &Args) -> CmdResult {
         "stall-ms",
         "stop-after",
         "out",
+        "report",
+        "events",
         "fail-on-hung",
         "fail-on-degraded",
     ])?;
@@ -581,6 +616,8 @@ pub fn campaign(args: &Args) -> CmdResult {
     }
     sup.fault_plan = FaultPlan::parse(&args.get_or("fault-plan", ""))
         .map_err(|e| SnowcatError::Config(format!("--fault-plan: {e}")))?;
+    let (sink, writer) = spawn_event_writer(args)?;
+    sup.events = sink;
 
     let resume = match args.get("resume") {
         Some(p) => {
@@ -654,14 +691,24 @@ pub fn campaign(args: &Args) -> CmdResult {
     if let Some(stats) = &supervised.predictor_stats {
         println!(
             "predictor: {} batches, {} degraded, {} fallback predictions",
-            stats.batches, stats.degraded_batches, stats.fallback_predictions
+            stats.batches(),
+            stats.degraded_batches(),
+            stats.fallback_predictions()
         );
     }
 
     if let Some(path) = args.get("out") {
+        // Legacy shape, kept for existing tooling; the unified schema is
+        // `--report` (and `snowcat status --json` over a checkpoint dir).
         std::fs::write(path, serde_json::to_string_pretty(&supervised)?)?;
         println!("result written to {path}");
     }
+    if let Some(path) = args.get("report") {
+        let report = report_from_supervised(&supervised, seed);
+        std::fs::write(path, report.to_canonical_json())?;
+        println!("report written to {path}");
+    }
+    finish_event_writer(writer)?;
 
     if args.has_flag("fail-on-hung") {
         if let Some(&cti) = supervised.quarantined.first() {
@@ -673,10 +720,10 @@ pub fn campaign(args: &Args) -> CmdResult {
     }
     if args.has_flag("fail-on-degraded") {
         if let Some(stats) = &supervised.predictor_stats {
-            if stats.degraded_batches > 0 {
+            if stats.degraded_batches() > 0 {
                 return Err(Box::new(SnowcatError::PredictorDegraded {
                     chain: supervised.result.label.clone(),
-                    degraded_batches: stats.degraded_batches,
+                    degraded_batches: stats.degraded_batches(),
                 }));
             }
         }
@@ -754,4 +801,272 @@ pub fn analyze(args: &Args) -> CmdResult {
         println!("self-check passed");
     }
     Ok(())
+}
+
+/// Find checkpoint files in `dir` by sniffing their magic bytes, skipping
+/// in-flight (`.tmp`) and rotated (`.prev`) copies. Returns the first SCCP
+/// and STCP paths in name order, so the pick is deterministic.
+fn scan_checkpoints(
+    dir: &std::path::Path,
+) -> std::io::Result<(Option<std::path::PathBuf>, Option<std::path::PathBuf>)> {
+    let mut names: Vec<std::path::PathBuf> =
+        std::fs::read_dir(dir)?.filter_map(|e| e.ok().map(|e| e.path())).collect();
+    names.sort();
+    let (mut sccp, mut stcp) = (None, None);
+    for path in names {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if name.ends_with(".tmp") || name.ends_with(".prev") || !path.is_file() {
+            continue;
+        }
+        let mut magic = [0u8; 4];
+        let ok = std::fs::File::open(&path)
+            .and_then(|mut f| std::io::Read::read_exact(&mut f, &mut magic))
+            .is_ok();
+        if !ok {
+            continue;
+        }
+        match &magic {
+            b"SCCP" if sccp.is_none() => sccp = Some(path),
+            b"STCP" if stcp.is_none() => stcp = Some(path),
+            _ => {}
+        }
+    }
+    Ok((sccp, stcp))
+}
+
+/// What one pass over a status directory found.
+struct StatusView {
+    report: Option<snowcat_events::Report>,
+    stream: Option<snowcat_events::StreamSummary>,
+    terminal: bool,
+}
+
+fn collect_status(dir: &std::path::Path) -> Result<StatusView, Box<dyn std::error::Error>> {
+    let stream = match std::fs::read_to_string(dir.join(EVENTS_FILE)) {
+        Ok(text) => Some(read_stream(&text)),
+        Err(_) => None,
+    };
+    let terminal =
+        stream.as_ref().map(|s| s.records.iter().any(|r| r.event.is_terminal())).unwrap_or(false);
+    // A campaign checkpoint wins when a directory holds both kinds; the
+    // training report is still reachable by pointing status at a directory
+    // with only the STCP file.
+    let (sccp, stcp) = scan_checkpoints(dir)?;
+    let report = if let Some(p) = sccp {
+        let (ck, _) = load_checkpoint_with_fallback(&p)?;
+        Some(report_from_campaign_checkpoint(&ck))
+    } else if let Some(p) = stcp {
+        let (ck, _) = load_train_checkpoint_with_fallback(&p)?;
+        Some(report_from_train_checkpoint(&ck))
+    } else {
+        None
+    };
+    Ok(StatusView { report, stream, terminal })
+}
+
+/// Validate stream integrity and the Perfetto export; any defect is fatal.
+fn status_self_check(dir: &std::path::Path) -> CmdResult {
+    let events_path = dir.join(EVENTS_FILE);
+    let text = std::fs::read_to_string(&events_path)
+        .map_err(|e| format!("--self-check: cannot read {EVENTS_FILE}: {e}"))?;
+    // Corruption gets the same distinct exit code (4) as a torn checkpoint.
+    let summary =
+        snowcat_events::validate_stream(&text).map_err(|e| SnowcatError::CheckpointCorrupt {
+            path: events_path.clone(),
+            detail: format!("event stream is damaged: {e}"),
+        })?;
+    let trace_path = dir.join(TRACE_FILE);
+    if trace_path.exists() {
+        let trace = std::fs::read_to_string(&trace_path)?;
+        let n = validate_trace(&trace)
+            .map_err(|e| SnowcatError::CheckpointCorrupt { path: trace_path.clone(), detail: e })?;
+        println!(
+            "self-check: {} events, {} dropped, {} trace events — all clean",
+            summary.records.len(),
+            summary.dropped,
+            n
+        );
+    } else {
+        println!(
+            "self-check: {} events, {} dropped — stream clean (no {TRACE_FILE})",
+            summary.records.len(),
+            summary.dropped
+        );
+    }
+    Ok(())
+}
+
+fn print_human_status(view: &StatusView) {
+    let Some(stream) = &view.stream else {
+        println!("no event stream; showing checkpoint state only");
+        if let Some(r) = &view.report {
+            print!("{}", r.to_canonical_json());
+        }
+        return;
+    };
+    let recs = &stream.records;
+    let (mut ctis_total, mut label, mut seed) = (0u64, String::new(), 0u64);
+    let (mut outcomes, mut races, mut blocks) = (0u64, 0u64, 0u64);
+    let (mut hangs, mut quarantined, mut degradations, mut checkpoints) = (0u64, 0u64, 0u64, 0u64);
+    let (mut epochs, mut anomalies, mut rollbacks) = (0u64, 0u64, 0u64);
+    let mut last_loss = None;
+    let mut predictor = None;
+    let mut last_position = 0u64;
+    for r in recs {
+        match &r.event {
+            Event::Campaign(e) => match e {
+                CampaignEvent::Started { label: l, seed: s, ctis, .. } => {
+                    label = l.clone();
+                    seed = *s;
+                    ctis_total = *ctis;
+                }
+                CampaignEvent::ExecutionOutcome { position, new_races, new_blocks, .. } => {
+                    outcomes += 1;
+                    races += new_races;
+                    blocks += new_blocks;
+                    last_position = last_position.max(*position + 1);
+                }
+                CampaignEvent::PredictorBatch { .. } => predictor = Some(e.clone()),
+                CampaignEvent::PredictorDegraded { .. } => degradations += 1,
+                CampaignEvent::HangDetected { .. } => hangs += 1,
+                CampaignEvent::Quarantined { .. } => quarantined += 1,
+                CampaignEvent::CheckpointWritten { .. } => checkpoints += 1,
+                _ => {}
+            },
+            Event::Train(e) => match e {
+                TrainEvent::EpochCompleted { loss, .. } => {
+                    epochs += 1;
+                    last_loss = Some(*loss);
+                }
+                TrainEvent::AnomalyDetected { .. } => anomalies += 1,
+                TrainEvent::RolledBack { .. } => rollbacks += 1,
+                TrainEvent::CheckpointWritten { .. } => checkpoints += 1,
+                _ => {}
+            },
+            _ => {}
+        }
+    }
+    let elapsed_us = match (recs.first(), recs.last()) {
+        (Some(a), Some(b)) => b.t_us.saturating_sub(a.t_us),
+        _ => 0,
+    };
+    let state = if view.terminal { "finished" } else { "running" };
+    if outcomes > 0 || ctis_total > 0 {
+        println!("campaign {label} (seed {seed:#x}) — {state}");
+        println!(
+            "  progress : {last_position}/{ctis_total} CTIs, {outcomes} accepted executions, \
+             {races} new races, {blocks} new blocks"
+        );
+        if elapsed_us > 0 && outcomes > 0 {
+            let per_sec = outcomes as f64 / (elapsed_us as f64 / 1e6);
+            let eta = if view.terminal || last_position == 0 || ctis_total <= last_position {
+                "done".to_string()
+            } else {
+                let remaining = (ctis_total - last_position) as f64;
+                let secs = elapsed_us as f64 / 1e6 / last_position as f64 * remaining;
+                format!("~{secs:.1}s remaining")
+            };
+            println!("  rate     : {per_sec:.1} executions/s, {eta}");
+        }
+        println!(
+            "  recovery : {hangs} hung attempts, {quarantined} quarantined CT pairs, \
+             {checkpoints} checkpoints"
+        );
+        if let Some(CampaignEvent::PredictorBatch {
+            inferences,
+            cache_hits,
+            cache_misses,
+            degraded_batches,
+            fallback_predictions,
+            ..
+        }) = &predictor
+        {
+            let looked = cache_hits + cache_misses;
+            let rate = if looked > 0 { *cache_hits as f64 / looked as f64 * 100.0 } else { 0.0 };
+            println!(
+                "  predictor: {inferences} inferences, cache {cache_hits}/{looked} \
+                 ({rate:.0}% hit rate), {degradations} degradations \
+                 ({degraded_batches} degraded batches, {fallback_predictions} fallbacks)"
+            );
+        }
+    }
+    if epochs > 0 {
+        println!("training — {state}");
+        print!("  progress : {epochs} epochs completed");
+        if let Some(l) = last_loss {
+            print!(", last loss {l:.4}");
+        }
+        println!();
+        println!(
+            "  guards   : {anomalies} anomalies, {rollbacks} rollbacks, {checkpoints} checkpoints"
+        );
+    }
+    if stream.dropped > 0 {
+        println!("  warning  : {} events dropped at the source (queue overflow)", stream.dropped);
+    }
+    for issue in &stream.issues {
+        println!("  stream issue: {issue}");
+    }
+    if let Some(r) = &view.report {
+        let (kind, summaryline) = match (&r.campaign, &r.train) {
+            (Some(c), _) => (
+                "campaign",
+                format!(
+                    "{} CTIs, {} executions, {} races ({} harmful), {} bugs, {:.2} sim h",
+                    c.ctis,
+                    c.executions,
+                    c.races,
+                    c.harmful_races,
+                    c.bugs_found.len(),
+                    c.sim_hours
+                ),
+            ),
+            (_, Some(t)) => (
+                "train",
+                format!(
+                    "{} epochs, best {:?}, {} anomalies{}",
+                    t.epochs,
+                    t.best_epoch,
+                    t.anomalies.len(),
+                    if t.completed { "" } else { " (incomplete)" }
+                ),
+            ),
+            _ => ("?", String::new()),
+        };
+        println!("  latest {kind} checkpoint: {summaryline}");
+    }
+}
+
+/// `snowcat status <dir>` — one-screen summary of a campaign or training
+/// directory: the structured event stream plus the latest checkpoint.
+pub fn status(args: &Args) -> CmdResult {
+    args.ensure_known_with_positionals(&["json", "follow", "self-check"], 1)?;
+    let dir = std::path::PathBuf::from(
+        args.positional(0)
+            .ok_or("usage: snowcat status <dir> [--json] [--follow] [--self-check]")?,
+    );
+    if !dir.is_dir() {
+        return Err(format!("status: {} is not a directory", dir.display()).into());
+    }
+    if args.has_flag("self-check") {
+        status_self_check(&dir)?;
+    }
+    loop {
+        let view = collect_status(&dir)?;
+        if args.has_flag("json") {
+            // Canonical bytes: identical to the `--report` file an
+            // uninterrupted run with the same seed would have written.
+            let report = view
+                .report
+                .as_ref()
+                .ok_or("status --json: no SCCP/STCP checkpoint found in the directory")?;
+            print!("{}", report.to_canonical_json());
+        } else {
+            print_human_status(&view);
+        }
+        if !args.has_flag("follow") || view.terminal {
+            return Ok(());
+        }
+        std::thread::sleep(std::time::Duration::from_millis(500));
+    }
 }

@@ -10,6 +10,7 @@
 //! snowcat razzer   --version 5.12 --model pic.bin [--schedules N]
 //! snowcat analyze  --version 5.12 [--seed N] [--out report.json] [--self-check]
 //! snowcat campaign --version 5.12 [--explorer pct|s1|s2|s3] [--checkpoint F] [--resume F]
+//! snowcat status   RUNDIR [--json] [--follow] [--self-check]
 //! ```
 //!
 //! Every command is deterministic given `--seed` (default: the family seed
@@ -42,7 +43,7 @@ COMMANDS:
               [--threads T] [--data S1,S2,...] [--checkpoint FILE]
               [--checkpoint-every K] [--resume] [--patience P]
               [--fault-plan SPEC] [--stall-ms MS] [--report FILE]
-              [--export-json FILE] [--flow]
+              [--events DIR] [--export-json FILE] [--flow]
   explore   compare PCT vs MLPCT-S1 on a CTI stream with a trained model
               --version V --model FILE [--ctis N] [--budget B] [--seed N]
   razzer    reproduce planted races with Razzer / -Relax / -PIC
@@ -55,8 +56,12 @@ COMMANDS:
               [--explorer pct|s1|s2|s3] [--model FILE]
               [--checkpoint FILE] [--checkpoint-every K] [--resume FILE]
               [--fuel-budget STEPS] [--fault-plan SPEC] [--max-hours H]
-              [--stall-ms MS] [--stop-after N] [--out FILE]
-              [--fail-on-hung] [--fail-on-degraded]
+              [--stall-ms MS] [--stop-after N] [--out FILE] [--report FILE]
+              [--events DIR] [--fail-on-hung] [--fail-on-degraded]
+  status    summarize a campaign/training directory: tail the structured
+            event stream (events.jsonl) and the latest checkpoint into a
+            one-screen progress report
+              snowcat status DIR [--json] [--follow] [--self-check]
 
 EXIT CODES:
   0 success   1 I/O or parse error      2 bad usage / config
@@ -83,6 +88,7 @@ fn main() {
         Some("razzer") => cmds::razzer(&args),
         Some("analyze") => cmds::analyze(&args),
         Some("campaign") => cmds::campaign(&args),
+        Some("status") => cmds::status(&args),
         Some("help") | None => {
             println!("{USAGE}");
             Ok(())

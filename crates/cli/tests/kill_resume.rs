@@ -32,12 +32,14 @@ fn killed_campaign_resumes_to_identical_coverage() {
     let dir = tmp_dir("resume");
     let ckpt = dir.join("campaign.ckpt");
     let full_out = dir.join("full.json");
+    let full_report = dir.join("full-report.json");
     let resumed_out = dir.join("resumed.json");
 
     // Reference: the same campaign, uninterrupted.
     let status = snowcat()
         .args(COMMON)
         .args(["--out", full_out.to_str().unwrap()])
+        .args(["--report", full_report.to_str().unwrap()])
         .status()
         .expect("binary runs");
     assert!(status.success());
@@ -65,9 +67,12 @@ fn killed_campaign_resumes_to_identical_coverage() {
 
     // The checkpoint (or its .prev fallback, if the kill tore the newest
     // write) must load, and the resumed run must finish the campaign.
+    // The resumed run keeps checkpointing so a final SCCP snapshot exists
+    // for `snowcat status` to summarize.
     let status = snowcat()
         .args(COMMON)
         .args(["--resume", ckpt.to_str().unwrap()])
+        .args(["--checkpoint", ckpt.to_str().unwrap()])
         .args(["--out", resumed_out.to_str().unwrap()])
         .status()
         .expect("binary runs");
@@ -77,6 +82,17 @@ fn killed_campaign_resumes_to_identical_coverage() {
         result_of(&resumed_out),
         result_of(&full_out),
         "kill+resume must reproduce the uninterrupted campaign exactly"
+    );
+
+    // `snowcat status --json` over the kill-and-resumed directory must be
+    // byte-identical to the uninterrupted run's unified `--report` file.
+    let out =
+        snowcat().args(["status", dir.to_str().unwrap(), "--json"]).output().expect("binary runs");
+    assert!(out.status.success(), "status failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert_eq!(
+        String::from_utf8(out.stdout).unwrap(),
+        std::fs::read_to_string(&full_report).unwrap(),
+        "status --json must equal the uninterrupted run's unified report, byte for byte"
     );
 }
 

@@ -42,12 +42,18 @@ fn train_args(shards: &str) -> Vec<String> {
         .collect()
 }
 
-/// The `result` field of a training `--report` JSON, which must be
-/// identical between a kill+resume run and an uninterrupted one.
-fn result_of(path: &Path) -> serde_json::Value {
+/// The unified `--report` JSON, which must be byte-identical between a
+/// kill+resume run and an uninterrupted one (no wall-clock fields).
+fn result_of(path: &Path) -> String {
     let text = std::fs::read_to_string(path).unwrap();
     let v = serde_json::parse(&text).unwrap();
-    v.get("result").expect("report JSON has a result field").clone()
+    assert_eq!(
+        v.get("schema_version").cloned(),
+        Some(serde_json::Value::UInt(1)),
+        "report carries the unified schema version"
+    );
+    assert!(v.get("train").is_some(), "train report populates the train summary");
+    text
 }
 
 #[test]
@@ -168,8 +174,8 @@ fn corrupt_shard_is_quarantined_and_divergence_is_exit_7() {
     let text = std::fs::read_to_string(&rep).unwrap();
     let v = serde_json::parse(&text).unwrap();
     let quarantined = v
-        .get("quarantine")
-        .and_then(|q| q.get("quarantined"))
+        .get("train")
+        .and_then(|t| t.get("quarantined_shards"))
         .and_then(|q| q.as_array().map(<[_]>::len));
     assert_eq!(quarantined, Some(1), "report lists the quarantined shard");
 

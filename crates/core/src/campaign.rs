@@ -15,6 +15,7 @@ use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use snowcat_cfg::KernelCfg;
 use snowcat_corpus::StiProfile;
+use snowcat_events::{CampaignEvent, EventSink};
 use snowcat_kernel::{BugId, Kernel};
 use snowcat_nn::Checkpoint;
 use snowcat_race::RaceSet;
@@ -210,6 +211,10 @@ pub enum ExplorerSpec {
     Faulty {
         /// The panic payload the worker will raise.
         reason: String,
+        /// The fault-plan entry that planted this spec (e.g. `panic@1`),
+        /// threaded into [`SnowcatError::CampaignFailed`] so per-slot
+        /// results keep naming what fired.
+        fault: Option<String>,
     },
 }
 
@@ -292,6 +297,35 @@ pub fn run_campaigns_parallel_budgeted(
     cost: &CostModel,
     max_hours: Option<f64>,
 ) -> Vec<Result<CampaignResult, SnowcatError>> {
+    run_campaigns_parallel_instrumented(
+        kernel,
+        cfg,
+        corpus,
+        stream,
+        specs,
+        explore_cfg,
+        cost,
+        max_hours,
+        None,
+    )
+}
+
+/// [`run_campaigns_parallel_budgeted`] plus worker-lifecycle events: each
+/// slot emits `WorkerStarted` when its thread begins and `WorkerFinished`
+/// (with the triggering fault-plan entry, if any) when it stores its
+/// result. With `events: None` this is exactly the uninstrumented runner.
+#[allow(clippy::too_many_arguments)]
+pub fn run_campaigns_parallel_instrumented(
+    kernel: &Kernel,
+    cfg: &KernelCfg,
+    corpus: &[StiProfile],
+    stream: &[(usize, usize)],
+    specs: &[ExplorerSpec],
+    explore_cfg: &ExploreConfig,
+    cost: &CostModel,
+    max_hours: Option<f64>,
+    events: Option<&EventSink>,
+) -> Vec<Result<CampaignResult, SnowcatError>> {
     type Slot = Option<Result<CampaignResult, SnowcatError>>;
     let results: Mutex<Vec<Slot>> = Mutex::new((0..specs.len()).map(|_| None).collect());
     // The scope itself only errors if a *worker thread* panicked past its
@@ -300,6 +334,12 @@ pub fn run_campaigns_parallel_budgeted(
         for (i, spec) in specs.iter().enumerate() {
             let results = &results;
             scope.spawn(move |_| {
+                if let Some(sink) = events {
+                    sink.campaign(CampaignEvent::WorkerStarted {
+                        slot: i as u64,
+                        label: spec.label(),
+                    });
+                }
                 let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match spec {
                     ExplorerSpec::Pct => run_campaign_budgeted(
                         kernel,
@@ -322,12 +362,25 @@ pub fn run_campaigns_parallel_budgeted(
                             max_hours,
                         )
                     }
-                    ExplorerSpec::Faulty { reason } => panic!("{}", reason.clone()),
+                    ExplorerSpec::Faulty { reason, .. } => panic!("{}", reason.clone()),
                 }));
+                let injected = match spec {
+                    ExplorerSpec::Faulty { fault, .. } => fault.clone(),
+                    _ => None,
+                };
                 let res = run.map_err(|payload| SnowcatError::CampaignFailed {
                     label: spec.label(),
                     message: panic_message(payload.as_ref()),
+                    fault: injected.clone(),
                 });
+                if let Some(sink) = events {
+                    sink.campaign(CampaignEvent::WorkerFinished {
+                        slot: i as u64,
+                        label: spec.label(),
+                        ok: res.is_ok(),
+                        fault: injected,
+                    });
+                }
                 results.lock()[i] = Some(res);
             });
         }
@@ -453,7 +506,10 @@ mod tests {
         let cost = CostModel::default();
         let specs = vec![
             ExplorerSpec::Pct,
-            ExplorerSpec::Faulty { reason: "injected worker fault".into() },
+            ExplorerSpec::Faulty {
+                reason: "injected worker fault".into(),
+                fault: Some("panic@1".into()),
+            },
             ExplorerSpec::Pct,
         ];
         let par = run_campaigns_parallel(&k, &cfg_k, &corpus, &stream, &specs, &ecfg, &cost);
@@ -465,9 +521,10 @@ mod tests {
         // The faulty one surfaces as a typed error naming its label and
         // carrying the panic payload.
         match &par[1] {
-            Err(SnowcatError::CampaignFailed { label, message }) => {
+            Err(SnowcatError::CampaignFailed { label, message, fault }) => {
                 assert_eq!(label, "FAULTY");
                 assert_eq!(message, "injected worker fault");
+                assert_eq!(fault.as_deref(), Some("panic@1"));
             }
             other => panic!("expected CampaignFailed, got {other:?}"),
         }

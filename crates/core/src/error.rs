@@ -59,6 +59,9 @@ pub enum SnowcatError {
         label: String,
         /// The panic payload, if it was a string.
         message: String,
+        /// The fault-plan entry that triggered the panic (e.g. `panic@1`),
+        /// when the failure came from deliberate fault injection.
+        fault: Option<String>,
     },
     /// The predictor chain degraded to the baseline fallback (reported when
     /// the caller asked degradation to be fatal via `--fail-on-degraded`).
@@ -101,8 +104,12 @@ impl fmt::Display for SnowcatError {
             SnowcatError::CheckpointCorrupt { path, detail } => {
                 write!(f, "{}: checkpoint corrupt: {detail}", path.display())
             }
-            SnowcatError::CampaignFailed { label, message } => {
-                write!(f, "campaign '{label}' failed: worker panicked: {message}")
+            SnowcatError::CampaignFailed { label, message, fault } => {
+                write!(f, "campaign '{label}' failed: worker panicked: {message}")?;
+                if let Some(entry) = fault {
+                    write!(f, " [injected by fault-plan entry '{entry}']")?;
+                }
+                Ok(())
             }
             SnowcatError::PredictorDegraded { chain, degraded_batches } => {
                 write!(

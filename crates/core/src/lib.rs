@@ -42,7 +42,8 @@ pub mod triage;
 
 pub use campaign::{
     run_campaign, run_campaign_budgeted, run_campaigns_parallel, run_campaigns_parallel_budgeted,
-    CampaignResult, Explorer, ExplorerSpec, HistoryPoint, StrategyKind,
+    run_campaigns_parallel_instrumented, CampaignResult, Explorer, ExplorerSpec, HistoryPoint,
+    StrategyKind,
 };
 pub use costmodel::{filter_economics, simulate_filter, CostModel, FilterEconomics};
 pub use error::{

@@ -67,26 +67,92 @@ pub fn graph_fingerprint(g: &CtGraph) -> u64 {
 /// Counter snapshot of a predictor (chain). Wrapper predictors merge their
 /// own counters into the inner predictor's snapshot, so the stats of the
 /// outermost predictor describe the whole chain.
+///
+/// The fields are private and the struct is `#[non_exhaustive]`: consumers
+/// read counters through accessors ([`batches`](Self::batches),
+/// [`cache_hits`](Self::cache_hits), …) and wrapper predictors compose
+/// snapshots through the `with_*`/`add_*` builders, so future exporters can
+/// add counters without breaking downstream code.
+#[non_exhaustive]
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct PredictorStats {
-    /// Model inferences actually performed (cache hits excluded).
-    pub inferences: u64,
-    /// `predict_batch` calls on the outermost predictor.
-    pub batches: u64,
-    /// Prediction requests served without an inference.
-    pub cache_hits: u64,
-    /// Prediction requests that had to run an inference.
-    pub cache_misses: u64,
-    /// Cached predictions dropped to respect the cache capacity.
-    pub cache_evictions: u64,
-    /// Batches that failed (panic or latency-budget violation) and were
-    /// served by the degradation fallback instead.
-    pub degraded_batches: u64,
-    /// Individual predictions produced by the fallback predictor.
-    pub fallback_predictions: u64,
+    pub(crate) inferences: u64,
+    pub(crate) batches: u64,
+    pub(crate) cache_hits: u64,
+    pub(crate) cache_misses: u64,
+    pub(crate) cache_evictions: u64,
+    pub(crate) degraded_batches: u64,
+    pub(crate) fallback_predictions: u64,
 }
 
 impl PredictorStats {
+    /// An all-zero snapshot (identical to `Default`).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Snapshot of a leaf predictor: `inferences` model evaluations over
+    /// `batches` batch calls, no cache or degradation activity.
+    pub fn of_inference_counts(inferences: u64, batches: u64) -> Self {
+        PredictorStats { inferences, batches, ..Self::default() }
+    }
+
+    /// Model inferences actually performed (cache hits excluded).
+    pub fn inferences(&self) -> u64 {
+        self.inferences
+    }
+
+    /// `predict_batch` calls on the outermost predictor.
+    pub fn batches(&self) -> u64 {
+        self.batches
+    }
+
+    /// Prediction requests served without an inference.
+    pub fn cache_hits(&self) -> u64 {
+        self.cache_hits
+    }
+
+    /// Prediction requests that had to run an inference.
+    pub fn cache_misses(&self) -> u64 {
+        self.cache_misses
+    }
+
+    /// Cached predictions dropped to respect the cache capacity.
+    pub fn cache_evictions(&self) -> u64 {
+        self.cache_evictions
+    }
+
+    /// Batches that failed (panic or latency-budget violation) and were
+    /// served by the degradation fallback instead.
+    pub fn degraded_batches(&self) -> u64 {
+        self.degraded_batches
+    }
+
+    /// Individual predictions produced by the fallback predictor.
+    pub fn fallback_predictions(&self) -> u64 {
+        self.fallback_predictions
+    }
+
+    /// Replace the batch count: a wrapper reports *its* batch calls, not
+    /// the inner predictor's.
+    pub fn with_batches(mut self, batches: u64) -> Self {
+        self.batches = batches;
+        self
+    }
+
+    /// Merge cache-layer counters on top of the inner snapshot.
+    pub fn add_cache_activity(&mut self, hits: u64, misses: u64, evictions: u64) {
+        self.cache_hits += hits;
+        self.cache_misses += misses;
+        self.cache_evictions += evictions;
+    }
+
+    /// Merge degradation-layer counters on top of the inner snapshot.
+    pub fn add_degradation(&mut self, degraded_batches: u64, fallback_predictions: u64) {
+        self.degraded_batches += degraded_batches;
+        self.fallback_predictions += fallback_predictions;
+    }
+
     /// Fraction of cache-mediated requests served from the cache
     /// (0.0 when no cache is in the chain).
     pub fn hit_rate(&self) -> f64 {

@@ -109,7 +109,7 @@ proptest! {
         assert_bit_identical("cached", &serial, &out);
         prop_assert!(cached.len() <= capacity, "cache exceeded capacity");
         let st = cached.stats();
-        prop_assert_eq!(st.cache_hits + st.cache_misses, stream.len() as u64);
+        prop_assert_eq!(st.cache_hits() + st.cache_misses(), stream.len() as u64);
     }
 
     /// The full composed chain — cache over a parallel pool over the Pic —
@@ -178,6 +178,6 @@ fn concurrent_cache_is_correct_under_contention() {
         }
     });
     let st = cached.stats();
-    assert!(st.cache_hits > 0, "contended run should produce hits");
+    assert!(st.cache_hits() > 0, "contended run should produce hits");
     assert!(cached.len() <= 8, "cache exceeded capacity after contention");
 }

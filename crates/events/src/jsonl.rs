@@ -1,0 +1,345 @@
+//! JSON-lines exporter and validating reader.
+//!
+//! Body: one `EventRecord` as compact JSON per line. Footer: a final line
+//! starting with `#SEVT ` followed by the hex encoding of a
+//! `frame_checksummed(b"SEVT", 1, payload)` frame (the same CRC framing the
+//! corpus checkpoints use), where the payload is four little-endian `u64`s:
+//! record count, body byte count, FNV-1a-64 of the body bytes, and the
+//! sink's drop count. A torn tail (truncated write, partial last line,
+//! missing footer) is therefore always detectable.
+
+use crate::schema::{EventRecord, EVENT_SCHEMA_VERSION};
+use snowcat_corpus::{frame_checksummed, unframe_checksummed, DecodeError};
+use std::io::{self, Write};
+
+/// File name the writer uses inside an `--events` directory.
+pub const EVENTS_FILE: &str = "events.jsonl";
+/// File name of the Perfetto/Chrome trace export.
+pub const TRACE_FILE: &str = "trace.json";
+/// Magic of the CRC-framed footer.
+pub const EVENTS_MAGIC: [u8; 4] = *b"SEVT";
+/// Version of the stream framing (footer layout), independent of the
+/// per-record schema version.
+pub const EVENTS_STREAM_VERSION: u16 = 1;
+
+const FOOTER_PREFIX: &str = "#SEVT ";
+
+fn fnv1a64(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+
+fn hex_encode(bytes: &[u8]) -> String {
+    let mut s = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        s.push_str(&format!("{b:02x}"));
+    }
+    s
+}
+
+fn hex_decode(s: &str) -> Option<Vec<u8>> {
+    // Strictly lowercase: `from_str_radix` would also accept `A`–`F`, which
+    // would let a case-flipped footer decode to the same bytes undetected.
+    if !s.len().is_multiple_of(2)
+        || !s.bytes().all(|b| b.is_ascii_digit() || (b'a'..=b'f').contains(&b))
+    {
+        return None;
+    }
+    (0..s.len() / 2).map(|i| u8::from_str_radix(&s[2 * i..2 * i + 2], 16).ok()).collect()
+}
+
+/// Streaming writer: one compact JSON object per line, sealed by
+/// [`JsonlWriter::finish`].
+pub struct JsonlWriter<W: Write> {
+    w: W,
+    count: u64,
+    body_bytes: u64,
+    fnv: u64,
+}
+
+impl<W: Write> JsonlWriter<W> {
+    pub fn new(w: W) -> Self {
+        JsonlWriter { w, count: 0, body_bytes: 0, fnv: FNV_OFFSET }
+    }
+
+    /// Append one record as a line, updating the running body hash.
+    pub fn write_record(&mut self, rec: &EventRecord) -> io::Result<()> {
+        let json = serde_json::to_string(rec)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        let line = format!("{json}\n");
+        self.w.write_all(line.as_bytes())?;
+        self.count += 1;
+        self.body_bytes += line.len() as u64;
+        self.fnv = fnv1a64(self.fnv, line.as_bytes());
+        Ok(())
+    }
+
+    /// Write the CRC-framed footer and return the inner writer (unflushed).
+    pub fn finish(mut self, dropped: u64) -> io::Result<W> {
+        let mut payload = Vec::with_capacity(32);
+        payload.extend_from_slice(&self.count.to_le_bytes());
+        payload.extend_from_slice(&self.body_bytes.to_le_bytes());
+        payload.extend_from_slice(&self.fnv.to_le_bytes());
+        payload.extend_from_slice(&dropped.to_le_bytes());
+        let frame = frame_checksummed(&EVENTS_MAGIC, EVENTS_STREAM_VERSION, &payload);
+        let line = format!("{FOOTER_PREFIX}{}\n", hex_encode(&frame));
+        self.w.write_all(line.as_bytes())?;
+        Ok(self.w)
+    }
+}
+
+/// A defect found while reading a stream. The reader is tolerant: it
+/// reports issues and returns whatever records it could recover.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StreamIssue {
+    /// The stream has no footer line — the writer was killed mid-run.
+    MissingFooter,
+    /// A body line failed to parse (torn tail or mid-file corruption).
+    TornLine { line: usize, detail: String },
+    /// The footer frame failed its own CRC/framing check.
+    FooterCorrupt { detail: String },
+    /// Footer record count disagrees with the lines actually present.
+    CountMismatch { footer: u64, actual: u64 },
+    /// Footer FNV-1a-64 body hash disagrees with the bytes actually present.
+    HashMismatch,
+    /// Sequence numbers are not strictly increasing.
+    SeqNonMonotonic { line: usize },
+    /// A record carries an unsupported schema version.
+    VersionMismatch { line: usize, v: u16 },
+}
+
+impl std::fmt::Display for StreamIssue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StreamIssue::MissingFooter => write!(f, "missing footer (stream not sealed)"),
+            StreamIssue::TornLine { line, detail } => {
+                write!(f, "unparseable record at line {line}: {detail}")
+            }
+            StreamIssue::FooterCorrupt { detail } => write!(f, "corrupt footer: {detail}"),
+            StreamIssue::CountMismatch { footer, actual } => {
+                write!(f, "footer claims {footer} records, stream has {actual}")
+            }
+            StreamIssue::HashMismatch => write!(f, "footer body hash mismatch"),
+            StreamIssue::SeqNonMonotonic { line } => {
+                write!(f, "sequence number regressed at line {line}")
+            }
+            StreamIssue::VersionMismatch { line, v } => {
+                write!(f, "unsupported schema version {v} at line {line}")
+            }
+        }
+    }
+}
+
+/// Result of reading a stream: recovered records plus every defect found.
+#[derive(Debug, Clone, Default)]
+pub struct StreamSummary {
+    pub records: Vec<EventRecord>,
+    /// Drop count recorded in the footer (0 when the footer is absent).
+    pub dropped: u64,
+    pub issues: Vec<StreamIssue>,
+}
+
+impl StreamSummary {
+    pub fn is_clean(&self) -> bool {
+        self.issues.is_empty()
+    }
+}
+
+/// Tolerant reader: parses what it can and records every issue.
+pub fn read_stream(text: &str) -> StreamSummary {
+    let mut out = StreamSummary::default();
+    let mut body_bytes = 0u64;
+    let mut body_lines = 0u64;
+    let mut fnv = FNV_OFFSET;
+    let mut footer: Option<Vec<u8>> = None;
+    let mut last_seq: Option<u64> = None;
+
+    for (idx, line) in text.split_inclusive('\n').enumerate() {
+        let lineno = idx + 1;
+        let trimmed = line.strip_suffix('\n').unwrap_or(line);
+        if trimmed.is_empty() {
+            continue;
+        }
+        if let Some(hex) = trimmed.strip_prefix(FOOTER_PREFIX) {
+            match hex_decode(hex) {
+                Some(bytes) => footer = Some(bytes),
+                None => out
+                    .issues
+                    .push(StreamIssue::FooterCorrupt { detail: "footer is not valid hex".into() }),
+            }
+            continue;
+        }
+        if trimmed.starts_with('#') {
+            // Unknown comment line: hash it as body so tampering is caught.
+            body_bytes += line.len() as u64;
+            fnv = fnv1a64(fnv, line.as_bytes());
+            continue;
+        }
+        // A body line that was torn mid-write has no trailing newline; it
+        // also (almost always) fails to parse. Hash exactly the bytes seen.
+        body_bytes += line.len() as u64;
+        body_lines += 1;
+        fnv = fnv1a64(fnv, line.as_bytes());
+        match serde_json::from_str::<EventRecord>(trimmed) {
+            Ok(rec) => {
+                if rec.v > EVENT_SCHEMA_VERSION {
+                    out.issues.push(StreamIssue::VersionMismatch { line: lineno, v: rec.v });
+                }
+                if let Some(prev) = last_seq {
+                    if rec.seq <= prev {
+                        out.issues.push(StreamIssue::SeqNonMonotonic { line: lineno });
+                    }
+                }
+                last_seq = Some(rec.seq);
+                if !line.ends_with('\n') {
+                    out.issues.push(StreamIssue::TornLine {
+                        line: lineno,
+                        detail: "last record has no trailing newline".into(),
+                    });
+                }
+                out.records.push(rec);
+            }
+            Err(e) => {
+                out.issues.push(StreamIssue::TornLine { line: lineno, detail: e.to_string() });
+            }
+        }
+    }
+
+    match footer {
+        None => out.issues.push(StreamIssue::MissingFooter),
+        Some(frame) => {
+            match unframe_checksummed(
+                &EVENTS_MAGIC,
+                EVENTS_STREAM_VERSION,
+                EVENTS_STREAM_VERSION,
+                bytes::Bytes::from(frame),
+            ) {
+                Err(e) => out.issues.push(StreamIssue::FooterCorrupt {
+                    detail: match e {
+                        DecodeError::BadMagic => "bad magic".into(),
+                        DecodeError::BadVersion(v) => format!("bad version {v}"),
+                        DecodeError::Truncated => "truncated frame".into(),
+                        other => format!("{other:?}"),
+                    },
+                }),
+                Ok((_v, payload)) => {
+                    if payload.len() != 32 {
+                        out.issues.push(StreamIssue::FooterCorrupt {
+                            detail: format!("payload is {} bytes, want 32", payload.len()),
+                        });
+                    } else {
+                        let u = |i: usize| {
+                            u64::from_le_bytes(payload[8 * i..8 * i + 8].try_into().unwrap())
+                        };
+                        let (count, bytes_claim, hash, dropped) = (u(0), u(1), u(2), u(3));
+                        out.dropped = dropped;
+                        if count != body_lines {
+                            out.issues.push(StreamIssue::CountMismatch {
+                                footer: count,
+                                actual: body_lines,
+                            });
+                        }
+                        if bytes_claim != body_bytes || hash != fnv {
+                            out.issues.push(StreamIssue::HashMismatch);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Strict reader: any issue is an error (joined into one message).
+pub fn validate_stream(text: &str) -> Result<StreamSummary, String> {
+    let summary = read_stream(text);
+    if summary.is_clean() {
+        Ok(summary)
+    } else {
+        Err(summary.issues.iter().map(|i| i.to_string()).collect::<Vec<_>>().join("; "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{CampaignEvent, Event, EventRecord, EVENT_SCHEMA_VERSION};
+
+    fn sample(seq: u64) -> EventRecord {
+        EventRecord {
+            v: EVENT_SCHEMA_VERSION,
+            seq,
+            t_us: 10 * seq,
+            event: Event::Campaign(CampaignEvent::StageTiming {
+                stage: "explore".into(),
+                micros: seq,
+            }),
+        }
+    }
+
+    fn sealed(n: u64, dropped: u64) -> String {
+        let mut w = JsonlWriter::new(Vec::new());
+        for i in 0..n {
+            w.write_record(&sample(i)).unwrap();
+        }
+        String::from_utf8(w.finish(dropped).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn sealed_stream_is_clean() {
+        let text = sealed(5, 2);
+        let s = validate_stream(&text).expect("clean");
+        assert_eq!(s.records.len(), 5);
+        assert_eq!(s.dropped, 2);
+    }
+
+    #[test]
+    fn missing_footer_is_reported() {
+        let text = sealed(3, 0);
+        let torn = text.rsplit_once("#SEVT").unwrap().0.to_string();
+        let s = read_stream(&torn);
+        assert_eq!(s.records.len(), 3);
+        assert!(s.issues.contains(&StreamIssue::MissingFooter));
+    }
+
+    #[test]
+    fn torn_tail_is_reported() {
+        let text = sealed(3, 0);
+        // Chop bytes out of the middle of the last body line.
+        let cut = text.len() - text.lines().last().unwrap().len() - 30;
+        let torn = text[..cut].to_string();
+        let s = read_stream(&torn);
+        assert!(
+            s.issues
+                .iter()
+                .any(|i| matches!(i, StreamIssue::TornLine { .. } | StreamIssue::MissingFooter)),
+            "issues: {:?}",
+            s.issues
+        );
+    }
+
+    #[test]
+    fn flipped_body_byte_fails_hash() {
+        let text = sealed(4, 0);
+        // Corrupt a digit inside the first record without breaking JSON.
+        let corrupted = text.replacen("\"t_us\":10", "\"t_us\":19", 1);
+        assert_ne!(corrupted, text);
+        let s = read_stream(&corrupted);
+        assert!(s.issues.contains(&StreamIssue::HashMismatch), "issues: {:?}", s.issues);
+    }
+
+    #[test]
+    fn seq_regression_is_reported() {
+        let mut w = JsonlWriter::new(Vec::new());
+        w.write_record(&sample(5)).unwrap();
+        w.write_record(&sample(2)).unwrap();
+        let text = String::from_utf8(w.finish(0).unwrap()).unwrap();
+        let s = read_stream(&text);
+        assert!(s.issues.iter().any(|i| matches!(i, StreamIssue::SeqNonMonotonic { .. })));
+    }
+}

@@ -1,0 +1,252 @@
+//! The versioned event schema.
+//!
+//! Every emitted event travels inside an [`EventRecord`] envelope carrying
+//! the schema version, a per-sink monotonic sequence number and a
+//! microsecond timestamp relative to the sink's creation. The payload enums
+//! are `#[non_exhaustive]`: downstream consumers must tolerate unknown
+//! variants, which lets future releases add event kinds without a major
+//! version bump.
+//!
+//! Floats are sanitized at emission time: the JSON exporter writes
+//! non-finite floats as `null` (which would not round-trip), so every
+//! `f64`-carrying variant maps NaN/±Inf to `0.0` before serialization.
+
+use serde::{Deserialize, Serialize};
+
+/// Version of the event schema; bumped when a variant's meaning or payload
+/// changes incompatibly. Adding variants is *not* a version bump.
+pub const EVENT_SCHEMA_VERSION: u16 = 1;
+
+/// Events emitted by supervised campaigns and the predictor stack.
+#[non_exhaustive]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum CampaignEvent {
+    /// Campaign entry: emitted once before the first position is processed.
+    Started { label: String, seed: u64, ctis: u64, resumed_from: Option<u64> },
+    /// One accepted concurrent-test execution (position advanced).
+    ExecutionOutcome {
+        position: u64,
+        ct_a: u64,
+        ct_b: u64,
+        attempt: u64,
+        executions: u64,
+        new_races: u64,
+        new_blocks: u64,
+        latency_us: u64,
+    },
+    /// Wall-clock spent in a named campaign stage.
+    StageTiming { stage: String, micros: u64 },
+    /// Cumulative predictor-chain counters (batches, cache, degradation).
+    PredictorBatch {
+        batches: u64,
+        inferences: u64,
+        cache_hits: u64,
+        cache_misses: u64,
+        cache_evictions: u64,
+        degraded_batches: u64,
+        fallback_predictions: u64,
+    },
+    /// A `ResilientPredictor` served a batch from the fallback (or tripped
+    /// its breaker and degraded permanently).
+    PredictorDegraded { reason: String, permanent: bool },
+    /// A checkpoint was persisted (and the previous one rotated to `.prev`).
+    CheckpointWritten { path: String, position: u64, ordinal: u64, rotated: bool },
+    /// An execution attempt hung (watchdog fired) and will be retried.
+    HangDetected { position: u64, attempt: u64, injected: bool },
+    /// A CT pair exhausted its retries and was quarantined.
+    Quarantined { position: u64, ct_a: u64, ct_b: u64, attempts: u64 },
+    /// A fault-plan entry fired (e.g. `hang@3`, `ckpt@2:flip`, `panic@1`).
+    FaultInjected { entry: String, position: u64 },
+    /// A parallel campaign worker began running.
+    WorkerStarted { slot: u64, label: String },
+    /// A parallel campaign worker finished; `fault` names the fault-plan
+    /// entry that fired if the worker panicked under injection.
+    WorkerFinished { slot: u64, label: String, ok: bool, fault: Option<String> },
+    /// Campaign exit: final cumulative counts.
+    Finished {
+        label: String,
+        executions: u64,
+        inferences: u64,
+        races: u64,
+        harmful_races: u64,
+        blocks: u64,
+        bugs: u64,
+        quarantined: u64,
+        sim_hours: f64,
+    },
+}
+
+/// Events emitted by the robust trainer.
+#[non_exhaustive]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TrainEvent {
+    /// Training entry: emitted once before the first (resumed) epoch.
+    Started { epochs: u64, examples: u64, resumed_epoch: Option<u64> },
+    /// A dataset shard failed validation and was quarantined at load time.
+    ShardQuarantined { path: String, reason: String },
+    /// An epoch's accepted attempt completed.
+    EpochCompleted { epoch: u64, attempt: u64, loss: f64, val_ap: Option<f64> },
+    /// The anomaly guard rejected an attempt.
+    AnomalyDetected { epoch: u64, attempt: u64, kind: String, detail: String },
+    /// Model/optimizer/RNG state was rolled back for a retry.
+    RolledBack { epoch: u64, attempt: u64 },
+    /// A training checkpoint was persisted.
+    CheckpointWritten { path: String, epoch: u64, complete: bool },
+    /// Training exit (also emitted on divergence with `diverged: true`).
+    Finished {
+        epochs: u64,
+        best_epoch: Option<u64>,
+        best_val_ap: Option<f64>,
+        early_stopped: bool,
+        diverged: bool,
+    },
+}
+
+/// Either half of the schema, as stored in the envelope.
+#[non_exhaustive]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Event {
+    Campaign(CampaignEvent),
+    Train(TrainEvent),
+}
+
+/// Envelope written to the stream: schema version, per-sink monotonic
+/// sequence number, microseconds since the sink was created, payload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EventRecord {
+    pub v: u16,
+    pub seq: u64,
+    pub t_us: u64,
+    pub event: Event,
+}
+
+fn finite(x: f64) -> f64 {
+    if x.is_finite() {
+        x
+    } else {
+        0.0
+    }
+}
+
+impl CampaignEvent {
+    /// Map non-finite floats to `0.0` so the JSON exporter round-trips
+    /// bit-exactly (the vendored writer emits NaN/Inf as `null`).
+    pub fn sanitized(mut self) -> Self {
+        if let CampaignEvent::Finished { sim_hours, .. } = &mut self {
+            *sim_hours = finite(*sim_hours);
+        }
+        self
+    }
+}
+
+impl TrainEvent {
+    /// See [`CampaignEvent::sanitized`].
+    pub fn sanitized(mut self) -> Self {
+        match &mut self {
+            TrainEvent::EpochCompleted { loss, val_ap, .. } => {
+                *loss = finite(*loss);
+                if let Some(v) = val_ap {
+                    *v = finite(*v);
+                }
+            }
+            TrainEvent::Finished { best_val_ap: Some(v), .. } => {
+                *v = finite(*v);
+            }
+            _ => {}
+        }
+        self
+    }
+}
+
+impl Event {
+    pub fn sanitized(self) -> Self {
+        match self {
+            Event::Campaign(e) => Event::Campaign(e.sanitized()),
+            Event::Train(e) => Event::Train(e.sanitized()),
+        }
+    }
+
+    /// Short stable tag for the variant (used by the Perfetto exporter and
+    /// the human-readable status view).
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Event::Campaign(e) => match e {
+                CampaignEvent::Started { .. } => "campaign.started",
+                CampaignEvent::ExecutionOutcome { .. } => "campaign.execution",
+                CampaignEvent::StageTiming { .. } => "campaign.stage",
+                CampaignEvent::PredictorBatch { .. } => "campaign.predictor_batch",
+                CampaignEvent::PredictorDegraded { .. } => "campaign.predictor_degraded",
+                CampaignEvent::CheckpointWritten { .. } => "campaign.checkpoint",
+                CampaignEvent::HangDetected { .. } => "campaign.hang",
+                CampaignEvent::Quarantined { .. } => "campaign.quarantine",
+                CampaignEvent::FaultInjected { .. } => "campaign.fault",
+                CampaignEvent::WorkerStarted { .. } => "campaign.worker_started",
+                CampaignEvent::WorkerFinished { .. } => "campaign.worker_finished",
+                CampaignEvent::Finished { .. } => "campaign.finished",
+            },
+            Event::Train(e) => match e {
+                TrainEvent::Started { .. } => "train.started",
+                TrainEvent::ShardQuarantined { .. } => "train.shard_quarantined",
+                TrainEvent::EpochCompleted { .. } => "train.epoch",
+                TrainEvent::AnomalyDetected { .. } => "train.anomaly",
+                TrainEvent::RolledBack { .. } => "train.rollback",
+                TrainEvent::CheckpointWritten { .. } => "train.checkpoint",
+                TrainEvent::Finished { .. } => "train.finished",
+            },
+        }
+    }
+
+    /// True for the terminal events that end a stream.
+    pub fn is_terminal(&self) -> bool {
+        matches!(
+            self,
+            Event::Campaign(CampaignEvent::Finished { .. })
+                | Event::Train(TrainEvent::Finished { .. })
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sanitize_maps_non_finite_to_zero() {
+        let e = Event::Train(TrainEvent::EpochCompleted {
+            epoch: 1,
+            attempt: 0,
+            loss: f64::NAN,
+            val_ap: Some(f64::INFINITY),
+        })
+        .sanitized();
+        match e {
+            Event::Train(TrainEvent::EpochCompleted { loss, val_ap, .. }) => {
+                assert_eq!(loss, 0.0);
+                assert_eq!(val_ap, Some(0.0));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn record_round_trips_through_json() {
+        let rec = EventRecord {
+            v: EVENT_SCHEMA_VERSION,
+            seq: 3,
+            t_us: 1234,
+            event: Event::Campaign(CampaignEvent::ExecutionOutcome {
+                position: 7,
+                ct_a: 1,
+                ct_b: 2,
+                attempt: 0,
+                executions: 42,
+                new_races: 1,
+                new_blocks: 5,
+                latency_us: 900,
+            }),
+        };
+        let s = serde_json::to_string(&rec).unwrap();
+        let back: EventRecord = serde_json::from_str(&s).unwrap();
+        assert_eq!(back, rec);
+    }
+}

@@ -30,6 +30,7 @@
 
 pub mod checkpoint;
 pub mod fault;
+pub mod reporting;
 pub mod resilient;
 pub mod supervisor;
 pub mod trainer;
@@ -41,13 +42,17 @@ pub use checkpoint::{
     CKPT_VERSION,
 };
 pub use fault::{corrupt, CheckpointFault, CorruptionKind, FaultPlan, FaultyPredictor, HangFault};
+pub use reporting::{
+    predictor_counters, report_from_campaign_checkpoint, report_from_supervised, report_from_train,
+    report_from_train_checkpoint,
+};
 pub use resilient::ResilientPredictor;
 pub use supervisor::{run_supervised_campaign, RecoveryLog, SupervisedResult, SupervisorConfig};
 pub use trainer::{
     decode_train_checkpoint, encode_train_checkpoint, load_shards_quarantining,
-    load_train_checkpoint_with_fallback, loss_diverged, params_crc32, robust_train,
-    save_train_checkpoint_atomic, AnomalyEvent, QuarantineReport, RobustTrainConfig, ShardIssue,
-    TrainCheckpoint, TrainEpochFault, TrainFaultKind, TrainFaultPlan, TrainRunReport,
-    TRAIN_CKPT_MAGIC, TRAIN_CKPT_VERSION,
+    load_shards_quarantining_instrumented, load_train_checkpoint_with_fallback, loss_diverged,
+    params_crc32, report_from_checkpoint, robust_train, save_train_checkpoint_atomic, AnomalyEvent,
+    QuarantineReport, RobustTrainConfig, ShardIssue, TrainCheckpoint, TrainEpochFault,
+    TrainFaultKind, TrainFaultPlan, TrainRunReport, TRAIN_CKPT_MAGIC, TRAIN_CKPT_VERSION,
 };
 pub use watchdog::{run_ct_watchdog, ExecOutcome};

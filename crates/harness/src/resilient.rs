@@ -8,6 +8,7 @@
 //! finishes with degradation *counters* rather than a crash.
 
 use snowcat_core::{CoveragePredictor, PredictedCoverage, PredictorStats};
+use snowcat_events::{CampaignEvent, EventSink};
 use snowcat_graph::CtGraph;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
@@ -31,6 +32,7 @@ pub struct ResilientPredictor<P, F> {
     batches: AtomicU64,
     degraded_batches: AtomicU64,
     fallback_predictions: AtomicU64,
+    events: Option<EventSink>,
 }
 
 impl<P: CoveragePredictor, F: CoveragePredictor> ResilientPredictor<P, F> {
@@ -46,7 +48,15 @@ impl<P: CoveragePredictor, F: CoveragePredictor> ResilientPredictor<P, F> {
             batches: AtomicU64::new(0),
             degraded_batches: AtomicU64::new(0),
             fallback_predictions: AtomicU64::new(0),
+            events: None,
         }
+    }
+
+    /// Emit a `PredictorDegraded` event through `sink` every time a batch
+    /// is served by the fallback (and when the breaker trips permanently).
+    pub fn with_event_sink(mut self, sink: EventSink) -> Self {
+        self.events = Some(sink);
+        self
     }
 
     /// Additionally degrade permanently after `max_violations` batches
@@ -68,9 +78,15 @@ impl<P: CoveragePredictor, F: CoveragePredictor> ResilientPredictor<P, F> {
         self.degraded_batches.load(Ordering::Relaxed)
     }
 
-    fn degrade(&self, graphs: &[CtGraph]) -> Vec<PredictedCoverage> {
+    fn degrade(&self, graphs: &[CtGraph], reason: &str) -> Vec<PredictedCoverage> {
         self.degraded_batches.fetch_add(1, Ordering::Relaxed);
         self.fallback_predictions.fetch_add(graphs.len() as u64, Ordering::Relaxed);
+        if let Some(s) = &self.events {
+            s.campaign(CampaignEvent::PredictorDegraded {
+                reason: reason.to_string(),
+                permanent: self.is_degraded(),
+            });
+        }
         self.fallback.predict_batch(graphs)
     }
 }
@@ -79,7 +95,7 @@ impl<P: CoveragePredictor, F: CoveragePredictor> CoveragePredictor for Resilient
     fn predict_batch(&self, graphs: &[CtGraph]) -> Vec<PredictedCoverage> {
         self.batches.fetch_add(1, Ordering::Relaxed);
         if self.permanently_degraded.load(Ordering::Relaxed) {
-            return self.degrade(graphs);
+            return self.degrade(graphs, "permanently degraded");
         }
         let start = Instant::now();
         match catch_unwind(AssertUnwindSafe(|| self.primary.predict_batch(graphs))) {
@@ -89,6 +105,14 @@ impl<P: CoveragePredictor, F: CoveragePredictor> CoveragePredictor for Resilient
                         let v = self.violations.fetch_add(1, Ordering::Relaxed) + 1;
                         if v >= self.max_violations {
                             self.permanently_degraded.store(true, Ordering::Relaxed);
+                            if let Some(s) = &self.events {
+                                s.campaign(CampaignEvent::PredictorDegraded {
+                                    reason: format!(
+                                        "latency budget exceeded on {v} batches; breaker tripped"
+                                    ),
+                                    permanent: true,
+                                });
+                            }
                         }
                     }
                 }
@@ -96,15 +120,16 @@ impl<P: CoveragePredictor, F: CoveragePredictor> CoveragePredictor for Resilient
             }
             // Wrong-length output is a contract violation — treat it like a
             // failed batch rather than letting it misalign downstream.
-            Ok(_) | Err(_) => self.degrade(graphs),
+            Ok(_) | Err(_) => self.degrade(graphs, "batch panicked or misaligned"),
         }
     }
 
     fn stats(&self) -> PredictorStats {
-        let mut s = self.primary.stats();
-        s.batches = self.batches.load(Ordering::Relaxed);
-        s.degraded_batches += self.degraded_batches.load(Ordering::Relaxed);
-        s.fallback_predictions += self.fallback_predictions.load(Ordering::Relaxed);
+        let mut s = self.primary.stats().with_batches(self.batches.load(Ordering::Relaxed));
+        s.add_degradation(
+            self.degraded_batches.load(Ordering::Relaxed),
+            self.fallback_predictions.load(Ordering::Relaxed),
+        );
         s
     }
 
@@ -174,8 +199,8 @@ mod tests {
             assert_eq!(x.probs, y.probs);
         }
         let s = wrapped.stats();
-        assert_eq!(s.degraded_batches, 0);
-        assert_eq!(s.fallback_predictions, 0);
+        assert_eq!(s.degraded_batches(), 0);
+        assert_eq!(s.fallback_predictions(), 0);
         assert!(!wrapped.is_degraded());
     }
 
@@ -190,9 +215,9 @@ mod tests {
             assert_eq!(preds.len(), graphs.len(), "output stays aligned even when degraded");
         }
         let s = wrapped.stats();
-        assert_eq!(s.batches, 4);
-        assert_eq!(s.degraded_batches, 2);
-        assert_eq!(s.fallback_predictions, 6);
+        assert_eq!(s.batches(), 4);
+        assert_eq!(s.degraded_batches(), 2);
+        assert_eq!(s.fallback_predictions(), 6);
         assert!(!wrapped.is_degraded(), "panic fallback is per-batch, not permanent");
         // Degraded batches come from all-pos: every vertex positive.
         let _healthy = wrapped.predict_batch(&graphs); // batch 5 succeeds
@@ -216,6 +241,6 @@ mod tests {
         // …after which every batch is served by the fallback (all-pos).
         let p = wrapped.predict_batch(&graphs);
         assert!(p[0].positive.iter().all(|&x| x));
-        assert!(wrapped.stats().degraded_batches >= 1);
+        assert!(wrapped.stats().degraded_batches() >= 1);
     }
 }

@@ -32,6 +32,7 @@ use snowcat_core::{
     PredictorStats, SnowcatError,
 };
 use snowcat_corpus::StiProfile;
+use snowcat_events::{CampaignEvent, EventSink};
 use snowcat_kernel::{BugId, Kernel};
 use snowcat_race::RaceSet;
 use snowcat_vm::BitSet;
@@ -70,6 +71,9 @@ pub struct SupervisorConfig {
     pub stall_ms: u64,
     /// Deterministic faults to inject.
     pub fault_plan: FaultPlan,
+    /// Structured-event sink (`None` disables instrumentation entirely;
+    /// emission is non-blocking and never fails the campaign).
+    pub events: Option<EventSink>,
 }
 
 impl SupervisorConfig {
@@ -212,6 +216,7 @@ pub fn run_supervised_campaign(
     let effective_fuel = sup.fuel_budget.unwrap_or(explore_cfg.fuel_budget);
     let checkpoint_every = sup.checkpoint_every.max(1);
 
+    let sink = sup.events.as_ref();
     let (mut state, start, resumed_from) = match resume {
         None => (SupState::fresh(kernel.num_blocks()), 0, None),
         Some(ck) => {
@@ -256,6 +261,15 @@ pub fn run_supervised_campaign(
         }
     };
 
+    if let Some(s) = sink {
+        s.campaign(CampaignEvent::Started {
+            label: label.clone(),
+            seed: explore_cfg.seed,
+            ctis: stream.len() as u64,
+            resumed_from: resumed_from.map(|p| p as u64),
+        });
+    }
+    let mut last_predictor_emit: Option<PredictorStats> = None;
     let mut processed_this_run = 0usize;
     let mut next_position = start;
     #[allow(clippy::needless_range_loop)] // resume starts mid-stream; the index IS the seed input
@@ -279,6 +293,14 @@ pub fn run_supervised_campaign(
         }
 
         let planned_hangs = sup.fault_plan.hang_attempts_at(ci);
+        if planned_hangs > 0 {
+            if let Some(s) = sink {
+                s.campaign(CampaignEvent::FaultInjected {
+                    entry: format!("hang@{ci}x{planned_hangs}"),
+                    position: ci as u64,
+                });
+            }
+        }
         let mut accepted = None;
         for attempt in 0..=sup.max_retries {
             let salt = if attempt == 0 { 0 } else { u64::from(attempt).wrapping_mul(RETRY_SALT) };
@@ -294,19 +316,28 @@ pub fn run_supervised_campaign(
             };
             let a = &corpus[ia];
             let b = &corpus[ib];
+            let t0 = sink.map(|_| std::time::Instant::now());
             let outcome = match &mut explorer {
                 Explorer::Pct => explore_pct(kernel, a, b, &cfg),
                 Explorer::MlPct { service, strategy } => {
                     explore_mlpct(kernel, service, strategy.as_mut(), a, b, &cfg)
                 }
             };
+            let latency_us = t0.map(|t| t.elapsed().as_micros() as u64).unwrap_or(0);
             let fully_hung = outcome.executions > 0 && outcome.hangs == outcome.executions;
             if !fully_hung {
-                accepted = Some(outcome);
+                accepted = Some((outcome, attempt, latency_us));
                 break;
             }
             state.recovery.hung_attempts += 1;
             state.recovery.wasted_executions += outcome.executions;
+            if let Some(s) = sink {
+                s.campaign(CampaignEvent::HangDetected {
+                    position: ci as u64,
+                    attempt: u64::from(attempt),
+                    injected: attempt < planned_hangs,
+                });
+            }
             if let (Explorer::MlPct { strategy, .. }, Some(snap)) = (&mut explorer, &pre) {
                 strategy.restore(snap);
             }
@@ -316,7 +347,9 @@ pub fn run_supervised_campaign(
         }
 
         match accepted {
-            Some(outcome) => {
+            Some((outcome, attempt, latency_us)) => {
+                let pre_races = state.races.len();
+                let pre_blocks = state.blocks.count();
                 state.executions += outcome.executions;
                 state.inferences += outcome.inferences;
                 for r in &outcome.races {
@@ -341,10 +374,45 @@ pub fn run_supervised_campaign(
                     sched_dep_blocks: state.blocks.count(),
                     bugs: state.bugs_found.len(),
                 });
+                if let Some(s) = sink {
+                    s.campaign(CampaignEvent::ExecutionOutcome {
+                        position: ci as u64,
+                        ct_a: ia as u64,
+                        ct_b: ib as u64,
+                        attempt: u64::from(attempt),
+                        executions: outcome.executions,
+                        new_races: (state.races.len() - pre_races) as u64,
+                        new_blocks: (state.blocks.count() - pre_blocks) as u64,
+                        latency_us,
+                    });
+                    if let Explorer::MlPct { service, .. } = &explorer {
+                        let ps = service.stats();
+                        if last_predictor_emit != Some(ps) {
+                            s.campaign(CampaignEvent::PredictorBatch {
+                                batches: ps.batches(),
+                                inferences: ps.inferences(),
+                                cache_hits: ps.cache_hits(),
+                                cache_misses: ps.cache_misses(),
+                                cache_evictions: ps.cache_evictions(),
+                                degraded_batches: ps.degraded_batches(),
+                                fallback_predictions: ps.fallback_predictions(),
+                            });
+                            last_predictor_emit = Some(ps);
+                        }
+                    }
+                }
             }
             None => {
                 state.quarantine.insert((ia, ib));
                 state.recovery.quarantined += 1;
+                if let Some(s) = sink {
+                    s.campaign(CampaignEvent::Quarantined {
+                        position: ci as u64,
+                        ct_a: ia as u64,
+                        ct_b: ib as u64,
+                        attempts: u64::from(sup.max_retries) + 1,
+                    });
+                }
             }
         }
 
@@ -383,6 +451,29 @@ pub fn run_supervised_campaign(
         Explorer::MlPct { service, .. } => Some(service.stats()),
         _ => None,
     };
+    if let Some(s) = sink {
+        let last = state.history.last().copied().unwrap_or(HistoryPoint {
+            ctis: 0,
+            executions: 0,
+            inferences: 0,
+            hours: 0.0,
+            races: 0,
+            harmful_races: 0,
+            sched_dep_blocks: 0,
+            bugs: 0,
+        });
+        s.campaign(CampaignEvent::Finished {
+            label: label.clone(),
+            executions: last.executions,
+            inferences: last.inferences,
+            races: last.races as u64,
+            harmful_races: last.harmful_races as u64,
+            blocks: last.sched_dep_blocks as u64,
+            bugs: last.bugs as u64,
+            quarantined: state.quarantine.len() as u64,
+            sim_hours: last.hours,
+        });
+    }
     Ok(SupervisedResult {
         result: CampaignResult { label, history: state.history, bugs_found: state.bugs_found },
         quarantined: state.quarantine.into_iter().collect(),
@@ -411,9 +502,26 @@ fn write_checkpoint(
     };
     let ck = state.to_checkpoint(label, seed, position, strategy);
     let ordinal = state.recovery.checkpoints_written + 1;
-    let raw = match sup.fault_plan.checkpoint_fault(ordinal) {
+    let fault_kind = sup.fault_plan.checkpoint_fault(ordinal);
+    let raw = match fault_kind {
         Some(kind) => Some(corrupt(&crate::checkpoint::encode_checkpoint(&ck)?, kind)),
         None => None,
     };
-    save_checkpoint_atomic(path, &ck, raw)
+    let rotated = path.exists();
+    save_checkpoint_atomic(path, &ck, raw)?;
+    if let Some(s) = &sup.events {
+        if let Some(kind) = fault_kind {
+            s.campaign(CampaignEvent::FaultInjected {
+                entry: format!("ckpt@{ordinal}:{kind:?}").to_lowercase(),
+                position: position as u64,
+            });
+        }
+        s.campaign(CampaignEvent::CheckpointWritten {
+            path: path.display().to_string(),
+            position: position as u64,
+            ordinal,
+            rotated,
+        });
+    }
+    Ok(())
 }

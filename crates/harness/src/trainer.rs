@@ -33,6 +33,7 @@ use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 use snowcat_core::{decode_dataset_auto, SnowcatError};
 use snowcat_corpus::{crc32, frame_checksummed, unframe_checksummed, validate_dataset, Dataset};
+use snowcat_events::{EventSink, TrainEvent};
 use snowcat_nn::binser::{
     put_adam, put_params, put_pic_config, take_adam, take_params, take_pic_config, Dec, Enc,
 };
@@ -426,6 +427,9 @@ pub struct RobustTrainConfig {
     pub stall_ms: u64,
     /// Deterministic fault injection.
     pub fault_plan: TrainFaultPlan,
+    /// Structured-event sink (`None` disables instrumentation; emission is
+    /// non-blocking and never fails the run).
+    pub events: Option<EventSink>,
 }
 
 impl RobustTrainConfig {
@@ -443,6 +447,7 @@ impl RobustTrainConfig {
             stop_after: None,
             stall_ms: 0,
             fault_plan: TrainFaultPlan::default(),
+            events: None,
         }
     }
 }
@@ -507,7 +512,9 @@ pub fn loss_diverged(mean_loss: f32, prior_losses: &[f32], factor: f32) -> bool 
     min_prior.is_finite() && min_prior > 1e-12 && mean_loss > factor * min_prior
 }
 
-fn report_from_checkpoint(ck: &TrainCheckpoint) -> TrainRunReport {
+/// The [`TrainRunReport`] view of a *complete* STCP checkpoint — what
+/// `robust_train` would have returned from the run that wrote it.
+pub fn report_from_checkpoint(ck: &TrainCheckpoint) -> TrainRunReport {
     TrainRunReport {
         epoch_losses: ck.epoch_losses.clone(),
         val_ap: ck.val_ap.clone(),
@@ -517,6 +524,17 @@ fn report_from_checkpoint(ck: &TrainCheckpoint) -> TrainRunReport {
         early_stopped: ck.early_stopped,
         completed: true,
         params_crc32: params_crc32(&ck.params),
+    }
+}
+
+fn emit_anomaly(cfg: &RobustTrainConfig, anomaly: Option<&AnomalyEvent>) {
+    if let (Some(sink), Some(a)) = (&cfg.events, anomaly) {
+        sink.train(TrainEvent::AnomalyDetected {
+            epoch: a.epoch as u64,
+            attempt: a.attempt as u64,
+            kind: a.kind.clone(),
+            detail: a.detail.clone(),
+        });
     }
 }
 
@@ -598,6 +616,13 @@ pub fn robust_train(
         order = (0..train_set.len()).collect();
     }
 
+    if let Some(sink) = &cfg.events {
+        sink.train(TrainEvent::Started {
+            epochs: tc.epochs as u64,
+            examples: train_set.len() as u64,
+            resumed_epoch: if resume { Some(start_epoch as u64) } else { None },
+        });
+    }
     let mut runner = EpochRunner::new(model);
     let mut early_stopped = false;
     let mut completed = true;
@@ -682,6 +707,7 @@ pub fn robust_train(
                                 cfg.divergence_factor
                             ),
                         });
+                        emit_anomaly(cfg, anomalies.last());
                     } else {
                         ewma = g_ewma;
                         ewma_steps = g_steps;
@@ -695,12 +721,14 @@ pub fn robust_train(
                         kind: "worker-panic".into(),
                         detail: message,
                     });
+                    emit_anomaly(cfg, anomalies.last());
                 }
                 Err(EpochError::Aborted { step, reason }) => {
                     let (kind, detail) = pending
                         .take()
                         .unwrap_or(("anomaly".into(), format!("step {step}: {reason}")));
                     anomalies.push(AnomalyEvent { epoch, attempt, kind, detail });
+                    emit_anomaly(cfg, anomalies.last());
                 }
             }
             if attempt >= cfg.max_retries {
@@ -711,9 +739,21 @@ pub fn robust_train(
                     .last()
                     .map(|a| format!("{}: {}", a.kind, a.detail))
                     .unwrap_or_else(|| "unknown anomaly".into());
+                if let Some(sink) = &cfg.events {
+                    sink.train(TrainEvent::Finished {
+                        epochs: epoch_losses.len() as u64,
+                        best_epoch: best.as_ref().map(|b| b.0 as u64),
+                        best_val_ap: best.as_ref().map(|b| b.1),
+                        early_stopped: false,
+                        diverged: true,
+                    });
+                }
                 return Err(SnowcatError::TrainingDiverged { epoch, retries: attempt, cause });
             }
             attempt += 1;
+            if let Some(sink) = &cfg.events {
+                sink.train(TrainEvent::RolledBack { epoch: epoch as u64, attempt: attempt as u64 });
+            }
         };
 
         epoch_losses.push(outcome.mean_loss);
@@ -724,6 +764,14 @@ pub fn robust_train(
             if ap > best_ap {
                 best = Some((epoch, ap, model.params.clone()));
             }
+        }
+        if let Some(sink) = &cfg.events {
+            sink.train(TrainEvent::EpochCompleted {
+                epoch: epoch as u64,
+                attempt: attempt as u64,
+                loss: f64::from(outcome.mean_loss),
+                val_ap: val_ap.last().copied(),
+            });
         }
         let epochs_done = epoch + 1;
         epochs_this_call += 1;
@@ -763,6 +811,13 @@ pub fn robust_train(
                     complete: false,
                 };
                 save_train_checkpoint_atomic(path, &ck)?;
+                if let Some(sink) = &cfg.events {
+                    sink.train(TrainEvent::CheckpointWritten {
+                        path: path.display().to_string(),
+                        epoch: epochs_done as u64,
+                        complete: false,
+                    });
+                }
                 wrote = true;
             }
         }
@@ -817,7 +872,23 @@ pub fn robust_train(
                 complete: true,
             };
             save_train_checkpoint_atomic(path, &ck)?;
+            if let Some(sink) = &cfg.events {
+                sink.train(TrainEvent::CheckpointWritten {
+                    path: path.display().to_string(),
+                    epoch: epoch as u64,
+                    complete: true,
+                });
+            }
         }
+    }
+    if let Some(sink) = &cfg.events {
+        sink.train(TrainEvent::Finished {
+            epochs: epoch_losses.len() as u64,
+            best_epoch: best_epoch.map(|e| e as u64),
+            best_val_ap: best.as_ref().map(|b| b.1),
+            early_stopped,
+            diverged: false,
+        });
     }
     Ok(TrainRunReport {
         epoch_losses,
@@ -860,10 +931,26 @@ pub fn load_shards_quarantining(
     paths: &[PathBuf],
     plan: &TrainFaultPlan,
 ) -> (Dataset, QuarantineReport) {
+    load_shards_quarantining_instrumented(paths, plan, None)
+}
+
+/// [`load_shards_quarantining`] plus a `ShardQuarantined` event per
+/// sidelined shard.
+pub fn load_shards_quarantining_instrumented(
+    paths: &[PathBuf],
+    plan: &TrainFaultPlan,
+    events: Option<&EventSink>,
+) -> (Dataset, QuarantineReport) {
     let mut merged = Dataset::default();
     let mut report = QuarantineReport::default();
     for (k, path) in paths.iter().enumerate() {
         let quarantine = |report: &mut QuarantineReport, reason: String| {
+            if let Some(sink) = events {
+                sink.train(TrainEvent::ShardQuarantined {
+                    path: path.display().to_string(),
+                    reason: reason.clone(),
+                });
+            }
             report.quarantined.push(ShardIssue { path: path.display().to_string(), reason });
         };
         let bytes = match std::fs::read(path) {

@@ -100,8 +100,8 @@ fn empty_plan_is_bit_identical_to_unsupervised_mlpct() {
     assert_eq!(supervised.result.history, plain.history);
     assert_eq!(supervised.result.bugs_found, plain.bugs_found);
     let stats = supervised.predictor_stats.expect("MLPCT reports predictor stats");
-    assert_eq!(stats.degraded_batches, 0);
-    assert_eq!(stats.fallback_predictions, 0);
+    assert_eq!(stats.degraded_batches(), 0);
+    assert_eq!(stats.fallback_predictions(), 0);
 }
 
 #[test]
@@ -177,8 +177,8 @@ fn predictor_faults_degrade_gracefully_with_counters() {
             .expect("campaign must complete despite predictor faults");
     assert_eq!(supervised.result.history.len(), stream.len(), "no CTI was aborted");
     let stats = supervised.predictor_stats.expect("stats flow through the chain");
-    assert!(stats.degraded_batches > 0, "injected faults must show up in the counters");
-    assert!(stats.fallback_predictions > 0);
+    assert!(stats.degraded_batches() > 0, "injected faults must show up in the counters");
+    assert!(stats.fallback_predictions() > 0);
     assert!(resilient.degraded_batches() > 0);
     assert!(!resilient.is_degraded(), "per-batch panics do not degrade permanently");
 }

@@ -127,5 +127,5 @@ fn predictions_are_consistent_between_predict_paths() {
         assert_eq!(p3.probs, pb.probs);
         assert_eq!(p1.positive, pb.positive);
     }
-    assert!(pic.stats().inferences >= hints.len() as u64 * 3);
+    assert!(pic.stats().inferences() >= hints.len() as u64 * 3);
 }
