@@ -13,8 +13,8 @@ use snowcat_core::{
 };
 use snowcat_corpus::{build_dataset, interacting_cti_pairs, DatasetConfig, StiFuzzer};
 use snowcat_events::{
-    read_stream, validate_trace, CampaignEvent, Event, EventSink, EventWriter, TrainEvent,
-    EVENTS_FILE, TRACE_FILE,
+    read_stream, validate_trace, CampaignEvent, Event, EventSink, EventWriter, ServeEvent,
+    TrainEvent, EVENTS_FILE, TRACE_FILE,
 };
 use snowcat_harness::{
     load_checkpoint_with_fallback, load_shards_quarantining_instrumented,
@@ -24,6 +24,10 @@ use snowcat_harness::{
 };
 use snowcat_kernel::{asm, Kernel, KernelVersion};
 use snowcat_nn::{Checkpoint, PicConfig, PicModel, TrainConfig};
+use snowcat_serve::{
+    run_served_campaign, ApGate, InferenceServer, OverloadPolicy, RefreshConfig, ServeConfig,
+    ServedCampaignConfig,
+};
 
 /// Default family seed, matching the experiment harness.
 const DEFAULT_SEED: u64 = 0x5EED_2023;
@@ -581,6 +585,14 @@ pub fn campaign(args: &Args) -> CmdResult {
         "events",
         "fail-on-hung",
         "fail-on-degraded",
+        "serve",
+        "serve-batch",
+        "serve-wait-us",
+        "serve-workers",
+        "refresh",
+        "refresh-epochs",
+        "refresh-max",
+        "refresh-gate",
     ])?;
     let k = build_kernel(args)?;
     let seed = args.get_parse("seed", DEFAULT_SEED)?;
@@ -632,35 +644,57 @@ pub fn campaign(args: &Args) -> CmdResult {
     };
 
     let supervised = match args.get_or("explorer", "pct").as_str() {
-        "pct" => run_supervised_campaign(
-            &k,
-            &corpus,
-            &stream,
-            Explorer::Pct,
-            &explore_cfg,
-            &cost,
-            &sup,
-            resume,
-        )?,
-        s @ ("s1" | "s2" | "s3") => {
-            let ck = load_model(args)?;
-            let cfg = KernelCfg::build(&k);
-            let pic = Pic::new(&ck, &k, &cfg);
-            let kind = match s {
-                "s1" => StrategyKind::S1,
-                "s2" => StrategyKind::S2,
-                _ => StrategyKind::S3(2),
-            };
+        "pct" => {
+            if args.has_flag("serve") {
+                return Err("--serve requires an MLPCT explorer (s1|s2|s3)".into());
+            }
             run_supervised_campaign(
                 &k,
                 &corpus,
                 &stream,
-                Explorer::mlpct(&pic, kind.build()),
+                Explorer::Pct,
                 &explore_cfg,
                 &cost,
                 &sup,
                 resume,
             )?
+        }
+        s @ ("s1" | "s2" | "s3") => {
+            let ck = load_model(args)?;
+            let cfg = KernelCfg::build(&k);
+            let kind = match s {
+                "s1" => StrategyKind::S1,
+                "s2" => StrategyKind::S2,
+                _ => StrategyKind::S3(2),
+            };
+            if args.has_flag("serve") {
+                served_campaign(
+                    args,
+                    &k,
+                    &cfg,
+                    &corpus,
+                    &stream,
+                    &ck,
+                    &explore_cfg,
+                    &cost,
+                    &sup,
+                    kind,
+                    seed,
+                    resume,
+                )?
+            } else {
+                let pic = Pic::new(&ck, &k, &cfg);
+                run_supervised_campaign(
+                    &k,
+                    &corpus,
+                    &stream,
+                    Explorer::mlpct(&pic, kind.build()),
+                    &explore_cfg,
+                    &cost,
+                    &sup,
+                    resume,
+                )?
+            }
         }
         other => return Err(format!("unknown explorer {other:?} (pct|s1|s2|s3)").into()),
     };
@@ -728,6 +762,249 @@ pub fn campaign(args: &Args) -> CmdResult {
             }
         }
     }
+    Ok(())
+}
+
+/// `campaign --serve`: the same supervised MLPCT campaign, with inference
+/// routed through a live micro-batching server and (optionally) the online
+/// refresher fine-tuning on the campaign's own fresh CTs.
+#[allow(clippy::too_many_arguments)]
+fn served_campaign(
+    args: &Args,
+    k: &Kernel,
+    kcfg: &KernelCfg,
+    corpus: &[snowcat_corpus::StiProfile],
+    stream: &[(usize, usize)],
+    ck: &Checkpoint,
+    explore_cfg: &ExploreConfig,
+    cost: &CostModel,
+    sup: &SupervisorConfig,
+    kind: StrategyKind,
+    seed: u64,
+    resume: Option<snowcat_harness::CampaignCheckpoint>,
+) -> Result<snowcat_harness::SupervisedResult, Box<dyn std::error::Error>> {
+    let serve = ServeConfig {
+        max_batch: args.get_parse("serve-batch", 16usize)?,
+        max_wait_us: args.get_parse("serve-wait-us", 200u64)?,
+        workers: args.get_parse("serve-workers", 1usize)?,
+        ..ServeConfig::default()
+    };
+    let min_pairs = args.get_parse("refresh", 0usize)?;
+    let refresh = (min_pairs > 0).then_some(RefreshConfig {
+        min_pairs,
+        epochs: args.get_parse("refresh-epochs", 1usize)?,
+        max_refreshes: args.get_parse("refresh-max", 0u64)?,
+        seed: seed ^ 0xF5E5,
+        ..RefreshConfig::default()
+    });
+
+    // The AP-regression gate needs ground-truth labels, which only exist by
+    // executing CTs: hold out a few pairs, label them the same way dataset
+    // collection does, and let the breaker judge every refreshed candidate
+    // against the incumbent on that fixed set.
+    let gate_pairs = args.get_parse("refresh-gate", if refresh.is_some() { 4usize } else { 0 })?;
+    let gate = if gate_pairs > 0 {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x6A7E);
+        let pairs = snowcat_corpus::random_cti_pairs(&mut rng, corpus.len(), gate_pairs);
+        let ds = build_dataset(
+            k,
+            kcfg,
+            corpus,
+            &pairs,
+            DatasetConfig { interleavings_per_cti: 2, seed: seed ^ 0x6A7E },
+        );
+        ApGate::new(ds.examples.into_iter().map(|e| (e.graph, e.labels)).collect(), 0.01)
+    } else {
+        ApGate::disabled()
+    };
+
+    let outcome = run_served_campaign(
+        k,
+        kcfg,
+        corpus,
+        stream,
+        ck,
+        explore_cfg,
+        cost,
+        sup,
+        &gate,
+        &ServedCampaignConfig { serve, strategy: kind, refresh, ..Default::default() },
+        resume,
+    )?;
+    let sv = &outcome.serving;
+    println!(
+        "serving: {} requests, {} graphs, {} flushes ({:.0}% fill), {} shed, \
+         queue depth max {}, p50 {}us, p99 {}us",
+        sv.requests,
+        sv.graphs,
+        sv.flushes,
+        sv.batch_fill * 100.0,
+        sv.shed,
+        sv.queue_depth_max,
+        sv.p50_us,
+        sv.p99_us,
+    );
+    println!("serving model: {} (epoch {}, {} swaps installed)", sv.model_name, sv.epoch, sv.swaps);
+    if let Some(r) = &outcome.refresh {
+        println!(
+            "refresh: {} rounds ({} installed, {} rejected, {} rolled back), \
+             {} fresh CT pairs consumed",
+            r.refreshes, r.installed, r.rejected, r.rolled_back, r.pairs_consumed
+        );
+    }
+    Ok(outcome.result)
+}
+
+/// `snowcat serve` — stand up the inference server, drive it with a
+/// deterministic synthetic request stream from concurrent clients, verify
+/// bit-identity against direct inference, and report throughput/latency.
+pub fn serve(args: &Args) -> CmdResult {
+    args.ensure_known(&[
+        "version",
+        "seed",
+        "model",
+        "requests",
+        "request-size",
+        "clients",
+        "batch",
+        "wait-us",
+        "queue-cap",
+        "workers",
+        "shed",
+        "swap",
+        "events",
+        "out",
+    ])?;
+    let k = build_kernel(args)?;
+    let kcfg = KernelCfg::build(&k);
+    let ck = load_model(args)?;
+    let seed = args.get_parse("seed", DEFAULT_SEED)?;
+    let n_requests = args.get_parse("requests", 64usize)?.max(1);
+    let req_size = args.get_parse("request-size", 4usize)?.max(1);
+    let clients = args.get_parse("clients", 4usize)?.max(1);
+    let cfg = ServeConfig {
+        max_batch: args.get_parse("batch", 16usize)?,
+        max_wait_us: args.get_parse("wait-us", 200u64)?,
+        queue_cap: args.get_parse("queue-cap", 256usize)?,
+        overload: if args.has_flag("shed") { OverloadPolicy::Shed } else { OverloadPolicy::Block },
+        workers: args.get_parse("workers", 1usize)?,
+        ..ServeConfig::default()
+    };
+
+    // Deterministic workload: the same candidate CT graphs an explorer
+    // would build for random CTI pairs and schedules.
+    let mut fz = StiFuzzer::new(&k, seed);
+    fz.seed_each_syscall();
+    let corpus = fz.into_corpus();
+    let pic = Pic::new(&ck, &k, &kcfg);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x5E2E);
+    let requests: Vec<Vec<_>> = (0..n_requests)
+        .map(|_| {
+            use rand::Rng;
+            let ia = rng.gen_range(0..corpus.len());
+            let ib = rng.gen_range(0..corpus.len());
+            let (a, b) = (&corpus[ia], &corpus[ib]);
+            let base = pic.base_graph(a, b);
+            (0..req_size)
+                .map(|_| {
+                    let hints = snowcat_vm::propose_hints(&mut rng, a.seq.steps, b.seq.steps);
+                    pic.candidate_graph(&base, a, b, &hints)
+                })
+                .collect::<Vec<_>>()
+        })
+        .collect();
+
+    // Direct baseline: the same requests through bare `predict_batch`.
+    let t0 = std::time::Instant::now();
+    let direct: Vec<_> = requests.iter().map(|r| pic.predict_batch(r)).collect();
+    let direct_s = t0.elapsed().as_secs_f64();
+
+    let (sink, writer) = spawn_event_writer(args)?;
+    let slo_p99_us = cfg.slo_p99_us;
+    let mut server = InferenceServer::start(&ck, cfg, sink);
+    let t1 = std::time::Instant::now();
+    let served: Vec<Vec<_>> = std::thread::scope(|s| {
+        let server = &server;
+        let requests = &requests;
+        let swapper = args.has_flag("swap").then(|| {
+            // Exercise the hot-swap path mid-stream: same weights under a
+            // new name, so the swap is observable (name/epoch change) while
+            // outputs stay bit-identical.
+            let candidate =
+                Checkpoint::new(&ck.restore(), ck.threshold, &format!("{}+swap", ck.name));
+            s.spawn(move || server.try_swap(&candidate, &ApGate::disabled()))
+        });
+        let mut slots: Vec<Vec<(usize, Vec<_>)>> = (0..clients)
+            .map(|c| {
+                s.spawn(move || {
+                    let h = server.handle();
+                    requests
+                        .iter()
+                        .enumerate()
+                        .skip(c)
+                        .step_by(clients)
+                        .map(|(i, r)| (i, h.predict_batch(r)))
+                        .collect()
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().expect("client thread panicked"))
+            .collect();
+        if let Some(sw) = swapper {
+            println!("hot swap mid-stream: {:?}", sw.join().expect("swapper panicked"));
+        }
+        let mut merged: Vec<Option<Vec<_>>> = vec![None; requests.len()];
+        for (i, preds) in slots.drain(..).flatten() {
+            merged[i] = Some(preds);
+        }
+        merged.into_iter().map(|p| p.expect("every request answered")).collect()
+    });
+    let served_s = t1.elapsed().as_secs_f64();
+
+    for (i, (d, sv)) in direct.iter().zip(&served).enumerate() {
+        for (j, (dp, sp)) in d.iter().zip(sv).enumerate() {
+            if dp.probs != sp.probs || dp.positive != sp.positive {
+                return Err(format!(
+                    "served prediction diverged from direct inference (request {i}, graph {j})"
+                )
+                .into());
+            }
+        }
+    }
+    println!("bit-identity: {} requests verified against direct inference", requests.len());
+
+    let report = server.shutdown();
+    let graphs = (n_requests * req_size) as f64;
+    println!(
+        "direct : {:>8.1} graphs/s ({:.3}s for {} graphs)",
+        graphs / direct_s.max(1e-9),
+        direct_s,
+        graphs as u64
+    );
+    println!(
+        "served : {:>8.1} graphs/s ({:.3}s, {} clients), {:.2}x direct",
+        graphs / served_s.max(1e-9),
+        served_s,
+        clients,
+        direct_s / served_s.max(1e-9)
+    );
+    println!(
+        "server : {} flushes ({:.0}% fill), {} shed, queue depth max {}, \
+         p50 {}us, p99 {}us (SLO {}us)",
+        report.flushes,
+        report.batch_fill * 100.0,
+        report.shed,
+        report.queue_depth_max,
+        report.p50_us,
+        report.p99_us,
+        slo_p99_us,
+    );
+    if let Some(path) = args.get("out") {
+        std::fs::write(path, serde_json::to_string_pretty(&report)?)?;
+        println!("serving report written to {path}");
+    }
+    finish_event_writer(writer)?;
     Ok(())
 }
 
@@ -912,6 +1189,11 @@ fn print_human_status(view: &StatusView) {
     let mut last_loss = None;
     let mut predictor = None;
     let mut last_position = 0u64;
+    let (mut swaps, mut swap_rejections, mut swap_rollbacks, mut refreshes) =
+        (0u64, 0u64, 0u64, 0u64);
+    let mut serve_model: Option<String> = None;
+    let mut serve_snapshot: Option<ServeEvent> = None;
+    let mut serve_stopped: Option<(u64, u64)> = None;
     for r in recs {
         match &r.event {
             Event::Campaign(e) => match e {
@@ -941,6 +1223,21 @@ fn print_human_status(view: &StatusView) {
                 TrainEvent::AnomalyDetected { .. } => anomalies += 1,
                 TrainEvent::RolledBack { .. } => rollbacks += 1,
                 TrainEvent::CheckpointWritten { .. } => checkpoints += 1,
+                _ => {}
+            },
+            Event::Serve(e) => match e {
+                ServeEvent::Started { model, .. } => serve_model = Some(model.clone()),
+                ServeEvent::Snapshot { .. } => serve_snapshot = Some(e.clone()),
+                ServeEvent::RefreshStarted { .. } => refreshes += 1,
+                ServeEvent::SwapInstalled { name, .. } => {
+                    swaps += 1;
+                    serve_model = Some(name.clone());
+                }
+                ServeEvent::SwapRejected { .. } => swap_rejections += 1,
+                ServeEvent::SwapRolledBack { .. } => swap_rollbacks += 1,
+                ServeEvent::Stopped { requests, graphs, .. } => {
+                    serve_stopped = Some((*requests, *graphs));
+                }
                 _ => {}
             },
             _ => {}
@@ -989,6 +1286,31 @@ fn print_human_status(view: &StatusView) {
                  ({degraded_batches} degraded batches, {fallback_predictions} fallbacks)"
             );
         }
+    }
+    if let Some(model) = &serve_model {
+        println!("serving {model} — {state}");
+        if let Some((requests, graphs)) = serve_stopped {
+            println!("  served   : {requests} requests, {graphs} graphs");
+        } else if let Some(ServeEvent::Snapshot {
+            requests,
+            graphs,
+            flushes,
+            batch_fill,
+            p50_us,
+            p99_us,
+            ..
+        }) = &serve_snapshot
+        {
+            println!(
+                "  served   : {requests} requests, {graphs} graphs, {flushes} flushes \
+                 ({:.0}% fill), p50 {p50_us}us, p99 {p99_us}us",
+                batch_fill * 100.0
+            );
+        }
+        println!(
+            "  swaps    : {swaps} installed, {swap_rejections} rejected, \
+             {swap_rollbacks} rolled back ({refreshes} refresh rounds)"
+        );
     }
     if epochs > 0 {
         println!("training — {state}");

@@ -10,6 +10,8 @@
 //! snowcat razzer   --version 5.12 --model pic.bin [--schedules N]
 //! snowcat analyze  --version 5.12 [--seed N] [--out report.json] [--self-check]
 //! snowcat campaign --version 5.12 [--explorer pct|s1|s2|s3] [--checkpoint F] [--resume F]
+//!                  [--serve] [--serve-batch N] [--serve-wait-us U] [--refresh N]
+//! snowcat serve    --version 5.12 --model pic.bin [--requests N] [--clients C]
 //! snowcat status   RUNDIR [--json] [--follow] [--self-check]
 //! ```
 //!
@@ -58,6 +60,17 @@ COMMANDS:
               [--fuel-budget STEPS] [--fault-plan SPEC] [--max-hours H]
               [--stall-ms MS] [--stop-after N] [--out FILE] [--report FILE]
               [--events DIR] [--fail-on-hung] [--fail-on-degraded]
+              [--serve] [--serve-batch N] [--serve-wait-us U] [--serve-workers W]
+              [--refresh PAIRS] [--refresh-epochs E] [--refresh-max R]
+              [--refresh-gate PAIRS]
+  serve     run the micro-batching inference server over a synthetic
+            request stream and report throughput/latency (predictions are
+            bit-identical to direct inference; --swap exercises the atomic
+            hot-swap path mid-stream)
+              --version V --model FILE [--requests N] [--request-size K]
+              [--clients C] [--batch N] [--wait-us U] [--queue-cap Q]
+              [--workers W] [--shed] [--swap] [--seed N]
+              [--events DIR] [--out FILE]
   status    summarize a campaign/training directory: tail the structured
             event stream (events.jsonl) and the latest checkpoint into a
             one-screen progress report
@@ -88,6 +101,7 @@ fn main() {
         Some("razzer") => cmds::razzer(&args),
         Some("analyze") => cmds::analyze(&args),
         Some("campaign") => cmds::campaign(&args),
+        Some("serve") => cmds::serve(&args),
         Some("status") => cmds::status(&args),
         Some("help") | None => {
             println!("{USAGE}");

@@ -14,17 +14,69 @@ use parking_lot::{Mutex, RwLock};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 
+/// Recency bookkeeping for LRU eviction, kept apart from the prediction
+/// map so hot-path probes stay on the `RwLock` read side.
+///
+/// Uses timestamped lazy deletion instead of an intrusive linked list: every
+/// touch appends `(stamp, key)` and records the key's latest stamp; popping
+/// the LRU key skips queue entries whose stamp is stale (the key was touched
+/// again later). Touches are O(1), eviction is amortized O(1), and the queue
+/// is compacted once it outgrows the live set by a constant factor.
+#[derive(Default)]
+struct Recency {
+    stamp: u64,
+    /// Latest stamp per live key — the authoritative recency.
+    last: HashMap<u64, u64>,
+    /// Append-only touch log, oldest first, with stale entries skipped
+    /// (and periodically compacted away).
+    queue: VecDeque<(u64, u64)>,
+}
+
+impl Recency {
+    fn touch(&mut self, key: u64) {
+        self.stamp += 1;
+        self.last.insert(key, self.stamp);
+        self.queue.push_back((self.stamp, key));
+    }
+
+    /// Remove and return the least-recently-used live key.
+    fn pop_lru(&mut self) -> Option<u64> {
+        while let Some((stamp, key)) = self.queue.pop_front() {
+            if self.last.get(&key) == Some(&stamp) {
+                self.last.remove(&key);
+                return Some(key);
+            }
+        }
+        None
+    }
+
+    /// Drop stale queue entries once they dominate the log.
+    fn compact(&mut self, capacity: usize) {
+        if self.queue.len() > 8 * capacity.max(2) {
+            let last = &self.last;
+            self.queue.retain(|(stamp, key)| last.get(key) == Some(stamp));
+        }
+    }
+
+    fn clear(&mut self) {
+        self.last.clear();
+        self.queue.clear();
+    }
+}
+
 /// A memoizing wrapper around any [`CoveragePredictor`]. Keys combine the
 /// inner predictor's model fingerprint with the graph's content
 /// fingerprint, so caches never leak predictions across checkpoints.
-/// Bounded FIFO: when more than `capacity` distinct graphs have been
-/// predicted, the oldest entries are evicted.
+/// Bounded LRU: when more than `capacity` distinct graphs have been
+/// predicted, the least-recently-*used* entry is evicted — a cache hit
+/// refreshes its entry's recency, so the skewed revisit patterns of
+/// campaign workloads keep their hot graphs resident.
 pub struct CachedPredictor<P> {
     inner: P,
     capacity: usize,
     map: RwLock<HashMap<u64, PredictedCoverage>>,
-    /// Insertion order for FIFO eviction.
-    order: Mutex<VecDeque<u64>>,
+    /// LRU recency for eviction (hits and inserts both touch).
+    recency: Mutex<Recency>,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
@@ -38,7 +90,7 @@ impl<P: CoveragePredictor> CachedPredictor<P> {
             inner,
             capacity: capacity.max(1),
             map: RwLock::new(HashMap::new()),
-            order: Mutex::new(VecDeque::new()),
+            recency: Mutex::new(Recency::default()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
@@ -69,26 +121,50 @@ impl<P: CoveragePredictor> CachedPredictor<P> {
     /// Drop all cached predictions (counters are kept).
     pub fn clear(&self) {
         self.map.write().clear();
-        self.order.lock().clear();
+        self.recency.lock().clear();
+    }
+
+    /// Cached predictions dropped so far to respect [`capacity`](Self::capacity).
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
     }
 
     fn key(&self, g: &snowcat_graph::CtGraph) -> u64 {
         fnv1a(self.inner.fingerprint(), &graph_fingerprint(g).to_le_bytes())
     }
 
+    /// Refresh recency for keys served from the cache. Touches only keys
+    /// still resident (a concurrent eviction between probe and touch must
+    /// not resurrect a recency entry with no cached prediction behind it).
+    fn touch_hits(&self, keys: &[u64]) {
+        let map = self.map.read();
+        let mut recency = self.recency.lock();
+        for &k in keys {
+            if map.contains_key(&k) {
+                recency.touch(k);
+            }
+        }
+        recency.compact(self.capacity);
+    }
+
     fn insert(&self, key: u64, pred: PredictedCoverage) {
         let mut map = self.map.write();
-        let mut order = self.order.lock();
+        let mut recency = self.recency.lock();
         if map.insert(key, pred).is_none() {
-            order.push_back(key);
+            recency.touch(key);
             while map.len() > self.capacity {
-                if let Some(old) = order.pop_front() {
-                    map.remove(&old);
-                    self.evictions.fetch_add(1, Ordering::Relaxed);
-                } else {
-                    break;
+                match recency.pop_lru() {
+                    // A popped key may already be gone (cleared between
+                    // batches); only map removals count as evictions.
+                    Some(old) => {
+                        if map.remove(&old).is_some() {
+                            self.evictions.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    None => break,
                 }
             }
+            recency.compact(self.capacity);
         }
     }
 }
@@ -103,6 +179,14 @@ impl<P: CoveragePredictor> CoveragePredictor for CachedPredictor<P> {
             let map = self.map.read();
             keys.iter().map(|k| map.get(k).cloned()).collect()
         };
+
+        // Hits refresh recency (that is what makes this LRU rather than
+        // FIFO); one lock acquisition covers the whole batch.
+        let hit_keys: Vec<u64> =
+            out.iter().zip(&keys).filter_map(|(slot, &k)| slot.as_ref().map(|_| k)).collect();
+        if !hit_keys.is_empty() {
+            self.touch_hits(&hit_keys);
+        }
 
         // One inner batch for the distinct missing graphs (an intra-batch
         // duplicate is inferred once and fans out to all its slots).
@@ -237,7 +321,7 @@ mod tests {
     }
 
     #[test]
-    fn fifo_eviction_respects_capacity() {
+    fn lru_eviction_respects_capacity() {
         let (k, ck, graphs) = setup(5);
         let cfg = KernelCfg::build(&k);
         let pic = Pic::new(&ck, &k, &cfg);
@@ -249,8 +333,27 @@ mod tests {
         let s = cached.stats();
         assert_eq!(s.cache_misses, 5);
         assert!(s.cache_evictions >= 3);
+        assert_eq!(cached.evictions(), s.cache_evictions, "accessor mirrors the stats counter");
         cached.clear();
         assert!(cached.is_empty());
+    }
+
+    #[test]
+    fn hits_refresh_recency_so_hot_entries_survive() {
+        let (k, ck, graphs) = setup(3);
+        let cfg = KernelCfg::build(&k);
+        let pic = Pic::new(&ck, &k, &cfg);
+        let cached = CachedPredictor::new(&pic, 2);
+        cached.predict_one(&graphs[0]); // miss: cache {0}
+        cached.predict_one(&graphs[1]); // miss: cache {0, 1}
+        cached.predict_one(&graphs[0]); // hit: 0 becomes most recent
+        cached.predict_one(&graphs[2]); // miss: evicts LRU = 1, not FIFO-oldest 0
+        assert_eq!(cached.evictions(), 1);
+        assert_eq!(cached.stats().inferences, 3);
+        cached.predict_one(&graphs[0]); // still resident: no new inference
+        assert_eq!(cached.stats().inferences, 3, "hot entry survived the eviction");
+        cached.predict_one(&graphs[1]); // was evicted: must re-infer
+        assert_eq!(cached.stats().inferences, 4, "cold entry was the one evicted");
     }
 
     #[test]

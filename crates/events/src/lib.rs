@@ -4,7 +4,8 @@
 //! training run can tell the outside world while it is live:
 //!
 //! * [`schema`] — the versioned, `#[non_exhaustive]` event types
-//!   ([`CampaignEvent`], [`TrainEvent`]) and the [`EventRecord`] envelope.
+//!   ([`CampaignEvent`], [`TrainEvent`], [`ServeEvent`]) and the
+//!   [`EventRecord`] envelope.
 //! * [`sink`] — a non-blocking bounded [`EventSink`] that never stalls the
 //!   hot loop (overflow increments a drop counter instead of blocking) and a
 //!   background [`EventWriter`] thread that drains it into the exporters.
@@ -36,5 +37,5 @@ pub use report::{
     load_report, AnomalyRecord, CampaignSummary, PredictorCounters, Report, ShardIssue,
     TrainSummary, REPORT_SCHEMA_VERSION,
 };
-pub use schema::{CampaignEvent, Event, EventRecord, TrainEvent, EVENT_SCHEMA_VERSION};
+pub use schema::{CampaignEvent, Event, EventRecord, ServeEvent, TrainEvent, EVENT_SCHEMA_VERSION};
 pub use sink::{EventSink, EventWriter, WriteSummary};

@@ -5,7 +5,7 @@
 //! stage timings) become `ph:"X"` complete events; everything else becomes
 //! an `ph:"i"` instant so it shows up as a marker on the timeline.
 
-use crate::schema::{CampaignEvent, Event, EventRecord, TrainEvent};
+use crate::schema::{CampaignEvent, Event, EventRecord, ServeEvent, TrainEvent};
 use serde::Value;
 
 const PID: i64 = 1;
@@ -121,6 +121,44 @@ impl PerfettoBuilder {
                     None,
                     0,
                     vec![("loss", Value::Float(*loss))],
+                );
+            }
+            // Serving saturation as a counter track, swaps as markers.
+            Event::Serve(ServeEvent::Snapshot { queue_depth_max, p99_us, batch_fill, .. }) => {
+                self.push_raw(
+                    "serve saturation".into(),
+                    "C",
+                    t,
+                    None,
+                    0,
+                    vec![
+                        ("queue_depth_max", Value::UInt(*queue_depth_max)),
+                        ("p99_us", Value::UInt(*p99_us)),
+                        ("batch_fill", Value::Float(*batch_fill)),
+                    ],
+                );
+            }
+            Event::Serve(ServeEvent::SwapInstalled { epoch, name, .. }) => {
+                self.push_raw(
+                    format!("swap#{epoch} -> {name}"),
+                    "i",
+                    t,
+                    None,
+                    0,
+                    vec![("epoch", Value::UInt(*epoch))],
+                );
+            }
+            Event::Serve(ServeEvent::SwapRolledBack { epoch, candidate_ap, incumbent_ap }) => {
+                self.push_raw(
+                    format!("swap#{epoch} rolled back"),
+                    "i",
+                    t,
+                    None,
+                    0,
+                    vec![
+                        ("candidate_ap", Value::Float(*candidate_ap)),
+                        ("incumbent_ap", Value::Float(*incumbent_ap)),
+                    ],
                 );
             }
             other => {

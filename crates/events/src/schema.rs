@@ -102,12 +102,47 @@ pub enum TrainEvent {
     },
 }
 
-/// Either half of the schema, as stored in the envelope.
+/// Events emitted by the inference server (`snowcat-serve`): micro-batch
+/// serving, online refresh, and atomic hot model swap.
+#[non_exhaustive]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ServeEvent {
+    /// Server came up with its batching policy.
+    Started { model: String, max_batch: u64, max_wait_us: u64, queue_cap: u64 },
+    /// Periodic cumulative serving counters (emitted on snapshot, not per
+    /// batch, so the stream stays proportional to campaign progress).
+    Snapshot {
+        requests: u64,
+        graphs: u64,
+        flushes: u64,
+        shed: u64,
+        queue_depth_max: u64,
+        batch_fill: f64,
+        p50_us: u64,
+        p99_us: u64,
+    },
+    /// An online-refresh fine-tune began on freshly executed CTs.
+    RefreshStarted { ordinal: u64, examples: u64 },
+    /// A refresh fine-tune produced a candidate model for the swap gate.
+    CandidateReady { ordinal: u64, name: String, fingerprint: u64 },
+    /// A candidate was atomically installed (in-flight batches finished on
+    /// the previous weights).
+    SwapInstalled { epoch: u64, name: String, fingerprint: u64 },
+    /// The gate refused a candidate before install (e.g. non-finite weights).
+    SwapRejected { epoch: u64, reason: String },
+    /// The AP-regression gate fired after install: previous weights restored.
+    SwapRolledBack { epoch: u64, candidate_ap: f64, incumbent_ap: f64 },
+    /// Server drained its queue and shut down.
+    Stopped { requests: u64, graphs: u64, swaps: u64 },
+}
+
+/// One leg of the schema, as stored in the envelope.
 #[non_exhaustive]
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Event {
     Campaign(CampaignEvent),
     Train(TrainEvent),
+    Serve(ServeEvent),
 }
 
 /// Envelope written to the stream: schema version, per-sink monotonic
@@ -158,11 +193,29 @@ impl TrainEvent {
     }
 }
 
+impl ServeEvent {
+    /// See [`CampaignEvent::sanitized`].
+    pub fn sanitized(mut self) -> Self {
+        match &mut self {
+            ServeEvent::Snapshot { batch_fill, .. } => {
+                *batch_fill = finite(*batch_fill);
+            }
+            ServeEvent::SwapRolledBack { candidate_ap, incumbent_ap, .. } => {
+                *candidate_ap = finite(*candidate_ap);
+                *incumbent_ap = finite(*incumbent_ap);
+            }
+            _ => {}
+        }
+        self
+    }
+}
+
 impl Event {
     pub fn sanitized(self) -> Self {
         match self {
             Event::Campaign(e) => Event::Campaign(e.sanitized()),
             Event::Train(e) => Event::Train(e.sanitized()),
+            Event::Serve(e) => Event::Serve(e.sanitized()),
         }
     }
 
@@ -193,6 +246,16 @@ impl Event {
                 TrainEvent::CheckpointWritten { .. } => "train.checkpoint",
                 TrainEvent::Finished { .. } => "train.finished",
             },
+            Event::Serve(e) => match e {
+                ServeEvent::Started { .. } => "serve.started",
+                ServeEvent::Snapshot { .. } => "serve.snapshot",
+                ServeEvent::RefreshStarted { .. } => "serve.refresh",
+                ServeEvent::CandidateReady { .. } => "serve.candidate",
+                ServeEvent::SwapInstalled { .. } => "serve.swap",
+                ServeEvent::SwapRejected { .. } => "serve.swap_rejected",
+                ServeEvent::SwapRolledBack { .. } => "serve.swap_rollback",
+                ServeEvent::Stopped { .. } => "serve.stopped",
+            },
         }
     }
 
@@ -202,6 +265,7 @@ impl Event {
             self,
             Event::Campaign(CampaignEvent::Finished { .. })
                 | Event::Train(TrainEvent::Finished { .. })
+                | Event::Serve(ServeEvent::Stopped { .. })
         )
     }
 }

@@ -12,7 +12,9 @@
 
 use crate::jsonl::{JsonlWriter, EVENTS_FILE, TRACE_FILE};
 use crate::perfetto::PerfettoBuilder;
-use crate::schema::{CampaignEvent, Event, EventRecord, TrainEvent, EVENT_SCHEMA_VERSION};
+use crate::schema::{
+    CampaignEvent, Event, EventRecord, ServeEvent, TrainEvent, EVENT_SCHEMA_VERSION,
+};
 use std::collections::VecDeque;
 use std::fmt;
 use std::fs;
@@ -103,6 +105,11 @@ impl EventSink {
     /// Convenience wrapper for train events.
     pub fn train(&self, e: TrainEvent) {
         self.emit(Event::Train(e));
+    }
+
+    /// Convenience wrapper for serving events.
+    pub fn serve(&self, e: ServeEvent) {
+        self.emit(Event::Serve(e));
     }
 
     /// Events emitted so far (delivered or dropped).

@@ -5,7 +5,8 @@
 
 use proptest::prelude::*;
 use snowcat_events::{
-    read_stream, CampaignEvent, Event, EventRecord, JsonlWriter, TrainEvent, EVENT_SCHEMA_VERSION,
+    read_stream, CampaignEvent, Event, EventRecord, JsonlWriter, ServeEvent, TrainEvent,
+    EVENT_SCHEMA_VERSION,
 };
 
 fn arb_string() -> impl Strategy<Value = String> {
@@ -110,13 +111,40 @@ fn arb_train() -> impl Strategy<Value = TrainEvent> {
         })
 }
 
+fn arb_serve() -> impl Strategy<Value = ServeEvent> {
+    (
+        0usize..8,
+        arb_string(),
+        (0u64..1_000_000, 0u64..1_000_000, 0u64..1_000_000),
+        (0u64..64, 0u64..64, 0u64..10_000),
+        0.0f64..1.0,
+    )
+        .prop_map(|(variant, text, (a, b, c), (x, y, z), f)| match variant {
+            0 => ServeEvent::Started { model: text, max_batch: x, max_wait_us: z, queue_cap: b },
+            1 => ServeEvent::Snapshot {
+                requests: a,
+                graphs: b,
+                flushes: c,
+                shed: x,
+                queue_depth_max: y,
+                batch_fill: f,
+                p50_us: z,
+                p99_us: z * 3,
+            },
+            2 => ServeEvent::RefreshStarted { ordinal: x, examples: b },
+            3 => ServeEvent::CandidateReady { ordinal: x, name: text, fingerprint: a },
+            4 => ServeEvent::SwapInstalled { epoch: x, name: text, fingerprint: a },
+            5 => ServeEvent::SwapRejected { epoch: x, reason: text },
+            6 => ServeEvent::SwapRolledBack { epoch: x, candidate_ap: f, incumbent_ap: 1.0 - f },
+            _ => ServeEvent::Stopped { requests: a, graphs: b, swaps: y },
+        })
+}
+
 fn arb_event() -> impl Strategy<Value = Event> {
-    (proptest::bool::ANY, arb_campaign(), arb_train()).prop_map(|(campaign, c, t)| {
-        if campaign {
-            Event::Campaign(c)
-        } else {
-            Event::Train(t)
-        }
+    (0usize..3, arb_campaign(), arb_train(), arb_serve()).prop_map(|(leg, c, t, s)| match leg {
+        0 => Event::Campaign(c),
+        1 => Event::Train(t),
+        _ => Event::Serve(s),
     })
 }
 
@@ -211,6 +239,40 @@ fn one_of_each() -> Vec<Event> {
             early_stopped: false,
             diverged: false,
         }),
+        Event::Serve(ServeEvent::Started {
+            model: "pic-5".into(),
+            max_batch: 16,
+            max_wait_us: 500,
+            queue_cap: 256,
+        }),
+        Event::Serve(ServeEvent::Snapshot {
+            requests: 90,
+            graphs: 410,
+            flushes: 30,
+            shed: 2,
+            queue_depth_max: 48,
+            batch_fill: 0.85,
+            p50_us: 220,
+            p99_us: 900,
+        }),
+        Event::Serve(ServeEvent::RefreshStarted { ordinal: 1, examples: 64 }),
+        Event::Serve(ServeEvent::CandidateReady {
+            ordinal: 1,
+            name: "pic-5+r1".into(),
+            fingerprint: 0xF00D,
+        }),
+        Event::Serve(ServeEvent::SwapInstalled {
+            epoch: 2,
+            name: "pic-5+r1".into(),
+            fingerprint: 0xF00D,
+        }),
+        Event::Serve(ServeEvent::SwapRejected { epoch: 3, reason: "non-finite weights".into() }),
+        Event::Serve(ServeEvent::SwapRolledBack {
+            epoch: 4,
+            candidate_ap: 0.31,
+            incumbent_ap: 0.78,
+        }),
+        Event::Serve(ServeEvent::Stopped { requests: 90, graphs: 410, swaps: 1 }),
     ]
 }
 
@@ -267,6 +329,11 @@ fn non_finite_floats_are_sanitized_not_null() {
             loss: f64::INFINITY,
             val_ap: Some(f64::NEG_INFINITY),
         }),
+        Event::Serve(ServeEvent::SwapRolledBack {
+            epoch: 1,
+            candidate_ap: f64::NAN,
+            incumbent_ap: f64::INFINITY,
+        }),
     ]);
     let text = write_stream(&records, 0);
     let summary = read_stream(&text);
@@ -279,6 +346,13 @@ fn non_finite_floats_are_sanitized_not_null() {
         Event::Train(TrainEvent::EpochCompleted { loss, val_ap, .. }) => {
             assert_eq!(*loss, 0.0);
             assert_eq!(*val_ap, Some(0.0));
+        }
+        other => panic!("wrong event: {other:?}"),
+    }
+    match &summary.records[2].event {
+        Event::Serve(ServeEvent::SwapRolledBack { candidate_ap, incumbent_ap, .. }) => {
+            assert_eq!(*candidate_ap, 0.0);
+            assert_eq!(*incumbent_ap, 0.0);
         }
         other => panic!("wrong event: {other:?}"),
     }

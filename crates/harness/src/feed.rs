@@ -1,0 +1,128 @@
+//! The fresh-CT feed: a bounded ring of freshly executed CT pairs.
+//!
+//! Online refresh (the `snowcat-serve` fine-tune loop) needs to know which
+//! CT pairs the campaign actually executed, *while* the campaign is still
+//! running — those are the examples whose coverage labels reflect the
+//! current corpus drift. The supervisor can't depend on the serving crate
+//! (the dependency points the other way), so the seam is this small typed
+//! handle: the supervisor pushes each accepted `(corpus index, corpus
+//! index)` pair, the refresher drains them in batches and builds labeled
+//! examples on its own thread.
+//!
+//! Pushing never blocks and never fails: when the ring is full the oldest
+//! pair is dropped (fresh examples are strictly more valuable than stale
+//! ones for refresh, the opposite of the event sink's drop-newest policy).
+
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// Shared bounded ring of executed CT pairs. Cloning shares the ring.
+#[derive(Clone)]
+pub struct CtFeed {
+    inner: Arc<Mutex<FeedState>>,
+}
+
+struct FeedState {
+    cap: usize,
+    pairs: VecDeque<(usize, usize)>,
+    pushed: u64,
+    dropped: u64,
+}
+
+impl CtFeed {
+    /// A feed holding at most `cap` pending pairs (min 1).
+    pub fn bounded(cap: usize) -> Self {
+        Self {
+            inner: Arc::new(Mutex::new(FeedState {
+                cap: cap.max(1),
+                pairs: VecDeque::new(),
+                pushed: 0,
+                dropped: 0,
+            })),
+        }
+    }
+
+    /// Record an executed pair; drops the *oldest* pending pair on overflow.
+    pub fn push(&self, pair: (usize, usize)) {
+        let mut st = self.inner.lock();
+        st.pushed += 1;
+        if st.pairs.len() == st.cap {
+            st.pairs.pop_front();
+            st.dropped += 1;
+        }
+        st.pairs.push_back(pair);
+    }
+
+    /// Take every pending pair, oldest first.
+    pub fn drain(&self) -> Vec<(usize, usize)> {
+        self.inner.lock().pairs.drain(..).collect()
+    }
+
+    /// Pairs currently pending.
+    pub fn len(&self) -> usize {
+        self.inner.lock().pairs.len()
+    }
+
+    /// Whether no pairs are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total pairs ever pushed.
+    pub fn pushed(&self) -> u64 {
+        self.inner.lock().pushed
+    }
+
+    /// Pairs dropped to respect the bound.
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().dropped
+    }
+}
+
+impl std::fmt::Debug for CtFeed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let st = self.inner.lock();
+        f.debug_struct("CtFeed")
+            .field("cap", &st.cap)
+            .field("pending", &st.pairs.len())
+            .field("pushed", &st.pushed)
+            .field("dropped", &st.dropped)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_drain_preserves_order() {
+        let feed = CtFeed::bounded(8);
+        feed.push((1, 2));
+        feed.push((3, 4));
+        assert_eq!(feed.len(), 2);
+        assert_eq!(feed.drain(), vec![(1, 2), (3, 4)]);
+        assert!(feed.is_empty());
+        assert_eq!(feed.pushed(), 2);
+        assert_eq!(feed.dropped(), 0);
+    }
+
+    #[test]
+    fn overflow_drops_oldest() {
+        let feed = CtFeed::bounded(2);
+        feed.push((0, 0));
+        feed.push((1, 1));
+        feed.push((2, 2));
+        assert_eq!(feed.drain(), vec![(1, 1), (2, 2)], "oldest pair evicted first");
+        assert_eq!(feed.dropped(), 1);
+    }
+
+    #[test]
+    fn clones_share_the_ring() {
+        let feed = CtFeed::bounded(4);
+        let writer = feed.clone();
+        writer.push((7, 9));
+        assert_eq!(feed.drain(), vec![(7, 9)]);
+    }
+}

@@ -30,6 +30,7 @@
 
 pub mod checkpoint;
 pub mod fault;
+pub mod feed;
 pub mod reporting;
 pub mod resilient;
 pub mod supervisor;
@@ -42,6 +43,7 @@ pub use checkpoint::{
     CKPT_VERSION,
 };
 pub use fault::{corrupt, CheckpointFault, CorruptionKind, FaultPlan, FaultyPredictor, HangFault};
+pub use feed::CtFeed;
 pub use reporting::{
     predictor_counters, report_from_campaign_checkpoint, report_from_supervised, report_from_train,
     report_from_train_checkpoint,

@@ -74,6 +74,9 @@ pub struct SupervisorConfig {
     /// Structured-event sink (`None` disables instrumentation entirely;
     /// emission is non-blocking and never fails the campaign).
     pub events: Option<EventSink>,
+    /// Fresh-CT feed for online refresh: every accepted execution's CT pair
+    /// is pushed here (`None` disables the feed). Pushing never blocks.
+    pub fresh_cts: Option<crate::feed::CtFeed>,
 }
 
 impl SupervisorConfig {
@@ -348,6 +351,9 @@ pub fn run_supervised_campaign(
 
         match accepted {
             Some((outcome, attempt, latency_us)) => {
+                if let Some(feed) = &sup.fresh_cts {
+                    feed.push((ia, ib));
+                }
                 let pre_races = state.races.len();
                 let pre_blocks = state.blocks.count();
                 state.executions += outcome.executions;

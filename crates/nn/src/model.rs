@@ -229,6 +229,14 @@ impl PicParams {
         self.tensors().iter().map(|m| (m.rows, m.cols)).collect()
     }
 
+    /// True when any parameter is NaN or ±Inf. A model in this state must
+    /// never be deployed: every forward pass would poison its outputs. The
+    /// serving layer's hot-swap gate checks this before installing a
+    /// refreshed candidate.
+    pub fn has_non_finite(&self) -> bool {
+        self.tensors().iter().any(|m| m.data.iter().any(|x| !x.is_finite()))
+    }
+
     /// Zero every tensor (gradient reset).
     pub fn zero_all(&mut self) {
         for t in self.tensors_mut() {

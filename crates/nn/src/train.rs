@@ -799,6 +799,20 @@ impl Checkpoint {
         PicModel { cfg: self.cfg, params: self.params.clone() }
     }
 
+    /// Validate that this snapshot is deployable: the threshold must be a
+    /// probability and every parameter finite. The serving layer calls this
+    /// before hot-swapping a refreshed model in; loaders can call it after
+    /// deserialization to catch corrupted-but-well-framed snapshots.
+    pub fn sanity_check(&self) -> Result<(), String> {
+        if !self.threshold.is_finite() || !(0.0..=1.0).contains(&self.threshold) {
+            return Err(format!("threshold {} is not a probability", self.threshold));
+        }
+        if self.params.has_non_finite() {
+            return Err("model parameters contain NaN or infinite values".into());
+        }
+        Ok(())
+    }
+
     /// Serialize to JSON.
     pub fn to_json(&self) -> serde_json::Result<String> {
         serde_json::to_string(self)
@@ -917,6 +931,27 @@ mod tests {
         }
         assert_eq!(back.threshold, 0.4);
         assert_eq!(back.name, "test");
+    }
+
+    #[test]
+    fn sanity_check_rejects_poisoned_snapshots() {
+        let model = PicModel::new(PicConfig { hidden: 8, layers: 1, ..Default::default() });
+        let ck = Checkpoint::new(&model, 0.4, "ok");
+        assert!(ck.sanity_check().is_ok());
+        assert!(!ck.params.has_non_finite());
+
+        let mut nan = ck.clone();
+        nan.params.w_out.data[0] = f32::NAN;
+        assert!(nan.params.has_non_finite());
+        assert!(nan.sanity_check().unwrap_err().contains("NaN"));
+
+        let mut inf = ck.clone();
+        *inf.params.layers[0].w_rel[0].data.last_mut().unwrap() = f32::INFINITY;
+        assert!(inf.sanity_check().is_err());
+
+        let mut bad_t = ck;
+        bad_t.threshold = 1.5;
+        assert!(bad_t.sanity_check().unwrap_err().contains("threshold"));
     }
 
     #[test]

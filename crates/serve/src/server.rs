@@ -1,0 +1,539 @@
+//! The in-process inference server: an MPSC request queue drained by a
+//! batcher thread with adaptive micro-batching.
+//!
+//! # Batching policy
+//!
+//! The batcher flushes when either trigger fires, whichever comes first:
+//!
+//! * **fill** — queued graphs reach [`ServeConfig::max_batch`], or
+//! * **age** — the oldest queued request has waited
+//!   [`ServeConfig::max_wait_us`].
+//!
+//! Under load the queue stays full and every flush goes out at capacity
+//! (maximum throughput); when traffic is sparse a lone request waits at
+//! most `max_wait_us` before being flushed alone (bounded latency). Whole
+//! requests are never split across flushes, so a caller's
+//! `predict_batch` result is always produced by a single model epoch — a
+//! hot swap can never hand one caller a torn mix of old and new weights.
+//!
+//! # Backpressure
+//!
+//! The queue is bounded at [`ServeConfig::queue_cap`] graphs. When it is
+//! full, [`OverloadPolicy::Block`] parks the caller until the batcher
+//! drains (lossless, campaign default), while [`OverloadPolicy::Shed`]
+//! predicts inline on the caller's thread against the current model
+//! snapshot — the request still succeeds (the [`CoveragePredictor`]
+//! contract has no error channel) but skips the queue and is counted in
+//! [`crate::ServingReport::shed`]. A request larger than the whole queue
+//! is always admitted alone rather than deadlocking.
+//!
+//! The queue uses `std::sync::{Mutex, Condvar}` rather than the vendored
+//! `parking_lot` (which carries no condvar), matching the event sink's
+//! idiom.
+
+use crate::model::{ApGate, EpochPredictor, ModelEpoch, SwapCell, SwapOutcome};
+use crate::stats::{LatencyHistogram, ServingReport};
+use snowcat_core::{CoveragePredictor, ParallelPredictor, PredictedCoverage, PredictorStats};
+use snowcat_events::{EventSink, ServeEvent};
+use snowcat_graph::CtGraph;
+use snowcat_nn::Checkpoint;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// What to do with a request that does not fit the bounded queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OverloadPolicy {
+    /// Park the caller until the batcher frees capacity (lossless).
+    Block,
+    /// Serve the request inline on the caller's thread, bypassing the
+    /// queue. Counted as shed; the result is still bit-identical.
+    Shed,
+}
+
+/// Server tuning knobs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeConfig {
+    /// Flush as soon as this many graphs are queued.
+    pub max_batch: usize,
+    /// Flush the oldest request after it has waited this long, µs.
+    pub max_wait_us: u64,
+    /// Bounded-queue capacity in graphs.
+    pub queue_cap: usize,
+    /// Policy when the queue is full.
+    pub overload: OverloadPolicy,
+    /// Inference worker threads per flush (1 = serial in the batcher).
+    pub workers: usize,
+    /// Advisory p99 latency objective, µs (reported, not enforced).
+    pub slo_p99_us: u64,
+    /// Emit a [`ServeEvent::Snapshot`] every this many flushes (0 = never).
+    pub snapshot_every: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            max_batch: 64,
+            max_wait_us: 500,
+            queue_cap: 256,
+            overload: OverloadPolicy::Block,
+            workers: 1,
+            slo_p99_us: 50_000,
+            snapshot_every: 64,
+        }
+    }
+}
+
+impl ServeConfig {
+    fn normalized(mut self) -> Self {
+        self.max_batch = self.max_batch.max(1);
+        self.queue_cap = self.queue_cap.max(self.max_batch);
+        self.workers = self.workers.max(1);
+        self
+    }
+}
+
+/// Rendezvous cell a caller parks on until its flush completes.
+#[derive(Default)]
+struct Slot {
+    result: Mutex<Option<Vec<PredictedCoverage>>>,
+    ready: Condvar,
+}
+
+struct Request {
+    graphs: Vec<CtGraph>,
+    slot: Arc<Slot>,
+    enqueued: Instant,
+}
+
+#[derive(Default)]
+struct Queue {
+    pending: VecDeque<Request>,
+    pending_graphs: usize,
+    stopped: bool,
+}
+
+struct Shared {
+    cfg: ServeConfig,
+    q: Mutex<Queue>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    model: SwapCell,
+    /// Serializes `try_swap` callers so install/gate/rollback is one
+    /// transaction.
+    swap_serial: parking_lot::Mutex<()>,
+    requests: AtomicU64,
+    inferences: AtomicU64,
+    coalesced: AtomicU64,
+    flushes: AtomicU64,
+    flush_capacity: AtomicU64,
+    shed: AtomicU64,
+    queue_depth_max: AtomicU64,
+    latency: LatencyHistogram,
+    events: Option<EventSink>,
+}
+
+impl Shared {
+    fn emit(&self, e: ServeEvent) {
+        if let Some(s) = &self.events {
+            s.serve(e);
+        }
+    }
+
+    /// Predict on the caller's thread against the current epoch, counted
+    /// as shed. Used by the Shed policy and after shutdown, so a handle
+    /// never deadlocks and never returns a wrong-length result.
+    fn predict_inline(&self, graphs: &[CtGraph]) -> Vec<PredictedCoverage> {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+        self.inferences.fetch_add(graphs.len() as u64, Ordering::Relaxed);
+        let start = Instant::now();
+        let out = self.model.current().predict(graphs);
+        self.latency.record(start.elapsed().as_micros() as u64);
+        out
+    }
+
+    /// Run one coalesced batch through the current model epoch and deliver
+    /// per-request slices back to the parked callers.
+    fn flush(&self, mut batch: Vec<Request>) {
+        let epoch = self.model.current();
+        // Move the graphs out of the requests rather than cloning them —
+        // the batch is consumed here, and per-request lengths are all the
+        // delivery loop needs.
+        let sizes: Vec<usize> = batch.iter().map(|r| r.graphs.len()).collect();
+        let graphs: Vec<CtGraph> =
+            batch.iter_mut().flat_map(|r| std::mem::take(&mut r.graphs)).collect();
+        let preds = if self.cfg.workers > 1 {
+            ParallelPredictor::new(EpochPredictor::new(epoch), self.cfg.workers)
+                .predict_batch(&graphs)
+        } else {
+            epoch.predict(&graphs)
+        };
+        debug_assert_eq!(preds.len(), graphs.len());
+
+        // Account the flush before waking any caller, so a caller that
+        // reads `stats()` right after its result arrives sees counters
+        // that already include its own flush.
+        let n = graphs.len() as u64;
+        self.inferences.fetch_add(n, Ordering::Relaxed);
+        self.coalesced.fetch_add(n, Ordering::Relaxed);
+        self.flush_capacity.fetch_add(self.cfg.max_batch as u64, Ordering::Relaxed);
+        let flushes = self.flushes.fetch_add(1, Ordering::Relaxed) + 1;
+
+        let done = Instant::now();
+        let mut it = preds.into_iter();
+        for (req, size) in batch.into_iter().zip(sizes) {
+            let part: Vec<PredictedCoverage> = it.by_ref().take(size).collect();
+            let us = done.saturating_duration_since(req.enqueued).as_micros() as u64;
+            self.latency.record(us);
+            let mut slot = req.slot.result.lock().unwrap();
+            *slot = Some(part);
+            req.slot.ready.notify_all();
+        }
+
+        if self.cfg.snapshot_every > 0 && flushes.is_multiple_of(self.cfg.snapshot_every) {
+            self.emit(self.snapshot_event());
+        }
+    }
+
+    fn batch_fill(&self) -> f64 {
+        let cap = self.flush_capacity.load(Ordering::Relaxed);
+        if cap == 0 {
+            0.0
+        } else {
+            self.coalesced.load(Ordering::Relaxed) as f64 / cap as f64
+        }
+    }
+
+    fn snapshot_event(&self) -> ServeEvent {
+        ServeEvent::Snapshot {
+            requests: self.requests.load(Ordering::Relaxed),
+            graphs: self.inferences.load(Ordering::Relaxed),
+            flushes: self.flushes.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            queue_depth_max: self.queue_depth_max.load(Ordering::Relaxed),
+            batch_fill: self.batch_fill(),
+            p50_us: self.latency.percentile(0.5),
+            p99_us: self.latency.percentile(0.99),
+        }
+    }
+
+    fn report(&self) -> ServingReport {
+        let cur = self.model.current();
+        ServingReport {
+            requests: self.requests.load(Ordering::Relaxed),
+            graphs: self.inferences.load(Ordering::Relaxed),
+            flushes: self.flushes.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            queue_depth_max: self.queue_depth_max.load(Ordering::Relaxed),
+            batch_fill: self.batch_fill(),
+            p50_us: self.latency.percentile(0.5),
+            p99_us: self.latency.percentile(0.99),
+            swaps: self.model.installs(),
+            epoch: cur.epoch,
+            model_name: cur.name.clone(),
+        }
+    }
+}
+
+/// The batcher thread body: wait for work, age the oldest request up to
+/// the adaptive deadline, drain whole requests up to `max_batch` graphs,
+/// flush outside the lock. Exits only once stopped *and* drained, so
+/// shutdown never strands a parked caller.
+fn batcher_loop(shared: Arc<Shared>) {
+    loop {
+        let batch: Vec<Request> = {
+            let mut q = shared.q.lock().unwrap();
+            // Phase 1: wait until there is at least one request.
+            while q.pending.is_empty() {
+                if q.stopped {
+                    return;
+                }
+                q = shared.not_empty.wait(q).unwrap();
+            }
+            // Phase 2: adaptive micro-batching — hold the flush until the
+            // batch fills or the oldest request's deadline passes.
+            let deadline = q.pending.front().expect("non-empty").enqueued
+                + Duration::from_micros(shared.cfg.max_wait_us);
+            while q.pending_graphs < shared.cfg.max_batch && !q.stopped {
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                let (guard, _timeout) = shared.not_empty.wait_timeout(q, deadline - now).unwrap();
+                q = guard;
+            }
+            // Phase 3: drain whole requests up to max_batch graphs. An
+            // oversized request (> max_batch graphs) flushes alone.
+            let mut batch = Vec::new();
+            let mut graphs = 0usize;
+            while let Some(front) = q.pending.front() {
+                let n = front.graphs.len();
+                if !batch.is_empty() && graphs + n > shared.cfg.max_batch {
+                    break;
+                }
+                let req = q.pending.pop_front().expect("front exists");
+                q.pending_graphs -= n;
+                graphs += n;
+                batch.push(req);
+                if graphs >= shared.cfg.max_batch {
+                    break;
+                }
+            }
+            batch
+        };
+        shared.not_full.notify_all();
+        shared.flush(batch);
+    }
+}
+
+/// Cloneable, thread-safe client of a running [`InferenceServer`].
+///
+/// Implements [`CoveragePredictor`], so it plugs into everything that
+/// takes one — [`snowcat_core::PredictorService`], campaign explorers,
+/// caches — while the server coalesces requests from any number of
+/// concurrent handles into shared flushes.
+#[derive(Clone)]
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+}
+
+impl std::fmt::Debug for ServerHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerHandle").field("name", &self.name()).finish()
+    }
+}
+
+impl ServerHandle {
+    /// Point-in-time serving report (same data as the owning server's).
+    pub fn report(&self) -> ServingReport {
+        self.shared.report()
+    }
+}
+
+impl CoveragePredictor for ServerHandle {
+    fn predict_batch(&self, graphs: &[CtGraph]) -> Vec<PredictedCoverage> {
+        self.shared.requests.fetch_add(1, Ordering::Relaxed);
+        if graphs.is_empty() {
+            return Vec::new();
+        }
+        let n = graphs.len();
+        let slot = Arc::new(Slot::default());
+        // Copy the graphs before touching the queue: the clone is the
+        // expensive part of admission, and doing it under the mutex would
+        // serialize every caller (and the batcher's drain) behind it.
+        let owned = graphs.to_vec();
+        {
+            let mut q = self.shared.q.lock().unwrap();
+            loop {
+                if q.stopped {
+                    drop(q);
+                    return self.shared.predict_inline(graphs);
+                }
+                // Admit when the request fits, or unconditionally when the
+                // queue is empty (an oversized request must not deadlock).
+                if q.pending_graphs + n <= self.shared.cfg.queue_cap || q.pending.is_empty() {
+                    break;
+                }
+                match self.shared.cfg.overload {
+                    OverloadPolicy::Block => {
+                        q = self.shared.not_full.wait(q).unwrap();
+                    }
+                    OverloadPolicy::Shed => {
+                        drop(q);
+                        return self.shared.predict_inline(graphs);
+                    }
+                }
+            }
+            q.pending.push_back(Request {
+                graphs: owned,
+                slot: slot.clone(),
+                enqueued: Instant::now(),
+            });
+            q.pending_graphs += n;
+            self.shared.queue_depth_max.fetch_max(q.pending_graphs as u64, Ordering::Relaxed);
+        }
+        self.shared.not_empty.notify_one();
+
+        let mut result = slot.result.lock().unwrap();
+        while result.is_none() {
+            result = slot.ready.wait(result).unwrap();
+        }
+        result.take().expect("checked Some")
+    }
+
+    fn stats(&self) -> PredictorStats {
+        let s = &self.shared;
+        let mut out = PredictorStats::of_inference_counts(
+            s.inferences.load(Ordering::Relaxed),
+            s.requests.load(Ordering::Relaxed),
+        );
+        out.add_serving(
+            s.queue_depth_max.load(Ordering::Relaxed),
+            s.coalesced.load(Ordering::Relaxed),
+            s.flushes.load(Ordering::Relaxed),
+            s.flush_capacity.load(Ordering::Relaxed),
+            s.shed.load(Ordering::Relaxed),
+        );
+        out
+    }
+
+    fn fingerprint(&self) -> u64 {
+        // The served model's fingerprint, so caches keyed on this handle
+        // invalidate naturally across a hot swap.
+        self.shared.model.current().fingerprint
+    }
+
+    fn name(&self) -> String {
+        let cur = self.shared.model.current();
+        format!(
+            "serve(batch<={},{}us,{})",
+            self.shared.cfg.max_batch, self.shared.cfg.max_wait_us, cur.name
+        )
+    }
+}
+
+/// The long-lived inference server: owns the model behind a [`SwapCell`]
+/// and the batcher thread draining the request queue.
+pub struct InferenceServer {
+    shared: Arc<Shared>,
+    batcher: Option<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for InferenceServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("InferenceServer").field("report", &self.shared.report()).finish()
+    }
+}
+
+impl InferenceServer {
+    /// Start serving `checkpoint` under `cfg`, emitting serving events to
+    /// `events` when provided.
+    pub fn start(checkpoint: &Checkpoint, cfg: ServeConfig, events: Option<EventSink>) -> Self {
+        let cfg = cfg.normalized();
+        let shared = Arc::new(Shared {
+            model: SwapCell::new(ModelEpoch::from_checkpoint(checkpoint, 0)),
+            swap_serial: parking_lot::Mutex::new(()),
+            q: Mutex::new(Queue::default()),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            requests: AtomicU64::new(0),
+            inferences: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+            flushes: AtomicU64::new(0),
+            flush_capacity: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            queue_depth_max: AtomicU64::new(0),
+            latency: LatencyHistogram::new(),
+            events,
+            cfg,
+        });
+        shared.emit(ServeEvent::Started {
+            model: checkpoint.name.clone(),
+            max_batch: shared.cfg.max_batch as u64,
+            max_wait_us: shared.cfg.max_wait_us,
+            queue_cap: shared.cfg.queue_cap as u64,
+        });
+        let batcher = {
+            let shared = shared.clone();
+            std::thread::spawn(move || batcher_loop(shared))
+        };
+        Self { shared, batcher: Some(batcher) }
+    }
+
+    /// A new client handle. Handles stay valid after `shutdown` (they fall
+    /// back to inline prediction).
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle { shared: self.shared.clone() }
+    }
+
+    /// The epoch currently being served.
+    pub fn current_epoch(&self) -> Arc<ModelEpoch> {
+        self.shared.model.current()
+    }
+
+    /// Point-in-time serving report.
+    pub fn report(&self) -> ServingReport {
+        self.shared.report()
+    }
+
+    /// The event sink serving events go to, when one was provided.
+    pub fn events(&self) -> Option<&EventSink> {
+        self.shared.events.as_ref()
+    }
+
+    /// Offer `candidate` as the next served model.
+    ///
+    /// The swap is one serialized transaction: (1) a structurally broken
+    /// candidate (non-finite weights, bogus threshold) is **rejected**
+    /// before install; (2) otherwise the candidate is installed atomically
+    /// — in-flight flushes finish on the epoch they already hold; (3) when
+    /// `gate` carries validation data, the AP-regression breaker compares
+    /// candidate vs. incumbent and **rolls back** to the incumbent's
+    /// weights if the candidate is worse by more than the gate tolerance.
+    pub fn try_swap(&self, candidate: &Checkpoint, gate: &ApGate) -> SwapOutcome {
+        let shared = &self.shared;
+        let _serial = shared.swap_serial.lock();
+        let epoch_no = shared.model.claim_epoch();
+
+        if let Err(reason) = candidate.sanity_check() {
+            shared.emit(ServeEvent::SwapRejected { epoch: epoch_no, reason: reason.clone() });
+            return SwapOutcome::Rejected { epoch: epoch_no, reason };
+        }
+
+        let incumbent = shared.model.current();
+        let cand = ModelEpoch::from_checkpoint(candidate, epoch_no);
+        let (name, fingerprint) = (cand.name.clone(), cand.fingerprint);
+        shared.model.install(cand);
+        shared.emit(ServeEvent::SwapInstalled { epoch: epoch_no, name, fingerprint });
+
+        if !gate.is_empty() {
+            let installed = shared.model.current();
+            let candidate_ap = gate.ap(&installed.model).expect("gate non-empty");
+            let incumbent_ap = gate.ap(&incumbent.model).expect("gate non-empty");
+            if candidate_ap + gate.tolerance() < incumbent_ap {
+                shared.model.rollback();
+                shared.emit(ServeEvent::SwapRolledBack {
+                    epoch: epoch_no,
+                    candidate_ap,
+                    incumbent_ap,
+                });
+                return SwapOutcome::RolledBack { epoch: epoch_no, candidate_ap, incumbent_ap };
+            }
+        }
+        SwapOutcome::Installed { epoch: epoch_no }
+    }
+
+    /// Stop the batcher after draining every queued request (no prediction
+    /// is ever dropped), emit [`ServeEvent::Stopped`], and return the final
+    /// report. Idempotent.
+    pub fn shutdown(&mut self) -> ServingReport {
+        let was_running = self.batcher.is_some();
+        {
+            let mut q = self.shared.q.lock().unwrap();
+            q.stopped = true;
+        }
+        self.shared.not_empty.notify_all();
+        self.shared.not_full.notify_all();
+        if let Some(h) = self.batcher.take() {
+            let _ = h.join();
+        }
+        let report = self.shared.report();
+        if was_running {
+            self.shared.emit(ServeEvent::Stopped {
+                requests: report.requests,
+                graphs: report.graphs,
+                swaps: report.swaps,
+            });
+        }
+        report
+    }
+}
+
+impl Drop for InferenceServer {
+    fn drop(&mut self) {
+        if self.batcher.is_some() {
+            let _ = self.shutdown();
+        }
+    }
+}
