@@ -8,15 +8,22 @@
 //! * [`lockset`] — an interprocedural **must-hold lockset dataflow**
 //!   (forward fixpoint, intersection at joins) annotating every static
 //!   memory access with the locks definitely held around it,
-//! * [`lints`] — **lock-discipline lints** on top of it (double-lock,
-//!   unlock-without-lock, lock-leak, lock-order cycles, inconsistent
-//!   protection), with an allowlist for planted bugs,
+//! * [`valueflow`] — an interprocedural **value-flow/alias pass** (interval
+//!   propagation over registers) resolving each access to an arithmetic
+//!   progression of words and partitioning accesses into alias classes,
+//! * [`lints`] — **lock-discipline lints** on top of both (double-lock,
+//!   unlock-without-lock, lock-leak, interprocedural lock-order cycles,
+//!   inconsistent protection, store-const conflicts, guarded-by
+//!   inference), with an allowlist for planted bugs,
 //! * [`mayrace`] — a **static may-race pass** whose pair set provably
 //!   over-approximates every dynamic [`snowcat_race::RaceKey`], plus the
 //!   per-block may-race bits and syscall-pair density matrix consumed by
 //!   the CT-graph builder and the Razzer pre-filter in `snowcat-core`.
+//!   [`analyze`] keeps two tiers: the alias-blind *coarse* set and the
+//!   alias-*refined* set sandwiched between it and the dynamic race set
+//!   (`dynamic ⊆ refined ⊆ coarse`); consumers see the refined one.
 //!
-//! [`analyze`] runs all three and [`Analysis::report`] renders the JSON
+//! [`analyze`] runs all four and [`Analysis::report`] renders the JSON
 //! document emitted by `snowcat analyze`.
 
 #![forbid(unsafe_code)]
@@ -25,32 +32,43 @@
 pub mod lints;
 pub mod lockset;
 pub mod mayrace;
+pub mod valueflow;
 
 pub use lints::{lint, Allowlist, LintKind, Severity, StaticFinding};
 pub use lockset::{AccessInfo, LockEvent, LocksetAnalysis};
 pub use mayrace::MayRace;
+pub use valueflow::{AccessPattern, ValueFlow};
 
 use serde::{Deserialize, Serialize};
 use snowcat_cfg::KernelCfg;
-use snowcat_kernel::{BugId, Kernel};
+use snowcat_kernel::{BugId, InstrLoc, Kernel};
+use snowcat_race::RaceKey;
 
 /// Combined result of the full static-analysis pipeline.
 #[derive(Debug, Clone)]
 pub struct Analysis {
     /// The must-hold lockset dataflow results.
     pub locksets: LocksetAnalysis,
+    /// The value-flow/alias pass results.
+    pub valueflow: ValueFlow,
     /// Lint findings, sorted by dedup key.
     pub findings: Vec<StaticFinding>,
-    /// The static may-race over-approximation.
+    /// The alias-refined static may-race over-approximation — what every
+    /// downstream consumer (prefilter, CT-graph features) uses.
     pub may_race: MayRace,
+    /// The alias-blind (PR 3) may-race set, kept for precision reporting
+    /// and the `--coarse` compatibility mode.
+    pub may_race_coarse: MayRace,
 }
 
-/// Run lockset dataflow, lints and the may-race pass over one kernel.
+/// Run lockset dataflow, value flow, lints and the may-race pass over one
+/// kernel.
 pub fn analyze(kernel: &Kernel, cfg: &KernelCfg) -> Analysis {
     let locksets = LocksetAnalysis::compute(kernel, cfg);
-    let findings = lint(kernel, &locksets);
-    let may_race = MayRace::compute(kernel, cfg, &locksets);
-    Analysis { locksets, findings, may_race }
+    let valueflow = ValueFlow::compute(kernel, cfg, &locksets);
+    let findings = lint(kernel, &locksets, &valueflow);
+    let (may_race_coarse, may_race) = MayRace::compute_refined(kernel, cfg, &locksets, &valueflow);
+    Analysis { locksets, valueflow, findings, may_race, may_race_coarse }
 }
 
 impl Analysis {
@@ -79,6 +97,52 @@ impl Analysis {
             .collect()
     }
 
+    /// Planted bugs whose racing pair survives in the (refined) may-race
+    /// set: at least one cross-carrier pair of the bug's racing memory
+    /// accesses is still a may-race candidate. The `--baseline` precision
+    /// gate fails if a bug covered by the old report is missing here.
+    pub fn covered_planted_bugs(&self, kernel: &Kernel) -> Vec<BugId> {
+        kernel
+            .bugs
+            .iter()
+            .filter(|bug| {
+                let mem: Vec<InstrLoc> = bug
+                    .racing_instrs
+                    .iter()
+                    .copied()
+                    .filter(|&l| kernel.instr(l).is_some_and(|i| i.is_mem_access()))
+                    .collect();
+                let fa = kernel.syscall(bug.syscalls.0).func;
+                let func_of = |loc: InstrLoc| kernel.block(loc.block).func;
+                mem.iter().any(|&x| {
+                    mem.iter().any(|&y| {
+                        func_of(x) == fa
+                            && func_of(y) != fa
+                            && self.may_race.contains(&RaceKey::new(x, y))
+                    })
+                })
+            })
+            .map(|b| b.id)
+            .collect()
+    }
+
+    /// Per-block static feature channels for the CT-graph builder, indexed
+    /// by `BlockId`: `[alias_density, must_lockset_size, may_race_degree]`,
+    /// each saturated to `u8`. Kept as plain bytes so this crate stays
+    /// independent of the graph representation; `snowcat-corpus` converts
+    /// them into `StaticFeats`.
+    pub fn block_static_feats(&self, kernel: &Kernel) -> Vec<[u8; 3]> {
+        (0..kernel.num_blocks())
+            .map(|i| {
+                let b = snowcat_kernel::BlockId(i as u32);
+                let lockset =
+                    self.locksets.block_entry(b).map_or(0, |m| m.count_ones()).min(255) as u8;
+                let degree = self.may_race.block_degree(b).min(255) as u8;
+                [self.valueflow.block_alias_density(b), lockset, degree]
+            })
+            .collect()
+    }
+
     /// Render the serializable report document.
     pub fn report(&self, kernel: &Kernel) -> AnalysisReport {
         let allowlist = Allowlist::from_planted_bugs(kernel);
@@ -98,6 +162,9 @@ impl Analysis {
                 .iter()
                 .map(|b| b.0)
                 .collect(),
+            may_race_pairs_coarse: self.may_race_coarse.len(),
+            alias_classes: self.valueflow.num_classes(),
+            planted_bugs_covered: self.covered_planted_bugs(kernel).iter().map(|b| b.0).collect(),
         }
     }
 }
@@ -140,6 +207,18 @@ pub struct AnalysisReport {
     pub may_race_blocks: usize,
     /// Planted lock-misuse bugs flagged by the lints (raw bug ids).
     pub flagged_lock_misuse_bugs: Vec<u16>,
+    /// Size of the alias-blind (PR 3) may-race set; `0` in reports written
+    /// before the value-flow pass existed.
+    #[serde(default)]
+    pub may_race_pairs_coarse: usize,
+    /// Number of alias classes the value-flow pass partitioned the static
+    /// accesses into.
+    #[serde(default)]
+    pub alias_classes: usize,
+    /// Planted bugs (raw ids) whose racing pair survives in the may-race
+    /// set — the coverage side of the `--baseline` precision gate.
+    #[serde(default)]
+    pub planted_bugs_covered: Vec<u16>,
 }
 
 #[cfg(test)]
@@ -183,7 +262,26 @@ mod tests {
         assert_eq!(report.findings.len(), analysis.findings.len());
         assert!(report.locked_accesses > 0);
         assert!(report.may_race_pairs > 0);
+        assert!(
+            report.may_race_pairs_coarse > report.may_race_pairs,
+            "alias refinement must prune pairs ({} vs {})",
+            report.may_race_pairs_coarse,
+            report.may_race_pairs
+        );
+        assert!(report.alias_classes > 0);
+        assert_eq!(
+            report.planted_bugs_covered.len(),
+            k.bugs.len(),
+            "no planted bug may be refined away"
+        );
         let json = serde_json::to_string(&report).unwrap();
         assert!(json.contains("may_race_pairs"));
+        // Old reports (without the new fields) still deserialize.
+        let old = r#"{"kernel_version":"v","blocks":1,"instrs":1,"mem_accesses":0,
+            "locked_accesses":0,"findings":[],"allowlisted_findings":0,
+            "may_race_pairs":0,"may_race_blocks":0,"flagged_lock_misuse_bugs":[]}"#;
+        let parsed: AnalysisReport = serde_json::from_str(old).unwrap();
+        assert_eq!(parsed.may_race_pairs_coarse, 0);
+        assert!(parsed.planted_bugs_covered.is_empty());
     }
 }

@@ -1,6 +1,6 @@
-//! Lock-discipline lints over the must-hold lockset analysis.
+//! Lock-discipline lints over the must-hold lockset and value-flow passes.
 //!
-//! Five lints, in the LockDoc tradition of deriving locking rules from the
+//! Seven lints, in the LockDoc tradition of deriving locking rules from the
 //! program itself rather than annotations:
 //!
 //! * **double-lock** — re-acquiring a mutex definitely already held,
@@ -8,10 +8,22 @@
 //! * **lock-leak** — returning from a function still holding a lock the
 //!   function itself acquired,
 //! * **lock-order-cycle** — a cycle in the static lock-order graph (a
-//!   deadlock candidate),
+//!   deadlock candidate). The graph is *interprocedural*: besides direct
+//!   `Lock`-under-lock edges it contains, for every call site, edges from
+//!   each definitely-held lock to every lock the callee's bottom-up
+//!   may-acquire summary names — so an ABBA split across call boundaries
+//!   is still a cycle,
 //! * **inconsistent-protection** — a fixed shared word accessed both under
 //!   a lock and, elsewhere, with a disjoint must-lockset including at least
-//!   one write (the static shadow of a data race).
+//!   one write (the static shadow of a data race),
+//! * **store-const-conflict** — a fixed word receiving two *different*
+//!   statically-constant values from stores with disjoint must-locksets
+//!   (the shape of an unprotected claim/tag conflict: last writer silently
+//!   wins), powered by the value-flow pass's constant store detection,
+//! * **guarded-by** — LockDoc-style guard inference: when at least two
+//!   accesses of a word agree on a common protecting lock, any conflicting
+//!   access (disjoint lockset, ≥1 write) that bypasses the inferred guard
+//!   is flagged, naming the guard.
 //!
 //! Findings carry [`InstrLoc`]s, a severity and a stable dedup key. The
 //! generator is expected to be discipline-clean except at *planted* bugs;
@@ -19,6 +31,7 @@
 //! finding on a generated kernel is a generator defect (enforced by a test).
 
 use crate::lockset::{AccessInfo, LockEvent, LocksetAnalysis};
+use crate::valueflow::ValueFlow;
 use serde::{Deserialize, Serialize};
 use snowcat_kernel::{Addr, AddrExpr, InstrLoc, Kernel, LockId};
 use std::collections::{BTreeMap, HashSet};
@@ -36,6 +49,11 @@ pub enum LintKind {
     LockOrderCycle,
     /// Shared word protected by a lock at some accesses but not others.
     InconsistentProtection,
+    /// A word receiving two different statically-constant values from
+    /// stores with disjoint must-locksets.
+    StoreConstConflict,
+    /// Access bypassing the word's inferred protecting lock.
+    GuardedByViolation,
 }
 
 impl LintKind {
@@ -47,6 +65,8 @@ impl LintKind {
             LintKind::LockLeak => "lock-leak",
             LintKind::LockOrderCycle => "lock-order-cycle",
             LintKind::InconsistentProtection => "inconsistent-protection",
+            LintKind::StoreConstConflict => "store-const-conflict",
+            LintKind::GuardedByViolation => "guarded-by",
         }
     }
 }
@@ -119,12 +139,8 @@ impl Allowlist {
         for bug in &kernel.bugs {
             for &loc in &bug.racing_instrs {
                 locs.insert(loc);
-                if let Some(
-                    snowcat_kernel::Instr::Load { addr: AddrExpr::Fixed(a), .. }
-                    | snowcat_kernel::Instr::Store { addr: AddrExpr::Fixed(a), .. },
-                ) = kernel.instr(loc)
-                {
-                    addrs.insert(*a);
+                if let Some(a) = kernel.instr(loc).and_then(|i| i.fixed_addr()) {
+                    addrs.insert(a);
                 }
             }
         }
@@ -143,7 +159,7 @@ impl Allowlist {
 }
 
 /// Run every lint and return findings sorted by [`StaticFinding::dedup_key`].
-pub fn lint(_kernel: &Kernel, locksets: &LocksetAnalysis) -> Vec<StaticFinding> {
+pub fn lint(_kernel: &Kernel, locksets: &LocksetAnalysis, vf: &ValueFlow) -> Vec<StaticFinding> {
     let mut findings = Vec::new();
     let mut order_edges: BTreeMap<(LockId, LockId), InstrLoc> = BTreeMap::new();
 
@@ -181,6 +197,8 @@ pub fn lint(_kernel: &Kernel, locksets: &LocksetAnalysis) -> Vec<StaticFinding> 
 
     findings.extend(lock_order_cycles(&order_edges));
     findings.extend(inconsistent_protection(&locksets.accesses));
+    findings.extend(store_const_conflicts(&locksets.accesses, vf));
+    findings.extend(guarded_by(&locksets.accesses));
 
     findings.sort_by_key(|a| a.dedup_key());
     findings.dedup_by(|a, b| a.dedup_key() == b.dedup_key());
@@ -331,6 +349,114 @@ fn inconsistent_protection(accesses: &[AccessInfo]) -> Vec<StaticFinding> {
     out
 }
 
+/// Store-to-constant-address conflict lint: a fixed word that two stores
+/// with *disjoint* must-locksets set to two *different* statically-known
+/// constants — the shape of an unprotected claim/tag conflict where the
+/// last writer silently wins.
+fn store_const_conflicts(accesses: &[AccessInfo], vf: &ValueFlow) -> Vec<StaticFinding> {
+    let mut by_addr: BTreeMap<Addr, Vec<(&AccessInfo, i64)>> = BTreeMap::new();
+    for (i, a) in accesses.iter().enumerate() {
+        if !a.is_write {
+            continue;
+        }
+        if let (AddrExpr::Fixed(addr), Some(v)) = (a.addr, vf.store_value(i)) {
+            by_addr.entry(addr).or_default().push((a, v));
+        }
+    }
+    let mut out = Vec::new();
+    for (addr, stores) in by_addr {
+        let mut witness: Option<(usize, usize)> = None;
+        'search: for (i, x) in stores.iter().enumerate() {
+            for (j, y) in stores.iter().enumerate().skip(i + 1) {
+                if x.1 != y.1 && (x.0.lockset & y.0.lockset) == 0 {
+                    witness = Some((i, j));
+                    break 'search;
+                }
+            }
+        }
+        if let Some((wi, wj)) = witness {
+            let ((x, vx), (y, vy)) = (stores[wi], stores[wj]);
+            let mut locks: Vec<LockId> =
+                (0..64).filter(|i| (x.lockset | y.lockset) & (1 << i) != 0).map(LockId).collect();
+            locks.sort_unstable();
+            let mut locs = vec![x.loc, y.loc];
+            locs.dedup();
+            out.push(StaticFinding {
+                kind: LintKind::StoreConstConflict,
+                severity: Severity::Warning,
+                locs,
+                locks,
+                addr: Some(addr),
+                message: format!(
+                    "word {addr} receives conflicting constants {vx} (at {}) and {vy} (at {}) \
+                     under disjoint locksets — last writer wins",
+                    x.loc, y.loc
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// LockDoc-style guarded-by inference: when at least two locked accesses
+/// of a word agree on a common protecting lock, any conflicting access
+/// that bypasses the inferred guard (disjoint must-lockset, ≥1 write in
+/// the pair) is flagged, naming the guard. The trigger condition implies
+/// the inconsistent-protection one, so the flagged address set is a subset
+/// of that lint's — but the finding pins down *which* lock the access was
+/// supposed to hold.
+fn guarded_by(accesses: &[AccessInfo]) -> Vec<StaticFinding> {
+    let mut by_addr: BTreeMap<Addr, Vec<&AccessInfo>> = BTreeMap::new();
+    for a in accesses {
+        if let AddrExpr::Fixed(addr) = a.addr {
+            by_addr.entry(addr).or_default().push(a);
+        }
+    }
+    let mut out = Vec::new();
+    for (addr, accs) in by_addr {
+        let locked: Vec<&&AccessInfo> = accs.iter().filter(|a| a.lockset != 0).collect();
+        if locked.len() < 2 {
+            continue; // one sample is no convention
+        }
+        let common = locked.iter().fold(u64::MAX, |m, a| m & a.lockset);
+        if common == 0 {
+            continue; // locked accesses don't agree on a guard
+        }
+        let guard = LockId(common.trailing_zeros() as u16);
+        // An access bypassing the guard: since every locked access contains
+        // `common`, a bypasser is necessarily lock-free.
+        let mut witness: Option<(&AccessInfo, &AccessInfo)> = None;
+        'search: for x in &accs {
+            if x.lockset & common != 0 {
+                continue;
+            }
+            for y in &locked {
+                if x.is_write || y.is_write {
+                    witness = Some((x, y));
+                    break 'search;
+                }
+            }
+        }
+        if let Some((x, y)) = witness {
+            out.push(StaticFinding {
+                kind: LintKind::GuardedByViolation,
+                severity: Severity::Warning,
+                locs: vec![x.loc, y.loc],
+                locks: vec![guard],
+                addr: Some(addr),
+                message: format!(
+                    "word {addr} is guarded by {guard} at {} of {} accesses, but {} bypasses it \
+                     (≥1 write)",
+                    locked.len(),
+                    accs.len(),
+                    x.loc
+                ),
+            });
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -341,7 +467,8 @@ mod tests {
     fn analyzed(k: &Kernel) -> Vec<StaticFinding> {
         let cfg = KernelCfg::build(k);
         let an = LocksetAnalysis::compute(k, &cfg);
-        lint(k, &an)
+        let vf = ValueFlow::compute(k, &cfg, &an);
+        lint(k, &an, &vf)
     }
 
     #[test]
@@ -477,5 +604,117 @@ mod tests {
         assert!(!al.permits(&miss));
         let no_addr = StaticFinding { addr: None, locs: vec![], ..hit };
         assert!(!al.permits(&no_addr), "empty loc list is never excused");
+    }
+
+    #[test]
+    fn conflicting_constant_stores_are_flagged() {
+        // Two lock-free stores claim the same word with different tags.
+        let mut kb = KernelBuilder::new();
+        let sub = kb.add_subsystem("t");
+        let a = kb.alloc_region(sub, snowcat_kernel::RegionKind::Flags, 1, "t.flags", 0);
+        for (name, tag) in [("claim1", 1i64), ("claim2", 2i64)] {
+            let f = kb.begin_func(name, sub);
+            kb.emit(Instr::Const { dst: Reg(3), val: tag });
+            kb.emit(Instr::Store { addr: AddrExpr::Fixed(a), src: Reg(3) });
+            kb.end_func();
+            kb.add_syscall(name, f, sub, vec![]);
+        }
+        let k = kb.finish("t");
+        let findings = analyzed(&k);
+        assert_eq!(findings.len(), 1, "findings: {findings:?}");
+        assert_eq!(findings[0].kind, LintKind::StoreConstConflict);
+        assert_eq!(findings[0].addr, Some(a));
+        assert_eq!(findings[0].severity, Severity::Warning);
+    }
+
+    #[test]
+    fn same_constant_stores_are_fine() {
+        let mut kb = KernelBuilder::new();
+        let sub = kb.add_subsystem("t");
+        let a = kb.alloc_region(sub, snowcat_kernel::RegionKind::Flags, 1, "t.flags", 0);
+        for name in ["set1", "set2"] {
+            let f = kb.begin_func(name, sub);
+            kb.emit(Instr::Const { dst: Reg(3), val: 7 });
+            kb.emit(Instr::Store { addr: AddrExpr::Fixed(a), src: Reg(3) });
+            kb.end_func();
+            kb.add_syscall(name, f, sub, vec![]);
+        }
+        let k = kb.finish("t");
+        assert!(analyzed(&k).is_empty(), "idempotent flag setting is not a conflict");
+    }
+
+    #[test]
+    fn guard_inference_names_the_bypassed_lock() {
+        // Two accesses agree the word is guarded by l; a third write
+        // bypasses it.
+        let mut kb = KernelBuilder::new();
+        let sub = kb.add_subsystem("t");
+        let a = kb.alloc_region(sub, snowcat_kernel::RegionKind::Flags, 1, "t.flags", 0);
+        let l = kb.alloc_lock(sub);
+        for name in ["locked_w", "locked_r"] {
+            let f = kb.begin_func(name, sub);
+            kb.emit(Instr::Lock { lock: l });
+            if name == "locked_w" {
+                kb.emit(Instr::Store { addr: AddrExpr::Fixed(a), src: Reg(0) });
+            } else {
+                kb.emit(Instr::Load { dst: Reg(4), addr: AddrExpr::Fixed(a) });
+            }
+            kb.emit(Instr::Unlock { lock: l });
+            kb.end_func();
+            kb.add_syscall(name, f, sub, vec![]);
+        }
+        let g = kb.begin_func("raw_w", sub);
+        kb.emit(Instr::Store { addr: AddrExpr::Fixed(a), src: Reg(0) });
+        kb.end_func();
+        kb.add_syscall("raw_w", g, sub, vec![]);
+        let k = kb.finish("t");
+        let findings = analyzed(&k);
+        let gb: Vec<_> =
+            findings.iter().filter(|f| f.kind == LintKind::GuardedByViolation).collect();
+        assert_eq!(gb.len(), 1, "findings: {findings:?}");
+        assert_eq!(gb[0].locks, vec![l], "the inferred guard is named");
+        assert_eq!(gb[0].addr, Some(a));
+        // The coarser inconsistent-protection lint fires on the same word.
+        assert!(findings
+            .iter()
+            .any(|f| f.kind == LintKind::InconsistentProtection && f.addr == Some(a)));
+    }
+
+    #[test]
+    fn cross_call_abba_deadlock_is_a_cycle() {
+        // helper takes B; f calls helper while holding A (interprocedural
+        // A→B edge); h takes B then A directly (B→A). The must-lockset at
+        // helper's entry is ∅ (g also calls it lock-free), so only the
+        // call-summary edge closes the cycle.
+        let mut kb = KernelBuilder::new();
+        let sub = kb.add_subsystem("t");
+        let la = kb.alloc_lock(sub);
+        let lb = kb.alloc_lock(sub);
+        let helper = kb.begin_func("helper", sub);
+        kb.emit(Instr::Lock { lock: lb });
+        kb.emit(Instr::Unlock { lock: lb });
+        kb.end_func();
+        let f = kb.begin_func("f", sub);
+        kb.emit(Instr::Lock { lock: la });
+        kb.emit(Instr::Call { func: helper });
+        kb.emit(Instr::Unlock { lock: la });
+        kb.end_func();
+        kb.add_syscall("f", f, sub, vec![]);
+        let g = kb.begin_func("g", sub);
+        kb.emit(Instr::Call { func: helper });
+        kb.end_func();
+        kb.add_syscall("g", g, sub, vec![]);
+        let h = kb.begin_func("h", sub);
+        kb.emit(Instr::Lock { lock: lb });
+        kb.emit(Instr::Lock { lock: la });
+        kb.emit(Instr::Unlock { lock: la });
+        kb.emit(Instr::Unlock { lock: lb });
+        kb.end_func();
+        kb.add_syscall("h", h, sub, vec![]);
+        let k = kb.finish("t");
+        let findings = analyzed(&k);
+        let cyc: Vec<_> = findings.iter().filter(|f| f.kind == LintKind::LockOrderCycle).collect();
+        assert_eq!(cyc.len(), 1, "findings: {findings:?}");
+        assert_eq!(cyc[0].locks, vec![la, lb]);
     }
 }

@@ -118,6 +118,10 @@ pub struct LocksetAnalysis {
     block_entry: Vec<Option<u64>>,
     /// Must-lockset at each function's entry (0 for unreachable functions).
     func_entry: Vec<u64>,
+    /// Locks each function *may* acquire, in itself or any (transitive)
+    /// callee — the bottom-up summary behind the interprocedural
+    /// lock-order edges.
+    may_acquire: Vec<u64>,
     /// Every static memory access with its must-hold lockset, in
     /// deterministic (block, index) order. Unreachable code is excluded.
     pub accesses: Vec<AccessInfo>,
@@ -135,6 +139,7 @@ impl LocksetAnalysis {
     pub fn compute(kernel: &Kernel, cfg: &KernelCfg) -> Self {
         assert!(kernel.num_locks <= 64, "lockset bitmask supports at most 64 locks");
         let summaries = summarize_functions(kernel);
+        let may_acquire = may_acquire_summaries(kernel);
         let mut visits = 0usize;
 
         // Phase 2: absolute must-locksets, seeded at syscall entries.
@@ -238,7 +243,23 @@ impl LocksetAnalysis {
                         }
                         cur &= !bit;
                     }
-                    Instr::Call { func } => cur = summaries[func.index()].apply(cur),
+                    Instr::Call { func } => {
+                        // Interprocedural lock-order edges: every lock the
+                        // callee may (transitively) acquire orders after
+                        // every lock definitely held at the call site —
+                        // even when other call sites' meet erases the held
+                        // set from the callee's own must-entry.
+                        for h in bits(cur) {
+                            for a in bits(may_acquire[func.index()] & !(1 << h)) {
+                                events.push(LockEvent::Order {
+                                    held: LockId(h as u16),
+                                    acquired: LockId(a as u16),
+                                    loc,
+                                });
+                            }
+                        }
+                        cur = summaries[func.index()].apply(cur);
+                    }
                     _ => {}
                 }
             }
@@ -253,7 +274,14 @@ impl LocksetAnalysis {
             }
         }
 
-        Self { block_entry: entry_in, func_entry, accesses, events, fixpoint_visits: visits }
+        Self {
+            block_entry: entry_in,
+            func_entry,
+            may_acquire,
+            accesses,
+            events,
+            fixpoint_visits: visits,
+        }
     }
 
     /// Must-lockset at a block's entry (`None` = unreachable from syscalls).
@@ -264,6 +292,11 @@ impl LocksetAnalysis {
     /// Must-lockset at a function's entry (0 for unreachable functions).
     pub fn func_entry(&self, f: FuncId) -> u64 {
         self.func_entry[f.index()]
+    }
+
+    /// Bitmask of locks function `f` may acquire, including in callees.
+    pub fn may_acquire(&self, f: FuncId) -> u64 {
+        self.may_acquire[f.index()]
     }
 
     /// Must-lockset of the memory access at `loc`, if `loc` is a reachable
@@ -340,6 +373,43 @@ fn summarize_functions(kernel: &Kernel) -> Vec<Transfer> {
         visit(&mut ctx, FuncId(fi as u32));
     }
     ctx.summary
+}
+
+/// Bottom-up may-acquire summaries: the union of every `Lock` a function
+/// (or any transitive callee) contains. A simple fixpoint handles call
+/// cycles soundly — "may" information only grows.
+fn may_acquire_summaries(kernel: &Kernel) -> Vec<u64> {
+    let n = kernel.funcs.len();
+    let mut own = vec![0u64; n];
+    let mut callees: Vec<Vec<FuncId>> = vec![Vec::new(); n];
+    for (fi, func) in kernel.funcs.iter().enumerate() {
+        for &b in &func.blocks {
+            for ins in &kernel.block(b).instrs {
+                match ins {
+                    Instr::Lock { lock } => own[fi] |= 1 << lock.0,
+                    Instr::Call { func } => callees[fi].push(*func),
+                    _ => {}
+                }
+            }
+        }
+    }
+    let mut may = own;
+    loop {
+        let mut changed = false;
+        for fi in 0..n {
+            let mut m = may[fi];
+            for c in &callees[fi] {
+                m |= may[c.index()];
+            }
+            if m != may[fi] {
+                may[fi] = m;
+                changed = true;
+            }
+        }
+        if !changed {
+            return may;
+        }
+    }
 }
 
 /// Intra-function transfer fixpoint: meet of composed transfers over all
@@ -524,6 +594,44 @@ mod tests {
         assert!(an.events.iter().any(
             |e| matches!(e, LockEvent::Order { held, acquired, .. } if *held == l0 && *acquired == l1)
         ));
+    }
+
+    #[test]
+    fn call_site_records_interprocedural_order_edge() {
+        // helper locks B; f calls it holding A, g calls it lock-free. The
+        // meet erases A from helper's must-entry, so the intra-procedural
+        // walk alone would miss the A→B ordering — the call-site summary
+        // edge must recover it.
+        let mut kb = KernelBuilder::new();
+        let sub = kb.add_subsystem("t");
+        let la = kb.alloc_lock(sub);
+        let lb = kb.alloc_lock(sub);
+        let helper = kb.begin_func("helper", sub);
+        kb.emit(Instr::Lock { lock: lb });
+        kb.emit(Instr::Unlock { lock: lb });
+        kb.end_func();
+        let f = kb.begin_func("f", sub);
+        kb.emit(Instr::Lock { lock: la });
+        kb.emit(Instr::Call { func: helper });
+        kb.emit(Instr::Unlock { lock: la });
+        kb.end_func();
+        kb.add_syscall("t_f", f, sub, vec![]);
+        let g = kb.begin_func("g", sub);
+        kb.emit(Instr::Call { func: helper });
+        kb.end_func();
+        kb.add_syscall("t_g", g, sub, vec![]);
+        let k = kb.finish("t");
+        let cfg = KernelCfg::build(&k);
+        let an = LocksetAnalysis::compute(&k, &cfg);
+        assert_eq!(an.may_acquire(helper), 1 << lb.0);
+        assert_eq!(an.may_acquire(f), (1 << la.0) | (1 << lb.0));
+        assert!(
+            an.events.iter().any(
+                |e| matches!(e, LockEvent::Order { held, acquired, .. } if *held == la && *acquired == lb)
+            ),
+            "events: {:?}",
+            an.events
+        );
     }
 
     #[test]

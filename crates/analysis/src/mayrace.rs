@@ -18,6 +18,7 @@
 //! GNN scoring for it entirely.
 
 use crate::lockset::LocksetAnalysis;
+use crate::valueflow::ValueFlow;
 use snowcat_cfg::KernelCfg;
 use snowcat_kernel::{BlockId, Kernel, SyscallId};
 use snowcat_race::RaceKey;
@@ -31,12 +32,92 @@ pub struct MayRace {
     blocks: BitSet,
     /// Flattened `num_syscalls × num_syscalls` density matrix.
     density: Vec<u64>,
+    /// Per-block count of may-race pairs touching the block.
+    degree: Vec<u64>,
     num_syscalls: usize,
 }
 
+/// Accumulates one may-race set during the sweep.
+struct Builder {
+    keys: HashSet<RaceKey>,
+    blocks: BitSet,
+    pair_count: BTreeMap<(BlockId, BlockId), u64>,
+    degree: Vec<u64>,
+}
+
+impl Builder {
+    fn new(num_blocks: usize) -> Self {
+        Self {
+            keys: HashSet::new(),
+            blocks: BitSet::new(num_blocks),
+            pair_count: BTreeMap::new(),
+            degree: vec![0u64; num_blocks],
+        }
+    }
+
+    fn insert(&mut self, x: &crate::lockset::AccessInfo, y: &crate::lockset::AccessInfo) {
+        if self.keys.insert(RaceKey::new(x.loc, y.loc)) {
+            self.blocks.insert(x.loc.block.index());
+            self.blocks.insert(y.loc.block.index());
+            *self.pair_count.entry((x.loc.block, y.loc.block)).or_insert(0) += 1;
+            self.degree[x.loc.block.index()] += 1;
+            if y.loc.block != x.loc.block {
+                self.degree[y.loc.block.index()] += 1;
+            }
+        }
+    }
+
+    fn finish(self, block_mask: &[Vec<u64>], n_sys: usize) -> MayRace {
+        // Expand block-pair counts into the syscall×syscall density matrix.
+        let mut density = vec![0u64; n_sys * n_sys];
+        for (&(bx, by), &c) in &self.pair_count {
+            for s in mask_bits(&block_mask[bx.index()]) {
+                for t in mask_bits(&block_mask[by.index()]) {
+                    density[s * n_sys + t] += c;
+                    density[t * n_sys + s] += c;
+                }
+            }
+        }
+        MayRace {
+            keys: self.keys,
+            blocks: self.blocks,
+            density,
+            degree: self.degree,
+            num_syscalls: n_sys,
+        }
+    }
+}
+
 impl MayRace {
-    /// Enumerate the may-race set from the lockset analysis results.
+    /// Enumerate the alias-blind (PR 3) may-race set from the lockset
+    /// analysis results.
     pub fn compute(kernel: &Kernel, cfg: &KernelCfg, locksets: &LocksetAnalysis) -> Self {
+        Self::compute_impl(kernel, cfg, locksets, None).0
+    }
+
+    /// Enumerate both the alias-blind set and the **alias-refined** set in
+    /// one sweep, returning `(coarse, refined)`. The refined set keeps only
+    /// pairs whose value-flow [`crate::valueflow::AccessPattern`]s share a
+    /// word, so it is a subset of the coarse set *by construction* (each
+    /// refined pair is inserted from the same candidate enumeration, behind
+    /// one extra filter) and still over-approximates the dynamic race set
+    /// (patterns cover every dynamically resolvable address).
+    pub fn compute_refined(
+        kernel: &Kernel,
+        cfg: &KernelCfg,
+        locksets: &LocksetAnalysis,
+        vf: &ValueFlow,
+    ) -> (Self, Self) {
+        let (coarse, refined) = Self::compute_impl(kernel, cfg, locksets, Some(vf));
+        (coarse, refined.expect("refined set requested"))
+    }
+
+    fn compute_impl(
+        kernel: &Kernel,
+        cfg: &KernelCfg,
+        locksets: &LocksetAnalysis,
+        vf: Option<&ValueFlow>,
+    ) -> (Self, Option<Self>) {
         let n_sys = kernel.syscalls.len();
         let words = n_sys.div_ceil(64);
 
@@ -65,9 +146,8 @@ impl MayRace {
             .collect();
         accs.sort_by_key(|&(s, _, i)| (s, i));
 
-        let mut keys: HashSet<RaceKey> = HashSet::new();
-        let mut blocks = BitSet::new(kernel.num_blocks());
-        let mut pair_count: BTreeMap<(BlockId, BlockId), u64> = BTreeMap::new();
+        let mut coarse = Builder::new(kernel.num_blocks());
+        let mut refined = vf.map(|_| Builder::new(kernel.num_blocks()));
         for (pos, &(start_i, end_i, i)) in accs.iter().enumerate() {
             debug_assert!(start_i <= end_i);
             let x = &locksets.accesses[i];
@@ -79,26 +159,17 @@ impl MayRace {
                 if !(x.is_write || y.is_write) || (x.lockset & y.lockset) != 0 {
                     continue;
                 }
-                if keys.insert(RaceKey::new(x.loc, y.loc)) {
-                    blocks.insert(x.loc.block.index());
-                    blocks.insert(y.loc.block.index());
-                    *pair_count.entry((x.loc.block, y.loc.block)).or_insert(0) += 1;
+                coarse.insert(x, y);
+                if let (Some(r), Some(vf)) = (refined.as_mut(), vf) {
+                    if vf.may_alias(i, j) {
+                        r.insert(x, y);
+                    }
                 }
             }
         }
 
-        // Expand block-pair counts into the syscall×syscall density matrix.
-        let mut density = vec![0u64; n_sys * n_sys];
-        for (&(bx, by), &c) in &pair_count {
-            for s in mask_bits(&block_mask[bx.index()]) {
-                for t in mask_bits(&block_mask[by.index()]) {
-                    density[s * n_sys + t] += c;
-                    density[t * n_sys + s] += c;
-                }
-            }
-        }
-
-        Self { keys, blocks, density, num_syscalls: n_sys }
+        let refined = refined.map(|r| r.finish(&block_mask, n_sys));
+        (coarse.finish(&block_mask, n_sys), refined)
     }
 
     /// Membership test for a (possibly dynamic) race key.
@@ -130,6 +201,12 @@ impl MayRace {
     /// Whether `b` contains a may-racing access.
     pub fn block_may_race(&self, b: BlockId) -> bool {
         self.blocks.contains(b.index())
+    }
+
+    /// Number of may-race pairs with at least one access in block `b` —
+    /// the per-block race-degree feature channel.
+    pub fn block_degree(&self, b: BlockId) -> u64 {
+        self.degree[b.index()]
     }
 
     /// May-race density between two syscalls: the number of may-race pairs
@@ -294,6 +371,83 @@ mod tests {
             let (sa, sb) = bug.syscalls;
             assert_eq!(mr.density(sa, sb), mr.density(sb, sa));
             assert!(mr.density(sa, sb) > 0, "carrier pair must have positive density");
+        }
+    }
+
+    #[test]
+    fn refined_set_prunes_distinct_fields_but_keeps_true_aliases() {
+        // Two argument-indexed accesses to *different fields* of the same
+        // object array: their static ranges overlap (coarse pair) but their
+        // progressions are disjoint (refined prunes). A third access to the
+        // same field stays paired in both sets.
+        let mut kb = KernelBuilder::new();
+        let sub = kb.add_subsystem("t");
+        // One spare word keeps the offset-1 field's static range in bounds.
+        let base = kb.alloc_region(sub, snowcat_kernel::RegionKind::ObjectArray, 25, "t.obj", 0);
+        let field = |off: u32, reg: Reg| AddrExpr::Indexed {
+            base: snowcat_kernel::Addr(base.0 + off),
+            reg,
+            stride: 6,
+            len: 4,
+        };
+        let mut locs = Vec::new();
+        for (name, off) in [("w0", 0u32), ("w1", 1u32), ("w2", 0u32)] {
+            let f = kb.begin_func(name, sub);
+            kb.emit(Instr::Store { addr: field(off, Reg(0)), src: Reg(1) });
+            locs.push(kb.last_loc());
+            kb.end_func();
+            kb.add_syscall(name, f, sub, vec![3]);
+        }
+        let k = kb.finish("t");
+        let (cfg, an) = analyze(&k);
+        let vf = crate::valueflow::ValueFlow::compute(&k, &cfg, &an);
+        let (coarse, refined) = MayRace::compute_refined(&k, &cfg, &an, &vf);
+        let cross = RaceKey::new(locs[0], locs[1]);
+        let same = RaceKey::new(locs[0], locs[2]);
+        assert!(coarse.contains(&cross), "alias-blind set keeps the field-crossing pair");
+        assert!(!refined.contains(&cross), "refined set prunes the field-crossing pair");
+        assert!(coarse.contains(&same) && refined.contains(&same));
+        assert!(refined.len() < coarse.len());
+        assert!(refined.block_degree(locs[0].block) < coarse.block_degree(locs[0].block));
+    }
+
+    #[test]
+    fn refined_is_strict_subset_on_generated_kernels() {
+        for version in [snowcat_kernel::KernelVersion::V5_12, snowcat_kernel::KernelVersion::V6_1] {
+            let k = version.spec(42).build();
+            let version = version.tag();
+            let (cfg, an) = analyze(&k);
+            let vf = crate::valueflow::ValueFlow::compute(&k, &cfg, &an);
+            let (coarse, refined) = MayRace::compute_refined(&k, &cfg, &an, &vf);
+            for key in refined.iter() {
+                assert!(coarse.contains(key), "{version}: refined ⊄ coarse at {key:?}");
+            }
+            assert!(
+                refined.len() < coarse.len(),
+                "{version}: refinement must prune pairs ({} vs {})",
+                refined.len(),
+                coarse.len()
+            );
+            // Zero planted-bug candidates dropped: every cross-carrier
+            // racing pair survives refinement.
+            for bug in &k.bugs {
+                let mem: Vec<_> = bug
+                    .racing_instrs
+                    .iter()
+                    .copied()
+                    .filter(|&l| k.instr(l).is_some_and(|i| i.is_mem_access()))
+                    .collect();
+                let fa = k.syscall(bug.syscalls.0).func;
+                let func_of = |loc: InstrLoc| k.block(loc.block).func;
+                let covered = mem.iter().any(|&x| {
+                    mem.iter().any(|&y| {
+                        func_of(x) == fa
+                            && func_of(y) != fa
+                            && refined.contains(&RaceKey::new(x, y))
+                    })
+                });
+                assert!(covered, "{version}: bug {} refined away", bug.id);
+            }
         }
     }
 }

@@ -20,10 +20,16 @@ fn assert_clean(k: &Kernel, what: &str) {
         "{what}: generator emitted non-allowlisted lock misuse: {unexpected:#?}"
     );
     // Hard discipline violations never occur, allowlisted or not: the
-    // planted bugs break *protection consistency*, never lock pairing.
+    // planted bugs break *protection consistency* (shared-word lints),
+    // never lock pairing or ordering.
     for f in &analysis.findings {
         assert!(
-            f.kind == LintKind::InconsistentProtection,
+            matches!(
+                f.kind,
+                LintKind::InconsistentProtection
+                    | LintKind::StoreConstConflict
+                    | LintKind::GuardedByViolation
+            ),
             "{what}: generator emitted a lock-pairing defect: {f:#?}"
         );
     }

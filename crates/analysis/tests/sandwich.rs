@@ -1,0 +1,161 @@
+//! The may-race sandwich: `dynamic ⊆ refined ⊆ coarse`.
+//!
+//! The alias-refined may-race set must sit *between* the dynamic race set
+//! and the alias-blind (PR 3) set on **arbitrary** generated kernels:
+//!
+//! 1. **refined ⊆ coarse** — every refined pair is also a coarse pair, so
+//!    switching the prefilter to the refined set can only veto more,
+//! 2. **dynamic ⊆ refined** — no dynamically observable race is ever
+//!    refined away, so the extra vetoes are all sound,
+//! 3. **planted coverage** — every planted bug keeps at least one
+//!    cross-carrier racing pair inside the refined set (the bug is still
+//!    findable after refinement).
+//!
+//! Property 2 is also exercised (on a fixed kernel, against richer
+//! schedules) by `soundness.rs`; here the kernel itself is the random
+//! variable: shape, seed and bundled version all vary per case.
+
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+use snowcat_analysis::{analyze, Analysis};
+use snowcat_cfg::KernelCfg;
+use snowcat_kernel::{generate, GenConfig, InstrLoc, Kernel, KernelVersion, ThreadId};
+use snowcat_race::{RaceDetector, RaceKey};
+use snowcat_vm::{run_ct, Cti, ScheduleHints, Sti, SwitchPoint, SyscallInvocation, VmConfig};
+
+/// Static half of the sandwich plus planted-bug coverage.
+fn check_static_sandwich(k: &Kernel, what: &str) -> Result<Analysis, TestCaseError> {
+    let cfg = KernelCfg::build(k);
+    let analysis = analyze(k, &cfg);
+    for key in analysis.may_race.iter() {
+        prop_assert!(
+            analysis.may_race_coarse.contains(key),
+            "{what}: refined pair {key:?} missing from the coarse set"
+        );
+    }
+    prop_assert!(
+        analysis.may_race.len() <= analysis.may_race_coarse.len(),
+        "{what}: refined set larger than coarse"
+    );
+    let covered = analysis.covered_planted_bugs(k);
+    for bug in &k.bugs {
+        prop_assert!(covered.contains(&bug.id), "{what}: planted bug {} was refined away", bug.id);
+    }
+    Ok(analysis)
+}
+
+/// Dynamic half: race every planted bug's carrier pair under one schedule
+/// and check each detected race is still a refined may-race pair.
+fn check_dynamic_inside_refined(
+    k: &Kernel,
+    analysis: &Analysis,
+    x: u64,
+    y: u64,
+    what: &str,
+) -> Result<(), TestCaseError> {
+    for bug in &k.bugs {
+        let (sc_a, sc_b) = bug.syscalls;
+        let sa = Sti::new(vec![SyscallInvocation { syscall: sc_a, args: [0, 0, 0] }]);
+        let sb = Sti::new(vec![SyscallInvocation { syscall: sc_b, args: [0, 0, 0] }]);
+        let hints = ScheduleHints {
+            first: ThreadId(0),
+            switches: vec![
+                SwitchPoint { thread: ThreadId(0), after: x },
+                SwitchPoint { thread: ThreadId(1), after: y },
+            ],
+        };
+        let r = run_ct(k, &Cti::new(sa, sb), hints, VmConfig::default());
+        for report in RaceDetector::new(u64::MAX).detect(k, &r) {
+            prop_assert!(
+                analysis.may_race.contains(&report.key),
+                "{what}: dynamic race {:?} missing from the refined set",
+                report.key
+            );
+        }
+    }
+    Ok(())
+}
+
+/// Cross-carrier racing pairs of one planted bug, as may-race keys.
+fn planted_pairs(k: &Kernel, bug: &snowcat_kernel::BugSpec) -> Vec<RaceKey> {
+    let func_of = |loc: InstrLoc| k.block(loc.block).func;
+    let fa = k.syscall(bug.syscalls.0).func;
+    let mem: Vec<InstrLoc> = bug
+        .racing_instrs
+        .iter()
+        .copied()
+        .filter(|&l| k.instr(l).is_some_and(|i| i.is_mem_access()))
+        .collect();
+    let mut keys = Vec::new();
+    for &a in &mem {
+        for &b in &mem {
+            if func_of(a) == fa && func_of(b) != fa {
+                keys.push(RaceKey::new(a, b));
+            }
+        }
+    }
+    keys
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn sandwich_holds_on_arbitrary_kernel_shapes(
+        seed in any::<u64>(),
+        num_subsystems in 1usize..6,
+        syscalls_per_subsystem in 2usize..6,
+        helpers_per_subsystem in 0usize..3,
+        x in 1u64..200, y in 1u64..200,
+    ) {
+        let cfg = GenConfig {
+            seed,
+            num_subsystems,
+            syscalls_per_subsystem,
+            helpers_per_subsystem,
+            ..GenConfig::default()
+        };
+        let k = generate(&cfg);
+        let what = format!("shape {num_subsystems}/{syscalls_per_subsystem}/{helpers_per_subsystem} seed {seed}");
+        let analysis = check_static_sandwich(&k, &what)?;
+        check_dynamic_inside_refined(&k, &analysis, x, y, &what)?;
+    }
+
+    #[test]
+    fn sandwich_holds_on_bundled_kernel_versions(
+        seed in any::<u64>(),
+        x in 1u64..200, y in 1u64..200,
+    ) {
+        for version in [KernelVersion::V5_12, KernelVersion::V5_13, KernelVersion::V6_1] {
+            let k = version.spec(seed).build();
+            let what = format!("{} seed {seed}", version.tag());
+            let analysis = check_static_sandwich(&k, &what)?;
+            check_dynamic_inside_refined(&k, &analysis, x, y, &what)?;
+        }
+    }
+}
+
+/// Deterministic belt-and-braces variant of the planted-coverage claim:
+/// every individual cross-carrier racing *pair* (not just one per bug)
+/// present in the coarse set also survives in the refined set, on both CI
+/// kernel versions.
+#[test]
+fn planted_pairs_survive_refinement_exactly() {
+    for version in [KernelVersion::V5_12, KernelVersion::V6_1] {
+        let k = version.spec(42).build();
+        let cfg = KernelCfg::build(&k);
+        let analysis = analyze(&k, &cfg);
+        for bug in &k.bugs {
+            for key in planted_pairs(&k, bug) {
+                if analysis.may_race_coarse.contains(&key) {
+                    assert!(
+                        analysis.may_race.contains(&key),
+                        "{}: planted pair {key:?} of bug {} lost in refinement",
+                        version.tag(),
+                        bug.id
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,16 +1,26 @@
 //! Microbenchmark: static concurrency analysis throughput.
 //!
 //! Times the full `snowcat_analysis::analyze` pass (must-hold lockset
-//! dataflow + lock-discipline lints + may-race computation) on generated
-//! kernels of increasing size and writes `results/BENCH_analysis.json`
-//! with blocks/sec and the finding counts.
+//! dataflow + value-flow alias pass + lock-discipline lints + refined
+//! may-race computation) on generated kernels of increasing size, compares
+//! the alias-blind *coarse* may-race pass against the full refined
+//! pipeline on both bundled kernel versions, and writes
+//! `results/BENCH_analysis.json` with blocks/sec, the pair counts on each
+//! side and the refinement overhead ratio.
 //!
-//! Pass `--quick` for a CI-sized smoke run (small kernels, short timings).
+//! Pass `--quick` for a CI-sized smoke run (small kernels, short timings);
+//! in that mode the run *asserts* that the refined pipeline costs at most
+//! 2x the coarse pass, so CI catches value-flow slowdowns.
 
 use criterion::{black_box, Criterion};
+use snowcat_analysis::{LocksetAnalysis, MayRace, ValueFlow};
 use snowcat_cfg::KernelCfg;
-use snowcat_kernel::{generate, GenConfig};
+use snowcat_kernel::{generate, GenConfig, KernelVersion};
 use std::time::{Duration, Instant};
+
+/// Seed the CLI experiment harness uses, so pair counts here line up with
+/// `snowcat analyze` output.
+const FAMILY_SEED: u64 = 0x5EED_2023;
 
 fn quick() -> bool {
     std::env::args().any(|a| a == "--quick")
@@ -40,10 +50,36 @@ struct Row {
     may_race_pairs: usize,
 }
 
+/// Coarse vs refined may-race comparison on one bundled kernel version.
+#[derive(serde::Serialize)]
+struct VersionRow {
+    version: String,
+    blocks: usize,
+    /// ns for the alias-blind pass (locksets + coarse may-race) — the PR 3
+    /// analysis pipeline.
+    coarse_ns: f64,
+    /// ns for the full refined pipeline (locksets + value flow + lints +
+    /// sandwiched may-race).
+    refined_ns: f64,
+    /// `refined_ns / coarse_ns`; CI's `--quick` run asserts <= 2.0.
+    overhead_ratio: f64,
+    may_race_pairs_coarse: usize,
+    may_race_pairs_refined: usize,
+    /// `1 - refined/coarse` pair counts: fraction of candidate pairs the
+    /// value-flow pass disproves.
+    pair_reduction: f64,
+    alias_classes: usize,
+    /// Planted bugs whose racing pair survives refinement (must be all of
+    /// them — the sandwich guarantee).
+    planted_bugs_covered: usize,
+    planted_bugs_total: usize,
+}
+
 #[derive(serde::Serialize)]
 struct Report {
     quick: bool,
     rows: Vec<Row>,
+    versions: Vec<VersionRow>,
 }
 
 fn bench_analysis(c: &mut Criterion) -> Vec<Row> {
@@ -82,6 +118,47 @@ fn bench_analysis(c: &mut Criterion) -> Vec<Row> {
     rows
 }
 
+fn bench_versions() -> Vec<VersionRow> {
+    let (min_iters, min_time) =
+        if quick() { (2, Duration::from_millis(50)) } else { (5, Duration::from_millis(1500)) };
+    let mut rows = Vec::new();
+    for version in [KernelVersion::V5_12, KernelVersion::V6_1] {
+        let kernel = version.spec(FAMILY_SEED).build();
+        let cfg = KernelCfg::build(&kernel);
+        let coarse_ns = time_ns(
+            || {
+                let locksets = LocksetAnalysis::compute(&kernel, &cfg);
+                drop(black_box(MayRace::compute(&kernel, &cfg, &locksets)));
+            },
+            min_iters,
+            min_time,
+        );
+        let refined_ns = time_ns(
+            || drop(black_box(snowcat_analysis::analyze(&kernel, &cfg))),
+            min_iters,
+            min_time,
+        );
+        let locksets = LocksetAnalysis::compute(&kernel, &cfg);
+        let vf = ValueFlow::compute(&kernel, &cfg, &locksets);
+        let (coarse, refined) = MayRace::compute_refined(&kernel, &cfg, &locksets, &vf);
+        let analysis = snowcat_analysis::analyze(&kernel, &cfg);
+        rows.push(VersionRow {
+            version: kernel.version.clone(),
+            blocks: kernel.num_blocks(),
+            coarse_ns,
+            refined_ns,
+            overhead_ratio: refined_ns / coarse_ns.max(1.0),
+            may_race_pairs_coarse: coarse.len(),
+            may_race_pairs_refined: refined.len(),
+            pair_reduction: 1.0 - refined.len() as f64 / coarse.len().max(1) as f64,
+            alias_classes: vf.num_classes(),
+            planted_bugs_covered: analysis.covered_planted_bugs(&kernel).len(),
+            planted_bugs_total: kernel.bugs.len(),
+        });
+    }
+    rows
+}
+
 fn main() {
     let mut c = if quick() {
         Criterion::default()
@@ -107,6 +184,44 @@ fn main() {
             r.may_race_pairs
         );
     }
-    let report = Report { quick: quick(), rows };
+    let versions = bench_versions();
+    for v in &versions {
+        println!(
+            "refine {:>4} ({:>5} blocks): coarse {:>7.2} ms -> refined {:>7.2} ms \
+             ({:.2}x), pairs {} -> {} ({:.1}% pruned), {} alias classes, bugs {}/{}",
+            v.version,
+            v.blocks,
+            v.coarse_ns / 1e6,
+            v.refined_ns / 1e6,
+            v.overhead_ratio,
+            v.may_race_pairs_coarse,
+            v.may_race_pairs_refined,
+            v.pair_reduction * 100.0,
+            v.alias_classes,
+            v.planted_bugs_covered,
+            v.planted_bugs_total
+        );
+        // The sandwich guarantee and the precision win are correctness
+        // properties of the refinement — enforce them on every run.
+        assert!(
+            v.may_race_pairs_refined < v.may_race_pairs_coarse,
+            "{}: refinement must shrink the may-race set",
+            v.version
+        );
+        assert_eq!(
+            v.planted_bugs_covered, v.planted_bugs_total,
+            "{}: refinement dropped a planted bug",
+            v.version
+        );
+        if quick() {
+            assert!(
+                v.overhead_ratio <= 2.0,
+                "{}: refined pass overhead {:.2}x exceeds the 2x budget",
+                v.version,
+                v.overhead_ratio
+            );
+        }
+    }
+    let report = Report { quick: quick(), rows, versions };
     snowcat_bench::save_json("BENCH_analysis", &report);
 }

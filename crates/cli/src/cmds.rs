@@ -512,12 +512,13 @@ pub fn explore(args: &Args) -> CmdResult {
 
 /// `snowcat razzer` — reproduce the hardest planted races.
 pub fn razzer(args: &Args) -> CmdResult {
-    args.ensure_known(&["version", "seed", "model", "schedules"])?;
+    args.ensure_known(&["version", "seed", "model", "schedules", "coarse", "events"])?;
     let k = build_kernel(args)?;
     let cfg = KernelCfg::build(&k);
     let ck = load_model(args)?;
     let seed = args.get_parse("seed", DEFAULT_SEED)?;
     let schedules = args.get_parse("schedules", 200usize)?;
+    let (sink, writer) = spawn_event_writer(args)?;
 
     let mut fz = StiFuzzer::new(&k, seed ^ 0x4a22);
     fz.seed_each_syscall();
@@ -525,8 +526,12 @@ pub fn razzer(args: &Args) -> CmdResult {
     let corpus = fz.into_corpus();
 
     // Static may-race pre-filter: vetoes statically impossible targets and
-    // density-ranks candidates before the PIC scores them.
-    let prefilter = RacePrefilter::new(&k, &cfg);
+    // density-ranks candidates before the PIC scores them. The default is
+    // the alias-refined set; `--coarse` falls back to the alias-blind PR 3
+    // set for before/after comparisons.
+    let refined = !args.has_flag("coarse");
+    let prefilter =
+        if refined { RacePrefilter::new(&k, &cfg) } else { RacePrefilter::new_coarse(&k, &cfg) };
 
     let mut bugs: Vec<&snowcat_kernel::BugSpec> = k.bugs.iter().filter(|b| b.harmful).collect();
     bugs.sort_by_key(|b| std::cmp::Reverse(b.difficulty));
@@ -560,6 +565,23 @@ pub fn razzer(args: &Args) -> CmdResult {
             }
         }
     }
+    println!(
+        "prefilter ({}): {} candidates vetoed statically, {} scored by the PIC \
+         ({} may-race pairs)",
+        if refined { "alias-refined" } else { "coarse" },
+        prefilter.vetoed(),
+        prefilter.survivors(),
+        prefilter.may_race().len()
+    );
+    if let Some(s) = &sink {
+        s.campaign(snowcat_events::CampaignEvent::PrefilterStats {
+            vetoed: prefilter.vetoed(),
+            survivors: prefilter.survivors(),
+            may_race_pairs: prefilter.may_race().len() as u64,
+            refined,
+        });
+    }
+    finish_event_writer(writer)?;
     Ok(())
 }
 
@@ -1010,10 +1032,15 @@ pub fn serve(args: &Args) -> CmdResult {
 
 /// `snowcat analyze` — run the static concurrency analyzer.
 pub fn analyze(args: &Args) -> CmdResult {
-    args.ensure_known(&["version", "seed", "out", "self-check"])?;
+    args.ensure_known(&["version", "seed", "out", "self-check", "coarse", "baseline"])?;
     let k = build_kernel(args)?;
     let cfg = KernelCfg::build(&k);
-    let analysis = run_analysis(&k, &cfg);
+    let mut analysis = run_analysis(&k, &cfg);
+    if args.has_flag("coarse") {
+        // Compatibility mode: report and self-check against the alias-blind
+        // (PR 3) may-race set instead of the value-flow-refined one.
+        analysis.may_race = analysis.may_race_coarse.clone();
+    }
     let allowlist = Allowlist::from_planted_bugs(&k);
     let report = analysis.report(&k);
 
@@ -1023,8 +1050,18 @@ pub fn analyze(args: &Args) -> CmdResult {
         report.blocks, report.instrs, report.mem_accesses, report.locked_accesses
     );
     println!(
-        "may-race: {} instruction pairs over {} blocks",
-        report.may_race_pairs, report.may_race_blocks
+        "may-race: {} instruction pairs over {} blocks ({} coarse pairs, {} alias classes, \
+         {:.1}% pruned)",
+        report.may_race_pairs,
+        report.may_race_blocks,
+        report.may_race_pairs_coarse,
+        report.alias_classes,
+        100.0 * (1.0 - report.may_race_pairs as f64 / report.may_race_pairs_coarse.max(1) as f64)
+    );
+    println!(
+        "planted bugs covered by may-race set: {}/{}",
+        report.planted_bugs_covered.len(),
+        k.bugs.len()
     );
     println!(
         "findings: {} total, {} allowlisted (planted bugs)",
@@ -1048,6 +1085,41 @@ pub fn analyze(args: &Args) -> CmdResult {
     if let Some(path) = args.get("out") {
         std::fs::write(path, serde_json::to_string_pretty(&report)?)?;
         println!("report written to {path}");
+    }
+
+    if let Some(path) = args.get("baseline") {
+        // Precision gate against an older report: the refined set must never
+        // grow the pair count, and every planted bug the baseline covered
+        // must still be covered (serde defaults make pre-value-flow reports
+        // readable — their coarse/covered fields read as 0/empty).
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("--baseline: cannot read {path}: {e}"))?;
+        let old: snowcat_analysis::AnalysisReport = serde_json::from_str(&text)
+            .map_err(|e| format!("--baseline: {path} is not an analysis report: {e}"))?;
+        println!(
+            "baseline {path}: {} may-race pairs, {} bugs covered",
+            old.may_race_pairs,
+            old.planted_bugs_covered.len()
+        );
+        if report.may_race_pairs > old.may_race_pairs {
+            return Err(format!(
+                "precision regression vs {path}: may-race pairs grew {} -> {}",
+                old.may_race_pairs, report.may_race_pairs
+            )
+            .into());
+        }
+        if let Some(lost) =
+            old.planted_bugs_covered.iter().find(|id| !report.planted_bugs_covered.contains(id))
+        {
+            return Err(format!(
+                "precision regression vs {path}: planted bug {lost} no longer covered",
+            )
+            .into());
+        }
+        println!(
+            "baseline gate passed: pairs {} -> {}, coverage kept",
+            old.may_race_pairs, report.may_race_pairs
+        );
     }
 
     if args.has_flag("self-check") {
@@ -1188,6 +1260,7 @@ fn print_human_status(view: &StatusView) {
     let (mut epochs, mut anomalies, mut rollbacks) = (0u64, 0u64, 0u64);
     let mut last_loss = None;
     let mut predictor = None;
+    let mut prefilter = None;
     let mut last_position = 0u64;
     let (mut swaps, mut swap_rejections, mut swap_rollbacks, mut refreshes) =
         (0u64, 0u64, 0u64, 0u64);
@@ -1209,6 +1282,7 @@ fn print_human_status(view: &StatusView) {
                     last_position = last_position.max(*position + 1);
                 }
                 CampaignEvent::PredictorBatch { .. } => predictor = Some(e.clone()),
+                CampaignEvent::PrefilterStats { .. } => prefilter = Some(e.clone()),
                 CampaignEvent::PredictorDegraded { .. } => degradations += 1,
                 CampaignEvent::HangDetected { .. } => hangs += 1,
                 CampaignEvent::Quarantined { .. } => quarantined += 1,
@@ -1286,6 +1360,17 @@ fn print_human_status(view: &StatusView) {
                  ({degraded_batches} degraded batches, {fallback_predictions} fallbacks)"
             );
         }
+    }
+    if let Some(CampaignEvent::PrefilterStats { vetoed, survivors, may_race_pairs, refined }) =
+        &prefilter
+    {
+        let total = vetoed + survivors;
+        let pct = if total > 0 { *vetoed as f64 / total as f64 * 100.0 } else { 0.0 };
+        println!(
+            "  prefilter: {vetoed}/{total} candidates vetoed statically ({pct:.0}%), \
+             {survivors} scored — {} set, {may_race_pairs} may-race pairs",
+            if *refined { "alias-refined" } else { "coarse" }
+        );
     }
     if let Some(model) = &serve_model {
         println!("serving {model} — {state}");

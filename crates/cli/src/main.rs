@@ -7,8 +7,9 @@
 //! snowcat collect  --version 5.12 --out data.scds [--ctis N] [--interleavings K]
 //! snowcat train    --version 5.12 --out pic.bin [--ctis N] [--epochs E] [--flow]
 //! snowcat explore  --version 5.12 --model pic.bin [--ctis N] [--budget B]
-//! snowcat razzer   --version 5.12 --model pic.bin [--schedules N]
+//! snowcat razzer   --version 5.12 --model pic.bin [--schedules N] [--coarse] [--events DIR]
 //! snowcat analyze  --version 5.12 [--seed N] [--out report.json] [--self-check]
+//!                  [--coarse] [--baseline OLD.json]
 //! snowcat campaign --version 5.12 [--explorer pct|s1|s2|s3] [--checkpoint F] [--resume F]
 //!                  [--serve] [--serve-batch N] [--serve-wait-us U] [--refresh N]
 //! snowcat serve    --version 5.12 --model pic.bin [--requests N] [--clients C]
@@ -48,10 +49,18 @@ COMMANDS:
               [--events DIR] [--export-json FILE] [--flow]
   explore   compare PCT vs MLPCT-S1 on a CTI stream with a trained model
               --version V --model FILE [--ctis N] [--budget B] [--seed N]
-  razzer    reproduce planted races with Razzer / -Relax / -PIC
+  razzer    reproduce planted races with Razzer / -Relax / -PIC (the -PIC
+            path vetoes statically impossible candidates with the
+            alias-refined may-race prefilter; --coarse uses the
+            alias-blind set, --events records prefilter counters)
               --version V --model FILE [--schedules N] [--seed N]
-  analyze   run the static concurrency analyzer (locksets, lints, may-race)
+              [--coarse] [--events DIR]
+  analyze   run the static concurrency analyzer (locksets, value-flow alias
+            classes, lints, refined may-race; --baseline gates precision
+            against an older report: pair count must not grow and every
+            previously covered planted bug must stay covered)
               --version V [--seed N] [--out FILE] [--self-check]
+              [--coarse] [--baseline OLD.json]
   campaign  run a supervised testing campaign (watchdog, checkpoint/resume,
             fault injection, graceful predictor degradation)
               --version V [--seed N] [--ctis N] [--budget B]

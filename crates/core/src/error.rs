@@ -15,8 +15,13 @@ use std::path::{Path, PathBuf};
 
 /// Magic of the Snowcat Model Checkpoint envelope (binary, bit-exact).
 pub const MODEL_MAGIC: &[u8; 4] = b"SCMC";
-/// Current (and minimum readable) model-checkpoint envelope version.
-pub const MODEL_VERSION: u16 = 1;
+/// Current model-checkpoint envelope version. v2 adds the static-channel
+/// fields (`static_channels` in the config, the `w_static` tensor between
+/// the output head and the flow head); v1 checkpoints still load as
+/// channel-free models via [`MIN_MODEL_VERSION`] routing.
+pub const MODEL_VERSION: u16 = 2;
+/// Oldest model-checkpoint envelope version still readable.
+pub const MIN_MODEL_VERSION: u16 = 1;
 
 /// Unified error for checkpoint/dataset load and save paths.
 #[derive(Debug)]
@@ -167,15 +172,19 @@ pub fn decode_model_checkpoint_framed(
 ) -> Result<Checkpoint, SnowcatError> {
     let corrupt =
         |detail: String| SnowcatError::CheckpointCorrupt { path: path.to_owned(), detail };
-    let (_, payload) = unframe_checksummed(
+    let (version, payload) = unframe_checksummed(
         MODEL_MAGIC,
-        MODEL_VERSION,
+        MIN_MODEL_VERSION,
         MODEL_VERSION,
         bytes::Bytes::from(bytes.to_vec()),
     )
     .map_err(|e| corrupt(e.to_string()))?;
-    snowcat_nn::decode_model_checkpoint(payload.as_slice())
-        .map_err(|e| corrupt(format!("payload is not a model checkpoint: {e}")))
+    let decoded = if version >= 2 {
+        snowcat_nn::decode_model_checkpoint(payload.as_slice())
+    } else {
+        snowcat_nn::decode_model_checkpoint_legacy(payload.as_slice())
+    };
+    decoded.map_err(|e| corrupt(format!("payload is not a model checkpoint: {e}")))
 }
 
 /// Load a PIC checkpoint: the binary SCMC format, or legacy JSON (sniffed
@@ -312,6 +321,63 @@ mod tests {
         let bad_path = dir.join("ck-bad.scmc");
         std::fs::write(&bad_path, &bad).unwrap();
         assert!(matches!(load_checkpoint(&bad_path), Err(SnowcatError::CheckpointCorrupt { .. })));
+    }
+
+    #[test]
+    fn v1_model_checkpoints_still_load_as_channel_free_models() {
+        use snowcat_corpus::frame_checksummed;
+        let dir = std::env::temp_dir().join("snowcat-error-tests-scmc-v1");
+        std::fs::create_dir_all(&dir).unwrap();
+        // Re-create the v1 payload byte-for-byte: the legacy config layout
+        // (no static_channels) followed by the legacy parameter layout (no
+        // w_static), framed with version 1.
+        let model = PicModel::new(PicConfig {
+            hidden: 4,
+            layers: 1,
+            static_channels: 0,
+            ..Default::default()
+        });
+        let ck = Checkpoint::new(&model, 0.5, "v1");
+        let mut e = snowcat_nn::Enc::new();
+        e.put_u32(ck.cfg.hidden as u32);
+        e.put_u32(ck.cfg.layers as u32);
+        e.put_u32(ck.cfg.vocab as u32);
+        e.put_f32(ck.cfg.pos_weight);
+        e.put_f32(ck.cfg.urb_weight);
+        e.put_f32(ck.cfg.flow_weight);
+        e.put_u64(ck.cfg.seed);
+        for m in [
+            &ck.params.tok_emb,
+            &ck.params.type_emb,
+            &ck.params.sched_emb,
+            &ck.params.w_in,
+            &ck.params.b_in,
+        ] {
+            e.put_mat(m);
+        }
+        e.put_u32(ck.params.layers.len() as u32);
+        for layer in &ck.params.layers {
+            e.put_mat(&layer.w_self);
+            e.put_u32(layer.w_rel.len() as u32);
+            for w in &layer.w_rel {
+                e.put_mat(w);
+            }
+            e.put_mat(&layer.b);
+        }
+        e.put_mat(&ck.params.w_out);
+        e.put_mat(&ck.params.b_out);
+        e.put_mat(&ck.params.w_flow);
+        e.put_mat(&ck.params.b_flow);
+        e.put_f32(ck.threshold);
+        e.put_str(&ck.name);
+        let framed = frame_checksummed(MODEL_MAGIC, 1, &e.finish());
+        let path = dir.join("v1.scmc");
+        std::fs::write(&path, framed.as_slice()).unwrap();
+        let back = load_checkpoint(&path).unwrap();
+        assert_eq!(back.cfg.static_channels, 0);
+        assert_eq!(back.cfg.hidden, ck.cfg.hidden);
+        assert_eq!(back.params.w_flow, ck.params.w_flow);
+        assert_eq!(back.name, "v1");
     }
 
     #[test]

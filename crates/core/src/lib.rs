@@ -49,7 +49,7 @@ pub use costmodel::{filter_economics, simulate_filter, CostModel, FilterEconomic
 pub use error::{
     decode_dataset_auto, decode_model_checkpoint_framed, encode_model_checkpoint_framed,
     load_checkpoint, load_dataset, save_checkpoint, save_checkpoint_json, save_dataset,
-    SnowcatError, MODEL_MAGIC, MODEL_VERSION,
+    SnowcatError, MIN_MODEL_VERSION, MODEL_MAGIC, MODEL_VERSION,
 };
 pub use mlpct::{explore_mlpct, explore_pct, explore_pct_native, ExploreConfig, ExploreOutcome};
 pub use pic::{checkpoint_fingerprint, Pic, PredictedCoverage};

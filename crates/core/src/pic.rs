@@ -92,6 +92,15 @@ impl<'k> Pic<'k> {
         self
     }
 
+    /// Enable the per-block static feature channels (alias-class density,
+    /// must-lockset size, refined may-race degree): every graph this
+    /// predictor builds stamps `feats[block]` onto its vertices. Pass the
+    /// `snowcat-analysis` per-block channel table, indexed by `BlockId`.
+    pub fn with_static_feats(mut self, feats: Vec<snowcat_graph::StaticFeats>) -> Self {
+        self.builder.block_static_feats = Some(feats);
+        self
+    }
+
     /// The restored model (read-only).
     pub fn model(&self) -> &PicModel {
         &self.model

@@ -51,6 +51,7 @@ pub fn graph_fingerprint(g: &CtGraph) -> u64 {
     for v in &g.verts {
         h = fnv1a(h, &v.block.0.to_le_bytes());
         h = fnv1a(h, &[v.thread.0, v.kind as u8, v.sched_mark.index() as u8, u8::from(v.may_race)]);
+        h = fnv1a(h, &v.static_feats.bytes());
         for t in &v.tokens {
             h = fnv1a(h, &t.to_le_bytes());
         }

@@ -15,27 +15,64 @@
 //! ([`RacePrefilter::rank`]) used by
 //! [`crate::razzer::find_candidates_prefiltered`].
 
-use snowcat_analysis::{LocksetAnalysis, MayRace};
+use snowcat_analysis::{LocksetAnalysis, MayRace, ValueFlow};
 use snowcat_cfg::KernelCfg;
 use snowcat_corpus::StiProfile;
 use snowcat_kernel::{BlockId, Kernel};
 use snowcat_vm::{BitSet, Sti};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Static may-race knowledge, packaged for candidate filtering.
+///
+/// The filter keeps two runtime counters — candidates *vetoed* (dropped
+/// without a prediction) and candidates *surviving* into GNN scoring — so
+/// campaigns can report how much inference work the static layer saved.
 pub struct RacePrefilter {
     may_race: MayRace,
+    vetoes: AtomicU64,
+    survivors: AtomicU64,
 }
 
 impl RacePrefilter {
-    /// Run the static analysis and build the pre-filter.
+    /// Run the static analysis and build the pre-filter on the
+    /// alias-*refined* may-race set (value-flow pruned; still a sound
+    /// over-approximation of every dynamic race).
     pub fn new(kernel: &Kernel, cfg: &KernelCfg) -> Self {
         let locksets = LocksetAnalysis::compute(kernel, cfg);
-        Self { may_race: MayRace::compute(kernel, cfg, &locksets) }
+        let vf = ValueFlow::compute(kernel, cfg, &locksets);
+        let (_coarse, refined) = MayRace::compute_refined(kernel, cfg, &locksets, &vf);
+        Self::from_may_race(refined)
+    }
+
+    /// Build the pre-filter on the alias-blind (PR 3) may-race set — the
+    /// `--coarse` compatibility mode and the baseline for precision
+    /// comparisons.
+    pub fn new_coarse(kernel: &Kernel, cfg: &KernelCfg) -> Self {
+        let locksets = LocksetAnalysis::compute(kernel, cfg);
+        Self::from_may_race(MayRace::compute(kernel, cfg, &locksets))
     }
 
     /// Wrap an already-computed may-race set.
     pub fn from_may_race(may_race: MayRace) -> Self {
-        Self { may_race }
+        Self { may_race, vetoes: AtomicU64::new(0), survivors: AtomicU64::new(0) }
+    }
+
+    /// Candidates dropped by this filter (target vetoes + zero-density
+    /// candidates) without spending a prediction.
+    pub fn vetoed(&self) -> u64 {
+        self.vetoes.load(Ordering::Relaxed)
+    }
+
+    /// Candidates that passed the static cuts into GNN scoring.
+    pub fn survivors(&self) -> u64 {
+        self.survivors.load(Ordering::Relaxed)
+    }
+
+    /// Record a target-level veto (used by
+    /// [`crate::razzer::find_candidates_prefiltered`] when the racing-block
+    /// pair itself cannot race and the whole reach set is skipped).
+    pub(crate) fn count_target_veto(&self, dropped: u64) {
+        self.vetoes.fetch_add(dropped, Ordering::Relaxed);
     }
 
     /// The underlying may-race set.
@@ -86,6 +123,8 @@ impl RacePrefilter {
             .filter(|&(_, d)| d > 0)
             .collect();
         scored.sort_by_key(|&(_, d)| std::cmp::Reverse(d));
+        self.vetoes.fetch_add((candidates.len() - scored.len()) as u64, Ordering::Relaxed);
+        self.survivors.fetch_add(scored.len() as u64, Ordering::Relaxed);
         scored.into_iter().map(|(pair, _)| pair).collect()
     }
 }
@@ -148,6 +187,89 @@ mod tests {
         let densities: Vec<u64> =
             ranked.iter().map(|&(i, j)| pf.sti_density(&corpus[i].sti, &corpus[j].sti)).collect();
         assert!(densities.windows(2).all(|w| w[0] >= w[1]), "not descending: {densities:?}");
+    }
+
+    #[test]
+    fn refined_prefilter_spends_strictly_fewer_inferences_than_coarse() {
+        use crate::razzer::{find_candidates_prefiltered, RazzerMode};
+        use snowcat_kernel::bugs::BugDifficulty;
+        use snowcat_kernel::{BugId, BugKind, BugSpec, SyscallId};
+        use snowcat_nn::{Checkpoint, PicConfig, PicModel};
+
+        let (k, cfg, corpus) = setup();
+        let coarse = RacePrefilter::new_coarse(&k, &cfg);
+        let refined = RacePrefilter::new(&k, &cfg);
+        assert!(
+            refined.may_race().len() < coarse.may_race().len(),
+            "refined set must shrink: {} vs {}",
+            refined.may_race().len(),
+            coarse.may_race().len()
+        );
+
+        let model = PicModel::new(PicConfig { hidden: 8, layers: 1, ..Default::default() });
+        let ck = Checkpoint::new(&model, 0.5, "t");
+        let spend = |pf: &RacePrefilter, bug: &BugSpec| -> u64 {
+            let pic = crate::pic::Pic::new(&ck, &k, &cfg);
+            let svc = crate::predictor::PredictorService::direct(&pic);
+            let _ = find_candidates_prefiltered(
+                &k,
+                &cfg,
+                &corpus,
+                bug,
+                RazzerMode::Pic,
+                Some(&svc),
+                pf,
+                2,
+            );
+            pic.inferences()
+        };
+
+        // Hand Razzer the false races the alias refinement disproves: coarse
+        // may-race pairs whose block pair carries *no* refined pair (distinct
+        // fields of one region, conflated by the field-insensitive pass).
+        let func_syscall =
+            |f| k.syscalls.iter().position(|s| s.func == f).map(|i| SyscallId(i as u32));
+        let mut coarse_total = 0u64;
+        let mut refined_total = 0u64;
+        let mut pseudo_targets = 0u64;
+        for key in coarse.may_race().iter() {
+            if refined.blocks_may_race(key.0.block, key.1.block) {
+                continue;
+            }
+            let (fx, fy) = (k.block(key.0.block).func, k.block(key.1.block).func);
+            let (Some(sx), Some(sy)) = (func_syscall(fx), func_syscall(fy)) else {
+                continue;
+            };
+            let pseudo = BugSpec {
+                id: BugId(9000 + pseudo_targets as u16),
+                kind: BugKind::DataRace,
+                difficulty: BugDifficulty::Easy,
+                subsystem: k.syscall(sx).subsystem,
+                summary: "pseudo: alias-disproved pair".into(),
+                syscalls: (sx, sy),
+                racing_instrs: vec![key.0, key.1],
+                harmful: false,
+            };
+            coarse_total += spend(&coarse, &pseudo);
+            refined_total += spend(&refined, &pseudo);
+            pseudo_targets += 1;
+            if pseudo_targets >= 8 {
+                break;
+            }
+        }
+        assert!(pseudo_targets > 0, "refinement should disprove some block pair entirely");
+        assert_eq!(refined_total, 0, "refined filter must veto alias-disproved targets");
+        assert!(
+            coarse_total > refined_total,
+            "alias refinement must cut GNN inferences: refined {refined_total} vs coarse {coarse_total}"
+        );
+        // Planted bugs still survive into scoring under the refined filter,
+        // and the runtime counters expose both sides of the cut.
+        for bug in &k.bugs {
+            let _ = spend(&refined, bug);
+        }
+        assert!(refined.survivors() > 0, "planted-bug candidates must survive");
+        assert!(refined.vetoed() > 0, "alias-disproved targets must be counted as vetoes");
     }
 
     #[test]

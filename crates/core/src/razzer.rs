@@ -134,6 +134,8 @@ pub fn find_candidates_prefiltered(
         return Vec::new();
     };
     if !prefilter.blocks_may_race(block_a, block_b) {
+        let reach = reach_candidates(corpus, cfg, mode, block_a, block_b);
+        prefilter.count_target_veto(reach.len() as u64);
         return Vec::new();
     }
     let reach = reach_candidates(corpus, cfg, mode, block_a, block_b);

@@ -237,6 +237,7 @@ mod tests {
                 sched_mark: snowcat_graph::SchedMark::None,
                 may_race: false,
                 tokens: vec![1],
+                static_feats: Default::default(),
             })
             .collect();
         PredictedCoverage {

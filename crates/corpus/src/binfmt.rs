@@ -7,7 +7,7 @@
 
 use crate::dataset::{Dataset, Example};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
-use snowcat_graph::{CtGraph, Edge, EdgeKind, SchedMark, VertKind, Vertex};
+use snowcat_graph::{CtGraph, Edge, EdgeKind, SchedMark, StaticFeats, VertKind, Vertex};
 use snowcat_kernel::{BlockId, ThreadId};
 use snowcat_vm::{ScheduleHints, SwitchPoint};
 
@@ -16,9 +16,12 @@ const MAGIC: &[u8; 4] = b"SCDS";
 /// Format version written by [`encode_dataset`]. Version 3 added a
 /// per-vertex flags byte (bit 0 = `may_race`); version 4 wrapped the payload
 /// in a checksummed length frame (see [`frame_checksummed`]) so truncated
-/// and bit-flipped files are detected instead of decoding to garbage.
-/// Version-2/3 payloads still decode, without integrity checking.
-const VERSION: u16 = 4;
+/// and bit-flipped files are detected instead of decoding to garbage;
+/// version 5 added three per-vertex static feature bytes (alias density,
+/// lockset size, race degree) right after the flags byte.
+/// Version-2/3 payloads still decode, without integrity checking; version-4
+/// frames decode with zeroed static features.
+const VERSION: u16 = 5;
 /// Oldest version [`decode_dataset`] accepts.
 const MIN_VERSION: u16 = 2;
 /// First version whose payload is CRC-framed.
@@ -235,6 +238,7 @@ fn encode_graph(buf: &mut BytesMut, g: &CtGraph) {
         });
         buf.put_u8(v.sched_mark.index() as u8);
         buf.put_u8(if v.may_race { VFLAG_MAY_RACE } else { 0 });
+        buf.put_slice(&v.static_feats.bytes());
         buf.put_u16_le(v.tokens.len() as u16);
         for &t in &v.tokens {
             buf.put_u16_le(t as u16); // vocabulary is < 2^16
@@ -253,10 +257,11 @@ fn decode_graph(buf: &mut Bytes, version: u16) -> Result<CtGraph, DecodeError> {
         return Err(DecodeError::Truncated);
     }
     let flags_bytes = usize::from(version >= 3);
+    let static_bytes = if version >= 5 { snowcat_graph::STATIC_CHANNELS } else { 0 };
     let nv = buf.get_u32_le() as usize;
     let mut verts = Vec::with_capacity(nv.min(1 << 20));
     for _ in 0..nv {
-        if buf.remaining() < 4 + 1 + 1 + 1 + flags_bytes + 2 {
+        if buf.remaining() < 4 + 1 + 1 + 1 + flags_bytes + static_bytes + 2 {
             return Err(DecodeError::Truncated);
         }
         let block = BlockId(buf.get_u32_le());
@@ -273,12 +278,19 @@ fn decode_graph(buf: &mut Bytes, version: u16) -> Result<CtGraph, DecodeError> {
             x => return Err(DecodeError::BadEnum("sched mark", x)),
         };
         let may_race = if version >= 3 { buf.get_u8() & VFLAG_MAY_RACE != 0 } else { false };
+        let static_feats = if version >= 5 {
+            let mut b = [0u8; snowcat_graph::STATIC_CHANNELS];
+            buf.copy_to_slice(&mut b);
+            StaticFeats::from_bytes(b)
+        } else {
+            StaticFeats::default()
+        };
         let nt = buf.get_u16_le() as usize;
         if buf.remaining() < nt * 2 {
             return Err(DecodeError::Truncated);
         }
         let tokens = (0..nt).map(|_| u32::from(buf.get_u16_le())).collect();
-        verts.push(Vertex { block, thread, kind, sched_mark, may_race, tokens });
+        verts.push(Vertex { block, thread, kind, sched_mark, may_race, static_feats, tokens });
     }
     if buf.remaining() < 4 {
         return Err(DecodeError::Truncated);
@@ -338,9 +350,10 @@ pub fn decode_dataset(mut buf: Bytes) -> Result<Dataset, DecodeError> {
     if peeked_version >= FRAMED_VERSION || !(MIN_VERSION..=VERSION).contains(&peeked_version) {
         // Framed layout (or an invalid version, which unframing reports
         // with the same typed errors as the legacy path would).
-        let (_, payload) = unframe_checksummed(MAGIC, MIN_VERSION, VERSION, buf)?;
-        // The framed body reuses the v3 example layout (per-vertex flags).
-        return decode_examples(payload, 3);
+        let (ver, payload) = unframe_checksummed(MAGIC, MIN_VERSION, VERSION, buf)?;
+        // A v4 frame carries the v3 example layout (per-vertex flags);
+        // v5+ frames carry their own layout (static feature bytes).
+        return decode_examples(payload, if ver >= 5 { ver } else { 3 });
     }
     let mut magic = [0u8; 4];
     buf.copy_to_slice(&mut magic);
@@ -435,6 +448,49 @@ mod tests {
         }
         let back = decode_dataset(encode_dataset(&ds)).unwrap();
         assert_eq!(ds, back);
+    }
+
+    #[test]
+    fn static_feat_bytes_roundtrip() {
+        let mut ds = sample_dataset();
+        for (i, e) in ds.examples.iter_mut().enumerate() {
+            for (j, v) in e.graph.verts.iter_mut().enumerate() {
+                v.static_feats = StaticFeats {
+                    alias_density: (i + j) as u8,
+                    lockset: j as u8,
+                    race_degree: (i * 3 + j) as u8,
+                };
+            }
+        }
+        let back = decode_dataset(encode_dataset(&ds)).unwrap();
+        assert_eq!(ds, back);
+    }
+
+    #[test]
+    fn version_4_frames_still_decode_with_zeroed_static_feats() {
+        // Hand-build a v4 frame: the v3 example layout (flags byte, no
+        // static feature bytes) inside the checksummed frame.
+        let mut body = BytesMut::new();
+        body.put_u32_le(1); // examples
+        body.put_u32_le(7); // cti_index
+        body.put_u32_le(1); // verts
+        body.put_u32_le(3); // block
+        body.put_u8(1); // thread
+        body.put_u8(1); // kind = Urb
+        body.put_u8(0); // sched mark = None
+        body.put_u8(VFLAG_MAY_RACE); // flags
+        body.put_u16_le(1); // tokens
+        body.put_u16_le(42);
+        body.put_u32_le(0); // edges
+        body.put_u32_le(0); // labels
+        body.put_u32_le(0); // flow labels
+        body.put_u8(0); // hints.first
+        body.put_u16_le(0); // switches
+        let framed = frame_checksummed(MAGIC, 4, &body.freeze());
+        let ds = decode_dataset(framed).unwrap();
+        let v = &ds.examples[0].graph.verts[0];
+        assert!(v.may_race);
+        assert_eq!(v.static_feats, StaticFeats::default(), "v4 vertices have zero channels");
     }
 
     #[test]

@@ -11,7 +11,7 @@ use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 use snowcat_cfg::KernelCfg;
-use snowcat_graph::{CtGraph, CtGraphBuilder, GraphStats};
+use snowcat_graph::{CtGraph, CtGraphBuilder, GraphStats, StaticFeats};
 use snowcat_kernel::Kernel;
 use snowcat_vm::{propose_hints, run_ct, Cti, ScheduleHints, VmConfig};
 
@@ -207,7 +207,22 @@ pub fn build_dataset(
     ctis: &[(usize, usize)],
     dcfg: DatasetConfig,
 ) -> Dataset {
-    let builder = CtGraphBuilder::new(kernel, cfg);
+    let mut builder = CtGraphBuilder::new(kernel, cfg);
+    // Static feature channels (alias-class density, must-lockset size,
+    // refined may-race degree) come from the PR 8 value-flow analysis and
+    // are stamped onto every vertex of every graph built below.
+    let analysis = snowcat_analysis::analyze(kernel, cfg);
+    builder.block_static_feats = Some(
+        analysis
+            .block_static_feats(kernel)
+            .into_iter()
+            .map(|[alias_density, lockset, race_degree]| StaticFeats {
+                alias_density,
+                lockset,
+                race_degree,
+            })
+            .collect(),
+    );
     let mut rng = ChaCha8Rng::seed_from_u64(dcfg.seed);
     let mut examples = Vec::new();
     for (ci, &(ia, ib)) in ctis.iter().enumerate() {
@@ -408,6 +423,28 @@ mod tests {
             }
         }
         assert!(found_overlap >= 8, "most pairs should interact: {found_overlap}/10");
+    }
+
+    #[test]
+    fn built_datasets_carry_static_feature_channels() {
+        let (k, cfg, corpus) = setup();
+        let mut rng = ChaCha8Rng::seed_from_u64(31);
+        let ctis = random_cti_pairs(&mut rng, corpus.len(), 2);
+        let ds = build_dataset(
+            &k,
+            &cfg,
+            &corpus,
+            &ctis,
+            DatasetConfig { interleavings_per_cti: 2, seed: 32 },
+        );
+        let s = ds.stats();
+        assert!(
+            s.static_feat_verts > 0,
+            "analysis-derived static channels should be stamped on some vertices"
+        );
+        // Channels must survive the SCDS v5 binary round-trip.
+        let back = crate::decode_dataset(crate::encode_dataset(&ds)).unwrap();
+        assert_eq!(ds, back);
     }
 
     #[test]

@@ -4,20 +4,20 @@
 
 use proptest::prelude::*;
 use snowcat_corpus::{decode_dataset, encode_dataset, Dataset, Example};
-use snowcat_graph::{CtGraph, Edge, EdgeKind, SchedMark, VertKind, Vertex};
+use snowcat_graph::{CtGraph, Edge, EdgeKind, SchedMark, StaticFeats, VertKind, Vertex};
 use snowcat_kernel::{BlockId, ThreadId};
 use snowcat_vm::{ScheduleHints, SwitchPoint};
 
 fn arb_vertex() -> impl Strategy<Value = Vertex> {
     (
-        0u32..100_000,
+        (0u32..100_000, any::<u32>()),
         0u8..2,
         proptest::bool::ANY,
         0u8..3,
         proptest::bool::ANY,
         proptest::collection::vec(0u32..512, 0..12),
     )
-        .prop_map(|(block, thread, urb, mark, may_race, tokens)| Vertex {
+        .prop_map(|((block, feats), thread, urb, mark, may_race, tokens)| Vertex {
             block: BlockId(block),
             thread: ThreadId(thread),
             kind: if urb { VertKind::Urb } else { VertKind::Scb },
@@ -28,6 +28,11 @@ fn arb_vertex() -> impl Strategy<Value = Vertex> {
             },
             may_race,
             tokens,
+            static_feats: StaticFeats {
+                alias_density: feats as u8,
+                lockset: (feats >> 8) as u8,
+                race_degree: (feats >> 16) as u8,
+            },
         })
 }
 

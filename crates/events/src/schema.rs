@@ -55,6 +55,11 @@ pub enum CampaignEvent {
     HangDetected { position: u64, attempt: u64, injected: bool },
     /// A CT pair exhausted its retries and was quarantined.
     Quarantined { position: u64, ct_a: u64, ct_b: u64, attempts: u64 },
+    /// Cumulative static-prefilter counters from a Razzer-PIC run: candidates
+    /// dropped without a prediction (`vetoed`) vs candidates that reached GNN
+    /// scoring (`survivors`), plus the may-race pair count of the filter in
+    /// use and whether it was the alias-refined set.
+    PrefilterStats { vetoed: u64, survivors: u64, may_race_pairs: u64, refined: bool },
     /// A fault-plan entry fired (e.g. `hang@3`, `ckpt@2:flip`, `panic@1`).
     FaultInjected { entry: String, position: u64 },
     /// A parallel campaign worker began running.
@@ -232,6 +237,7 @@ impl Event {
                 CampaignEvent::CheckpointWritten { .. } => "campaign.checkpoint",
                 CampaignEvent::HangDetected { .. } => "campaign.hang",
                 CampaignEvent::Quarantined { .. } => "campaign.quarantine",
+                CampaignEvent::PrefilterStats { .. } => "campaign.prefilter",
                 CampaignEvent::FaultInjected { .. } => "campaign.fault",
                 CampaignEvent::WorkerStarted { .. } => "campaign.worker_started",
                 CampaignEvent::WorkerFinished { .. } => "campaign.worker_finished",

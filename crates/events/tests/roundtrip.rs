@@ -20,7 +20,7 @@ fn arb_opt_u64() -> impl Strategy<Value = Option<u64>> {
 
 fn arb_campaign() -> impl Strategy<Value = CampaignEvent> {
     (
-        0usize..13,
+        0usize..14,
         arb_string(),
         (0u64..1_000_000, 0u64..1_000_000, 0u64..1_000_000),
         (0u64..64, 0u64..64, 0u64..10_000),
@@ -66,7 +66,13 @@ fn arb_campaign() -> impl Strategy<Value = CampaignEvent> {
                 ok: flag,
                 fault: opt.map(|v| format!("hang@{v}")),
             },
-            11 => CampaignEvent::Finished {
+            11 => CampaignEvent::PrefilterStats {
+                vetoed: a,
+                survivors: b,
+                may_race_pairs: c,
+                refined: flag,
+            },
+            12 => CampaignEvent::Finished {
                 label: text,
                 executions: a,
                 inferences: b,
@@ -191,6 +197,12 @@ fn one_of_each() -> Vec<Event> {
         Event::Campaign(CampaignEvent::HangDetected { position: 3, attempt: 0, injected: true }),
         Event::Campaign(CampaignEvent::Quarantined { position: 3, ct_a: 1, ct_b: 2, attempts: 3 }),
         Event::Campaign(CampaignEvent::FaultInjected { entry: "hang@3x3".into(), position: 3 }),
+        Event::Campaign(CampaignEvent::PrefilterStats {
+            vetoed: 31,
+            survivors: 9,
+            may_race_pairs: 112,
+            refined: true,
+        }),
         Event::Campaign(CampaignEvent::WorkerStarted { slot: 0, label: "pct".into() }),
         Event::Campaign(CampaignEvent::WorkerFinished {
             slot: 0,

@@ -1,6 +1,6 @@
 //! Building CT graphs from sequential STI profiles and scheduling hints.
 
-use crate::repr::{hash_token, CtGraph, Edge, EdgeKind, SchedMark, VertKind, Vertex};
+use crate::repr::{hash_token, CtGraph, Edge, EdgeKind, SchedMark, StaticFeats, VertKind, Vertex};
 use snowcat_cfg::KernelCfg;
 use snowcat_kernel::{asm, BlockId, Kernel, ThreadId};
 use snowcat_vm::{BitSet, ExecResult, ScheduleHints};
@@ -21,6 +21,11 @@ pub struct CtGraphBuilder<'k> {
     /// When set, vertices on these blocks carry [`Vertex::may_race`]; when
     /// `None`, the bit stays `false` everywhere.
     pub may_race_blocks: Option<BitSet>,
+    /// Per-block static feature channels (indexed by block), mined by the
+    /// value-flow analysis. When `None`, every vertex carries all-zero
+    /// channels and a `static_channels = 0` model behaves exactly as
+    /// before.
+    pub block_static_feats: Option<Vec<StaticFeats>>,
 }
 
 impl<'k> CtGraphBuilder<'k> {
@@ -33,12 +38,18 @@ impl<'k> CtGraphBuilder<'k> {
             shortcut_stride: 4,
             extra_strides: vec![16],
             may_race_blocks: None,
+            block_static_feats: None,
         }
     }
 
     /// True if the static analysis marked `b` as may-race.
     fn block_may_race(&self, b: BlockId) -> bool {
         self.may_race_blocks.as_ref().is_some_and(|s| s.contains(b.index()))
+    }
+
+    /// The static feature channels for block `b` (zero without analysis).
+    fn block_feats(&self, b: BlockId) -> StaticFeats {
+        self.block_static_feats.as_ref().and_then(|f| f.get(b.index()).copied()).unwrap_or_default()
     }
 
     /// Build the CT graph for a CTI, given the *sequential* execution
@@ -78,6 +89,7 @@ impl<'k> CtGraphBuilder<'k> {
                         kind: VertKind::Scb,
                         sched_mark: SchedMark::None,
                         may_race: self.block_may_race(b),
+                        static_feats: self.block_feats(b),
                         tokens: tokenize(self.kernel, b),
                     });
                     id
@@ -96,6 +108,7 @@ impl<'k> CtGraphBuilder<'k> {
                         kind: VertKind::Urb,
                         sched_mark: SchedMark::None,
                         may_race: self.block_may_race(e.to),
+                        static_feats: self.block_feats(e.to),
                         tokens: tokenize(self.kernel, e.to),
                     });
                     id
@@ -469,6 +482,30 @@ mod tests {
         // The bug carriers share memory; under a tight interleaving some
         // inter-thread flow is typically realized. (Not guaranteed for
         // every hint; just check no panic and plausible structure.)
+    }
+
+    #[test]
+    fn static_feats_are_stamped_from_analysis_channels() {
+        let (k, cfg) = setup();
+        let mut b = CtGraphBuilder::new(&k, &cfg);
+        b.block_static_feats =
+            Some(vec![
+                StaticFeats { alias_density: 1, lockset: 0, race_degree: 2 };
+                k.num_blocks()
+            ]);
+        let ra = run_sequential(&k, &sti(0));
+        let rb = run_sequential(&k, &sti(1));
+        let g = b.build(&ra, &rb, &hints(3, 3));
+        assert!(g.num_verts() > 0);
+        assert!(g
+            .verts
+            .iter()
+            .all(|v| v.static_feats.alias_density == 1 && v.static_feats.race_degree == 2));
+        assert_eq!(g.stats().static_feat_verts, g.num_verts());
+        // Without channels every vertex carries zeros.
+        b.block_static_feats = None;
+        let g0 = b.build(&ra, &rb, &hints(3, 3));
+        assert_eq!(g0.stats().static_feat_verts, 0);
     }
 
     #[test]

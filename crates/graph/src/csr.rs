@@ -181,7 +181,7 @@ impl CsrAdj {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::repr::{Edge, EdgeKind, SchedMark, VertKind, Vertex};
+    use crate::repr::{Edge, EdgeKind, SchedMark, StaticFeats, VertKind, Vertex};
     use snowcat_kernel::{BlockId, ThreadId};
 
     fn vert(i: u32) -> Vertex {
@@ -191,6 +191,7 @@ mod tests {
             kind: VertKind::Scb,
             sched_mark: SchedMark::None,
             may_race: false,
+            static_feats: StaticFeats::default(),
             tokens: vec![],
         }
     }

@@ -32,6 +32,6 @@ pub mod repr;
 pub use build::CtGraphBuilder;
 pub use csr::{CsrAdj, KindAdj};
 pub use repr::{
-    CtGraph, Edge, EdgeKind, GraphStats, SchedMark, VertKind, Vertex, MASK_TOKEN, NUM_EDGE_KINDS,
-    NUM_SCHED_MARKS, VOCAB_SIZE,
+    CtGraph, Edge, EdgeKind, GraphStats, SchedMark, StaticFeats, VertKind, Vertex, MASK_TOKEN,
+    NUM_EDGE_KINDS, NUM_SCHED_MARKS, STATIC_CHANNELS, VOCAB_SIZE,
 };

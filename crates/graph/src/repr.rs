@@ -52,6 +52,46 @@ impl SchedMark {
 /// Number of schedule-mark classes.
 pub const NUM_SCHED_MARKS: usize = 3;
 
+/// Number of per-vertex static feature channels (one per [`StaticFeats`]
+/// field). The GNN widens its input layer by this many scalar channels
+/// when a model is trained with `static_channels > 0`.
+pub const STATIC_CHANNELS: usize = 3;
+
+/// Per-vertex static feature channels mined by `snowcat-analysis` — the
+/// ConPredictor-style "static code metrics as predictive signal" idea:
+/// instead of only *filtering* with the static layer, feed it to the
+/// learned predictor. Each channel is a small saturating count; models
+/// consume them through [`StaticFeats::unit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub struct StaticFeats {
+    /// Distinct value-flow alias classes touched by the block's accesses.
+    pub alias_density: u8,
+    /// Size of the must-hold lockset at block entry.
+    pub lockset: u8,
+    /// Refined may-race degree: pairs with an access in this block
+    /// (saturating).
+    pub race_degree: u8,
+}
+
+impl StaticFeats {
+    /// The channels as unit-interval floats, in declaration order. Counts
+    /// clamp at 16 so one dense block cannot blow up the input scale.
+    pub fn unit(self) -> [f32; STATIC_CHANNELS] {
+        let u = |x: u8| f32::from(x.min(16)) / 16.0;
+        [u(self.alias_density), u(self.lockset), u(self.race_degree)]
+    }
+
+    /// The raw channel bytes, in declaration order (the SCDS v5 layout).
+    pub fn bytes(self) -> [u8; STATIC_CHANNELS] {
+        [self.alias_density, self.lockset, self.race_degree]
+    }
+
+    /// Inverse of [`StaticFeats::bytes`].
+    pub fn from_bytes(b: [u8; STATIC_CHANNELS]) -> Self {
+        Self { alias_density: b[0], lockset: b[1], race_degree: b[2] }
+    }
+}
+
 /// Vertex type: sequentially covered or uncovered-reachable.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum VertKind {
@@ -128,6 +168,10 @@ pub struct Vertex {
     /// no analysis was supplied to the builder.
     #[serde(default)]
     pub may_race: bool,
+    /// Static feature channels (alias density, lockset size, race degree);
+    /// all-zero when the builder got no analysis.
+    #[serde(default)]
+    pub static_feats: StaticFeats,
     /// Hashed assembly tokens (numeric-elided), ids in `1..VOCAB_SIZE`.
     pub tokens: Vec<u32>,
 }
@@ -180,6 +224,8 @@ impl CtGraph {
         s.urbs = self.verts.iter().filter(|v| v.kind == VertKind::Urb).count();
         s.scbs = s.verts - s.urbs;
         s.may_race_verts = self.verts.iter().filter(|v| v.may_race).count();
+        s.static_feat_verts =
+            self.verts.iter().filter(|v| v.static_feats != StaticFeats::default()).count();
         s.edges = self.edges.len();
         for e in &self.edges {
             s.by_edge_kind[e.kind.index()] += 1;
@@ -211,6 +257,9 @@ pub struct GraphStats {
     /// Vertices carrying the static may-race bit.
     #[serde(default)]
     pub may_race_verts: usize,
+    /// Vertices carrying at least one non-zero static feature channel.
+    #[serde(default)]
+    pub static_feat_verts: usize,
     /// Total edges.
     pub edges: usize,
     /// Edge counts indexed by [`EdgeKind::index`].
@@ -224,6 +273,7 @@ impl GraphStats {
         self.urbs += other.urbs;
         self.scbs += other.scbs;
         self.may_race_verts += other.may_race_verts;
+        self.static_feat_verts += other.static_feat_verts;
         self.edges += other.edges;
         for i in 0..6 {
             self.by_edge_kind[i] += other.by_edge_kind[i];
@@ -266,6 +316,7 @@ mod tests {
                     kind: VertKind::Scb,
                     sched_mark: SchedMark::None,
                     may_race: true,
+                    static_feats: StaticFeats { alias_density: 2, lockset: 1, race_degree: 3 },
                     tokens: vec![1],
                 },
                 Vertex {
@@ -274,6 +325,7 @@ mod tests {
                     kind: VertKind::Urb,
                     sched_mark: SchedMark::None,
                     may_race: false,
+                    static_feats: StaticFeats::default(),
                     tokens: vec![2],
                 },
             ],
@@ -287,8 +339,24 @@ mod tests {
         assert_eq!(s.urbs, 1);
         assert_eq!(s.scbs, 1);
         assert_eq!(s.may_race_verts, 1);
+        assert_eq!(s.static_feat_verts, 1);
         assert_eq!(s.by_edge_kind[EdgeKind::UrbFlow.index()], 1);
         assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn static_feats_normalize_and_roundtrip() {
+        let f = StaticFeats { alias_density: 4, lockset: 16, race_degree: 200 };
+        let u = f.unit();
+        assert_eq!(u[0], 0.25);
+        assert_eq!(u[1], 1.0);
+        assert_eq!(u[2], 1.0, "counts clamp at 16");
+        assert_eq!(StaticFeats::from_bytes(f.bytes()), f);
+        assert_eq!(StaticFeats::default().unit(), [0.0; STATIC_CHANNELS]);
+        // Old serialized vertices (no static_feats field) default to zero.
+        let v: Vertex =
+            serde_json::from_str(r#"{"block":1,"thread":0,"kind":"Scb","tokens":[3]}"#).unwrap();
+        assert_eq!(v.static_feats, StaticFeats::default());
     }
 
     #[test]

@@ -159,6 +159,7 @@ mod tests {
                 sched_mark: SchedMark::None,
                 may_race: false,
                 tokens: vec![tag],
+                static_feats: Default::default(),
             }],
             edges: vec![],
         }

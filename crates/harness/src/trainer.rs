@@ -46,8 +46,11 @@ use std::path::{Path, PathBuf};
 
 /// Magic of the Snowcat Training CheckPoint envelope.
 pub const TRAIN_CKPT_MAGIC: &[u8; 4] = b"STCP";
-/// Current (and minimum readable) envelope version.
-pub const TRAIN_CKPT_VERSION: u16 = 1;
+/// Current (and minimum readable) envelope version. v2: the embedded
+/// config/parameter layout gained the static-channel fields (see
+/// `snowcat_nn::binser`); training checkpoints are short-lived working
+/// state, so v1 files are rejected rather than migrated.
+pub const TRAIN_CKPT_VERSION: u16 = 2;
 
 /// Salt mixed into the RNG state on epoch retries (distinct from the
 /// supervisor's hang-retry salt).

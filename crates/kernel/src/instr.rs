@@ -233,6 +233,31 @@ impl Instr {
     pub fn is_mem_access(&self) -> bool {
         matches!(self, Instr::Load { .. } | Instr::Store { .. })
     }
+
+    /// Whether this instruction writes shared kernel memory.
+    #[inline]
+    pub fn is_store(&self) -> bool {
+        matches!(self, Instr::Store { .. })
+    }
+
+    /// The address expression of a memory access, if this is one.
+    #[inline]
+    pub fn addr_expr(&self) -> Option<AddrExpr> {
+        match self {
+            Instr::Load { addr, .. } | Instr::Store { addr, .. } => Some(*addr),
+            _ => None,
+        }
+    }
+
+    /// The fixed address a memory access certainly touches, if its address
+    /// expression is [`AddrExpr::Fixed`].
+    #[inline]
+    pub fn fixed_addr(&self) -> Option<Addr> {
+        match self.addr_expr() {
+            Some(AddrExpr::Fixed(a)) => Some(a),
+            _ => None,
+        }
+    }
 }
 
 /// Block terminator — the only place control flow happens.
@@ -312,6 +337,22 @@ mod tests {
     fn indexed_static_range_covers_whole_array() {
         let e = AddrExpr::Indexed { base: Addr(100), reg: Reg(0), stride: 8, len: 4 };
         assert_eq!(e.static_range(), (Addr(100), Addr(132)));
+    }
+
+    #[test]
+    fn instr_memory_queries() {
+        let load = Instr::Load { dst: Reg(1), addr: AddrExpr::Fixed(Addr(9)) };
+        let store = Instr::Store {
+            addr: AddrExpr::Indexed { base: Addr(4), reg: Reg(0), stride: 2, len: 3 },
+            src: Reg(1),
+        };
+        assert!(load.is_mem_access() && !load.is_store());
+        assert!(store.is_mem_access() && store.is_store());
+        assert_eq!(load.fixed_addr(), Some(Addr(9)));
+        assert_eq!(store.fixed_addr(), None, "indexed addresses are not fixed");
+        assert!(store.addr_expr().is_some());
+        assert_eq!(Instr::Nop.addr_expr(), None);
+        assert_eq!(Instr::Nop.fixed_addr(), None);
     }
 
     #[test]

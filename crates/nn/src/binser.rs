@@ -227,7 +227,8 @@ impl<'a> Dec<'a> {
     }
 }
 
-/// Encode model hyperparameters.
+/// Encode model hyperparameters (current layout: trailing
+/// `static_channels` field after the seed).
 pub fn put_pic_config(e: &mut Enc, cfg: &PicConfig) {
     e.put_u32(cfg.hidden as u32);
     e.put_u32(cfg.layers as u32);
@@ -236,10 +237,19 @@ pub fn put_pic_config(e: &mut Enc, cfg: &PicConfig) {
     e.put_f32(cfg.urb_weight);
     e.put_f32(cfg.flow_weight);
     e.put_u64(cfg.seed);
+    e.put_u32(cfg.static_channels as u32);
 }
 
-/// Decode model hyperparameters.
+/// Decode model hyperparameters (current layout).
 pub fn take_pic_config(d: &mut Dec<'_>) -> Result<PicConfig, BinError> {
+    let mut cfg = take_pic_config_legacy(d)?;
+    cfg.static_channels = d.take_u32()? as usize;
+    Ok(cfg)
+}
+
+/// Decode the pre-static-channel (SCMC v1) hyperparameter layout: no
+/// `static_channels` field — the decoded model is channel-free.
+pub fn take_pic_config_legacy(d: &mut Dec<'_>) -> Result<PicConfig, BinError> {
     Ok(PicConfig {
         hidden: d.take_u32()? as usize,
         layers: d.take_u32()? as usize,
@@ -248,6 +258,7 @@ pub fn take_pic_config(d: &mut Dec<'_>) -> Result<PicConfig, BinError> {
         urb_weight: d.take_f32()?,
         flow_weight: d.take_f32()?,
         seed: d.take_u64()?,
+        static_channels: 0,
     })
 }
 
@@ -269,12 +280,23 @@ pub fn put_params(e: &mut Enc, p: &PicParams) {
     }
     e.put_mat(&p.w_out);
     e.put_mat(&p.b_out);
+    e.put_mat(&p.w_static);
     e.put_mat(&p.w_flow);
     e.put_mat(&p.b_flow);
 }
 
 /// Decode a parameter set written by [`put_params`].
 pub fn take_params(d: &mut Dec<'_>) -> Result<PicParams, BinError> {
+    take_params_at(d, true)
+}
+
+/// Decode the pre-static-channel (SCMC v1) parameter layout: no `w_static`
+/// tensor between the output head and the flow head.
+pub fn take_params_legacy(d: &mut Dec<'_>) -> Result<PicParams, BinError> {
+    take_params_at(d, false)
+}
+
+fn take_params_at(d: &mut Dec<'_>, has_static: bool) -> Result<PicParams, BinError> {
     let tok_emb = d.take_mat()?;
     let type_emb = d.take_mat()?;
     let sched_emb = d.take_mat()?;
@@ -298,6 +320,7 @@ pub fn take_params(d: &mut Dec<'_>) -> Result<PicParams, BinError> {
         layers,
         w_out: d.take_mat()?,
         b_out: d.take_mat()?,
+        w_static: if has_static { d.take_mat()? } else { Mat::default() },
         w_flow: d.take_mat()?,
         b_flow: d.take_mat()?,
     })
@@ -361,6 +384,19 @@ pub fn decode_model_checkpoint(bytes: &[u8]) -> Result<Checkpoint, BinError> {
     Ok(Checkpoint { cfg, params, threshold, name })
 }
 
+/// Decode a pre-static-channel (SCMC v1) checkpoint payload. The result is
+/// a channel-free model (`static_channels = 0`, empty `w_static`) whose
+/// forward pass is bit-identical to what the old decoder produced.
+pub fn decode_model_checkpoint_legacy(bytes: &[u8]) -> Result<Checkpoint, BinError> {
+    let mut d = Dec::new(bytes);
+    let cfg = take_pic_config_legacy(&mut d)?;
+    let params = take_params_legacy(&mut d)?;
+    let threshold = d.take_f32()?;
+    let name = d.take_str()?;
+    d.expect_end()?;
+    Ok(Checkpoint { cfg, params, threshold, name })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -402,6 +438,53 @@ mod tests {
         let bytes = encode_model_checkpoint(&ck);
         let back = decode_model_checkpoint(&bytes).unwrap();
         assert_eq!(back, ck);
+    }
+
+    #[test]
+    fn legacy_v1_payloads_decode_to_channel_free_models() {
+        // Hand-encode the exact pre-static-channel layout (no
+        // static_channels field, no w_static tensor) and decode it through
+        // the legacy path.
+        let cfg = PicConfig { hidden: 5, layers: 1, static_channels: 0, ..Default::default() };
+        let model = PicModel::new(cfg);
+        let ck = Checkpoint::new(&model, 0.4, "legacy");
+        let mut e = Enc::new();
+        e.put_u32(ck.cfg.hidden as u32);
+        e.put_u32(ck.cfg.layers as u32);
+        e.put_u32(ck.cfg.vocab as u32);
+        e.put_f32(ck.cfg.pos_weight);
+        e.put_f32(ck.cfg.urb_weight);
+        e.put_f32(ck.cfg.flow_weight);
+        e.put_u64(ck.cfg.seed);
+        e.put_mat(&ck.params.tok_emb);
+        e.put_mat(&ck.params.type_emb);
+        e.put_mat(&ck.params.sched_emb);
+        e.put_mat(&ck.params.w_in);
+        e.put_mat(&ck.params.b_in);
+        e.put_u32(ck.params.layers.len() as u32);
+        for layer in &ck.params.layers {
+            e.put_mat(&layer.w_self);
+            e.put_u32(layer.w_rel.len() as u32);
+            for w in &layer.w_rel {
+                e.put_mat(w);
+            }
+            e.put_mat(&layer.b);
+        }
+        e.put_mat(&ck.params.w_out);
+        e.put_mat(&ck.params.b_out);
+        e.put_mat(&ck.params.w_flow);
+        e.put_mat(&ck.params.b_flow);
+        e.put_f32(ck.threshold);
+        e.put_str(&ck.name);
+        let legacy_bytes = e.finish();
+        let back = decode_model_checkpoint_legacy(&legacy_bytes).unwrap();
+        assert_eq!(back.cfg.static_channels, 0);
+        assert_eq!(back.params.w_static, Mat::default());
+        assert_eq!(back.params.w_flow, ck.params.w_flow);
+        assert_eq!(back.threshold, ck.threshold);
+        // The current decoder must reject the old layout (version routing
+        // in snowcat-core picks the right one from the SCMC frame).
+        assert!(decode_model_checkpoint(&legacy_bytes).is_err());
     }
 
     #[test]

@@ -78,6 +78,13 @@ pub struct PicConfig {
     pub flow_weight: f32,
     /// Initialization seed.
     pub seed: u64,
+    /// Number of per-vertex *static* feature channels consumed from
+    /// [`snowcat_graph::StaticFeats`] (alias-class density, must-lockset
+    /// size, refined may-race degree). `0` reproduces the pre-static-channel
+    /// model exactly; the serde default keeps old JSON configs loading as
+    /// channel-free models.
+    #[serde(default)]
+    pub static_channels: usize,
 }
 
 impl Default for PicConfig {
@@ -90,6 +97,7 @@ impl Default for PicConfig {
             urb_weight: 3.0,
             flow_weight: 1.0,
             seed: 0x91C,
+            static_channels: snowcat_graph::STATIC_CHANNELS,
         }
     }
 }
@@ -125,6 +133,14 @@ pub struct PicParams {
     pub w_out: Mat,
     /// Output head bias (1 × 1).
     pub b_out: Mat,
+    /// Static-channel input projection (`static_channels × hidden`): each
+    /// vertex's normalized static features add `Σ_c feat[c] · w_static[c]`
+    /// to its input embedding. A `0 × hidden` matrix (channel-free model)
+    /// reproduces the pre-static-channel forward bit-for-bit. Kept out of
+    /// serde defaults on purpose: binary checkpoints route through
+    /// [`crate::binser`], which versions the layout explicitly.
+    #[serde(default)]
+    pub w_static: Mat,
     /// Flow-head bilinear form (hidden × hidden): scores an inter-thread
     /// potential-flow edge (u→v) as `σ(h_u · W_flow h_v + b_flow)`.
     pub w_flow: Mat,
@@ -152,6 +168,14 @@ impl PicParams {
                 .collect(),
             w_out: Mat::xavier(&mut rng, d, 1),
             b_out: Mat::zeros(1, 1),
+            // Drawn from a *separate* stream derived from the seed, so
+            // adding (or resizing) the static projection never shifts the
+            // draws of any pre-existing tensor: a channel-free init is
+            // bit-identical to the pre-static-channel model.
+            w_static: {
+                let mut srng = ChaCha8Rng::seed_from_u64(cfg.seed ^ 0x57A7_1CFE);
+                Mat::xavier(&mut srng, cfg.static_channels, d)
+            },
             w_flow: Mat::xavier(&mut rng, d, d),
             b_flow: Mat::zeros(1, 1),
         }
@@ -177,6 +201,7 @@ impl PicParams {
                 .collect(),
             w_out: z(&self.w_out),
             b_out: z(&self.b_out),
+            w_static: z(&self.w_static),
             w_flow: z(&self.w_flow),
             b_flow: z(&self.b_flow),
         }
@@ -196,6 +221,7 @@ impl PicParams {
         }
         v.push(&self.w_out);
         v.push(&self.b_out);
+        v.push(&self.w_static);
         v.push(&self.w_flow);
         v.push(&self.b_flow);
         v
@@ -219,6 +245,7 @@ impl PicParams {
         }
         v.push(&mut self.w_out);
         v.push(&mut self.b_out);
+        v.push(&mut self.w_static);
         v.push(&mut self.w_flow);
         v.push(&mut self.b_flow);
         v
@@ -409,6 +436,17 @@ impl PicModel {
                     let e = self.params.tok_emb.row(tok as usize);
                     for (o, &t) in row.iter_mut().zip(e) {
                         *o += t * inv;
+                    }
+                }
+            }
+            if self.cfg.static_channels > 0 {
+                let feats = v.static_feats.unit();
+                for (c, &f) in feats.iter().take(self.cfg.static_channels).enumerate() {
+                    if f != 0.0 {
+                        let srow = self.params.w_static.row(c);
+                        for (o, &s) in row.iter_mut().zip(srow) {
+                            *o += f * s;
+                        }
                     }
                 }
             }
@@ -808,6 +846,16 @@ impl PicModel {
                     }
                 }
             }
+            if self.cfg.static_channels > 0 {
+                let feats = v.static_feats.unit();
+                for (c, &f) in feats.iter().take(self.cfg.static_channels).enumerate() {
+                    if f != 0.0 {
+                        for (g, &dv) in grads.w_static.row_mut(c).iter_mut().zip(dxr) {
+                            *g += f * dv;
+                        }
+                    }
+                }
+            }
         }
         scratch.put(dz);
         scratch.put(dm);
@@ -863,6 +911,7 @@ mod tests {
                 },
                 may_race: false,
                 tokens: vec![(1 + i as u32 % 50), (1 + (i as u32 * 7) % 50)],
+                static_feats: Default::default(),
             })
             .collect();
         let edges = (0..n.saturating_sub(1))
@@ -1123,6 +1172,87 @@ mod tests {
             } else {
                 assert_eq!(f, 0.0);
             }
+        }
+    }
+
+    /// `toy_graph` with deterministic non-zero static feature channels.
+    fn toy_graph_with_feats(n: usize) -> CtGraph {
+        let mut g = toy_graph(n);
+        for (i, v) in g.verts.iter_mut().enumerate() {
+            v.static_feats = snowcat_graph::StaticFeats {
+                alias_density: (i % 7) as u8,
+                lockset: (i % 3) as u8,
+                race_degree: (i % 11) as u8,
+            };
+        }
+        g
+    }
+
+    #[test]
+    fn zero_channel_model_ignores_static_feats() {
+        // A channel-free model (old checkpoints decode to this) must be
+        // bit-identical on feature-stamped and feature-less graphs.
+        let m = PicModel::new(PicConfig { static_channels: 0, ..Default::default() });
+        assert_eq!(m.params.w_static.rows, 0);
+        assert_eq!(m.forward(&toy_graph_with_feats(13)), m.forward(&toy_graph(13)));
+    }
+
+    #[test]
+    fn static_channels_change_predictions() {
+        let m = PicModel::new(PicConfig::default());
+        assert_eq!(m.cfg.static_channels, snowcat_graph::STATIC_CHANNELS);
+        assert_ne!(m.forward(&toy_graph_with_feats(13)), m.forward(&toy_graph(13)));
+    }
+
+    #[test]
+    fn static_channels_do_not_shift_existing_init_draws() {
+        // The w_static draw comes from a derived stream: every other tensor
+        // of a channel-full init must equal its channel-free counterpart.
+        let with = PicParams::init(&PicConfig::default());
+        let without = PicParams::init(&PicConfig { static_channels: 0, ..Default::default() });
+        assert_eq!(with.tok_emb, without.tok_emb);
+        assert_eq!(with.w_in, without.w_in);
+        assert_eq!(with.layers, without.layers);
+        assert_eq!(with.w_out, without.w_out);
+        assert_eq!(with.w_flow, without.w_flow);
+    }
+
+    #[test]
+    fn static_channel_gradient_check() {
+        // Finite-difference check of the w_static backward path.
+        let cfg =
+            PicConfig { hidden: 6, layers: 2, pos_weight: 1.4, seed: 3, ..Default::default() };
+        let mut model = PicModel::new(cfg);
+        let g = toy_graph_with_feats(9);
+        let labels: Vec<bool> = (0..9).map(|i| i % 2 == 0).collect();
+        let loss_of = |m: &PicModel| {
+            let (_, cache) = m.forward_cached(&g);
+            let mut tmp = m.params.zeros_like();
+            let mut scratch = Scratch::new();
+            m.backward(&g, &cache, &labels, &mut tmp, &mut scratch)
+        };
+        let mut grads = model.params.zeros_like();
+        let (_, cache) = model.forward_cached(&g);
+        let mut scratch = Scratch::new();
+        model.backward(&g, &cache, &labels, &mut grads, &mut scratch);
+        let flat: Vec<Mat> = grads.tensors().into_iter().cloned().collect();
+        // w_static sits third from the end (before w_flow, b_flow).
+        let ti = model.params.shapes().len() - 3;
+        assert_eq!(model.params.tensors()[ti].rows, snowcat_graph::STATIC_CHANNELS);
+        let eps = 3e-3f32;
+        for ei in 0..model.params.shapes()[ti].0 * model.params.shapes()[ti].1 {
+            let orig = model.params.tensors()[ti].data[ei];
+            model.params.tensors_mut()[ti].data[ei] = orig + eps;
+            let lp = loss_of(&model);
+            model.params.tensors_mut()[ti].data[ei] = orig - eps;
+            let lm = loss_of(&model);
+            model.params.tensors_mut()[ti].data[ei] = orig;
+            let num = (lp - lm) / (2.0 * eps);
+            let ana = flat[ti].data[ei];
+            assert!(
+                (num - ana).abs() < 2e-2 + 0.15 * num.abs().max(ana.abs()),
+                "w_static elem {ei}: numerical {num} vs analytic {ana}"
+            );
         }
     }
 

@@ -71,7 +71,7 @@ const PANEL: usize = 8;
 const PANEL_WIDE: usize = 32;
 
 /// A row-major dense matrix.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct Mat {
     /// Rows.
     pub rows: usize,

@@ -843,6 +843,7 @@ mod tests {
                 sched_mark: snowcat_graph::SchedMark::None,
                 may_race: false,
                 tokens: vec![1 + rng.gen_range(0..40u32)],
+                static_feats: Default::default(),
             })
             .collect();
         let mut edges = Vec::new();

@@ -22,6 +22,7 @@ fn synthetic_example(seed: u64, n: usize) -> (CtGraph, Vec<bool>) {
             sched_mark: SchedMark::None,
             may_race: false,
             tokens: vec![1 + rng.gen_range(0..40u32)],
+            static_feats: Default::default(),
         })
         .collect();
     let mut edges = Vec::new();
