@@ -1,0 +1,212 @@
+//! Fleet scaling and fault-recovery benchmark.
+//!
+//! Runs the same PCT campaign as a fleet at N = 1, 2, and 4 in-process
+//! workers and reports end-to-end throughput (simulated schedule
+//! executions per wall-clock second), then injects a stalling straggler
+//! and measures what recovery costs: steals, re-executed positions, and
+//! throughput relative to the fault-free run at the same width. Writes
+//! `results/BENCH_fleet.json`.
+//!
+//! Pass `--quick` for a CI-sized smoke run.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use snowcat_core::{CostModel, ExploreConfig, Explorer};
+use snowcat_corpus::{random_cti_pairs, StiFuzzer, StiProfile};
+use snowcat_harness::{run_fleet, FaultPlan, FleetCheckpoint, FleetConfig, ThreadWorker};
+use snowcat_kernel::{generate, GenConfig, Kernel};
+use std::time::Instant;
+
+fn quick() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
+
+const SEED: u64 = 0xF1EE7;
+
+fn setup(stream_len: usize) -> (Kernel, Vec<StiProfile>, Vec<(usize, usize)>) {
+    let k = generate(&GenConfig::default());
+    let mut fz = StiFuzzer::new(&k, 1);
+    fz.seed_each_syscall();
+    let corpus = fz.into_corpus();
+    let mut rng = ChaCha8Rng::seed_from_u64(5);
+    let stream = random_cti_pairs(&mut rng, corpus.len(), stream_len);
+    (k, corpus, stream)
+}
+
+struct FleetRun {
+    fc: FleetCheckpoint,
+    wall_s: f64,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_once(
+    k: &Kernel,
+    corpus: &[StiProfile],
+    stream: &[(usize, usize)],
+    ecfg: &ExploreConfig,
+    tag: &str,
+    workers: usize,
+    fault_plan: FaultPlan,
+    lease_ms: u64,
+    checkpoint_every: usize,
+) -> FleetRun {
+    let dir = std::env::temp_dir().join(format!("snowcat-bench-fleet-{tag}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let cost = CostModel::default();
+    let mut cfg = FleetConfig::new(workers, &dir);
+    cfg.lease_ms = lease_ms;
+    cfg.checkpoint_every = checkpoint_every;
+    cfg.fault_plan = fault_plan;
+    let make = |_slot: usize| Explorer::Pct;
+    let worker = ThreadWorker {
+        kernel: k,
+        corpus,
+        stream,
+        explore_cfg: ecfg,
+        cost: &cost,
+        cfg: &cfg,
+        make_explorer: &make,
+    };
+    let t0 = Instant::now();
+    let fc = run_fleet(&worker, "PCT", ecfg.seed, stream.len(), &cfg, false).unwrap();
+    let wall_s = t0.elapsed().as_secs_f64();
+    assert!(fc.is_complete(), "bench fleet did not complete");
+    FleetRun { fc, wall_s }
+}
+
+fn executions(fc: &FleetCheckpoint) -> u64 {
+    fc.shards.iter().filter_map(|s| s.checkpoint.as_ref()).map(|ck| ck.executions).sum()
+}
+
+#[derive(serde::Serialize)]
+struct ScalePoint {
+    workers: usize,
+    executions: u64,
+    wall_s: f64,
+    exec_per_sec: f64,
+    speedup_vs_n1: f64,
+}
+
+#[derive(serde::Serialize)]
+struct StragglerPoint {
+    workers: usize,
+    fault: &'static str,
+    executions: u64,
+    wall_s: f64,
+    exec_per_sec: f64,
+    steals: u64,
+    reexecutions: u64,
+    lost_workers: u64,
+    throughput_vs_fault_free: f64,
+}
+
+#[derive(serde::Serialize)]
+struct Report {
+    quick: bool,
+    /// Host parallelism — on a single-CPU box the scaling curve is
+    /// correctly flat; the fleet adds no overhead but can add no speedup.
+    available_cpus: usize,
+    stream_ctis: usize,
+    exec_budget: usize,
+    scaling: Vec<ScalePoint>,
+    straggler: StragglerPoint,
+}
+
+fn main() {
+    // The stream must be long enough that shard startup does not dominate;
+    // the exec budget is per schedule-exploration position.
+    // Scaling runs checkpoint sparsely so the measured cost is schedule
+    // exploration, not the serialized SCFC rollup; the straggler run keeps a
+    // tight cadence because steal recovery resumes from the last checkpoint.
+    let (stream_len, budget, lease_ms, ckpt_every): (usize, usize, u64, usize) =
+        if quick() { (48, 4, 250, 16) } else { (256, 48, 500, 64) };
+    let (k, corpus, stream) = setup(stream_len);
+    let ecfg = ExploreConfig::default().with_exec_budget(budget).with_seed(SEED);
+
+    let mut scaling = Vec::new();
+    let mut n1_rate = 0.0_f64;
+    for &workers in &[1usize, 2, 4] {
+        let run = run_once(
+            &k,
+            &corpus,
+            &stream,
+            &ecfg,
+            &format!("n{workers}"),
+            workers,
+            FaultPlan::default(),
+            lease_ms,
+            ckpt_every,
+        );
+        let execs = executions(&run.fc);
+        let rate = execs as f64 / run.wall_s;
+        if workers == 1 {
+            n1_rate = rate;
+        }
+        println!(
+            "fleet N={workers}: {execs} executions in {:.3} s — {:.0} exec/s ({:.2}x vs N=1)",
+            run.wall_s,
+            rate,
+            rate / n1_rate,
+        );
+        scaling.push(ScalePoint {
+            workers,
+            executions: execs,
+            wall_s: run.wall_s,
+            exec_per_sec: rate,
+            speedup_vs_n1: rate / n1_rate,
+        });
+    }
+
+    // Straggler: worker 0 goes silent mid-shard; the monitor expires its
+    // lease and a surviving worker re-executes the shard from its last
+    // checkpoint. Recovery cost = steals + re-executed positions + the
+    // throughput lost to the lease deadline.
+    let fault_free = &scaling[1]; // N=2
+    let run = run_once(
+        &k,
+        &corpus,
+        &stream,
+        &ecfg,
+        "straggler",
+        2,
+        FaultPlan::parse("stall-worker@0").unwrap(),
+        lease_ms,
+        8,
+    );
+    let execs = executions(&run.fc);
+    let rate = execs as f64 / run.wall_s;
+    let straggler = StragglerPoint {
+        workers: 2,
+        fault: "stall-worker@0",
+        executions: execs,
+        wall_s: run.wall_s,
+        exec_per_sec: rate,
+        steals: run.fc.steals,
+        reexecutions: run.fc.reexecutions,
+        lost_workers: run.fc.lost_workers,
+        throughput_vs_fault_free: rate / fault_free.exec_per_sec,
+    };
+    println!(
+        "straggler N=2 ({}): {} steal(s), {} re-executed position(s), {} lost worker(s), \
+         {:.0} exec/s ({:.2}x of fault-free N=2)",
+        straggler.fault,
+        straggler.steals,
+        straggler.reexecutions,
+        straggler.lost_workers,
+        rate,
+        straggler.throughput_vs_fault_free,
+    );
+    assert!(straggler.steals >= 1, "the straggler's shard was never stolen");
+    assert!(straggler.lost_workers >= 1, "the straggler was never declared lost");
+
+    let report = Report {
+        quick: quick(),
+        available_cpus: std::thread::available_parallelism().map_or(1, usize::from),
+        stream_ctis: stream_len,
+        exec_budget: budget,
+        scaling,
+        straggler,
+    };
+    snowcat_bench::save_json("BENCH_fleet", &report);
+}

@@ -13,14 +13,16 @@ use snowcat_core::{
 };
 use snowcat_corpus::{build_dataset, interacting_cti_pairs, DatasetConfig, StiFuzzer};
 use snowcat_events::{
-    read_stream, validate_trace, CampaignEvent, Event, EventSink, EventWriter, ServeEvent,
-    TrainEvent, EVENTS_FILE, TRACE_FILE,
+    read_stream, validate_trace, CampaignEvent, Event, EventSink, EventWriter, FleetEvent,
+    ServeEvent, TrainEvent, EVENTS_FILE, TRACE_FILE,
 };
 use snowcat_harness::{
-    load_checkpoint_with_fallback, load_shards_quarantining_instrumented,
-    load_train_checkpoint_with_fallback, report_from_campaign_checkpoint, report_from_supervised,
-    report_from_train, report_from_train_checkpoint, robust_train, run_supervised_campaign,
-    FaultPlan, RobustTrainConfig, SupervisorConfig, TrainFaultPlan,
+    clear_fleet_dir, load_checkpoint_with_fallback, load_fleet_checkpoint_with_fallback,
+    load_shards_quarantining_instrumented, load_train_checkpoint_with_fallback,
+    report_from_campaign_checkpoint, report_from_fleet_checkpoint, report_from_supervised,
+    report_from_train, report_from_train_checkpoint, robust_train, run_fleet,
+    run_supervised_campaign, FaultPlan, FleetConfig, RobustTrainConfig, SupervisorConfig,
+    ThreadWorker, TrainFaultPlan,
 };
 use snowcat_kernel::{asm, Kernel, KernelVersion};
 use snowcat_nn::{Checkpoint, PicConfig, PicModel, TrainConfig};
@@ -877,6 +879,190 @@ fn served_campaign(
     Ok(outcome.result)
 }
 
+/// `snowcat fleet` — the supervised campaign sharded across N workers with
+/// lease-based work stealing and a crash-consistent SCFC fleet checkpoint.
+/// At `--workers 1` with no faults the merged report is byte-identical to
+/// `snowcat campaign` with the same seed; after killing any worker (or the
+/// whole process) a `--resume` run completes with the same merged bytes.
+pub fn fleet(args: &Args) -> CmdResult {
+    args.ensure_known(&[
+        "version",
+        "seed",
+        "ctis",
+        "budget",
+        "workers",
+        "explorer",
+        "model",
+        "dir",
+        "resume",
+        "lease-ms",
+        "max-steals",
+        "checkpoint-every",
+        "fault-plan",
+        "stall-ms",
+        "report",
+        "events",
+        "serve",
+        "serve-batch",
+        "serve-wait-us",
+        "serve-workers",
+    ])?;
+    let k = build_kernel(args)?;
+    let seed = args.get_parse("seed", DEFAULT_SEED)?;
+    let n_ctis = args.get_parse("ctis", 20usize)?;
+    let budget = args.get_parse("budget", 20usize)?;
+    let workers = args.get_parse("workers", 2usize)?;
+    let dir = std::path::PathBuf::from(
+        args.get("dir").ok_or("fleet: --dir DIR is required (holds shard + fleet checkpoints)")?,
+    );
+
+    // Corpus and stream are deterministic in (version, seed, ctis) and
+    // IDENTICAL to `snowcat campaign`'s: the fleet shards the same stream
+    // the single campaign would walk.
+    let mut fz = StiFuzzer::new(&k, seed);
+    fz.seed_each_syscall();
+    fz.fuzz(100);
+    let corpus = fz.into_corpus();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xE0);
+    let stream = interacting_cti_pairs(&mut rng, &corpus, n_ctis);
+
+    let explore_cfg = ExploreConfig::default().with_exec_budget(budget).with_seed(seed);
+    let cost = CostModel::default();
+
+    let mut cfg = FleetConfig::new(workers, &dir);
+    cfg.lease_ms = args.get_parse("lease-ms", 2_000u64)?;
+    cfg.max_steals = args.get_parse("max-steals", 3u64)?;
+    cfg.checkpoint_every = args.get_parse("checkpoint-every", 25usize)?;
+    cfg.stall_ms = args.get_parse("stall-ms", 0u64)?;
+    cfg.fault_plan = FaultPlan::parse(&args.get_or("fault-plan", ""))
+        .map_err(|e| SnowcatError::Config(format!("--fault-plan: {e}")))?;
+    let (sink, writer) = spawn_event_writer(args)?;
+    cfg.events = sink.clone();
+
+    let resume = args.has_flag("resume");
+    if resume {
+        println!("resuming fleet from {}", dir.join(snowcat_harness::FLEET_CKPT_FILE).display());
+    } else {
+        // A fresh run over a reused directory must not resurrect stale
+        // shard checkpoints from an earlier fleet.
+        clear_fleet_dir(&dir)?;
+    }
+
+    let explorer = args.get_or("explorer", "pct");
+    let fc = match explorer.as_str() {
+        "pct" => {
+            if args.has_flag("serve") {
+                return Err("--serve requires an MLPCT explorer (s1|s2|s3)".into());
+            }
+            let make = |_slot: usize| Explorer::Pct;
+            let worker = ThreadWorker {
+                kernel: &k,
+                corpus: &corpus,
+                stream: &stream,
+                explore_cfg: &explore_cfg,
+                cost: &cost,
+                cfg: &cfg,
+                make_explorer: &make,
+            };
+            run_fleet(&worker, "PCT", seed, stream.len(), &cfg, resume)?
+        }
+        s @ ("s1" | "s2" | "s3") => {
+            let ck = load_model(args)?;
+            let kcfg = KernelCfg::build(&k);
+            let kind = match s {
+                "s1" => StrategyKind::S1,
+                "s2" => StrategyKind::S2,
+                _ => StrategyKind::S3(2),
+            };
+            let label = format!("MLPCT-{}", kind.build().name());
+            // Every worker slot gets its own Pic (graph builder + cache);
+            // with --serve they all route inference through one shared
+            // micro-batching server instead of predicting inline.
+            let pics: Vec<Pic> = (0..workers).map(|_| Pic::new(&ck, &k, &kcfg)).collect();
+            if args.has_flag("serve") {
+                let serve_cfg = ServeConfig {
+                    max_batch: args.get_parse("serve-batch", 16usize)?,
+                    max_wait_us: args.get_parse("serve-wait-us", 200u64)?,
+                    workers: args.get_parse("serve-workers", 1usize)?,
+                    ..ServeConfig::default()
+                };
+                let mut server = InferenceServer::start(&ck, serve_cfg, sink.clone());
+                let handles: Vec<_> = (0..workers).map(|_| server.handle()).collect();
+                let make = |slot: usize| Explorer::MlPct {
+                    service: PredictorService::with(&pics[slot], &handles[slot]),
+                    strategy: kind.build(),
+                };
+                let worker = ThreadWorker {
+                    kernel: &k,
+                    corpus: &corpus,
+                    stream: &stream,
+                    explore_cfg: &explore_cfg,
+                    cost: &cost,
+                    cfg: &cfg,
+                    make_explorer: &make,
+                };
+                let fc = run_fleet(&worker, &label, seed, stream.len(), &cfg, resume)?;
+                let sv = server.shutdown();
+                println!(
+                    "serving: {} requests, {} graphs, {} flushes ({:.0}% fill) shared by {} workers",
+                    sv.requests,
+                    sv.graphs,
+                    sv.flushes,
+                    sv.batch_fill * 100.0,
+                    workers
+                );
+                fc
+            } else {
+                let make = |slot: usize| Explorer::mlpct(&pics[slot], kind.build());
+                let worker = ThreadWorker {
+                    kernel: &k,
+                    corpus: &corpus,
+                    stream: &stream,
+                    explore_cfg: &explore_cfg,
+                    cost: &cost,
+                    cfg: &cfg,
+                    make_explorer: &make,
+                };
+                run_fleet(&worker, &label, seed, stream.len(), &cfg, resume)?
+            }
+        }
+        other => return Err(format!("unknown explorer {other:?} (pct|s1|s2|s3)").into()),
+    };
+
+    println!(
+        "fleet: {} shard(s) over {} CTIs with {} worker(s) — {} steal(s), {} re-executed \
+         position(s), {} lost worker(s), {} quarantined shard(s)",
+        fc.shards.len(),
+        fc.stream_len,
+        fc.workers,
+        fc.steals,
+        fc.reexecutions,
+        fc.lost_workers,
+        fc.quarantined_shards().len(),
+    );
+    let report = report_from_fleet_checkpoint(&fc, &cost)?;
+    if let Some(c) = &report.campaign {
+        println!(
+            "{}: {} CTIs, {} executions, {} races ({} harmful), {} sched-dep blocks, {} bugs, \
+             {:.2} sim h",
+            c.label,
+            c.ctis,
+            c.executions,
+            c.races,
+            c.harmful_races,
+            c.sched_dep_blocks,
+            c.bugs_found.len(),
+            c.sim_hours,
+        );
+    }
+    if let Some(path) = args.get("report") {
+        std::fs::write(path, report.to_canonical_json())?;
+        println!("report written to {path}");
+    }
+    finish_event_writer(writer)?;
+    Ok(())
+}
+
 /// `snowcat serve` — stand up the inference server, drive it with a
 /// deterministic synthetic request stream from concurrent clients, verify
 /// bit-identity against direct inference, and report throughput/latency.
@@ -1157,11 +1343,15 @@ pub fn analyze(args: &Args) -> CmdResult {
 /// and STCP paths in name order, so the pick is deterministic.
 fn scan_checkpoints(
     dir: &std::path::Path,
-) -> std::io::Result<(Option<std::path::PathBuf>, Option<std::path::PathBuf>)> {
+) -> std::io::Result<(
+    Option<std::path::PathBuf>,
+    Option<std::path::PathBuf>,
+    Option<std::path::PathBuf>,
+)> {
     let mut names: Vec<std::path::PathBuf> =
         std::fs::read_dir(dir)?.filter_map(|e| e.ok().map(|e| e.path())).collect();
     names.sort();
-    let (mut sccp, mut stcp) = (None, None);
+    let (mut sccp, mut stcp, mut scfc) = (None, None, None);
     for path in names {
         let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
         if name.ends_with(".tmp") || name.ends_with(".prev") || !path.is_file() {
@@ -1177,10 +1367,11 @@ fn scan_checkpoints(
         match &magic {
             b"SCCP" if sccp.is_none() => sccp = Some(path),
             b"STCP" if stcp.is_none() => stcp = Some(path),
+            b"SCFC" if scfc.is_none() => scfc = Some(path),
             _ => {}
         }
     }
-    Ok((sccp, stcp))
+    Ok((sccp, stcp, scfc))
 }
 
 /// What one pass over a status directory found.
@@ -1197,11 +1388,21 @@ fn collect_status(dir: &std::path::Path) -> Result<StatusView, Box<dyn std::erro
     };
     let terminal =
         stream.as_ref().map(|s| s.records.iter().any(|r| r.event.is_terminal())).unwrap_or(false);
-    // A campaign checkpoint wins when a directory holds both kinds; the
-    // training report is still reachable by pointing status at a directory
-    // with only the STCP file.
-    let (sccp, stcp) = scan_checkpoints(dir)?;
-    let report = if let Some(p) = sccp {
+    // A fleet checkpoint wins over the per-shard SCCP files living in the
+    // same directory (the merged view is the meaningful one); a campaign
+    // checkpoint wins over training; the training report is still reachable
+    // by pointing status at a directory with only the STCP file.
+    let (sccp, stcp, scfc) = scan_checkpoints(dir)?;
+    let report = if let Some(p) = scfc {
+        let (fc, _) = load_fleet_checkpoint_with_fallback(&p)?;
+        if fc.shards.iter().any(|s| s.checkpoint.is_some()) {
+            Some(report_from_fleet_checkpoint(&fc, &CostModel::default())?)
+        } else {
+            // A fleet killed before any shard persisted progress has
+            // nothing to merge yet.
+            None
+        }
+    } else if let Some(p) = sccp {
         let (ck, _) = load_checkpoint_with_fallback(&p)?;
         Some(report_from_campaign_checkpoint(&ck))
     } else if let Some(p) = stcp {
@@ -1267,6 +1468,10 @@ fn print_human_status(view: &StatusView) {
     let mut serve_model: Option<String> = None;
     let mut serve_snapshot: Option<ServeEvent> = None;
     let mut serve_stopped: Option<(u64, u64)> = None;
+    let mut fleet_started: Option<(u64, u64, bool)> = None;
+    let (mut fleet_steals, mut fleet_lost, mut fleet_quarantined) = (0u64, 0u64, 0u64);
+    let (mut fleet_done, mut fleet_ckpts) = (0u64, 0u64);
+    let mut fleet_finished: Option<FleetEvent> = None;
     for r in recs {
         match &r.event {
             Event::Campaign(e) => match e {
@@ -1312,6 +1517,18 @@ fn print_human_status(view: &StatusView) {
                 ServeEvent::Stopped { requests, graphs, .. } => {
                     serve_stopped = Some((*requests, *graphs));
                 }
+                _ => {}
+            },
+            Event::Fleet(e) => match e {
+                FleetEvent::Started { workers, shards, resumed, .. } => {
+                    fleet_started = Some((*workers, *shards, *resumed));
+                }
+                FleetEvent::ShardStolen { .. } => fleet_steals += 1,
+                FleetEvent::WorkerLost { .. } => fleet_lost += 1,
+                FleetEvent::ShardQuarantined { .. } => fleet_quarantined += 1,
+                FleetEvent::ShardCompleted { .. } => fleet_done += 1,
+                FleetEvent::CheckpointWritten { .. } => fleet_ckpts += 1,
+                FleetEvent::Finished { .. } => fleet_finished = Some(e.clone()),
                 _ => {}
             },
             _ => {}
@@ -1396,6 +1613,24 @@ fn print_human_status(view: &StatusView) {
             "  swaps    : {swaps} installed, {swap_rejections} rejected, \
              {swap_rollbacks} rolled back ({refreshes} refresh rounds)"
         );
+    }
+    if let Some((workers, shards, resumed)) = fleet_started {
+        println!("fleet — {state}{}", if resumed { " (resumed)" } else { "" });
+        println!(
+            "  shards   : {fleet_done}/{shards} done across {workers} worker(s), \
+             {fleet_quarantined} quarantined"
+        );
+        println!(
+            "  stealing : {fleet_steals} steal(s), {fleet_lost} lost worker(s), \
+             {fleet_ckpts} fleet checkpoint(s)"
+        );
+        if let Some(FleetEvent::Finished { reexecutions, executions, races, .. }) = &fleet_finished
+        {
+            println!(
+                "  totals   : {executions} executions, {races} races, \
+                 {reexecutions} re-executed position(s)"
+            );
+        }
     }
     if epochs > 0 {
         println!("training — {state}");

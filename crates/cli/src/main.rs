@@ -12,6 +12,8 @@
 //!                  [--coarse] [--baseline OLD.json]
 //! snowcat campaign --version 5.12 [--explorer pct|s1|s2|s3] [--checkpoint F] [--resume F]
 //!                  [--serve] [--serve-batch N] [--serve-wait-us U] [--refresh N]
+//! snowcat fleet    --version 5.12 --dir DIR [--workers N] [--explorer pct|s1|s2|s3]
+//!                  [--resume] [--lease-ms MS] [--max-steals K] [--fault-plan SPEC]
 //! snowcat serve    --version 5.12 --model pic.bin [--requests N] [--clients C]
 //! snowcat status   RUNDIR [--json] [--follow] [--self-check]
 //! ```
@@ -72,6 +74,20 @@ COMMANDS:
               [--serve] [--serve-batch N] [--serve-wait-us U] [--serve-workers W]
               [--refresh PAIRS] [--refresh-epochs E] [--refresh-max R]
               [--refresh-gate PAIRS]
+  fleet     shard a supervised campaign across N workers with lease-based
+            work stealing (a worker whose heartbeat misses its deadline is
+            declared dead and its shard re-executed from its last shard
+            checkpoint) and a crash-consistent fleet checkpoint (SCFC);
+            `--resume` after killing any worker — or the whole process —
+            finishes with a merged report byte-identical to an
+            uninterrupted run, and `--workers 1` is bit-identical to
+            `snowcat campaign`
+              --version V --dir DIR [--workers N] [--seed N] [--ctis N]
+              [--budget B] [--explorer pct|s1|s2|s3] [--model FILE]
+              [--resume] [--lease-ms MS] [--max-steals K]
+              [--checkpoint-every K] [--fault-plan SPEC] [--stall-ms MS]
+              [--report FILE] [--events DIR]
+              [--serve] [--serve-batch N] [--serve-wait-us U] [--serve-workers W]
   serve     run the micro-batching inference server over a synthetic
             request stream and report throughput/latency (predictions are
             bit-identical to direct inference; --swap exercises the atomic
@@ -90,6 +106,8 @@ EXIT CODES:
   3 CT hung   4 checkpoint corrupt      5 campaign worker failed
   6 predictor degraded (with --fail-on-degraded)
   7 training diverged (anomaly persisted through every salted retry)
+  8 fleet failed (every worker lost / lease expired; the SCFC checkpoint
+    stays on disk — rerun with --resume)
 ";
 
 fn main() {
@@ -110,6 +128,7 @@ fn main() {
         Some("razzer") => cmds::razzer(&args),
         Some("analyze") => cmds::analyze(&args),
         Some("campaign") => cmds::campaign(&args),
+        Some("fleet") => cmds::fleet(&args),
         Some("serve") => cmds::serve(&args),
         Some("status") => cmds::status(&args),
         Some("help") | None => {

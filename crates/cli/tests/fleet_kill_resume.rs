@@ -1,0 +1,162 @@
+//! Fleet kill-and-resume smoke tests: kill a worker by fault injection,
+//! SIGKILL the whole coordinator mid-run, resume, and verify the merged
+//! report is byte-identical to an uninterrupted fleet — and that a
+//! single-worker fleet is byte-identical to `snowcat campaign`.
+
+use std::path::Path;
+use std::process::Command;
+use std::time::{Duration, Instant};
+
+fn snowcat() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_snowcat"))
+}
+
+fn tmp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("snowcat-fleet-kill-{tag}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+const COMMON: &[&str] = &["fleet", "--seed", "77", "--ctis", "16", "--budget", "5"];
+
+fn run_reference(dir: &Path) -> String {
+    let report = dir.join("ref.json");
+    let status = snowcat()
+        .args(COMMON)
+        .args(["--workers", "2"])
+        .args(["--dir", dir.join("ref").to_str().unwrap()])
+        .args(["--report", report.to_str().unwrap()])
+        .status()
+        .expect("binary runs");
+    assert!(status.success(), "reference fleet failed");
+    std::fs::read_to_string(&report).unwrap()
+}
+
+#[test]
+fn single_worker_fleet_report_equals_campaign_report() {
+    let dir = tmp_dir("n1");
+    let campaign_report = dir.join("campaign.json");
+    let fleet_report = dir.join("fleet.json");
+    let status = snowcat()
+        .args(["campaign", "--seed", "77", "--ctis", "16", "--budget", "5"])
+        .args(["--report", campaign_report.to_str().unwrap()])
+        .status()
+        .expect("binary runs");
+    assert!(status.success());
+    let status = snowcat()
+        .args(COMMON)
+        .args(["--workers", "1"])
+        .args(["--dir", dir.join("f1").to_str().unwrap()])
+        .args(["--report", fleet_report.to_str().unwrap()])
+        .status()
+        .expect("binary runs");
+    assert!(status.success());
+    assert_eq!(
+        std::fs::read_to_string(&campaign_report).unwrap(),
+        std::fs::read_to_string(&fleet_report).unwrap(),
+        "a single-worker fleet must report byte-identically to snowcat campaign"
+    );
+}
+
+#[test]
+fn killed_worker_then_killed_coordinator_resumes_byte_identically() {
+    let dir = tmp_dir("sigkill");
+    let reference = run_reference(&dir);
+    let fleet_dir = dir.join("victim");
+
+    // Victim: worker 1 dies after its first shard checkpoint (injected),
+    // every position checkpoints, and the stall widens the window so the
+    // coordinator SIGKILL lands mid-run.
+    let mut child = snowcat()
+        .args(COMMON)
+        .args(["--workers", "2"])
+        .args(["--dir", fleet_dir.to_str().unwrap()])
+        .args(["--events", fleet_dir.to_str().unwrap()])
+        .args(["--checkpoint-every", "1", "--stall-ms", "150"])
+        .args(["--fault-plan", "kill-worker@1"])
+        .spawn()
+        .expect("binary spawns");
+
+    // Wait until some shard checkpoint has landed, then SIGKILL the whole
+    // process — coordinator, monitor, and surviving worker alike.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let some_progress =
+        || fleet_dir.join("shard-0.ckpt").exists() || fleet_dir.join("shard-1.ckpt").exists();
+    while !some_progress() {
+        assert!(Instant::now() < deadline, "no shard checkpoint appeared within 30s");
+        assert!(
+            child.try_wait().expect("try_wait").is_none(),
+            "fleet finished before we could kill it — raise --stall-ms"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    child.kill().expect("SIGKILL");
+    child.wait().expect("reaped");
+    assert!(
+        fleet_dir.join("fleet.scfc").exists(),
+        "the SCFC fleet checkpoint must exist from the moment the fleet starts"
+    );
+
+    // Resume without the fault plan: incomplete shards re-execute from
+    // their persisted checkpoints with unchanged seeds.
+    let resumed_report = dir.join("resumed.json");
+    let status = snowcat()
+        .args(COMMON)
+        .args(["--workers", "2", "--resume"])
+        .args(["--dir", fleet_dir.to_str().unwrap()])
+        .args(["--events", fleet_dir.to_str().unwrap()])
+        .args(["--report", resumed_report.to_str().unwrap()])
+        .status()
+        .expect("binary runs");
+    assert!(status.success(), "fleet --resume after SIGKILL failed");
+    assert_eq!(
+        std::fs::read_to_string(&resumed_report).unwrap(),
+        reference,
+        "kill-worker + coordinator SIGKILL + resume must merge byte-identically"
+    );
+
+    // `status --json` over the fleet directory must agree byte-for-byte,
+    // and the self-check must pass on the resumed event stream.
+    let out = snowcat()
+        .args(["status", fleet_dir.to_str().unwrap(), "--json"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "status failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert_eq!(String::from_utf8(out.stdout).unwrap(), reference);
+    let out = snowcat()
+        .args(["status", fleet_dir.to_str().unwrap(), "--self-check"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "self-check failed: {}", String::from_utf8_lossy(&out.stderr));
+}
+
+#[test]
+fn fleet_that_loses_every_worker_exits_8_and_resumes() {
+    let dir = tmp_dir("exit8");
+    let reference = run_reference(&dir);
+    let fleet_dir = dir.join("victim");
+    let out = snowcat()
+        .args(COMMON)
+        .args(["--workers", "2"])
+        .args(["--dir", fleet_dir.to_str().unwrap()])
+        .args(["--checkpoint-every", "1"])
+        .args(["--fault-plan", "kill-worker@0,kill-worker@1"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(8), "a fleet with no workers left is exit code 8");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("fleet failed"), "stderr names the failure: {stderr}");
+    assert!(stderr.contains("--resume") || stderr.contains("resume"), "stderr hints at resume");
+
+    let resumed_report = dir.join("resumed.json");
+    let status = snowcat()
+        .args(COMMON)
+        .args(["--workers", "2", "--resume"])
+        .args(["--dir", fleet_dir.to_str().unwrap()])
+        .args(["--report", resumed_report.to_str().unwrap()])
+        .status()
+        .expect("binary runs");
+    assert!(status.success(), "resume after total worker loss failed");
+    assert_eq!(std::fs::read_to_string(&resumed_report).unwrap(), reference);
+}

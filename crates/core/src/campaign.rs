@@ -334,6 +334,7 @@ pub fn run_campaigns_parallel_instrumented(
         for (i, spec) in specs.iter().enumerate() {
             let results = &results;
             scope.spawn(move |_| {
+                let spawned_at = std::time::Instant::now();
                 if let Some(sink) = events {
                     sink.campaign(CampaignEvent::WorkerStarted {
                         slot: i as u64,
@@ -379,6 +380,7 @@ pub fn run_campaigns_parallel_instrumented(
                         label: spec.label(),
                         ok: res.is_ok(),
                         fault: injected,
+                        elapsed_us: spawned_at.elapsed().as_micros() as u64,
                     });
                 }
                 results.lock()[i] = Some(res);

@@ -86,6 +86,38 @@ pub enum SnowcatError {
         /// The last anomaly observed.
         cause: String,
     },
+    /// A fleet run could not produce a complete merged report: one or more
+    /// shards ended in a non-recoverable state (quarantined after repeated
+    /// lease losses, or failed outright).
+    FleetFailed {
+        /// Shards that never reached `Done`.
+        failed_shards: Vec<usize>,
+        /// Total shards in the fleet.
+        shards: usize,
+        /// Description of the first failure observed.
+        detail: String,
+    },
+    /// A fleet worker died (panicked, was killed by fault injection, or
+    /// exited without completing its shard) and the shard could not be
+    /// recovered by work-stealing.
+    WorkerLost {
+        /// The worker slot that was lost.
+        worker: usize,
+        /// The shard the worker held when it died.
+        shard: usize,
+        /// What the coordinator observed.
+        detail: String,
+    },
+    /// A shard lease expired: the holder missed its heartbeat deadline and
+    /// the coordinator could not re-lease the shard to any worker.
+    LeaseExpired {
+        /// The shard whose lease expired.
+        shard: usize,
+        /// The worker slot that held the lease.
+        worker: usize,
+        /// The heartbeat deadline that was missed, in milliseconds.
+        deadline_ms: u64,
+    },
 }
 
 impl fmt::Display for SnowcatError {
@@ -130,6 +162,25 @@ impl fmt::Display for SnowcatError {
                     if *retries == 1 { "y" } else { "ies" }
                 )
             }
+            SnowcatError::FleetFailed { failed_shards, shards, detail } => {
+                write!(
+                    f,
+                    "fleet failed: {}/{} shard(s) did not complete ({:?}): {detail}",
+                    failed_shards.len(),
+                    shards,
+                    failed_shards
+                )
+            }
+            SnowcatError::WorkerLost { worker, shard, detail } => {
+                write!(f, "fleet worker {worker} lost while holding shard {shard}: {detail}")
+            }
+            SnowcatError::LeaseExpired { shard, worker, deadline_ms } => {
+                write!(
+                    f,
+                    "lease on shard {shard} expired: worker {worker} missed its \
+                     {deadline_ms}ms heartbeat deadline"
+                )
+            }
         }
     }
 }
@@ -146,6 +197,9 @@ impl SnowcatError {
             SnowcatError::CampaignFailed { .. } => 5,
             SnowcatError::PredictorDegraded { .. } => 6,
             SnowcatError::TrainingDiverged { .. } => 7,
+            SnowcatError::FleetFailed { .. }
+            | SnowcatError::WorkerLost { .. }
+            | SnowcatError::LeaseExpired { .. } => 8,
         }
     }
 }
@@ -386,6 +440,24 @@ mod tests {
         assert_eq!(err.exit_code(), 7);
         let msg = err.to_string();
         assert!(msg.contains("epoch 3") && msg.contains("NaN loss"), "{msg}");
+    }
+
+    #[test]
+    fn fleet_errors_share_exit_code_8() {
+        let failed = SnowcatError::FleetFailed {
+            failed_shards: vec![1, 3],
+            shards: 4,
+            detail: "shard 1 quarantined".into(),
+        };
+        let lost =
+            SnowcatError::WorkerLost { worker: 2, shard: 1, detail: "worker panicked".into() };
+        let expired = SnowcatError::LeaseExpired { shard: 3, worker: 0, deadline_ms: 500 };
+        for err in [&failed, &lost, &expired] {
+            assert_eq!(err.exit_code(), 8, "{err}");
+        }
+        assert!(failed.to_string().contains("2/4 shard(s)"), "{failed}");
+        assert!(lost.to_string().contains("worker 2"), "{lost}");
+        assert!(expired.to_string().contains("500ms"), "{expired}");
     }
 
     #[test]

@@ -37,5 +37,7 @@ pub use report::{
     load_report, AnomalyRecord, CampaignSummary, PredictorCounters, Report, ShardIssue,
     TrainSummary, REPORT_SCHEMA_VERSION,
 };
-pub use schema::{CampaignEvent, Event, EventRecord, ServeEvent, TrainEvent, EVENT_SCHEMA_VERSION};
+pub use schema::{
+    CampaignEvent, Event, EventRecord, FleetEvent, ServeEvent, TrainEvent, EVENT_SCHEMA_VERSION,
+};
 pub use sink::{EventSink, EventWriter, WriteSummary};

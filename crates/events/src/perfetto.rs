@@ -5,7 +5,7 @@
 //! stage timings) become `ph:"X"` complete events; everything else becomes
 //! an `ph:"i"` instant so it shows up as a marker on the timeline.
 
-use crate::schema::{CampaignEvent, Event, EventRecord, ServeEvent, TrainEvent};
+use crate::schema::{CampaignEvent, Event, EventRecord, FleetEvent, ServeEvent, TrainEvent};
 use serde::Value;
 
 const PID: i64 = 1;
@@ -106,12 +106,81 @@ impl PerfettoBuilder {
             Event::Campaign(CampaignEvent::WorkerStarted { slot, label }) => {
                 self.push_raw(format!("worker {label}"), "i", t, None, *slot + 1, vec![]);
             }
-            Event::Campaign(CampaignEvent::WorkerFinished { slot, label, ok, fault }) => {
+            Event::Campaign(CampaignEvent::WorkerFinished {
+                slot,
+                label,
+                ok,
+                fault,
+                elapsed_us,
+            }) => {
+                // Render the worker's lifetime as a complete slice so
+                // wall-time-to-failure is visible on the timeline.
                 let mut args = vec![("ok", Value::Bool(*ok))];
                 if let Some(f) = fault {
                     args.push(("fault", Value::Str(f.clone())));
                 }
-                self.push_raw(format!("worker {label} done"), "i", t, None, *slot + 1, args);
+                self.push_raw(
+                    format!("worker {label}"),
+                    "X",
+                    t.saturating_sub(*elapsed_us),
+                    Some((*elapsed_us).max(1)),
+                    *slot + 1,
+                    args,
+                );
+            }
+            // Fleet shard lifecycle: one lane per worker slot, markers for
+            // lease/steal/loss so recovery paths are visible at a glance.
+            Event::Fleet(FleetEvent::ShardLeased { shard, worker, generation, deadline_ms }) => {
+                self.push_raw(
+                    format!("lease shard{shard}"),
+                    "i",
+                    t,
+                    None,
+                    *worker + 1,
+                    vec![
+                        ("generation", Value::UInt(*generation)),
+                        ("deadline_ms", Value::UInt(*deadline_ms)),
+                    ],
+                );
+            }
+            Event::Fleet(FleetEvent::ShardStolen {
+                shard,
+                from_worker,
+                to_worker,
+                generation,
+                resume_position,
+            }) => {
+                self.push_raw(
+                    format!("steal shard{shard} w{from_worker}->w{to_worker}"),
+                    "i",
+                    t,
+                    None,
+                    *to_worker + 1,
+                    vec![
+                        ("generation", Value::UInt(*generation)),
+                        ("resume_position", Value::UInt(*resume_position)),
+                    ],
+                );
+            }
+            Event::Fleet(FleetEvent::WorkerLost { worker, shard, detail }) => {
+                self.push_raw(
+                    format!("worker {worker} lost"),
+                    "i",
+                    t,
+                    None,
+                    *worker + 1,
+                    vec![("shard", Value::UInt(*shard)), ("detail", Value::Str(detail.clone()))],
+                );
+            }
+            Event::Fleet(FleetEvent::ShardCompleted { shard, worker, executions, races }) => {
+                self.push_raw(
+                    format!("shard{shard} done"),
+                    "i",
+                    t,
+                    None,
+                    *worker + 1,
+                    vec![("executions", Value::UInt(*executions)), ("races", Value::UInt(*races))],
+                );
             }
             Event::Train(TrainEvent::EpochCompleted { epoch, loss, .. }) => {
                 self.push_raw(

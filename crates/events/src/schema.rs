@@ -65,8 +65,10 @@ pub enum CampaignEvent {
     /// A parallel campaign worker began running.
     WorkerStarted { slot: u64, label: String },
     /// A parallel campaign worker finished; `fault` names the fault-plan
-    /// entry that fired if the worker panicked under injection.
-    WorkerFinished { slot: u64, label: String, ok: bool, fault: Option<String> },
+    /// entry that fired if the worker panicked under injection, and
+    /// `elapsed_us` is the worker's wall-clock from spawn to exit (so
+    /// fleet lease deadlines can be tuned from observed time-to-failure).
+    WorkerFinished { slot: u64, label: String, ok: bool, fault: Option<String>, elapsed_us: u64 },
     /// Campaign exit: final cumulative counts.
     Finished {
         label: String,
@@ -141,6 +143,46 @@ pub enum ServeEvent {
     Stopped { requests: u64, graphs: u64, swaps: u64 },
 }
 
+/// Events emitted by the fleet coordinator: shard leasing, heartbeat
+/// misses, work-stealing, and the rolled-up SCFC fleet checkpoint.
+#[non_exhaustive]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum FleetEvent {
+    /// Coordinator entry: emitted once before the first shard is leased.
+    Started { workers: u64, shards: u64, stream_len: u64, resumed: bool },
+    /// A shard was leased to a worker with a heartbeat deadline.
+    ShardLeased { shard: u64, worker: u64, generation: u64, deadline_ms: u64 },
+    /// A lease-holder missed its heartbeat deadline; the lease is revoked.
+    LeaseExpired { shard: u64, worker: u64, deadline_ms: u64 },
+    /// A worker was declared dead (panicked, killed, or lease-revoked).
+    WorkerLost { worker: u64, shard: u64, detail: String },
+    /// A revoked shard was re-leased to another worker, resuming from the
+    /// dead worker's last checkpoint position.
+    ShardStolen {
+        shard: u64,
+        from_worker: u64,
+        to_worker: u64,
+        generation: u64,
+        resume_position: u64,
+    },
+    /// A shard ran to completion.
+    ShardCompleted { shard: u64, worker: u64, executions: u64, races: u64 },
+    /// A shard made no progress across the steal limit and was quarantined.
+    ShardQuarantined { shard: u64, generations: u64 },
+    /// The rolled-up SCFC fleet checkpoint was persisted.
+    CheckpointWritten { path: String, done_shards: u64, ordinal: u64, rotated: bool },
+    /// Coordinator exit: merged cumulative counts.
+    Finished {
+        shards: u64,
+        steals: u64,
+        reexecutions: u64,
+        lost_workers: u64,
+        quarantined_shards: u64,
+        executions: u64,
+        races: u64,
+    },
+}
+
 /// One leg of the schema, as stored in the envelope.
 #[non_exhaustive]
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -148,6 +190,7 @@ pub enum Event {
     Campaign(CampaignEvent),
     Train(TrainEvent),
     Serve(ServeEvent),
+    Fleet(FleetEvent),
 }
 
 /// Envelope written to the stream: schema version, per-sink monotonic
@@ -221,6 +264,8 @@ impl Event {
             Event::Campaign(e) => Event::Campaign(e.sanitized()),
             Event::Train(e) => Event::Train(e.sanitized()),
             Event::Serve(e) => Event::Serve(e.sanitized()),
+            // Fleet events carry no floats; nothing to sanitize.
+            Event::Fleet(e) => Event::Fleet(e),
         }
     }
 
@@ -262,6 +307,17 @@ impl Event {
                 ServeEvent::SwapRolledBack { .. } => "serve.swap_rollback",
                 ServeEvent::Stopped { .. } => "serve.stopped",
             },
+            Event::Fleet(e) => match e {
+                FleetEvent::Started { .. } => "fleet.started",
+                FleetEvent::ShardLeased { .. } => "fleet.lease",
+                FleetEvent::LeaseExpired { .. } => "fleet.lease_expired",
+                FleetEvent::WorkerLost { .. } => "fleet.worker_lost",
+                FleetEvent::ShardStolen { .. } => "fleet.steal",
+                FleetEvent::ShardCompleted { .. } => "fleet.shard_done",
+                FleetEvent::ShardQuarantined { .. } => "fleet.shard_quarantined",
+                FleetEvent::CheckpointWritten { .. } => "fleet.checkpoint",
+                FleetEvent::Finished { .. } => "fleet.finished",
+            },
         }
     }
 
@@ -272,6 +328,7 @@ impl Event {
             Event::Campaign(CampaignEvent::Finished { .. })
                 | Event::Train(TrainEvent::Finished { .. })
                 | Event::Serve(ServeEvent::Stopped { .. })
+                | Event::Fleet(FleetEvent::Finished { .. })
         )
     }
 }

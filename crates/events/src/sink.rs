@@ -13,7 +13,7 @@
 use crate::jsonl::{JsonlWriter, EVENTS_FILE, TRACE_FILE};
 use crate::perfetto::PerfettoBuilder;
 use crate::schema::{
-    CampaignEvent, Event, EventRecord, ServeEvent, TrainEvent, EVENT_SCHEMA_VERSION,
+    CampaignEvent, Event, EventRecord, FleetEvent, ServeEvent, TrainEvent, EVENT_SCHEMA_VERSION,
 };
 use std::collections::VecDeque;
 use std::fmt;
@@ -110,6 +110,11 @@ impl EventSink {
     /// Convenience wrapper for serving events.
     pub fn serve(&self, e: ServeEvent) {
         self.emit(Event::Serve(e));
+    }
+
+    /// Convenience wrapper for fleet-coordinator events.
+    pub fn fleet(&self, e: FleetEvent) {
+        self.emit(Event::Fleet(e));
     }
 
     /// Events emitted so far (delivered or dropped).

@@ -5,8 +5,8 @@
 
 use proptest::prelude::*;
 use snowcat_events::{
-    read_stream, CampaignEvent, Event, EventRecord, JsonlWriter, ServeEvent, TrainEvent,
-    EVENT_SCHEMA_VERSION,
+    read_stream, CampaignEvent, Event, EventRecord, FleetEvent, JsonlWriter, ServeEvent,
+    TrainEvent, EVENT_SCHEMA_VERSION,
 };
 
 fn arb_string() -> impl Strategy<Value = String> {
@@ -65,6 +65,7 @@ fn arb_campaign() -> impl Strategy<Value = CampaignEvent> {
                 label: text,
                 ok: flag,
                 fault: opt.map(|v| format!("hang@{v}")),
+                elapsed_us: c,
             },
             11 => CampaignEvent::PrefilterStats {
                 vetoed: a,
@@ -146,12 +147,55 @@ fn arb_serve() -> impl Strategy<Value = ServeEvent> {
         })
 }
 
+fn arb_fleet() -> impl Strategy<Value = FleetEvent> {
+    (
+        0usize..9,
+        arb_string(),
+        (0u64..1_000_000, 0u64..1_000_000, 0u64..1_000_000),
+        (0u64..64, 0u64..64, 0u64..10_000),
+        proptest::bool::ANY,
+    )
+        .prop_map(|(variant, text, (a, b, c), (x, y, z), flag)| match variant {
+            0 => FleetEvent::Started { workers: x, shards: y, stream_len: a, resumed: flag },
+            1 => FleetEvent::ShardLeased { shard: x, worker: y, generation: z, deadline_ms: a },
+            2 => FleetEvent::LeaseExpired { shard: x, worker: y, deadline_ms: a },
+            3 => FleetEvent::WorkerLost { worker: y, shard: x, detail: text },
+            4 => FleetEvent::ShardStolen {
+                shard: x,
+                from_worker: y,
+                to_worker: z,
+                generation: b,
+                resume_position: a,
+            },
+            5 => FleetEvent::ShardCompleted { shard: x, worker: y, executions: a, races: b },
+            6 => FleetEvent::ShardQuarantined { shard: x, generations: z },
+            7 => FleetEvent::CheckpointWritten {
+                path: text,
+                done_shards: x,
+                ordinal: b,
+                rotated: flag,
+            },
+            _ => FleetEvent::Finished {
+                shards: x,
+                steals: y,
+                reexecutions: z,
+                lost_workers: b,
+                quarantined_shards: c,
+                executions: a,
+                races: b,
+            },
+        })
+}
+
 fn arb_event() -> impl Strategy<Value = Event> {
-    (0usize..3, arb_campaign(), arb_train(), arb_serve()).prop_map(|(leg, c, t, s)| match leg {
-        0 => Event::Campaign(c),
-        1 => Event::Train(t),
-        _ => Event::Serve(s),
-    })
+    (0usize..4, arb_campaign(), arb_train(), arb_serve(), arb_fleet()).prop_map(
+        |(leg, c, t, s, fl)| match leg {
+            0 => Event::Campaign(c),
+            1 => Event::Train(t),
+            2 => Event::Serve(s),
+            _ => Event::Fleet(fl),
+        },
+    )
 }
 
 /// One record per schema variant, so coverage of every arm is guaranteed
@@ -209,6 +253,7 @@ fn one_of_each() -> Vec<Event> {
             label: "pct".into(),
             ok: false,
             fault: Some("panic@1".into()),
+            elapsed_us: 48_000,
         }),
         Event::Campaign(CampaignEvent::Finished {
             label: "pct".into(),
@@ -285,6 +330,43 @@ fn one_of_each() -> Vec<Event> {
             incumbent_ap: 0.78,
         }),
         Event::Serve(ServeEvent::Stopped { requests: 90, graphs: 410, swaps: 1 }),
+        Event::Fleet(FleetEvent::Started { workers: 4, shards: 4, stream_len: 64, resumed: true }),
+        Event::Fleet(FleetEvent::ShardLeased {
+            shard: 2,
+            worker: 1,
+            generation: 0,
+            deadline_ms: 500,
+        }),
+        Event::Fleet(FleetEvent::LeaseExpired { shard: 2, worker: 1, deadline_ms: 500 }),
+        Event::Fleet(FleetEvent::WorkerLost {
+            worker: 1,
+            shard: 2,
+            detail: "missed heartbeat".into(),
+        }),
+        Event::Fleet(FleetEvent::ShardStolen {
+            shard: 2,
+            from_worker: 1,
+            to_worker: 3,
+            generation: 1,
+            resume_position: 9,
+        }),
+        Event::Fleet(FleetEvent::ShardCompleted { shard: 2, worker: 3, executions: 40, races: 7 }),
+        Event::Fleet(FleetEvent::ShardQuarantined { shard: 0, generations: 3 }),
+        Event::Fleet(FleetEvent::CheckpointWritten {
+            path: "fleet.scfc".into(),
+            done_shards: 3,
+            ordinal: 2,
+            rotated: true,
+        }),
+        Event::Fleet(FleetEvent::Finished {
+            shards: 4,
+            steals: 1,
+            reexecutions: 1,
+            lost_workers: 1,
+            quarantined_shards: 1,
+            executions: 160,
+            races: 21,
+        }),
     ]
 }
 

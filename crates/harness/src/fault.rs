@@ -7,6 +7,12 @@
 //! so the CLI can take them on the command line (`--fault-plan
 //! "hang@3x2,pred@5,ckpt@2:flip"`), and an empty plan injects nothing — the
 //! supervised path must then be bit-identical to the unsupervised one.
+//!
+//! Fleet runs extend the grammar with per-worker faults interpreted by the
+//! [`crate::fleet`] coordinator: `kill-worker@K` (worker K dies after its
+//! first shard checkpoint), `stall-worker@K` (worker K goes silent until
+//! its lease is revoked), and `corrupt-worker-ckpt@K` (worker K corrupts
+//! its first shard-checkpoint write, then dies).
 
 use snowcat_core::{CoveragePredictor, PredictedCoverage, PredictorStats};
 use snowcat_graph::CtGraph;
@@ -52,6 +58,14 @@ pub struct FaultPlan {
     /// Campaign indices whose parallel worker panics (used with
     /// `ExplorerSpec::Faulty` by callers of `run_campaigns_parallel`).
     pub worker_panics: Vec<usize>,
+    /// Fleet worker slots that die right after their first shard checkpoint.
+    pub kill_workers: Vec<usize>,
+    /// Fleet worker slots that go silent (stop heartbeating) after their
+    /// first shard checkpoint and only exit once their lease is revoked.
+    pub stall_workers: Vec<usize>,
+    /// Fleet worker slots whose first shard-checkpoint write is corrupted
+    /// on disk before the worker dies.
+    pub corrupt_worker_ckpts: Vec<usize>,
 }
 
 impl FaultPlan {
@@ -61,6 +75,9 @@ impl FaultPlan {
             && self.predictor_period.is_none()
             && self.checkpoints.is_empty()
             && self.worker_panics.is_empty()
+            && self.kill_workers.is_empty()
+            && self.stall_workers.is_empty()
+            && self.corrupt_worker_ckpts.is_empty()
     }
 
     /// How many attempts at stream position `position` should hang.
@@ -79,7 +96,13 @@ impl FaultPlan {
     ///   stream position I,
     /// * `pred@N` — panic every Nth predictor batch (N ≥ 1),
     /// * `ckpt@K:flip` / `ckpt@K:trunc` — corrupt the Kth checkpoint write,
-    /// * `panic@I` — panic the parallel campaign worker at spec index I.
+    /// * `panic@I` — panic the parallel campaign worker at spec index I,
+    /// * `kill-worker@K` — kill fleet worker K after its first shard
+    ///   checkpoint,
+    /// * `stall-worker@K` — fleet worker K stops heartbeating after its
+    ///   first shard checkpoint (a straggler: its lease must expire),
+    /// * `corrupt-worker-ckpt@K` — fleet worker K corrupts its first shard
+    ///   checkpoint write, then dies.
     ///
     /// The empty string parses to the empty plan.
     pub fn parse(spec: &str) -> Result<Self, String> {
@@ -130,6 +153,18 @@ impl FaultPlan {
                 "panic" => {
                     let i = rest.parse::<usize>().map_err(|_| bad_num(token, rest))?;
                     plan.worker_panics.push(i);
+                }
+                "kill-worker" => {
+                    let i = rest.parse::<usize>().map_err(|_| bad_num(token, rest))?;
+                    plan.kill_workers.push(i);
+                }
+                "stall-worker" => {
+                    let i = rest.parse::<usize>().map_err(|_| bad_num(token, rest))?;
+                    plan.stall_workers.push(i);
+                }
+                "corrupt-worker-ckpt" => {
+                    let i = rest.parse::<usize>().map_err(|_| bad_num(token, rest))?;
+                    plan.corrupt_worker_ckpts.push(i);
                 }
                 other => return Err(format!("unknown fault kind '{other}' in '{token}'")),
             }
@@ -213,8 +248,11 @@ mod tests {
 
     #[test]
     fn full_grammar_parses() {
-        let plan =
-            FaultPlan::parse("hang@3x2,hang@7,pred@5,ckpt@2:flip,ckpt@4:trunc,panic@1").unwrap();
+        let plan = FaultPlan::parse(
+            "hang@3x2,hang@7,pred@5,ckpt@2:flip,ckpt@4:trunc,panic@1,\
+             kill-worker@1,stall-worker@2,corrupt-worker-ckpt@0",
+        )
+        .unwrap();
         assert_eq!(plan.hang_attempts_at(3), 2);
         assert_eq!(plan.hang_attempts_at(7), 1);
         assert_eq!(plan.hang_attempts_at(0), 0);
@@ -223,6 +261,9 @@ mod tests {
         assert_eq!(plan.checkpoint_fault(4), Some(CorruptionKind::Truncate));
         assert_eq!(plan.checkpoint_fault(1), None);
         assert_eq!(plan.worker_panics, vec![1]);
+        assert_eq!(plan.kill_workers, vec![1]);
+        assert_eq!(plan.stall_workers, vec![2]);
+        assert_eq!(plan.corrupt_worker_ckpts, vec![0]);
         assert!(!plan.is_empty());
     }
 
@@ -240,6 +281,9 @@ mod tests {
             "ckpt@1:melt",
             "wobble@3",
             "pred@2,pred@3",
+            "kill-worker@",
+            "stall-worker@x",
+            "corrupt-worker-ckpt@-1",
         ] {
             assert!(FaultPlan::parse(bad).is_err(), "'{bad}' should not parse");
         }

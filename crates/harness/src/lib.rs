@@ -17,7 +17,11 @@
 //!   resume exactly,
 //! * [`trainer`] — the same discipline for training: epoch-granular
 //!   bit-exact checkpoints (STCP), anomaly guards with rollback and salted
-//!   retries, and shard-quarantining data loading.
+//!   retries, and shard-quarantining data loading,
+//! * [`fleet`] — a fault-tolerant campaign fleet: sharded workers behind
+//!   one [`fleet::FleetWorker`] seam, lease-based work stealing with
+//!   heartbeat deadlines, and crash-consistent SCFC fleet checkpoints
+//!   whose shard merges are order-independent.
 //!
 //! The supervised loop is bit-identical to the plain
 //! [`snowcat_core::run_campaign_budgeted`] when no faults are injected and
@@ -31,6 +35,7 @@
 pub mod checkpoint;
 pub mod fault;
 pub mod feed;
+pub mod fleet;
 pub mod reporting;
 pub mod resilient;
 pub mod supervisor;
@@ -44,9 +49,16 @@ pub use checkpoint::{
 };
 pub use fault::{corrupt, CheckpointFault, CorruptionKind, FaultPlan, FaultyPredictor, HangFault};
 pub use feed::CtFeed;
+pub use fleet::{
+    clear_fleet_dir, decode_fleet_checkpoint, encode_fleet_checkpoint,
+    load_fleet_checkpoint_with_fallback, partition_stream, run_fleet, save_fleet_checkpoint_atomic,
+    shard_ckpt_path, FleetCheckpoint, FleetConfig, FleetWorker, LeaseSignal, ShardAssignment,
+    ShardMerge, ShardState, ShardStatus, ThreadWorker, WorkerFault, FLEET_CKPT_FILE, FLEET_MAGIC,
+    FLEET_VERSION,
+};
 pub use reporting::{
-    predictor_counters, report_from_campaign_checkpoint, report_from_supervised, report_from_train,
-    report_from_train_checkpoint,
+    predictor_counters, report_from_campaign_checkpoint, report_from_fleet_checkpoint,
+    report_from_supervised, report_from_train, report_from_train_checkpoint,
 };
 pub use resilient::ResilientPredictor;
 pub use supervisor::{run_supervised_campaign, RecoveryLog, SupervisedResult, SupervisorConfig};

@@ -94,6 +94,26 @@ pub fn report_from_campaign_checkpoint(ck: &CampaignCheckpoint) -> Report {
     Report::for_campaign(summary)
 }
 
+/// Build the unified report from a fleet checkpoint by merging its shard
+/// checkpoints ([`crate::fleet::ShardMerge`], order-independent) and
+/// reporting the merged whole-campaign state. At one worker with no faults
+/// the single shard *is* the whole campaign, so the report is
+/// byte-identical to `report_from_campaign_checkpoint` on a plain
+/// supervised run. Shards that never persisted a checkpoint (quarantined
+/// before any progress) contribute nothing.
+pub fn report_from_fleet_checkpoint(
+    fc: &crate::fleet::FleetCheckpoint,
+    cost: &snowcat_core::CostModel,
+) -> Result<Report, snowcat_core::SnowcatError> {
+    let mut merge = crate::fleet::ShardMerge::new();
+    for shard in &fc.shards {
+        if let Some(ck) = &shard.checkpoint {
+            merge.add(shard.index, ck.clone());
+        }
+    }
+    Ok(report_from_campaign_checkpoint(&merge.finalize(cost)?))
+}
+
 fn train_summary(report: &TrainRunReport, quarantine: Option<&QuarantineReport>) -> TrainSummary {
     TrainSummary {
         epochs: report.epoch_losses.len() as u64,

@@ -77,6 +77,21 @@ pub struct SupervisorConfig {
     /// Fresh-CT feed for online refresh: every accepted execution's CT pair
     /// is pushed here (`None` disables the feed). Pushing never blocks.
     pub fresh_cts: Option<crate::feed::CtFeed>,
+    /// Global-position offset for per-CTI seed derivation: local position
+    /// `ci` derives its seed as if it were whole-stream position
+    /// `ci + position_offset`. Fleet shards pass their start offset so a
+    /// sharded run reproduces the whole-stream seeds exactly; 0 (the
+    /// default) is the whole-stream identity.
+    pub position_offset: usize,
+    /// Extra salt XORed into every derived per-CTI seed. Zero (the
+    /// default) is transparent; the fleet coordinator salts only
+    /// repeat-offender shards that made no progress across a steal
+    /// generation, trading bit-identity for liveness on those shards.
+    pub seed_salt: u64,
+    /// Fleet lease handle: beaten once per processed stream position and
+    /// polled for revocation, so a worker whose lease expired abandons its
+    /// shard instead of racing the thief (`None` outside fleet runs).
+    pub lease: Option<crate::fleet::LeaseSignal>,
 }
 
 impl SupervisorConfig {
@@ -277,6 +292,15 @@ pub fn run_supervised_campaign(
     let mut next_position = start;
     #[allow(clippy::needless_range_loop)] // resume starts mid-stream; the index IS the seed input
     for ci in start..stream.len() {
+        if let Some(lease) = &sup.lease {
+            // A revoked lease means the coordinator already declared this
+            // worker dead and re-queued the shard: stop immediately and let
+            // the partial result be discarded rather than racing the thief.
+            if lease.is_revoked() {
+                break;
+            }
+            lease.beat();
+        }
         if let Some(h) = sup.max_hours {
             if cost.hours(state.executions, state.inferences) >= h {
                 break;
@@ -308,8 +332,11 @@ pub fn run_supervised_campaign(
         for attempt in 0..=sup.max_retries {
             let salt = if attempt == 0 { 0 } else { u64::from(attempt).wrapping_mul(RETRY_SALT) };
             let fuel = if attempt < planned_hangs { INJECTED_HANG_FUEL } else { effective_fuel };
+            let global_ci = (ci + sup.position_offset) as u64;
             let cfg = (*explore_cfg)
-                .with_seed(explore_cfg.seed ^ (ci as u64).wrapping_mul(SEED_GOLDEN) ^ salt)
+                .with_seed(
+                    explore_cfg.seed ^ global_ci.wrapping_mul(SEED_GOLDEN) ^ salt ^ sup.seed_salt,
+                )
                 .with_fuel_budget(fuel);
             // Hung attempts are discarded wholesale, so the strategy's
             // cumulative memory must be rolled back with them.

@@ -1,0 +1,269 @@
+//! End-to-end fleet acceptance suite.
+//!
+//! Proves the fleet's headline guarantees:
+//!
+//! * a **single-worker, fault-free fleet** is bit-identical to the plain
+//!   supervised campaign (same SCCP bytes, same report JSON),
+//! * a **killed worker**'s shard is stolen and re-executed from its last
+//!   checkpoint, and the merged report stays byte-identical to an
+//!   unfaulted fleet's,
+//! * a **stalled worker** (silent heartbeat) has its lease expired and its
+//!   shard stolen, again without changing the merged report,
+//! * a fleet whose workers **all die** fails with exit-code-8 semantics
+//!   but leaves a crash-consistent SCFC behind; `--resume` completes the
+//!   run and the merged report is byte-identical to an uninterrupted one,
+//! * a **corrupted shard checkpoint** costs the shard its progress but not
+//!   the fleet its liveness (salted re-execution, documented tradeoff).
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use snowcat_cfg::KernelCfg;
+use snowcat_core::{CostModel, ExploreConfig, Explorer, Pic, SnowcatError, StrategyKind};
+use snowcat_corpus::{random_cti_pairs, StiFuzzer, StiProfile};
+use snowcat_harness::{
+    report_from_fleet_checkpoint, report_from_supervised, run_fleet, run_supervised_campaign,
+    shard_ckpt_path, FaultPlan, FleetCheckpoint, FleetConfig, ShardStatus, SupervisorConfig,
+    ThreadWorker, FLEET_CKPT_FILE,
+};
+use snowcat_kernel::{generate, GenConfig, Kernel};
+use snowcat_nn::{Checkpoint, PicConfig, PicModel};
+use std::path::{Path, PathBuf};
+
+const SEED: u64 = 0xF1EE7;
+
+fn setup(stream_len: usize) -> (Kernel, KernelCfg, Vec<StiProfile>, Vec<(usize, usize)>) {
+    let k = generate(&GenConfig::default());
+    let cfg = KernelCfg::build(&k);
+    let mut fz = StiFuzzer::new(&k, 1);
+    fz.seed_each_syscall();
+    let corpus = fz.into_corpus();
+    let mut rng = ChaCha8Rng::seed_from_u64(5);
+    let stream = random_cti_pairs(&mut rng, corpus.len(), stream_len);
+    (k, cfg, corpus, stream)
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("snowcat-fleet-{tag}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Run a PCT fleet over `stream` with the given knobs.
+#[allow(clippy::too_many_arguments)]
+fn run_pct_fleet(
+    k: &Kernel,
+    corpus: &[StiProfile],
+    stream: &[(usize, usize)],
+    ecfg: &ExploreConfig,
+    dir: &Path,
+    workers: usize,
+    fault_plan: FaultPlan,
+    lease_ms: u64,
+    resume: bool,
+) -> Result<FleetCheckpoint, SnowcatError> {
+    let cost = CostModel::default();
+    let mut cfg = FleetConfig::new(workers, dir);
+    cfg.lease_ms = lease_ms;
+    cfg.checkpoint_every = 5;
+    cfg.stall_ms = if workers > 1 { 2 } else { 0 };
+    cfg.fault_plan = fault_plan;
+    let make = |_slot: usize| Explorer::Pct;
+    let worker = ThreadWorker {
+        kernel: k,
+        corpus,
+        stream,
+        explore_cfg: ecfg,
+        cost: &cost,
+        cfg: &cfg,
+        make_explorer: &make,
+    };
+    run_fleet(&worker, "PCT", ecfg.seed, stream.len(), &cfg, resume)
+}
+
+#[test]
+fn single_worker_fleet_is_bit_identical_to_supervised_campaign() {
+    let (k, _, corpus, stream) = setup(12);
+    let ecfg = ExploreConfig::default().with_exec_budget(4).with_seed(SEED);
+    let cost = CostModel::default();
+
+    // Reference: plain supervised campaign with the same checkpoint cadence.
+    let ref_dir = tmp_dir("n1-ref");
+    let mut sup = SupervisorConfig::new();
+    sup.checkpoint_path = Some(ref_dir.join("campaign.ckpt"));
+    sup.checkpoint_every = 5;
+    let supervised =
+        run_supervised_campaign(&k, &corpus, &stream, Explorer::Pct, &ecfg, &cost, &sup, None)
+            .unwrap();
+
+    let dir = tmp_dir("n1-fleet");
+    let fc =
+        run_pct_fleet(&k, &corpus, &stream, &ecfg, &dir, 1, FaultPlan::default(), 2_000, false)
+            .unwrap();
+    assert!(fc.is_complete());
+    assert_eq!(fc.shards.len(), 1);
+    assert_eq!((fc.steals, fc.lost_workers, fc.reexecutions), (0, 0, 0));
+
+    // The shard's SCCP file is byte-identical to the supervised one.
+    let shard_bytes = std::fs::read(shard_ckpt_path(&dir, 0)).unwrap();
+    let ref_bytes = std::fs::read(ref_dir.join("campaign.ckpt")).unwrap();
+    assert_eq!(shard_bytes, ref_bytes, "N=1 fleet shard checkpoint differs from campaign");
+
+    // And the merged fleet report is byte-identical to the live report.
+    let fleet_report = report_from_fleet_checkpoint(&fc, &cost).unwrap();
+    let live_report = report_from_supervised(&supervised, SEED);
+    assert_eq!(fleet_report.to_canonical_json(), live_report.to_canonical_json());
+}
+
+#[test]
+fn killed_worker_is_stolen_and_report_is_unchanged() {
+    let (k, _, corpus, stream) = setup(24);
+    let ecfg = ExploreConfig::default().with_exec_budget(4).with_seed(SEED);
+    let cost = CostModel::default();
+
+    let ref_dir = tmp_dir("kill-ref");
+    let reference =
+        run_pct_fleet(&k, &corpus, &stream, &ecfg, &ref_dir, 2, FaultPlan::default(), 2_000, false)
+            .unwrap();
+
+    let dir = tmp_dir("kill-victim");
+    let plan = FaultPlan::parse("kill-worker@1").unwrap();
+    let fc = run_pct_fleet(&k, &corpus, &stream, &ecfg, &dir, 2, plan, 400, false).unwrap();
+    assert!(fc.is_complete());
+    assert!(fc.lost_workers >= 1, "the killed worker must be declared lost");
+    assert!(fc.steals >= 1, "the dead worker's shard must be stolen");
+    assert!(fc.quarantined_shards().is_empty());
+
+    // The killed worker persisted a checkpoint before dying, so the steal
+    // resumes unsalted and the merged report is byte-identical.
+    let a = report_from_fleet_checkpoint(&reference, &cost).unwrap();
+    let b = report_from_fleet_checkpoint(&fc, &cost).unwrap();
+    assert_eq!(a.to_canonical_json(), b.to_canonical_json());
+}
+
+#[test]
+fn stalled_worker_lease_expires_and_shard_is_stolen() {
+    let (k, _, corpus, stream) = setup(24);
+    let ecfg = ExploreConfig::default().with_exec_budget(4).with_seed(SEED);
+    let cost = CostModel::default();
+
+    let ref_dir = tmp_dir("stall-ref");
+    let reference =
+        run_pct_fleet(&k, &corpus, &stream, &ecfg, &ref_dir, 2, FaultPlan::default(), 2_000, false)
+            .unwrap();
+
+    let dir = tmp_dir("stall-victim");
+    let plan = FaultPlan::parse("stall-worker@0").unwrap();
+    let fc = run_pct_fleet(&k, &corpus, &stream, &ecfg, &dir, 2, plan, 250, false).unwrap();
+    assert!(fc.is_complete());
+    assert!(fc.lost_workers >= 1, "the straggler must miss its deadline");
+    assert!(fc.steals >= 1, "the straggler's shard must be stolen");
+
+    let a = report_from_fleet_checkpoint(&reference, &cost).unwrap();
+    let b = report_from_fleet_checkpoint(&fc, &cost).unwrap();
+    assert_eq!(a.to_canonical_json(), b.to_canonical_json());
+}
+
+#[test]
+fn losing_every_worker_fails_resumably_and_resume_is_bit_identical() {
+    let (k, _, corpus, stream) = setup(24);
+    let ecfg = ExploreConfig::default().with_exec_budget(4).with_seed(SEED);
+    let cost = CostModel::default();
+
+    let ref_dir = tmp_dir("resume-ref");
+    let reference =
+        run_pct_fleet(&k, &corpus, &stream, &ecfg, &ref_dir, 2, FaultPlan::default(), 2_000, false)
+            .unwrap();
+
+    // Both workers die after their first shard checkpoint: the fleet has
+    // nobody left and must fail with the exit-code-8 error, leaving a
+    // crash-consistent SCFC behind.
+    let dir = tmp_dir("resume-victim");
+    let plan = FaultPlan::parse("kill-worker@0,kill-worker@1").unwrap();
+    let err = run_pct_fleet(&k, &corpus, &stream, &ecfg, &dir, 2, plan, 400, false).unwrap_err();
+    assert!(matches!(err, SnowcatError::FleetFailed { .. }), "{err}");
+    assert_eq!(err.exit_code(), 8);
+    assert!(dir.join(FLEET_CKPT_FILE).exists(), "failed fleet must leave its SCFC");
+
+    // Resume without faults: incomplete shards continue from their
+    // persisted checkpoints and the merged report is byte-identical.
+    let fc = run_pct_fleet(&k, &corpus, &stream, &ecfg, &dir, 2, FaultPlan::default(), 2_000, true)
+        .unwrap();
+    assert!(fc.is_complete());
+    assert!(fc.lost_workers >= 2, "lost-worker counters survive the resume");
+    let a = report_from_fleet_checkpoint(&reference, &cost).unwrap();
+    let b = report_from_fleet_checkpoint(&fc, &cost).unwrap();
+    assert_eq!(a.to_canonical_json(), b.to_canonical_json());
+}
+
+#[test]
+fn corrupt_shard_checkpoint_costs_progress_but_not_liveness() {
+    let (k, _, corpus, stream) = setup(20);
+    let ecfg = ExploreConfig::default().with_exec_budget(4).with_seed(SEED);
+    let cost = CostModel::default();
+
+    let dir = tmp_dir("corrupt-victim");
+    let plan = FaultPlan::parse("corrupt-worker-ckpt@0").unwrap();
+    let fc = run_pct_fleet(&k, &corpus, &stream, &ecfg, &dir, 2, plan, 400, false).unwrap();
+
+    // The corrupted first write left no usable checkpoint, so the steal
+    // starts the shard over with salted seeds: liveness wins over
+    // bit-identity on that shard (by design), but the fleet completes and
+    // every shard is Done.
+    assert!(fc.is_complete());
+    assert!(fc.lost_workers >= 1);
+    assert!(fc.shards.iter().all(|s| s.status == ShardStatus::Done));
+    let report = report_from_fleet_checkpoint(&fc, &cost).unwrap();
+    let c = report.campaign.as_ref().unwrap();
+    assert_eq!(c.ctis as usize, stream.len(), "every position was processed");
+}
+
+#[test]
+fn resume_rejects_mismatched_identity() {
+    let (k, _, corpus, stream) = setup(8);
+    let ecfg = ExploreConfig::default().with_exec_budget(4).with_seed(SEED);
+    let dir = tmp_dir("resume-mismatch");
+    run_pct_fleet(&k, &corpus, &stream, &ecfg, &dir, 2, FaultPlan::default(), 2_000, false)
+        .unwrap();
+    // Different base seed.
+    let other = ExploreConfig::default().with_exec_budget(4).with_seed(SEED ^ 1);
+    let err =
+        run_pct_fleet(&k, &corpus, &stream, &other, &dir, 2, FaultPlan::default(), 2_000, true)
+            .unwrap_err();
+    assert!(matches!(err, SnowcatError::Config(_)), "{err}");
+    // Different stream length.
+    let err =
+        run_pct_fleet(&k, &corpus, &stream[..6], &ecfg, &dir, 2, FaultPlan::default(), 2_000, true)
+            .unwrap_err();
+    assert!(matches!(err, SnowcatError::Config(_)), "{err}");
+}
+
+#[test]
+fn mlpct_fleet_completes_with_per_worker_predictors() {
+    let (k, cfg_k, corpus, stream) = setup(10);
+    let ecfg = ExploreConfig::default().with_exec_budget(4).with_inference_cap(40).with_seed(SEED);
+    let cost = CostModel::default();
+    let model = PicModel::new(PicConfig { hidden: 8, layers: 1, ..Default::default() });
+    let ck = Checkpoint::new(&model, 0.5, "t");
+    let pics: Vec<Pic> = (0..2).map(|_| Pic::new(&ck, &k, &cfg_k)).collect();
+
+    let dir = tmp_dir("mlpct");
+    let mut cfg = FleetConfig::new(2, &dir);
+    cfg.checkpoint_every = 5;
+    cfg.stall_ms = 2;
+    let make = |slot: usize| Explorer::mlpct(&pics[slot], StrategyKind::S1.build());
+    let worker = ThreadWorker {
+        kernel: &k,
+        corpus: &corpus,
+        stream: &stream,
+        explore_cfg: &ecfg,
+        cost: &cost,
+        cfg: &cfg,
+        make_explorer: &make,
+    };
+    let label = Explorer::mlpct(&pics[0], StrategyKind::S1.build()).label();
+    let fc = run_fleet(&worker, &label, SEED, stream.len(), &cfg, false).unwrap();
+    assert!(fc.is_complete());
+    let report = report_from_fleet_checkpoint(&fc, &cost).unwrap();
+    assert_eq!(report.campaign.as_ref().unwrap().label, label);
+}

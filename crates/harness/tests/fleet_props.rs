@@ -1,0 +1,240 @@
+//! Property tests for the fleet layer.
+//!
+//! * **Merge algebra** — [`ShardMerge`] is a commutative, associative
+//!   monoid: any insertion order and any grouping of unions over the same
+//!   shard set finalizes to byte-identical merged checkpoints (and
+//!   byte-identical reports).
+//! * **SCFC integrity** — every single-byte corruption and every proper
+//!   truncation of an encoded fleet checkpoint is detected by the decoder
+//!   (error, never a panic and never silent acceptance).
+
+use proptest::prelude::*;
+use snowcat_core::CostModel;
+use snowcat_harness::{
+    decode_fleet_checkpoint, encode_checkpoint, encode_fleet_checkpoint,
+    report_from_campaign_checkpoint, CampaignCheckpoint, FleetCheckpoint, RecoveryLog, ShardMerge,
+    ShardState, ShardStatus,
+};
+use snowcat_kernel::{BlockId, BugId, InstrLoc};
+use snowcat_race::RaceKey;
+use snowcat_vm::BitSet;
+use std::path::Path;
+
+const BLOCKS: usize = 96;
+
+fn arb_race_keys() -> impl Strategy<Value = Vec<RaceKey>> {
+    proptest::collection::vec(((0u32..40, 0u16..4), (0u32..40, 0u16..4)), 0..12).prop_map(|raw| {
+        let mut keys: Vec<RaceKey> = raw
+            .into_iter()
+            .map(|((ab, ai), (bb, bi))| {
+                RaceKey::new(InstrLoc::new(BlockId(ab), ai), InstrLoc::new(BlockId(bb), bi))
+            })
+            .collect();
+        keys.sort();
+        keys.dedup();
+        keys
+    })
+}
+
+fn arb_history() -> impl Strategy<Value = Vec<snowcat_core::HistoryPoint>> {
+    proptest::collection::vec(
+        ((0usize..50, 0u64..500, 0u64..500), (0usize..20, 0usize..20, 0usize..96), 0usize..4),
+        0..3,
+    )
+    .prop_map(|raw| {
+        raw.into_iter()
+            .map(|((ctis, executions, inferences), (races, harmful, blocks), bugs)| {
+                snowcat_core::HistoryPoint {
+                    ctis,
+                    executions,
+                    inferences,
+                    hours: CostModel::default().hours(executions, inferences),
+                    races,
+                    harmful_races: harmful,
+                    sched_dep_blocks: blocks,
+                    bugs,
+                }
+            })
+            .collect()
+    })
+}
+
+/// A shard checkpoint sharing the fleet-wide label, seed, and bitmap
+/// capacity (the invariants real shards hold by construction).
+fn arb_shard_checkpoint() -> impl Strategy<Value = CampaignCheckpoint> {
+    (
+        (arb_race_keys(), arb_race_keys()),
+        proptest::collection::vec(0usize..BLOCKS, 0..24),
+        proptest::collection::vec(0u16..8, 0..4),
+        arb_history(),
+        proptest::collection::vec((0usize..16, 0usize..16), 0..4),
+        ((0usize..40, 0u64..1000, 0u64..1000), proptest::collection::vec(0u64..10, 6..7)),
+    )
+        .prop_map(
+            |(
+                (races, harmful),
+                bits,
+                bugs,
+                history,
+                quarantine,
+                ((position, execs, infs), rec),
+            )| {
+                let mut blocks = BitSet::new(BLOCKS);
+                for b in bits {
+                    blocks.insert(b);
+                }
+                let mut bugs: Vec<BugId> = bugs.into_iter().map(BugId).collect();
+                bugs.dedup();
+                let mut quarantine = quarantine;
+                quarantine.sort();
+                quarantine.dedup();
+                CampaignCheckpoint {
+                    label: "PCT".into(),
+                    seed: 0xF1EE7,
+                    position,
+                    executions: execs,
+                    inferences: infs,
+                    race_keys: races,
+                    harmful_keys: harmful,
+                    blocks,
+                    bugs_found: bugs,
+                    history,
+                    quarantine,
+                    strategy: None,
+                    recovery: RecoveryLog {
+                        hung_attempts: rec[0],
+                        retries: rec[1],
+                        wasted_executions: rec[2],
+                        quarantined: rec[3],
+                        skipped_quarantined: rec[4],
+                        checkpoints_written: rec[5],
+                    },
+                }
+            },
+        )
+}
+
+fn arb_shards() -> impl Strategy<Value = Vec<CampaignCheckpoint>> {
+    proptest::collection::vec(arb_shard_checkpoint(), 1..6)
+}
+
+fn finalize_bytes(m: &ShardMerge) -> Vec<u8> {
+    encode_checkpoint(&m.finalize(&CostModel::default()).unwrap()).unwrap()
+}
+
+fn sample_fleet(shards: Vec<CampaignCheckpoint>) -> FleetCheckpoint {
+    FleetCheckpoint {
+        label: "PCT".into(),
+        seed: 0xF1EE7,
+        workers: shards.len(),
+        stream_len: 99,
+        shards: shards
+            .into_iter()
+            .enumerate()
+            .map(|(index, ck)| ShardState {
+                index,
+                start: 0,
+                end: ck.position,
+                status: ShardStatus::Done,
+                generation: 0,
+                stalled_generations: 0,
+                checkpoint: Some(ck),
+            })
+            .collect(),
+        steals: 1,
+        reexecutions: 2,
+        lost_workers: 3,
+    }
+}
+
+proptest! {
+    /// Insertion order never changes the merged bytes or the report.
+    #[test]
+    fn merge_is_commutative(shards in arb_shards(), order_seed in any::<u64>()) {
+        let mut fwd = ShardMerge::new();
+        for (i, ck) in shards.iter().enumerate() {
+            fwd.add(i, ck.clone());
+        }
+        // A cheap deterministic shuffle of the insertion order.
+        let mut order: Vec<usize> = (0..shards.len()).collect();
+        for i in (1..order.len()).rev() {
+            let j = (order_seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(i as u32)
+                % (i as u64 + 1)) as usize;
+            order.swap(i, j);
+        }
+        let mut perm = ShardMerge::new();
+        for &i in &order {
+            perm.add(i, shards[i].clone());
+        }
+        prop_assert_eq!(finalize_bytes(&fwd), finalize_bytes(&perm));
+        let ra = report_from_campaign_checkpoint(
+            &fwd.finalize(&CostModel::default()).unwrap(),
+        );
+        let rb = report_from_campaign_checkpoint(
+            &perm.finalize(&CostModel::default()).unwrap(),
+        );
+        prop_assert_eq!(ra.to_canonical_json(), rb.to_canonical_json());
+    }
+
+    /// Any grouping of unions finalizes identically: (A ∪ B) ∪ C == A ∪ (B ∪ C),
+    /// with the split points chosen arbitrarily.
+    #[test]
+    fn merge_is_associative(shards in arb_shards(), cut_a in 0usize..6, cut_b in 0usize..6) {
+        let n = shards.len();
+        let (x, y) = (cut_a.min(n), cut_b.min(n));
+        let (lo, hi) = (x.min(y), x.max(y));
+        let group = |range: std::ops::Range<usize>| {
+            let mut m = ShardMerge::new();
+            for i in range {
+                m.add(i, shards[i].clone());
+            }
+            m
+        };
+        let (a, b, c) = (group(0..lo), group(lo..hi), group(hi..n));
+        let left = a.clone().union(b.clone()).union(c.clone());
+        let right = a.union(b.union(c));
+        prop_assert_eq!(left.len(), n);
+        prop_assert_eq!(finalize_bytes(&left), finalize_bytes(&right));
+    }
+
+    /// Every single-byte corruption of an SCFC envelope is detected.
+    #[test]
+    fn scfc_detects_any_byte_flip(
+        shards in arb_shards(),
+        at in any::<u64>(),
+        xor in 0u64..255,
+    ) {
+        let fc = sample_fleet(shards);
+        let bytes = encode_fleet_checkpoint(&fc).unwrap();
+        let i = (at % bytes.len() as u64) as usize;
+        let mut bad = bytes.clone();
+        bad[i] ^= (xor + 1) as u8;
+        prop_assert!(
+            decode_fleet_checkpoint(Path::new("p"), &bad).is_err(),
+            "flip at byte {} of {} went undetected", i, bytes.len()
+        );
+        // The pristine bytes still decode to the same value.
+        prop_assert_eq!(decode_fleet_checkpoint(Path::new("p"), &bytes).unwrap(), fc);
+    }
+
+    /// Every proper truncation of an SCFC envelope is detected.
+    #[test]
+    fn scfc_detects_any_truncation(steals in any::<u64>(), at in any::<u64>()) {
+        let fc = FleetCheckpoint {
+            label: "MLPCT-S1".into(),
+            seed: 42,
+            workers: 4,
+            stream_len: 1000,
+            shards: vec![],
+            steals,
+            reexecutions: steals / 2,
+            lost_workers: 1,
+        };
+        let bytes = encode_fleet_checkpoint(&fc).unwrap();
+        let cut = (at % bytes.len() as u64) as usize;
+        prop_assert!(
+            decode_fleet_checkpoint(Path::new("p"), &bytes[..cut]).is_err(),
+            "truncation to {} of {} bytes went undetected", cut, bytes.len()
+        );
+    }
+}
