@@ -21,8 +21,8 @@ use snowcat_harness::{
     load_shards_quarantining_instrumented, load_train_checkpoint_with_fallback,
     report_from_campaign_checkpoint, report_from_fleet_checkpoint, report_from_supervised,
     report_from_train, report_from_train_checkpoint, robust_train, run_fleet,
-    run_supervised_campaign, FaultPlan, FleetConfig, RobustTrainConfig, SupervisorConfig,
-    ThreadWorker, TrainFaultPlan,
+    run_supervised_campaign, FaultPlan, FleetCheckpoint, FleetConfig, RobustTrainConfig,
+    SupervisorConfig, ThreadWorker, TrainFaultPlan,
 };
 use snowcat_kernel::{asm, Kernel, KernelVersion};
 use snowcat_nn::{Checkpoint, PicConfig, PicModel, TrainConfig};
@@ -650,8 +650,9 @@ pub fn campaign(args: &Args) -> CmdResult {
     if let Some(v) = args.get("stop-after") {
         sup.stop_after = Some(v.parse().map_err(|_| format!("--stop-after: cannot parse {v:?}"))?);
     }
-    sup.fault_plan = FaultPlan::parse(&args.get_or("fault-plan", ""))
-        .map_err(|e| SnowcatError::Config(format!("--fault-plan: {e}")))?;
+    sup.fault_plan = FaultPlan::parse(&args.get_or("fault-plan", ""))?;
+    // No fleet here: 0 workers rejects any fleet directive outright.
+    sup.fault_plan.validate(stream.len(), 0)?;
     let (sink, writer) = spawn_event_writer(args)?;
     sup.events = sink;
 
@@ -900,6 +901,10 @@ pub fn fleet(args: &Args) -> CmdResult {
         "checkpoint-every",
         "fault-plan",
         "stall-ms",
+        "transport",
+        "min-workers",
+        "spawn-timeout-ms",
+        "respawn-backoff-ms",
         "report",
         "events",
         "serve",
@@ -912,6 +917,10 @@ pub fn fleet(args: &Args) -> CmdResult {
     let n_ctis = args.get_parse("ctis", 20usize)?;
     let budget = args.get_parse("budget", 20usize)?;
     let workers = args.get_parse("workers", 2usize)?;
+    let transport = args.get_or("transport", "thread");
+    if !matches!(transport.as_str(), "thread" | "process") {
+        return Err(format!("unknown transport {transport:?} (thread|process)").into());
+    }
     let dir = std::path::PathBuf::from(
         args.get("dir").ok_or("fleet: --dir DIR is required (holds shard + fleet checkpoints)")?,
     );
@@ -934,8 +943,17 @@ pub fn fleet(args: &Args) -> CmdResult {
     cfg.max_steals = args.get_parse("max-steals", 3u64)?;
     cfg.checkpoint_every = args.get_parse("checkpoint-every", 25usize)?;
     cfg.stall_ms = args.get_parse("stall-ms", 0u64)?;
-    cfg.fault_plan = FaultPlan::parse(&args.get_or("fault-plan", ""))
-        .map_err(|e| SnowcatError::Config(format!("--fault-plan: {e}")))?;
+    cfg.fault_plan = FaultPlan::parse(&args.get_or("fault-plan", ""))?;
+    cfg.fault_plan.validate(stream.len(), workers)?;
+    cfg.min_workers = args.get_parse("min-workers", 1usize)?;
+    if cfg.min_workers > workers {
+        return Err(format!("--min-workers {} exceeds --workers {workers}", cfg.min_workers).into());
+    }
+    cfg.spawn_timeout_ms = args.get_parse("spawn-timeout-ms", 10_000u64)?;
+    cfg.respawn_backoff_ms = args.get_parse("respawn-backoff-ms", 100u64)?;
+    // Process workers are expendable: their slots respawn (with backoff
+    // and a crash-loop breaker) instead of retiring on first death.
+    cfg.respawn = transport == "process";
     let (sink, writer) = spawn_event_writer(args)?;
     cfg.events = sink.clone();
 
@@ -949,61 +967,136 @@ pub fn fleet(args: &Args) -> CmdResult {
     }
 
     let explorer = args.get_or("explorer", "pct");
-    let fc = match explorer.as_str() {
-        "pct" => {
+    // Even a failed or degraded fleet must seal its event stream — the
+    // degradation and crash-loop events are exactly what a post-mortem
+    // (`snowcat status DIR`) needs to see.
+    let fleet_result = (|| -> Result<FleetCheckpoint, Box<dyn std::error::Error>> {
+        Ok(if transport == "process" {
             if args.has_flag("serve") {
-                return Err("--serve requires an MLPCT explorer (s1|s2|s3)".into());
+                return Err("--serve requires --transport thread: the in-process \
+                        inference server cannot be shared across worker processes"
+                    .into());
             }
-            let make = |_slot: usize| Explorer::Pct;
-            let worker = ThreadWorker {
-                kernel: &k,
-                corpus: &corpus,
-                stream: &stream,
-                explore_cfg: &explore_cfg,
-                cost: &cost,
+            let label = match explorer.as_str() {
+                "pct" => "PCT".to_string(),
+                s @ ("s1" | "s2" | "s3") => {
+                    // Validate the model now for a fast config error; each
+                    // worker subprocess reloads it from --model itself.
+                    load_model(args)?;
+                    let kind = match s {
+                        "s1" => StrategyKind::S1,
+                        "s2" => StrategyKind::S2,
+                        _ => StrategyKind::S3(2),
+                    };
+                    format!("MLPCT-{}", kind.build().name())
+                }
+                other => return Err(format!("unknown explorer {other:?} (pct|s1|s2|s3)").into()),
+            };
+            // The worker command must rebuild the exact same kernel, corpus,
+            // stream, and explorer — the wire handshake cross-checks
+            // (label, seed, stream_len) and refuses a mismatched worker.
+            let mut wargs = vec![
+                "fleet-worker".to_string(),
+                "--version".into(),
+                args.get_or("version", "5.12"),
+                "--seed".into(),
+                seed.to_string(),
+                "--ctis".into(),
+                n_ctis.to_string(),
+                "--budget".into(),
+                budget.to_string(),
+                "--explorer".into(),
+                explorer.clone(),
+                "--dir".into(),
+                dir.display().to_string(),
+                "--lease-ms".into(),
+                cfg.lease_ms.to_string(),
+                "--max-steals".into(),
+                cfg.max_steals.to_string(),
+                "--checkpoint-every".into(),
+                cfg.checkpoint_every.to_string(),
+                "--stall-ms".into(),
+                cfg.stall_ms.to_string(),
+            ];
+            if let Some(model) = args.get("model") {
+                wargs.push("--model".into());
+                wargs.push(model.to_string());
+            }
+            let fault_plan = args.get_or("fault-plan", "");
+            if !fault_plan.is_empty() {
+                wargs.push("--fault-plan".into());
+                wargs.push(fault_plan);
+            }
+            let command = snowcat_harness::WorkerCommand {
+                program: std::env::current_exe().map_err(|e| {
+                    format!("cannot locate the snowcat binary to spawn workers: {e}")
+                })?,
+                args: wargs,
+            };
+            let worker = snowcat_harness::ProcessWorker {
+                command,
                 cfg: &cfg,
-                make_explorer: &make,
+                label: label.clone(),
+                seed,
+                stream_len: stream.len(),
             };
-            run_fleet(&worker, "PCT", seed, stream.len(), &cfg, resume)?
-        }
-        s @ ("s1" | "s2" | "s3") => {
-            let ck = load_model(args)?;
-            let kcfg = KernelCfg::build(&k);
-            let kind = match s {
-                "s1" => StrategyKind::S1,
-                "s2" => StrategyKind::S2,
-                _ => StrategyKind::S3(2),
-            };
-            let label = format!("MLPCT-{}", kind.build().name());
-            // Every worker slot gets its own Pic (graph builder + cache);
-            // with --serve they all route inference through one shared
-            // micro-batching server instead of predicting inline.
-            let pics: Vec<Pic> = (0..workers).map(|_| Pic::new(&ck, &k, &kcfg)).collect();
-            if args.has_flag("serve") {
-                let serve_cfg = ServeConfig {
-                    max_batch: args.get_parse("serve-batch", 16usize)?,
-                    max_wait_us: args.get_parse("serve-wait-us", 200u64)?,
-                    workers: args.get_parse("serve-workers", 1usize)?,
-                    ..ServeConfig::default()
-                };
-                let mut server = InferenceServer::start(&ck, serve_cfg, sink.clone());
-                let handles: Vec<_> = (0..workers).map(|_| server.handle()).collect();
-                let make = |slot: usize| Explorer::MlPct {
-                    service: PredictorService::with(&pics[slot], &handles[slot]),
-                    strategy: kind.build(),
-                };
-                let worker = ThreadWorker {
-                    kernel: &k,
-                    corpus: &corpus,
-                    stream: &stream,
-                    explore_cfg: &explore_cfg,
-                    cost: &cost,
-                    cfg: &cfg,
-                    make_explorer: &make,
-                };
-                let fc = run_fleet(&worker, &label, seed, stream.len(), &cfg, resume)?;
-                let sv = server.shutdown();
-                println!(
+            run_fleet(&worker, &label, seed, stream.len(), &cfg, resume)?
+        } else {
+            match explorer.as_str() {
+                "pct" => {
+                    if args.has_flag("serve") {
+                        return Err("--serve requires an MLPCT explorer (s1|s2|s3)".into());
+                    }
+                    let make = |_slot: usize| Explorer::Pct;
+                    let worker = ThreadWorker {
+                        kernel: &k,
+                        corpus: &corpus,
+                        stream: &stream,
+                        explore_cfg: &explore_cfg,
+                        cost: &cost,
+                        cfg: &cfg,
+                        make_explorer: &make,
+                    };
+                    run_fleet(&worker, "PCT", seed, stream.len(), &cfg, resume)?
+                }
+                s @ ("s1" | "s2" | "s3") => {
+                    let ck = load_model(args)?;
+                    let kcfg = KernelCfg::build(&k);
+                    let kind = match s {
+                        "s1" => StrategyKind::S1,
+                        "s2" => StrategyKind::S2,
+                        _ => StrategyKind::S3(2),
+                    };
+                    let label = format!("MLPCT-{}", kind.build().name());
+                    // Every worker slot gets its own Pic (graph builder + cache);
+                    // with --serve they all route inference through one shared
+                    // micro-batching server instead of predicting inline.
+                    let pics: Vec<Pic> = (0..workers).map(|_| Pic::new(&ck, &k, &kcfg)).collect();
+                    if args.has_flag("serve") {
+                        let serve_cfg = ServeConfig {
+                            max_batch: args.get_parse("serve-batch", 16usize)?,
+                            max_wait_us: args.get_parse("serve-wait-us", 200u64)?,
+                            workers: args.get_parse("serve-workers", 1usize)?,
+                            ..ServeConfig::default()
+                        };
+                        let mut server = InferenceServer::start(&ck, serve_cfg, sink.clone());
+                        let handles: Vec<_> = (0..workers).map(|_| server.handle()).collect();
+                        let make = |slot: usize| Explorer::MlPct {
+                            service: PredictorService::with(&pics[slot], &handles[slot]),
+                            strategy: kind.build(),
+                        };
+                        let worker = ThreadWorker {
+                            kernel: &k,
+                            corpus: &corpus,
+                            stream: &stream,
+                            explore_cfg: &explore_cfg,
+                            cost: &cost,
+                            cfg: &cfg,
+                            make_explorer: &make,
+                        };
+                        let fc = run_fleet(&worker, &label, seed, stream.len(), &cfg, resume)?;
+                        let sv = server.shutdown();
+                        println!(
                     "serving: {} requests, {} graphs, {} flushes ({:.0}% fill) shared by {} workers",
                     sv.requests,
                     sv.graphs,
@@ -1011,22 +1104,31 @@ pub fn fleet(args: &Args) -> CmdResult {
                     sv.batch_fill * 100.0,
                     workers
                 );
-                fc
-            } else {
-                let make = |slot: usize| Explorer::mlpct(&pics[slot], kind.build());
-                let worker = ThreadWorker {
-                    kernel: &k,
-                    corpus: &corpus,
-                    stream: &stream,
-                    explore_cfg: &explore_cfg,
-                    cost: &cost,
-                    cfg: &cfg,
-                    make_explorer: &make,
-                };
-                run_fleet(&worker, &label, seed, stream.len(), &cfg, resume)?
+                        fc
+                    } else {
+                        let make = |slot: usize| Explorer::mlpct(&pics[slot], kind.build());
+                        let worker = ThreadWorker {
+                            kernel: &k,
+                            corpus: &corpus,
+                            stream: &stream,
+                            explore_cfg: &explore_cfg,
+                            cost: &cost,
+                            cfg: &cfg,
+                            make_explorer: &make,
+                        };
+                        run_fleet(&worker, &label, seed, stream.len(), &cfg, resume)?
+                    }
+                }
+                other => return Err(format!("unknown explorer {other:?} (pct|s1|s2|s3)").into()),
             }
+        })
+    })();
+    let fc = match fleet_result {
+        Ok(fc) => fc,
+        Err(e) => {
+            finish_event_writer(writer)?;
+            return Err(e);
         }
-        other => return Err(format!("unknown explorer {other:?} (pct|s1|s2|s3)").into()),
     };
 
     println!(
@@ -1060,6 +1162,93 @@ pub fn fleet(args: &Args) -> CmdResult {
         println!("report written to {path}");
     }
     finish_event_writer(writer)?;
+    Ok(())
+}
+
+/// `snowcat fleet-worker` — the hidden subprocess side of
+/// `snowcat fleet --transport process`. Rebuilds the same deterministic
+/// kernel/corpus/stream as the coordinator from the pass-through flags,
+/// then serves exactly one shard lease over the SCWP stdin/stdout wire
+/// protocol (handshake, assignment, heartbeats, result).
+///
+/// NOTHING in this function may print to stdout — stdout *is* the wire.
+/// Diagnostics go to stderr (inherited from the coordinator).
+pub fn fleet_worker(args: &Args) -> CmdResult {
+    args.ensure_known(&[
+        "version",
+        "seed",
+        "ctis",
+        "budget",
+        "explorer",
+        "model",
+        "dir",
+        "lease-ms",
+        "max-steals",
+        "checkpoint-every",
+        "fault-plan",
+        "stall-ms",
+    ])?;
+    let k = build_kernel(args)?;
+    let seed = args.get_parse("seed", DEFAULT_SEED)?;
+    let n_ctis = args.get_parse("ctis", 20usize)?;
+    let budget = args.get_parse("budget", 20usize)?;
+    let dir = std::path::PathBuf::from(args.get_or("dir", "."));
+
+    let mut fz = StiFuzzer::new(&k, seed);
+    fz.seed_each_syscall();
+    fz.fuzz(100);
+    let corpus = fz.into_corpus();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xE0);
+    let stream = interacting_cti_pairs(&mut rng, &corpus, n_ctis);
+
+    let explore_cfg = ExploreConfig::default().with_exec_budget(budget).with_seed(seed);
+    let cost = CostModel::default();
+
+    let mut cfg = FleetConfig::new(1, &dir);
+    cfg.lease_ms = args.get_parse("lease-ms", 2_000u64)?;
+    cfg.max_steals = args.get_parse("max-steals", 3u64)?;
+    cfg.checkpoint_every = args.get_parse("checkpoint-every", 25usize)?;
+    cfg.stall_ms = args.get_parse("stall-ms", 0u64)?;
+    cfg.fault_plan = FaultPlan::parse(&args.get_or("fault-plan", ""))?;
+
+    match args.get_or("explorer", "pct").as_str() {
+        "pct" => {
+            let make = |_slot: usize| Explorer::Pct;
+            let worker = ThreadWorker {
+                kernel: &k,
+                corpus: &corpus,
+                stream: &stream,
+                explore_cfg: &explore_cfg,
+                cost: &cost,
+                cfg: &cfg,
+                make_explorer: &make,
+            };
+            snowcat_harness::serve_worker(&worker, "PCT", seed, stream.len(), cfg.lease_ms)?;
+        }
+        s @ ("s1" | "s2" | "s3") => {
+            let ck = load_model(args)?;
+            let kcfg = KernelCfg::build(&k);
+            let kind = match s {
+                "s1" => StrategyKind::S1,
+                "s2" => StrategyKind::S2,
+                _ => StrategyKind::S3(2),
+            };
+            let label = format!("MLPCT-{}", kind.build().name());
+            let pic = Pic::new(&ck, &k, &kcfg);
+            let make = |_slot: usize| Explorer::mlpct(&pic, kind.build());
+            let worker = ThreadWorker {
+                kernel: &k,
+                corpus: &corpus,
+                stream: &stream,
+                explore_cfg: &explore_cfg,
+                cost: &cost,
+                cfg: &cfg,
+                make_explorer: &make,
+            };
+            snowcat_harness::serve_worker(&worker, &label, seed, stream.len(), cfg.lease_ms)?;
+        }
+        other => return Err(format!("unknown explorer {other:?} (pct|s1|s2|s3)").into()),
+    }
     Ok(())
 }
 
@@ -1471,6 +1660,8 @@ fn print_human_status(view: &StatusView) {
     let mut fleet_started: Option<(u64, u64, bool)> = None;
     let (mut fleet_steals, mut fleet_lost, mut fleet_quarantined) = (0u64, 0u64, 0u64);
     let (mut fleet_done, mut fleet_ckpts) = (0u64, 0u64);
+    let (mut fleet_spawns, mut fleet_respawns, mut fleet_crash_loops) = (0u64, 0u64, 0u64);
+    let mut fleet_degraded: Option<(u64, u64)> = None;
     let mut fleet_finished: Option<FleetEvent> = None;
     for r in recs {
         match &r.event {
@@ -1528,6 +1719,12 @@ fn print_human_status(view: &StatusView) {
                 FleetEvent::ShardQuarantined { .. } => fleet_quarantined += 1,
                 FleetEvent::ShardCompleted { .. } => fleet_done += 1,
                 FleetEvent::CheckpointWritten { .. } => fleet_ckpts += 1,
+                FleetEvent::WorkerSpawned { .. } => fleet_spawns += 1,
+                FleetEvent::WorkerRespawned { .. } => fleet_respawns += 1,
+                FleetEvent::WorkerCrashLoop { .. } => fleet_crash_loops += 1,
+                FleetEvent::FleetDegraded { live_workers, min_workers } => {
+                    fleet_degraded = Some((*live_workers, *min_workers));
+                }
                 FleetEvent::Finished { .. } => fleet_finished = Some(e.clone()),
                 _ => {}
             },
@@ -1624,6 +1821,15 @@ fn print_human_status(view: &StatusView) {
             "  stealing : {fleet_steals} steal(s), {fleet_lost} lost worker(s), \
              {fleet_ckpts} fleet checkpoint(s)"
         );
+        if fleet_spawns > 0 {
+            println!(
+                "  processes: {fleet_spawns} spawn(s), {fleet_respawns} respawn(s), \
+                 {fleet_crash_loops} crash loop(s)"
+            );
+        }
+        if let Some((live, floor)) = fleet_degraded {
+            println!("  DEGRADED : {live} live worker(s) left, below the --min-workers floor of {floor} — resumable");
+        }
         if let Some(FleetEvent::Finished { reexecutions, executions, races, .. }) = &fleet_finished
         {
             println!(

@@ -81,11 +81,19 @@ COMMANDS:
             `--resume` after killing any worker — or the whole process —
             finishes with a merged report byte-identical to an
             uninterrupted run, and `--workers 1` is bit-identical to
-            `snowcat campaign`
+            `snowcat campaign`. `--transport process` runs each shard
+            lease in a `snowcat fleet-worker` subprocess (isolation from
+            worker segfaults/OOM), with spawn/handshake timeouts,
+            exponential respawn backoff, a crash-loop breaker, and
+            kill-on-drop orphan reaping; when live workers drop below
+            `--min-workers` the fleet checkpoints and exits resumable
+            with code 8
               --version V --dir DIR [--workers N] [--seed N] [--ctis N]
               [--budget B] [--explorer pct|s1|s2|s3] [--model FILE]
               [--resume] [--lease-ms MS] [--max-steals K]
               [--checkpoint-every K] [--fault-plan SPEC] [--stall-ms MS]
+              [--transport thread|process] [--min-workers N]
+              [--spawn-timeout-ms MS] [--respawn-backoff-ms MS]
               [--report FILE] [--events DIR]
               [--serve] [--serve-batch N] [--serve-wait-us U] [--serve-workers W]
   serve     run the micro-batching inference server over a synthetic
@@ -106,8 +114,9 @@ EXIT CODES:
   3 CT hung   4 checkpoint corrupt      5 campaign worker failed
   6 predictor degraded (with --fail-on-degraded)
   7 training diverged (anomaly persisted through every salted retry)
-  8 fleet failed (every worker lost / lease expired; the SCFC checkpoint
-    stays on disk — rerun with --resume)
+  8 fleet failed or degraded (every worker lost / lease expired / live
+    workers below --min-workers; the SCFC checkpoint stays on disk —
+    rerun with --resume)
 ";
 
 fn main() {
@@ -129,6 +138,9 @@ fn main() {
         Some("analyze") => cmds::analyze(&args),
         Some("campaign") => cmds::campaign(&args),
         Some("fleet") => cmds::fleet(&args),
+        // Hidden: the process-transport worker side of `snowcat fleet`.
+        // Speaks the SCWP wire protocol on stdin/stdout; not for humans.
+        Some("fleet-worker") => cmds::fleet_worker(&args),
         Some("serve") => cmds::serve(&args),
         Some("status") => cmds::status(&args),
         Some("help") | None => {

@@ -118,6 +118,26 @@ pub enum SnowcatError {
         /// The heartbeat deadline that was missed, in milliseconds.
         deadline_ms: u64,
     },
+    /// The fleet degraded below its configured worker floor: live workers
+    /// dropped under `--min-workers` (but not to zero), so the coordinator
+    /// checkpointed and stopped rather than limping along. The SCFC stays
+    /// on disk; rerun with `--resume`.
+    FleetDegraded {
+        /// Workers still alive when the fleet stopped.
+        live_workers: usize,
+        /// The configured worker floor.
+        min_workers: usize,
+        /// Where to resume from.
+        detail: String,
+    },
+    /// A fault-plan spec was rejected: an unknown directive, a malformed
+    /// token, or a position/slot outside the run it was applied to.
+    FaultPlan {
+        /// The offending token (or the whole spec when the token is unknown).
+        token: String,
+        /// What the parser or validator objected to.
+        detail: String,
+    },
 }
 
 impl fmt::Display for SnowcatError {
@@ -181,6 +201,16 @@ impl fmt::Display for SnowcatError {
                      {deadline_ms}ms heartbeat deadline"
                 )
             }
+            SnowcatError::FleetDegraded { live_workers, min_workers, detail } => {
+                write!(
+                    f,
+                    "fleet degraded: {live_workers} live worker(s) left, below the \
+                     --min-workers floor of {min_workers}: {detail}"
+                )
+            }
+            SnowcatError::FaultPlan { token, detail } => {
+                write!(f, "invalid fault plan: '{token}': {detail}")
+            }
         }
     }
 }
@@ -191,7 +221,7 @@ impl SnowcatError {
     pub fn exit_code(&self) -> i32 {
         match self {
             SnowcatError::Io { .. } | SnowcatError::Parse { .. } => 1,
-            SnowcatError::Config(_) => 2,
+            SnowcatError::Config(_) | SnowcatError::FaultPlan { .. } => 2,
             SnowcatError::ExecutionHung { .. } => 3,
             SnowcatError::CheckpointCorrupt { .. } => 4,
             SnowcatError::CampaignFailed { .. } => 5,
@@ -199,7 +229,8 @@ impl SnowcatError {
             SnowcatError::TrainingDiverged { .. } => 7,
             SnowcatError::FleetFailed { .. }
             | SnowcatError::WorkerLost { .. }
-            | SnowcatError::LeaseExpired { .. } => 8,
+            | SnowcatError::LeaseExpired { .. }
+            | SnowcatError::FleetDegraded { .. } => 8,
         }
     }
 }
@@ -452,12 +483,29 @@ mod tests {
         let lost =
             SnowcatError::WorkerLost { worker: 2, shard: 1, detail: "worker panicked".into() };
         let expired = SnowcatError::LeaseExpired { shard: 3, worker: 0, deadline_ms: 500 };
-        for err in [&failed, &lost, &expired] {
+        let degraded = SnowcatError::FleetDegraded {
+            live_workers: 1,
+            min_workers: 2,
+            detail: "resume from run/fleet.scfc".into(),
+        };
+        for err in [&failed, &lost, &expired, &degraded] {
             assert_eq!(err.exit_code(), 8, "{err}");
         }
         assert!(failed.to_string().contains("2/4 shard(s)"), "{failed}");
         assert!(lost.to_string().contains("worker 2"), "{lost}");
         assert!(expired.to_string().contains("500ms"), "{expired}");
+        assert!(degraded.to_string().contains("below the --min-workers floor of 2"), "{degraded}");
+    }
+
+    #[test]
+    fn fault_plan_errors_are_config_class() {
+        let err = SnowcatError::FaultPlan {
+            token: "hang@99".into(),
+            detail: "position 99 is outside the 16-CTI stream".into(),
+        };
+        assert_eq!(err.exit_code(), 2);
+        let msg = err.to_string();
+        assert!(msg.contains("hang@99") && msg.contains("outside"), "{msg}");
     }
 
     #[test]

@@ -169,6 +169,19 @@ pub enum FleetEvent {
     ShardCompleted { shard: u64, worker: u64, executions: u64, races: u64 },
     /// A shard made no progress across the steal limit and was quarantined.
     ShardQuarantined { shard: u64, generations: u64 },
+    /// A worker subprocess was spawned for a slot (process transport).
+    WorkerSpawned { worker: u64, pid: u64, attempt: u64 },
+    /// A spawned worker subprocess failed its handshake (timed out, died
+    /// before reporting ready, or reported a mismatched campaign identity).
+    WorkerHandshakeFailed { worker: u64, attempt: u64, detail: String },
+    /// A dead worker slot was respawned after a backoff delay.
+    WorkerRespawned { worker: u64, attempt: u64, backoff_ms: u64 },
+    /// A worker slot died repeatedly and its crash-loop breaker fired: the
+    /// slot retires instead of respawning forever.
+    WorkerCrashLoop { worker: u64, deaths: u64, detail: String },
+    /// Live workers dropped below the configured floor: the fleet
+    /// checkpointed and stopped resumable instead of limping along.
+    FleetDegraded { live_workers: u64, min_workers: u64 },
     /// The rolled-up SCFC fleet checkpoint was persisted.
     CheckpointWritten { path: String, done_shards: u64, ordinal: u64, rotated: bool },
     /// Coordinator exit: merged cumulative counts.
@@ -315,6 +328,11 @@ impl Event {
                 FleetEvent::ShardStolen { .. } => "fleet.steal",
                 FleetEvent::ShardCompleted { .. } => "fleet.shard_done",
                 FleetEvent::ShardQuarantined { .. } => "fleet.shard_quarantined",
+                FleetEvent::WorkerSpawned { .. } => "fleet.worker_spawned",
+                FleetEvent::WorkerHandshakeFailed { .. } => "fleet.worker_handshake_failed",
+                FleetEvent::WorkerRespawned { .. } => "fleet.worker_respawned",
+                FleetEvent::WorkerCrashLoop { .. } => "fleet.worker_crash_loop",
+                FleetEvent::FleetDegraded { .. } => "fleet.degraded",
                 FleetEvent::CheckpointWritten { .. } => "fleet.checkpoint",
                 FleetEvent::Finished { .. } => "fleet.finished",
             },

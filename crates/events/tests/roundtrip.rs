@@ -149,7 +149,7 @@ fn arb_serve() -> impl Strategy<Value = ServeEvent> {
 
 fn arb_fleet() -> impl Strategy<Value = FleetEvent> {
     (
-        0usize..9,
+        0usize..14,
         arb_string(),
         (0u64..1_000_000, 0u64..1_000_000, 0u64..1_000_000),
         (0u64..64, 0u64..64, 0u64..10_000),
@@ -175,6 +175,11 @@ fn arb_fleet() -> impl Strategy<Value = FleetEvent> {
                 ordinal: b,
                 rotated: flag,
             },
+            8 => FleetEvent::WorkerSpawned { worker: y, pid: a, attempt: z },
+            9 => FleetEvent::WorkerHandshakeFailed { worker: y, attempt: z, detail: text },
+            10 => FleetEvent::WorkerRespawned { worker: y, attempt: z, backoff_ms: a },
+            11 => FleetEvent::WorkerCrashLoop { worker: y, deaths: z, detail: text },
+            12 => FleetEvent::FleetDegraded { live_workers: x, min_workers: y },
             _ => FleetEvent::Finished {
                 shards: x,
                 steals: y,
@@ -352,6 +357,19 @@ fn one_of_each() -> Vec<Event> {
         }),
         Event::Fleet(FleetEvent::ShardCompleted { shard: 2, worker: 3, executions: 40, races: 7 }),
         Event::Fleet(FleetEvent::ShardQuarantined { shard: 0, generations: 3 }),
+        Event::Fleet(FleetEvent::WorkerSpawned { worker: 1, pid: 4242, attempt: 0 }),
+        Event::Fleet(FleetEvent::WorkerHandshakeFailed {
+            worker: 1,
+            attempt: 1,
+            detail: "handshake timed out after 100ms".into(),
+        }),
+        Event::Fleet(FleetEvent::WorkerRespawned { worker: 1, attempt: 2, backoff_ms: 400 }),
+        Event::Fleet(FleetEvent::WorkerCrashLoop {
+            worker: 1,
+            deaths: 4,
+            detail: "exit status 8; no progress since last checkpoint".into(),
+        }),
+        Event::Fleet(FleetEvent::FleetDegraded { live_workers: 1, min_workers: 2 }),
         Event::Fleet(FleetEvent::CheckpointWritten {
             path: "fleet.scfc".into(),
             done_shards: 3,

@@ -368,8 +368,9 @@ impl ShardMerge {
 // ---------------------------------------------------------------------------
 
 /// Per-worker fault the coordinator arms from the [`FaultPlan`]; consumed
-/// on the worker's first lease.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// on the worker's first lease. Serde because the process transport ships
+/// armed faults to the subprocess inside the wire assignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum WorkerFault {
     /// Die (return an error) right after the first shard checkpoint.
     Kill,
@@ -443,6 +444,16 @@ pub struct ThreadWorker<'a> {
 
 impl FleetWorker for ThreadWorker<'_> {
     fn run_shard(&self, asg: &ShardAssignment) -> Result<SupervisedResult, SnowcatError> {
+        if self.cfg.fault_plan.poison_shards.contains(&asg.shard) {
+            // Poison shard: every holder dies before any progress, every
+            // generation — a reproducible crash loop only the
+            // coordinator's quarantine breaker can end.
+            return Err(SnowcatError::WorkerLost {
+                worker: asg.worker,
+                shard: asg.shard,
+                detail: "injected poison shard".into(),
+            });
+        }
         let sub = &self.stream[asg.start..asg.end];
         // Campaign-level hang faults are specified at *global* stream
         // positions; shift the ones inside this shard to local positions.
@@ -527,11 +538,27 @@ pub struct FleetConfig {
     /// Structured-event sink (fleet events only; workers run unsinked so
     /// the stream stays one coherent coordinator timeline).
     pub events: Option<EventSink>,
+    /// Degradation floor: when live worker slots drop below this, the
+    /// fleet checkpoints, emits [`FleetEvent::FleetDegraded`], and exits
+    /// resumable instead of limping on (or spinning at zero workers).
+    pub min_workers: usize,
+    /// Process transport: how long a spawned worker has to complete its
+    /// handshake before the attempt counts as failed.
+    pub spawn_timeout_ms: u64,
+    /// Process transport: base delay for exponential respawn backoff.
+    pub respawn_backoff_ms: u64,
+    /// Respawn a worker slot after its lease dies instead of retiring it.
+    /// Thread transport defaults to `false` (a dead thread slot stays
+    /// dead, PR 9 behaviour); the process transport sets `true` — slots
+    /// survive worker-process death, and a crash-loop breaker retires a
+    /// slot only after `max_steals + 1` consecutive failures.
+    pub respawn: bool,
 }
 
 impl FleetConfig {
     /// Defaults: 2s lease deadline, 3 steals before quarantine,
-    /// checkpoint every 25 positions, no faults.
+    /// checkpoint every 25 positions, no faults, 1-worker degradation
+    /// floor, 10s spawn timeout, 100ms respawn backoff base, no respawn.
     pub fn new(workers: usize, dir: impl Into<PathBuf>) -> Self {
         Self {
             workers: workers.max(1),
@@ -542,6 +569,10 @@ impl FleetConfig {
             stall_ms: 0,
             fault_plan: FaultPlan::default(),
             events: None,
+            min_workers: 1,
+            spawn_timeout_ms: 10_000,
+            respawn_backoff_ms: 100,
+            respawn: false,
         }
     }
 }
@@ -559,6 +590,20 @@ struct LeaseRecord {
     resume_position: usize,
 }
 
+/// Monotonic lease-deadline check: a lease is expired when `now` is at
+/// least `deadline` past the last observed beat-count change.
+///
+/// All lease arithmetic uses [`Instant`] exclusively — never a
+/// wall-clock time source — so clock jumps (NTP steps, manual
+/// `date -s`, suspend/resume clock corrections) can neither expire a
+/// healthy lease nor extend a dead one. `saturating_duration_since`
+/// additionally tolerates the monitor observing an `Instant` taken
+/// "before" `last_change` on platforms with per-CPU monotonic skew:
+/// saturation reads as elapsed-zero, which never falsely expires.
+fn lease_expired(last_change: Instant, now: Instant, deadline: Duration) -> bool {
+    now.saturating_duration_since(last_change) >= deadline
+}
+
 struct Coord {
     shards: Vec<ShardState>,
     leases: Vec<Option<LeaseRecord>>,
@@ -570,6 +615,10 @@ struct Coord {
     live_workers: usize,
     ckpt_ordinal: u64,
     failed: bool,
+    /// Live-worker count at the moment the fleet degraded below the
+    /// `min_workers` floor (`None` while healthy). Captured here, not at
+    /// fleet teardown — by then every slot has drained to zero.
+    degraded: Option<usize>,
 }
 
 impl Coord {
@@ -798,12 +847,42 @@ impl FleetCtx<'_> {
         self.requeue(&mut c, shard);
     }
 
+    /// Retire a worker slot. Degradation is checked *here*, eagerly, not
+    /// only on monitor ticks: two slots retiring back-to-back between
+    /// ticks would otherwise drive `live_workers` straight to zero and
+    /// misreport a degraded fleet as a totally failed one.
     fn worker_exit(&self) {
         let mut c = self.coord.lock().expect("fleet coordinator poisoned");
         c.live_workers -= 1;
+        let live = c.live_workers;
+        if !c.failed
+            && c.degraded.is_none()
+            && !c.all_terminal()
+            && live < self.cfg.min_workers
+            && live > 0
+        {
+            // Below the floor with work remaining: stop leasing, persist
+            // everything, and exit resumable. `failed` halts the other
+            // loops; `degraded` selects the FleetDegraded error over
+            // FleetFailed. live == 0 keeps the PR 9 FleetFailed shape.
+            c.degraded = Some(live);
+            c.failed = true;
+            if let Some(sink) = self.sink() {
+                sink.fleet(FleetEvent::FleetDegraded {
+                    live_workers: live as u64,
+                    min_workers: self.cfg.min_workers as u64,
+                });
+            }
+            self.rollup(&mut c);
+        }
     }
 
     fn worker_loop(&self, slot: usize, worker: &dyn FleetWorker) {
+        // Consecutive lease failures on this slot; reset on every success.
+        // Only meaningful with `cfg.respawn` (process transport): the
+        // crash-loop breaker retires the slot after `max_steals + 1`
+        // consecutive deaths instead of respawning forever.
+        let mut consecutive_failures = 0u64;
         loop {
             match self.try_lease(slot) {
                 LeaseDecision::Stop => break,
@@ -822,14 +901,53 @@ impl FleetCtx<'_> {
                     });
                     match res {
                         Ok(_) => {
+                            consecutive_failures = 0;
                             if !self.finish_shard(slot, shard, generation) {
                                 // Lease revoked mid-run: declared dead.
                                 break;
                             }
                         }
                         Err(e) => {
-                            self.lose_worker(slot, shard, generation, &e.to_string());
-                            break;
+                            let detail = e.to_string();
+                            self.lose_worker(slot, shard, generation, &detail);
+                            if !self.cfg.respawn {
+                                break; // Thread transport: slot dies with its worker.
+                            }
+                            {
+                                // Poison shard vs flaky worker: if this
+                                // death tipped the shard into quarantine,
+                                // the shard was at fault — don't also
+                                // charge the slot's crash-loop breaker.
+                                let c = self.coord.lock().expect("fleet coordinator poisoned");
+                                if c.shards[shard].status == ShardStatus::Quarantined {
+                                    consecutive_failures = 0;
+                                    continue;
+                                }
+                            }
+                            consecutive_failures += 1;
+                            if consecutive_failures > self.cfg.max_steals {
+                                if let Some(sink) = self.sink() {
+                                    sink.fleet(FleetEvent::WorkerCrashLoop {
+                                        worker: slot as u64,
+                                        deaths: consecutive_failures,
+                                        detail,
+                                    });
+                                }
+                                break;
+                            }
+                            let backoff_ms = crate::process_worker::respawn_backoff(
+                                self.cfg.respawn_backoff_ms,
+                                slot,
+                                consecutive_failures,
+                            );
+                            if let Some(sink) = self.sink() {
+                                sink.fleet(FleetEvent::WorkerRespawned {
+                                    worker: slot as u64,
+                                    attempt: consecutive_failures,
+                                    backoff_ms,
+                                });
+                            }
+                            std::thread::sleep(Duration::from_millis(backoff_ms));
                         }
                     }
                 }
@@ -844,7 +962,7 @@ impl FleetCtx<'_> {
         loop {
             std::thread::sleep(tick);
             let mut c = self.coord.lock().expect("fleet coordinator poisoned");
-            if c.all_terminal() {
+            if c.all_terminal() || c.failed {
                 return;
             }
             if c.live_workers == 0 {
@@ -859,7 +977,7 @@ impl FleetCtx<'_> {
                 if beats != rec.beats_seen {
                     rec.beats_seen = beats;
                     rec.last_change = now;
-                } else if now.duration_since(rec.last_change) >= deadline {
+                } else if lease_expired(rec.last_change, now, deadline) {
                     expired.push((shard, rec.worker));
                 }
             }
@@ -991,6 +1109,7 @@ pub fn run_fleet(
             live_workers: cfg.workers,
             ckpt_ordinal: 0,
             failed: false,
+            degraded: None,
         }),
     };
     {
@@ -1018,8 +1137,19 @@ pub fn run_fleet(
         reexecutions: c.reexecutions,
         lost_workers: c.lost_workers,
     };
+    let degraded = c.degraded;
     drop(c);
     if !fc.is_complete() {
+        if let Some(live_workers) = degraded {
+            // Graceful degradation: slots retired past the --min-workers
+            // floor with work left. Progress is checkpointed; resume with
+            // the same flags (or fresh workers) to finish.
+            return Err(SnowcatError::FleetDegraded {
+                live_workers,
+                min_workers: cfg.min_workers,
+                detail: format!("resume from {}", ctx.scfc_path.display()),
+            });
+        }
         let failed_shards: Vec<usize> =
             fc.shards.iter().filter(|s| !s.is_terminal()).map(|s| s.index).collect();
         return Err(SnowcatError::FleetFailed {
@@ -1081,6 +1211,27 @@ mod tests {
     use super::*;
     use crate::fault::corrupt;
     use snowcat_vm::BitSet;
+
+    #[test]
+    fn lease_expiry_is_monotonic_and_saturating() {
+        let deadline = Duration::from_millis(500);
+        let t0 = Instant::now();
+        // Fresh lease: not expired at (or just after) the last change.
+        assert!(!lease_expired(t0, t0, deadline));
+        // Exactly at the deadline: expired (>= semantics).
+        assert!(lease_expired(t0, t0 + deadline, deadline));
+        // Well past the deadline: expired.
+        assert!(lease_expired(t0, t0 + deadline * 3, deadline));
+        // One tick short: still alive.
+        assert!(!lease_expired(t0, t0 + deadline - Duration::from_millis(1), deadline));
+        // `now` observed *before* `last_change` (cross-CPU monotonic skew):
+        // saturates to zero elapsed — never a false expiry.
+        if let Some(earlier) = t0.checked_sub(Duration::from_secs(10)) {
+            assert!(!lease_expired(t0, earlier, deadline));
+        }
+        // Zero deadline degenerates to always-expired, not a panic.
+        assert!(lease_expired(t0, t0, Duration::ZERO));
+    }
 
     fn shard_ck(label: &str, seed: u64, tag: u64) -> CampaignCheckpoint {
         let mut blocks = BitSet::new(64);

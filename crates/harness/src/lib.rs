@@ -21,7 +21,12 @@
 //! * [`fleet`] — a fault-tolerant campaign fleet: sharded workers behind
 //!   one [`fleet::FleetWorker`] seam, lease-based work stealing with
 //!   heartbeat deadlines, and crash-consistent SCFC fleet checkpoints
-//!   whose shard merges are order-independent.
+//!   whose shard merges are order-independent,
+//! * [`transport`] + [`process_worker`] — the process transport for that
+//!   seam: `snowcat fleet-worker` subprocesses speaking a length-prefixed
+//!   CRC-framed stdin/stdout protocol, supervised with spawn timeouts,
+//!   respawn backoff, a crash-loop breaker, kill-on-drop orphan reaping,
+//!   and graceful degradation below a `--min-workers` floor.
 //!
 //! The supervised loop is bit-identical to the plain
 //! [`snowcat_core::run_campaign_budgeted`] when no faults are injected and
@@ -36,10 +41,12 @@ pub mod checkpoint;
 pub mod fault;
 pub mod feed;
 pub mod fleet;
+pub mod process_worker;
 pub mod reporting;
 pub mod resilient;
 pub mod supervisor;
 pub mod trainer;
+pub mod transport;
 pub mod watchdog;
 
 pub use checkpoint::{
@@ -56,6 +63,7 @@ pub use fleet::{
     ShardMerge, ShardState, ShardStatus, ThreadWorker, WorkerFault, FLEET_CKPT_FILE, FLEET_MAGIC,
     FLEET_VERSION,
 };
+pub use process_worker::{respawn_backoff, serve_worker, ProcessWorker, WorkerCommand};
 pub use reporting::{
     predictor_counters, report_from_campaign_checkpoint, report_from_fleet_checkpoint,
     report_from_supervised, report_from_train, report_from_train_checkpoint,
@@ -68,5 +76,8 @@ pub use trainer::{
     params_crc32, report_from_checkpoint, robust_train, save_train_checkpoint_atomic, AnomalyEvent,
     QuarantineReport, RobustTrainConfig, ShardIssue, TrainCheckpoint, TrainEpochFault,
     TrainFaultKind, TrainFaultPlan, TrainRunReport, TRAIN_CKPT_MAGIC, TRAIN_CKPT_VERSION,
+};
+pub use transport::{
+    read_frame, write_frame, WireAssignment, WireMsg, MAX_FRAME_LEN, WIRE_MAGIC, WIRE_VERSION,
 };
 pub use watchdog::{run_ct_watchdog, ExecOutcome};

@@ -22,12 +22,13 @@ use snowcat_core::{CostModel, ExploreConfig, Explorer, Pic, SnowcatError, Strate
 use snowcat_corpus::{random_cti_pairs, StiFuzzer, StiProfile};
 use snowcat_harness::{
     report_from_fleet_checkpoint, report_from_supervised, run_fleet, run_supervised_campaign,
-    shard_ckpt_path, FaultPlan, FleetCheckpoint, FleetConfig, ShardStatus, SupervisorConfig,
-    ThreadWorker, FLEET_CKPT_FILE,
+    shard_ckpt_path, FaultPlan, FleetCheckpoint, FleetConfig, FleetWorker, ShardAssignment,
+    ShardStatus, SupervisedResult, SupervisorConfig, ThreadWorker, WorkerFault, FLEET_CKPT_FILE,
 };
 use snowcat_kernel::{generate, GenConfig, Kernel};
 use snowcat_nn::{Checkpoint, PicConfig, PicModel};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
 
 const SEED: u64 = 0xF1EE7;
 
@@ -266,4 +267,186 @@ fn mlpct_fleet_completes_with_per_worker_predictors() {
     assert!(fc.is_complete());
     let report = report_from_fleet_checkpoint(&fc, &cost).unwrap();
     assert_eq!(report.campaign.as_ref().unwrap().label, label);
+}
+
+/// Wraps a [`ThreadWorker`] and *panics* (instead of returning an error)
+/// the first time the target shard is run — after letting the inner
+/// worker persist one checkpoint interval, so the thief has a prefix to
+/// resume from. Exercises the coordinator's `catch_unwind` containment.
+struct PanicOnce<'a> {
+    inner: ThreadWorker<'a>,
+    target_shard: usize,
+    tripped: AtomicBool,
+}
+
+impl FleetWorker for PanicOnce<'_> {
+    fn run_shard(&self, asg: &ShardAssignment) -> Result<SupervisedResult, SnowcatError> {
+        if asg.shard == self.target_shard && !self.tripped.swap(true, Ordering::SeqCst) {
+            // Arm the kill fault so the inner worker checkpoints one
+            // interval and returns; then panic mid-shard instead of
+            // surfacing that error.
+            let mut armed = asg.clone();
+            armed.fault = Some(WorkerFault::Kill);
+            let _ = self.inner.run_shard(&armed);
+            panic!("injected mid-shard panic");
+        }
+        self.inner.run_shard(asg)
+    }
+}
+
+#[test]
+fn panicking_worker_is_contained_stolen_and_report_is_unchanged() {
+    let (k, _, corpus, stream) = setup(24);
+    let ecfg = ExploreConfig::default().with_exec_budget(4).with_seed(SEED);
+    let cost = CostModel::default();
+
+    let ref_dir = tmp_dir("panic-ref");
+    let reference =
+        run_pct_fleet(&k, &corpus, &stream, &ecfg, &ref_dir, 2, FaultPlan::default(), 2_000, false)
+            .unwrap();
+
+    let dir = tmp_dir("panic-victim");
+    let mut cfg = FleetConfig::new(2, &dir);
+    cfg.lease_ms = 400;
+    cfg.checkpoint_every = 5;
+    cfg.stall_ms = 2;
+    let make = |_slot: usize| Explorer::Pct;
+    let worker = PanicOnce {
+        inner: ThreadWorker {
+            kernel: &k,
+            corpus: &corpus,
+            stream: &stream,
+            explore_cfg: &ecfg,
+            cost: &cost,
+            cfg: &cfg,
+            make_explorer: &make,
+        },
+        target_shard: 1,
+        tripped: AtomicBool::new(false),
+    };
+    // The panic must not unwind out of the fleet: it surfaces as a lost
+    // worker, the shard is stolen, and the run completes.
+    let fc = run_fleet(&worker, "PCT", SEED, stream.len(), &cfg, false).unwrap();
+    assert!(fc.is_complete());
+    assert!(fc.lost_workers >= 1, "the panicking worker must be declared lost");
+    assert!(fc.steals >= 1, "the panicked shard must be stolen");
+    assert!(fc.quarantined_shards().is_empty());
+
+    // The panic struck after a persisted checkpoint, so the steal resumes
+    // unsalted: merged bytes identical to the unfaulted fleet.
+    let a = report_from_fleet_checkpoint(&reference, &cost).unwrap();
+    let b = report_from_fleet_checkpoint(&fc, &cost).unwrap();
+    assert_eq!(a.to_canonical_json(), b.to_canonical_json());
+}
+
+#[test]
+fn poison_shard_crash_loop_is_quarantined_within_max_steals() {
+    let (k, _, corpus, stream) = setup(24);
+    let ecfg = ExploreConfig::default().with_exec_budget(4).with_seed(SEED);
+    let cost = CostModel::default();
+
+    let dir = tmp_dir("poison");
+    let mut cfg = FleetConfig::new(2, &dir);
+    cfg.lease_ms = 400;
+    cfg.checkpoint_every = 5;
+    cfg.stall_ms = 2;
+    cfg.max_steals = 2;
+    // Process-transport supervision semantics: slots respawn after worker
+    // death instead of retiring, so only the quarantine breaker can end
+    // the crash loop.
+    cfg.respawn = true;
+    cfg.fault_plan = FaultPlan::parse("poison-shard@1").unwrap();
+    let make = |_slot: usize| Explorer::Pct;
+    let worker = ThreadWorker {
+        kernel: &k,
+        corpus: &corpus,
+        stream: &stream,
+        explore_cfg: &ecfg,
+        cost: &cost,
+        cfg: &cfg,
+        make_explorer: &make,
+    };
+    let fc = run_fleet(&worker, "PCT", SEED, stream.len(), &cfg, false).unwrap();
+    assert!(fc.is_complete(), "quarantine must end the crash loop, not hang the fleet");
+    let poisoned = &fc.shards[1];
+    assert_eq!(poisoned.status, ShardStatus::Quarantined, "poison shard must be quarantined");
+    assert!(
+        poisoned.stalled_generations <= cfg.max_steals + 1,
+        "crash loop must break within max_steals ({}) generations, took {}",
+        cfg.max_steals,
+        poisoned.stalled_generations
+    );
+    assert_eq!(fc.shards[0].status, ShardStatus::Done, "healthy shards still complete");
+    assert!(fc.lost_workers >= cfg.max_steals, "every poison lease costs a worker death");
+    let report = report_from_fleet_checkpoint(&fc, &cost).unwrap();
+    assert!(report.campaign.is_some(), "a quarantined shard still yields a merged report");
+}
+
+#[test]
+fn dropping_below_min_workers_degrades_resumably() {
+    let (k, _, corpus, stream) = setup(24);
+    let ecfg = ExploreConfig::default().with_exec_budget(4).with_seed(SEED);
+    let cost = CostModel::default();
+
+    let ref_dir = tmp_dir("degrade-ref");
+    let reference =
+        run_pct_fleet(&k, &corpus, &stream, &ecfg, &ref_dir, 2, FaultPlan::default(), 2_000, false)
+            .unwrap();
+
+    // Worker 0 dies after its first checkpoint; with a floor of 2 the
+    // fleet must not limp on single-handed — it checkpoints and exits
+    // resumable with the degraded (exit 8) error.
+    let dir = tmp_dir("degrade-victim");
+    let mut cfg = FleetConfig::new(2, &dir);
+    cfg.lease_ms = 2_000;
+    cfg.checkpoint_every = 5;
+    cfg.stall_ms = 2;
+    cfg.min_workers = 2;
+    cfg.fault_plan = FaultPlan::parse("kill-worker@0").unwrap();
+    let make = |_slot: usize| Explorer::Pct;
+    let worker = ThreadWorker {
+        kernel: &k,
+        corpus: &corpus,
+        stream: &stream,
+        explore_cfg: &ecfg,
+        cost: &cost,
+        cfg: &cfg,
+        make_explorer: &make,
+    };
+    let err = run_fleet(&worker, "PCT", SEED, stream.len(), &cfg, false).unwrap_err();
+    assert!(
+        matches!(err, SnowcatError::FleetDegraded { live_workers: 1, min_workers: 2, .. }),
+        "{err}"
+    );
+    assert_eq!(err.exit_code(), 8);
+    assert!(dir.join(FLEET_CKPT_FILE).exists(), "degraded fleet must leave its SCFC");
+
+    // Resume with healthy workers (floor back at the default): the run
+    // completes and the merged report is byte-identical.
+    let fc = run_pct_fleet(&k, &corpus, &stream, &ecfg, &dir, 2, FaultPlan::default(), 2_000, true)
+        .unwrap();
+    assert!(fc.is_complete());
+    let a = report_from_fleet_checkpoint(&reference, &cost).unwrap();
+    let b = report_from_fleet_checkpoint(&fc, &cost).unwrap();
+    assert_eq!(a.to_canonical_json(), b.to_canonical_json());
+}
+
+#[test]
+fn lease_arithmetic_is_instant_based_never_wall_clock() {
+    // Regression guard for the monotonic-time satellite: lease deadlines
+    // must be computed from `std::time::Instant` exclusively. A wall-clock
+    // source (`SystemTime`) would let an NTP step or `date -s` expire a
+    // healthy lease (false steal → wasted re-execution) or extend a dead
+    // one (hung fleet). Scan the fleet source: any reintroduction of
+    // SystemTime/UNIX_EPOCH into lease handling trips this test.
+    let fleet_src = include_str!("../src/fleet.rs");
+    assert!(
+        !fleet_src.contains("SystemTime") && !fleet_src.contains("UNIX_EPOCH"),
+        "fleet.rs must not use wall-clock time for lease arithmetic"
+    );
+    let process_src = include_str!("../src/process_worker.rs");
+    assert!(
+        !process_src.contains("SystemTime") && !process_src.contains("UNIX_EPOCH"),
+        "process_worker.rs must not use wall-clock time for supervision timing"
+    );
 }
